@@ -1,0 +1,185 @@
+//! Text rendering for tables and figures.
+//!
+//! The bench harness regenerates every table and figure of the paper as
+//! aligned text (plus machine-readable JSON next to it); this module holds
+//! the shared renderer.
+
+/// A named series over shared row labels — one line of a figure, or one
+/// column of a table.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One value per row label (`None` renders as `-`).
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    /// Builds a fully populated series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { name: name.into(), values: values.into_iter().map(Some).collect() }
+    }
+}
+
+/// A renderable table/figure.
+#[derive(Debug, Clone)]
+pub struct TextFigure {
+    /// Figure/table title.
+    pub title: String,
+    /// Label of the row-key column.
+    pub row_header: String,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// Data series (columns).
+    pub series: Vec<Series>,
+    /// Number formatting precision.
+    pub precision: usize,
+}
+
+impl TextFigure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, row_header: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            row_header: row_header.into(),
+            rows: Vec::new(),
+            series: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Appends a series; its length must match the row labels.
+    pub fn push_series(&mut self, s: Series) {
+        assert_eq!(
+            s.values.len(),
+            self.rows.len(),
+            "series {} has {} values for {} rows",
+            s.name,
+            s.values.len(),
+            self.rows.len()
+        );
+        self.series.push(s);
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt = |v: &Option<f64>| match v {
+            Some(x) if x.abs() >= 1000.0 => format!("{x:.0}"),
+            Some(x) => format!("{x:.prec$}", prec = self.precision),
+            None => "-".to_string(),
+        };
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(String::len)
+                .chain([self.row_header.len()])
+                .max()
+                .unwrap_or(0),
+        );
+        for s in &self.series {
+            let w = s
+                .values
+                .iter()
+                .map(|v| fmt(v).len())
+                .chain([s.name.len()])
+                .max()
+                .unwrap_or(1);
+            widths.push(w);
+        }
+        out.push_str(&format!("{:<w$}", self.row_header, w = widths[0]));
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", s.name, w = widths[i + 1]));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * self.series.len()));
+        out.push('\n');
+        for (r, label) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{label:<w$}", w = widths[0]));
+            for (i, s) in self.series.iter().enumerate() {
+                out.push_str(&format!("  {:>w$}", fmt(&s.values[r]), w = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the figure as a JSON object (hand-rolled — the figure
+    /// values are plain numbers and labels, no serde needed here).
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!(
+            "{{\"title\":\"{}\",\"rows\":[{}],\"series\":[",
+            esc(&self.title),
+            self.rows
+                .iter()
+                .map(|r| format!("\"{}\"", esc(r)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let vals: Vec<String> = s
+                .values
+                .iter()
+                .map(|v| match v {
+                    Some(x) if x.is_finite() => format!("{x}"),
+                    _ => "null".to_string(),
+                })
+                .collect();
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"values\":[{}]}}",
+                esc(&s.name),
+                vals.join(",")
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> TextFigure {
+        let mut f = TextFigure::new("Demo", "query");
+        f.rows = vec!["Q1".into(), "Q6".into()];
+        f.push_series(Series::new("op-e5", vec![0.161, 0.028]));
+        f.push_series(Series {
+            name: "pi3b+".into(),
+            values: vec![Some(1.772), None],
+        });
+        f
+    }
+
+    #[test]
+    fn render_aligns_and_includes_all_cells() {
+        let text = fig().render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("0.161"));
+        assert!(text.contains("1.772"));
+        assert!(text.lines().last().unwrap().trim_end().ends_with('-'));
+        assert!(text.contains("Q6"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = fig().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rows\":[\"Q1\",\"Q6\"]"));
+        assert!(j.contains("null"), "missing values serialize as null");
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn mismatched_series_length_panics() {
+        let mut f = TextFigure::new("x", "r");
+        f.rows = vec!["a".into()];
+        f.push_series(Series::new("s", vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,16 @@
+//! # wimpi-analysis
+//!
+//! The paper's §III methodology as a library: runtime normalization by MSRP
+//! (Figure 5), hourly cost (Figure 6), and TDP energy (Figure 7), speedups
+//! (Figure 3), break-even detection, and the text/JSON figure renderer the
+//! bench harness uses.
+
+pub mod figure;
+pub mod normalize;
+pub mod proportionality;
+
+pub use figure::{Series, TextFigure};
+pub use normalize::{
+    break_even_nodes, energy_j, improvement, msrp, speedup, wimpi_hourly, wimpi_msrp,
+    wimpi_power_w,
+};

@@ -1,0 +1,118 @@
+//! The paper's normalization arithmetic (§III).
+//!
+//! Runtimes are multiplied by the metric under consideration — MSRP dollars,
+//! hourly dollars, or TDP watts — and the *improvement factor* of a
+//! Pi/WIMPI configuration over a traditional server is
+//! `(server_time × server_metric) / (pi_time × pi_metric)`. Values above the
+//! 1× break-even line favour the SBC.
+
+use wimpi_hwsim::profiles::wimpi;
+use wimpi_hwsim::HwProfile;
+
+/// Improvement factor of configuration A over reference R:
+/// `(t_R · m_R) / (t_A · m_A)`; > 1 means A wins.
+pub fn improvement(t_a: f64, m_a: f64, t_r: f64, m_r: f64) -> f64 {
+    (t_r * m_r) / (t_a * m_a)
+}
+
+/// A comparison point's MSRP as the paper counts it: per-socket MSRP times
+/// socket count (§III-A1 doubles the dual-socket on-premises boxes).
+pub fn msrp(hw: &HwProfile) -> Option<f64> {
+    hw.msrp_usd.map(|m| m * hw.sockets as f64)
+}
+
+/// MSRP of an n-node WIMPI cluster, nodes plus peripherals (§II-B).
+pub fn wimpi_msrp(nodes: u32) -> f64 {
+    nodes as f64 * (35.0 + wimpi::PERIPHERALS_USD)
+}
+
+/// Hourly operating cost of an n-node WIMPI cluster (the $0.0004/node rate
+/// computed from peak draw × US average $/kWh).
+pub fn wimpi_hourly(nodes: u32) -> f64 {
+    nodes as f64 * 0.0004
+}
+
+/// Peak power draw of an n-node WIMPI cluster in watts (5.1 W per node; the
+/// paper's ~122 W for 24 nodes).
+pub fn wimpi_power_w(nodes: u32) -> f64 {
+    nodes as f64 * 5.1
+}
+
+/// Energy in joules for a run: watts × seconds (the paper's TDP methodology).
+pub fn energy_j(power_w: f64, runtime_s: f64) -> f64 {
+    power_w * runtime_s
+}
+
+/// Speedup of `reference` over `other` (> 1 when reference is faster) — the
+/// quantity Figure 3 plots with the Pi/WIMPI as `other`.
+pub fn speedup(reference_s: f64, other_s: f64) -> f64 {
+    other_s / reference_s
+}
+
+/// First cluster size (in `sizes` order) whose improvement over the
+/// reference crosses 1×; `None` when the server always wins (the paper's
+/// Q13).
+pub fn break_even_nodes(
+    sizes: &[u32],
+    improvements: &[f64],
+) -> Option<u32> {
+    sizes
+        .iter()
+        .zip(improvements)
+        .find(|(_, &imp)| imp >= 1.0)
+        .map(|(&n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimpi_hwsim::profile;
+
+    #[test]
+    fn improvement_matches_paper_example() {
+        // Paper §III: "5× could mean the Pi is 5× faster at the same cost,
+        // or takes twice as long but costs 10× less."
+        let same_cost = improvement(1.0, 10.0, 5.0, 10.0);
+        assert!((same_cost - 5.0).abs() < 1e-12);
+        let slower_cheaper = improvement(2.0, 1.0, 1.0, 10.0);
+        assert!((slower_cheaper - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn msrp_doubles_dual_socket() {
+        let e5 = profile("op-e5").unwrap();
+        assert_eq!(msrp(&e5), Some(2778.0));
+        let pi = profile("pi3b+").unwrap();
+        assert_eq!(msrp(&pi), Some(35.0));
+        let cloud = profile("m5.metal").unwrap();
+        assert_eq!(msrp(&cloud), None, "custom SKUs have no MSRP");
+    }
+
+    #[test]
+    fn wimpi_cluster_costs() {
+        // 24 nodes ≈ $840 bare (paper) + peripherals.
+        assert_eq!(24.0 * 35.0, 840.0);
+        assert!((wimpi_msrp(24) - (840.0 + 24.0 * 12.5)).abs() < 1e-9);
+        assert!((wimpi_power_w(24) - 122.4).abs() < 0.1, "paper: ≈122 W total");
+        assert!((wimpi_hourly(1) - 0.0004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_even_detection() {
+        let sizes = [4, 8, 12, 16];
+        assert_eq!(break_even_nodes(&sizes, &[0.2, 0.9, 1.3, 1.2]), Some(12));
+        assert_eq!(break_even_nodes(&sizes, &[0.2, 0.3, 0.4, 0.5]), None);
+        assert_eq!(break_even_nodes(&sizes, &[1.5, 1.3, 1.2, 1.1]), Some(4));
+    }
+
+    #[test]
+    fn energy_is_watt_seconds() {
+        assert_eq!(energy_j(95.0, 2.0), 190.0);
+    }
+
+    #[test]
+    fn speedup_orientation() {
+        // Server at 0.1 s vs Pi at 1.0 s → Pi is 10× slower → speedup 10.
+        assert!((speedup(0.1, 1.0) - 10.0).abs() < 1e-12);
+    }
+}

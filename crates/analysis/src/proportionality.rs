@@ -1,0 +1,114 @@
+//! Energy proportionality (paper §III-B2).
+//!
+//! Traditional servers draw a large fraction of their peak power while
+//! idle; the Pi draws almost nothing and can be powered off per node. This
+//! module models energy over a duty cycle (busy fraction of wall time) and
+//! the fine-grained right-sizing the paper highlights: turning individual
+//! WIMPI nodes off when utilization drops.
+
+/// Power characteristics of one machine or node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Draw under load, watts.
+    pub active_w: f64,
+    /// Draw while idle but powered on, watts.
+    pub idle_w: f64,
+}
+
+impl PowerModel {
+    /// A traditional server CPU: idle draw is a large fraction of TDP
+    /// (memory refresh, fans, voltage regulators — Barroso & Hölzle's
+    /// energy-proportionality critique the paper cites).
+    pub fn server(tdp_w: f64) -> Self {
+        Self { active_w: tdp_w, idle_w: tdp_w * 0.55 }
+    }
+
+    /// A Raspberry Pi 3B+ node: 5.1 W peak, ~1.9 W idle — nearly
+    /// energy-proportional, and a node can simply be switched off (0 W).
+    pub fn pi_node() -> Self {
+        Self { active_w: 5.1, idle_w: 1.9 }
+    }
+
+    /// Energy proportionality index in [0, 1]: 1 means idle costs nothing.
+    pub fn proportionality(&self) -> f64 {
+        1.0 - self.idle_w / self.active_w
+    }
+
+    /// Energy in joules over `wall_s` seconds with the machine busy for
+    /// `busy_frac` of them.
+    pub fn energy_j(&self, wall_s: f64, busy_frac: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&busy_frac), "busy fraction in [0, 1]");
+        wall_s * (busy_frac * self.active_w + (1.0 - busy_frac) * self.idle_w)
+    }
+}
+
+/// Energy of an n-node WIMPI cluster over a duty cycle when idle nodes can
+/// be powered off entirely (the paper's fine-grained right-sizing):
+/// `active_nodes` run the workload, the rest draw zero.
+pub fn wimpi_rightsized_energy_j(
+    total_nodes: u32,
+    active_nodes: u32,
+    wall_s: f64,
+    busy_frac: f64,
+) -> f64 {
+    assert!(active_nodes <= total_nodes);
+    let node = PowerModel::pi_node();
+    active_nodes as f64 * node.energy_j(wall_s, busy_frac)
+}
+
+/// Ratio of server energy to right-sized WIMPI energy over the same duty
+/// cycle — the §III-B2 argument quantified. Values > 1 favour WIMPI.
+pub fn idle_advantage(
+    server_tdp_w: f64,
+    nodes: u32,
+    active_nodes: u32,
+    busy_frac: f64,
+) -> f64 {
+    let server = PowerModel::server(server_tdp_w).energy_j(3600.0, busy_frac);
+    let wimpi = wimpi_rightsized_energy_j(nodes, active_nodes, 3600.0, busy_frac);
+    server / wimpi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_is_more_proportional_than_server() {
+        let pi = PowerModel::pi_node();
+        let server = PowerModel::server(95.0);
+        assert!(pi.proportionality() > server.proportionality());
+        assert!(pi.proportionality() > 0.6);
+        assert!(server.proportionality() < 0.5);
+    }
+
+    #[test]
+    fn energy_interpolates_between_idle_and_active() {
+        let m = PowerModel { active_w: 100.0, idle_w: 40.0 };
+        assert_eq!(m.energy_j(10.0, 1.0), 1000.0);
+        assert_eq!(m.energy_j(10.0, 0.0), 400.0);
+        assert_eq!(m.energy_j(10.0, 0.5), 700.0);
+    }
+
+    #[test]
+    fn idle_clusters_widen_the_gap() {
+        // The idler the cluster, the more the server's poor proportionality
+        // hurts — §III-B2's point.
+        let busy = idle_advantage(95.0, 24, 24, 1.0);
+        let idle = idle_advantage(95.0, 24, 24, 0.05);
+        assert!(idle > busy, "advantage grows when mostly idle: {idle} vs {busy}");
+    }
+
+    #[test]
+    fn powering_off_nodes_saves_linearly() {
+        let full = wimpi_rightsized_energy_j(24, 24, 3600.0, 0.5);
+        let half = wimpi_rightsized_energy_j(24, 12, 3600.0, 0.5);
+        assert!((full / half - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy fraction")]
+    fn busy_fraction_validated() {
+        PowerModel::pi_node().energy_j(1.0, 1.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//!
+//! * dictionary encoding vs raw string handling on scan-heavy predicates,
+//! * candidate-propagating (selection-vector) filters vs naive
+//!   materializing filters,
+//! * partial-aggregate pushdown vs shipping rows to the driver (the
+//!   paper's MonetDB distributed-mode anecdote, §III-C3),
+//! * recompute-vs-materialize of a hot intermediate under memory-bandwidth
+//!   pressure (§III-C2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wimpi_cluster::distribute::Strategy;
+use wimpi_cluster::{ClusterConfig, WimpiCluster};
+use wimpi_engine::expr::{col, lit};
+use wimpi_engine::plan::{AggExpr, PlanBuilder};
+use wimpi_engine::{execute_query, like::like_match};
+use wimpi_tpch::Generator;
+
+const SF: f64 = 0.05;
+
+fn bench_dictionary(c: &mut Criterion) {
+    let cat = Generator::new(SF).generate_catalog().expect("generation succeeds");
+    let mut g = c.benchmark_group("ablation_dictionary");
+    g.sample_size(10);
+    // Dictionary path: LIKE evaluated once per distinct value via the engine.
+    g.bench_function("like_dict_encoded", |b| {
+        let plan = PlanBuilder::scan("orders")
+            .filter(col("o_comment").like("%special%requests%"))
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+    // Raw path: decode every row and match per row (what a raw string
+    // column costs).
+    g.bench_function("like_raw_per_row", |b| {
+        let orders = cat.table("orders").expect("orders registered");
+        let comments = orders.column_by_name("o_comment").expect("column");
+        let d = comments.as_str().expect("dict");
+        b.iter(|| {
+            let mut n = 0u64;
+            for i in 0..d.len() {
+                if like_match(d.get(i), "%special%requests%") {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_distributed_pushdown(c: &mut Criterion) {
+    let cluster =
+        WimpiCluster::build(ClusterConfig::new(4, SF)).expect("cluster builds");
+    let q1 = wimpi_queries::query(1);
+    let mut g = c.benchmark_group("ablation_distributed_pushdown");
+    g.sample_size(10);
+    g.bench_function("partial_agg_pushdown", |b| {
+        b.iter(|| {
+            black_box(
+                cluster.run(&q1, Strategy::PartialAggPushdown).expect("runs").bytes_shipped,
+            )
+        });
+    });
+    g.bench_function("ship_rows_to_driver", |b| {
+        b.iter(|| black_box(cluster.run(&q1, Strategy::ShipRows).expect("runs").bytes_shipped));
+    });
+    g.finish();
+}
+
+fn bench_recompute_vs_materialize(c: &mut Criterion) {
+    let cat = Generator::new(SF).generate_catalog().expect("generation succeeds");
+    let li = cat.table("lineitem").expect("lineitem");
+    let ext = li.column_by_name("l_extendedprice").expect("column");
+    let (ext, _) = ext.as_decimal().expect("decimal");
+    let disc = li.column_by_name("l_discount").expect("column");
+    let (disc, _) = disc.as_decimal().expect("decimal");
+    let mut g = c.benchmark_group("ablation_recompute_vs_materialize");
+    g.sample_size(10);
+    // Materialize: compute disc_price once into a vector, then two sums
+    // stream it back (extra bandwidth, less compute).
+    g.bench_function("materialize_intermediate", |b| {
+        b.iter(|| {
+            let dp: Vec<i64> =
+                ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100).collect();
+            let a: i64 = dp.iter().sum();
+            let b2: i64 = dp.iter().map(|&v| v / 2).sum();
+            black_box((a, b2))
+        });
+    });
+    // Recompute: evaluate the expression in both consumers (extra compute,
+    // no intermediate traffic) — the §III-C2 trade the paper suggests for
+    // bandwidth-starved SBCs.
+    g.bench_function("recompute_expression", |b| {
+        b.iter(|| {
+            let a: i64 = ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100).sum();
+            let b2: i64 =
+                ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100 / 2).sum();
+            black_box((a, b2))
+        });
+    });
+    g.finish();
+}
+
+fn bench_selection_vectors(c: &mut Criterion) {
+    let cat = Generator::new(SF).generate_catalog().expect("generation succeeds");
+    let mut g = c.benchmark_group("ablation_selection");
+    g.sample_size(10);
+    // Candidate-propagating filter (the engine's default): conjuncts refine
+    // a shrinking selection.
+    g.bench_function("candidate_propagation", |b| {
+        let plan = PlanBuilder::scan("lineitem")
+            .filter(
+                col("l_quantity")
+                    .lt(lit(5i64))
+                    .and(col("l_discount").gte(lit(0i64)))
+                    .and(col("l_tax").gte(lit(0i64))),
+            )
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+    // Naive: three separate filters, each fully materializing survivors.
+    g.bench_function("materializing_filters", |b| {
+        let plan = PlanBuilder::scan("lineitem")
+            .filter(col("l_quantity").lt(lit(5i64)))
+            .filter(col("l_discount").gte(lit(0i64)))
+            .filter(col("l_tax").gte(lit(0i64)))
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dictionary,
+    bench_distributed_pushdown,
+    bench_recompute_vs_materialize,
+    bench_selection_vectors
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmarks for the microbenchmark kernels themselves
+//! (Figure 2's host anchors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wimpi_microbench::{dhrystone, membw, primes, whetstone};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    g.bench_function("whetstone_10_loops", |b| {
+        b.iter(|| black_box(whetstone::run(10).checksum));
+    });
+    g.bench_function("dhrystone_500k", |b| {
+        b.iter(|| black_box(dhrystone::run(500_000).checksum));
+    });
+    g.bench_function("sysbench_prime_10000", |b| {
+        b.iter(|| black_box(primes::run(10_000).primes_found));
+    });
+    g.bench_function("membw_64mb_pass", |b| {
+        b.iter(|| black_box(membw::read_bandwidth(64 << 20, 1).checksum));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the engine's core operators on TPC-H data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wimpi_engine::expr::{col, date, dec2, lit};
+use wimpi_engine::plan::{AggExpr, PlanBuilder, SortKey};
+use wimpi_engine::{execute_query, exec};
+use wimpi_storage::Catalog;
+use wimpi_tpch::Generator;
+
+const SF: f64 = 0.05;
+
+fn catalog() -> Catalog {
+    Generator::new(SF).generate_catalog().expect("generation succeeds")
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let cat = catalog();
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(10);
+
+    g.bench_function("scan_filter_q6_predicates", |b| {
+        let plan = PlanBuilder::scan("lineitem")
+            .filter(
+                col("l_shipdate")
+                    .gte(date("1994-01-01"))
+                    .and(col("l_shipdate").lt(date("1995-01-01")))
+                    .and(col("l_quantity").lt(dec2("24"))),
+            )
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+
+    g.bench_function("hash_join_lineitem_orders", |b| {
+        let plan = PlanBuilder::scan("lineitem")
+            .inner_join(PlanBuilder::scan("orders"), vec![("l_orderkey", "o_orderkey")])
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+
+    g.bench_function("group_by_two_dict_keys_q1_style", |b| {
+        let plan = PlanBuilder::scan("lineitem")
+            .aggregate(
+                vec![
+                    (col("l_returnflag"), "f"),
+                    (col("l_linestatus"), "s"),
+                ],
+                vec![AggExpr::sum(col("l_quantity"), "q"), AggExpr::count_star("n")],
+            )
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+
+    g.bench_function("sort_orders_by_totalprice", |b| {
+        let plan = PlanBuilder::scan("orders")
+            .sort(vec![SortKey::desc("o_totalprice")])
+            .limit(100)
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+
+    g.bench_function("like_over_dictionary", |b| {
+        let plan = PlanBuilder::scan("orders")
+            .filter(col("o_comment").not_like("%special%requests%"))
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        b.iter(|| black_box(execute_query(&plan, &cat).expect("runs")));
+    });
+
+    // Optimizer value: the same plan with and without optimization.
+    g.bench_function("q3_optimized", |b| {
+        let q = match wimpi_queries::query(3) {
+            wimpi_queries::QueryPlan::Single(p) => p,
+            _ => unreachable!(),
+        };
+        b.iter_batched(
+            || q.clone(),
+            |p| black_box(execute_query(&p, &cat).expect("runs")),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("q3_unoptimized", |b| {
+        let q = match wimpi_queries::query(3) {
+            wimpi_queries::QueryPlan::Single(p) => p,
+            _ => unreachable!(),
+        };
+        b.iter(|| black_box(exec::execute(&q, &cat).expect("runs")));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

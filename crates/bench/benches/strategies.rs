@@ -1,0 +1,27 @@
+//! Criterion benchmarks for the three execution paradigms (the host-side
+//! reality behind Figure 4): per query, data-centric vs hybrid vs
+//! access-aware wall time on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wimpi_strategies::{run, Paradigm, STRATEGY_QUERIES};
+use wimpi_tpch::Generator;
+
+const SF: f64 = 0.05;
+
+fn bench_strategies(c: &mut Criterion) {
+    let cat = Generator::new(SF).generate_catalog().expect("generation succeeds");
+    let mut g = c.benchmark_group("strategies");
+    g.sample_size(10);
+    for &q in &STRATEGY_QUERIES {
+        for paradigm in Paradigm::ALL {
+            g.bench_function(format!("q{q:02}_{}", paradigm.label()), |b| {
+                b.iter(|| black_box(run(q, paradigm, &cat).digest));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

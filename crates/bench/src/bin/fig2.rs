@@ -1,0 +1,45 @@
+//! Regenerates Figure 2 (microbenchmarks, panels a–d) from the hardware
+//! models, plus a host-anchor section: the same kernels *actually executed*
+//! on this machine, and the WIMPI iperf network figure (§II-C3).
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_microbench::{dhrystone, membw, network::NetModel, primes, whetstone};
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let mut figures = wimpi_core::Study::fig2();
+
+    // Host anchor: run the real kernels here (single-threaded).
+    let whet = whetstone::run(50);
+    let dhry = dhrystone::run(2_000_000);
+    let prime = primes::run(10_000);
+    let bw = membw::read_bandwidth(256 << 20, 3);
+    let mut host = TextFigure::new(
+        "Host anchor — the same kernels executed on this machine (1 thread)",
+        "kernel",
+    );
+    host.rows = vec![
+        "whetstone MWIPS".into(),
+        "dhrystone DMIPS".into(),
+        "sysbench prime s".into(),
+        "memory GB/s".into(),
+    ];
+    host.push_series(Series::new(
+        "measured",
+        vec![whet.mwips, dhry.dmips, prime.elapsed_s, bw.read_gbs],
+    ));
+    figures.push(host);
+
+    // §II-C3: the WIMPI node link.
+    let net = NetModel::wimpi_node();
+    let (bytes, mbps) = net.iperf(10.0);
+    let mut netfig = TextFigure::new(
+        "WIMPI network (iperf model, 10 s window) — paper measured ~220 Mbps",
+        "metric",
+    );
+    netfig.rows = vec!["throughput Mbps".into(), "bytes in 10 s".into()];
+    netfig.push_series(Series::new("value", vec![mbps, bytes as f64]));
+    figures.push(netfig);
+
+    wimpi_bench::emit(&args, "fig2", &figures);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3 (speedups over the Pi/WIMPI, SF 1 and SF 10).
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let study = wimpi_core::Study::new(args.sf);
+    let sf1 = study.table2().expect("table2 runs");
+    let sf10 = study.table3(&args.sizes).expect("table3 runs");
+    wimpi_bench::emit(&args, "fig3", &wimpi_core::fig3(&sf1, &sf10));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 (data-centric / hybrid / access-aware execution
+//! strategies on op-e5, op-gold, and the Pi 3B+; SF 1, single-threaded).
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let study = wimpi_core::Study::new(args.sf);
+    let t = study.fig4().expect("fig4 runs");
+    wimpi_bench::emit(&args, "fig4", &t.to_figures());
+}

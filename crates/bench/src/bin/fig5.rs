@@ -1,0 +1,9 @@
+//! Regenerates Figure 5 (MSRP-normalized comparison, SF 1 and SF 10).
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let study = wimpi_core::Study::new(args.sf);
+    let sf1 = study.table2().expect("table2 runs");
+    let sf10 = study.table3(&args.sizes).expect("table3 runs");
+    wimpi_bench::emit(&args, "fig5", &wimpi_core::fig5(&sf1, &sf10));
+}

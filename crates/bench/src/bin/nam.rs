@@ -1,0 +1,54 @@
+//! Extension experiment (not in the paper's evaluation): the §III-C1
+//! hybrid NAM deployment — WIMPI workers plus one big-memory merge server —
+//! compared against the all-Pi cluster on the choke-point queries.
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_cluster::distribute::Strategy;
+use wimpi_cluster::nam::NamCluster;
+use wimpi_cluster::{ClusterConfig, WimpiCluster};
+use wimpi_queries::{query, CHOKEPOINT_QUERIES};
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let nodes = *args.sizes.last().expect("at least one size");
+    let scale = 10.0 / args.sf;
+    eprintln!("building {nodes}-node cluster at measure SF {} (modelled SF 10) …", args.sf);
+    let workers = WimpiCluster::build(
+        ClusterConfig::new(nodes, args.sf).with_model_scale(scale),
+    )
+    .expect("cluster builds");
+    let server = wimpi_hwsim::profile("op-e5").expect("profile exists");
+    let hybrid = NamCluster::new(workers, server);
+
+    let mut fig = TextFigure::new(
+        format!("NAM extension — all-Pi x{nodes} vs Pi x{nodes} + op-e5 merge server (SF 10, s)"),
+        "query",
+    );
+    fig.rows = CHOKEPOINT_QUERIES.iter().map(|q| format!("Q{q}")).collect();
+    let mut all_pi = Vec::new();
+    let mut nam = Vec::new();
+    for &q in &CHOKEPOINT_QUERIES {
+        let qp = query(q);
+        all_pi.push(
+            hybrid
+                .workers
+                .run(&qp, Strategy::PartialAggPushdown)
+                .expect("all-pi runs")
+                .total_seconds(),
+        );
+        nam.push(
+            hybrid.run(&qp, Strategy::PartialAggPushdown).expect("nam runs").total_seconds(),
+        );
+    }
+    fig.push_series(Series::new("all-pi", all_pi.clone()));
+    fig.push_series(Series::new("nam-hybrid", nam.clone()));
+    fig.push_series(Series::new(
+        "speedup",
+        all_pi.iter().zip(&nam).map(|(a, b)| a / b).collect(),
+    ));
+    wimpi_bench::emit(&args, "nam", &[fig]);
+    if let (Some(m), Some(w)) = (hybrid.msrp(), hybrid.power_w()) {
+        println!("hybrid MSRP ${m:.0}, peak {w:.0} W (all-pi: ${:.0}, {:.0} W)",
+            wimpi_analysis::wimpi_msrp(nodes), wimpi_analysis::wimpi_power_w(nodes));
+    }
+}

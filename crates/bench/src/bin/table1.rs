@@ -1,0 +1,6 @@
+//! Regenerates Table I (hardware specifications).
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    wimpi_bench::emit(&args, "table1", &[wimpi_core::Study::table1()]);
+}

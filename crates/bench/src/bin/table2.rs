@@ -1,0 +1,19 @@
+//! Regenerates Table II (TPC-H SF 1 runtimes, 22 queries × 10 machines) and
+//! prints the paper-vs-model comparison.
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let study = wimpi_core::Study::new(args.sf);
+    let t2 = study.table2().expect("table2 runs");
+    wimpi_bench::emit(
+        &args,
+        "table2",
+        &[t2.to_figure(&format!(
+            "Table II — TPC-H SF 1 runtimes (s), measured at SF {} and extrapolated",
+            args.sf
+        ))],
+    );
+    let cmp = wimpi_core::compare_table2(&t2);
+    println!("{}", cmp.to_markdown());
+    wimpi_bench::write_artifact(&args.out, "table2_compare.md", &cmp.to_markdown());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table III (TPC-H SF 10: servers single-node, WIMPI at the
+//! swept cluster sizes) and prints the paper-vs-model comparison.
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let study = wimpi_core::Study::new(args.sf);
+    let t3 = study.table3(&args.sizes).expect("table3 runs");
+    wimpi_bench::emit(
+        &args,
+        "table3",
+        &[t3.to_figure(&format!(
+            "Table III — TPC-H SF 10 runtimes (s), measured at SF {} and extrapolated",
+            args.sf
+        ))],
+    );
+    let cmp = wimpi_core::compare_table3(&t3);
+    println!("{}", cmp.to_markdown());
+    wimpi_bench::write_artifact(&args.out, "table3_compare.md", &cmp.to_markdown());
+}

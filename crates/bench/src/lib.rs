@@ -1,0 +1,149 @@
+//! # wimpi-bench
+//!
+//! Shared harness for the experiment-regenerator binaries (`table1`, `fig2`,
+//! `table2`, `table3`, `fig3`–`fig7`, `all`). Each binary prints the paper's
+//! table/figure as aligned text and writes both `.txt` and `.json` artifacts
+//! under `results/`.
+//!
+//! Flags (also readable from environment variables):
+//!
+//! * `--sf <f64>` / `WIMPI_SF` — scale factor executed on the host
+//!   (default 0.2; work profiles are extrapolated to the paper's SF 1/10,
+//!   see DESIGN.md §4).
+//! * `--out <dir>` / `WIMPI_OUT` — artifact directory (default `results`).
+//! * `--sizes a,b,c` — cluster sizes for Table III (default the paper's
+//!   4,8,12,16,20,24).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use wimpi_analysis::TextFigure;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Host-measured scale factor.
+    pub sf: f64,
+    /// Output directory for artifacts.
+    pub out: PathBuf,
+    /// Cluster sizes for distributed experiments.
+    pub sizes: Vec<u32>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            sf: 0.2,
+            out: PathBuf::from("results"),
+            sizes: vec![4, 8, 12, 16, 20, 24],
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env` (args override environment variables).
+    pub fn parse() -> Self {
+        let mut out = Args::default();
+        if let Ok(v) = std::env::var("WIMPI_SF") {
+            if let Ok(sf) = v.parse() {
+                out.sf = sf;
+            }
+        }
+        if let Ok(v) = std::env::var("WIMPI_OUT") {
+            out.out = PathBuf::from(v);
+        }
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--sf" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.sf = v;
+                    }
+                    i += 2;
+                }
+                "--out" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        out.out = PathBuf::from(v);
+                    }
+                    i += 2;
+                }
+                "--sizes" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        let parsed: Vec<u32> =
+                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                        if !parsed.is_empty() {
+                            out.sizes = parsed;
+                        }
+                    }
+                    i += 2;
+                }
+                other => {
+                    eprintln!("ignoring unknown flag {other}");
+                    i += 1;
+                }
+            }
+        }
+        assert!(out.sf > 0.0, "--sf must be positive");
+        out
+    }
+}
+
+/// Prints a figure and writes its `.txt`/`.json` artifacts.
+pub fn emit(args: &Args, slug: &str, figures: &[TextFigure]) {
+    let mut text = String::new();
+    let mut json = String::from("[");
+    for (i, f) in figures.iter().enumerate() {
+        text.push_str(&f.render());
+        text.push('\n');
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&f.to_json());
+    }
+    json.push(']');
+    print!("{text}");
+    write_artifact(&args.out, &format!("{slug}.txt"), &text);
+    write_artifact(&args.out, &format!("{slug}.json"), &json);
+}
+
+/// Writes one artifact file, creating the directory if needed.
+pub fn write_artifact(dir: &Path, name: &str, contents: &str) {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match fs::write(&path, contents) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_sweep() {
+        let a = Args::default();
+        assert_eq!(a.sizes, vec![4, 8, 12, 16, 20, 24]);
+        assert!(a.sf > 0.0);
+    }
+
+    #[test]
+    fn emit_writes_artifacts() {
+        let dir = std::env::temp_dir().join("wimpi-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = Args { out: dir.clone(), ..Args::default() };
+        let mut f = TextFigure::new("T", "r");
+        f.rows = vec!["a".into()];
+        f.push_series(wimpi_analysis::Series::new("s", vec![1.0]));
+        emit(&args, "demo", &[f]);
+        assert!(dir.join("demo.txt").exists());
+        assert!(dir.join("demo.json").exists());
+        let json = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

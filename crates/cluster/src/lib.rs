@@ -1,0 +1,505 @@
+//! # wimpi-cluster
+//!
+//! A faithful simulation of the paper's 24-node WIMPI cluster (§II-B):
+//! `lineitem` is partitioned on `l_orderkey` across nodes, every other table
+//! is fully replicated (§II-D2), each node runs the full query on its
+//! partition for real, and a driver merges partial aggregates. Per-node
+//! runtimes come from the Pi 3B+ hardware model, network transfer from the
+//! 220 Mbps link model, and memory pressure from the swap-off/microSD model.
+//!
+//! Substitution note (DESIGN.md §2): the paper ran 24 physical Raspberry
+//! Pis; here every node's *work* is real (executed on the host over the real
+//! partition) and only the *clock* is modelled.
+
+pub mod distribute;
+pub mod memory;
+pub mod nam;
+
+use std::fmt;
+use std::sync::Arc;
+
+use distribute::{distribute, Distributed, Strategy, PARTIALS_TABLE};
+use memory::MemoryModel;
+use wimpi_engine::{optimizer, EngineError, LogicalPlan, Relation, WorkProfile};
+use wimpi_hwsim::{pi3b, predict_all_cores, HwProfile};
+use wimpi_microbench::NetModel;
+use wimpi_queries::QueryPlan;
+use wimpi_storage::{Catalog, Column, Field, Schema, Table};
+use wimpi_tpch::Generator;
+
+/// Cluster-level errors.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A planning/execution failure.
+    Engine(EngineError),
+    /// A node marked dead was needed by the query.
+    NodeDown(usize),
+    /// A node's anonymous memory demand exceeded its RAM (swap is off).
+    NodeOom {
+        /// Node index.
+        node: usize,
+        /// Bytes the query needed.
+        needed: u64,
+    },
+    /// The query cannot be distributed (e.g. a two-phase scalar query).
+    Unsupported(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Engine(e) => write!(f, "engine: {e}"),
+            ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
+            ClusterError::NodeOom { node, needed } => {
+                write!(f, "node {node} out of memory ({needed} B needed, swap off)")
+            }
+            ClusterError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<EngineError> for ClusterError {
+    fn from(e: EngineError) -> Self {
+        ClusterError::Engine(e)
+    }
+}
+
+impl From<wimpi_storage::StorageError> for ClusterError {
+    fn from(e: wimpi_storage::StorageError) -> Self {
+        ClusterError::Engine(EngineError::Storage(e))
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Node count (the paper sweeps 4–24).
+    pub nodes: u32,
+    /// TPC-H scale factor held by the cluster.
+    pub sf: f64,
+    /// Per-node memory model.
+    pub memory: MemoryModel,
+    /// Node NIC model.
+    pub net: NetModel,
+    /// Extrapolation multiplier applied to measured per-node work and base
+    /// bytes before pricing (DESIGN.md §4): a cluster *built* at SF `sf` but
+    /// *modelled* as holding SF `sf × model_scale`. 1.0 = no extrapolation.
+    pub model_scale: f64,
+}
+
+impl ClusterConfig {
+    /// A WIMPI cluster of `nodes` Raspberry Pi 3B+ nodes holding SF `sf`.
+    pub fn new(nodes: u32, sf: f64) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        Self {
+            nodes,
+            sf,
+            memory: MemoryModel::wimpi_node(),
+            net: NetModel::wimpi_node(),
+            model_scale: 1.0,
+        }
+    }
+
+    /// Sets the work-extrapolation multiplier (see `model_scale`).
+    pub fn with_model_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.model_scale = scale;
+        self
+    }
+}
+
+/// One distributed run's outcome and simulated timing.
+#[derive(Debug, Clone)]
+pub struct DistRun {
+    /// The merged query result.
+    pub result: Relation,
+    /// Simulated seconds per node (max is the parallel phase).
+    pub node_seconds: Vec<f64>,
+    /// Per-node measured work.
+    pub node_profiles: Vec<WorkProfile>,
+    /// Seconds spent shipping partials to the driver.
+    pub network_seconds: f64,
+    /// Seconds the driver spends merging.
+    pub merge_seconds: f64,
+    /// Partial-result bytes shipped.
+    pub bytes_shipped: u64,
+    /// Nodes that actually executed (1 for non-lineitem queries).
+    pub nodes_used: u32,
+}
+
+impl DistRun {
+    /// End-to-end simulated seconds: slowest node + network + merge.
+    pub fn total_seconds(&self) -> f64 {
+        self.node_seconds.iter().cloned().fold(0.0, f64::max)
+            + self.network_seconds
+            + self.merge_seconds
+    }
+}
+
+/// The simulated WIMPI cluster.
+pub struct WimpiCluster {
+    config: ClusterConfig,
+    pi: HwProfile,
+    node_catalogs: Vec<Catalog>,
+    alive: Vec<bool>,
+}
+
+impl WimpiCluster {
+    /// Generates the database and distributes it: lineitem partitioned by
+    /// order key, everything else replicated (shared, not copied, on the
+    /// host — each simulated node still *accounts* for its full replica).
+    pub fn build(config: ClusterConfig) -> Result<Self> {
+        let gen = Generator::new(config.sf);
+        let shared: Vec<(&str, Arc<Table>)> = vec![
+            ("region", Arc::new(gen.region_table()?)),
+            ("nation", Arc::new(gen.nation_table()?)),
+            ("supplier", Arc::new(gen.supplier_table()?)),
+            ("customer", Arc::new(gen.customer_table()?)),
+            ("part", Arc::new(gen.part_table()?)),
+            ("partsupp", Arc::new(gen.partsupp_table()?)),
+        ];
+        let mut lineitems = Vec::with_capacity(config.nodes as usize);
+        let mut order_chunks = Vec::with_capacity(config.nodes as usize);
+        for c in 0..config.nodes as u64 {
+            let (orders, lineitem) = gen.orders_lineitem_chunk(c, config.nodes as u64)?;
+            order_chunks.push(orders);
+            lineitems.push(lineitem);
+        }
+        let orders = Arc::new(concat_tables(&order_chunks)?);
+        let mut node_catalogs = Vec::with_capacity(config.nodes as usize);
+        for lineitem in lineitems {
+            let mut cat = Catalog::new();
+            for (name, t) in &shared {
+                cat.register_shared(*name, Arc::clone(t));
+            }
+            cat.register_shared("orders", Arc::clone(&orders));
+            cat.register("lineitem", lineitem);
+            node_catalogs.push(cat);
+        }
+        Ok(Self {
+            alive: vec![true; config.nodes as usize],
+            pi: pi3b(),
+            config,
+            node_catalogs,
+        })
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> u32 {
+        self.config.nodes
+    }
+
+    /// The catalog a node holds (tests and benches peek at partitions).
+    pub fn node_catalog(&self, node: usize) -> &Catalog {
+        &self.node_catalogs[node]
+    }
+
+    /// Marks a node failed (failure-injection tests).
+    pub fn kill_node(&mut self, node: usize) {
+        self.alive[node] = false;
+    }
+
+    /// Brings a node back.
+    pub fn restore_node(&mut self, node: usize) {
+        self.alive[node] = true;
+    }
+
+    /// Runs a query across the cluster with the given shipping strategy.
+    ///
+    /// Queries that never touch the partitioned `lineitem` run on node 0
+    /// only — exactly the paper's Q13 behaviour (§II-D2: "adding more nodes
+    /// has no impact on the performance of Q13").
+    pub fn run(&self, q: &QueryPlan, strategy: Strategy) -> Result<DistRun> {
+        let plan = match q {
+            QueryPlan::Single(p) => p,
+            QueryPlan::TwoPhase { .. } => {
+                return Err(ClusterError::Unsupported(
+                    "two-phase scalar queries are not distributed; run them single-node"
+                        .to_string(),
+                ))
+            }
+        };
+        if !plan.tables().iter().any(|t| t == "lineitem") {
+            return self.run_on_single_node(plan);
+        }
+        let Distributed { node_plan, merge_plan } = distribute(plan, strategy)?;
+        let mut node_seconds = Vec::with_capacity(self.node_catalogs.len());
+        let mut node_profiles = Vec::with_capacity(self.node_catalogs.len());
+        let mut partials: Vec<Relation> = Vec::with_capacity(self.node_catalogs.len());
+        for (i, cat) in self.node_catalogs.iter().enumerate() {
+            if !self.alive[i] {
+                return Err(ClusterError::NodeDown(i));
+            }
+            let (rel, prof) = wimpi_engine::execute_query(&node_plan, cat)?;
+            let prof = prof.scale(self.config.model_scale);
+            let base =
+                (scan_bytes(&node_plan, cat)? as f64 * self.config.model_scale) as u64;
+            let penalty = self
+                .config
+                .memory
+                .evaluate(base, &prof)
+                .map_err(|needed| ClusterError::NodeOom { node: i, needed })?;
+            node_seconds.push(predict_all_cores(&self.pi, &prof).total_s() + penalty);
+            node_profiles.push(prof);
+            partials.push(rel);
+        }
+        // Ship partials to the driver (its NIC is the bottleneck). Partial
+        // *aggregates* have SF-independent size; shipped *rows* scale with
+        // the modelled SF.
+        let row_scale = match strategy {
+            Strategy::PartialAggPushdown => 1.0,
+            Strategy::ShipRows => self.config.model_scale,
+        };
+        let bytes_shipped: u64 =
+            (partials.iter().map(|r| r.stream_bytes() as u64).sum::<u64>() as f64 * row_scale)
+                as u64;
+        let network_seconds = self.config.net.transfer_s(bytes_shipped)
+            + self.config.net.latency_ms / 1e3 * self.node_catalogs.len() as f64;
+        // Merge on the driver node.
+        let merged_input = concat_relations(&partials)?;
+        let mut merge_cat = Catalog::new();
+        merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
+        let (result, merge_prof) = wimpi_engine::execute_query(&merge_plan, &merge_cat)?;
+        let mut merge_prof = merge_prof.scale(row_scale);
+        merge_prof.network_bytes = bytes_shipped;
+        let merge_penalty = self
+            .config
+            .memory
+            .evaluate((merged_input.stream_bytes() as f64 * row_scale) as u64, &merge_prof)
+            .map_err(|needed| ClusterError::NodeOom { node: 0, needed })?;
+        let merge_seconds =
+            predict_all_cores(&self.pi, &merge_prof).total_s() + merge_penalty;
+        Ok(DistRun {
+            result,
+            node_seconds,
+            node_profiles,
+            network_seconds,
+            merge_seconds,
+            bytes_shipped,
+            nodes_used: self.config.nodes,
+        })
+    }
+
+    /// Runs a whole (non-lineitem) query on node 0.
+    fn run_on_single_node(&self, plan: &LogicalPlan) -> Result<DistRun> {
+        if !self.alive[0] {
+            return Err(ClusterError::NodeDown(0));
+        }
+        let cat = &self.node_catalogs[0];
+        let (result, prof) = wimpi_engine::execute_query(plan, cat)?;
+        let prof = prof.scale(self.config.model_scale);
+        let base = (scan_bytes(plan, cat)? as f64 * self.config.model_scale) as u64;
+        let penalty = self
+            .config
+            .memory
+            .evaluate(base, &prof)
+            .map_err(|needed| ClusterError::NodeOom { node: 0, needed })?;
+        let t = predict_all_cores(&self.pi, &prof).total_s() + penalty;
+        Ok(DistRun {
+            result,
+            node_seconds: vec![t],
+            node_profiles: vec![prof],
+            network_seconds: 0.0,
+            merge_seconds: 0.0,
+            bytes_shipped: 0,
+            nodes_used: 1,
+        })
+    }
+}
+
+/// Bytes of base-table columns a plan actually scans on a catalog —
+/// projection-pruned, so Q1 charges only the seven lineitem columns it
+/// touches. Strings count at their *raw* width (the modelled MonetDB keeps
+/// text memory-mapped uncompressed), which is what makes comment-heavy Q13
+/// memory-hungry on a 1 GB node.
+pub fn scan_bytes(plan: &LogicalPlan, catalog: &Catalog) -> Result<u64> {
+    let optimized = optimizer::optimize(plan.clone(), catalog)?;
+    fn walk(p: &LogicalPlan, cat: &Catalog, sum: &mut u64) -> Result<()> {
+        if let LogicalPlan::Scan { table, projection } = p {
+            let t = cat.table(table)?;
+            match projection {
+                Some(cols) => {
+                    for c in cols {
+                        *sum += t.column_by_name(c)?.resident_bytes() as u64;
+                    }
+                }
+                None => {
+                    for c in 0..t.num_columns() {
+                        *sum += t.column(c).resident_bytes() as u64;
+                    }
+                }
+            }
+        }
+        for child in p.inputs() {
+            walk(child, cat, sum)?;
+        }
+        Ok(())
+    }
+    let mut sum = 0;
+    walk(&optimized, catalog, &mut sum)?;
+    Ok(sum)
+}
+
+/// Concatenates same-schema tables (used to assemble the replicated orders
+/// table from per-chunk generation).
+fn concat_tables(parts: &[Table]) -> Result<Table> {
+    let schema = parts.first().expect("at least one part").schema().as_ref().clone();
+    let mut columns = Vec::with_capacity(schema.len());
+    for i in 0..schema.len() {
+        let cols: Vec<&Column> = parts.iter().map(|t| t.column(i).as_ref()).collect();
+        columns.push(Column::concat(&cols)?);
+    }
+    Ok(Table::new(schema, columns)?)
+}
+
+/// Concatenates same-schema relations (node partials → driver input).
+fn concat_relations(parts: &[Relation]) -> Result<Relation> {
+    let first = parts.first().expect("at least one partial");
+    let mut fields = Vec::with_capacity(first.num_columns());
+    for (idx, (name, _)) in first.fields().iter().enumerate() {
+        let cols: Vec<&Column> =
+            parts.iter().map(|r| r.fields()[idx].1.as_ref()).collect();
+        fields.push((name.clone(), Arc::new(Column::concat(&cols)?)));
+    }
+    Ok(Relation::new(fields)?)
+}
+
+/// Converts a relation into a storable table (schema inferred from columns).
+fn relation_to_table(rel: &Relation) -> Result<Table> {
+    let schema = Schema::new(
+        rel.fields()
+            .iter()
+            .map(|(n, c)| Field::new(n.clone(), c.data_type()))
+            .collect(),
+    );
+    let columns = rel.fields().iter().map(|(_, c)| c.as_ref().clone()).collect();
+    Ok(Table::new(schema, columns)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimpi_queries::query;
+
+    fn small_cluster(nodes: u32) -> WimpiCluster {
+        WimpiCluster::build(ClusterConfig::new(nodes, 0.01)).expect("build succeeds")
+    }
+
+    #[test]
+    fn build_partitions_lineitem_and_replicates_rest() {
+        let c = small_cluster(4);
+        let gen = Generator::new(0.01);
+        let (full_orders, full_lineitem) = gen.orders_lineitem().unwrap();
+        let part_rows: usize =
+            (0..4).map(|i| c.node_catalog(i).table("lineitem").unwrap().num_rows()).sum();
+        assert_eq!(part_rows, full_lineitem.num_rows());
+        for i in 0..4 {
+            let cat = c.node_catalog(i);
+            assert_eq!(cat.table("orders").unwrap().num_rows(), full_orders.num_rows());
+            assert_eq!(cat.table("customer").unwrap().num_rows(), 1500);
+        }
+        // Partition key ranges are disjoint and ordered.
+        let mut last_max = 0;
+        for i in 0..4 {
+            let keys = c.node_catalog(i).table("lineitem").unwrap();
+            let keys = keys.column_by_name("l_orderkey").unwrap();
+            let keys = keys.as_i64().unwrap();
+            let lo = *keys.iter().min().unwrap();
+            let hi = *keys.iter().max().unwrap();
+            assert!(lo > last_max, "partitions must be disjoint on orderkey");
+            last_max = hi;
+        }
+    }
+
+    #[test]
+    fn distributed_q6_matches_reference() {
+        let c = small_cluster(3);
+        let full = Generator::new(0.01).generate_catalog().unwrap();
+        let q = query(6);
+        let (reference, _) = wimpi_queries::run(&q, &full).unwrap();
+        let run = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(
+            run.result.column("revenue").unwrap().as_decimal().unwrap(),
+            reference.column("revenue").unwrap().as_decimal().unwrap(),
+        );
+        assert_eq!(run.nodes_used, 3);
+        assert!(run.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn ship_rows_strategy_matches_but_ships_more() {
+        let c = small_cluster(2);
+        let q = query(6);
+        let push = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        let ship = c.run(&q, Strategy::ShipRows).unwrap();
+        let a = push.result.column("revenue").unwrap();
+        let b = ship.result.column("revenue").unwrap();
+        assert_eq!(a.as_decimal().unwrap(), b.as_decimal().unwrap());
+        assert!(
+            ship.bytes_shipped > 100 * push.bytes_shipped,
+            "shipping rows must move orders of magnitude more data: {} vs {}",
+            ship.bytes_shipped,
+            push.bytes_shipped
+        );
+    }
+
+    #[test]
+    fn q13_runs_on_one_node() {
+        let c = small_cluster(4);
+        let run = c.run(&query(13), Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(run.nodes_used, 1);
+        assert_eq!(run.network_seconds, 0.0);
+        // Same answer as a full single-node run (customer/orders are
+        // replicated, so node 0 sees everything).
+        let full = Generator::new(0.01).generate_catalog().unwrap();
+        let (reference, _) = wimpi_queries::run(&query(13), &full).unwrap();
+        assert_eq!(run.result.num_rows(), reference.num_rows());
+    }
+
+    #[test]
+    fn dead_node_fails_lineitem_queries() {
+        let mut c = small_cluster(3);
+        c.kill_node(1);
+        assert!(matches!(
+            c.run(&query(6), Strategy::PartialAggPushdown),
+            Err(ClusterError::NodeDown(1))
+        ));
+        c.restore_node(1);
+        assert!(c.run(&query(6), Strategy::PartialAggPushdown).is_ok());
+    }
+
+    #[test]
+    fn oom_when_memory_too_small() {
+        let mut config = ClusterConfig::new(2, 0.01);
+        config.memory.mem_bytes = 16 << 10; // 16 KiB node: hash tables alone overflow
+        config.memory.os_reserve_bytes = 0;
+        let c = WimpiCluster::build(config).unwrap();
+        assert!(matches!(
+            c.run(&query(3), Strategy::ShipRows),
+            Err(ClusterError::NodeOom { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_bytes_prunes_projections() {
+        let c = small_cluster(1);
+        let cat = c.node_catalog(0);
+        let q6 = match query(6) {
+            QueryPlan::Single(p) => p,
+            _ => unreachable!(),
+        };
+        let pruned = scan_bytes(&q6, cat).unwrap();
+        let full = cat.table("lineitem").unwrap().heap_bytes() as u64;
+        assert!(pruned < full / 2, "Q6 touches a minority of lineitem: {pruned} vs {full}");
+    }
+}

@@ -1,0 +1,624 @@
+//! Experiment runners — one per table/figure of the paper (DESIGN.md §4).
+//!
+//! Every runner executes the workload for real on the host (at a
+//! configurable `measure_sf`), scales the measured work profiles to the
+//! paper's scale factor, and prices them under the ten hardware models.
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_cluster::distribute::Strategy;
+use wimpi_cluster::memory::MemoryModel;
+use wimpi_cluster::{scan_bytes, ClusterConfig, WimpiCluster};
+use wimpi_engine::{EngineError, Result, WorkProfile};
+use wimpi_hwsim::micro;
+use wimpi_hwsim::{all_profiles, predict_all_cores, predict_single_core, HwProfile};
+use wimpi_queries::{query, run as run_query, QueryPlan, CHOKEPOINT_QUERIES};
+use wimpi_storage::Catalog;
+use wimpi_strategies::{Paradigm, STRATEGY_QUERIES};
+use wimpi_tpch::Generator;
+
+/// Study-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Study {
+    /// Scale factor actually generated and executed on the host. Work
+    /// profiles are scaled linearly from here to each experiment's target
+    /// SF (1 or 10).
+    pub measure_sf: f64,
+}
+
+/// Single-node runtimes for a set of queries across all comparison points.
+#[derive(Debug, Clone)]
+pub struct SingleNodeTable {
+    /// Target scale factor the numbers represent.
+    pub target_sf: f64,
+    /// Query numbers, column order.
+    pub queries: Vec<usize>,
+    /// Comparison-point names, row order.
+    pub profiles: Vec<String>,
+    /// Predicted seconds, `[profile][query]`.
+    pub seconds: Vec<Vec<f64>>,
+}
+
+impl SingleNodeTable {
+    /// Seconds for one comparison point / query.
+    pub fn get(&self, profile: &str, q: usize) -> Option<f64> {
+        let r = self.profiles.iter().position(|p| p == profile)?;
+        let c = self.queries.iter().position(|&x| x == q)?;
+        Some(self.seconds[r][c])
+    }
+
+    /// Renders as an aligned table.
+    pub fn to_figure(&self, title: &str) -> TextFigure {
+        let mut f = TextFigure::new(title, "machine");
+        f.rows = self.profiles.clone();
+        for (c, q) in self.queries.iter().enumerate() {
+            f.push_series(Series::new(
+                format!("Q{q}"),
+                self.seconds.iter().map(|row| row[c]).collect(),
+            ));
+        }
+        f
+    }
+}
+
+/// Table III: servers plus the WIMPI cluster sweep.
+#[derive(Debug, Clone)]
+pub struct DistributedTable {
+    /// Target scale factor.
+    pub target_sf: f64,
+    /// Query numbers, column order.
+    pub queries: Vec<usize>,
+    /// Server runtimes (single node).
+    pub servers: SingleNodeTable,
+    /// Swept cluster sizes.
+    pub cluster_sizes: Vec<u32>,
+    /// WIMPI seconds, `[size][query]`.
+    pub wimpi_seconds: Vec<Vec<f64>>,
+}
+
+impl DistributedTable {
+    /// WIMPI seconds at a cluster size.
+    pub fn wimpi(&self, nodes: u32, q: usize) -> Option<f64> {
+        let r = self.cluster_sizes.iter().position(|&n| n == nodes)?;
+        let c = self.queries.iter().position(|&x| x == q)?;
+        Some(self.wimpi_seconds[r][c])
+    }
+
+    /// Renders servers + cluster rows in one table.
+    pub fn to_figure(&self, title: &str) -> TextFigure {
+        let mut f = TextFigure::new(title, "configuration");
+        f.rows = self.servers.profiles.clone();
+        f.rows.extend(self.cluster_sizes.iter().map(|n| format!("pi3b+ x{n}")));
+        for (c, q) in self.queries.iter().enumerate() {
+            let mut vals: Vec<f64> =
+                self.servers.seconds.iter().map(|row| row[c]).collect();
+            vals.extend(self.wimpi_seconds.iter().map(|row| row[c]));
+            f.push_series(Series::new(format!("Q{q}"), vals));
+        }
+        f
+    }
+}
+
+/// Figure 4 data: per (query, paradigm, machine) predicted seconds.
+#[derive(Debug, Clone)]
+pub struct StrategyTable {
+    /// Query numbers.
+    pub queries: Vec<usize>,
+    /// Machines compared (the paper uses op-e5, op-gold, pi3b+).
+    pub machines: Vec<String>,
+    /// Seconds, `[machine][paradigm][query]` with paradigms in
+    /// [`Paradigm::ALL`] order.
+    pub seconds: Vec<Vec<Vec<f64>>>,
+}
+
+impl StrategyTable {
+    /// Renders one sub-figure per machine.
+    pub fn to_figures(&self) -> Vec<TextFigure> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(m, name)| {
+                let mut f = TextFigure::new(
+                    format!("Fig 4 — execution strategies on {name} (SF 1, 1 thread, s)"),
+                    "query",
+                );
+                f.rows = self.queries.iter().map(|q| format!("Q{q}")).collect();
+                for (p, paradigm) in Paradigm::ALL.iter().enumerate() {
+                    f.push_series(Series::new(
+                        paradigm.label(),
+                        self.seconds[m][p].clone(),
+                    ));
+                }
+                f
+            })
+            .collect()
+    }
+}
+
+impl Study {
+    /// A study measuring at the given SF.
+    pub fn new(measure_sf: f64) -> Self {
+        assert!(measure_sf > 0.0);
+        Self { measure_sf }
+    }
+
+    /// Table I: the hardware specification table (static data).
+    pub fn table1() -> TextFigure {
+        let mut f = TextFigure::new("Table I — hardware specifications", "name");
+        let profiles = all_profiles();
+        f.rows = profiles.iter().map(|p| p.name.to_string()).collect();
+        f.push_series(Series::new(
+            "GHz",
+            profiles.iter().map(|p| p.freq_ghz).collect(),
+        ));
+        f.push_series(Series::new(
+            "cores",
+            profiles.iter().map(|p| p.cores as f64).collect(),
+        ));
+        f.push_series(Series::new(
+            "LLC(MB)",
+            profiles.iter().map(|p| p.llc_bytes as f64 / (1 << 20) as f64).collect(),
+        ));
+        f.push_series(Series {
+            name: "MSRP($)".into(),
+            values: profiles.iter().map(|p| p.msrp_usd).collect(),
+        });
+        f.push_series(Series {
+            name: "hourly($)".into(),
+            values: profiles.iter().map(|p| p.hourly_usd).collect(),
+        });
+        f.push_series(Series {
+            name: "TDP(W)".into(),
+            values: profiles.iter().map(|p| p.tdp_watts).collect(),
+        });
+        f
+    }
+
+    /// Figure 2: microbenchmark scores for all machines, single- and
+    /// all-core (model predictions; host kernels anchor them separately).
+    pub fn fig2() -> Vec<TextFigure> {
+        let profiles = all_profiles();
+        let rows: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+        let scores: Vec<micro::MicroScores> = profiles.iter().map(micro::scores).collect();
+        let mk = |title: &str, one: Vec<f64>, all: Vec<f64>| {
+            let mut f = TextFigure::new(title, "machine");
+            f.rows = rows.clone();
+            f.push_series(Series::new("1-core", one));
+            f.push_series(Series::new("all-cores", all));
+            f
+        };
+        vec![
+            mk(
+                "Fig 2a — Whetstone MWIPS (higher is better)",
+                scores.iter().map(|s| s.whetstone.0).collect(),
+                scores.iter().map(|s| s.whetstone.1).collect(),
+            ),
+            mk(
+                "Fig 2b — Dhrystone DMIPS (higher is better)",
+                scores.iter().map(|s| s.dhrystone.0).collect(),
+                scores.iter().map(|s| s.dhrystone.1).collect(),
+            ),
+            mk(
+                "Fig 2c — sysbench prime seconds (lower is better)",
+                scores.iter().map(|s| s.prime_s.0).collect(),
+                scores.iter().map(|s| s.prime_s.1).collect(),
+            ),
+            mk(
+                "Fig 2d — memory bandwidth GB/s (higher is better)",
+                scores.iter().map(|s| s.membw_gbs.0).collect(),
+                scores.iter().map(|s| s.membw_gbs.1).collect(),
+            ),
+        ]
+    }
+
+    /// Table II: all 22 queries at SF 1 across the ten machines.
+    pub fn table2(&self) -> Result<SingleNodeTable> {
+        let queries: Vec<usize> = (1..=22).collect();
+        self.single_node_table(&queries, 1.0)
+    }
+
+    /// The server rows of Table III (choke-point queries at SF 10). A lone
+    /// Pi cannot hold SF 10 (the reason the paper built WIMPI), so the Pi
+    /// row is dropped here, matching the paper's table.
+    pub fn table3_servers(&self) -> Result<SingleNodeTable> {
+        let mut t = self.single_node_table(&CHOKEPOINT_QUERIES, 10.0)?;
+        if let Some(pos) = t.profiles.iter().position(|p| p == "pi3b+") {
+            t.profiles.remove(pos);
+            t.seconds.remove(pos);
+        }
+        Ok(t)
+    }
+
+    fn single_node_table(&self, queries: &[usize], target_sf: f64) -> Result<SingleNodeTable> {
+        let cat = generate(self.measure_sf)?;
+        let scale = target_sf / self.measure_sf;
+        let mut work: Vec<WorkProfile> = Vec::with_capacity(queries.len());
+        let mut base: Vec<u64> = Vec::with_capacity(queries.len());
+        for &q in queries {
+            let qp = query(q);
+            let (_, prof) = run_query(&qp, &cat)?;
+            work.push(prof.scale(scale));
+            base.push((query_scan_bytes(&qp, &cat)? as f64 * scale) as u64);
+        }
+        let profiles = all_profiles();
+        let mut seconds = Vec::with_capacity(profiles.len());
+        for hw in &profiles {
+            let mut row = Vec::with_capacity(queries.len());
+            for (i, w) in work.iter().enumerate() {
+                row.push(predicted_seconds(hw, w, base[i]));
+            }
+            seconds.push(row);
+        }
+        Ok(SingleNodeTable {
+            target_sf,
+            queries: queries.to_vec(),
+            profiles: profiles.iter().map(|p| p.name.to_string()).collect(),
+            seconds,
+        })
+    }
+
+    /// Table III: servers plus the WIMPI sweep at the given cluster sizes.
+    pub fn table3(&self, cluster_sizes: &[u32]) -> Result<DistributedTable> {
+        let servers = self.table3_servers()?;
+        let scale = 10.0 / self.measure_sf;
+        let mut wimpi_seconds = Vec::with_capacity(cluster_sizes.len());
+        for &n in cluster_sizes {
+            let cluster = WimpiCluster::build(
+                ClusterConfig::new(n, self.measure_sf).with_model_scale(scale),
+            )
+            .map_err(cluster_err)?;
+            let mut row = Vec::with_capacity(CHOKEPOINT_QUERIES.len());
+            for &q in &CHOKEPOINT_QUERIES {
+                let r = cluster
+                    .run(&query(q), Strategy::PartialAggPushdown)
+                    .map_err(cluster_err)?;
+                row.push(r.total_seconds());
+            }
+            wimpi_seconds.push(row);
+        }
+        Ok(DistributedTable {
+            target_sf: 10.0,
+            queries: CHOKEPOINT_QUERIES.to_vec(),
+            servers,
+            cluster_sizes: cluster_sizes.to_vec(),
+            wimpi_seconds,
+        })
+    }
+
+    /// Figure 4: the three execution strategies, single-threaded, SF 1, on
+    /// op-e5 / op-gold / Pi 3B+.
+    pub fn fig4(&self) -> Result<StrategyTable> {
+        let cat = generate(self.measure_sf)?;
+        let scale = 1.0 / self.measure_sf;
+        let machines = ["op-e5", "op-gold", "pi3b+"];
+        let hw: Vec<HwProfile> = machines
+            .iter()
+            .map(|n| wimpi_hwsim::profile(n).expect("profile exists"))
+            .collect();
+        let mut seconds =
+            vec![vec![vec![0.0; STRATEGY_QUERIES.len()]; Paradigm::ALL.len()]; hw.len()];
+        for (qi, &q) in STRATEGY_QUERIES.iter().enumerate() {
+            for (pi, &paradigm) in Paradigm::ALL.iter().enumerate() {
+                let r = wimpi_strategies::run(q, paradigm, &cat);
+                let w = r.work.scale(scale);
+                for (m, machine) in hw.iter().enumerate() {
+                    seconds[m][pi][qi] = predict_single_core(machine, &w).total_s();
+                }
+            }
+        }
+        Ok(StrategyTable {
+            queries: STRATEGY_QUERIES.to_vec(),
+            machines: machines.iter().map(|s| s.to_string()).collect(),
+            seconds,
+        })
+    }
+}
+
+/// Predicts all-core seconds, applying the Pi's memory model (the servers'
+/// memory dwarfs any TPC-H working set here).
+fn predicted_seconds(hw: &HwProfile, work: &WorkProfile, base_bytes: u64) -> f64 {
+    let mut t = predict_all_cores(hw, work).total_s();
+    if hw.name == "pi3b+" {
+        let mem = MemoryModel::wimpi_node();
+        match mem.evaluate(base_bytes, work) {
+            Ok(penalty) => t += penalty,
+            // Out of memory on a single Pi: the run is impossible; model it
+            // as fully SD-card-fed (the paper simply could not run these).
+            Err(_) => t += work.seq_bytes() as f64 / mem.sd_read_bps,
+        }
+    }
+    t
+}
+
+fn query_scan_bytes(q: &QueryPlan, cat: &Catalog) -> Result<u64> {
+    match q {
+        QueryPlan::Single(p) => scan_bytes(p, cat).map_err(cluster_err),
+        QueryPlan::TwoPhase { first, second, .. } => {
+            let a = scan_bytes(first, cat).map_err(cluster_err)?;
+            let b = scan_bytes(&second(wimpi_storage::Value::F64(0.0)), cat)
+                .map_err(cluster_err)?;
+            Ok(a.max(b))
+        }
+    }
+}
+
+fn cluster_err(e: wimpi_cluster::ClusterError) -> EngineError {
+    match e {
+        wimpi_cluster::ClusterError::Engine(e) => e,
+        other => EngineError::Plan(other.to_string()),
+    }
+}
+
+fn generate(sf: f64) -> Result<Catalog> {
+    Generator::new(sf).generate_catalog().map_err(EngineError::Storage)
+}
+
+/// Figure 3: per-query slowdown of the Pi (SF 1) / WIMPI@24 (SF 10)
+/// relative to each comparison point.
+pub fn fig3(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
+    let mut f1 = TextFigure::new("Fig 3 (left) — SF 1 speedup over pi3b+", "machine");
+    f1.rows = sf1.profiles.iter().filter(|p| *p != "pi3b+").cloned().collect();
+    for (c, q) in sf1.queries.iter().enumerate() {
+        let pi = sf1.get("pi3b+", *q).expect("pi row present");
+        f1.push_series(Series::new(
+            format!("Q{q}"),
+            sf1.profiles
+                .iter()
+                .zip(&sf1.seconds)
+                .filter(|(p, _)| *p != "pi3b+")
+                .map(|(_, row)| pi / row[c])
+                .collect(),
+        ));
+    }
+    let biggest = *sf10.cluster_sizes.last().expect("at least one size");
+    let mut f2 = TextFigure::new(
+        format!("Fig 3 (right) — SF 10 speedup over WIMPI x{biggest}"),
+        "machine",
+    );
+    f2.rows = sf10.servers.profiles.clone();
+    for (c, q) in sf10.queries.iter().enumerate() {
+        let w = sf10.wimpi(biggest, *q).expect("largest cluster present");
+        f2.push_series(Series::new(
+            format!("Q{q}"),
+            sf10.servers.seconds.iter().map(|row| w / row[c]).collect(),
+        ));
+    }
+    vec![f1, f2]
+}
+
+/// Figure 5: MSRP-normalized improvement of the Pi (SF 1) and of WIMPI per
+/// cluster size (SF 10) over the on-premises servers.
+pub fn fig5(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
+    // The paper's SF 1 comparison prices the single Pi at its bare $35 MSRP
+    // (peripherals enter only the cluster costing, §II-B).
+    let pi_msrp = wimpi_analysis::msrp(&wimpi_hwsim::pi3b()).expect("pi msrp");
+    let mut f1 = TextFigure::new(
+        "Fig 5 (left) — SF 1 MSRP-normalized improvement of pi3b+ (>1 favours the Pi)",
+        "query",
+    );
+    f1.rows = sf1.queries.iter().map(|q| format!("Q{q}")).collect();
+    for server in ["op-e5", "op-gold"] {
+        let hw = wimpi_hwsim::profile(server).expect("profile exists");
+        let m = wimpi_analysis::msrp(&hw).expect("on-prem MSRP known");
+        f1.push_series(Series::new(
+            format!("vs {server}"),
+            sf1.queries
+                .iter()
+                .map(|&q| {
+                    wimpi_analysis::improvement(
+                        sf1.get("pi3b+", q).expect("pi present"),
+                        pi_msrp,
+                        sf1.get(server, q).expect("server present"),
+                        m,
+                    )
+                })
+                .collect(),
+        ));
+    }
+    let mut out = vec![f1];
+    for server in ["op-e5", "op-gold"] {
+        let hw = wimpi_hwsim::profile(server).expect("profile exists");
+        let m = wimpi_analysis::msrp(&hw).expect("on-prem MSRP known");
+        let mut f = TextFigure::new(
+            format!("Fig 5 (right) — SF 10 MSRP-normalized improvement of WIMPI vs {server}"),
+            "nodes",
+        );
+        f.rows = sf10.cluster_sizes.iter().map(|n| format!("x{n}")).collect();
+        for (c, q) in sf10.queries.iter().enumerate() {
+            f.push_series(Series::new(
+                format!("Q{q}"),
+                sf10.cluster_sizes
+                    .iter()
+                    .zip(&sf10.wimpi_seconds)
+                    .map(|(&n, row)| {
+                        wimpi_analysis::improvement(
+                            row[c],
+                            wimpi_analysis::wimpi_msrp(n),
+                            sf10.servers.get(server, *q).expect("server present"),
+                            m,
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+        out.push(f);
+    }
+    out
+}
+
+/// Figure 6: hourly-cost-normalized improvement over the cloud instances.
+pub fn fig6(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
+    let clouds: Vec<HwProfile> = all_profiles()
+        .into_iter()
+        .filter(|p| p.category == wimpi_hwsim::Category::Cloud)
+        .collect();
+    let mut f1 = TextFigure::new(
+        "Fig 6 (left) — SF 1 hourly-cost-normalized improvement of pi3b+",
+        "query",
+    );
+    f1.rows = sf1.queries.iter().map(|q| format!("Q{q}")).collect();
+    f1.precision = 0;
+    for cloud in &clouds {
+        let hourly = cloud.hourly_usd.expect("cloud pricing known");
+        f1.push_series(Series::new(
+            format!("vs {}", cloud.name),
+            sf1.queries
+                .iter()
+                .map(|&q| {
+                    wimpi_analysis::improvement(
+                        sf1.get("pi3b+", q).expect("pi present"),
+                        wimpi_analysis::wimpi_hourly(1),
+                        sf1.get(cloud.name, q).expect("cloud present"),
+                        hourly,
+                    )
+                })
+                .collect(),
+        ));
+    }
+    // SF 10: improvement vs the *cheapest-run* cloud instance per query.
+    let mut f2 = TextFigure::new(
+        "Fig 6 (right) — SF 10 hourly-cost improvement of WIMPI vs best cloud instance",
+        "nodes",
+    );
+    f2.rows = sf10.cluster_sizes.iter().map(|n| format!("x{n}")).collect();
+    f2.precision = 1;
+    for (c, q) in sf10.queries.iter().enumerate() {
+        let best_cloud: f64 = clouds
+            .iter()
+            .map(|cl| {
+                sf10.servers.get(cl.name, *q).expect("cloud present")
+                    * cl.hourly_usd.expect("cloud pricing known")
+            })
+            .fold(f64::INFINITY, f64::min);
+        f2.push_series(Series::new(
+            format!("Q{q}"),
+            sf10.cluster_sizes
+                .iter()
+                .zip(&sf10.wimpi_seconds)
+                .map(|(&n, row)| best_cloud / (row[c] * wimpi_analysis::wimpi_hourly(n)))
+                .collect(),
+        ));
+    }
+    vec![f1, f2]
+}
+
+/// Figure 7: TDP-energy-normalized improvement over the on-premises servers.
+pub fn fig7(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
+    let mut f1 = TextFigure::new(
+        "Fig 7 (left) — SF 1 energy-normalized improvement of pi3b+",
+        "query",
+    );
+    f1.rows = sf1.queries.iter().map(|q| format!("Q{q}")).collect();
+    for server in ["op-e5", "op-gold"] {
+        let hw = wimpi_hwsim::profile(server).expect("profile exists");
+        let w = hw.tdp_watts.expect("on-prem TDP known");
+        f1.push_series(Series::new(
+            format!("vs {server}"),
+            sf1.queries
+                .iter()
+                .map(|&q| {
+                    wimpi_analysis::improvement(
+                        sf1.get("pi3b+", q).expect("pi present"),
+                        wimpi_analysis::wimpi_power_w(1),
+                        sf1.get(server, q).expect("server present"),
+                        w,
+                    )
+                })
+                .collect(),
+        ));
+    }
+    let mut f2 = TextFigure::new(
+        "Fig 7 (right) — SF 10 energy-normalized improvement of WIMPI vs op-e5",
+        "nodes",
+    );
+    f2.rows = sf10.cluster_sizes.iter().map(|n| format!("x{n}")).collect();
+    let e5 = wimpi_hwsim::profile("op-e5").expect("profile exists");
+    let e5_w = e5.tdp_watts.expect("TDP known") * e5.sockets as f64;
+    for (c, q) in sf10.queries.iter().enumerate() {
+        f2.push_series(Series::new(
+            format!("Q{q}"),
+            sf10.cluster_sizes
+                .iter()
+                .zip(&sf10.wimpi_seconds)
+                .map(|(&n, row)| {
+                    wimpi_analysis::improvement(
+                        row[c],
+                        wimpi_analysis::wimpi_power_w(n),
+                        sf10.servers.get("op-e5", *q).expect("server present"),
+                        e5_w,
+                    )
+                })
+                .collect(),
+        ));
+    }
+    vec![f1, f2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_machines() {
+        let f = Study::table1();
+        assert_eq!(f.rows.len(), 10);
+        let text = f.render();
+        assert!(text.contains("pi3b+"));
+        assert!(text.contains("op-gold"));
+    }
+
+    #[test]
+    fn fig2_produces_four_panels() {
+        let figs = Study::fig2();
+        assert_eq!(figs.len(), 4);
+        for f in &figs {
+            assert_eq!(f.rows.len(), 10);
+            assert_eq!(f.series.len(), 2);
+        }
+    }
+
+    #[test]
+    fn table2_small_sf_has_expected_shape() {
+        let t = Study::new(0.01).table2().unwrap();
+        assert_eq!(t.queries.len(), 22);
+        assert_eq!(t.profiles.len(), 10);
+        // The Pi is the slowest machine on Q1 (memory-bound).
+        let pi = t.get("pi3b+", 1).unwrap();
+        for p in &t.profiles {
+            if p != "pi3b+" {
+                assert!(t.get(p, 1).unwrap() < pi, "{p} must beat the Pi on Q1");
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_fig5_fig6_fig7_render() {
+        let study = Study::new(0.01);
+        let sf1 = study.table2().unwrap();
+        let sf10 = study.table3(&[2, 4]).unwrap();
+        assert_eq!(fig3(&sf1, &sf10).len(), 2);
+        assert_eq!(fig5(&sf1, &sf10).len(), 3);
+        assert_eq!(fig6(&sf1, &sf10).len(), 2);
+        assert_eq!(fig7(&sf1, &sf10).len(), 2);
+        for f in fig5(&sf1, &sf10) {
+            assert!(!f.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn fig4_orders_paradigms_correctly() {
+        let t = Study::new(0.01).fig4().unwrap();
+        assert_eq!(t.machines.len(), 3);
+        let figs = t.to_figures();
+        assert_eq!(figs.len(), 3);
+        // Access-aware beats data-centric on the fast server for the pure
+        // scan query Q6 (paper §II-D3 / the Swole result).
+        let qi = t.queries.iter().position(|&q| q == 6).unwrap();
+        let ope5 = &t.seconds[0];
+        assert!(
+            ope5[2][qi] < ope5[0][qi],
+            "access-aware {} must beat data-centric {} on op-e5",
+            ope5[2][qi],
+            ope5[0][qi]
+        );
+    }
+}

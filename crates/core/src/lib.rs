@@ -1,0 +1,16 @@
+//! # wimpi-core
+//!
+//! The reproduced study itself: one experiment runner per table/figure of
+//! the paper ([`experiments`]), the paper's published numbers for
+//! side-by-side comparison ([`reference`]), and report generation
+//! ([`report`]). The `wimpi-bench` binaries are thin wrappers over this
+//! crate.
+
+pub mod experiments;
+// Named `reference` like the primitive; rustdoc disambiguates via the module path.
+#[doc(alias = "paper-data")]
+pub mod reference;
+pub mod report;
+
+pub use experiments::{fig3, fig5, fig6, fig7, DistributedTable, SingleNodeTable, Study};
+pub use report::{compare_table2, compare_table3, median, Comparison};

@@ -1,0 +1,161 @@
+//! Paper-vs-model comparison summaries for EXPERIMENTS.md.
+
+use crate::experiments::{DistributedTable, SingleNodeTable};
+use crate::reference;
+use wimpi_hwsim::model::geomean_ratio;
+
+/// A paper-vs-model summary for one table.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What is being compared.
+    pub title: String,
+    /// Geometric-mean model/paper runtime ratio per comparison point.
+    pub per_profile: Vec<(String, f64)>,
+    /// Fraction of (query, machine-pair) orderings where the model agrees
+    /// with the paper about who is faster.
+    pub ordering_agreement: f64,
+}
+
+impl Comparison {
+    /// Renders as markdown rows.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| machine | geomean model/paper |\n|---|---|\n");
+        for (name, ratio) in &self.per_profile {
+            out.push_str(&format!("| {name} | {ratio:.2}× |\n"));
+        }
+        out.push_str(&format!(
+            "\nPairwise who-is-faster agreement with the paper: **{:.0}%**\n",
+            self.ordering_agreement * 100.0
+        ));
+        out
+    }
+}
+
+/// Compares a modelled Table II against the paper's.
+pub fn compare_table2(model: &SingleNodeTable) -> Comparison {
+    let mut per_profile = Vec::new();
+    for name in reference::TABLE2_ROWS {
+        let paper: Vec<f64> =
+            (1..=22).map(|q| reference::table2(name, q).expect("transcribed")).collect();
+        let ours: Vec<f64> =
+            (1..=22).map(|q| model.get(name, q).expect("modelled")).collect();
+        per_profile.push((name.to_string(), geomean_ratio(&ours, &paper)));
+    }
+    Comparison {
+        title: "Table II (TPC-H SF 1)".to_string(),
+        ordering_agreement: ordering_agreement_sf1(model),
+        per_profile,
+    }
+}
+
+fn ordering_agreement_sf1(model: &SingleNodeTable) -> f64 {
+    let names = reference::TABLE2_ROWS;
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    for q in 1..=22 {
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                let p = reference::table2(names[i], q).expect("transcribed")
+                    < reference::table2(names[j], q).expect("transcribed");
+                let m = model.get(names[i], q).expect("modelled")
+                    < model.get(names[j], q).expect("modelled");
+                total += 1;
+                agree += usize::from(p == m);
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Compares a modelled Table III (servers + WIMPI) against the paper's.
+/// Only cluster sizes the paper also ran are compared.
+pub fn compare_table3(model: &DistributedTable) -> Comparison {
+    let mut per_profile = Vec::new();
+    for name in reference::TABLE3_SERVER_ROWS {
+        let paper: Vec<f64> = reference::TABLE3_QUERIES
+            .iter()
+            .map(|&q| reference::table3_server(name, q).expect("transcribed"))
+            .collect();
+        let ours: Vec<f64> = reference::TABLE3_QUERIES
+            .iter()
+            .map(|&q| model.servers.get(name, q).expect("modelled"))
+            .collect();
+        per_profile.push((name.to_string(), geomean_ratio(&ours, &paper)));
+    }
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    for &n in &model.cluster_sizes {
+        if !reference::TABLE3_CLUSTER_SIZES.contains(&n) {
+            continue;
+        }
+        let paper: Vec<f64> = reference::TABLE3_QUERIES
+            .iter()
+            .map(|&q| reference::table3_wimpi(n, q).expect("transcribed"))
+            .collect();
+        let ours: Vec<f64> = reference::TABLE3_QUERIES
+            .iter()
+            .map(|&q| model.wimpi(n, q).expect("modelled"))
+            .collect();
+        per_profile.push((format!("pi3b+ x{n}"), geomean_ratio(&ours, &paper)));
+        // Agreement: does WIMPI beat op-e5 in the model exactly when it
+        // does in the paper?
+        for (i, &q) in reference::TABLE3_QUERIES.iter().enumerate() {
+            let p = paper[i] < reference::table3_server("op-e5", q).expect("transcribed");
+            let m = ours[i] < model.servers.get("op-e5", q).expect("modelled");
+            total += 1;
+            agree += usize::from(p == m);
+        }
+    }
+    Comparison {
+        title: "Table III (TPC-H SF 10, distributed)".to_string(),
+        ordering_agreement: if total == 0 { 1.0 } else { agree as f64 / total as f64 },
+        per_profile,
+    }
+}
+
+/// Median of a slice (used for the paper's "median improvement" claims).
+pub fn median(values: &[f64]) -> f64 {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    let mid = v.len() / 2;
+    if v.len().is_multiple_of(2) {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn perfect_model_compares_at_one() {
+        // Feed the paper's own numbers through the comparison: every ratio
+        // must be exactly 1 and agreement 100%.
+        let model = SingleNodeTable {
+            target_sf: 1.0,
+            queries: (1..=22).collect(),
+            profiles: reference::TABLE2_ROWS.iter().map(|s| s.to_string()).collect(),
+            seconds: reference::TABLE2_SECONDS.iter().map(|r| r.to_vec()).collect(),
+        };
+        let c = compare_table2(&model);
+        for (name, ratio) in &c.per_profile {
+            assert!((ratio - 1.0).abs() < 1e-12, "{name} ratio {ratio}");
+        }
+        assert_eq!(c.ordering_agreement, 1.0);
+        let md = c.to_markdown();
+        assert!(md.contains("100%"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Engine error type.
+
+use std::fmt;
+use wimpi_storage::StorageError;
+
+/// Errors produced while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An underlying storage failure (missing column/table, type mismatch…).
+    Storage(StorageError),
+    /// The plan is malformed (e.g. sort key not in input schema).
+    Plan(String),
+    /// A feature the engine deliberately does not implement.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Plan(s) => write!(f, "plan error: {s}"),
+            EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_storage_errors() {
+        let e: EngineError = StorageError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("column not found: x"));
+    }
+
+    #[test]
+    fn plan_error_display() {
+        let e = EngineError::Plan("sort key missing".into());
+        assert_eq!(e.to_string(), "plan error: sort key missing");
+    }
+}

@@ -1,0 +1,374 @@
+//! Hash group-by aggregation.
+//!
+//! Group keys are arbitrary expressions; states are accumulated column-at-a-
+//! time (each aggregate input is evaluated once as a full column, then
+//! scattered into per-group states by group id). `avg` over an empty group
+//! yields `0.0` — SQL would say NULL, but no reproduced query aggregates an
+//! empty group (DESIGN.md §7).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+use super::key_values;
+use crate::error::{EngineError, Result};
+use crate::eval::Evaluator;
+use crate::plan::{AggExpr, AggFunc};
+use crate::relation::Relation;
+use crate::stats::WorkProfile;
+use wimpi_storage::{Column, DataType, DictBuilder, StorageError, Value};
+
+/// Executes a hash aggregation; empty `group_by` means one global group.
+pub fn exec_aggregate(
+    rel: &Relation,
+    group_by: &[(crate::expr::Expr, String)],
+    aggs: &[AggExpr],
+    prof: &mut WorkProfile,
+) -> Result<Relation> {
+    let n = rel.num_rows();
+    // 1. Evaluate group keys.
+    let mut key_cols: Vec<(String, Arc<Column>)> = Vec::with_capacity(group_by.len());
+    for (e, name) in group_by {
+        let c = Evaluator::new(rel, prof).eval(e)?;
+        key_cols.push((name.clone(), c));
+    }
+    let encoded: Vec<Vec<i64>> =
+        key_cols.iter().map(|(_, c)| key_values(c)).collect::<Result<_>>()?;
+
+    // 2. Assign group ids.
+    let (gids, first_rows) = match encoded.len() {
+        0 => (vec![0u32; n], if n > 0 { vec![0u32] } else { vec![] }),
+        1 => assign_groups(n, |i| encoded[0][i]),
+        2 => assign_groups(n, |i| (encoded[0][i], encoded[1][i])),
+        _ => assign_groups(n, |i| encoded.iter().map(|k| k[i]).collect::<Vec<_>>()),
+    };
+    let ngroups = if group_by.is_empty() { 1 } else { first_rows.len() };
+
+    prof.cpu_ops += n as u64 * (1 + aggs.len() as u64);
+    prof.rand_accesses += n as u64;
+    prof.hash_bytes += ngroups as u64 * 32 * (group_by.len() + aggs.len()).max(1) as u64;
+
+    // 3. Accumulate each aggregate.
+    let mut out_fields: Vec<(String, Arc<Column>)> = key_cols
+        .iter()
+        .map(|(name, c)| (name.clone(), Arc::new(c.take(&first_rows))))
+        .collect();
+    for agg in aggs {
+        let col = accumulate(rel, agg, &gids, ngroups, prof)?;
+        out_fields.push((agg.name.clone(), Arc::new(col)));
+    }
+    prof.seq_write_bytes += out_fields.iter().map(|(_, c)| c.stream_bytes() as u64).sum::<u64>();
+    Relation::new(out_fields)
+}
+
+fn assign_groups<K: Hash + Eq>(n: usize, key: impl Fn(usize) -> K) -> (Vec<u32>, Vec<u32>) {
+    let mut map: HashMap<K, u32> = HashMap::new();
+    let mut gids = Vec::with_capacity(n);
+    let mut first_rows = Vec::new();
+    for i in 0..n {
+        let gid = *map.entry(key(i)).or_insert_with(|| {
+            first_rows.push(i as u32);
+            (first_rows.len() - 1) as u32
+        });
+        gids.push(gid);
+    }
+    (gids, first_rows)
+}
+
+fn accumulate(
+    rel: &Relation,
+    agg: &AggExpr,
+    gids: &[u32],
+    ngroups: usize,
+    prof: &mut WorkProfile,
+) -> Result<Column> {
+    let input = match (&agg.expr, agg.func) {
+        (None, AggFunc::CountStar) => None,
+        (None, f) => {
+            return Err(EngineError::Plan(format!("{f:?} requires an input expression")))
+        }
+        (Some(e), _) => Some(Evaluator::new(rel, prof).eval(e)?),
+    };
+    match agg.func {
+        AggFunc::CountStar => {
+            let mut counts = vec![0i64; ngroups];
+            for &g in gids {
+                counts[g as usize] += 1;
+            }
+            Ok(Column::Int64(counts))
+        }
+        AggFunc::CountIf => {
+            let col = input.expect("checked above");
+            let mask = col.as_bool()?;
+            let mut counts = vec![0i64; ngroups];
+            for (i, &g) in gids.iter().enumerate() {
+                counts[g as usize] += i64::from(mask[i]);
+            }
+            Ok(Column::Int64(counts))
+        }
+        AggFunc::CountDistinct => {
+            let col = input.expect("checked above");
+            let enc = key_values(&col)?;
+            let mut sets: Vec<HashSet<i64>> = vec![HashSet::new(); ngroups];
+            for (i, &g) in gids.iter().enumerate() {
+                sets[g as usize].insert(enc[i]);
+            }
+            prof.rand_accesses += gids.len() as u64;
+            Ok(Column::Int64(sets.into_iter().map(|s| s.len() as i64).collect()))
+        }
+        AggFunc::Sum => {
+            let col = input.expect("checked above");
+            match &*col {
+                Column::Decimal(v, s) => {
+                    let mut acc = vec![0i128; ngroups];
+                    for (i, &g) in gids.iter().enumerate() {
+                        acc[g as usize] += v[i] as i128;
+                    }
+                    let out: Vec<i64> = acc
+                        .into_iter()
+                        .map(|x| i64::try_from(x).map_err(|_| StorageError::DecimalOverflow))
+                        .collect::<std::result::Result<_, _>>()?;
+                    Ok(Column::Decimal(out, *s))
+                }
+                Column::Int64(v) => {
+                    let mut acc = vec![0i64; ngroups];
+                    for (i, &g) in gids.iter().enumerate() {
+                        acc[g as usize] += v[i];
+                    }
+                    Ok(Column::Int64(acc))
+                }
+                Column::Int32(v) => {
+                    let mut acc = vec![0i64; ngroups];
+                    for (i, &g) in gids.iter().enumerate() {
+                        acc[g as usize] += v[i] as i64;
+                    }
+                    Ok(Column::Int64(acc))
+                }
+                Column::Float64(v) => {
+                    let mut acc = vec![0f64; ngroups];
+                    for (i, &g) in gids.iter().enumerate() {
+                        acc[g as usize] += v[i];
+                    }
+                    Ok(Column::Float64(acc))
+                }
+                other => Err(EngineError::Plan(format!(
+                    "sum over non-numeric column of type {}",
+                    other.data_type()
+                ))),
+            }
+        }
+        AggFunc::Avg => {
+            let col = input.expect("checked above");
+            let vals = as_f64_vec(&col)?;
+            let mut sum = vec![0f64; ngroups];
+            let mut cnt = vec![0i64; ngroups];
+            for (i, &g) in gids.iter().enumerate() {
+                sum[g as usize] += vals[i];
+                cnt[g as usize] += 1;
+            }
+            Ok(Column::Float64(
+                sum.iter()
+                    .zip(&cnt)
+                    .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect(),
+            ))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let col = input.expect("checked above");
+            let want_min = agg.func == AggFunc::Min;
+            let mut best: Vec<Option<Value>> = vec![None; ngroups];
+            for (i, &g) in gids.iter().enumerate() {
+                let v = col.value(i);
+                let slot = &mut best[g as usize];
+                let replace = match slot {
+                    None => true,
+                    Some(cur) => {
+                        let ord = v.total_cmp(cur);
+                        if want_min {
+                            ord.is_lt()
+                        } else {
+                            ord.is_gt()
+                        }
+                    }
+                };
+                if replace {
+                    *slot = Some(v);
+                }
+            }
+            column_from_values(col.data_type(), best)
+        }
+    }
+}
+
+fn as_f64_vec(col: &Column) -> Result<Vec<f64>> {
+    Ok(match col {
+        Column::Float64(v) => v.clone(),
+        Column::Int64(v) => v.iter().map(|&x| x as f64).collect(),
+        Column::Int32(v) => v.iter().map(|&x| x as f64).collect(),
+        Column::Decimal(v, s) => {
+            let div = 10f64.powi(*s as i32);
+            v.iter().map(|&x| x as f64 / div).collect()
+        }
+        other => {
+            return Err(EngineError::Plan(format!(
+                "avg over non-numeric column of type {}",
+                other.data_type()
+            )))
+        }
+    })
+}
+
+/// Builds a typed column from per-group optional values (None → type default,
+/// only reachable for empty global groups).
+fn column_from_values(dtype: DataType, vals: Vec<Option<Value>>) -> Result<Column> {
+    match dtype {
+        DataType::Int64 => Ok(Column::Int64(
+            vals.into_iter().map(|v| v.and_then(|v| v.as_i64()).unwrap_or(0)).collect(),
+        )),
+        DataType::Int32 => Ok(Column::Int32(
+            vals.into_iter()
+                .map(|v| v.and_then(|v| v.as_i64()).unwrap_or(0) as i32)
+                .collect(),
+        )),
+        DataType::Float64 => Ok(Column::Float64(
+            vals.into_iter().map(|v| v.and_then(|v| v.as_f64()).unwrap_or(0.0)).collect(),
+        )),
+        DataType::Decimal(s) => Ok(Column::Decimal(
+            vals.into_iter()
+                .map(|v| match v {
+                    Some(Value::Dec(d)) => d.mantissa(),
+                    _ => 0,
+                })
+                .collect(),
+            s,
+        )),
+        DataType::Date => Ok(Column::Date(
+            vals.into_iter()
+                .map(|v| match v {
+                    Some(Value::Date(d)) => d.0,
+                    _ => 0,
+                })
+                .collect(),
+        )),
+        DataType::Utf8 => {
+            let mut b = DictBuilder::with_capacity(vals.len());
+            for v in vals {
+                match v {
+                    Some(Value::Str(s)) => b.push(&s),
+                    _ => b.push(""),
+                }
+            }
+            Ok(Column::Str(b.finish()))
+        }
+        DataType::Bool => Ok(Column::Bool(
+            vals.into_iter().map(|v| matches!(v, Some(Value::Bool(true)))).collect(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+
+    fn rel() -> Relation {
+        Relation::new(vec![
+            (
+                "flag".into(),
+                Arc::new(Column::Str(["A", "B", "A", "A"].into_iter().collect())),
+            ),
+            ("qty".into(), Arc::new(Column::Decimal(vec![100, 200, 300, 400], 2))),
+            ("f".into(), Arc::new(Column::Float64(vec![1.0, 2.0, 3.0, 4.0]))),
+            ("b".into(), Arc::new(Column::Bool(vec![true, false, false, true]))),
+        ])
+        .unwrap()
+    }
+
+    fn agg(group: Vec<(crate::expr::Expr, &str)>, aggs: Vec<AggExpr>) -> Relation {
+        let group: Vec<(crate::expr::Expr, String)> =
+            group.into_iter().map(|(e, n)| (e, n.to_string())).collect();
+        let mut p = WorkProfile::new();
+        exec_aggregate(&rel(), &group, &aggs, &mut p).unwrap()
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let out = agg(
+            vec![(col("flag"), "flag")],
+            vec![AggExpr::sum(col("qty"), "s"), AggExpr::count_star("n")],
+        );
+        assert_eq!(out.num_rows(), 2);
+        // group order = first appearance: A then B
+        assert_eq!(out.value(0, "flag").unwrap(), Value::Str("A".into()));
+        let (m, s) = out.column("s").unwrap().as_decimal().unwrap();
+        assert_eq!((m[0], s), (800, 2)); // 1+3+4 = 8.00
+        assert_eq!(m[1], 200);
+        assert_eq!(out.column("n").unwrap().as_i64().unwrap(), &[3, 1]);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let out = agg(
+            vec![],
+            vec![
+                AggExpr::avg(col("qty"), "a"),
+                AggExpr::min(col("qty"), "lo"),
+                AggExpr::max(col("qty"), "hi"),
+            ],
+        );
+        assert_eq!(out.num_rows(), 1);
+        assert!((out.column("a").unwrap().as_f64().unwrap()[0] - 2.5).abs() < 1e-9);
+        assert_eq!(out.column("lo").unwrap().as_decimal().unwrap().0, &[100]);
+        assert_eq!(out.column("hi").unwrap().as_decimal().unwrap().0, &[400]);
+    }
+
+    #[test]
+    fn count_if_counts_true() {
+        let out = agg(vec![(col("flag"), "g")], vec![AggExpr::count_if(col("b"), "n")]);
+        assert_eq!(out.column("n").unwrap().as_i64().unwrap(), &[2, 0]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let out = agg(vec![], vec![AggExpr::count_distinct(col("flag"), "d")]);
+        assert_eq!(out.column("d").unwrap().as_i64().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let out = agg(
+            vec![],
+            vec![AggExpr::min(col("flag"), "lo"), AggExpr::max(col("flag"), "hi")],
+        );
+        assert_eq!(out.value(0, "lo").unwrap(), Value::Str("A".into()));
+        assert_eq!(out.value(0, "hi").unwrap(), Value::Str("B".into()));
+    }
+
+    #[test]
+    fn empty_input_global_group() {
+        let empty = Relation::new(vec![(
+            "x".into(),
+            Arc::new(Column::Int64(vec![])),
+        )])
+        .unwrap();
+        let mut p = WorkProfile::new();
+        let out = exec_aggregate(
+            &empty,
+            &[],
+            &[AggExpr::count_star("n"), AggExpr::sum(col("x"), "s")],
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column("n").unwrap().as_i64().unwrap(), &[0]);
+        assert_eq!(out.column("s").unwrap().as_i64().unwrap(), &[0]);
+    }
+
+    #[test]
+    fn sum_float() {
+        let out = agg(vec![(col("flag"), "g")], vec![AggExpr::sum(col("f"), "s")]);
+        let f = out.column("s").unwrap().as_f64().unwrap();
+        assert!((f[0] - 8.0).abs() < 1e-9);
+        assert!((f[1] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Filter: MonetDB-style candidate-propagating selection.
+//!
+//! A conjunctive predicate is evaluated conjunct by conjunct: the first
+//! conjunct scans its full columns, every later conjunct is evaluated only
+//! over the surviving candidates (gathering just the columns it touches).
+//! For selective scans like Q6 this reads a fraction of the bytes a naive
+//! evaluate-everything-fully filter would — exactly the candidate-list
+//! optimization MonetDB applies, and the reason Q6 is cheap even on a
+//! bandwidth-starved Pi (paper §II-D1).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::eval::Evaluator;
+use crate::expr::Expr;
+use crate::optimizer::split_conjuncts;
+use crate::relation::Relation;
+use crate::stats::WorkProfile;
+use wimpi_storage::selection;
+
+/// Evaluates `predicate` with candidate propagation, then gathers the
+/// surviving rows of every column.
+pub fn exec_filter(rel: &Relation, predicate: &Expr, prof: &mut WorkProfile) -> Result<Relation> {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate.clone(), &mut conjuncts);
+    let mut sel: Option<Vec<u32>> = None;
+    for conjunct in conjuncts {
+        match sel.take() {
+            None => {
+                let mask = Evaluator::new(rel, prof).eval_mask(&conjunct)?;
+                sel = Some(selection::from_mask(&mask));
+            }
+            Some(candidates) => {
+                if candidates.is_empty() {
+                    sel = Some(candidates);
+                    break;
+                }
+                // Gather only the columns this conjunct touches, only for
+                // the surviving candidates.
+                let needed: BTreeSet<String> = conjunct.column_set();
+                let fields = rel
+                    .fields()
+                    .iter()
+                    .filter(|(n, _)| needed.contains(n))
+                    .map(|(n, c)| (n.clone(), Arc::new(c.take(&candidates))))
+                    .collect::<Vec<_>>();
+                let sub = Relation::new(fields)?;
+                prof.seq_read_bytes += sub.stream_bytes() as u64;
+                prof.seq_write_bytes += sub.stream_bytes() as u64;
+                prof.cpu_ops += candidates.len() as u64;
+                let mask = Evaluator::new(&sub, prof).eval_mask(&conjunct)?;
+                sel = Some(
+                    candidates
+                        .iter()
+                        .zip(&mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(&i, _)| i)
+                        .collect(),
+                );
+            }
+        }
+    }
+    let sel = sel.unwrap_or_default();
+    let out = rel.take(&sel);
+    charge_gather(rel, &out, sel.len(), prof);
+    Ok(out)
+}
+
+/// Charges a gather/materialization. Selection vectors are sorted, so the
+/// gather walks every column *forward* — it is priced as streaming (reads
+/// of the touched fraction plus the written output), not as random access;
+/// random pricing is reserved for hash probes.
+pub(crate) fn charge_gather(
+    input: &Relation,
+    output: &Relation,
+    nsel: usize,
+    prof: &mut WorkProfile,
+) {
+    prof.seq_read_bytes += output.stream_bytes() as u64;
+    prof.seq_write_bytes += output.stream_bytes() as u64;
+    prof.cpu_ops += (nsel * input.num_columns().max(1)) as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use std::sync::Arc;
+    use wimpi_storage::Column;
+
+    fn rel() -> Relation {
+        Relation::new(vec![
+            ("k".into(), Arc::new(Column::Int64(vec![1, 2, 3, 4]))),
+            ("v".into(), Arc::new(Column::Int64(vec![10, 20, 30, 40]))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn keeps_matching_rows() {
+        let mut p = WorkProfile::new();
+        let out = exec_filter(&rel(), &col("k").gt(lit(2i64)), &mut p).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column("v").unwrap().as_i64().unwrap(), &[30, 40]);
+    }
+
+    #[test]
+    fn conjunction_propagates_candidates() {
+        let mut p = WorkProfile::new();
+        let pred = col("k").gt(lit(1i64)).and(col("v").lt(lit(40i64)));
+        let out = exec_filter(&rel(), &pred, &mut p).unwrap();
+        assert_eq!(out.column("k").unwrap().as_i64().unwrap(), &[2, 3]);
+        // Compare work against a wider relation: the second conjunct only
+        // touched rows surviving the first.
+        assert!(p.cpu_ops < 4 * 10, "candidate propagation keeps work small");
+    }
+
+    #[test]
+    fn selective_first_conjunct_reduces_bytes() {
+        // A 1%-selective first conjunct should make the whole filter much
+        // cheaper than a 100%-selective one.
+        let n = 10_000i64;
+        let rel = Relation::new(vec![
+            ("a".into(), Arc::new(Column::Int64((0..n).collect()))),
+            ("b".into(), Arc::new(Column::Int64((0..n).rev().collect()))),
+        ])
+        .unwrap();
+        let mut cheap = WorkProfile::new();
+        exec_filter(
+            &rel,
+            &col("a").lt(lit(100i64)).and(col("b").gt(lit(0i64))),
+            &mut cheap,
+        )
+        .unwrap();
+        let mut dear = WorkProfile::new();
+        exec_filter(
+            &rel,
+            &col("a").lt(lit(n)).and(col("b").gt(lit(0i64))),
+            &mut dear,
+        )
+        .unwrap();
+        assert!(
+            cheap.seq_bytes() < dear.seq_bytes() / 2,
+            "selective scans must stream fewer bytes: {} vs {}",
+            cheap.seq_bytes(),
+            dear.seq_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_result_short_circuits() {
+        let mut p = WorkProfile::new();
+        let pred = col("k").gt(lit(100i64)).and(col("v").lt(lit(0i64)));
+        let out = exec_filter(&rel(), &pred, &mut p).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn disjunctions_still_work() {
+        let mut p = WorkProfile::new();
+        let pred = col("k").eq(lit(1i64)).or(col("k").eq(lit(4i64)));
+        let out = exec_filter(&rel(), &pred, &mut p).unwrap();
+        assert_eq!(out.column("k").unwrap().as_i64().unwrap(), &[1, 4]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Hash equi-joins: inner, semi, anti, and left outer.
+//!
+//! The right input is the build side (query authors put the smaller relation
+//! there, as the TPC-H plans in `wimpi-queries` do). Duplicate build keys are
+//! handled with the classic head+next chain layout, avoiding per-key
+//! allocations.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use super::key_values;
+use crate::error::{EngineError, Result};
+use crate::plan::JoinType;
+use crate::relation::Relation;
+use crate::stats::WorkProfile;
+use wimpi_storage::{Column, DictBuilder, DataType};
+
+/// Synthetic column marking matched rows in a left outer join.
+pub const MATCHED_COL: &str = "__matched";
+
+const NONE_ROW: u32 = u32::MAX;
+
+/// Executes a hash join.
+pub fn exec_join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(String, String)],
+    join_type: JoinType,
+    prof: &mut WorkProfile,
+) -> Result<Relation> {
+    if on.is_empty() {
+        return Err(EngineError::Plan("join requires at least one key".to_string()));
+    }
+    for (l, r) in on {
+        let lt = left.data_type(l)?;
+        let rt = right.data_type(r)?;
+        let joinable = |t: DataType| {
+            matches!(t, DataType::Int64 | DataType::Int32 | DataType::Date)
+        };
+        if !joinable(lt) || !joinable(rt) {
+            return Err(EngineError::Unsupported(format!(
+                "join keys must be integer/date columns, got {l}: {lt} = {r}: {rt}"
+            )));
+        }
+    }
+    let lkeys: Vec<Vec<i64>> =
+        on.iter().map(|(l, _)| key_values(left.column(l)?)).collect::<Result<_>>()?;
+    let rkeys: Vec<Vec<i64>> =
+        on.iter().map(|(_, r)| key_values(right.column(r)?)).collect::<Result<_>>()?;
+
+    let (lsel, rsel) = match on.len() {
+        1 => probe(left.num_rows(), right.num_rows(), |i| lkeys[0][i], |i| rkeys[0][i], join_type),
+        2 => probe(
+            left.num_rows(),
+            right.num_rows(),
+            |i| (lkeys[0][i], lkeys[1][i]),
+            |i| (rkeys[0][i], rkeys[1][i]),
+            join_type,
+        ),
+        _ => probe(
+            left.num_rows(),
+            right.num_rows(),
+            |i| lkeys.iter().map(|k| k[i]).collect::<Vec<_>>(),
+            |i| rkeys.iter().map(|k| k[i]).collect::<Vec<_>>(),
+            join_type,
+        ),
+    };
+
+    // Work: build inserts + probe lookups are random accesses; the build
+    // table footprint informs the LLC model.
+    prof.rand_accesses += (left.num_rows() + right.num_rows()) as u64;
+    prof.cpu_ops += 2 * (left.num_rows() + right.num_rows()) as u64;
+    prof.hash_bytes += right.num_rows() as u64 * 16 * on.len() as u64;
+    prof.seq_read_bytes += ((left.num_rows() + right.num_rows()) * 8 * on.len()) as u64;
+
+    let out = match join_type {
+        JoinType::Inner => {
+            let mut fields = left.take(&lsel).fields().to_vec();
+            let rtaken = right.take(&rsel);
+            fields.extend(rtaken.fields().iter().cloned());
+            Relation::new(fields)?
+        }
+        JoinType::Semi | JoinType::Anti => left.take(&lsel),
+        JoinType::LeftOuter => {
+            let mut fields = left.take(&lsel).fields().to_vec();
+            for (name, c) in right.fields() {
+                fields.push((name.clone(), Arc::new(take_optional(c, &rsel))));
+            }
+            fields.push((
+                MATCHED_COL.to_string(),
+                Arc::new(Column::Bool(rsel.iter().map(|&r| r != NONE_ROW).collect())),
+            ));
+            Relation::new(fields)?
+        }
+    };
+    super::filter::charge_gather(left, &out, lsel.len(), prof);
+    Ok(out)
+}
+
+/// Builds on the right, probes with the left. Returns selected row ids per
+/// side; for semi/anti the right vector is empty; for left outer, unmatched
+/// right slots hold `NONE_ROW`.
+fn probe<K: Hash + Eq>(
+    nleft: usize,
+    nright: usize,
+    lkey: impl Fn(usize) -> K,
+    rkey: impl Fn(usize) -> K,
+    join_type: JoinType,
+) -> (Vec<u32>, Vec<u32>) {
+    // head: key -> most recent build row; next: chain through earlier rows.
+    let mut head: HashMap<K, u32> = HashMap::with_capacity(nright * 2);
+    let mut next: Vec<u32> = vec![NONE_ROW; nright];
+    #[allow(clippy::needless_range_loop)] // `i` is the row id being chained
+    for i in 0..nright {
+        match head.entry(rkey(i)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                next[i] = *e.get();
+                *e.get_mut() = i as u32;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i as u32);
+            }
+        }
+    }
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
+    for i in 0..nleft {
+        let hit = head.get(&lkey(i)).copied();
+        match join_type {
+            JoinType::Inner => {
+                let mut cur = hit;
+                while let Some(r) = cur {
+                    lsel.push(i as u32);
+                    rsel.push(r);
+                    cur = (next[r as usize] != NONE_ROW).then(|| next[r as usize]);
+                }
+            }
+            JoinType::Semi => {
+                if hit.is_some() {
+                    lsel.push(i as u32);
+                }
+            }
+            JoinType::Anti => {
+                if hit.is_none() {
+                    lsel.push(i as u32);
+                }
+            }
+            JoinType::LeftOuter => {
+                let mut cur = hit;
+                if cur.is_none() {
+                    lsel.push(i as u32);
+                    rsel.push(NONE_ROW);
+                }
+                while let Some(r) = cur {
+                    lsel.push(i as u32);
+                    rsel.push(r);
+                    cur = (next[r as usize] != NONE_ROW).then(|| next[r as usize]);
+                }
+            }
+        }
+    }
+    (lsel, rsel)
+}
+
+/// Gathers rows, substituting a type default where the index is `NONE_ROW`.
+fn take_optional(col: &Column, sel: &[u32]) -> Column {
+    match col {
+        Column::Int64(v) => Column::Int64(
+            sel.iter().map(|&i| if i == NONE_ROW { 0 } else { v[i as usize] }).collect(),
+        ),
+        Column::Int32(v) => Column::Int32(
+            sel.iter().map(|&i| if i == NONE_ROW { 0 } else { v[i as usize] }).collect(),
+        ),
+        Column::Float64(v) => Column::Float64(
+            sel.iter().map(|&i| if i == NONE_ROW { 0.0 } else { v[i as usize] }).collect(),
+        ),
+        Column::Decimal(v, s) => Column::Decimal(
+            sel.iter().map(|&i| if i == NONE_ROW { 0 } else { v[i as usize] }).collect(),
+            *s,
+        ),
+        Column::Date(v) => Column::Date(
+            sel.iter().map(|&i| if i == NONE_ROW { 0 } else { v[i as usize] }).collect(),
+        ),
+        Column::Bool(v) => Column::Bool(
+            sel.iter().map(|&i| i != NONE_ROW && v[i as usize]).collect(),
+        ),
+        Column::Str(d) => {
+            let mut b = DictBuilder::with_capacity(sel.len());
+            for &i in sel {
+                b.push(if i == NONE_ROW { "" } else { d.get(i as usize) });
+            }
+            Column::Str(b.finish())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(pairs: Vec<(&str, Vec<i64>)>) -> Relation {
+        Relation::new(
+            pairs
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), Arc::new(Column::Int64(v))))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn run(l: &Relation, r: &Relation, on: Vec<(&str, &str)>, jt: JoinType) -> Relation {
+        let on: Vec<(String, String)> =
+            on.into_iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let mut p = WorkProfile::new();
+        exec_join(l, r, &on, jt, &mut p).unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let l = rel(vec![("lk", vec![1, 2, 3, 2]), ("lv", vec![10, 20, 30, 40])]);
+        let r = rel(vec![("rk", vec![2, 4]), ("rv", vec![200, 400])]);
+        let out = run(&l, &r, vec![("lk", "rk")], JoinType::Inner);
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column("lv").unwrap().as_i64().unwrap(), &[20, 40]);
+        assert_eq!(out.column("rv").unwrap().as_i64().unwrap(), &[200, 200]);
+    }
+
+    #[test]
+    fn inner_join_expands_duplicates() {
+        let l = rel(vec![("lk", vec![1])]);
+        let r = rel(vec![("rk", vec![1, 1, 1])]);
+        let out = run(&l, &r, vec![("lk", "rk")], JoinType::Inner);
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let l = rel(vec![("lk", vec![1, 2, 3])]);
+        let r = rel(vec![("rk", vec![2, 2])]);
+        let semi = run(&l, &r, vec![("lk", "rk")], JoinType::Semi);
+        assert_eq!(semi.column("lk").unwrap().as_i64().unwrap(), &[2]);
+        let anti = run(&l, &r, vec![("lk", "rk")], JoinType::Anti);
+        assert_eq!(anti.column("lk").unwrap().as_i64().unwrap(), &[1, 3]);
+        assert_eq!(semi.num_rows() + anti.num_rows(), l.num_rows());
+    }
+
+    #[test]
+    fn left_outer_marks_matches() {
+        let l = rel(vec![("lk", vec![1, 2])]);
+        let r = rel(vec![("rk", vec![2]), ("rv", vec![99])]);
+        let out = run(&l, &r, vec![("lk", "rk")], JoinType::LeftOuter);
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column(MATCHED_COL).unwrap().as_bool().unwrap(), &[false, true]);
+        assert_eq!(out.column("rv").unwrap().as_i64().unwrap(), &[0, 99]);
+    }
+
+    #[test]
+    fn two_key_join() {
+        let l = rel(vec![("a", vec![1, 1, 2]), ("b", vec![10, 20, 10])]);
+        let r = rel(vec![("c", vec![1, 2]), ("d", vec![20, 10]), ("rv", vec![7, 8])]);
+        let out = run(&l, &r, vec![("a", "c"), ("b", "d")], JoinType::Inner);
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column("rv").unwrap().as_i64().unwrap(), &[7, 8]);
+    }
+
+    #[test]
+    fn string_keys_rejected() {
+        let l = Relation::new(vec![(
+            "s".into(),
+            Arc::new(Column::Str(["a"].into_iter().collect())),
+        )])
+        .unwrap();
+        let r = rel(vec![("rk", vec![1])]);
+        let mut p = WorkProfile::new();
+        let err = exec_join(
+            &l,
+            &r,
+            &[("s".to_string(), "rk".to_string())],
+            JoinType::Inner,
+            &mut p,
+        );
+        assert!(matches!(err, Err(EngineError::Unsupported(_))));
+    }
+}

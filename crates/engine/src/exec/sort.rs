@@ -1,0 +1,138 @@
+//! Multi-key sorting.
+//!
+//! Keys are prepared as cheap orderable representations (dictionary codes are
+//! replaced by lexicographic ranks), then row indices are sorted with a
+//! stable comparison — ties preserve input order, keeping results
+//! deterministic across runs and cluster merges.
+
+use std::cmp::Ordering;
+
+use crate::error::{EngineError, Result};
+use crate::plan::SortKey;
+use crate::relation::Relation;
+use crate::stats::WorkProfile;
+use wimpi_storage::Column;
+
+/// One prepared sort key.
+enum KeyRep {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Rank(Vec<u32>),
+}
+
+impl KeyRep {
+    fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            KeyRep::I64(v) => v[a].cmp(&v[b]),
+            KeyRep::F64(v) => v[a].total_cmp(&v[b]),
+            KeyRep::Rank(v) => v[a].cmp(&v[b]),
+        }
+    }
+}
+
+/// Sorts the relation by `keys` (most significant first).
+pub fn exec_sort(rel: &Relation, keys: &[SortKey], prof: &mut WorkProfile) -> Result<Relation> {
+    if keys.is_empty() {
+        return Err(EngineError::Plan("sort requires at least one key".to_string()));
+    }
+    let n = rel.num_rows();
+    let mut reps = Vec::with_capacity(keys.len());
+    for k in keys {
+        let col = rel.column(&k.column)?;
+        reps.push((prepare_key(col), k.descending));
+    }
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by(|&a, &b| {
+        for (rep, desc) in &reps {
+            let ord = rep.cmp_rows(a as usize, b as usize);
+            if ord != Ordering::Equal {
+                return if *desc { ord.reverse() } else { ord };
+            }
+        }
+        Ordering::Equal
+    });
+    // n log n comparisons over all keys, plus the output gather.
+    let logn = (n.max(2) as f64).log2() as u64;
+    prof.cpu_ops += n as u64 * logn * keys.len() as u64;
+    prof.seq_read_bytes += (n * 8 * keys.len()) as u64;
+    let out = rel.take(&idx);
+    super::filter::charge_gather(rel, &out, n, prof);
+    Ok(out)
+}
+
+fn prepare_key(col: &Column) -> KeyRep {
+    match col {
+        Column::Int64(v) => KeyRep::I64(v.clone()),
+        Column::Int32(v) => KeyRep::I64(v.iter().map(|&x| x as i64).collect()),
+        Column::Date(v) => KeyRep::I64(v.iter().map(|&x| x as i64).collect()),
+        Column::Decimal(v, _) => KeyRep::I64(v.clone()),
+        Column::Bool(v) => KeyRep::I64(v.iter().map(|&b| b as i64).collect()),
+        Column::Float64(v) => KeyRep::F64(v.clone()),
+        Column::Str(d) => {
+            // Rank dictionary values lexicographically once.
+            let mut order: Vec<u32> = (0..d.cardinality() as u32).collect();
+            order.sort_by(|&a, &b| d.decode(a).cmp(d.decode(b)));
+            let mut rank = vec![0u32; d.cardinality()];
+            for (r, &code) in order.iter().enumerate() {
+                rank[code as usize] = r as u32;
+            }
+            KeyRep::Rank(d.codes().iter().map(|&c| rank[c as usize]).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wimpi_storage::Value;
+
+    fn rel() -> Relation {
+        Relation::new(vec![
+            (
+                "name".into(),
+                Arc::new(Column::Str(["beta", "alpha", "beta", "alpha"].into_iter().collect())),
+            ),
+            ("v".into(), Arc::new(Column::Int64(vec![2, 9, 1, 4]))),
+        ])
+        .unwrap()
+    }
+
+    fn sort(keys: Vec<SortKey>) -> Relation {
+        let mut p = WorkProfile::new();
+        exec_sort(&rel(), &keys, &mut p).unwrap()
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let out = sort(vec![SortKey::asc("v")]);
+        assert_eq!(out.column("v").unwrap().as_i64().unwrap(), &[1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn single_key_descending() {
+        let out = sort(vec![SortKey::desc("v")]);
+        assert_eq!(out.column("v").unwrap().as_i64().unwrap(), &[9, 4, 2, 1]);
+    }
+
+    #[test]
+    fn string_key_sorts_lexicographically() {
+        let out = sort(vec![SortKey::asc("name"), SortKey::asc("v")]);
+        assert_eq!(out.value(0, "name").unwrap(), Value::Str("alpha".into()));
+        assert_eq!(out.column("v").unwrap().as_i64().unwrap(), &[4, 9, 1, 2]);
+    }
+
+    #[test]
+    fn stability_preserves_input_order_on_ties() {
+        let out = sort(vec![SortKey::asc("name")]);
+        // betas keep their original relative order (v=2 before v=1)
+        assert_eq!(out.column("v").unwrap().as_i64().unwrap(), &[9, 4, 2, 1]);
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let mut p = WorkProfile::new();
+        assert!(exec_sort(&rel(), &[SortKey::asc("zzz")], &mut p).is_err());
+        assert!(exec_sort(&rel(), &[], &mut p).is_err());
+    }
+}

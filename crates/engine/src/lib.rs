@@ -1,0 +1,33 @@
+//! # wimpi-engine
+//!
+//! A from-scratch, in-memory, columnar OLAP engine in the MonetDB
+//! column-at-a-time style — the substrate standing in for the DBMS the paper
+//! benchmarks (DESIGN.md §2). Queries are built with
+//! [`plan::PlanBuilder`], optimized by [`optimizer::optimize`], and executed
+//! by [`exec::execute`], which also returns the [`stats::WorkProfile`] that
+//! `wimpi-hwsim` prices under each hardware model.
+
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod expr;
+pub mod like;
+pub mod optimizer;
+pub mod plan;
+pub mod relation;
+pub mod stats;
+
+pub use error::{EngineError, Result};
+pub use exec::execute;
+pub use expr::{col, date, dec2, lit, Expr};
+pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
+pub use relation::Relation;
+pub use stats::WorkProfile;
+
+use wimpi_storage::Catalog;
+
+/// Optimizes and executes a plan — the everyday entry point.
+pub fn execute_query(plan: &LogicalPlan, catalog: &Catalog) -> Result<(Relation, WorkProfile)> {
+    let optimized = optimizer::optimize(plan.clone(), catalog)?;
+    exec::execute(&optimized, catalog)
+}

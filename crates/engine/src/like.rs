@@ -1,0 +1,91 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Supports `%` (any run, including empty) and `_` (exactly one character).
+//! Matching is performed once per *dictionary value*, not per row, so a LIKE
+//! over a dictionary-encoded column costs O(cardinality × pattern).
+
+/// Returns true when `text` matches the SQL LIKE `pattern`.
+///
+/// Uses the classic two-pointer backtracking algorithm (linear for the
+/// TPC-H patterns, worst-case O(n·m)).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            // Backtrack: let the last % absorb one more character.
+            pi = star_p + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_wildcards() {
+        assert!(like_match("MAIL", "MAIL"));
+        assert!(!like_match("MAIL", "RAIL"));
+        assert!(!like_match("MAIL", "MAI"));
+    }
+
+    #[test]
+    fn percent_prefix_suffix_infix() {
+        assert!(like_match("PROMO BRUSHED TIN", "PROMO%"));
+        assert!(!like_match("SMALL BRUSHED TIN", "PROMO%"));
+        assert!(like_match("forest green ivory", "%green%"));
+        assert!(like_match("x", "%"));
+        assert!(like_match("", "%"));
+    }
+
+    #[test]
+    fn q13_style_two_wildcards() {
+        assert!(like_match("the special late requests nag", "%special%requests%"));
+        assert!(!like_match("the requests are special", "%special%requests%"));
+    }
+
+    #[test]
+    fn underscore_matches_single_char() {
+        assert!(like_match("Brand#12", "Brand#_2"));
+        assert!(!like_match("Brand#2", "Brand#_2"));
+        assert!(like_match("ab", "__"));
+        assert!(!like_match("a", "__"));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        assert!(like_match("aXbXcb", "%b"));
+        assert!(like_match("mississippi", "%iss%pi"));
+        assert!(!like_match("mississippi", "%iss%z%"));
+        assert!(like_match("abc", "a%%c"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        assert!(like_match("", ""));
+        assert!(!like_match("a", ""));
+    }
+
+    #[test]
+    fn unicode_is_char_based() {
+        assert!(like_match("héllo", "h_llo"));
+    }
+}

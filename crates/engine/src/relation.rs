@@ -1,0 +1,225 @@
+//! Relations — named column collections flowing between operators.
+
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use wimpi_storage::{Column, DataType, StorageError, Table, Value};
+
+/// An intermediate (or final) result: ordered named columns of equal length.
+///
+/// Columns are reference-counted so projections and scans are zero-copy.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    fields: Vec<(String, Arc<Column>)>,
+    nrows: usize,
+}
+
+impl Relation {
+    /// Builds a relation from named columns, validating equal lengths.
+    pub fn new(fields: Vec<(String, Arc<Column>)>) -> Result<Self> {
+        let nrows = fields.first().map_or(0, |(_, c)| c.len());
+        for (i, (name, c)) in fields.iter().enumerate() {
+            if c.len() != nrows {
+                return Err(EngineError::Plan(format!(
+                    "column {name} has {} rows, expected {nrows}",
+                    c.len()
+                )));
+            }
+            if fields[..i].iter().any(|(n, _)| n == name) {
+                return Err(EngineError::Plan(format!("duplicate column name {name}")));
+            }
+        }
+        Ok(Self { fields, nrows })
+    }
+
+    /// An empty, zero-column relation.
+    pub fn empty() -> Self {
+        Self { fields: Vec::new(), nrows: 0 }
+    }
+
+    /// Builds a relation over (a projection of) a stored table, zero-copy.
+    pub fn from_table(table: &Table, projection: Option<&[String]>) -> Result<Self> {
+        let fields = match projection {
+            Some(names) => names
+                .iter()
+                .map(|n| Ok((n.clone(), Arc::clone(table.column_by_name(n)?))))
+                .collect::<Result<Vec<_>>>()?,
+            None => table
+                .schema()
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.clone(), Arc::clone(table.column(i))))
+                .collect(),
+        };
+        Ok(Self { fields, nrows: table.num_rows() })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The fields (name, column) in order.
+    pub fn fields(&self) -> &[(String, Arc<Column>)] {
+        &self.fields
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Arc<Column>> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| EngineError::Storage(StorageError::ColumnNotFound(name.to_string())))
+    }
+
+    /// True when the relation has a column with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|(n, _)| n == name)
+    }
+
+    /// The data type of a named column.
+    pub fn data_type(&self, name: &str) -> Result<DataType> {
+        self.column(name).map(|c| c.data_type())
+    }
+
+    /// The cell at (row, column name) — convenience for tests and result
+    /// formatting, not an execution path.
+    pub fn value(&self, row: usize, name: &str) -> Result<Value> {
+        Ok(self.column(name)?.value(row))
+    }
+
+    /// Gathers `sel` rows from every column.
+    pub fn take(&self, sel: &[u32]) -> Relation {
+        Relation {
+            fields: self
+                .fields
+                .iter()
+                .map(|(n, c)| (n.clone(), Arc::new(c.take(sel))))
+                .collect(),
+            nrows: sel.len(),
+        }
+    }
+
+    /// Total heap bytes across columns (shared columns counted every time
+    /// they appear, mirroring what a materializing engine would hold).
+    pub fn heap_bytes(&self) -> usize {
+        self.fields.iter().map(|(_, c)| c.heap_bytes()).sum()
+    }
+
+    /// Bytes streamed when every column is scanned once — the quantity the
+    /// work profile charges (dictionary payloads excluded; see
+    /// [`wimpi_storage::Column::stream_bytes`]).
+    pub fn stream_bytes(&self) -> usize {
+        self.fields.iter().map(|(_, c)| c.stream_bytes()).sum()
+    }
+
+    /// Renders the first `limit` rows as an aligned text table.
+    pub fn to_text(&self, limit: usize) -> String {
+        let rows = self.nrows.min(limit);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows + 1);
+        cells.push(self.names().map(str::to_string).collect());
+        for r in 0..rows {
+            cells.push(self.fields.iter().map(|(_, c)| c.value(r).to_string()).collect());
+        }
+        let ncols = self.fields.len();
+        let mut widths = vec![0usize; ncols];
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (ri, row) in cells.iter().enumerate() {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            out.push('\n');
+            if ri == 0 {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.max(1) - 1)));
+                out.push('\n');
+            }
+        }
+        if self.nrows > rows {
+            out.push_str(&format!("… {} more rows\n", self.nrows - rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimpi_storage::{Field, Schema};
+
+    fn rel() -> Relation {
+        Relation::new(vec![
+            ("k".into(), Arc::new(Column::Int64(vec![1, 2, 3]))),
+            ("v".into(), Arc::new(Column::Float64(vec![0.5, 1.5, 2.5]))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        let bad = Relation::new(vec![
+            ("a".into(), Arc::new(Column::Int64(vec![1]))),
+            ("b".into(), Arc::new(Column::Int64(vec![1, 2]))),
+        ]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn from_table_projects() {
+        let t = Table::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ]),
+            vec![Column::Int64(vec![1]), Column::Int64(vec![2])],
+        )
+        .unwrap();
+        let r = Relation::from_table(&t, Some(&["b".to_string()])).unwrap();
+        assert_eq!(r.num_columns(), 1);
+        assert_eq!(r.value(0, "b").unwrap(), Value::I64(2));
+        assert!(Relation::from_table(&t, Some(&["zzz".to_string()])).is_err());
+    }
+
+    #[test]
+    fn take_gathers_all_columns() {
+        let r = rel().take(&[2, 0]);
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.value(0, "k").unwrap(), Value::I64(3));
+        assert_eq!(r.value(1, "v").unwrap(), Value::F64(0.5));
+    }
+
+    #[test]
+    fn lookups() {
+        let r = rel();
+        assert!(r.contains("k"));
+        assert!(!r.contains("x"));
+        assert_eq!(r.data_type("v").unwrap(), DataType::Float64);
+        assert!(r.column("x").is_err());
+    }
+
+    #[test]
+    fn to_text_renders_header_and_rows() {
+        let text = rel().to_text(2);
+        assert!(text.contains('k'));
+        assert!(text.contains("1 more rows"));
+    }
+}

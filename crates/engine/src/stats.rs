@@ -1,0 +1,117 @@
+//! Execution work profiles.
+//!
+//! Every operator records the *hardware-relevant* work it performs: streamed
+//! bytes, random (cache-line-granularity) accesses, and data-dependent CPU
+//! operations. A [`WorkProfile`] is the bridge between one real execution on
+//! the host and the paper's ten hardware comparison points: `wimpi-hwsim`
+//! prices the same profile under each machine's roofline model (DESIGN.md §2).
+
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated over one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkProfile {
+    /// Data-dependent CPU work units (≈ a few instructions each): one per
+    /// row per primitive for expression evaluation, two per hash
+    /// build/probe, `log n` per sorted row, and so on.
+    pub cpu_ops: u64,
+    /// Bytes read as sequential streams (column scans, expression inputs).
+    pub seq_read_bytes: u64,
+    /// Bytes written as sequential streams (materialized intermediates).
+    pub seq_write_bytes: u64,
+    /// Random accesses at cache-line granularity: hash-table inserts and
+    /// probes, gather loads.
+    pub rand_accesses: u64,
+    /// Peak-ish bytes held in hash tables (join builds + group states); the
+    /// hardware model compares this against LLC size to decide whether
+    /// random accesses hit cache or memory.
+    pub hash_bytes: u64,
+    /// Rows entering operators (a coarse size signal for overhead modelling).
+    pub rows_in: u64,
+    /// Rows in the final result.
+    pub rows_out: u64,
+    /// Bytes shipped over the network (filled in by the cluster driver; zero
+    /// for single-node runs).
+    pub network_bytes: u64,
+}
+
+impl WorkProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes that travel through the memory system sequentially.
+    pub fn seq_bytes(&self) -> u64 {
+        self.seq_read_bytes + self.seq_write_bytes
+    }
+
+    /// Scales every counter by an integer factor — used to extrapolate a
+    /// measured SF to the paper's SF when the host can't hold the full data
+    /// (all TPC-H choke-point work scales linearly in SF; DESIGN.md §4).
+    pub fn scale(&self, factor: f64) -> WorkProfile {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        WorkProfile {
+            cpu_ops: s(self.cpu_ops),
+            seq_read_bytes: s(self.seq_read_bytes),
+            seq_write_bytes: s(self.seq_write_bytes),
+            rand_accesses: s(self.rand_accesses),
+            hash_bytes: s(self.hash_bytes),
+            rows_in: s(self.rows_in),
+            rows_out: s(self.rows_out),
+            network_bytes: s(self.network_bytes),
+        }
+    }
+}
+
+impl Add for WorkProfile {
+    type Output = WorkProfile;
+
+    fn add(self, o: WorkProfile) -> WorkProfile {
+        WorkProfile {
+            cpu_ops: self.cpu_ops + o.cpu_ops,
+            seq_read_bytes: self.seq_read_bytes + o.seq_read_bytes,
+            seq_write_bytes: self.seq_write_bytes + o.seq_write_bytes,
+            rand_accesses: self.rand_accesses + o.rand_accesses,
+            hash_bytes: self.hash_bytes + o.hash_bytes,
+            rows_in: self.rows_in + o.rows_in,
+            rows_out: self.rows_out + o.rows_out,
+            network_bytes: self.network_bytes + o.network_bytes,
+        }
+    }
+}
+
+impl AddAssign for WorkProfile {
+    fn add_assign(&mut self, o: WorkProfile) {
+        *self = *self + o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let a = WorkProfile { cpu_ops: 10, seq_read_bytes: 100, ..Default::default() };
+        let b = WorkProfile { cpu_ops: 5, rand_accesses: 7, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.cpu_ops, 15);
+        assert_eq!(c.seq_read_bytes, 100);
+        assert_eq!(c.rand_accesses, 7);
+    }
+
+    #[test]
+    fn seq_bytes_sums_read_write() {
+        let p = WorkProfile { seq_read_bytes: 3, seq_write_bytes: 4, ..Default::default() };
+        assert_eq!(p.seq_bytes(), 7);
+    }
+
+    #[test]
+    fn scale_multiplies_counters() {
+        let p = WorkProfile { cpu_ops: 10, seq_read_bytes: 11, ..Default::default() };
+        let s = p.scale(2.5);
+        assert_eq!(s.cpu_ops, 25);
+        assert_eq!(s.seq_read_bytes, 28);
+    }
+}

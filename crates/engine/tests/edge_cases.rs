@@ -1,0 +1,172 @@
+//! Engine edge cases: empty inputs, degenerate joins, deep plans, limits.
+
+use std::sync::Arc;
+use wimpi_engine::expr::{col, lit};
+use wimpi_engine::plan::{AggExpr, JoinType, PlanBuilder, SortKey};
+use wimpi_engine::{execute_query, Relation};
+use wimpi_storage::{Catalog, Column, DataType, Field, Schema, Table};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register(
+        "t",
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ]),
+            vec![
+                Column::Int64(vec![1, 2, 3, 4, 5]),
+                Column::Int64(vec![10, 20, 30, 40, 50]),
+            ],
+        )
+        .expect("table builds"),
+    );
+    cat.register(
+        "empty",
+        Table::new(
+            Schema::new(vec![
+                Field::new("ek", DataType::Int64),
+                Field::new("ev", DataType::Int64),
+            ]),
+            vec![Column::Int64(vec![]), Column::Int64(vec![])],
+        )
+        .expect("table builds"),
+    );
+    cat
+}
+
+#[test]
+fn joins_with_empty_sides() {
+    let cat = catalog();
+    // Empty build side: inner join yields nothing; anti join keeps all.
+    let inner = PlanBuilder::scan("t")
+        .inner_join(PlanBuilder::scan("empty"), vec![("k", "ek")])
+        .build();
+    let (r, _) = execute_query(&inner, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 0);
+
+    let anti = PlanBuilder::scan("t")
+        .join(PlanBuilder::scan("empty"), vec![("k", "ek")], JoinType::Anti)
+        .build();
+    let (r, _) = execute_query(&anti, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 5);
+
+    // Empty probe side.
+    let probe_empty = PlanBuilder::scan("empty")
+        .inner_join(PlanBuilder::scan("t"), vec![("ek", "k")])
+        .build();
+    let (r, _) = execute_query(&probe_empty, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 0);
+    assert_eq!(r.num_columns(), 4);
+}
+
+#[test]
+fn aggregate_over_empty_filter_result() {
+    let cat = catalog();
+    let plan = PlanBuilder::scan("t")
+        .filter(col("k").gt(lit(1000i64)))
+        .aggregate(vec![], vec![AggExpr::count_star("n"), AggExpr::sum(col("v"), "s")])
+        .build();
+    let (r, _) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 1);
+    assert_eq!(r.column("n").expect("col").as_i64().expect("i64"), &[0]);
+    assert_eq!(r.column("s").expect("col").as_i64().expect("i64"), &[0]);
+}
+
+#[test]
+fn grouped_aggregate_over_empty_input_has_no_rows() {
+    let cat = catalog();
+    let plan = PlanBuilder::scan("empty")
+        .aggregate(vec![(col("ek"), "g")], vec![AggExpr::count_star("n")])
+        .build();
+    let (r, _) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 0);
+}
+
+#[test]
+fn limit_beyond_input_and_zero() {
+    let cat = catalog();
+    let over = PlanBuilder::scan("t").limit(100).build();
+    let (r, _) = execute_query(&over, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 5);
+    let zero = PlanBuilder::scan("t").limit(0).build();
+    let (r, _) = execute_query(&zero, &cat).expect("runs");
+    assert_eq!(r.num_rows(), 0);
+}
+
+#[test]
+fn sort_then_limit_is_top_n() {
+    let cat = catalog();
+    let plan = PlanBuilder::scan("t")
+        .sort(vec![SortKey::desc("v")])
+        .limit(2)
+        .build();
+    let (r, _) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.column("v").expect("col").as_i64().expect("i64"), &[50, 40]);
+}
+
+#[test]
+fn deeply_nested_plan_executes() {
+    let cat = catalog();
+    let mut b = PlanBuilder::scan("t");
+    // 32 stacked filters, none eliminating anything.
+    for _ in 0..32 {
+        b = b.filter(col("k").gte(lit(0i64)));
+    }
+    let plan = b.aggregate(vec![], vec![AggExpr::count_star("n")]).build();
+    let (r, prof) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.column("n").expect("col").as_i64().expect("i64"), &[5]);
+    assert!(prof.cpu_ops > 0);
+}
+
+#[test]
+fn self_join_via_projection_rename() {
+    let cat = catalog();
+    let right = PlanBuilder::scan("t").project(vec![
+        (col("k"), "rk"),
+        (col("v"), "rv"),
+    ]);
+    let plan = PlanBuilder::scan("t")
+        .inner_join(right, vec![("k", "rk")])
+        .filter(col("v").eq(col("rv")))
+        .aggregate(vec![], vec![AggExpr::count_star("n")])
+        .build();
+    let (r, _) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.column("n").expect("col").as_i64().expect("i64"), &[5]);
+}
+
+#[test]
+fn duplicate_output_names_rejected() {
+    let bad = Relation::new(vec![
+        ("x".to_string(), Arc::new(Column::Int64(vec![1]))),
+        ("x".to_string(), Arc::new(Column::Int64(vec![2]))),
+    ]);
+    assert!(bad.is_err());
+}
+
+#[test]
+fn project_constant_only_columns() {
+    let cat = catalog();
+    let plan = PlanBuilder::scan("t")
+        .project(vec![(lit(7i64), "seven"), (col("k"), "k")])
+        .aggregate(vec![], vec![AggExpr::sum(col("seven"), "s")])
+        .build();
+    let (r, _) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.column("s").expect("col").as_i64().expect("i64"), &[35]);
+}
+
+#[test]
+fn left_outer_join_of_empty_right() {
+    let cat = catalog();
+    let plan = PlanBuilder::scan("t")
+        .join(PlanBuilder::scan("empty"), vec![("k", "ek")], JoinType::LeftOuter)
+        .aggregate(
+            vec![],
+            vec![AggExpr::count_if(col("__matched"), "m"), AggExpr::count_star("n")],
+        )
+        .build();
+    let (r, _) = execute_query(&plan, &cat).expect("runs");
+    assert_eq!(r.column("m").expect("col").as_i64().expect("i64"), &[0]);
+    assert_eq!(r.column("n").expect("col").as_i64().expect("i64"), &[5]);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the engine's core data structures and
+//! operators: selection-vector algebra, decimal arithmetic through the
+//! evaluator, join/aggregate identities on arbitrary data.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wimpi_engine::expr::{col, lit};
+use wimpi_engine::plan::{AggExpr, JoinType, PlanBuilder, SortKey};
+use wimpi_engine::{execute_query, Relation};
+use wimpi_storage::{selection, Catalog, Column, DataType, Field, Schema, Table, Value};
+
+fn table_from(keys: Vec<i64>, vals: Vec<i64>) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]),
+        vec![Column::Int64(keys), Column::Int64(vals)],
+    )
+    .expect("table builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Selection algebra: De Morgan over arbitrary masks.
+    #[test]
+    fn selection_de_morgan(mask_a in prop::collection::vec(any::<bool>(), 0..200),
+                           mask_b in prop::collection::vec(any::<bool>(), 0..200)) {
+        let n = mask_a.len().min(mask_b.len());
+        let a = selection::from_mask(&mask_a[..n]);
+        let b = selection::from_mask(&mask_b[..n]);
+        // ¬(A ∪ B) == ¬A ∩ ¬B
+        let lhs = selection::complement(&selection::union(&a, &b), n);
+        let rhs = selection::intersect(
+            &selection::complement(&a, n),
+            &selection::complement(&b, n),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Filter + count == direct count of matching elements.
+    #[test]
+    fn filter_count_matches_oracle(vals in prop::collection::vec(-50i64..50, 1..300),
+                                   threshold in -50i64..50) {
+        let n = vals.len();
+        let mut cat = Catalog::new();
+        cat.register("t", table_from((0..n as i64).collect(), vals.clone()));
+        let plan = PlanBuilder::scan("t")
+            .filter(col("v").gt(lit(threshold)))
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        let (r, _) = execute_query(&plan, &cat).expect("runs");
+        let expected = vals.iter().filter(|&&v| v > threshold).count() as i64;
+        prop_assert_eq!(r.column("n").expect("col").as_i64().expect("i64")[0], expected);
+    }
+
+    /// Grouped sums partition the global sum, whatever the grouping.
+    #[test]
+    fn group_sums_partition_total(rows in prop::collection::vec((0i64..5, -100i64..100), 1..300)) {
+        let (keys, vals): (Vec<i64>, Vec<i64>) = rows.into_iter().unzip();
+        let total: i64 = vals.iter().sum();
+        let mut cat = Catalog::new();
+        cat.register("t", table_from(keys, vals));
+        let plan = PlanBuilder::scan("t")
+            .aggregate(vec![(col("k"), "k")], vec![AggExpr::sum(col("v"), "s")])
+            .build();
+        let (r, _) = execute_query(&plan, &cat).expect("runs");
+        let grouped: i64 = r.column("s").expect("col").as_i64().expect("i64").iter().sum();
+        prop_assert_eq!(grouped, total);
+    }
+
+    /// Semi + anti join partition the probe side for any key sets.
+    #[test]
+    fn semi_anti_partition(left in prop::collection::vec(0i64..20, 0..200),
+                           right in prop::collection::vec(0i64..20, 0..200)) {
+        let mut cat = Catalog::new();
+        let ln = left.len();
+        cat.register("l", table_from(left, vec![0; ln]));
+        let rn = right.len();
+        cat.register(
+            "r",
+            Table::new(
+                Schema::new(vec![Field::new("rk", DataType::Int64)]),
+                vec![Column::Int64(right)],
+            ).expect("table builds"),
+        );
+        let _ = rn;
+        let semi = PlanBuilder::scan("l")
+            .join(PlanBuilder::scan("r"), vec![("k", "rk")], JoinType::Semi)
+            .build();
+        let anti = PlanBuilder::scan("l")
+            .join(PlanBuilder::scan("r"), vec![("k", "rk")], JoinType::Anti)
+            .build();
+        let (s, _) = execute_query(&semi, &cat).expect("runs");
+        let (a, _) = execute_query(&anti, &cat).expect("runs");
+        prop_assert_eq!(s.num_rows() + a.num_rows(), ln);
+    }
+
+    /// Sorting is a permutation and is ordered.
+    #[test]
+    fn sort_is_ordered_permutation(vals in prop::collection::vec(-1000i64..1000, 1..300)) {
+        let n = vals.len();
+        let mut cat = Catalog::new();
+        cat.register("t", table_from((0..n as i64).collect(), vals.clone()));
+        let plan = PlanBuilder::scan("t").sort(vec![SortKey::asc("v")]).build();
+        let (r, _) = execute_query(&plan, &cat).expect("runs");
+        let sorted = r.column("v").expect("col");
+        let sorted = sorted.as_i64().expect("i64");
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut expected = vals.clone();
+        expected.sort_unstable();
+        let mut actual = sorted.to_vec();
+        actual.sort_unstable();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Inner-join cardinality equals the key-frequency dot product.
+    #[test]
+    fn join_cardinality_oracle(left in prop::collection::vec(0i64..8, 0..100),
+                               right in prop::collection::vec(0i64..8, 0..100)) {
+        let expected: usize = (0..8)
+            .map(|k| {
+                left.iter().filter(|&&x| x == k).count()
+                    * right.iter().filter(|&&x| x == k).count()
+            })
+            .sum();
+        let mut cat = Catalog::new();
+        let ln = left.len();
+        cat.register("l", table_from(left, vec![0; ln]));
+        cat.register(
+            "r",
+            Table::new(
+                Schema::new(vec![Field::new("rk", DataType::Int64)]),
+                vec![Column::Int64(right)],
+            ).expect("table builds"),
+        );
+        let plan = PlanBuilder::scan("l")
+            .inner_join(PlanBuilder::scan("r"), vec![("k", "rk")])
+            .build();
+        let (r, _) = execute_query(&plan, &cat).expect("runs");
+        prop_assert_eq!(r.num_rows(), expected);
+    }
+
+    /// take() over a relation preserves per-row cell identity.
+    #[test]
+    fn relation_take_preserves_cells(vals in prop::collection::vec(-100i64..100, 1..100),
+                                     picks in prop::collection::vec(any::<prop::sample::Index>(), 0..50)) {
+        let n = vals.len();
+        let rel = Relation::new(vec![
+            ("v".to_string(), Arc::new(Column::Int64(vals.clone()))),
+        ]).expect("relation builds");
+        let sel: Vec<u32> = picks.iter().map(|ix| ix.index(n) as u32).collect();
+        let taken = rel.take(&sel);
+        for (out_row, &src) in sel.iter().enumerate() {
+            prop_assert_eq!(
+                taken.value(out_row, "v").expect("cell"),
+                Value::I64(vals[src as usize])
+            );
+        }
+    }
+}

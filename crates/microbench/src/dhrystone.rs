@@ -1,0 +1,143 @@
+//! The Dhrystone synthetic integer benchmark (Weicker, 1984) — record
+//! assignment, string comparison, branching — reporting DMIPS.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Result of one Dhrystone run.
+#[derive(Debug, Clone, Copy)]
+pub struct DhrystoneResult {
+    /// Executed Dhrystone iterations.
+    pub iterations: u64,
+    /// Wall time, seconds.
+    pub elapsed_s: f64,
+    /// Dhrystones per second.
+    pub dhrystones_per_s: f64,
+    /// DMIPS (Dhrystones/s ÷ 1757, the VAX 11/780 baseline).
+    pub dmips: f64,
+    /// Dead-code-elimination defeating checksum.
+    pub checksum: u64,
+}
+
+#[derive(Clone, Default)]
+struct Record {
+    int_comp: i64,
+    enum_comp: u8,
+    string_comp: [u8; 30],
+    next: Option<Box<Record>>,
+}
+
+const STR_1: &[u8; 30] = b"DHRYSTONE PROGRAM, 1'ST STRING";
+const STR_2: &[u8; 30] = b"DHRYSTONE PROGRAM, 2'ND STRING";
+
+fn func_1(a: u8, b: u8) -> u8 {
+    if a == b {
+        0
+    } else {
+        1
+    }
+}
+
+fn func_2(s1: &[u8; 30], s2: &[u8; 30]) -> bool {
+    let mut int_loc = 2usize;
+    while int_loc <= 2 {
+        if func_1(s1[int_loc], s2[int_loc + 1]) == 0 {
+            int_loc += 3;
+        } else {
+            break;
+        }
+    }
+    if s1 > s2 {
+        true
+    } else {
+        int_loc > 5
+    }
+}
+
+fn proc_7(a: i64, b: i64) -> i64 {
+    a + 2 + b
+}
+
+fn proc_8(arr1: &mut [i64; 50], arr2: &mut [[i64; 50]; 10], a: usize, b: i64) {
+    let loc = a + 5;
+    arr1[loc] = b;
+    arr1[loc + 1] = arr1[loc];
+    arr1[loc + 30] = loc as i64;
+    for i in loc..=loc + 1 {
+        arr2[(loc / 8).min(9)][i.min(49)] = loc as i64;
+    }
+    arr2[(loc / 8).min(9)][(loc % 40) + 1] += 1;
+}
+
+/// Runs `iterations` Dhrystone loops.
+pub fn run(iterations: u64) -> DhrystoneResult {
+    let mut glob = Record {
+        int_comp: 40,
+        enum_comp: 2,
+        string_comp: *STR_1,
+        next: Some(Box::default()),
+    };
+    let mut arr1 = [0i64; 50];
+    let mut arr2 = [[0i64; 50]; 10];
+    let mut int_1;
+    let mut int_2;
+    let mut int_3 = 0i64;
+    let mut checksum = 0u64;
+
+    let start = Instant::now();
+    for run_idx in 0..iterations {
+        int_1 = 2;
+        int_2 = 3;
+        let ch_1 = b'A';
+        let bool_glob = !func_2(&glob.string_comp, STR_2);
+        while int_1 < int_2 {
+            int_3 = 5 * int_1 - int_2;
+            int_3 = proc_7(int_1, int_3);
+            int_1 += 1;
+        }
+        proc_8(&mut arr1, &mut arr2, (int_1 as usize + run_idx as usize % 3) % 8, int_3);
+        glob.int_comp = if bool_glob { glob.int_comp + 1 } else { glob.int_comp - 1 };
+        glob.enum_comp = func_1(ch_1, b'C');
+        if let Some(next) = glob.next.as_mut() {
+            next.int_comp = glob.int_comp;
+            std::mem::swap(&mut next.string_comp, &mut glob.string_comp);
+            std::mem::swap(&mut next.string_comp, &mut glob.string_comp);
+        }
+        checksum = checksum
+            .wrapping_add(glob.int_comp as u64)
+            .wrapping_mul(31)
+            .wrapping_add(int_3 as u64);
+        black_box(&arr1);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let dps = iterations as f64 / elapsed;
+    DhrystoneResult {
+        iterations,
+        elapsed_s: elapsed,
+        dhrystones_per_s: dps,
+        dmips: dps / 1757.0,
+        checksum: black_box(checksum),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_checksum() {
+        assert_eq!(run(10_000).checksum, run(10_000).checksum);
+    }
+
+    #[test]
+    fn scores_positive() {
+        let r = run(50_000);
+        assert!(r.dmips > 0.0);
+        assert!(r.dhrystones_per_s > r.dmips);
+    }
+
+    #[test]
+    fn checksum_depends_on_iterations() {
+        assert_ne!(run(1_000).checksum, run(2_000).checksum);
+    }
+}

@@ -1,0 +1,68 @@
+//! The sysbench `cpu` workload: trial-division primality testing of every
+//! integer up to a bound (Figure 2c's kernel; lower runtime is better).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Result of one prime-test run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimeResult {
+    /// Upper bound tested (sysbench's `--cpu-max-prime`).
+    pub max: u64,
+    /// Number of primes found (validates the kernel did real work).
+    pub primes_found: u64,
+    /// Wall time, seconds.
+    pub elapsed_s: f64,
+}
+
+/// sysbench's trial-division loop, verbatim semantics: for each candidate
+/// `c` in `3..=max`, divide by every `t` in `2..` while `t*t <= c`.
+pub fn run(max: u64) -> PrimeResult {
+    let start = Instant::now();
+    let mut found = 1u64; // 2 is prime
+    for c in (3..=max).step_by(2) {
+        let mut t = 2u64;
+        let mut is_prime = true;
+        while t * t <= c {
+            if c % t == 0 {
+                is_prime = false;
+                break;
+            }
+            t += 1;
+        }
+        if is_prime {
+            found += 1;
+        }
+    }
+    PrimeResult {
+        max,
+        primes_found: black_box(found),
+        elapsed_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_counts_are_correct() {
+        // π(10) = 4, π(100) = 25, π(10000) = 1229.
+        assert_eq!(run(10).primes_found, 4);
+        assert_eq!(run(100).primes_found, 25);
+        assert_eq!(run(10_000).primes_found, 1229);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(5_000).primes_found, run(5_000).primes_found);
+    }
+
+    #[test]
+    fn larger_bound_takes_longer() {
+        let small = run(20_000);
+        let big = run(200_000);
+        assert!(big.elapsed_s > small.elapsed_s);
+        assert!(big.primes_found > small.primes_found);
+    }
+}

@@ -1,0 +1,181 @@
+//! TPC-H queries 1–6.
+
+use crate::QueryPlan;
+use wimpi_engine::expr::{col, date, dec2, lit};
+use wimpi_engine::plan::{AggExpr, JoinType, PlanBuilder, SortKey};
+
+/// `l_extendedprice * (1 - l_discount)` — the workload's hottest expression.
+fn disc_price() -> wimpi_engine::Expr {
+    col("l_extendedprice").mul(lit(1i64).sub(col("l_discount")))
+}
+
+/// Q1 — pricing summary report. Scans ~98% of lineitem; the paper's
+/// memory-bandwidth stress test (worst Pi 3B+ query at SF 1).
+pub fn q1() -> QueryPlan {
+    let charge = disc_price().mul(lit(1i64).add(col("l_tax")));
+    QueryPlan::Single(
+        PlanBuilder::scan("lineitem")
+            .filter(col("l_shipdate").lte(date("1998-09-02")))
+            .aggregate(
+                vec![
+                    (col("l_returnflag"), "l_returnflag"),
+                    (col("l_linestatus"), "l_linestatus"),
+                ],
+                vec![
+                    AggExpr::sum(col("l_quantity"), "sum_qty"),
+                    AggExpr::sum(col("l_extendedprice"), "sum_base_price"),
+                    AggExpr::sum(disc_price(), "sum_disc_price"),
+                    AggExpr::sum(charge, "sum_charge"),
+                    AggExpr::avg(col("l_quantity"), "avg_qty"),
+                    AggExpr::avg(col("l_extendedprice"), "avg_price"),
+                    AggExpr::avg(col("l_discount"), "avg_disc"),
+                    AggExpr::count_star("count_order"),
+                ],
+            )
+            .sort(vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")])
+            .build(),
+    )
+}
+
+/// Q2 — minimum-cost supplier. The correlated min subquery is decorrelated
+/// into a per-part aggregate over the EUROPE supplier slice.
+pub fn q2() -> QueryPlan {
+    let europe = || {
+        PlanBuilder::scan("nation").inner_join(
+            PlanBuilder::scan("region").filter(col("r_name").eq(lit("EUROPE"))),
+            vec![("n_regionkey", "r_regionkey")],
+        )
+    };
+    let eu_suppliers =
+        || PlanBuilder::scan("supplier").inner_join(europe(), vec![("s_nationkey", "n_nationkey")]);
+    let min_cost = PlanBuilder::scan("partsupp")
+        .inner_join(eu_suppliers(), vec![("ps_suppkey", "s_suppkey")])
+        .aggregate(
+            vec![(col("ps_partkey"), "min_partkey")],
+            vec![AggExpr::min(col("ps_supplycost"), "min_cost")],
+        );
+    let plan = PlanBuilder::scan("part")
+        .filter(col("p_size").eq(lit(15i64)).and(col("p_type").like("%BRASS")))
+        .inner_join(PlanBuilder::scan("partsupp"), vec![("p_partkey", "ps_partkey")])
+        .inner_join(eu_suppliers(), vec![("ps_suppkey", "s_suppkey")])
+        .inner_join(min_cost, vec![("ps_partkey", "min_partkey")])
+        .filter(col("ps_supplycost").eq(col("min_cost")))
+        .project(vec![
+            (col("s_acctbal"), "s_acctbal"),
+            (col("s_name"), "s_name"),
+            (col("n_name"), "n_name"),
+            (col("p_partkey"), "p_partkey"),
+            (col("p_mfgr"), "p_mfgr"),
+            (col("s_address"), "s_address"),
+            (col("s_phone"), "s_phone"),
+            (col("s_comment"), "s_comment"),
+        ])
+        .sort(vec![
+            SortKey::desc("s_acctbal"),
+            SortKey::asc("n_name"),
+            SortKey::asc("s_name"),
+            SortKey::asc("p_partkey"),
+        ])
+        .limit(100)
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q3 — shipping priority (top unshipped orders by revenue).
+pub fn q3() -> QueryPlan {
+    let cutoff = date("1995-03-15");
+    let cust_orders = PlanBuilder::scan("orders")
+        .filter(col("o_orderdate").lt(cutoff.clone()))
+        .inner_join(
+            PlanBuilder::scan("customer").filter(col("c_mktsegment").eq(lit("BUILDING"))),
+            vec![("o_custkey", "c_custkey")],
+        );
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(col("l_shipdate").gt(cutoff))
+        .inner_join(cust_orders, vec![("l_orderkey", "o_orderkey")])
+        .aggregate(
+            vec![
+                (col("l_orderkey"), "l_orderkey"),
+                (col("o_orderdate"), "o_orderdate"),
+                (col("o_shippriority"), "o_shippriority"),
+            ],
+            vec![AggExpr::sum(disc_price(), "revenue")],
+        )
+        .sort(vec![SortKey::desc("revenue"), SortKey::asc("o_orderdate")])
+        .limit(10)
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q4 — order priority checking (EXISTS → semi join).
+pub fn q4() -> QueryPlan {
+    let lo = date("1993-07-01");
+    let hi = date("1993-10-01");
+    let late_lines =
+        PlanBuilder::scan("lineitem").filter(col("l_commitdate").lt(col("l_receiptdate")));
+    let plan = PlanBuilder::scan("orders")
+        .filter(col("o_orderdate").gte(lo).and(col("o_orderdate").lt(hi)))
+        .join(late_lines, vec![("o_orderkey", "l_orderkey")], JoinType::Semi)
+        .aggregate(
+            vec![(col("o_orderpriority"), "o_orderpriority")],
+            vec![AggExpr::count_star("order_count")],
+        )
+        .sort(vec![SortKey::asc("o_orderpriority")])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q5 — local supplier volume. Note the two-key join: the supplier must be
+/// in the same nation as the customer.
+pub fn q5() -> QueryPlan {
+    let lo = date("1994-01-01");
+    let hi = date("1995-01-01");
+    let asia = PlanBuilder::scan("nation").inner_join(
+        PlanBuilder::scan("region").filter(col("r_name").eq(lit("ASIA"))),
+        vec![("n_regionkey", "r_regionkey")],
+    );
+    let asia_suppliers =
+        PlanBuilder::scan("supplier").inner_join(asia, vec![("s_nationkey", "n_nationkey")]);
+    let cust_orders = PlanBuilder::scan("orders")
+        .filter(col("o_orderdate").gte(lo).and(col("o_orderdate").lt(hi)))
+        .inner_join(PlanBuilder::scan("customer"), vec![("o_custkey", "c_custkey")]);
+    let plan = PlanBuilder::scan("lineitem")
+        .inner_join(cust_orders, vec![("l_orderkey", "o_orderkey")])
+        .inner_join(
+            asia_suppliers,
+            vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
+        )
+        .aggregate(
+            vec![(col("n_name"), "n_name")],
+            vec![AggExpr::sum(disc_price(), "revenue")],
+        )
+        .sort(vec![SortKey::desc("revenue")])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q6 — forecasting revenue change. The paper's CPU-friendliest choke-point
+/// query: one highly selective scan, no joins.
+pub fn q6() -> QueryPlan {
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(
+            col("l_shipdate")
+                .gte(date("1994-01-01"))
+                .and(col("l_shipdate").lt(date("1995-01-01")))
+                .and(col("l_discount").between(
+                    wimpi_storage::Value::Dec(
+                        wimpi_storage::Decimal64::from_str_scale("0.05", 2).expect("const"),
+                    ),
+                    wimpi_storage::Value::Dec(
+                        wimpi_storage::Decimal64::from_str_scale("0.07", 2).expect("const"),
+                    ),
+                ))
+                .and(col("l_quantity").lt(dec2("24"))),
+        )
+        .aggregate(
+            vec![],
+            vec![AggExpr::sum(col("l_extendedprice").mul(col("l_discount")), "revenue")],
+        )
+        .build();
+    QueryPlan::Single(plan)
+}

@@ -1,0 +1,187 @@
+//! TPC-H queries 12–17.
+
+use crate::QueryPlan;
+use wimpi_engine::exec::join::MATCHED_COL;
+use wimpi_engine::expr::{col, date, dec2, lit};
+use wimpi_engine::plan::{AggExpr, JoinType, PlanBuilder, SortKey};
+use wimpi_storage::Value;
+
+fn disc_price() -> wimpi_engine::Expr {
+    col("l_extendedprice").mul(lit(1i64).sub(col("l_discount")))
+}
+
+/// Q12 — shipping mode and order priority.
+pub fn q12() -> QueryPlan {
+    let urgent = col("o_orderpriority").in_list(vec!["1-URGENT".into(), "2-HIGH".into()]);
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(
+            col("l_shipmode")
+                .in_list(vec!["MAIL".into(), "SHIP".into()])
+                .and(col("l_commitdate").lt(col("l_receiptdate")))
+                .and(col("l_shipdate").lt(col("l_commitdate")))
+                .and(col("l_receiptdate").gte(date("1994-01-01")))
+                .and(col("l_receiptdate").lt(date("1995-01-01"))),
+        )
+        .inner_join(PlanBuilder::scan("orders"), vec![("l_orderkey", "o_orderkey")])
+        .aggregate(
+            vec![(col("l_shipmode"), "l_shipmode")],
+            vec![
+                AggExpr::count_if(urgent.clone(), "high_line_count"),
+                AggExpr::count_if(urgent.negate(), "low_line_count"),
+            ],
+        )
+        .sort(vec![SortKey::asc("l_shipmode")])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q13 — customer distribution. The left outer join + `count(o_orderkey)`
+/// is expressed with the engine's `__matched` marker (DESIGN.md §7). The
+/// only choke-point query that never touches lineitem, which is why it runs
+/// on a single node in the paper's WIMPI cluster.
+pub fn q13() -> QueryPlan {
+    let orders = PlanBuilder::scan("orders")
+        .filter(col("o_comment").not_like("%special%requests%"));
+    let plan = PlanBuilder::scan("customer")
+        .join(orders, vec![("c_custkey", "o_custkey")], JoinType::LeftOuter)
+        .aggregate(
+            vec![(col("c_custkey"), "c_custkey")],
+            vec![AggExpr::count_if(col(MATCHED_COL), "c_count")],
+        )
+        .aggregate(
+            vec![(col("c_count"), "c_count")],
+            vec![AggExpr::count_star("custdist")],
+        )
+        .sort(vec![SortKey::desc("custdist"), SortKey::desc("c_count")])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q14 — promotion effect.
+pub fn q14() -> QueryPlan {
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(
+            col("l_shipdate")
+                .gte(date("1995-09-01"))
+                .and(col("l_shipdate").lt(date("1995-10-01"))),
+        )
+        .inner_join(PlanBuilder::scan("part"), vec![("l_partkey", "p_partkey")])
+        .aggregate(
+            vec![],
+            vec![
+                AggExpr::sum(
+                    col("p_type").like("PROMO%").case(disc_price(), dec2("0")),
+                    "promo",
+                ),
+                AggExpr::sum(disc_price(), "total"),
+            ],
+        )
+        .project(vec![(
+            lit(100i64).mul(col("promo")).div(col("total")),
+            "promo_revenue",
+        )])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q15 — top supplier (the revenue view + `= max(total_revenue)` scalar).
+pub fn q15() -> QueryPlan {
+    let revenue = || {
+        PlanBuilder::scan("lineitem")
+            .filter(
+                col("l_shipdate")
+                    .gte(date("1996-01-01"))
+                    .and(col("l_shipdate").lt(date("1996-04-01"))),
+            )
+            .aggregate(
+                vec![(col("l_suppkey"), "supplier_no")],
+                vec![AggExpr::sum(disc_price(), "total_revenue")],
+            )
+    };
+    let first = revenue()
+        .aggregate(vec![], vec![AggExpr::max(col("total_revenue"), "max_rev")])
+        .build();
+    QueryPlan::TwoPhase {
+        first,
+        scalar_col: "max_rev".to_string(),
+        second: Box::new(move |max_rev: Value| {
+            PlanBuilder::scan("supplier")
+                .inner_join(revenue(), vec![("s_suppkey", "supplier_no")])
+                .filter(col("total_revenue").eq(wimpi_engine::Expr::Lit(max_rev.clone())))
+                .project(vec![
+                    (col("s_suppkey"), "s_suppkey"),
+                    (col("s_name"), "s_name"),
+                    (col("s_address"), "s_address"),
+                    (col("s_phone"), "s_phone"),
+                    (col("total_revenue"), "total_revenue"),
+                ])
+                .sort(vec![SortKey::asc("s_suppkey")])
+                .build()
+        }),
+    }
+}
+
+/// Q16 — parts/supplier relationship (NOT IN → anti join,
+/// `count(distinct)`).
+pub fn q16() -> QueryPlan {
+    let complainers = PlanBuilder::scan("supplier")
+        .filter(col("s_comment").like("%Customer%Complaints%"))
+        .project(vec![(col("s_suppkey"), "bad_suppkey")]);
+    let sizes: Vec<Value> =
+        [49i64, 14, 23, 45, 19, 3, 36, 9].iter().map(|&v| Value::I64(v)).collect();
+    let plan = PlanBuilder::scan("partsupp")
+        .inner_join(
+            PlanBuilder::scan("part").filter(
+                col("p_brand")
+                    .neq(lit("Brand#45"))
+                    .and(col("p_type").not_like("MEDIUM POLISHED%"))
+                    .and(col("p_size").in_list(sizes)),
+            ),
+            vec![("ps_partkey", "p_partkey")],
+        )
+        .join(complainers, vec![("ps_suppkey", "bad_suppkey")], JoinType::Anti)
+        .aggregate(
+            vec![
+                (col("p_brand"), "p_brand"),
+                (col("p_type"), "p_type"),
+                (col("p_size"), "p_size"),
+            ],
+            vec![AggExpr::count_distinct(col("ps_suppkey"), "supplier_cnt")],
+        )
+        .sort(vec![
+            SortKey::desc("supplier_cnt"),
+            SortKey::asc("p_brand"),
+            SortKey::asc("p_type"),
+            SortKey::asc("p_size"),
+        ])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q17 — small-quantity-order revenue. The correlated `0.2 * avg(quantity)`
+/// subquery becomes a per-part aggregate joined back on partkey.
+pub fn q17() -> QueryPlan {
+    let filtered_part = || {
+        PlanBuilder::scan("part")
+            .filter(
+                col("p_brand")
+                    .eq(lit("Brand#23"))
+                    .and(col("p_container").eq(lit("MED BOX"))),
+            )
+            .project(vec![(col("p_partkey"), "p_partkey")])
+    };
+    let avg_sub = PlanBuilder::scan("lineitem")
+        .inner_join(filtered_part(), vec![("l_partkey", "p_partkey")])
+        .aggregate(
+            vec![(col("l_partkey"), "agg_partkey")],
+            vec![AggExpr::avg(col("l_quantity"), "avg_qty")],
+        );
+    let plan = PlanBuilder::scan("lineitem")
+        .inner_join(filtered_part(), vec![("l_partkey", "p_partkey")])
+        .inner_join(avg_sub, vec![("l_partkey", "agg_partkey")])
+        .filter(col("l_quantity").lt(lit(0.2).mul(col("avg_qty"))))
+        .aggregate(vec![], vec![AggExpr::sum(col("l_extendedprice"), "s")])
+        .project(vec![(col("s").div(lit(7.0)), "avg_yearly")])
+        .build();
+    QueryPlan::Single(plan)
+}

@@ -1,0 +1,176 @@
+//! TPC-H queries 18–22.
+
+use crate::QueryPlan;
+use wimpi_engine::expr::{col, date, dec2, lit};
+use wimpi_engine::plan::{AggExpr, JoinType, PlanBuilder, SortKey};
+use wimpi_storage::Value;
+
+fn disc_price() -> wimpi_engine::Expr {
+    col("l_extendedprice").mul(lit(1i64).sub(col("l_discount")))
+}
+
+/// Q18 — large-volume customers (`having sum(l_quantity) > 300` → filtered
+/// aggregate semi-joined back to orders).
+pub fn q18() -> QueryPlan {
+    let big_orders = PlanBuilder::scan("lineitem")
+        .aggregate(
+            vec![(col("l_orderkey"), "big_okey")],
+            vec![AggExpr::sum(col("l_quantity"), "sum_qty")],
+        )
+        .filter(col("sum_qty").gt(lit(300i64)))
+        .project(vec![(col("big_okey"), "big_okey")]);
+    let plan = PlanBuilder::scan("orders")
+        .join(big_orders, vec![("o_orderkey", "big_okey")], JoinType::Semi)
+        .inner_join(PlanBuilder::scan("customer"), vec![("o_custkey", "c_custkey")])
+        .inner_join(PlanBuilder::scan("lineitem"), vec![("o_orderkey", "l_orderkey")])
+        .aggregate(
+            vec![
+                (col("c_name"), "c_name"),
+                (col("c_custkey"), "c_custkey"),
+                (col("o_orderkey"), "o_orderkey"),
+                (col("o_orderdate"), "o_orderdate"),
+                (col("o_totalprice"), "o_totalprice"),
+            ],
+            vec![AggExpr::sum(col("l_quantity"), "total_qty")],
+        )
+        .sort(vec![SortKey::desc("o_totalprice"), SortKey::asc("o_orderdate")])
+        .limit(100)
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q19 — discounted revenue over three brand/container/quantity classes
+/// (the big disjunctive predicate).
+pub fn q19() -> QueryPlan {
+    let class = |brand: &str, containers: [&str; 4], qlo: &str, qhi: &str, smax: i64| {
+        col("p_brand")
+            .eq(lit(brand))
+            .and(
+                col("p_container")
+                    .in_list(containers.iter().map(|&c| Value::from(c)).collect()),
+            )
+            .and(col("l_quantity").between(
+                Value::Dec(wimpi_storage::Decimal64::from_str_scale(qlo, 2).expect("const")),
+                Value::Dec(wimpi_storage::Decimal64::from_str_scale(qhi, 2).expect("const")),
+            ))
+            .and(col("p_size").between(Value::I64(1), Value::I64(smax)))
+    };
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(
+            col("l_shipmode")
+                .in_list(vec!["AIR".into(), "REG AIR".into()])
+                .and(col("l_shipinstruct").eq(lit("DELIVER IN PERSON"))),
+        )
+        .inner_join(PlanBuilder::scan("part"), vec![("l_partkey", "p_partkey")])
+        .filter(
+            class("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], "1", "11", 5)
+                .or(class("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], "10", "20", 10))
+                .or(class("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], "20", "30", 15)),
+        )
+        .aggregate(vec![], vec![AggExpr::sum(disc_price(), "revenue")])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q20 — potential part promotion (nested IN chain decorrelated into a
+/// semi-join pipeline; CANADA suppliers of overstocked `forest%` parts).
+pub fn q20() -> QueryPlan {
+    let forest_parts = PlanBuilder::scan("part")
+        .filter(col("p_name").like("forest%"))
+        .project(vec![(col("p_partkey"), "p_partkey")]);
+    let shipped = PlanBuilder::scan("lineitem")
+        .filter(
+            col("l_shipdate")
+                .gte(date("1994-01-01"))
+                .and(col("l_shipdate").lt(date("1995-01-01"))),
+        )
+        .aggregate(
+            vec![(col("l_partkey"), "lp"), (col("l_suppkey"), "ls")],
+            vec![AggExpr::sum(col("l_quantity"), "sum_qty")],
+        );
+    let overstocked = PlanBuilder::scan("partsupp")
+        .join(forest_parts, vec![("ps_partkey", "p_partkey")], JoinType::Semi)
+        .inner_join(shipped, vec![("ps_partkey", "lp"), ("ps_suppkey", "ls")])
+        .filter(col("ps_availqty").gt(lit(0.5).mul(col("sum_qty"))))
+        .project(vec![(col("ps_suppkey"), "good_suppkey")]);
+    let plan = PlanBuilder::scan("supplier")
+        .inner_join(
+            PlanBuilder::scan("nation").filter(col("n_name").eq(lit("CANADA"))),
+            vec![("s_nationkey", "n_nationkey")],
+        )
+        .join(overstocked, vec![("s_suppkey", "good_suppkey")], JoinType::Semi)
+        .project(vec![(col("s_name"), "s_name"), (col("s_address"), "s_address")])
+        .sort(vec![SortKey::asc("s_name")])
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q21 — suppliers who kept orders waiting. The EXISTS/NOT EXISTS pair is
+/// decorrelated into per-order distinct-supplier counts: another supplier
+/// exists ⇔ `nsupp ≥ 2`; no *other* failing supplier ⇔ `nfail = 1` (the
+/// failing row itself is one of them).
+pub fn q21() -> QueryPlan {
+    let late = || PlanBuilder::scan("lineitem").filter(col("l_receiptdate").gt(col("l_commitdate")));
+    let nall = PlanBuilder::scan("lineitem").aggregate(
+        vec![(col("l_orderkey"), "all_okey")],
+        vec![AggExpr::count_distinct(col("l_suppkey"), "nsupp")],
+    );
+    let nfail = late().aggregate(
+        vec![(col("l_orderkey"), "fail_okey")],
+        vec![AggExpr::count_distinct(col("l_suppkey"), "nfail")],
+    );
+    let plan = late()
+        .inner_join(
+            PlanBuilder::scan("orders").filter(col("o_orderstatus").eq(lit("F"))),
+            vec![("l_orderkey", "o_orderkey")],
+        )
+        .inner_join(PlanBuilder::scan("supplier"), vec![("l_suppkey", "s_suppkey")])
+        .inner_join(
+            PlanBuilder::scan("nation").filter(col("n_name").eq(lit("SAUDI ARABIA"))),
+            vec![("s_nationkey", "n_nationkey")],
+        )
+        .inner_join(nall, vec![("l_orderkey", "all_okey")])
+        .inner_join(nfail, vec![("l_orderkey", "fail_okey")])
+        .filter(col("nsupp").gte(lit(2i64)).and(col("nfail").eq(lit(1i64))))
+        .aggregate(vec![(col("s_name"), "s_name")], vec![AggExpr::count_star("numwait")])
+        .sort(vec![SortKey::desc("numwait"), SortKey::asc("s_name")])
+        .limit(100)
+        .build();
+    QueryPlan::Single(plan)
+}
+
+/// Q22 — global sales opportunity (phone country codes, `> avg(acctbal)`
+/// scalar, NOT EXISTS → anti join).
+pub fn q22() -> QueryPlan {
+    let codes: Vec<Value> =
+        ["13", "31", "23", "29", "30", "18", "17"].iter().map(|&c| Value::from(c)).collect();
+    let cntrycode = || col("c_phone").substr(1, 2);
+    let in_codes = move || cntrycode().in_list(codes.clone());
+    let first = PlanBuilder::scan("customer")
+        .filter(in_codes().and(col("c_acctbal").gt(dec2("0.00"))))
+        .aggregate(vec![], vec![AggExpr::avg(col("c_acctbal"), "avg_bal")])
+        .build();
+    QueryPlan::TwoPhase {
+        first,
+        scalar_col: "avg_bal".to_string(),
+        second: Box::new(move |avg_bal: Value| {
+            let threshold = avg_bal.as_f64().unwrap_or(0.0);
+            PlanBuilder::scan("customer")
+                .filter(in_codes().and(col("c_acctbal").gt(lit(threshold))))
+                .join(
+                    PlanBuilder::scan("orders"),
+                    vec![("c_custkey", "o_custkey")],
+                    JoinType::Anti,
+                )
+                .aggregate(
+                    vec![(cntrycode(), "cntrycode")],
+                    vec![
+                        AggExpr::count_star("numcust"),
+                        AggExpr::sum(col("c_acctbal"), "totacctbal"),
+                    ],
+                )
+                .sort(vec![SortKey::asc("cntrycode")])
+                .build()
+        }),
+    }
+}

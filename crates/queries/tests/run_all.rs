@@ -1,0 +1,160 @@
+//! End-to-end: generate a small TPC-H database and run all 22 queries.
+
+use wimpi_queries::{query, run, CHOKEPOINT_QUERIES};
+use wimpi_storage::{Catalog, Value};
+use wimpi_tpch::Generator;
+
+fn catalog() -> Catalog {
+    Generator::new(0.01).generate_catalog().expect("generation succeeds")
+}
+
+#[test]
+fn all_queries_execute_at_sf_001() {
+    let cat = catalog();
+    for n in 1..=22 {
+        let q = query(n);
+        let (rel, prof) = run(&q, &cat).unwrap_or_else(|e| panic!("Q{n} failed: {e}"));
+        assert!(rel.num_columns() > 0, "Q{n} returned no columns");
+        assert!(prof.cpu_ops > 0, "Q{n} recorded no work");
+    }
+}
+
+#[test]
+fn q1_covers_nearly_all_lineitem() {
+    let cat = catalog();
+    let (rel, _) = run(&query(1), &cat).unwrap();
+    // Four (returnflag, linestatus) groups: A/F, N/F, N/O, R/F.
+    assert_eq!(rel.num_rows(), 4);
+    let total: i64 = rel
+        .column("count_order")
+        .unwrap()
+        .as_i64()
+        .unwrap()
+        .iter()
+        .sum();
+    let lineitem_rows = cat.table("lineitem").unwrap().num_rows() as i64;
+    let frac = total as f64 / lineitem_rows as f64;
+    assert!(frac > 0.95 && frac <= 1.0, "Q1 should cover ~98% of lineitem, got {frac}");
+    // sort order: first group is A/F
+    assert_eq!(rel.value(0, "l_returnflag").unwrap(), Value::Str("A".into()));
+    assert_eq!(rel.value(0, "l_linestatus").unwrap(), Value::Str("F".into()));
+}
+
+#[test]
+fn q1_aggregates_are_internally_consistent() {
+    let cat = catalog();
+    let (rel, _) = run(&query(1), &cat).unwrap();
+    for r in 0..rel.num_rows() {
+        let count = rel.value(r, "count_order").unwrap().as_i64().unwrap();
+        let sum_qty = rel.value(r, "sum_qty").unwrap().as_f64().unwrap();
+        let avg_qty = rel.value(r, "avg_qty").unwrap().as_f64().unwrap();
+        assert!(
+            (sum_qty / count as f64 - avg_qty).abs() < 1e-6,
+            "avg must equal sum/count in group {r}"
+        );
+        let disc = rel.value(r, "sum_disc_price").unwrap().as_f64().unwrap();
+        let base = rel.value(r, "sum_base_price").unwrap().as_f64().unwrap();
+        let charge = rel.value(r, "sum_charge").unwrap().as_f64().unwrap();
+        assert!(disc < base, "discounted < base");
+        assert!(charge > disc, "charge adds tax on top of discounted");
+    }
+}
+
+#[test]
+fn q3_returns_top_orders_sorted_by_revenue() {
+    let cat = catalog();
+    let (rel, _) = run(&query(3), &cat).unwrap();
+    assert!(rel.num_rows() <= 10);
+    let rev = rel.column("revenue").unwrap();
+    let (m, _) = rev.as_decimal().unwrap();
+    for w in m.windows(2) {
+        assert!(w[0] >= w[1], "revenue must be descending");
+    }
+}
+
+#[test]
+fn q4_priorities_complete_and_sorted() {
+    let cat = catalog();
+    let (rel, _) = run(&query(4), &cat).unwrap();
+    assert_eq!(rel.num_rows(), 5, "all five priorities have late orders");
+    let first = rel.value(0, "o_orderpriority").unwrap();
+    assert_eq!(first, Value::Str("1-URGENT".into()));
+}
+
+#[test]
+fn q6_matches_hand_computed_scan() {
+    let cat = catalog();
+    let (rel, _) = run(&query(6), &cat).unwrap();
+    let (m, s) = rel.column("revenue").unwrap().as_decimal().unwrap();
+    // Hand-compute over the raw lineitem columns.
+    let li = cat.table("lineitem").unwrap();
+    let ship = li.column_by_name("l_shipdate").unwrap();
+    let ship = ship.as_date().unwrap();
+    let disc = li.column_by_name("l_discount").unwrap();
+    let (disc, _) = disc.as_decimal().unwrap();
+    let qty = li.column_by_name("l_quantity").unwrap();
+    let (qty, _) = qty.as_decimal().unwrap();
+    let ext = li.column_by_name("l_extendedprice").unwrap();
+    let (ext, _) = ext.as_decimal().unwrap();
+    let lo = wimpi_storage::Date32::from_ymd(1994, 1, 1).0;
+    let hi = wimpi_storage::Date32::from_ymd(1995, 1, 1).0;
+    let mut expected: i128 = 0;
+    for i in 0..ship.len() {
+        if ship[i] >= lo && ship[i] < hi && (5..=7).contains(&disc[i]) && qty[i] < 2400 {
+            expected += ext[i] as i128 * disc[i] as i128;
+        }
+    }
+    assert_eq!(m[0] as i128, expected, "Q6 revenue mismatch at scale {s}");
+}
+
+#[test]
+fn q13_includes_customers_without_orders() {
+    let cat = catalog();
+    let (rel, _) = run(&query(13), &cat).unwrap();
+    // The c_count = 0 bucket must exist (custkeys divisible by 3 never order).
+    let counts = rel.column("c_count").unwrap();
+    let counts = counts.as_i64().unwrap();
+    let dist = rel.column("custdist").unwrap();
+    let dist = dist.as_i64().unwrap();
+    let zero_bucket = counts.iter().position(|&c| c == 0).expect("zero bucket exists");
+    let customers = cat.table("customer").unwrap().num_rows() as i64;
+    assert!(
+        dist[zero_bucket] >= customers / 3,
+        "at least a third of customers have no orders"
+    );
+    // Total across buckets = number of customers.
+    let total: i64 = dist.iter().sum();
+    assert_eq!(total, customers);
+}
+
+#[test]
+fn q14_promo_fraction_is_a_percentage() {
+    let cat = catalog();
+    let (rel, _) = run(&query(14), &cat).unwrap();
+    let v = rel.column("promo_revenue").unwrap().as_f64().unwrap()[0];
+    assert!(v > 0.0 && v < 100.0, "promo revenue {v} should be a percentage");
+}
+
+#[test]
+fn q18_respects_having_threshold() {
+    let cat = catalog();
+    let (rel, _) = run(&query(18), &cat).unwrap();
+    let qty = rel.column("total_qty").unwrap();
+    let (m, s) = qty.as_decimal().unwrap();
+    let threshold = 300 * 10i64.pow(s as u32);
+    assert!(m.iter().all(|&q| q > threshold), "every order exceeds 300 units");
+}
+
+#[test]
+fn q22_customers_have_no_orders() {
+    let cat = catalog();
+    let (rel, _) = run(&query(22), &cat).unwrap();
+    assert!(rel.num_rows() <= 7, "at most seven country codes");
+    let n = rel.column("numcust").unwrap();
+    assert!(n.as_i64().unwrap().iter().all(|&c| c > 0));
+}
+
+#[test]
+fn chokepoint_subset_is_stable() {
+    assert_eq!(CHOKEPOINT_QUERIES, [1, 3, 4, 5, 6, 13, 14, 19]);
+}

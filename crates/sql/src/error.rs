@@ -1,0 +1,44 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, or planning SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer failure.
+    Lex(String),
+    /// Grammar failure.
+    Parse(String),
+    /// Name resolution / planning failure.
+    Plan(String),
+    /// A SQL feature outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(s) => write!(f, "lex error: {s}"),
+            SqlError::Parse(s) => write!(f, "parse error: {s}"),
+            SqlError::Plan(s) => write!(f, "plan error: {s}"),
+            SqlError::Unsupported(s) => write!(f, "unsupported SQL: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_prefix_by_stage() {
+        assert!(SqlError::Lex("x".into()).to_string().starts_with("lex"));
+        assert!(SqlError::Parse("x".into()).to_string().starts_with("parse"));
+        assert!(SqlError::Unsupported("x".into()).to_string().starts_with("unsupported"));
+    }
+}

@@ -1,0 +1,204 @@
+//! SQL lexer.
+
+use crate::error::{Result, SqlError};
+use crate::token::Token;
+
+/// Tokenizes a SQL string. Comments (`-- …`) are skipped; identifiers stay
+/// case-preserved (comparisons are case-insensitive at parse time).
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Lex("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut is_float = c == '.';
+                while i < b.len()
+                    && (b[i].is_ascii_digit() || (b[i] == b'.' && !is_float && {
+                        is_float = true;
+                        true
+                    }))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Token::Number(text.to_string()));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| SqlError::Lex(format!("bad integer {text:?}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_simple_select() {
+        let toks = lex("SELECT a, sum(b) FROM t WHERE a >= 10.5 -- tail\n").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert!(toks.iter().any(|t| *t == Token::Number("10.5".into())));
+        assert!(toks.iter().any(|t| *t == Token::Ge));
+        assert!(!toks.iter().any(|t| matches!(t, Token::Word(w) if w == "tail")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators_distinguished() {
+        let toks = lex("< <= <> != >= > =").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Ne,
+                Token::Ne,
+                Token::Ge,
+                Token::Gt,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_names_and_numbers() {
+        let toks = lex("l.quantity 1.5 42").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("l".into()),
+                Token::Dot,
+                Token::Word("quantity".into()),
+                Token::Number("1.5".into()),
+                Token::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("select @x").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # wimpi-sql
+//!
+//! A SQL front end for the WIMPI engine: lexer, recursive-descent parser,
+//! and planner for the TPC-H-sized subset (SELECT/FROM with inner joins,
+//! WHERE, GROUP BY, HAVING, ORDER BY, LIMIT; LIKE/IN/BETWEEN/CASE/EXTRACT/
+//! SUBSTRING; DATE ± INTERVAL folding; sum/avg/count/min/max with
+//! `count(distinct …)`).
+//!
+//! Outside the subset — correlated or scalar subqueries, outer-join syntax,
+//! self-joins — the planner returns a precise [`SqlError::Unsupported`];
+//! `wimpi-queries` covers those query shapes through the plan-builder API.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+pub mod token;
+
+pub use error::{Result, SqlError};
+
+use wimpi_engine::{LogicalPlan, Relation, WorkProfile};
+use wimpi_storage::Catalog;
+
+/// Parses and plans one SELECT statement.
+pub fn plan(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    let q = parser::parse(sql)?;
+    planner::plan_query(&q, catalog)
+}
+
+/// Parses, plans, optimizes, and executes one SELECT statement.
+pub fn execute_sql(
+    sql: &str,
+    catalog: &Catalog,
+) -> Result<(Relation, WorkProfile)> {
+    let p = plan(sql, catalog)?;
+    wimpi_engine::execute_query(&p, catalog)
+        .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
+}

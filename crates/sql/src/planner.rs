@@ -1,0 +1,508 @@
+//! Lowers a parsed [`Query`] onto the engine's [`LogicalPlan`].
+//!
+//! Planning steps:
+//!
+//! 1. **Name resolution** — FROM tables are looked up in the catalog;
+//!    column references (qualified or bare) must resolve to exactly one
+//!    table. TPC-H's prefixed column names make bare references unambiguous.
+//! 2. **Join-graph construction** — WHERE conjuncts of the shape
+//!    `t1.col = t2.col` between different tables become join edges; the
+//!    planner joins greedily from the first FROM table through connected
+//!    tables (hash join, build side = the newly joined table). Disconnected
+//!    FROM tables (cross joins) are rejected.
+//! 3. **Aggregation** — if the select list contains aggregates or GROUP BY
+//!    is present, aggregate subtrees are pulled out into an `Aggregate`
+//!    node with synthesized names and the select list is rewritten over its
+//!    output (so `100 * sum(a) / sum(b)` plans as a post-aggregation
+//!    projection).
+//! 4. **HAVING / ORDER BY / LIMIT** map onto Filter / Sort / Limit.
+
+use std::collections::BTreeSet;
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use wimpi_engine::expr as ee;
+use wimpi_engine::plan::{AggExpr, AggFunc, LogicalPlan, SortKey};
+use wimpi_engine::plan::JoinType;
+use wimpi_storage::{Catalog, Date32, Decimal64, Value};
+
+/// Plans a parsed query against a catalog.
+pub fn plan_query(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
+    let scope = Scope::resolve(&q.from, catalog)?;
+
+    // --- split WHERE into join edges and residual filters ---------------
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &q.where_clause {
+        split_and(w, &mut conjuncts);
+    }
+    let mut edges: Vec<(usize, String, usize, String)> = Vec::new();
+    let mut residual: Vec<SqlExpr> = Vec::new();
+    for c in conjuncts {
+        match as_join_edge(&c, &scope)? {
+            Some(edge) => edges.push(edge),
+            None => residual.push(c),
+        }
+    }
+
+    // --- build the join tree --------------------------------------------
+    let mut joined: BTreeSet<usize> = BTreeSet::new();
+    joined.insert(0);
+    let mut plan = LogicalPlan::Scan { table: scope.tables[0].0.clone(), projection: None };
+    let mut remaining: BTreeSet<usize> = (1..scope.tables.len()).collect();
+    let mut pending_edges = edges;
+    while !remaining.is_empty() {
+        // Find a table connected to the joined set.
+        let next = remaining
+            .iter()
+            .copied()
+            .find(|&t| {
+                pending_edges.iter().any(|(a, _, b, _)| {
+                    (joined.contains(a) && *b == t) || (joined.contains(b) && *a == t)
+                })
+            })
+            .ok_or_else(|| {
+                SqlError::Unsupported(
+                    "cross joins are not supported: every FROM table needs an equality \
+                     predicate connecting it"
+                        .to_string(),
+                )
+            })?;
+        // Collect every edge between the joined set and `next`.
+        let mut on: Vec<(String, String)> = Vec::new();
+        pending_edges.retain(|(a, ca, b, cb)| {
+            if joined.contains(a) && *b == next {
+                on.push((ca.clone(), cb.clone()));
+                false
+            } else if joined.contains(b) && *a == next {
+                on.push((cb.clone(), ca.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        let right = LogicalPlan::Scan { table: scope.tables[next].0.clone(), projection: None };
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            on,
+            join_type: JoinType::Inner,
+        };
+        joined.insert(next);
+        remaining.remove(&next);
+    }
+    // Any edges left (e.g. a second equality between already-joined tables)
+    // become residual filters.
+    for (_, ca, _, cb) in pending_edges {
+        residual.push(SqlExpr::Binary {
+            op: SqlOp::Eq,
+            left: Box::new(SqlExpr::Column { qualifier: None, name: ca }),
+            right: Box::new(SqlExpr::Column { qualifier: None, name: cb }),
+        });
+    }
+    if !residual.is_empty() {
+        let pred = residual
+            .into_iter()
+            .map(|c| lower_expr(&c, &scope))
+            .collect::<Result<Vec<_>>>()?
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .expect("non-empty");
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+    }
+
+    // --- aggregation ------------------------------------------------------
+    let items = q.items.as_ref().ok_or_else(|| {
+        SqlError::Unsupported("SELECT * with GROUP BY/aggregates is ambiguous".to_string())
+    });
+    let has_agg = q
+        .items
+        .as_ref()
+        .map(|items| items.iter().any(|i| i.expr.contains_aggregate()))
+        .unwrap_or(false)
+        || q.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+    let mut output_names: Vec<String> = Vec::new();
+    if has_agg || !q.group_by.is_empty() {
+        let items = items?;
+        // Group keys: named after the select item that matches them, else
+        // synthesized.
+        let mut group_cols: Vec<(ee::Expr, String)> = Vec::new();
+        let mut key_names: Vec<(SqlExpr, String)> = Vec::new();
+        for (i, g) in q.group_by.iter().enumerate() {
+            let name = items
+                .iter()
+                .find(|it| &it.expr == g)
+                .map(|it| item_name(it))
+                .unwrap_or_else(|| format!("__key{i}"));
+            group_cols.push((lower_expr(g, &scope)?, name.clone()));
+            key_names.push((g.clone(), name));
+        }
+        // Extract aggregates from select items and HAVING.
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        let mut final_items: Vec<(ee::Expr, String)> = Vec::new();
+        for it in items {
+            let name = item_name(it);
+            let rewritten = extract_aggs(&it.expr, &scope, &mut aggs, &key_names)?;
+            output_names.push(name.clone());
+            final_items.push((rewritten, name));
+        }
+        let having = match &q.having {
+            Some(h) => Some(extract_aggs(h, &scope, &mut aggs, &key_names)?),
+            None => None,
+        };
+        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by: group_cols, aggs };
+        if let Some(h) = having {
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h };
+        }
+        plan = LogicalPlan::Project { input: Box::new(plan), exprs: final_items };
+    } else {
+        match &q.items {
+            None => {
+                // SELECT *: keep every column of every FROM table.
+                output_names = scope.all_columns();
+            }
+            Some(items) => {
+                let mut exprs = Vec::new();
+                for it in items {
+                    let name = item_name(it);
+                    output_names.push(name.clone());
+                    exprs.push((lower_expr(&it.expr, &scope)?, name));
+                }
+                plan = LogicalPlan::Project { input: Box::new(plan), exprs };
+            }
+        }
+    }
+
+    // --- ORDER BY / LIMIT -------------------------------------------------
+    if !q.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for o in &q.order_by {
+            let column = match &o.key {
+                OrderKey::Name(n) => {
+                    let found = output_names.iter().find(|c| c.eq_ignore_ascii_case(n));
+                    found
+                        .cloned()
+                        .ok_or_else(|| {
+                            SqlError::Plan(format!("ORDER BY column {n} is not in the output"))
+                        })?
+                }
+                OrderKey::Position(p) => output_names
+                    .get(p - 1)
+                    .cloned()
+                    .ok_or_else(|| {
+                        SqlError::Plan(format!("ORDER BY position {p} out of range"))
+                    })?,
+            };
+            keys.push(SortKey { column, descending: o.descending });
+        }
+        plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+    }
+    if let Some(n) = q.limit {
+        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+    }
+    Ok(plan)
+}
+
+/// Resolution scope: FROM tables and their columns.
+struct Scope {
+    /// (table name, alias, column names) per FROM entry.
+    tables: Vec<(String, Option<String>, Vec<String>)>,
+}
+
+impl Scope {
+    fn resolve(from: &[TableRef], catalog: &Catalog) -> Result<Scope> {
+        if from.is_empty() {
+            return Err(SqlError::Plan("FROM clause is empty".to_string()));
+        }
+        let mut tables = Vec::new();
+        for t in from {
+            let table = catalog
+                .table(&t.name)
+                .map_err(|_| SqlError::Plan(format!("unknown table {}", t.name)))?;
+            let cols =
+                table.schema().fields().iter().map(|f| f.name.clone()).collect::<Vec<_>>();
+            tables.push((t.name.clone(), t.alias.clone(), cols));
+        }
+        // Reject duplicate column names across tables (self-joins need
+        // aliased projections, which the subset does not cover).
+        let mut seen = BTreeSet::new();
+        for (name, _, cols) in &tables {
+            for c in cols {
+                if !seen.insert(c.clone()) {
+                    return Err(SqlError::Unsupported(format!(
+                        "column {c} appears in more than one FROM table ({name}): self-joins \
+                         are outside the SQL subset"
+                    )));
+                }
+            }
+        }
+        Ok(Scope { tables })
+    }
+
+    /// Finds the FROM index owning a column reference.
+    fn find(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        for (i, (tname, alias, cols)) in self.tables.iter().enumerate() {
+            if let Some(q) = qualifier {
+                let matches_q = q.eq_ignore_ascii_case(tname)
+                    || alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q));
+                if !matches_q {
+                    continue;
+                }
+            }
+            if cols.iter().any(|c| c.eq_ignore_ascii_case(name)) {
+                return Ok(i);
+            }
+        }
+        Err(SqlError::Plan(format!(
+            "unknown column {}{name}",
+            qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+        )))
+    }
+
+    fn all_columns(&self) -> Vec<String> {
+        self.tables.iter().flat_map(|(_, _, cols)| cols.iter().cloned()).collect()
+    }
+}
+
+fn item_name(it: &SelectItem) -> String {
+    if let Some(a) = &it.alias {
+        return a.clone();
+    }
+    match &it.expr {
+        SqlExpr::Column { name, .. } => name.clone(),
+        SqlExpr::Func { name, .. } => name.clone(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn split_and(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
+    match e {
+        SqlExpr::Binary { op: SqlOp::And, left, right } => {
+            split_and(left, out);
+            split_and(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// `t1.c1 = t2.c2` across two different tables → a join edge.
+fn as_join_edge(
+    e: &SqlExpr,
+    scope: &Scope,
+) -> Result<Option<(usize, String, usize, String)>> {
+    if let SqlExpr::Binary { op: SqlOp::Eq, left, right } = e {
+        if let (
+            SqlExpr::Column { qualifier: ql, name: nl },
+            SqlExpr::Column { qualifier: qr, name: nr },
+        ) = (&**left, &**right)
+        {
+            let tl = scope.find(ql.as_deref(), nl)?;
+            let tr = scope.find(qr.as_deref(), nr)?;
+            if tl != tr {
+                return Ok(Some((tl, nl.clone(), tr, nr.clone())));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Lowers a scalar SQL expression to an engine expression.
+fn lower_expr(e: &SqlExpr, scope: &Scope) -> Result<ee::Expr> {
+    Ok(match e {
+        SqlExpr::Column { qualifier, name } => {
+            scope.find(qualifier.as_deref(), name)?;
+            ee::col(name.clone())
+        }
+        SqlExpr::Int(v) => ee::lit(*v),
+        SqlExpr::Number(s) => ee::Expr::Lit(Value::Dec(number_to_decimal(s)?)),
+        SqlExpr::Str(s) => ee::lit(s.as_str()),
+        SqlExpr::Date(s) => ee::Expr::Lit(Value::Date(
+            Date32::parse(s).map_err(|e| SqlError::Plan(format!("bad date: {e}")))?,
+        )),
+        SqlExpr::Interval { .. } => {
+            return Err(SqlError::Plan(
+                "INTERVAL is only valid added to/subtracted from a DATE literal".to_string(),
+            ))
+        }
+        SqlExpr::Binary { op, left, right } => {
+            // Constant-fold date ± interval, the TPC-H idiom.
+            if let Some(folded) = fold_date_interval(op, left, right)? {
+                return Ok(folded);
+            }
+            let l = lower_expr(left, scope)?;
+            let r = lower_expr(right, scope)?;
+            match op {
+                SqlOp::Add => l.add(r),
+                SqlOp::Sub => l.sub(r),
+                SqlOp::Mul => l.mul(r),
+                SqlOp::Div => l.div(r),
+                SqlOp::Eq => l.eq(r),
+                SqlOp::Ne => l.neq(r),
+                SqlOp::Lt => l.lt(r),
+                SqlOp::Le => l.lte(r),
+                SqlOp::Gt => l.gt(r),
+                SqlOp::Ge => l.gte(r),
+                SqlOp::And => l.and(r),
+                SqlOp::Or => l.or(r),
+            }
+        }
+        SqlExpr::Not(inner) => lower_expr(inner, scope)?.negate(),
+        SqlExpr::Like { expr, pattern, negated } => {
+            let input = lower_expr(expr, scope)?;
+            if *negated {
+                input.not_like(pattern.clone())
+            } else {
+                input.like(pattern.clone())
+            }
+        }
+        SqlExpr::InList { expr, list, negated } => {
+            let input = lower_expr(expr, scope)?;
+            let values = list
+                .iter()
+                .map(|v| literal_value(v))
+                .collect::<Result<Vec<_>>>()?;
+            if *negated {
+                input.not_in_list(values)
+            } else {
+                input.in_list(values)
+            }
+        }
+        SqlExpr::Between { expr, low, high } => {
+            let input = lower_expr(expr, scope)?;
+            input.between(literal_value(low)?, literal_value(high)?)
+        }
+        SqlExpr::Case { when, then, otherwise } => lower_expr(when, scope)?
+            .case(lower_expr(then, scope)?, lower_expr(otherwise, scope)?),
+        SqlExpr::Extract { field, from } => {
+            if field != "YEAR" {
+                return Err(SqlError::Unsupported(format!("EXTRACT({field}) — only YEAR")));
+            }
+            lower_expr(from, scope)?.year()
+        }
+        SqlExpr::Substring { expr, start, len } => {
+            if *start < 1 || *len < 0 {
+                return Err(SqlError::Plan("SUBSTRING bounds must be positive".to_string()));
+            }
+            lower_expr(expr, scope)?.substr(*start as usize, *len as usize)
+        }
+        SqlExpr::Func { name, .. } => {
+            return Err(SqlError::Plan(format!(
+                "aggregate {name}() in a scalar context (missing GROUP BY handling?)"
+            )))
+        }
+    })
+}
+
+/// `date 'x' ± interval 'n' unit` folds to a date literal at plan time.
+fn fold_date_interval(
+    op: &SqlOp,
+    left: &SqlExpr,
+    right: &SqlExpr,
+) -> Result<Option<ee::Expr>> {
+    let (base, interval, sign) = match (op, left, right) {
+        (SqlOp::Add, SqlExpr::Date(d), SqlExpr::Interval { n, unit }) => (d, (*n, unit), 1),
+        (SqlOp::Sub, SqlExpr::Date(d), SqlExpr::Interval { n, unit }) => (d, (*n, unit), -1),
+        _ => return Ok(None),
+    };
+    let d = Date32::parse(base).map_err(|e| SqlError::Plan(format!("bad date: {e}")))?;
+    let (n, unit) = interval;
+    let n = n as i32 * sign;
+    let out = match unit.as_str() {
+        "DAY" => d.add_days(n),
+        "MONTH" => d.add_months(n),
+        "YEAR" => d.add_years(n),
+        other => {
+            return Err(SqlError::Unsupported(format!("INTERVAL unit {other}")))
+        }
+    };
+    Ok(Some(ee::Expr::Lit(Value::Date(out))))
+}
+
+fn literal_value(e: &SqlExpr) -> Result<Value> {
+    Ok(match e {
+        SqlExpr::Int(v) => Value::I64(*v),
+        SqlExpr::Number(s) => Value::Dec(number_to_decimal(s)?),
+        SqlExpr::Str(s) => Value::Str(s.clone()),
+        SqlExpr::Date(s) => Value::Date(
+            Date32::parse(s).map_err(|e| SqlError::Plan(format!("bad date: {e}")))?,
+        ),
+        other => {
+            return Err(SqlError::Unsupported(format!(
+                "expected a literal, found {other:?}"
+            )))
+        }
+    })
+}
+
+/// Picks a decimal scale from the literal's fractional digits (TPC-H rates
+/// are scale ≤ 2; anything deeper still fits the engine's scale-6 cap).
+fn number_to_decimal(s: &str) -> Result<Decimal64> {
+    let frac = s.split('.').nth(1).map(str::len).unwrap_or(0).min(6) as u8;
+    Decimal64::from_str_scale(s, frac.max(2))
+        .map_err(|e| SqlError::Plan(format!("bad numeric literal {s:?}: {e}")))
+}
+
+/// Replaces aggregate subtrees with references to synthesized aggregate
+/// outputs, appending the aggregates to `aggs`.
+fn extract_aggs(
+    e: &SqlExpr,
+    scope: &Scope,
+    aggs: &mut Vec<AggExpr>,
+    keys: &[(SqlExpr, String)],
+) -> Result<ee::Expr> {
+    // A bare group-key expression can be referenced by its output name.
+    if let Some((_, name)) = keys.iter().find(|(k, _)| k == e) {
+        return Ok(ee::col(name.clone()));
+    }
+    match e {
+        SqlExpr::Func { name, distinct, star, args } => {
+            let func = match (name.as_str(), distinct, star) {
+                ("count", true, false) => AggFunc::CountDistinct,
+                ("count", false, _) => AggFunc::CountStar,
+                ("sum", false, false) => AggFunc::Sum,
+                ("avg", false, false) => AggFunc::Avg,
+                ("min", false, false) => AggFunc::Min,
+                ("max", false, false) => AggFunc::Max,
+                other => {
+                    return Err(SqlError::Unsupported(format!(
+                        "aggregate combination {other:?}"
+                    )))
+                }
+            };
+            let expr = match (func, args.first()) {
+                (AggFunc::CountStar, _) => None,
+                (_, Some(a)) => Some(lower_expr(a, scope)?),
+                (_, None) => {
+                    return Err(SqlError::Plan(format!("{name}() needs an argument")))
+                }
+            };
+            let out_name = format!("__agg{}", aggs.len());
+            aggs.push(AggExpr { func, expr, name: out_name.clone() });
+            Ok(ee::col(out_name))
+        }
+        SqlExpr::Binary { op, left, right } => {
+            let l = extract_aggs(left, scope, aggs, keys)?;
+            let r = extract_aggs(right, scope, aggs, keys)?;
+            Ok(match op {
+                SqlOp::Add => l.add(r),
+                SqlOp::Sub => l.sub(r),
+                SqlOp::Mul => l.mul(r),
+                SqlOp::Div => l.div(r),
+                SqlOp::Eq => l.eq(r),
+                SqlOp::Ne => l.neq(r),
+                SqlOp::Lt => l.lt(r),
+                SqlOp::Le => l.lte(r),
+                SqlOp::Gt => l.gt(r),
+                SqlOp::Ge => l.gte(r),
+                SqlOp::And => l.and(r),
+                SqlOp::Or => l.or(r),
+            })
+        }
+        SqlExpr::Not(inner) => Ok(extract_aggs(inner, scope, aggs, keys)?.negate()),
+        // Leaves without aggregates lower normally.
+        other if !other.contains_aggregate() => lower_expr(other, scope),
+        other => Err(SqlError::Unsupported(format!(
+            "aggregate inside {other:?} is outside the subset"
+        ))),
+    }
+}

@@ -1,0 +1,79 @@
+//! SQL tokens.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased) or bare identifier (original case).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal, kept textual so the planner can choose a scale.
+    Number(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `;`.
+    Semi,
+}
+
+impl Token {
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Calendar dates as days since the Unix epoch.
+//!
+//! TPC-H date columns span 1992-01-01 through 1998-12-31 and the queries need
+//! only comparison, `extract(year)`, and month/year interval arithmetic. A
+//! 32-bit day count with a proleptic-Gregorian converter (Howard Hinnant's
+//! `days_from_civil` algorithm) covers all of that without pulling in a
+//! calendar dependency.
+
+use crate::error::{Result, StorageError};
+use std::fmt;
+
+/// A date stored as days since 1970-01-01.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date32(pub i32);
+
+impl Date32 {
+    /// Builds a date from a civil (year, month, day) triple.
+    ///
+    /// ```
+    /// use wimpi_storage::date::Date32;
+    /// assert_eq!(Date32::from_ymd(1970, 1, 1).0, 0);
+    /// assert_eq!(Date32::from_ymd(1992, 1, 1).0, 8035);
+    /// ```
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        debug_assert!((1..=12).contains(&month), "month out of range: {month}");
+        debug_assert!((1..=31).contains(&day), "day out of range: {day}");
+        let y = if month <= 2 { year - 1 } else { year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (month as i64 + 9) % 12; // Mar=0 .. Feb=11
+        let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        Date32((era * 146097 + doe - 719468) as i32)
+    }
+
+    /// Decomposes into a civil (year, month, day) triple.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let z = self.0 as i64 + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        let year = if m <= 2 { y + 1 } else { y } as i32;
+        (year, m, d)
+    }
+
+    /// The year component (`extract(year from d)`).
+    pub fn year(self) -> i32 {
+        self.to_ymd().0
+    }
+
+    /// The month component, 1-based.
+    pub fn month(self) -> u32 {
+        self.to_ymd().1
+    }
+
+    /// Adds a number of days.
+    pub fn add_days(self, days: i32) -> Self {
+        Date32(self.0 + days)
+    }
+
+    /// Adds calendar months, clamping the day to the target month's length —
+    /// the SQL `date + interval 'n' month` rule TPC-H substitution parameters
+    /// rely on.
+    pub fn add_months(self, months: i32) -> Self {
+        let (y, m, d) = self.to_ymd();
+        let total = (y as i64) * 12 + (m as i64 - 1) + months as i64;
+        let ny = (total.div_euclid(12)) as i32;
+        let nm = (total.rem_euclid(12)) as u32 + 1;
+        let nd = d.min(days_in_month(ny, nm));
+        Date32::from_ymd(ny, nm, nd)
+    }
+
+    /// Adds calendar years (`date + interval 'n' year`).
+    pub fn add_years(self, years: i32) -> Self {
+        self.add_months(years * 12)
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || StorageError::Parse(format!("bad date: {s:?}"));
+        let mut it = s.splitn(3, '-');
+        let y: i32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return Err(bad());
+        }
+        Ok(Date32::from_ymd(y, m, d))
+    }
+}
+
+/// Number of days in a civil month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month out of range: {month}"),
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+impl fmt::Display for Date32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date32::from_ymd(1970, 1, 1).0, 0);
+        assert_eq!(Date32(0).to_ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_over_tpch_range() {
+        // Every day in the TPC-H population range survives a round trip.
+        let start = Date32::from_ymd(1992, 1, 1).0;
+        let end = Date32::from_ymd(1998, 12, 31).0;
+        for day in start..=end {
+            let d = Date32(day);
+            let (y, m, dd) = d.to_ymd();
+            assert_eq!(Date32::from_ymd(y, m, dd).0, day);
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(1992));
+        assert!(is_leap(1996));
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(1995));
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1995, 2), 28);
+    }
+
+    #[test]
+    fn add_months_clamps_day() {
+        let d = Date32::from_ymd(1993, 1, 31);
+        assert_eq!(d.add_months(1).to_string(), "1993-02-28");
+        assert_eq!(d.add_months(3).to_string(), "1993-04-30");
+        assert_eq!(d.add_months(12).to_string(), "1994-01-31");
+        assert_eq!(d.add_months(-1).to_string(), "1992-12-31");
+    }
+
+    #[test]
+    fn add_years_matches_q1_style_windows() {
+        // The `shipdate >= date '1994-01-01' and < date + 1 year` pattern.
+        let lo = Date32::parse("1994-01-01").unwrap();
+        let hi = lo.add_years(1);
+        assert_eq!(hi.to_string(), "1995-01-01");
+        assert_eq!(hi.0 - lo.0, 365);
+    }
+
+    #[test]
+    fn parse_rejects_bad_dates() {
+        assert!(Date32::parse("1994-13-01").is_err());
+        assert!(Date32::parse("1994-02-30").is_err());
+        assert!(Date32::parse("hello").is_err());
+        assert!(Date32::parse("1994-01").is_err());
+    }
+
+    #[test]
+    fn display_formats_iso() {
+        assert_eq!(Date32::from_ymd(1998, 9, 2).to_string(), "1998-09-02");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Date32::parse("1995-03-15").unwrap() < Date32::parse("1995-03-16").unwrap());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types shared by the storage layer and everything built on it.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+///
+/// The engine and cluster crates wrap these in their own error types; the
+/// variants here deliberately stay coarse because callers either surface them
+/// to a user or treat them as a hard invariant violation in a test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column was addressed by a name the schema does not contain.
+    ColumnNotFound(String),
+    /// A table was addressed by a name the catalog does not contain.
+    TableNotFound(String),
+    /// An operation received a column of an unexpected [`crate::DataType`].
+    TypeMismatch {
+        /// What the operation required.
+        expected: String,
+        /// What it actually got.
+        actual: String,
+    },
+    /// Column lengths within one table (or one operation) disagree.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A memory budget (e.g. a simulated node's 1 GB) would be exceeded.
+    OutOfMemory {
+        /// Bytes the operation attempted to hold.
+        requested: usize,
+        /// Bytes the budget allows.
+        budget: usize,
+    },
+    /// Decimal arithmetic overflowed the 64-bit mantissa.
+    DecimalOverflow,
+    /// A value failed to parse (dates, decimals).
+    Parse(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            StorageError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StorageError::OutOfMemory { requested, budget } => {
+                write!(f, "out of memory: requested {requested} B, budget {budget} B")
+            }
+            StorageError::DecimalOverflow => write!(f, "decimal overflow"),
+            StorageError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = StorageError::ColumnNotFound("l_tax".into());
+        assert_eq!(e.to_string(), "column not found: l_tax");
+    }
+
+    #[test]
+    fn display_out_of_memory() {
+        let e = StorageError::OutOfMemory { requested: 10, budget: 5 };
+        assert!(e.to_string().contains("requested 10 B"));
+        assert!(e.to_string().contains("budget 5 B"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::DecimalOverflow,
+            StorageError::DecimalOverflow
+        );
+        assert_ne!(
+            StorageError::TableNotFound("a".into()),
+            StorageError::TableNotFound("b".into())
+        );
+    }
+}

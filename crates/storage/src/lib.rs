@@ -1,0 +1,28 @@
+//! # wimpi-storage
+//!
+//! The columnar storage layer shared by every crate in the WIMPI
+//! reproduction: typed [`Column`]s, dictionary-encoded strings, fixed-point
+//! [`decimal::Decimal64`]s, [`date::Date32`] calendar dates, [`Schema`]s,
+//! immutable [`Table`]s, [`Catalog`]s, and MonetDB-style selection vectors.
+//!
+//! Design notes live in the repository's `DESIGN.md` (§3, §7).
+
+pub mod column;
+pub mod date;
+pub mod decimal;
+pub mod dict;
+pub mod error;
+pub mod schema;
+pub mod selection;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use date::Date32;
+pub use decimal::Decimal64;
+pub use dict::{DictBuilder, DictColumn};
+pub use error::{Result, StorageError};
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use selection::SelVec;
+pub use table::{Catalog, Table};
+pub use value::Value;

@@ -1,0 +1,127 @@
+//! Selection vectors — MonetDB-style candidate lists.
+//!
+//! A selection vector is a sorted list of row ids that survive a predicate.
+//! Operators pass these instead of materializing filtered columns; the
+//! `bench/selection` ablation measures the difference.
+
+/// A sorted list of selected row ids.
+pub type SelVec = Vec<u32>;
+
+/// The identity selection over `n` rows.
+pub fn identity(n: usize) -> SelVec {
+    (0..n as u32).collect()
+}
+
+/// Intersects two sorted selection vectors.
+pub fn intersect(a: &[u32], b: &[u32]) -> SelVec {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Unions two sorted selection vectors.
+pub fn union(a: &[u32], b: &[u32]) -> SelVec {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Complements a sorted selection vector over a universe of `n` rows.
+pub fn complement(sel: &[u32], n: usize) -> SelVec {
+    let mut out = Vec::with_capacity(n - sel.len());
+    let mut next = 0u32;
+    for &s in sel {
+        while next < s {
+            out.push(next);
+            next += 1;
+        }
+        next = s + 1;
+    }
+    while (next as usize) < n {
+        out.push(next);
+        next += 1;
+    }
+    out
+}
+
+/// Converts a bool mask to a selection vector.
+pub fn from_mask(mask: &[bool]) -> SelVec {
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_covers_all_rows() {
+        assert_eq!(identity(4), vec![0, 1, 2, 3]);
+        assert!(identity(0).is_empty());
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        assert_eq!(intersect(&[0, 2, 4, 6], &[1, 2, 3, 4]), vec![2, 4]);
+        assert!(intersect(&[0, 1], &[2, 3]).is_empty());
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        assert_eq!(union(&[0, 2], &[1, 2, 5]), vec![0, 1, 2, 5]);
+        assert_eq!(union(&[], &[3]), vec![3]);
+    }
+
+    #[test]
+    fn complement_inverts() {
+        assert_eq!(complement(&[1, 3], 5), vec![0, 2, 4]);
+        assert_eq!(complement(&[], 3), vec![0, 1, 2]);
+        assert!(complement(&[0, 1, 2], 3).is_empty());
+    }
+
+    #[test]
+    fn from_mask_selects_true() {
+        assert_eq!(from_mask(&[true, false, true]), vec![0, 2]);
+    }
+
+    #[test]
+    fn complement_round_trips_with_union() {
+        let sel = vec![0, 4, 7, 9];
+        let co = complement(&sel, 10);
+        assert_eq!(union(&sel, &co), identity(10));
+        assert!(intersect(&sel, &co).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Tables and catalogs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::schema::{Schema, SchemaRef};
+
+/// An immutable in-memory table: a schema plus one column per field.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: SchemaRef,
+    columns: Vec<Arc<Column>>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Builds a table, checking that every column matches its field's type
+    /// and that all columns have the same length.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::LengthMismatch {
+                left: schema.len(),
+                right: columns.len(),
+            });
+        }
+        let nrows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.data_type() != f.data_type {
+                return Err(StorageError::TypeMismatch {
+                    expected: format!("{} for {}", f.data_type, f.name),
+                    actual: c.data_type().to_string(),
+                });
+            }
+            if c.len() != nrows {
+                return Err(StorageError::LengthMismatch { left: nrows, right: c.len() });
+            }
+        }
+        Ok(Self {
+            schema: Arc::new(schema),
+            columns: columns.into_iter().map(Arc::new).collect(),
+            nrows,
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column at ordinal `i`.
+    pub fn column(&self, i: usize) -> &Arc<Column> {
+        &self.columns[i]
+    }
+
+    /// The column with the given name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Arc<Column>> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Total heap bytes held by all columns — the quantity the cluster's
+    /// per-node memory budget accounts against.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_bytes()).sum()
+    }
+}
+
+/// A named collection of tables — one per simulated node, or one for the
+/// whole database in single-node runs.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Registers a shared table handle (replication without copying).
+    pub fn register_shared(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Table names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total heap bytes across all tables. Shared (replicated) tables are
+    /// counted once per catalog, matching what one node would hold.
+    pub fn heap_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn small_table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+            vec![
+                Column::Int64(vec![1, 2, 3]),
+                Column::Float64(vec![0.5, 1.5, 2.5]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_types() {
+        let err = Table::new(
+            Schema::new(vec![Field::new("k", DataType::Int64)]),
+            vec![Column::Float64(vec![1.0])],
+        );
+        assert!(matches!(err, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let err = Table::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ]),
+            vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])],
+        );
+        assert!(matches!(err, Err(StorageError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn lookups_by_name_and_ordinal() {
+        let t = small_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column_by_name("v").unwrap().len(), 3);
+        assert!(t.column_by_name("w").is_err());
+        assert_eq!(t.column(0).as_i64().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn catalog_register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register("t", small_table());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("t").unwrap().num_rows(), 3);
+        assert!(c.table("missing").is_err());
+        assert_eq!(c.names().collect::<Vec<_>>(), ["t"]);
+    }
+
+    #[test]
+    fn shared_registration_does_not_copy() {
+        let t = Arc::new(small_table());
+        let mut a = Catalog::new();
+        let mut b = Catalog::new();
+        a.register_shared("t", Arc::clone(&t));
+        b.register_shared("t", Arc::clone(&t));
+        assert!(Arc::ptr_eq(a.table("t").unwrap(), b.table("t").unwrap()));
+    }
+
+    #[test]
+    fn heap_bytes_sums_columns() {
+        let t = small_table();
+        assert_eq!(t.heap_bytes(), 3 * 8 + 3 * 8);
+    }
+}

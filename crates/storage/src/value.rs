@@ -1,0 +1,194 @@
+//! Scalar values: literals, aggregate results, and row cells.
+
+use crate::date::Date32;
+use crate::decimal::Decimal64;
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single scalar value of any supported [`DataType`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit integer.
+    I32(i32),
+    /// Double.
+    F64(f64),
+    /// Fixed-point decimal.
+    Dec(Decimal64),
+    /// Calendar date.
+    Date(Date32),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::I64(_) => DataType::Int64,
+            Value::I32(_) => DataType::Int32,
+            Value::F64(_) => DataType::Float64,
+            Value::Dec(d) => DataType::Decimal(d.scale()),
+            Value::Date(_) => DataType::Date,
+            Value::Str(_) => DataType::Utf8,
+            Value::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Numeric view as `f64` (integers, decimals, floats); `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::I32(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Dec(d) => Some(d.to_f64()),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::I32(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order across same-type values; cross-type comparisons order
+    /// numerics by magnitude and otherwise fall back to type rank, which keeps
+    /// ORDER BY deterministic even on heterogeneous intermediates.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (I64(a), I64(b)) => a.cmp(b),
+            (I32(a), I32(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            (Dec(a), Dec(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.total_cmp(&b),
+                _ => type_rank(self).cmp(&type_rank(other)),
+            },
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Bool(_) => 0,
+        Value::I32(_) => 1,
+        Value::I64(_) => 2,
+        Value::F64(_) => 3,
+        Value::Dec(_) => 4,
+        Value::Date(_) => 5,
+        Value::Str(_) => 6,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.4}"),
+            Value::Dec(d) => write!(f, "{d}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<Decimal64> for Value {
+    fn from(v: Decimal64) -> Self {
+        Value::Dec(v)
+    }
+}
+
+impl From<Date32> for Value {
+    fn from(v: Date32) -> Self {
+        Value::Date(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_reflects_variant() {
+        assert_eq!(Value::I64(1).data_type(), DataType::Int64);
+        assert_eq!(
+            Value::Dec(Decimal64::new(100, 2)).data_type(),
+            DataType::Decimal(2)
+        );
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Dec(Decimal64::new(150, 2)).as_f64(), Some(1.5));
+        assert_eq!(Value::I32(7).as_i64(), Some(7));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn total_cmp_same_type() {
+        assert_eq!(Value::I64(1).total_cmp(&Value::I64(2)), Ordering::Less);
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn total_cmp_cross_numeric() {
+        let d = Value::Dec(Decimal64::new(150, 2)); // 1.50
+        assert_eq!(d.total_cmp(&Value::I64(2)), Ordering::Less);
+        assert_eq!(d.total_cmp(&Value::F64(1.0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Date(Date32::from_ymd(1995, 1, 1)).to_string(), "1995-01-01");
+        assert_eq!(Value::Dec(Decimal64::new(-7, 2)).to_string(), "-0.07");
+    }
+}

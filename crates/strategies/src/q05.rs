@@ -1,0 +1,177 @@
+//! Q5 under the three paradigms: the deepest join chain (six tables), with
+//! the customer-nation = supplier-nation equality constraint.
+
+use std::collections::HashMap;
+
+use crate::common::{date_col, dict_col, i64_col, Charge, Lineitem, BATCH};
+use crate::Digest;
+use wimpi_engine::WorkProfile;
+use wimpi_storage::{Catalog, Date32};
+
+fn window() -> (i32, i32) {
+    (Date32::from_ymd(1994, 1, 1).0, Date32::from_ymd(1995, 1, 1).0)
+}
+
+/// Shared dimension builds: ASIA nation flags, dense supplier→nation and
+/// customer→nation lookups, and the order window map orderkey → custkey.
+struct Dims {
+    asia: Vec<bool>,
+    supp_nation: Vec<i16>,
+    cust_nation: Vec<i16>,
+    orders: HashMap<i64, i64>,
+}
+
+fn build_dims(cat: &Catalog, prof: &mut WorkProfile) -> Dims {
+    let region = cat.table("region").expect("region registered");
+    let rnames = dict_col(region, "r_name");
+    let rkeys = i64_col(region, "r_regionkey");
+    let asia_region: Vec<i64> = (0..region.num_rows())
+        .filter(|&i| rnames.get(i) == "ASIA")
+        .map(|i| rkeys[i])
+        .collect();
+    let nation = cat.table("nation").expect("nation registered");
+    let nkeys = i64_col(nation, "n_nationkey");
+    let nregion = i64_col(nation, "n_regionkey");
+    let max_nation = nkeys.iter().copied().max().unwrap_or(0) as usize;
+    let mut asia = vec![false; max_nation + 1];
+    for i in 0..nkeys.len() {
+        asia[nkeys[i] as usize] = asia_region.contains(&nregion[i]);
+    }
+    let dense = |table: &str, key: &str, nat: &str| -> Vec<i16> {
+        let t = cat.table(table).expect("dimension registered");
+        let keys = i64_col(t, key);
+        let nats = i64_col(t, nat);
+        let max = keys.iter().copied().max().unwrap_or(0) as usize;
+        let mut lut = vec![-1i16; max + 1];
+        for i in 0..keys.len() {
+            lut[keys[i] as usize] = nats[i] as i16;
+        }
+        lut
+    };
+    let supp_nation = dense("supplier", "s_suppkey", "s_nationkey");
+    let cust_nation = dense("customer", "c_custkey", "c_nationkey");
+    let orders_t = cat.table("orders").expect("orders registered");
+    let okeys = i64_col(orders_t, "o_orderkey");
+    let ocust = i64_col(orders_t, "o_custkey");
+    let odate = date_col(orders_t, "o_orderdate");
+    let (lo, hi) = window();
+    let mut orders = HashMap::new();
+    for i in 0..okeys.len() {
+        if odate[i] >= lo && odate[i] < hi {
+            orders.insert(okeys[i], ocust[i]);
+        }
+    }
+    prof.cpu_ops += (okeys.len() * 2 + supp_nation.len() + cust_nation.len()) as u64;
+    prof.seq_read_bytes += (okeys.len() * 20) as u64;
+    prof.hash_bytes = prof.hash_bytes.max(orders.len() as u64 * 32);
+    Dims { asia, supp_nation, cust_nation, orders }
+}
+
+fn digest(rev: &[i128]) -> Digest {
+    Digest {
+        rows: rev.iter().filter(|&&r| r > 0).count() as u64,
+        checksum: rev.iter().enumerate().map(|(i, &r)| (i as i128 + 1) * r).sum(),
+    }
+}
+
+#[inline]
+fn probe(dims: &Dims, orderkey: i64, suppkey: i64, rev: &mut [i128], amount: i128) -> bool {
+    if let Some(&custkey) = dims.orders.get(&orderkey) {
+        let sn = dims.supp_nation[suppkey as usize];
+        let cn = dims.cust_nation[custkey as usize];
+        if sn >= 0 && sn == cn && dims.asia[sn as usize] {
+            rev[sn as usize] += amount;
+            return true;
+        }
+    }
+    false
+}
+
+/// Data-centric: probe everything row by row.
+pub fn data_centric(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let dims = build_dims(cat, prof);
+    let mut rev = vec![0i128; dims.asia.len()];
+    let mut hits = 0u64;
+    for i in 0..li.len() {
+        let amount = li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+        hits += u64::from(probe(&dims, li.orderkey[i], li.suppkey[i], &mut rev, amount));
+    }
+    Charge::data_centric(prof, li.len() as u64 + hits * 2);
+    Charge::probes(prof, li.len() as u64 * 2, dims.orders.len() as u64 * 32);
+    digest(&rev)
+}
+
+/// Hybrid: batched probes with a staging selection vector of order hits.
+pub fn hybrid(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let dims = build_dims(cat, prof);
+    let mut rev = vec![0i128; dims.asia.len()];
+    let mut sel_buf = [0u32; BATCH];
+    let (mut probes, mut batches) = (0u64, 0u64);
+    let n = li.len();
+    let mut base = 0;
+    while base < n {
+        let end = (base + BATCH).min(n);
+        batches += 1;
+        // Stage 1: order-window membership (the most selective join).
+        let mut nsel = 0;
+        for i in base..end {
+            sel_buf[nsel] = i as u32;
+            nsel += usize::from(dims.orders.contains_key(&li.orderkey[i]));
+        }
+        probes += (end - base) as u64;
+        // Stage 2: nation constraint + accumulate.
+        for &iu in &sel_buf[..nsel] {
+            let i = iu as usize;
+            let amount = li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+            probe(&dims, li.orderkey[i], li.suppkey[i], &mut rev, amount);
+        }
+        probes += nsel as u64;
+        base = end;
+    }
+    Charge::hybrid(prof, n as u64 + probes, batches);
+    Charge::probes(prof, probes, dims.orders.len() as u64 * 32);
+    digest(&rev)
+}
+
+/// Access-aware: materialize the order-hit mask for the whole column first,
+/// then a sequential accumulate pass over survivors.
+pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let dims = build_dims(cat, prof);
+    let n = li.len();
+    let custkeys: Vec<i64> = (0..n)
+        .map(|i| dims.orders.get(&li.orderkey[i]).copied().unwrap_or(-1))
+        .collect();
+    let mut rev = vec![0i128; dims.asia.len()];
+    for i in 0..n {
+        let ck = custkeys[i];
+        if ck < 0 {
+            continue;
+        }
+        let sn = dims.supp_nation[li.suppkey[i] as usize];
+        let cn = dims.cust_nation[ck as usize];
+        if sn >= 0 && sn == cn && dims.asia[sn as usize] {
+            rev[sn as usize] +=
+                li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+        }
+    }
+    Charge::access_aware(prof, n as u64, 3);
+    Charge::probes(prof, n as u64 * 2, dims.orders.len() as u64 * 32);
+    digest(&rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_agree() {
+        let cat = wimpi_tpch::Generator::new(0.005).generate_catalog().unwrap();
+        let mut p = WorkProfile::new();
+        let dc = data_centric(&cat, &mut p);
+        assert_eq!(dc, hybrid(&cat, &mut p));
+        assert_eq!(dc, access_aware(&cat, &mut p));
+    }
+}

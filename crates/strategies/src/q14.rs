@@ -1,0 +1,123 @@
+//! Q14 under the three paradigms: selective scan + foreign-key lookup into
+//! part (promo flag), two sums.
+
+use crate::common::{dict_col, i64_col, Charge, Lineitem, BATCH};
+use crate::Digest;
+use wimpi_engine::like::like_match;
+use wimpi_engine::WorkProfile;
+use wimpi_storage::{Catalog, Date32};
+
+fn window() -> (i32, i32) {
+    (Date32::from_ymd(1995, 9, 1).0, Date32::from_ymd(1995, 10, 1).0)
+}
+
+/// Dense `partkey → is PROMO` lookup (the build side all strategies share).
+fn promo_by_part(cat: &Catalog, prof: &mut WorkProfile) -> Vec<bool> {
+    let part = cat.table("part").expect("part registered");
+    let keys = i64_col(part, "p_partkey");
+    let types = dict_col(part, "p_type");
+    let promo_value: Vec<bool> =
+        types.values().iter().map(|v| like_match(v, "PROMO%")).collect();
+    let max_key = keys.iter().copied().max().unwrap_or(0) as usize;
+    let mut lut = vec![false; max_key + 1];
+    for (i, &k) in keys.iter().enumerate() {
+        lut[k as usize] = promo_value[types.code(i) as usize];
+    }
+    prof.cpu_ops += keys.len() as u64 * 2;
+    prof.seq_read_bytes += keys.len() as u64 * 12;
+    prof.hash_bytes = prof.hash_bytes.max(lut.len() as u64);
+    lut
+}
+
+fn digest(promo: i128, total: i128) -> Digest {
+    Digest { rows: 1, checksum: promo * 1_000 + total }
+}
+
+/// Data-centric: fused predicate + probe + accumulate loop.
+pub fn data_centric(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let lut = promo_by_part(cat, prof);
+    let (lo, hi) = window();
+    let (mut promo, mut total) = (0i128, 0i128);
+    let mut sel = 0u64;
+    for i in 0..li.len() {
+        if li.shipdate[i] >= lo && li.shipdate[i] < hi {
+            sel += 1;
+            let dp = li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+            total += dp;
+            if lut[li.partkey[i] as usize] {
+                promo += dp;
+            }
+        }
+    }
+    Charge::data_centric(prof, li.len() as u64 + sel * 2);
+    Charge::probes(prof, sel, lut.len() as u64);
+    digest(promo, total)
+}
+
+/// Hybrid: batch selection then batched probes.
+pub fn hybrid(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let lut = promo_by_part(cat, prof);
+    let (lo, hi) = window();
+    let (mut promo, mut total) = (0i128, 0i128);
+    let mut sel_buf = [0u32; BATCH];
+    let (mut sel_total, mut batches) = (0u64, 0u64);
+    let n = li.len();
+    let mut base = 0;
+    while base < n {
+        let end = (base + BATCH).min(n);
+        batches += 1;
+        let mut nsel = 0;
+        for i in base..end {
+            sel_buf[nsel] = i as u32;
+            nsel += usize::from(li.shipdate[i] >= lo && li.shipdate[i] < hi);
+        }
+        sel_total += nsel as u64;
+        for &iu in &sel_buf[..nsel] {
+            let i = iu as usize;
+            let dp = li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+            total += dp;
+            promo += dp * i128::from(lut[li.partkey[i] as usize]);
+        }
+        base = end;
+    }
+    Charge::hybrid(prof, n as u64 + sel_total * 2, batches);
+    Charge::probes(prof, sel_total, lut.len() as u64);
+    digest(promo, total)
+}
+
+/// Access-aware: predicate pullup into a mask, then a branch-free masked
+/// probe/accumulate pass over every row.
+pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let lut = promo_by_part(cat, prof);
+    let (lo, hi) = window();
+    let n = li.len();
+    let mask: Vec<i64> =
+        li.shipdate.iter().map(|&d| i64::from(d >= lo && d < hi)).collect();
+    let (mut promo, mut total) = (0i128, 0i128);
+    for i in 0..n {
+        let m = mask[i];
+        let dp = (li.extendedprice[i] * m) as i128 * (100 - li.discount[i]) as i128;
+        total += dp;
+        promo += dp * i128::from(lut[li.partkey[i] as usize]);
+    }
+    Charge::access_aware(prof, n as u64, 3);
+    Charge::probes(prof, n as u64, lut.len() as u64);
+    digest(promo, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_agree() {
+        let cat = wimpi_tpch::Generator::new(0.002).generate_catalog().unwrap();
+        let mut p = WorkProfile::new();
+        let dc = data_centric(&cat, &mut p);
+        assert_eq!(dc, hybrid(&cat, &mut p));
+        assert_eq!(dc, access_aware(&cat, &mut p));
+    }
+}

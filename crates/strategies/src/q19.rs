@@ -1,0 +1,177 @@
+//! Q19 under the three paradigms: disjunctive brand/container/quantity
+//! classes, part lookup, one sum.
+
+use crate::common::{dict_col, i32_col, i64_col, Charge, Lineitem, BATCH};
+use crate::Digest;
+use wimpi_engine::WorkProfile;
+use wimpi_storage::Catalog;
+
+/// Quantity windows (mantissa cents) per class, classes 1–3; 0 = no class.
+const QTY: [(i64, i64); 4] = [(0, -1), (100, 1100), (1000, 2000), (2000, 3000)];
+
+/// Dense `partkey → class` (0 if the part qualifies for no class).
+fn class_by_part(cat: &Catalog, prof: &mut WorkProfile) -> Vec<u8> {
+    let part = cat.table("part").expect("part registered");
+    let keys = i64_col(part, "p_partkey");
+    let brands = dict_col(part, "p_brand");
+    let containers = dict_col(part, "p_container");
+    let sizes = i32_col(part, "p_size");
+    let classify = |brand: &str, container: &str, size: i32| -> u8 {
+        let in_set = |set: [&str; 4]| set.contains(&container);
+        if brand == "Brand#12"
+            && in_set(["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+            && (1..=5).contains(&size)
+        {
+            1
+        } else if brand == "Brand#23"
+            && in_set(["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+            && (1..=10).contains(&size)
+        {
+            2
+        } else if brand == "Brand#34"
+            && in_set(["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+            && (1..=15).contains(&size)
+        {
+            3
+        } else {
+            0
+        }
+    };
+    let max_key = keys.iter().copied().max().unwrap_or(0) as usize;
+    let mut lut = vec![0u8; max_key + 1];
+    for (i, &k) in keys.iter().enumerate() {
+        lut[k as usize] = classify(brands.get(i), containers.get(i), sizes[i]);
+    }
+    prof.cpu_ops += keys.len() as u64 * 4;
+    prof.seq_read_bytes += keys.len() as u64 * 20;
+    prof.hash_bytes = prof.hash_bytes.max(lut.len() as u64);
+    lut
+}
+
+/// Shipping predicate dictionary masks (evaluated once per distinct value).
+fn ship_masks(li: &Lineitem) -> (Vec<bool>, Vec<bool>) {
+    let mode_ok: Vec<bool> =
+        li.shipmode.values().iter().map(|v| v == "AIR" || v == "REG AIR").collect();
+    let instr_ok: Vec<bool> =
+        li.shipinstruct.values().iter().map(|v| v == "DELIVER IN PERSON").collect();
+    (mode_ok, instr_ok)
+}
+
+fn digest(revenue: i128, sel: u64) -> Digest {
+    Digest { rows: 1, checksum: revenue + sel as i128 }
+}
+
+/// Data-centric: fused loop, short-circuit everything.
+pub fn data_centric(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let lut = class_by_part(cat, prof);
+    let (mode_ok, instr_ok) = ship_masks(&li);
+    let (mut revenue, mut sel, mut evals) = (0i128, 0u64, 0u64);
+    for i in 0..li.len() {
+        evals += 1;
+        if !mode_ok[li.shipmode.code(i) as usize] || !instr_ok[li.shipinstruct.code(i) as usize]
+        {
+            continue;
+        }
+        evals += 1;
+        let class = lut[li.partkey[i] as usize] as usize;
+        if class == 0 {
+            continue;
+        }
+        evals += 1;
+        let (qlo, qhi) = QTY[class];
+        if li.quantity[i] < qlo || li.quantity[i] > qhi {
+            continue;
+        }
+        sel += 1;
+        revenue += li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+    }
+    Charge::data_centric(prof, evals + sel * 2);
+    Charge::probes(prof, li.len() as u64 / 4, lut.len() as u64);
+    digest(revenue, sel)
+}
+
+/// Hybrid: staged batch refinement.
+pub fn hybrid(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let lut = class_by_part(cat, prof);
+    let (mode_ok, instr_ok) = ship_masks(&li);
+    let (mut revenue, mut sel_total, mut evals, mut batches) = (0i128, 0u64, 0u64, 0u64);
+    let mut a = [0u32; BATCH];
+    let n = li.len();
+    let mut base = 0;
+    while base < n {
+        let end = (base + BATCH).min(n);
+        batches += 1;
+        let mut na = 0;
+        for i in base..end {
+            a[na] = i as u32;
+            na += usize::from(
+                mode_ok[li.shipmode.code(i) as usize]
+                    && instr_ok[li.shipinstruct.code(i) as usize],
+            );
+        }
+        evals += (end - base) as u64;
+        for &iu in &a[..na] {
+            let i = iu as usize;
+            evals += 2;
+            let class = lut[li.partkey[i] as usize] as usize;
+            let (qlo, qhi) = QTY[class];
+            if class != 0 && li.quantity[i] >= qlo && li.quantity[i] <= qhi {
+                sel_total += 1;
+                revenue += li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+            }
+        }
+        base = end;
+    }
+    Charge::hybrid(prof, evals + sel_total * 2, batches);
+    Charge::probes(prof, n as u64 / 4, lut.len() as u64);
+    digest(revenue, sel_total)
+}
+
+/// Access-aware: every predicate pulled up into full-column masks, probes
+/// performed for every row, final branch-free accumulation.
+pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
+    let li = Lineitem::bind(cat);
+    let lut = class_by_part(cat, prof);
+    let (mode_ok, instr_ok) = ship_masks(&li);
+    let n = li.len();
+    let mut mask: Vec<i64> = (0..n)
+        .map(|i| {
+            i64::from(
+                mode_ok[li.shipmode.code(i) as usize]
+                    && instr_ok[li.shipinstruct.code(i) as usize],
+            )
+        })
+        .collect();
+    // Class pass: probe part for every row, mask afterwards.
+    let classes: Vec<u8> = (0..n).map(|i| lut[li.partkey[i] as usize]).collect();
+    for i in 0..n {
+        let class = classes[i] as usize;
+        let (qlo, qhi) = QTY[class];
+        mask[i] &=
+            i64::from(class != 0 && li.quantity[i] >= qlo && li.quantity[i] <= qhi);
+    }
+    let (mut revenue, mut sel) = (0i128, 0u64);
+    for i in 0..n {
+        sel += mask[i] as u64;
+        revenue += (li.extendedprice[i] * mask[i]) as i128 * (100 - li.discount[i]) as i128;
+    }
+    Charge::access_aware(prof, n as u64, 4);
+    Charge::probes(prof, n as u64, lut.len() as u64);
+    digest(revenue, sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_agree() {
+        let cat = wimpi_tpch::Generator::new(0.005).generate_catalog().unwrap();
+        let mut p = WorkProfile::new();
+        let dc = data_centric(&cat, &mut p);
+        assert_eq!(dc, hybrid(&cat, &mut p));
+        assert_eq!(dc, access_aware(&cat, &mut p));
+    }
+}

@@ -1,0 +1,796 @@
+//! The generator itself: dbgen re-implemented.
+//!
+//! Cardinalities, key structure (sparse order keys, the part→supplier
+//! assignment formula), value distributions, and date arithmetic follow the
+//! TPC-H specification §4.2. Two documented deviations (DESIGN.md §2):
+//!
+//! 1. The RNG is our own counter-based generator, so absolute values differ
+//!    from the reference dbgen while every distribution and selectivity is
+//!    preserved.
+//! 2. Free-text comments are drawn from a per-table pool of up to 65,536
+//!    distinct grammar-generated texts instead of one fresh text per row.
+//!    Pattern selectivities (`%special%requests%`, `%Customer%Complaints%`)
+//!    are unchanged because pool entries come from the same distribution;
+//!    memory drops by an order of magnitude, which is what lets a laptop—or
+//!    a simulated 1 GB Pi node—hold SF 10 partitions.
+
+use crate::rng::{RowRng, Stream};
+use crate::schema;
+use crate::text;
+use wimpi_storage::{
+    Catalog, Column, Date32, Decimal64, DictBuilder, Result, Table,
+};
+
+/// TPC-H population constants (spec §4.2.3).
+pub const CUSTOMERS_PER_SF: f64 = 150_000.0;
+/// Suppliers per scale factor.
+pub const SUPPLIERS_PER_SF: f64 = 10_000.0;
+/// Parts per scale factor.
+pub const PARTS_PER_SF: f64 = 200_000.0;
+/// Orders per scale factor.
+pub const ORDERS_PER_SF: f64 = 1_500_000.0;
+/// Clerks per scale factor.
+pub const CLERKS_PER_SF: f64 = 1_000.0;
+
+/// The spec's CURRENTDATE used for return flags and line status.
+pub fn current_date() -> Date32 {
+    Date32::from_ymd(1995, 6, 17)
+}
+
+/// First populated order date.
+pub fn start_date() -> Date32 {
+    Date32::from_ymd(1992, 1, 1)
+}
+
+/// Last populated order date (ENDDATE − 151 days = 1998-08-02).
+pub fn last_order_date() -> Date32 {
+    Date32::from_ymd(1998, 8, 2)
+}
+
+/// Maximum distinct comments held per table (documented pool substitution).
+const COMMENT_POOL_MAX: usize = 65_536;
+
+/// A pool of pre-generated pseudo-text comments.
+struct CommentPool {
+    texts: Vec<String>,
+}
+
+impl CommentPool {
+    fn new(stream: Stream, min: usize, max: usize, rows: u64) -> Self {
+        let size = (rows as usize).clamp(1, COMMENT_POOL_MAX);
+        let texts = (0..size)
+            .map(|j| text::pseudo_text(&mut stream.rng(j as u64), min, max))
+            .collect();
+        Self { texts }
+    }
+
+    /// Deterministically picks the comment for a row.
+    fn get(&self, rng: &mut RowRng) -> &str {
+        &self.texts[rng.index(self.texts.len())]
+    }
+}
+
+/// The TPC-H data generator for one scale factor.
+///
+/// ```
+/// use wimpi_tpch::Generator;
+/// let g = Generator::new(0.001);
+/// let customers = g.customer_table().unwrap();
+/// assert_eq!(customers.num_rows(), 150);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Generator {
+    sf: f64,
+}
+
+impl Generator {
+    /// Creates a generator for scale factor `sf` (fractional SFs allowed for
+    /// tests and examples).
+    pub fn new(sf: f64) -> Self {
+        assert!(sf > 0.0, "scale factor must be positive");
+        Self { sf }
+    }
+
+    /// The scale factor.
+    pub fn sf(&self) -> f64 {
+        self.sf
+    }
+
+    /// Number of customers.
+    pub fn num_customers(&self) -> u64 {
+        scaled(self.sf, CUSTOMERS_PER_SF)
+    }
+
+    /// Number of suppliers.
+    pub fn num_suppliers(&self) -> u64 {
+        scaled(self.sf, SUPPLIERS_PER_SF)
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> u64 {
+        scaled(self.sf, PARTS_PER_SF)
+    }
+
+    /// Number of orders.
+    pub fn num_orders(&self) -> u64 {
+        scaled(self.sf, ORDERS_PER_SF)
+    }
+
+    /// Number of clerks.
+    pub fn num_clerks(&self) -> u64 {
+        scaled(self.sf, CLERKS_PER_SF)
+    }
+
+    /// The fixed `region` table.
+    pub fn region_table(&self) -> Result<Table> {
+        let pool = CommentPool::new(Stream::RegionComment, 31, 115, 5);
+        let mut name = DictBuilder::new();
+        let mut comment = DictBuilder::new();
+        let mut key = Vec::new();
+        for (i, r) in text::REGIONS.iter().enumerate() {
+            key.push(i as i64);
+            name.push(r);
+            comment.push(pool.get(&mut Stream::RegionComment.rng(1000 + i as u64)));
+        }
+        Table::new(
+            schema::region(),
+            vec![Column::Int64(key), Column::Str(name.finish()), Column::Str(comment.finish())],
+        )
+    }
+
+    /// The fixed `nation` table.
+    pub fn nation_table(&self) -> Result<Table> {
+        let pool = CommentPool::new(Stream::NationComment, 31, 114, 25);
+        let mut name = DictBuilder::new();
+        let mut comment = DictBuilder::new();
+        let (mut key, mut rkey) = (Vec::new(), Vec::new());
+        for (i, &(n, r)) in text::NATIONS.iter().enumerate() {
+            key.push(i as i64);
+            name.push(n);
+            rkey.push(r);
+            comment.push(pool.get(&mut Stream::NationComment.rng(1000 + i as u64)));
+        }
+        Table::new(
+            schema::nation(),
+            vec![
+                Column::Int64(key),
+                Column::Str(name.finish()),
+                Column::Int64(rkey),
+                Column::Str(comment.finish()),
+            ],
+        )
+    }
+
+    /// The `supplier` table.
+    pub fn supplier_table(&self) -> Result<Table> {
+        let n = self.num_suppliers();
+        let pool = CommentPool::new(Stream::SuppComment, 25, 100, n);
+        let mut key = Vec::with_capacity(n as usize);
+        let mut name = DictBuilder::with_capacity(n as usize);
+        let mut address = DictBuilder::with_capacity(n as usize);
+        let mut nation = Vec::with_capacity(n as usize);
+        let mut phone = DictBuilder::with_capacity(n as usize);
+        let mut acctbal = Vec::with_capacity(n as usize);
+        let mut comment = DictBuilder::with_capacity(n as usize);
+        for i in 0..n {
+            let suppkey = i as i64 + 1;
+            key.push(suppkey);
+            name.push(&format!("Supplier#{suppkey:09}"));
+            address.push(&Stream::SuppAddress.rng(i).v_string(10, 40));
+            let nk = Stream::SuppNation.rng(i).uniform_i64(0, 24);
+            nation.push(nk);
+            phone.push(&phone_for(nk, &mut Stream::SuppPhone.rng(i)));
+            acctbal.push(Stream::SuppAcctbal.rng(i).uniform_i64(-99_999, 999_999));
+            // Spec §4.2.3: 5 per 10,000 suppliers complain, 5 recommend.
+            let base = pool.get(&mut Stream::SuppComment.rng(i)).to_string();
+            let text = match suppkey % 2000 {
+                13 => splice(&base, "Customer Complaints"),
+                1987 => splice(&base, "Customer Recommends"),
+                _ => base,
+            };
+            comment.push(&text);
+        }
+        Table::new(
+            schema::supplier(),
+            vec![
+                Column::Int64(key),
+                Column::Str(name.finish()),
+                Column::Str(address.finish()),
+                Column::Int64(nation),
+                Column::Str(phone.finish()),
+                Column::Decimal(acctbal, 2),
+                Column::Str(comment.finish()),
+            ],
+        )
+    }
+
+    /// The `customer` table.
+    pub fn customer_table(&self) -> Result<Table> {
+        let n = self.num_customers();
+        let pool = CommentPool::new(Stream::CustComment, 29, 116, n);
+        let mut key = Vec::with_capacity(n as usize);
+        let mut name = DictBuilder::with_capacity(n as usize);
+        let mut address = DictBuilder::with_capacity(n as usize);
+        let mut nation = Vec::with_capacity(n as usize);
+        let mut phone = DictBuilder::with_capacity(n as usize);
+        let mut acctbal = Vec::with_capacity(n as usize);
+        let mut segment = DictBuilder::with_capacity(n as usize);
+        let mut comment = DictBuilder::with_capacity(n as usize);
+        for i in 0..n {
+            let custkey = i as i64 + 1;
+            key.push(custkey);
+            name.push(&format!("Customer#{custkey:09}"));
+            address.push(&Stream::CustAddress.rng(i).v_string(10, 40));
+            let nk = Stream::CustNation.rng(i).uniform_i64(0, 24);
+            nation.push(nk);
+            phone.push(&phone_for(nk, &mut Stream::CustPhone.rng(i)));
+            acctbal.push(Stream::CustAcctbal.rng(i).uniform_i64(-99_999, 999_999));
+            segment.push(text::SEGMENTS[Stream::CustSegment.rng(i).index(text::SEGMENTS.len())]);
+            comment.push(pool.get(&mut Stream::CustComment.rng(i)));
+        }
+        Table::new(
+            schema::customer(),
+            vec![
+                Column::Int64(key),
+                Column::Str(name.finish()),
+                Column::Str(address.finish()),
+                Column::Int64(nation),
+                Column::Str(phone.finish()),
+                Column::Decimal(acctbal, 2),
+                Column::Str(segment.finish()),
+                Column::Str(comment.finish()),
+            ],
+        )
+    }
+
+    /// The `part` table.
+    pub fn part_table(&self) -> Result<Table> {
+        let n = self.num_parts();
+        let pool = CommentPool::new(Stream::PartComment, 5, 22, n);
+        let mut key = Vec::with_capacity(n as usize);
+        let mut name = DictBuilder::with_capacity(n as usize);
+        let mut mfgr = DictBuilder::with_capacity(n as usize);
+        let mut brand = DictBuilder::with_capacity(n as usize);
+        let mut ptype = DictBuilder::with_capacity(n as usize);
+        let mut size = Vec::with_capacity(n as usize);
+        let mut container = DictBuilder::with_capacity(n as usize);
+        let mut retail = Vec::with_capacity(n as usize);
+        let mut comment = DictBuilder::with_capacity(n as usize);
+        for i in 0..n {
+            let partkey = i as i64 + 1;
+            key.push(partkey);
+            name.push(&part_name(&mut Stream::PartName.rng(i)));
+            let m = Stream::PartMfgr.rng(i).uniform_i64(1, 5);
+            mfgr.push(&format!("Manufacturer#{m}"));
+            let b = Stream::PartBrand.rng(i).uniform_i64(1, 5);
+            brand.push(&format!("Brand#{m}{b}"));
+            let mut trng = Stream::PartType.rng(i);
+            ptype.push(&format!(
+                "{} {} {}",
+                text::TYPES_1[trng.index(text::TYPES_1.len())],
+                text::TYPES_2[trng.index(text::TYPES_2.len())],
+                text::TYPES_3[trng.index(text::TYPES_3.len())],
+            ));
+            size.push(Stream::PartSize.rng(i).uniform_i64(1, 50) as i32);
+            let mut crng = Stream::PartContainer.rng(i);
+            container.push(&format!(
+                "{} {}",
+                text::CONTAINERS_1[crng.index(text::CONTAINERS_1.len())],
+                text::CONTAINERS_2[crng.index(text::CONTAINERS_2.len())],
+            ));
+            retail.push(retail_price_cents(partkey));
+            comment.push(pool.get(&mut Stream::PartComment.rng(i)));
+        }
+        Table::new(
+            schema::part(),
+            vec![
+                Column::Int64(key),
+                Column::Str(name.finish()),
+                Column::Str(mfgr.finish()),
+                Column::Str(brand.finish()),
+                Column::Str(ptype.finish()),
+                Column::Int32(size),
+                Column::Str(container.finish()),
+                Column::Decimal(retail, 2),
+                Column::Str(comment.finish()),
+            ],
+        )
+    }
+
+    /// The `partsupp` table (4 suppliers per part, spec assignment formula).
+    pub fn partsupp_table(&self) -> Result<Table> {
+        let parts = self.num_parts();
+        let suppliers = self.num_suppliers() as i64;
+        let rows = parts * 4;
+        let pool = CommentPool::new(Stream::PsComment, 49, 198, rows);
+        let mut pkey = Vec::with_capacity(rows as usize);
+        let mut skey = Vec::with_capacity(rows as usize);
+        let mut avail = Vec::with_capacity(rows as usize);
+        let mut cost = Vec::with_capacity(rows as usize);
+        let mut comment = DictBuilder::with_capacity(rows as usize);
+        for i in 0..parts {
+            let partkey = i as i64 + 1;
+            for j in 0..4i64 {
+                let row = i * 4 + j as u64;
+                pkey.push(partkey);
+                skey.push(supplier_for_part(partkey, j, suppliers));
+                avail.push(Stream::PsAvailQty.rng(row).uniform_i64(1, 9999) as i32);
+                cost.push(Stream::PsSupplyCost.rng(row).uniform_i64(100, 100_000));
+                comment.push(pool.get(&mut Stream::PsComment.rng(row)));
+            }
+        }
+        Table::new(
+            schema::partsupp(),
+            vec![
+                Column::Int64(pkey),
+                Column::Int64(skey),
+                Column::Int32(avail),
+                Column::Decimal(cost, 2),
+                Column::Str(comment.finish()),
+            ],
+        )
+    }
+
+    /// Generates `orders` and `lineitem` together for the full database.
+    pub fn orders_lineitem(&self) -> Result<(Table, Table)> {
+        self.orders_lineitem_chunk(0, 1)
+    }
+
+    /// Generates chunk `chunk` of `nchunks` of `orders`/`lineitem`, split by
+    /// contiguous order-index (and therefore order-key) ranges. This is the
+    /// entry point the cluster partitioner uses: chunks are deterministic and
+    /// independent of every other chunk.
+    pub fn orders_lineitem_chunk(&self, chunk: u64, nchunks: u64) -> Result<(Table, Table)> {
+        assert!(nchunks > 0 && chunk < nchunks, "bad chunk {chunk}/{nchunks}");
+        let total = self.num_orders();
+        let (lo, hi) = chunk_range(total, chunk, nchunks);
+        let n = (hi - lo) as usize;
+        let customers = self.num_customers() as i64;
+        let clerks = self.num_clerks() as i64;
+        let parts = self.num_parts() as i64;
+        let suppliers = self.num_suppliers() as i64;
+        let o_pool = CommentPool::new(Stream::OrderComment, 19, 78, total);
+        let l_pool = CommentPool::new(Stream::LineComment, 10, 43, total * 4);
+        let date_span = (last_order_date().0 - start_date().0) as i64;
+        let today = current_date();
+
+        // orders columns
+        let mut o_key = Vec::with_capacity(n);
+        let mut o_cust = Vec::with_capacity(n);
+        let mut o_status = DictBuilder::with_capacity(n);
+        let mut o_total = Vec::with_capacity(n);
+        let mut o_date = Vec::with_capacity(n);
+        let mut o_prio = DictBuilder::with_capacity(n);
+        let mut o_clerk = DictBuilder::with_capacity(n);
+        let mut o_ship = Vec::with_capacity(n);
+        let mut o_comment = DictBuilder::with_capacity(n);
+
+        // lineitem columns (≈4 lines/order on average)
+        let cap = n * 4;
+        let mut l_okey = Vec::with_capacity(cap);
+        let mut l_pkey = Vec::with_capacity(cap);
+        let mut l_skey = Vec::with_capacity(cap);
+        let mut l_num = Vec::with_capacity(cap);
+        let mut l_qty = Vec::with_capacity(cap);
+        let mut l_ext = Vec::with_capacity(cap);
+        let mut l_disc = Vec::with_capacity(cap);
+        let mut l_tax = Vec::with_capacity(cap);
+        let mut l_rflag = DictBuilder::with_capacity(cap);
+        let mut l_status = DictBuilder::with_capacity(cap);
+        let mut l_sdate = Vec::with_capacity(cap);
+        let mut l_cdate = Vec::with_capacity(cap);
+        let mut l_rdate = Vec::with_capacity(cap);
+        let mut l_instr = DictBuilder::with_capacity(cap);
+        let mut l_mode = DictBuilder::with_capacity(cap);
+        let mut l_comment = DictBuilder::with_capacity(cap);
+
+        let one = Decimal64::one(2);
+        for idx in lo..hi {
+            let orderkey = order_key_for_index(idx);
+            let custkey = draw_custkey(customers, idx);
+            let odate = start_date().0 + Stream::OrderDate.rng(idx).uniform_i64(0, date_span) as i32;
+            let nlines = Stream::LineCount.rng(idx).uniform_i64(1, 7);
+            let mut total_price = Decimal64::zero(2);
+            let mut f_lines = 0;
+            for line in 0..nlines {
+                let lrow = idx * 8 + line as u64;
+                let partkey = Stream::LinePartkey.rng(lrow).uniform_i64(1, parts);
+                let supp_idx = Stream::LineSuppIdx.rng(lrow).uniform_i64(0, 3);
+                let suppkey = supplier_for_part(partkey, supp_idx, suppliers);
+                let qty = Stream::LineQuantity.rng(lrow).uniform_i64(1, 50);
+                let ext = qty * retail_price_cents(partkey); // qty(int) × price(cents)
+                let disc = Stream::LineDiscount.rng(lrow).uniform_i64(0, 10); // 0.00–0.10
+                let tax = Stream::LineTax.rng(lrow).uniform_i64(0, 8); // 0.00–0.08
+                let sdate = odate + Stream::LineShipDelta.rng(lrow).uniform_i64(1, 121) as i32;
+                let cdate = odate + Stream::LineCommitDelta.rng(lrow).uniform_i64(30, 90) as i32;
+                let rdate = sdate + Stream::LineReceiptDelta.rng(lrow).uniform_i64(1, 30) as i32;
+
+                l_okey.push(orderkey);
+                l_pkey.push(partkey);
+                l_skey.push(suppkey);
+                l_num.push(line as i32 + 1);
+                l_qty.push(qty * 100);
+                l_ext.push(ext);
+                l_disc.push(disc);
+                l_tax.push(tax);
+                if Date32(rdate) <= today {
+                    l_rflag.push(if Stream::LineReturnFlag.rng(lrow).index(2) == 0 {
+                        "R"
+                    } else {
+                        "A"
+                    });
+                } else {
+                    l_rflag.push("N");
+                }
+                let shipped = Date32(sdate) <= today;
+                l_status.push(if shipped { "F" } else { "O" });
+                if shipped {
+                    f_lines += 1;
+                }
+                l_sdate.push(sdate);
+                l_cdate.push(cdate);
+                l_rdate.push(rdate);
+                l_instr.push(
+                    text::INSTRUCTIONS
+                        [Stream::LineInstruct.rng(lrow).index(text::INSTRUCTIONS.len())],
+                );
+                l_mode.push(text::MODES[Stream::LineMode.rng(lrow).index(text::MODES.len())]);
+                l_comment.push(l_pool.get(&mut Stream::LineComment.rng(lrow)));
+
+                // o_totalprice += ext * (1 - disc) * (1 + tax), exact decimals
+                let ext_d = Decimal64::new(ext, 2);
+                let disc_d = Decimal64::new(disc, 2);
+                let tax_d = Decimal64::new(tax, 2);
+                let discounted = ext_d.mul(one.sub(disc_d)?, 4)?;
+                let charged = discounted.mul(one.add(tax_d)?, 2)?;
+                total_price = total_price.add(charged)?;
+            }
+            o_key.push(orderkey);
+            o_cust.push(custkey);
+            o_status.push(if f_lines == nlines {
+                "F"
+            } else if f_lines == 0 {
+                "O"
+            } else {
+                "P"
+            });
+            o_total.push(total_price.mantissa());
+            o_date.push(odate);
+            o_prio
+                .push(text::PRIORITIES[Stream::OrderPriority.rng(idx).index(text::PRIORITIES.len())]);
+            let clerk = Stream::OrderClerk.rng(idx).uniform_i64(1, clerks.max(1));
+            o_clerk.push(&format!("Clerk#{clerk:09}"));
+            o_ship.push(0);
+            o_comment.push(o_pool.get(&mut Stream::OrderComment.rng(idx)));
+        }
+
+        let orders = Table::new(
+            schema::orders(),
+            vec![
+                Column::Int64(o_key),
+                Column::Int64(o_cust),
+                Column::Str(o_status.finish()),
+                Column::Decimal(o_total, 2),
+                Column::Date(o_date),
+                Column::Str(o_prio.finish()),
+                Column::Str(o_clerk.finish()),
+                Column::Int32(o_ship),
+                Column::Str(o_comment.finish()),
+            ],
+        )?;
+        let lineitem = Table::new(
+            schema::lineitem(),
+            vec![
+                Column::Int64(l_okey),
+                Column::Int64(l_pkey),
+                Column::Int64(l_skey),
+                Column::Int32(l_num),
+                Column::Decimal(l_qty, 2),
+                Column::Decimal(l_ext, 2),
+                Column::Decimal(l_disc, 2),
+                Column::Decimal(l_tax, 2),
+                Column::Str(l_rflag.finish()),
+                Column::Str(l_status.finish()),
+                Column::Date(l_sdate),
+                Column::Date(l_cdate),
+                Column::Date(l_rdate),
+                Column::Str(l_instr.finish()),
+                Column::Str(l_mode.finish()),
+                Column::Str(l_comment.finish()),
+            ],
+        )?;
+        Ok((orders, lineitem))
+    }
+
+    /// Generates the whole database into a catalog — the single-node setup.
+    pub fn generate_catalog(&self) -> Result<Catalog> {
+        let mut cat = Catalog::new();
+        cat.register("region", self.region_table()?);
+        cat.register("nation", self.nation_table()?);
+        cat.register("supplier", self.supplier_table()?);
+        cat.register("customer", self.customer_table()?);
+        cat.register("part", self.part_table()?);
+        cat.register("partsupp", self.partsupp_table()?);
+        let (orders, lineitem) = self.orders_lineitem()?;
+        cat.register("orders", orders);
+        cat.register("lineitem", lineitem);
+        Ok(cat)
+    }
+}
+
+/// Rounds a scaled cardinality, keeping at least one row.
+fn scaled(sf: f64, per_sf: f64) -> u64 {
+    ((sf * per_sf).round() as u64).max(1)
+}
+
+/// Sparse order keys: 8 consecutive keys used out of every 32 (spec §4.2.3).
+pub fn order_key_for_index(idx: u64) -> i64 {
+    let group = idx / 8;
+    let offset = idx % 8;
+    (group * 32 + offset) as i64 + 1
+}
+
+/// Splits `total` rows into `nchunks` contiguous ranges; chunk sizes differ
+/// by at most one.
+pub fn chunk_range(total: u64, chunk: u64, nchunks: u64) -> (u64, u64) {
+    let base = total / nchunks;
+    let extra = total % nchunks;
+    let lo = chunk * base + chunk.min(extra);
+    let hi = lo + base + u64::from(chunk < extra);
+    (lo, hi.min(total))
+}
+
+/// Customers whose key is divisible by 3 place no orders (spec §4.2.3).
+fn draw_custkey(customers: i64, idx: u64) -> i64 {
+    let mut rng = Stream::OrderCustkey.rng(idx);
+    loop {
+        let k = rng.uniform_i64(1, customers);
+        if k % 3 != 0 || customers < 3 {
+            return k;
+        }
+    }
+}
+
+/// The spec's part→supplier assignment: supplier `j` of part `p` among `s`
+/// suppliers is `(p + j*(s/4 + (p-1)/s)) mod s + 1`. At the spec's supplier
+/// counts (10,000 × SF) the four assignments are always distinct; at the tiny
+/// fractional SFs used in tests they can collide, so collisions fall back to
+/// linear probing. Both `partsupp` and `lineitem` go through
+/// [`suppliers_of_part`], keeping the foreign key `(l_partkey, l_suppkey) →
+/// partsupp` valid at every scale.
+pub fn supplier_for_part(partkey: i64, j: i64, suppliers: i64) -> i64 {
+    suppliers_of_part(partkey, suppliers)[j as usize]
+}
+
+/// The four suppliers stocking a part, distinct at any supplier count.
+pub fn suppliers_of_part(partkey: i64, suppliers: i64) -> [i64; 4] {
+    let mut out = [0i64; 4];
+    for j in 0..4 {
+        let mut s =
+            (partkey + j * (suppliers / 4 + (partkey - 1) / suppliers)) % suppliers + 1;
+        if suppliers >= 4 {
+            while out[..j as usize].contains(&s) {
+                s = s % suppliers + 1;
+            }
+        }
+        out[j as usize] = s;
+    }
+    out
+}
+
+/// P_RETAILPRICE in cents: `(90000 + ((p/10) mod 20001) + 100*(p mod 1000))`.
+pub fn retail_price_cents(partkey: i64) -> i64 {
+    90_000 + ((partkey / 10) % 20_001) + 100 * (partkey % 1_000)
+}
+
+/// Part names are five distinct colors joined by spaces.
+fn part_name(rng: &mut RowRng) -> String {
+    let mut picks: [usize; 5] = [0; 5];
+    let mut count = 0;
+    while count < 5 {
+        let c = rng.index(text::COLORS.len());
+        if !picks[..count].contains(&c) {
+            picks[count] = c;
+            count += 1;
+        }
+    }
+    picks.iter().map(|&c| text::COLORS[c]).collect::<Vec<_>>().join(" ")
+}
+
+/// Phone numbers: `CC-LLL-LLL-LLLL` with country code `10 + nationkey`.
+fn phone_for(nationkey: i64, rng: &mut RowRng) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.uniform_i64(100, 999),
+        rng.uniform_i64(100, 999),
+        rng.uniform_i64(1000, 9999),
+    )
+}
+
+/// Inserts `patch` into the middle of `base` (supplier complaint injection).
+fn splice(base: &str, patch: &str) -> String {
+    let mid = base.len() / 2;
+    // Don't split a UTF-8 boundary; pseudo-text is ASCII, but stay safe.
+    let mid = (0..=mid).rev().find(|&i| base.is_char_boundary(i)).unwrap_or(0);
+    format!("{}{}{}", &base[..mid], patch, &base[mid..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale() {
+        let g = Generator::new(0.01);
+        assert_eq!(g.num_customers(), 1500);
+        assert_eq!(g.num_suppliers(), 100);
+        assert_eq!(g.num_parts(), 2000);
+        assert_eq!(g.num_orders(), 15_000);
+    }
+
+    #[test]
+    fn order_keys_are_sparse() {
+        assert_eq!(order_key_for_index(0), 1);
+        assert_eq!(order_key_for_index(7), 8);
+        assert_eq!(order_key_for_index(8), 33);
+        assert_eq!(order_key_for_index(15), 40);
+        assert_eq!(order_key_for_index(16), 65);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        let total = 1003;
+        let mut seen = 0;
+        for c in 0..7 {
+            let (lo, hi) = chunk_range(total, c, 7);
+            assert_eq!(lo, seen);
+            seen = hi;
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn supplier_assignment_in_range() {
+        for p in 1..=200 {
+            for j in 0..4 {
+                let s = supplier_for_part(p, j, 100);
+                assert!((1..=100).contains(&s), "supplier {s} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn retail_price_formula() {
+        assert_eq!(retail_price_cents(1), 90_000 + 0 + 100);
+        assert_eq!(retail_price_cents(10), 90_000 + 1 + 1000);
+    }
+
+    #[test]
+    fn fixed_tables() {
+        let g = Generator::new(1.0);
+        let r = g.region_table().unwrap();
+        assert_eq!(r.num_rows(), 5);
+        let n = g.nation_table().unwrap();
+        assert_eq!(n.num_rows(), 25);
+        assert_eq!(n.column_by_name("n_name").unwrap().as_str().unwrap().get(6), "FRANCE");
+    }
+
+    #[test]
+    fn supplier_table_shape() {
+        let g = Generator::new(0.01);
+        let s = g.supplier_table().unwrap();
+        assert_eq!(s.num_rows(), 100);
+        let bal = s.column_by_name("s_acctbal").unwrap();
+        let (m, scale) = bal.as_decimal().unwrap();
+        assert_eq!(scale, 2);
+        assert!(m.iter().all(|&v| (-99_999..=999_999).contains(&v)));
+    }
+
+    #[test]
+    fn customer_custkeys_dense() {
+        let g = Generator::new(0.001);
+        let c = g.customer_table().unwrap();
+        let keys = c.column_by_name("c_custkey").unwrap();
+        let keys = keys.as_i64().unwrap();
+        assert_eq!(keys.first(), Some(&1));
+        assert_eq!(keys.last(), Some(&(keys.len() as i64)));
+    }
+
+    #[test]
+    fn orders_reference_valid_customers() {
+        let g = Generator::new(0.001);
+        let (orders, _) = g.orders_lineitem().unwrap();
+        let customers = g.num_customers() as i64;
+        let cust = orders.column_by_name("o_custkey").unwrap();
+        for &k in cust.as_i64().unwrap() {
+            assert!((1..=customers).contains(&k));
+            assert_ne!(k % 3, 0, "customers divisible by 3 must have no orders");
+        }
+    }
+
+    #[test]
+    fn lineitem_dates_consistent() {
+        let g = Generator::new(0.001);
+        let (_, li) = g.orders_lineitem().unwrap();
+        let ship = li.column_by_name("l_shipdate").unwrap();
+        let ship = ship.as_date().unwrap();
+        let receipt = li.column_by_name("l_receiptdate").unwrap();
+        let receipt = receipt.as_date().unwrap();
+        for (s, r) in ship.iter().zip(receipt) {
+            assert!(r > s, "receipt must follow ship");
+        }
+    }
+
+    #[test]
+    fn lineitem_count_matches_order_lines() {
+        let g = Generator::new(0.001);
+        let (orders, li) = g.orders_lineitem().unwrap();
+        // 1–7 lines per order, so the ratio must be within those bounds.
+        let ratio = li.num_rows() as f64 / orders.num_rows() as f64;
+        assert!((1.0..=7.0).contains(&ratio));
+        // and close to the expected mean of 4
+        assert!((3.5..=4.5).contains(&ratio), "mean lines/order {ratio}");
+    }
+
+    #[test]
+    fn chunked_generation_matches_full() {
+        let g = Generator::new(0.001);
+        let (full_o, full_l) = g.orders_lineitem().unwrap();
+        let mut okeys = Vec::new();
+        let mut lkeys = Vec::new();
+        for c in 0..4 {
+            let (o, l) = g.orders_lineitem_chunk(c, 4).unwrap();
+            okeys.extend_from_slice(o.column_by_name("o_orderkey").unwrap().as_i64().unwrap());
+            lkeys.extend_from_slice(l.column_by_name("l_orderkey").unwrap().as_i64().unwrap());
+        }
+        assert_eq!(okeys, full_o.column_by_name("o_orderkey").unwrap().as_i64().unwrap());
+        assert_eq!(lkeys, full_l.column_by_name("l_orderkey").unwrap().as_i64().unwrap());
+    }
+
+    #[test]
+    fn status_derivation() {
+        let g = Generator::new(0.001);
+        let (orders, _) = g.orders_lineitem().unwrap();
+        let status = orders.column_by_name("o_orderstatus").unwrap();
+        let status = status.as_str().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in status.iter() {
+            seen.insert(s.to_string());
+            assert!(matches!(s, "F" | "O" | "P"));
+        }
+        assert!(seen.len() >= 2, "expected a mix of order statuses");
+    }
+
+    #[test]
+    fn totalprice_positive() {
+        let g = Generator::new(0.001);
+        let (orders, _) = g.orders_lineitem().unwrap();
+        let (m, _) = orders.column_by_name("o_totalprice").unwrap().as_decimal().unwrap();
+        assert!(m.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn partsupp_is_four_per_part() {
+        let g = Generator::new(0.001);
+        let ps = g.partsupp_table().unwrap();
+        assert_eq!(ps.num_rows() as u64, g.num_parts() * 4);
+        // (partkey, suppkey) pairs are unique
+        let pk = ps.column_by_name("ps_partkey").unwrap();
+        let pk = pk.as_i64().unwrap();
+        let sk = ps.column_by_name("ps_suppkey").unwrap();
+        let sk = sk.as_i64().unwrap();
+        let set: std::collections::HashSet<_> = pk.iter().zip(sk).collect();
+        assert_eq!(set.len(), ps.num_rows());
+    }
+
+    #[test]
+    fn complaint_injection_rate() {
+        let g = Generator::new(1.0);
+        let s = g.supplier_table().unwrap();
+        let comments = s.column_by_name("s_comment").unwrap();
+        let comments = comments.as_str().unwrap();
+        let complainers = comments.iter().filter(|c| c.contains("Customer Complaints")).count();
+        assert_eq!(complainers, 5, "5 per 10,000 suppliers at SF 1");
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic, seekable random numbers for data generation.
+//!
+//! dbgen keeps per-column RNG streams and "advances" them so any table chunk
+//! can be generated independently. We get the same property more simply:
+//! every (stream, row) pair seeds an independent counter-based generator via
+//! SplitMix64, so generating chunk `k` of a table never depends on chunks
+//! `0..k`. This is what lets the cluster crate build one node's lineitem
+//! partition without materializing the whole table.
+
+/// A small counter-based PRNG: SplitMix64 over a per-(stream, row) seed.
+#[derive(Debug, Clone)]
+pub struct RowRng {
+    state: u64,
+}
+
+/// Golden-ratio increment used by SplitMix64.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RowRng {
+    /// Builds the generator for one logical stream (e.g. "lineitem.quantity")
+    /// and one row index.
+    pub fn new(stream: u64, row: u64) -> Self {
+        // Two mixing rounds decorrelate stream and row contributions.
+        let seed = mix(stream.wrapping_mul(GAMMA).wrapping_add(mix(row.wrapping_add(GAMMA))));
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Uses 128-bit multiply-shift
+    /// rejection-free mapping — bias is < 2^-64, irrelevant at TPC-H scales.
+    #[inline]
+    pub fn uniform_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 as u128 + 1;
+        let draw = (self.next_u64() as u128 * span) >> 64;
+        lo + draw as i64
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.uniform_i64(0, n as i64 - 1) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A random lowercase/uppercase/digit "v-string" of length in
+    /// `[min, max]`, dbgen's address alphabet.
+    pub fn v_string(&mut self, min: usize, max: usize) -> String {
+        const ALPHA: &[u8] =
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789, ";
+        let len = self.uniform_i64(min as i64, max as i64) as usize;
+        (0..len).map(|_| ALPHA[self.index(ALPHA.len())] as char).collect()
+    }
+}
+
+/// Stream identifiers, one per generated attribute. Values are arbitrary but
+/// must stay stable: changing them changes the generated database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Stream {
+    OrderCustkey = 1,
+    OrderDate = 2,
+    OrderPriority = 3,
+    OrderClerk = 4,
+    OrderComment = 5,
+    LineCount = 10,
+    LinePartkey = 11,
+    LineSuppIdx = 12,
+    LineQuantity = 13,
+    LineDiscount = 14,
+    LineTax = 15,
+    LineShipDelta = 16,
+    LineCommitDelta = 17,
+    LineReceiptDelta = 18,
+    LineReturnFlag = 19,
+    LineInstruct = 20,
+    LineMode = 21,
+    LineComment = 22,
+    PartName = 30,
+    PartMfgr = 31,
+    PartBrand = 32,
+    PartType = 33,
+    PartSize = 34,
+    PartContainer = 35,
+    PartComment = 36,
+    SuppNation = 40,
+    SuppAcctbal = 41,
+    SuppAddress = 42,
+    SuppComment = 43,
+    SuppPhone = 44,
+    CustNation = 50,
+    CustAcctbal = 51,
+    CustAddress = 52,
+    CustSegment = 53,
+    CustComment = 54,
+    CustPhone = 55,
+    PsAvailQty = 60,
+    PsSupplyCost = 61,
+    PsComment = 62,
+    NationComment = 70,
+    RegionComment = 71,
+}
+
+impl Stream {
+    /// The stream's stable seed value.
+    pub fn id(self) -> u64 {
+        self as u64
+    }
+
+    /// Shorthand for building the per-row generator.
+    pub fn rng(self, row: u64) -> RowRng {
+        RowRng::new(self.id(), row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = RowRng::new(3, 17);
+        let mut b = RowRng::new(3, 17);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_rows_differ() {
+        let a = RowRng::new(3, 17).next_u64();
+        let b = RowRng::new(3, 18).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let a = RowRng::new(1, 0).next_u64();
+        let b = RowRng::new(2, 0).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = RowRng::new(9, 9);
+        for _ in 0..10_000 {
+            let v = r.uniform_i64(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut r = RowRng::new(11, 0);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.uniform_i64(0, 9) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 10;
+            assert!(
+                c > expected * 9 / 10 && c < expected * 11 / 10,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = RowRng::new(13, 0);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn v_string_lengths() {
+        let mut r = RowRng::new(15, 0);
+        for _ in 0..100 {
+            let s = r.v_string(10, 40);
+            assert!((10..=40).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The eight TPC-H table schemas.
+
+use wimpi_storage::{DataType, Field, Schema};
+
+/// Money/rate columns are `decimal(_, 2)` per the spec.
+pub const MONEY: DataType = DataType::Decimal(2);
+
+/// Table names in generation order (referenced tables first).
+pub const TABLE_NAMES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+/// `region` schema.
+pub fn region() -> Schema {
+    Schema::new(vec![
+        Field::new("r_regionkey", DataType::Int64),
+        Field::new("r_name", DataType::Utf8),
+        Field::new("r_comment", DataType::Utf8),
+    ])
+}
+
+/// `nation` schema.
+pub fn nation() -> Schema {
+    Schema::new(vec![
+        Field::new("n_nationkey", DataType::Int64),
+        Field::new("n_name", DataType::Utf8),
+        Field::new("n_regionkey", DataType::Int64),
+        Field::new("n_comment", DataType::Utf8),
+    ])
+}
+
+/// `supplier` schema.
+pub fn supplier() -> Schema {
+    Schema::new(vec![
+        Field::new("s_suppkey", DataType::Int64),
+        Field::new("s_name", DataType::Utf8),
+        Field::new("s_address", DataType::Utf8),
+        Field::new("s_nationkey", DataType::Int64),
+        Field::new("s_phone", DataType::Utf8),
+        Field::new("s_acctbal", MONEY),
+        Field::new("s_comment", DataType::Utf8),
+    ])
+}
+
+/// `customer` schema.
+pub fn customer() -> Schema {
+    Schema::new(vec![
+        Field::new("c_custkey", DataType::Int64),
+        Field::new("c_name", DataType::Utf8),
+        Field::new("c_address", DataType::Utf8),
+        Field::new("c_nationkey", DataType::Int64),
+        Field::new("c_phone", DataType::Utf8),
+        Field::new("c_acctbal", MONEY),
+        Field::new("c_mktsegment", DataType::Utf8),
+        Field::new("c_comment", DataType::Utf8),
+    ])
+}
+
+/// `part` schema.
+pub fn part() -> Schema {
+    Schema::new(vec![
+        Field::new("p_partkey", DataType::Int64),
+        Field::new("p_name", DataType::Utf8),
+        Field::new("p_mfgr", DataType::Utf8),
+        Field::new("p_brand", DataType::Utf8),
+        Field::new("p_type", DataType::Utf8),
+        Field::new("p_size", DataType::Int32),
+        Field::new("p_container", DataType::Utf8),
+        Field::new("p_retailprice", MONEY),
+        Field::new("p_comment", DataType::Utf8),
+    ])
+}
+
+/// `partsupp` schema.
+pub fn partsupp() -> Schema {
+    Schema::new(vec![
+        Field::new("ps_partkey", DataType::Int64),
+        Field::new("ps_suppkey", DataType::Int64),
+        Field::new("ps_availqty", DataType::Int32),
+        Field::new("ps_supplycost", MONEY),
+        Field::new("ps_comment", DataType::Utf8),
+    ])
+}
+
+/// `orders` schema.
+pub fn orders() -> Schema {
+    Schema::new(vec![
+        Field::new("o_orderkey", DataType::Int64),
+        Field::new("o_custkey", DataType::Int64),
+        Field::new("o_orderstatus", DataType::Utf8),
+        Field::new("o_totalprice", MONEY),
+        Field::new("o_orderdate", DataType::Date),
+        Field::new("o_orderpriority", DataType::Utf8),
+        Field::new("o_clerk", DataType::Utf8),
+        Field::new("o_shippriority", DataType::Int32),
+        Field::new("o_comment", DataType::Utf8),
+    ])
+}
+
+/// `lineitem` schema.
+pub fn lineitem() -> Schema {
+    Schema::new(vec![
+        Field::new("l_orderkey", DataType::Int64),
+        Field::new("l_partkey", DataType::Int64),
+        Field::new("l_suppkey", DataType::Int64),
+        Field::new("l_linenumber", DataType::Int32),
+        Field::new("l_quantity", MONEY),
+        Field::new("l_extendedprice", MONEY),
+        Field::new("l_discount", MONEY),
+        Field::new("l_tax", MONEY),
+        Field::new("l_returnflag", DataType::Utf8),
+        Field::new("l_linestatus", DataType::Utf8),
+        Field::new("l_shipdate", DataType::Date),
+        Field::new("l_commitdate", DataType::Date),
+        Field::new("l_receiptdate", DataType::Date),
+        Field::new("l_shipinstruct", DataType::Utf8),
+        Field::new("l_shipmode", DataType::Utf8),
+        Field::new("l_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema for a table by name.
+pub fn schema_for(table: &str) -> Option<Schema> {
+    match table {
+        "region" => Some(region()),
+        "nation" => Some(nation()),
+        "supplier" => Some(supplier()),
+        "customer" => Some(customer()),
+        "part" => Some(part()),
+        "partsupp" => Some(partsupp()),
+        "orders" => Some(orders()),
+        "lineitem" => Some(lineitem()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_have_schemas() {
+        for name in TABLE_NAMES {
+            let s = schema_for(name).unwrap_or_else(|| panic!("missing schema for {name}"));
+            assert!(!s.is_empty());
+        }
+        assert!(schema_for("bogus").is_none());
+    }
+
+    #[test]
+    fn lineitem_has_sixteen_columns() {
+        assert_eq!(lineitem().len(), 16);
+        assert_eq!(orders().len(), 9);
+        assert_eq!(partsupp().len(), 5);
+    }
+
+    #[test]
+    fn key_columns_are_int64() {
+        assert_eq!(lineitem().field("l_orderkey").unwrap().data_type, DataType::Int64);
+        assert_eq!(orders().field("o_custkey").unwrap().data_type, DataType::Int64);
+    }
+}

@@ -1,0 +1,166 @@
+//! dbgen `.tbl` interop: write our tables in the reference generator's
+//! pipe-delimited format and load `.tbl` files produced by the official
+//! dbgen, so results can be validated against the real kit when it is
+//! available.
+//!
+//! Format: one row per line, fields separated by `|`, with a trailing `|`
+//! (`1|Customer#000000001|j5JsirBM9P|15|25-989-741-2988|711.56|BUILDING|…|`).
+
+use std::io::{BufRead, Write};
+
+use crate::schema;
+use wimpi_storage::{
+    Column, DataType, Date32, Decimal64, DictBuilder, Result, StorageError, Table,
+};
+
+/// Writes a table in dbgen's pipe-delimited format.
+pub fn write_tbl<W: Write>(table: &Table, out: &mut W) -> std::io::Result<()> {
+    for row in 0..table.num_rows() {
+        for col in 0..table.num_columns() {
+            write!(out, "{}|", table.column(col).value(row))?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Reads a `.tbl` stream into a table of the named TPC-H schema.
+pub fn read_tbl<R: BufRead>(table_name: &str, input: R) -> Result<Table> {
+    let sch = schema::schema_for(table_name).ok_or_else(|| {
+        StorageError::TableNotFound(format!("{table_name} is not a TPC-H table"))
+    })?;
+    let types: Vec<DataType> = sch.fields().iter().map(|f| f.data_type).collect();
+    let mut builders: Vec<ColBuilder> = types.iter().map(|t| ColBuilder::new(*t)).collect();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| StorageError::Parse(format!("io: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields: Vec<&str> = line.split('|').collect();
+        // dbgen writes a trailing separator → one empty trailing field.
+        if fields.last() == Some(&"") {
+            fields.pop();
+        }
+        if fields.len() != builders.len() {
+            return Err(StorageError::Parse(format!(
+                "line {}: {} fields, schema has {}",
+                lineno + 1,
+                fields.len(),
+                builders.len()
+            )));
+        }
+        for (b, f) in builders.iter_mut().zip(&fields) {
+            b.push(f)?;
+        }
+    }
+    let columns = builders.into_iter().map(ColBuilder::finish).collect();
+    Table::new(sch, columns)
+}
+
+/// Incremental, type-directed column builder for `.tbl` parsing.
+enum ColBuilder {
+    I64(Vec<i64>),
+    I32(Vec<i32>),
+    Dec(Vec<i64>, u8),
+    Date(Vec<i32>),
+    Str(DictBuilder),
+}
+
+impl ColBuilder {
+    fn new(t: DataType) -> ColBuilder {
+        match t {
+            DataType::Int64 => ColBuilder::I64(Vec::new()),
+            DataType::Int32 => ColBuilder::I32(Vec::new()),
+            DataType::Decimal(s) => ColBuilder::Dec(Vec::new(), s),
+            DataType::Date => ColBuilder::Date(Vec::new()),
+            DataType::Utf8 => ColBuilder::Str(DictBuilder::new()),
+            other => unreachable!("TPC-H schemas have no {other} columns"),
+        }
+    }
+
+    fn push(&mut self, field: &str) -> Result<()> {
+        match self {
+            ColBuilder::I64(v) => v.push(
+                field
+                    .parse()
+                    .map_err(|_| StorageError::Parse(format!("bad int64 {field:?}")))?,
+            ),
+            ColBuilder::I32(v) => v.push(
+                field
+                    .parse()
+                    .map_err(|_| StorageError::Parse(format!("bad int32 {field:?}")))?,
+            ),
+            ColBuilder::Dec(v, s) => {
+                v.push(Decimal64::from_str_scale(field, *s)?.mantissa())
+            }
+            ColBuilder::Date(v) => v.push(Date32::parse(field)?.0),
+            ColBuilder::Str(b) => b.push(field),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColBuilder::I64(v) => Column::Int64(v),
+            ColBuilder::I32(v) => Column::Int32(v),
+            ColBuilder::Dec(v, s) => Column::Decimal(v, s),
+            ColBuilder::Date(v) => Column::Date(v),
+            ColBuilder::Str(b) => Column::Str(b.finish()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Generator;
+
+    #[test]
+    fn round_trip_every_table() {
+        let g = Generator::new(0.002);
+        let cat = g.generate_catalog().expect("generates");
+        for name in schema::TABLE_NAMES {
+            let original = cat.table(name).expect("registered");
+            let mut buf = Vec::new();
+            write_tbl(original, &mut buf).expect("writes");
+            let reloaded = read_tbl(name, buf.as_slice()).expect("reads");
+            assert_eq!(reloaded.num_rows(), original.num_rows(), "{name} rows");
+            for c in 0..original.num_columns() {
+                assert_eq!(
+                    reloaded.column(c).as_ref(),
+                    original.column(c).as_ref(),
+                    "{name} column {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reads_reference_dbgen_lines() {
+        // A customer row in the official dbgen layout.
+        let line = "1|Customer#000000001|IVhzIApeRb|15|25-989-741-2988|711.56|BUILDING|regular accounts|\n";
+        let t = read_tbl("customer", line.as_bytes()).expect("parses");
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.column_by_name("c_custkey").unwrap().as_i64().unwrap(), &[1]);
+        let (bal, s) = t.column_by_name("c_acctbal").unwrap().as_decimal().unwrap();
+        assert_eq!((bal[0], s), (71_156, 2));
+        assert_eq!(
+            t.column_by_name("c_mktsegment").unwrap().as_str().unwrap().get(0),
+            "BUILDING"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(read_tbl("region", "1|AFRICA|\n".as_bytes()).is_err(), "missing field");
+        assert!(read_tbl("region", "x|AFRICA|comment|\n".as_bytes()).is_err(), "bad key");
+        assert!(read_tbl("nope", "".as_bytes()).is_err(), "unknown table");
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = "0|AFRICA|nice continent|\n\n1|AMERICA|also nice|\n";
+        let t = read_tbl("region", input.as_bytes()).expect("parses");
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: generate a small TPC-H database, build a query with the plan
+//! API, run it, and inspect the work profile.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wimpi::engine::expr::{col, date, dec2};
+use wimpi::engine::plan::{AggExpr, PlanBuilder};
+use wimpi::engine::{execute_query, optimizer};
+use wimpi::tpch::Generator;
+
+fn main() {
+    // 1. Generate TPC-H at scale factor 0.01 (≈ 60k lineitem rows).
+    let catalog = Generator::new(0.01).generate_catalog().expect("generation succeeds");
+    println!("tables: {}", catalog.names().collect::<Vec<_>>().join(", "));
+    println!(
+        "lineitem rows: {}\n",
+        catalog.table("lineitem").expect("registered").num_rows()
+    );
+
+    // 2. Build TPC-H Q6 with the fluent plan API.
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(
+            col("l_shipdate")
+                .gte(date("1994-01-01"))
+                .and(col("l_shipdate").lt(date("1995-01-01")))
+                .and(col("l_discount").between(
+                    wimpi::storage::Value::Dec(
+                        wimpi::storage::Decimal64::from_str_scale("0.05", 2).expect("const"),
+                    ),
+                    wimpi::storage::Value::Dec(
+                        wimpi::storage::Decimal64::from_str_scale("0.07", 2).expect("const"),
+                    ),
+                ))
+                .and(col("l_quantity").lt(dec2("24"))),
+        )
+        .aggregate(
+            vec![],
+            vec![AggExpr::sum(col("l_extendedprice").mul(col("l_discount")), "revenue")],
+        )
+        .build();
+
+    // 3. Show what the optimizer does to it.
+    let optimized = optimizer::optimize(plan.clone(), &catalog).expect("optimizes");
+    println!("optimized plan:\n{}", optimized.explain());
+
+    // 4. Execute, getting both the answer and the measured work.
+    let (result, work) = execute_query(&plan, &catalog).expect("executes");
+    println!("result:\n{}", result.to_text(5));
+    println!(
+        "work: {} cpu ops, {:.1} MB streamed, {} random accesses",
+        work.cpu_ops,
+        work.seq_bytes() as f64 / 1e6,
+        work.rand_accesses
+    );
+
+    // 5. Price the same work on two of the paper's machines.
+    for name in ["op-e5", "pi3b+"] {
+        let hw = wimpi::hwsim::profile(name).expect("profile exists");
+        let p = wimpi::hwsim::predict_all_cores(&hw, &work);
+        println!(
+            "predicted on {name:8}: {:.4} s ({})",
+            p.total_s(),
+            if p.memory_bound() { "memory-bound" } else { "compute-bound" }
+        );
+    }
+}

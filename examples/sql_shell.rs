@@ -1,0 +1,77 @@
+//! Interactive SQL shell over a generated TPC-H catalog.
+//!
+//! ```text
+//! cargo run --release --example sql_shell [sf]
+//! ```
+//!
+//! Type SQL (single line, `;` optional). Meta-commands: `\tables`,
+//! `\schema <table>`, `\hw` (toggle per-machine predictions), `\q`.
+
+use std::io::{BufRead, Write};
+
+use wimpi::hwsim::{all_profiles, predict_all_cores};
+use wimpi::sql::execute_sql;
+use wimpi::tpch::Generator;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    eprintln!("generating TPC-H SF {sf} …");
+    let catalog = Generator::new(sf).generate_catalog().expect("generation succeeds");
+    eprintln!("ready. \\tables lists tables, \\q quits.\n");
+    let stdin = std::io::stdin();
+    let mut show_hw = false;
+    print!("wimpi> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        match line {
+            "" => {}
+            "\\q" | "exit" | "quit" => break,
+            "\\hw" => {
+                show_hw = !show_hw;
+                println!("hardware predictions {}", if show_hw { "on" } else { "off" });
+            }
+            "\\tables" => {
+                for name in catalog.names() {
+                    let t = catalog.table(name).expect("registered");
+                    println!("{name:10} {:>9} rows", t.num_rows());
+                }
+            }
+            cmd if cmd.starts_with("\\schema") => {
+                let table = cmd.trim_start_matches("\\schema").trim();
+                match catalog.table(table) {
+                    Ok(t) => println!("{}", t.schema()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            sql => {
+                let started = std::time::Instant::now();
+                match execute_sql(sql, &catalog) {
+                    Ok((rel, work)) => {
+                        println!("{}", rel.to_text(20));
+                        println!(
+                            "({} rows in {:.3}s host; {:.1} MB streamed)",
+                            rel.num_rows(),
+                            started.elapsed().as_secs_f64(),
+                            work.seq_bytes() as f64 / 1e6
+                        );
+                        if show_hw {
+                            for hw in all_profiles() {
+                                let p = predict_all_cores(&hw, &work);
+                                println!("  {:12} {:>9.4}s", hw.name, p.total_s());
+                            }
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+        print!("wimpi> ");
+        std::io::stdout().flush().ok();
+    }
+    println!();
+}

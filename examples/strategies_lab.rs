@@ -1,0 +1,40 @@
+//! Execution-strategies lab: run the three paradigms of the paper's §II-D3
+//! on this host, verify they agree, and price them on op-e5 / op-gold /
+//! Pi 3B+ (Figure 4 in miniature).
+//!
+//! ```text
+//! cargo run --release --example strategies_lab [sf]
+//! ```
+
+use wimpi::hwsim::{predict_single_core, profile};
+use wimpi::strategies::{run, Paradigm, STRATEGY_QUERIES};
+use wimpi::tpch::Generator;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let cat = Generator::new(sf).generate_catalog().expect("generates");
+    let machines: Vec<_> =
+        ["op-e5", "op-gold", "pi3b+"].iter().map(|n| profile(n).expect("profile")).collect();
+
+    println!("SF {sf}, single-threaded. host = measured here; others = modelled.\n");
+    println!("query  paradigm       host(s)   op-e5(s)  op-gold(s)  pi3b+(s)");
+    for &q in &STRATEGY_QUERIES {
+        let mut digests = Vec::new();
+        for paradigm in Paradigm::ALL {
+            let r = run(q, paradigm, &cat);
+            digests.push(r.digest);
+            let scaled = r.work.scale(1.0 / sf); // model at SF 1
+            print!("Q{q:<5} {:<13} {:>8.4}", paradigm.label(), r.host_seconds);
+            for hw in &machines {
+                print!("  {:>8.4}", predict_single_core(hw, &scaled).total_s());
+            }
+            println!();
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "paradigms disagree on Q{q}: {digests:?}"
+        );
+        println!();
+    }
+    println!("all paradigms produced identical digests ✓");
+}

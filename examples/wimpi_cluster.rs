@@ -1,0 +1,54 @@
+//! The WIMPI cluster end to end: partition TPC-H across simulated Raspberry
+//! Pi nodes, run the choke-point queries with partial-aggregate pushdown,
+//! and print the timing breakdown (slowest node / network / merge) — the
+//! paper's §II-D2 experiment in miniature.
+//!
+//! ```text
+//! cargo run --release --example wimpi_cluster [sf] [nodes]
+//! ```
+
+use wimpi::cluster::distribute::Strategy;
+use wimpi::cluster::{ClusterConfig, WimpiCluster};
+use wimpi::queries::{query, CHOKEPOINT_QUERIES};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sf: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let nodes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    println!("building a {nodes}-node WIMPI cluster holding TPC-H SF {sf} …");
+    let cluster = WimpiCluster::build(ClusterConfig::new(nodes, sf)).expect("cluster builds");
+    let per_node = cluster.node_catalog(0).table("lineitem").expect("partition").num_rows();
+    println!("≈ {per_node} lineitem rows per node\n");
+
+    println!("query  nodes  slowest-node   network     merge     total   shipped");
+    for &q in &CHOKEPOINT_QUERIES {
+        let run = cluster
+            .run(&query(q), Strategy::PartialAggPushdown)
+            .unwrap_or_else(|e| panic!("Q{q} failed: {e}"));
+        let slowest = run.node_seconds.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "Q{q:<5} {:>5}  {slowest:>10.4}s {:>9.4}s {:>8.4}s {:>8.4}s {:>8} B",
+            run.nodes_used,
+            run.network_seconds,
+            run.merge_seconds,
+            run.total_seconds(),
+            run.bytes_shipped,
+        );
+    }
+
+    // The paper's §III-C3 anecdote: what happens when rows, not partial
+    // aggregates, are shipped to the driver.
+    println!("\nQ1 shipping strategies (the MonetDB distributed-mode anecdote):");
+    for (label, strategy) in [
+        ("partial-aggregate pushdown", Strategy::PartialAggPushdown),
+        ("ship rows to driver", Strategy::ShipRows),
+    ] {
+        let run = cluster.run(&query(1), strategy).expect("runs");
+        println!(
+            "  {label:28} {:>10} B shipped, {:.4} s total",
+            run.bytes_shipped,
+            run.total_seconds()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The cluster's core correctness invariant (DESIGN.md §7): for every
+//! choke-point query and any cluster size or shipping strategy, the
+//! distributed result equals the single-node result.
+
+use proptest::prelude::*;
+use wimpi::cluster::distribute::Strategy;
+use wimpi::cluster::{ClusterConfig, WimpiCluster};
+use wimpi::queries::{query, run, CHOKEPOINT_QUERIES};
+use wimpi::storage::Catalog;
+use wimpi::tpch::Generator;
+
+const SF: f64 = 0.008;
+
+fn reference_catalog() -> Catalog {
+    Generator::new(SF).generate_catalog().expect("generation succeeds")
+}
+
+/// Compares two relations cell by cell with a small float tolerance (avg is
+/// exact-decimal single-node but sum/count-composed when distributed).
+fn assert_equivalent(q: usize, a: &wimpi::engine::Relation, b: &wimpi::engine::Relation) {
+    assert_eq!(a.num_rows(), b.num_rows(), "Q{q} row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "Q{q} column count");
+    let names: Vec<&str> = a.names().collect();
+    for row in 0..a.num_rows() {
+        for name in &names {
+            let va = a.value(row, name).expect("cell");
+            let vb = b.value(row, name).expect("cell");
+            match (va.as_f64(), vb.as_f64()) {
+                (Some(x), Some(y)) => {
+                    let tol = 1e-9 * x.abs().max(1.0);
+                    assert!(
+                        (x - y).abs() <= tol,
+                        "Q{q} row {row} col {name}: {x} vs {y}"
+                    );
+                }
+                _ => assert_eq!(
+                    va, vb,
+                    "Q{q} row {row} col {name} mismatch"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_chokepoint_query_distributes_correctly() {
+    let reference = reference_catalog();
+    let cluster = WimpiCluster::build(ClusterConfig::new(5, SF)).expect("cluster builds");
+    for &q in &CHOKEPOINT_QUERIES {
+        let (expected, _) = run(&query(q), &reference).expect("single-node runs");
+        let dist = cluster
+            .run(&query(q), Strategy::PartialAggPushdown)
+            .unwrap_or_else(|e| panic!("Q{q} distributed failed: {e}"));
+        assert_equivalent(q, &dist.result, &expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any cluster size and either shipping strategy produce the
+    /// single-node answer.
+    #[test]
+    fn distribution_is_size_and_strategy_invariant(
+        nodes in 1u32..9,
+        strategy_ship in any::<bool>(),
+        qi in 0usize..CHOKEPOINT_QUERIES.len(),
+    ) {
+        let q = CHOKEPOINT_QUERIES[qi];
+        let strategy = if strategy_ship { Strategy::ShipRows } else { Strategy::PartialAggPushdown };
+        let reference = reference_catalog();
+        let (expected, _) = run(&query(q), &reference).expect("single-node runs");
+        let cluster = WimpiCluster::build(ClusterConfig::new(nodes, SF)).expect("builds");
+        let dist = cluster.run(&query(q), strategy).expect("distributed runs");
+        assert_equivalent(q, &dist.result, &expected);
+    }
+}
+
+#[test]
+fn scalar_results_survive_distribution_exactly() {
+    // Q6's single decimal output must be bit-exact, not just within
+    // tolerance: sums of mantissas are associative.
+    let reference = reference_catalog();
+    let (expected, _) = run(&query(6), &reference).expect("runs");
+    let (m_ref, s_ref) = expected.column("revenue").expect("col").as_decimal().expect("dec");
+    for nodes in [2u32, 3, 7] {
+        let cluster = WimpiCluster::build(ClusterConfig::new(nodes, SF)).expect("builds");
+        let dist = cluster.run(&query(6), Strategy::PartialAggPushdown).expect("runs");
+        let col = dist.result.column("revenue").expect("col");
+        let (m, s) = col.as_decimal().expect("dec");
+        assert_eq!((m, s), (m_ref, s_ref), "{nodes} nodes");
+    }
+}
+
+#[test]
+fn timing_metadata_is_consistent() {
+    let cluster = WimpiCluster::build(ClusterConfig::new(3, SF)).expect("builds");
+    let dist = cluster
+        .run(&query(1), Strategy::PartialAggPushdown)
+        .expect("runs");
+    assert_eq!(dist.node_seconds.len(), 3);
+    assert_eq!(dist.node_profiles.len(), 3);
+    assert!(dist.node_seconds.iter().all(|&t| t > 0.0));
+    assert!(dist.total_seconds() >= dist.node_seconds.iter().cloned().fold(0.0, f64::max));
+    assert!(dist.bytes_shipped > 0);
+    // Q1's partials are four groups per node — tiny.
+    assert!(dist.bytes_shipped < 100_000, "partials stay small: {}", dist.bytes_shipped);
+}

@@ -1,0 +1,43 @@
+//! The extrapolation contract (DESIGN.md §4): the modelled tables must be
+//! (near-)invariant to the scale factor actually executed on the host,
+//! because every reproduced query's work scales linearly in SF. A breakage
+//! here means some counter picked up an SF-independent term (exactly the
+//! dictionary-pool bug this test was written against).
+
+use wimpi::core::Study;
+
+#[test]
+fn table2_predictions_invariant_to_measure_sf() {
+    let a = Study::new(0.01).table2().expect("runs");
+    let b = Study::new(0.03).table2().expect("runs");
+    for profile in ["op-e5", "pi3b+", "c6g.metal"] {
+        for q in 1..=22 {
+            let ta = a.get(profile, q).expect("modelled");
+            let tb = b.get(profile, q).expect("modelled");
+            let rel = (ta - tb).abs() / ta.max(tb);
+            // Group counts and constants don't scale perfectly at tiny SFs;
+            // 20% is far below the factor-level differences that matter.
+            assert!(
+                rel < 0.20,
+                "{profile} Q{q}: {ta:.4}s at SF 0.01 vs {tb:.4}s at SF 0.03 (rel {rel:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_cluster_predictions_invariant_to_measure_sf() {
+    let a = Study::new(0.01).table3(&[2, 4]).expect("runs");
+    let b = Study::new(0.02).table3(&[2, 4]).expect("runs");
+    for &n in &[2u32, 4] {
+        for &q in &a.queries.clone() {
+            let ta = a.wimpi(n, q).expect("modelled");
+            let tb = b.wimpi(n, q).expect("modelled");
+            let rel = (ta - tb).abs() / ta.max(tb);
+            assert!(
+                rel < 0.25,
+                "WIMPI x{n} Q{q}: {ta:.4}s vs {tb:.4}s (rel {rel:.2})"
+            );
+        }
+    }
+}

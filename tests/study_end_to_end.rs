@@ -1,0 +1,147 @@
+//! End-to-end study test: run every experiment at a tiny scale factor and
+//! check that the paper's qualitative findings — the reproduction targets —
+//! emerge from the models.
+
+use wimpi::core::{fig3, fig5, fig6, fig7, median, Study};
+
+const MEASURE_SF: f64 = 0.02;
+
+#[test]
+fn full_study_reproduces_headline_shapes() {
+    let study = Study::new(MEASURE_SF);
+    let sf1 = study.table2().expect("table2 runs");
+    let sf10 = study.table3(&[4, 8, 16, 24]).expect("table3 runs");
+
+    // §II-D1: the Pi is slowest on Q1 (memory-bound) among all machines.
+    let pi_q1 = sf1.get("pi3b+", 1).expect("modelled");
+    for p in &sf1.profiles {
+        if p != "pi3b+" {
+            assert!(sf1.get(p, 1).expect("modelled") < pi_q1, "{p} must beat the Pi on Q1");
+        }
+    }
+
+    // §II-D1: median Pi/op-e5 slowdown is around one order of magnitude,
+    // not two — the paper's core "surprisingly competitive" claim.
+    let ratios: Vec<f64> = (1..=22)
+        .map(|q| sf1.get("pi3b+", q).expect("pi") / sf1.get("op-e5", q).expect("e5"))
+        .collect();
+    let med = median(&ratios);
+    assert!(
+        (2.0..=15.0).contains(&med),
+        "median Pi slowdown {med} should be ~one order of magnitude"
+    );
+
+    // §II-D2: small clusters hit the memory cliff; the jump to mid sizes is
+    // at least 5× on Q1.
+    let q1_4 = sf10.wimpi(4, 1).expect("modelled");
+    let q1_16 = sf10.wimpi(16, 1).expect("modelled");
+    assert!(q1_4 / q1_16 > 5.0, "4→16 node Q1 jump: {q1_4} vs {q1_16}");
+
+    // §II-D2: Q13 is flat across cluster sizes (single-node execution).
+    let q13: Vec<f64> = [4u32, 8, 16, 24]
+        .iter()
+        .map(|&n| sf10.wimpi(n, 13).expect("modelled"))
+        .collect();
+    assert!(q13.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "Q13 flat: {q13:?}");
+
+    // §II-D2: at 24 nodes WIMPI beats at least one comparison point on most
+    // lineitem queries.
+    let mut wins = 0;
+    for &q in &sf10.queries {
+        let w = sf10.wimpi(24, q).expect("modelled");
+        if sf10.servers.profiles.iter().any(|p| sf10.servers.get(p, q).expect("s") > w) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 4, "WIMPI@24 should win somewhere on ≥4 of 8 queries, got {wins}");
+
+    // §III-A1: MSRP-normalized, the single Pi always beats both on-prem
+    // servers at SF 1 (Figure 5 left, every point above 1×).
+    let figs5 = fig5(&sf1, &sf10);
+    let left = &figs5[0];
+    for s in &left.series {
+        for v in s.values.iter().flatten() {
+            assert!(*v > 1.0, "Fig 5 SF1 improvement {v} must exceed break-even");
+        }
+    }
+
+    // §III-A2: hourly-normalized, the Pi wins by orders of magnitude.
+    let figs6 = fig6(&sf1, &sf10);
+    for s in &figs6[0].series {
+        for v in s.values.iter().flatten() {
+            assert!(*v > 10.0, "Fig 6 SF1 improvement {v} should dwarf break-even");
+        }
+    }
+
+    // §III-B1: energy-normalized, the Pi wins on the clear majority of
+    // SF 1 queries.
+    let figs7 = fig7(&sf1, &sf10);
+    let mut above = 0;
+    let mut total = 0;
+    for s in &figs7[0].series {
+        for v in s.values.iter().flatten() {
+            total += 1;
+            if *v > 1.0 {
+                above += 1;
+            }
+        }
+    }
+    assert!(
+        above as f64 / total as f64 > 0.8,
+        "energy improvements mostly above break-even: {above}/{total}"
+    );
+
+    // Figure 3 renders with one series per query and all machines.
+    let figs3 = fig3(&sf1, &sf10);
+    assert_eq!(figs3[0].series.len(), 22);
+    assert_eq!(figs3[0].rows.len(), 9, "nine non-Pi machines");
+}
+
+#[test]
+fn fig4_reproduces_strategy_ordering_on_servers() {
+    let study = Study::new(MEASURE_SF);
+    let t = study.fig4().expect("fig4 runs");
+    // The source paper's finding: access-aware best, data-centric worst —
+    // checked on the fast server where the effect is strongest.
+    let ope5 = &t.seconds[0];
+    let mut aa_wins = 0;
+    for qi in 0..t.queries.len() {
+        if ope5[2][qi] <= ope5[0][qi] {
+            aa_wins += 1;
+        }
+    }
+    assert!(
+        aa_wins >= t.queries.len() - 1,
+        "access-aware should beat data-centric on nearly every query: {aa_wins}/8"
+    );
+
+    // §II-D3: on the Pi the advantage is less pronounced (bandwidth-starved
+    // pullups) — the mean access-aware:data-centric gain is smaller there.
+    let gain = |m: usize| -> f64 {
+        (0..t.queries.len())
+            .map(|qi| t.seconds[m][0][qi] / t.seconds[m][2][qi])
+            .sum::<f64>()
+            / t.queries.len() as f64
+    };
+    let server_gain = gain(0);
+    let pi_gain = gain(2);
+    assert!(
+        pi_gain < server_gain,
+        "pullup advantage must shrink on the Pi: server {server_gain:.2}× vs pi {pi_gain:.2}×"
+    );
+}
+
+#[test]
+fn static_tables_render() {
+    let t1 = Study::table1();
+    assert_eq!(t1.rows.len(), 10);
+    let f2 = Study::fig2();
+    assert_eq!(f2.len(), 4);
+    // Figure 2d: the Pi's all-core bandwidth stays ~flat while servers
+    // scale — the single-memory-channel signature.
+    let membw = &f2[3];
+    let pi_row = membw.rows.iter().position(|r| r == "pi3b+").expect("pi row");
+    let one = membw.series[0].values[pi_row].expect("value");
+    let all = membw.series[1].values[pi_row].expect("value");
+    assert!(all / one < 1.2);
+}

@@ -72,21 +72,10 @@ impl TextFigure {
         };
         let mut widths: Vec<usize> = Vec::new();
         widths.push(
-            self.rows
-                .iter()
-                .map(String::len)
-                .chain([self.row_header.len()])
-                .max()
-                .unwrap_or(0),
+            self.rows.iter().map(String::len).chain([self.row_header.len()]).max().unwrap_or(0),
         );
         for s in &self.series {
-            let w = s
-                .values
-                .iter()
-                .map(|v| fmt(v).len())
-                .chain([s.name.len()])
-                .max()
-                .unwrap_or(1);
+            let w = s.values.iter().map(|v| fmt(v).len()).chain([s.name.len()]).max().unwrap_or(1);
             widths.push(w);
         }
         out.push_str(&format!("{:<w$}", self.row_header, w = widths[0]));
@@ -113,11 +102,7 @@ impl TextFigure {
         let mut out = format!(
             "{{\"title\":\"{}\",\"rows\":[{}],\"series\":[",
             esc(&self.title),
-            self.rows
-                .iter()
-                .map(|r| format!("\"{}\"", esc(r)))
-                .collect::<Vec<_>>()
-                .join(",")
+            self.rows.iter().map(|r| format!("\"{}\"", esc(r))).collect::<Vec<_>>().join(",")
         );
         for (i, s) in self.series.iter().enumerate() {
             if i > 0 {
@@ -150,10 +135,7 @@ mod tests {
         let mut f = TextFigure::new("Demo", "query");
         f.rows = vec!["Q1".into(), "Q6".into()];
         f.push_series(Series::new("op-e5", vec![0.161, 0.028]));
-        f.push_series(Series {
-            name: "pi3b+".into(),
-            values: vec![Some(1.772), None],
-        });
+        f.push_series(Series { name: "pi3b+".into(), values: vec![Some(1.772), None] });
         f
     }
 

@@ -11,6 +11,5 @@ pub mod proportionality;
 
 pub use figure::{Series, TextFigure};
 pub use normalize::{
-    break_even_nodes, energy_j, improvement, msrp, speedup, wimpi_hourly, wimpi_msrp,
-    wimpi_power_w,
+    break_even_nodes, energy_j, improvement, msrp, speedup, wimpi_hourly, wimpi_msrp, wimpi_power_w,
 };

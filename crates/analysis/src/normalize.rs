@@ -52,15 +52,8 @@ pub fn speedup(reference_s: f64, other_s: f64) -> f64 {
 /// First cluster size (in `sizes` order) whose improvement over the
 /// reference crosses 1×; `None` when the server always wins (the paper's
 /// Q13).
-pub fn break_even_nodes(
-    sizes: &[u32],
-    improvements: &[f64],
-) -> Option<u32> {
-    sizes
-        .iter()
-        .zip(improvements)
-        .find(|(_, &imp)| imp >= 1.0)
-        .map(|(&n, _)| n)
+pub fn break_even_nodes(sizes: &[u32], improvements: &[f64]) -> Option<u32> {
+    sizes.iter().zip(improvements).find(|(_, &imp)| imp >= 1.0).map(|(&n, _)| n)
 }
 
 #[cfg(test)]

@@ -58,12 +58,7 @@ pub fn wimpi_rightsized_energy_j(
 
 /// Ratio of server energy to right-sized WIMPI energy over the same duty
 /// cycle — the §III-B2 argument quantified. Values > 1 favour WIMPI.
-pub fn idle_advantage(
-    server_tdp_w: f64,
-    nodes: u32,
-    active_nodes: u32,
-    busy_frac: f64,
-) -> f64 {
+pub fn idle_advantage(server_tdp_w: f64, nodes: u32, active_nodes: u32, busy_frac: f64) -> f64 {
     let server = PowerModel::server(server_tdp_w).energy_j(3600.0, busy_frac);
     let wimpi = wimpi_rightsized_energy_j(nodes, active_nodes, 3600.0, busy_frac);
     server / wimpi

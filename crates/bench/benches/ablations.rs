@@ -51,16 +51,13 @@ fn bench_dictionary(c: &mut Criterion) {
 }
 
 fn bench_distributed_pushdown(c: &mut Criterion) {
-    let cluster =
-        WimpiCluster::build(ClusterConfig::new(4, SF)).expect("cluster builds");
+    let cluster = WimpiCluster::build(ClusterConfig::new(4, SF)).expect("cluster builds");
     let q1 = wimpi_queries::query(1);
     let mut g = c.benchmark_group("ablation_distributed_pushdown");
     g.sample_size(10);
     g.bench_function("partial_agg_pushdown", |b| {
         b.iter(|| {
-            black_box(
-                cluster.run(&q1, Strategy::PartialAggPushdown).expect("runs").bytes_shipped,
-            )
+            black_box(cluster.run(&q1, Strategy::PartialAggPushdown).expect("runs").bytes_shipped)
         });
     });
     g.bench_function("ship_rows_to_driver", |b| {
@@ -82,8 +79,7 @@ fn bench_recompute_vs_materialize(c: &mut Criterion) {
     // stream it back (extra bandwidth, less compute).
     g.bench_function("materialize_intermediate", |b| {
         b.iter(|| {
-            let dp: Vec<i64> =
-                ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100).collect();
+            let dp: Vec<i64> = ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100).collect();
             let a: i64 = dp.iter().sum();
             let b2: i64 = dp.iter().map(|&v| v / 2).sum();
             black_box((a, b2))
@@ -95,8 +91,7 @@ fn bench_recompute_vs_materialize(c: &mut Criterion) {
     g.bench_function("recompute_expression", |b| {
         b.iter(|| {
             let a: i64 = ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100).sum();
-            let b2: i64 =
-                ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100 / 2).sum();
+            let b2: i64 = ext.iter().zip(disc).map(|(&e, &d)| e * (100 - d) / 100 / 2).sum();
             black_box((a, b2))
         });
     });

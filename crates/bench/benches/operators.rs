@@ -2,9 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use wimpi_engine::expr::{col, date, dec2, lit};
+use wimpi_engine::expr::{col, date, dec2};
 use wimpi_engine::plan::{AggExpr, PlanBuilder, SortKey};
-use wimpi_engine::{execute_query, exec};
+use wimpi_engine::{exec, execute_query};
 use wimpi_storage::Catalog;
 use wimpi_tpch::Generator;
 
@@ -43,10 +43,7 @@ fn bench_operators(c: &mut Criterion) {
     g.bench_function("group_by_two_dict_keys_q1_style", |b| {
         let plan = PlanBuilder::scan("lineitem")
             .aggregate(
-                vec![
-                    (col("l_returnflag"), "f"),
-                    (col("l_linestatus"), "s"),
-                ],
+                vec![(col("l_returnflag"), "f"), (col("l_linestatus"), "s")],
                 vec![AggExpr::sum(col("l_quantity"), "q"), AggExpr::count_star("n")],
             )
             .build();

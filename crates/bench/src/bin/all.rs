@@ -14,17 +14,9 @@ fn main() {
     wimpi_bench::emit(&args, "fig2", &Study::fig2());
 
     let sf1 = study.table2().expect("table2 runs");
-    wimpi_bench::emit(
-        &args,
-        "table2",
-        &[sf1.to_figure("Table II — TPC-H SF 1 runtimes (s)")],
-    );
+    wimpi_bench::emit(&args, "table2", &[sf1.to_figure("Table II — TPC-H SF 1 runtimes (s)")]);
     let sf10 = study.table3(&args.sizes).expect("table3 runs");
-    wimpi_bench::emit(
-        &args,
-        "table3",
-        &[sf10.to_figure("Table III — TPC-H SF 10 runtimes (s)")],
-    );
+    wimpi_bench::emit(&args, "table3", &[sf10.to_figure("Table III — TPC-H SF 10 runtimes (s)")]);
     wimpi_bench::emit(&args, "fig3", &wimpi_core::fig3(&sf1, &sf10));
     let fig4 = study.fig4().expect("fig4 runs");
     wimpi_bench::emit(&args, "fig4", &fig4.to_figures());
@@ -53,8 +45,7 @@ fn main() {
     // §II-D1: Pi on average ~10× slower than the traditional servers at SF1.
     let ratios: Vec<f64> = (1..=22)
         .map(|q| {
-            sf1.get("pi3b+", q).expect("pi modelled")
-                / sf1.get("op-e5", q).expect("e5 modelled")
+            sf1.get("pi3b+", q).expect("pi modelled") / sf1.get("op-e5", q).expect("e5 modelled")
         })
         .collect();
     let paper_ratios: Vec<f64> = (1..=22)
@@ -111,12 +102,7 @@ fn main() {
     let mut wins = 0;
     for &q in &sf10.queries {
         let w = sf10.wimpi(biggest, q).expect("wimpi modelled");
-        if sf10
-            .servers
-            .profiles
-            .iter()
-            .any(|p| sf10.servers.get(p, q).expect("server") > w)
-        {
+        if sf10.servers.profiles.iter().any(|p| sf10.servers.get(p, q).expect("server") > w) {
             wins += 1;
         }
     }

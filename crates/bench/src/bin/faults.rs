@@ -1,0 +1,10 @@
+//! Regenerates the availability experiment: recovery overhead, simulated
+//! recovery seconds, and answer coverage when nodes are killed mid-study,
+//! swept over cluster size (default 4–24) and failure count (0–2).
+
+fn main() {
+    let args = wimpi_bench::Args::parse();
+    let study = wimpi_core::Study::new(args.sf);
+    let t = study.availability(&args.sizes, &[0, 1, 2]).expect("availability runs");
+    wimpi_bench::emit(&args, "faults", &t.to_figures());
+}

@@ -13,10 +13,8 @@ fn main() {
     let nodes = *args.sizes.last().expect("at least one size");
     let scale = 10.0 / args.sf;
     eprintln!("building {nodes}-node cluster at measure SF {} (modelled SF 10) …", args.sf);
-    let workers = WimpiCluster::build(
-        ClusterConfig::new(nodes, args.sf).with_model_scale(scale),
-    )
-    .expect("cluster builds");
+    let workers = WimpiCluster::build(ClusterConfig::new(nodes, args.sf).with_model_scale(scale))
+        .expect("cluster builds");
     let server = wimpi_hwsim::profile("op-e5").expect("profile exists");
     let hybrid = NamCluster::new(workers, server);
 
@@ -36,19 +34,17 @@ fn main() {
                 .expect("all-pi runs")
                 .total_seconds(),
         );
-        nam.push(
-            hybrid.run(&qp, Strategy::PartialAggPushdown).expect("nam runs").total_seconds(),
-        );
+        nam.push(hybrid.run(&qp, Strategy::PartialAggPushdown).expect("nam runs").total_seconds());
     }
     fig.push_series(Series::new("all-pi", all_pi.clone()));
     fig.push_series(Series::new("nam-hybrid", nam.clone()));
-    fig.push_series(Series::new(
-        "speedup",
-        all_pi.iter().zip(&nam).map(|(a, b)| a / b).collect(),
-    ));
+    fig.push_series(Series::new("speedup", all_pi.iter().zip(&nam).map(|(a, b)| a / b).collect()));
     wimpi_bench::emit(&args, "nam", &[fig]);
     if let (Some(m), Some(w)) = (hybrid.msrp(), hybrid.power_w()) {
-        println!("hybrid MSRP ${m:.0}, peak {w:.0} W (all-pi: ${:.0}, {:.0} W)",
-            wimpi_analysis::wimpi_msrp(nodes), wimpi_analysis::wimpi_power_w(nodes));
+        println!(
+            "hybrid MSRP ${m:.0}, peak {w:.0} W (all-pi: ${:.0}, {:.0} W)",
+            wimpi_analysis::wimpi_msrp(nodes),
+            wimpi_analysis::wimpi_power_w(nodes)
+        );
     }
 }

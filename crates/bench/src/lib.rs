@@ -32,11 +32,7 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Self {
-            sf: 0.2,
-            out: PathBuf::from("results"),
-            sizes: vec![4, 8, 12, 16, 20, 24],
-        }
+        Self { sf: 0.2, out: PathBuf::from("results"), sizes: vec![4, 8, 12, 16, 20, 24] }
     }
 }
 

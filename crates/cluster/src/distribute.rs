@@ -75,9 +75,15 @@ pub fn distribute(plan: &LogicalPlan, strategy: Strategy) -> Result<Distributed>
                 break (input, group_by, aggs);
             }
             other => {
+                // Name just the offending operator — a full plan Debug dump
+                // buries the actual problem under pages of nested exprs.
+                let top = other.explain();
+                let top = top.lines().next().unwrap_or("?").trim();
                 return Err(EngineError::Unsupported(format!(
-                    "distributed rewrite needs a top-level aggregate, found {other:?}"
-                )))
+                    "distributed rewrite needs a top-level aggregate, found `{top}` \
+                     over tables [{}]",
+                    other.tables().join(", ")
+                )));
             }
         }
     };
@@ -166,9 +172,7 @@ pub fn distribute(plan: &LogicalPlan, strategy: Strategy) -> Result<Distributed>
         merge_plan = match t {
             Trailing::Sort(keys) => LogicalPlan::Sort { input: Box::new(merge_plan), keys },
             Trailing::Limit(n) => LogicalPlan::Limit { input: Box::new(merge_plan), n },
-            Trailing::Project(exprs) => {
-                LogicalPlan::Project { input: Box::new(merge_plan), exprs }
-            }
+            Trailing::Project(exprs) => LogicalPlan::Project { input: Box::new(merge_plan), exprs },
             Trailing::Filter(predicate) => {
                 LogicalPlan::Filter { input: Box::new(merge_plan), predicate }
             }
@@ -214,10 +218,7 @@ mod tests {
     #[test]
     fn ship_rows_keeps_aggregate_on_driver() {
         let d = distribute(&sample_plan(), Strategy::ShipRows).unwrap();
-        assert!(
-            !d.node_plan.explain().contains("Aggregate"),
-            "ship-rows nodes must not aggregate"
-        );
+        assert!(!d.node_plan.explain().contains("Aggregate"), "ship-rows nodes must not aggregate");
         assert!(d.merge_plan.explain().contains("Aggregate"));
     }
 

@@ -1,0 +1,290 @@
+//! Fault injection and recovery policy for the WIMPI cluster.
+//!
+//! The paper's §III-C4 observes that node failures "almost always resulted
+//! from virtual memory exhaustion" — and the cluster's data layout makes
+//! every failure recoverable: all non-lineitem tables are fully replicated
+//! (§II-D2) and each lineitem partition is regenerable on any node via the
+//! chunk-deterministic generator (`Generator::orders_lineitem_chunk`). This
+//! module provides the two pieces the recovery engine in
+//! [`crate::WimpiCluster::run_with_faults`] consumes:
+//!
+//! * a seeded, deterministic [`FaultPlan`] scheduling per-node crash,
+//!   transient-OOM, slow-node (straggler), and degraded-NIC faults, and
+//! * a [`RecoveryPolicy`] bounding retries (capped exponential backoff in
+//!   *simulated* seconds), straggler speculation, and degraded-mode
+//!   (partial-answer) behaviour.
+//!
+//! Everything here is about the simulated clock; no wall-clock time enters
+//! the model.
+
+/// One kind of injected fault on one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Permanent node loss: the node never answers; its lineitem partition
+    /// must be regenerated on a survivor.
+    Crash,
+    /// The node's first `failures` execution attempts abort with an
+    /// out-of-memory error (the paper's dominant failure mode), after which
+    /// the node succeeds. Recoverable by retrying with backoff while
+    /// `failures <=` [`RecoveryPolicy::max_retries`]; beyond that the node
+    /// is declared dead and its partition reassigned.
+    TransientOom {
+        /// Number of leading attempts that fail.
+        failures: u32,
+    },
+    /// The node still answers, but runs `multiplier`× slower (thermal
+    /// throttling, a failing SD card). Subject to speculative re-execution
+    /// past [`RecoveryPolicy::straggler_threshold`].
+    SlowNode {
+        /// Runtime multiplier, ≥ 1.
+        multiplier: f64,
+    },
+    /// The node's NIC ships partials `multiplier`× slower than the modelled
+    /// 220 Mbps link.
+    DegradedNic {
+        /// Transfer-time multiplier, ≥ 1.
+        multiplier: f64,
+    },
+}
+
+/// A fault bound to a node index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Target node.
+    pub node: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one distributed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (fault-free run).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan that permanently crashes one node.
+    pub fn crash(node: usize) -> Self {
+        Self::none().with(node, FaultKind::Crash)
+    }
+
+    /// Adds a fault (builder style). The first fault registered for a node
+    /// wins; later ones for the same node are ignored at query time.
+    pub fn with(mut self, node: usize, kind: FaultKind) -> Self {
+        self.faults.push(Fault { node, kind });
+        self
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault scheduled for `node`, if any (first registered wins).
+    pub fn fault(&self, node: usize) -> Option<FaultKind> {
+        self.faults.iter().find(|f| f.node == node).map(|f| f.kind)
+    }
+
+    /// A seeded chaos schedule against an `nodes`-node cluster: between one
+    /// and `nodes - 1` faults on distinct nodes with kinds and parameters
+    /// drawn deterministically from `seed`. At least one node is always
+    /// left entirely healthy, so single-answer recovery stays possible.
+    /// The same `(seed, nodes)` pair always yields the same plan.
+    pub fn random(seed: u64, nodes: u32) -> Self {
+        let mut rng = SplitMix64::new(seed ^ FAULT_STREAM_SALT);
+        let mut plan = Self::none();
+        if nodes < 2 {
+            return plan; // a 1-node cluster has no survivor to recover on
+        }
+        let max_faults = (nodes - 1).min(3);
+        let count = 1 + (rng.next() % max_faults as u64) as u32;
+        let mut targets: Vec<usize> = (0..nodes as usize).collect();
+        for k in 0..count as usize {
+            // Partial Fisher–Yates: pick the k-th distinct target.
+            let j = k + (rng.next() as usize) % (targets.len() - k);
+            targets.swap(k, j);
+            let node = targets[k];
+            let kind = match rng.next() % 4 {
+                0 => FaultKind::Crash,
+                1 => FaultKind::TransientOom { failures: 1 + (rng.next() % 2) as u32 },
+                2 => FaultKind::SlowNode { multiplier: 2.0 + (rng.next() % 6) as f64 },
+                _ => FaultKind::DegradedNic { multiplier: 2.0 + (rng.next() % 4) as f64 },
+            };
+            plan = plan.with(node, kind);
+        }
+        plan
+    }
+}
+
+/// How the recovery engine responds to faults. All durations are simulated
+/// seconds priced alongside the hwsim/net models.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Retry budget for transient faults before the node is declared dead.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry (capped exponential).
+    pub backoff_base_s: f64,
+    /// Backoff ceiling.
+    pub backoff_cap_s: f64,
+    /// Heartbeat timeout before a crashed node's partition is reassigned.
+    pub detect_s: f64,
+    /// A node slower than `threshold × median` healthy-node runtime gets a
+    /// speculative copy of its partition launched on the least-loaded
+    /// survivor (when `speculation` is on).
+    pub straggler_threshold: f64,
+    /// Enables speculative re-execution of stragglers.
+    pub speculation: bool,
+    /// Most lost partitions a single survivor may absorb before recovery
+    /// counts as exhausted (a survivor regenerating many partitions also
+    /// multiplies its memory footprint and runtime). `usize::MAX` means
+    /// survivors absorb everything.
+    pub reassign_cap: usize,
+    /// When recovery is exhausted for some partition, return a partial
+    /// answer with a coverage fraction instead of an error.
+    pub degraded_ok: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_s: 0.05,
+            backoff_cap_s: 1.0,
+            detect_s: 0.2,
+            straggler_threshold: 2.0,
+            speculation: true,
+            reassign_cap: usize::MAX,
+            degraded_ok: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that tolerates partial answers (degraded mode).
+    pub fn degraded() -> Self {
+        Self { degraded_ok: true, ..Self::default() }
+    }
+
+    /// Backoff delay before retry number `attempt` (0-based), in simulated
+    /// seconds: `base × 2^attempt`, capped.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        (self.backoff_base_s * 2f64.powi(attempt.min(30) as i32)).min(self.backoff_cap_s)
+    }
+}
+
+/// One partition (or single-node query) moved to a surviving node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reassignment {
+    /// The lost lineitem chunk index (or 0 for a single-node query).
+    pub partition: usize,
+    /// The surviving node that regenerated and executed it.
+    pub to: usize,
+}
+
+/// Recovery bookkeeping attached to a [`crate::DistRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Failed attempts retried (transient faults).
+    pub retries: u32,
+    /// Speculative re-executions that beat their straggler.
+    pub speculated: u32,
+    /// Partitions regenerated and executed away from their home node.
+    pub reassignments: Vec<Reassignment>,
+    /// Extra simulated seconds attributable to recovery: detection and
+    /// backoff delays, partition regeneration (hwsim + microSD pricing),
+    /// re-execution of lost or speculated partitions, and degraded-NIC
+    /// shipping overhead. Not all of it lands on the critical path.
+    pub recovery_seconds: f64,
+    /// Fraction of lineitem rows the answer covers (1.0 unless degraded).
+    pub coverage: f64,
+    /// True when recovery was exhausted and the answer is partial.
+    pub degraded: bool,
+}
+
+impl Default for RecoveryReport {
+    fn default() -> Self {
+        Self {
+            retries: 0,
+            speculated: 0,
+            reassignments: Vec::new(),
+            recovery_seconds: 0.0,
+            coverage: 1.0,
+            degraded: false,
+        }
+    }
+}
+
+/// SplitMix64 — the same counter-based generator family the TPC-H
+/// generator uses, re-implemented here so fault plans stay deterministic
+/// without growing a dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Domain-separation salt so fault streams never collide with data streams.
+const FAULT_STREAM_SALT: u64 = 0x57a6_1efa_0b5e_55ed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let a = FaultPlan::random(42, 8);
+        let b = FaultPlan::random(42, 8);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn random_plans_leave_a_survivor() {
+        for seed in 0..200 {
+            for nodes in 2u32..=9 {
+                let plan = FaultPlan::random(seed, nodes);
+                let crashed = (0..nodes as usize).filter(|&n| plan.fault(n).is_some()).count();
+                assert!(crashed < nodes as usize, "seed {seed} nodes {nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_fault_per_node_wins() {
+        let plan = FaultPlan::crash(1).with(1, FaultKind::SlowNode { multiplier: 4.0 });
+        assert_eq!(plan.fault(1), Some(FaultKind::Crash));
+        assert_eq!(plan.fault(0), None);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RecoveryPolicy::default();
+        assert!(p.backoff_s(1) > p.backoff_s(0));
+        assert!(p.backoff_s(20) <= p.backoff_cap_s);
+    }
+
+    #[test]
+    fn single_node_cluster_gets_no_faults() {
+        assert!(FaultPlan::random(7, 1).is_empty());
+    }
+}

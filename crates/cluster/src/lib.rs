@@ -7,11 +7,22 @@
 //! runtimes come from the Pi 3B+ hardware model, network transfer from the
 //! 220 Mbps link model, and memory pressure from the swap-off/microSD model.
 //!
+//! On top of the fault-free driver sits a fault-tolerance layer
+//! ([`faults`]): injected crashes, transient OOMs, stragglers, and degraded
+//! NICs are *recovered* rather than fatal — transient faults retry with
+//! capped exponential backoff in simulated time, a dead node's lineitem
+//! chunk is regenerated on a survivor via the chunk-deterministic generator
+//! (the extra work and reshipping priced by the same hwsim/net models), and
+//! stragglers past a configurable threshold are speculatively re-executed.
+//! When recovery is exhausted, an optional degraded mode returns a partial
+//! answer plus a coverage fraction instead of an error.
+//!
 //! Substitution note (DESIGN.md §2): the paper ran 24 physical Raspberry
 //! Pis; here every node's *work* is real (executed on the host over the real
 //! partition) and only the *clock* is modelled.
 
 pub mod distribute;
+pub mod faults;
 pub mod memory;
 pub mod nam;
 
@@ -19,6 +30,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use distribute::{distribute, Distributed, Strategy, PARTIALS_TABLE};
+use faults::{FaultKind, FaultPlan, Reassignment, RecoveryPolicy, RecoveryReport};
 use memory::MemoryModel;
 use wimpi_engine::{optimizer, EngineError, LogicalPlan, Relation, WorkProfile};
 use wimpi_hwsim::{pi3b, predict_all_cores, HwProfile};
@@ -27,19 +39,43 @@ use wimpi_queries::QueryPlan;
 use wimpi_storage::{Catalog, Column, Field, Schema, Table};
 use wimpi_tpch::Generator;
 
-/// Cluster-level errors.
+/// Cluster-level errors. Every query-time variant names the query so
+/// multi-query studies can attribute failures.
 #[derive(Debug)]
 pub enum ClusterError {
     /// A planning/execution failure.
     Engine(EngineError),
-    /// A node marked dead was needed by the query.
-    NodeDown(usize),
-    /// A node's anonymous memory demand exceeded its RAM (swap is off).
+    /// A node index outside `0..nodes` was given to a management call.
+    NoSuchNode {
+        /// The offending index.
+        node: usize,
+        /// Cluster size.
+        nodes: usize,
+    },
+    /// A node needed by the query is unreachable and unrecoverable.
+    NodeDown {
+        /// The query being executed.
+        query: String,
+        /// Node index.
+        node: usize,
+    },
+    /// A node's anonymous memory demand exceeded its RAM (swap is off) and
+    /// no recovery path exists: every node is identical, so reassignment
+    /// would OOM too.
     NodeOom {
+        /// The query being executed.
+        query: String,
         /// Node index.
         node: usize,
         /// Bytes the query needed.
         needed: u64,
+    },
+    /// Every node failed; not even a degraded answer is possible.
+    AllNodesFailed {
+        /// The query being executed.
+        query: String,
+        /// How many nodes were lost.
+        failed: usize,
     },
     /// The query cannot be distributed (e.g. a two-phase scalar query).
     Unsupported(String),
@@ -49,9 +85,21 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::Engine(e) => write!(f, "engine: {e}"),
-            ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
-            ClusterError::NodeOom { node, needed } => {
-                write!(f, "node {node} out of memory ({needed} B needed, swap off)")
+            ClusterError::NoSuchNode { node, nodes } => {
+                write!(f, "node {node} does not exist (cluster has {nodes} nodes)")
+            }
+            ClusterError::NodeDown { query, node } => {
+                write!(f, "{query}: node {node} is down and unrecoverable")
+            }
+            ClusterError::NodeOom { query, node, needed } => {
+                write!(
+                    f,
+                    "{query}: node {node} out of memory ({needed} B needed, swap off); \
+                     identical nodes make reassignment futile"
+                )
+            }
+            ClusterError::AllNodesFailed { query, failed } => {
+                write!(f, "{query}: all {failed} nodes failed; no survivor to recover on")
             }
             ClusterError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
@@ -116,11 +164,15 @@ impl ClusterConfig {
 /// One distributed run's outcome and simulated timing.
 #[derive(Debug, Clone)]
 pub struct DistRun {
-    /// The merged query result.
+    /// The merged query result (partial when `recovery.degraded`).
     pub result: Relation,
-    /// Simulated seconds per node (max is the parallel phase).
+    /// Simulated seconds per node, including any recovery work the node
+    /// absorbed (max is the parallel phase; 0.0 for a node that died
+    /// before doing useful work).
     pub node_seconds: Vec<f64>,
-    /// Per-node measured work.
+    /// Per-partition measured work, indexed by the partition's *home* node
+    /// (a reassigned partition's profile is still recorded at its home
+    /// index; `recovery.reassignments` says who really ran it).
     pub node_profiles: Vec<WorkProfile>,
     /// Seconds spent shipping partials to the driver.
     pub network_seconds: f64,
@@ -130,10 +182,13 @@ pub struct DistRun {
     pub bytes_shipped: u64,
     /// Nodes that actually executed (1 for non-lineitem queries).
     pub nodes_used: u32,
+    /// Fault-recovery bookkeeping (all zeros/1.0 for a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 impl DistRun {
     /// End-to-end simulated seconds: slowest node + network + merge.
+    /// Recovery delays are already folded into the per-node times.
     pub fn total_seconds(&self) -> f64 {
         self.node_seconds.iter().cloned().fold(0.0, f64::max)
             + self.network_seconds
@@ -141,12 +196,27 @@ impl DistRun {
     }
 }
 
+/// Outcome of one node's attempt at its home partition.
+enum NodeOutcome {
+    /// Executed: partial result, scaled profile, seconds, executor node.
+    Done(Relation, WorkProfile, f64),
+    /// Permanently failed; recovery may begin at the given simulated time.
+    Lost { available_at: f64 },
+    /// Deterministic OOM (capacity, not a fault): unrecoverable on
+    /// identical nodes.
+    Oom { needed: u64 },
+}
+
 /// The simulated WIMPI cluster.
 pub struct WimpiCluster {
     config: ClusterConfig,
     pi: HwProfile,
     node_catalogs: Vec<Catalog>,
+    /// Replicated tables (region … partsupp + orders), shared by every node
+    /// and by recovery catalogs.
+    replicated: Vec<(String, Arc<Table>)>,
     alive: Vec<bool>,
+    policy: RecoveryPolicy,
 }
 
 impl WimpiCluster {
@@ -155,13 +225,13 @@ impl WimpiCluster {
     /// host — each simulated node still *accounts* for its full replica).
     pub fn build(config: ClusterConfig) -> Result<Self> {
         let gen = Generator::new(config.sf);
-        let shared: Vec<(&str, Arc<Table>)> = vec![
-            ("region", Arc::new(gen.region_table()?)),
-            ("nation", Arc::new(gen.nation_table()?)),
-            ("supplier", Arc::new(gen.supplier_table()?)),
-            ("customer", Arc::new(gen.customer_table()?)),
-            ("part", Arc::new(gen.part_table()?)),
-            ("partsupp", Arc::new(gen.partsupp_table()?)),
+        let mut replicated: Vec<(String, Arc<Table>)> = vec![
+            ("region".into(), Arc::new(gen.region_table()?)),
+            ("nation".into(), Arc::new(gen.nation_table()?)),
+            ("supplier".into(), Arc::new(gen.supplier_table()?)),
+            ("customer".into(), Arc::new(gen.customer_table()?)),
+            ("part".into(), Arc::new(gen.part_table()?)),
+            ("partsupp".into(), Arc::new(gen.partsupp_table()?)),
         ];
         let mut lineitems = Vec::with_capacity(config.nodes as usize);
         let mut order_chunks = Vec::with_capacity(config.nodes as usize);
@@ -170,14 +240,13 @@ impl WimpiCluster {
             order_chunks.push(orders);
             lineitems.push(lineitem);
         }
-        let orders = Arc::new(concat_tables(&order_chunks)?);
+        replicated.push(("orders".into(), Arc::new(concat_tables(&order_chunks)?)));
         let mut node_catalogs = Vec::with_capacity(config.nodes as usize);
         for lineitem in lineitems {
             let mut cat = Catalog::new();
-            for (name, t) in &shared {
-                cat.register_shared(*name, Arc::clone(t));
+            for (name, t) in &replicated {
+                cat.register_shared(name.clone(), Arc::clone(t));
             }
-            cat.register_shared("orders", Arc::clone(&orders));
             cat.register("lineitem", lineitem);
             node_catalogs.push(cat);
         }
@@ -186,6 +255,8 @@ impl WimpiCluster {
             pi: pi3b(),
             config,
             node_catalogs,
+            replicated,
+            policy: RecoveryPolicy::default(),
         })
     }
 
@@ -199,74 +270,255 @@ impl WimpiCluster {
         self.config.nodes
     }
 
+    /// The recovery policy applied by [`Self::run`] and friends.
+    pub fn recovery_policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Replaces the recovery policy.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
     /// The catalog a node holds (tests and benches peek at partitions).
     pub fn node_catalog(&self, node: usize) -> &Catalog {
         &self.node_catalogs[node]
     }
 
-    /// Marks a node failed (failure-injection tests).
-    pub fn kill_node(&mut self, node: usize) {
+    fn check_node(&self, node: usize) -> Result<()> {
+        if node < self.alive.len() {
+            Ok(())
+        } else {
+            Err(ClusterError::NoSuchNode { node, nodes: self.alive.len() })
+        }
+    }
+
+    /// Marks a node failed (failure injection). Errors on an out-of-range
+    /// index instead of panicking.
+    pub fn kill_node(&mut self, node: usize) -> Result<()> {
+        self.check_node(node)?;
         self.alive[node] = false;
+        Ok(())
     }
 
-    /// Brings a node back.
-    pub fn restore_node(&mut self, node: usize) {
+    /// Brings a node back. Errors on an out-of-range index.
+    pub fn restore_node(&mut self, node: usize) -> Result<()> {
+        self.check_node(node)?;
         self.alive[node] = true;
+        Ok(())
     }
 
-    /// Runs a query across the cluster with the given shipping strategy.
+    /// Live nodes (not [`Self::kill_node`]-ed).
+    pub fn alive_nodes(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Runs a query across the cluster with the given shipping strategy,
+    /// recovering from any nodes downed via [`Self::kill_node`] under the
+    /// cluster's [`RecoveryPolicy`].
     ///
-    /// Queries that never touch the partitioned `lineitem` run on node 0
+    /// Queries that never touch the partitioned `lineitem` run on one node
     /// only — exactly the paper's Q13 behaviour (§II-D2: "adding more nodes
     /// has no impact on the performance of Q13").
     pub fn run(&self, q: &QueryPlan, strategy: Strategy) -> Result<DistRun> {
+        self.run_with_faults(q, strategy, &FaultPlan::none())
+    }
+
+    /// [`Self::run`] with an injected fault schedule.
+    pub fn run_with_faults(
+        &self,
+        q: &QueryPlan,
+        strategy: Strategy,
+        faults: &FaultPlan,
+    ) -> Result<DistRun> {
+        let label = match q {
+            QueryPlan::Single(p) => derive_label(p),
+            QueryPlan::TwoPhase { .. } => "two-phase query".to_string(),
+        };
+        self.run_named(&label, q, strategy, faults)
+    }
+
+    /// [`Self::run_with_faults`] with a caller-supplied query name (e.g.
+    /// "Q6") used in errors and reports.
+    pub fn run_named(
+        &self,
+        query: &str,
+        q: &QueryPlan,
+        strategy: Strategy,
+        faults: &FaultPlan,
+    ) -> Result<DistRun> {
         let plan = match q {
             QueryPlan::Single(p) => p,
             QueryPlan::TwoPhase { .. } => {
-                return Err(ClusterError::Unsupported(
-                    "two-phase scalar queries are not distributed; run them single-node"
-                        .to_string(),
-                ))
+                return Err(ClusterError::Unsupported(format!(
+                    "{query}: two-phase scalar queries are not distributed; \
+                     run them single-node"
+                )))
             }
         };
         if !plan.tables().iter().any(|t| t == "lineitem") {
-            return self.run_on_single_node(plan);
+            return self.run_on_single_node(query, plan, faults);
         }
         let Distributed { node_plan, merge_plan } = distribute(plan, strategy)?;
-        let mut node_seconds = Vec::with_capacity(self.node_catalogs.len());
-        let mut node_profiles = Vec::with_capacity(self.node_catalogs.len());
-        let mut partials: Vec<Relation> = Vec::with_capacity(self.node_catalogs.len());
+        let n = self.node_catalogs.len();
+        let mut report = RecoveryReport::default();
+
+        // Phase 1 — every node attempts its home partition; collect *all*
+        // outcomes instead of aborting on the first unhealthy node, so
+        // multi-fault schedules see the full picture.
+        let mut outcomes: Vec<NodeOutcome> = Vec::with_capacity(n);
         for (i, cat) in self.node_catalogs.iter().enumerate() {
-            if !self.alive[i] {
-                return Err(ClusterError::NodeDown(i));
-            }
-            let (rel, prof) = wimpi_engine::execute_query(&node_plan, cat)?;
-            let prof = prof.scale(self.config.model_scale);
-            let base =
-                (scan_bytes(&node_plan, cat)? as f64 * self.config.model_scale) as u64;
-            let penalty = self
-                .config
-                .memory
-                .evaluate(base, &prof)
-                .map_err(|needed| ClusterError::NodeOom { node: i, needed })?;
-            node_seconds.push(predict_all_cores(&self.pi, &prof).total_s() + penalty);
-            node_profiles.push(prof);
-            partials.push(rel);
+            outcomes.push(self.attempt_home_partition(
+                query,
+                &node_plan,
+                cat,
+                i,
+                faults,
+                &mut report,
+            )?);
         }
-        // Ship partials to the driver (its NIC is the bottleneck). Partial
-        // *aggregates* have SF-independent size; shipped *rows* scale with
-        // the modelled SF.
+
+        // Phase 2 — reassign lost partitions to the least-loaded survivors,
+        // regenerating each chunk with the chunk-deterministic generator.
+        let mut busy = vec![0.0f64; n];
+        let mut partials: Vec<Option<Relation>> = (0..n).map(|_| None).collect();
+        let mut profiles = vec![WorkProfile::default(); n];
+        let mut exec_cost = vec![f64::NAN; n];
+        let mut executor: Vec<usize> = (0..n).collect();
+        let mut survivors: Vec<usize> = Vec::new();
+        let mut lost: Vec<(usize, f64)> = Vec::new();
+        let mut oom_nodes: Vec<(usize, u64)> = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                NodeOutcome::Done(rel, prof, secs) => {
+                    busy[i] = secs;
+                    exec_cost[i] = secs;
+                    partials[i] = Some(rel);
+                    profiles[i] = prof;
+                    survivors.push(i);
+                }
+                NodeOutcome::Lost { available_at } => lost.push((i, available_at)),
+                NodeOutcome::Oom { needed } => oom_nodes.push((i, needed)),
+            }
+        }
+        if let Some(&(node, needed)) = oom_nodes.first() {
+            // Deterministic capacity overflow: identical nodes mean the
+            // reassigned execution would OOM too. Degrade or fail.
+            if !self.policy.degraded_ok {
+                return Err(ClusterError::NodeOom { query: query.into(), node, needed });
+            }
+        }
+        if survivors.is_empty() {
+            return Err(ClusterError::AllNodesFailed { query: query.into(), failed: n });
+        }
+        let mut absorbed = vec![0usize; n];
+        for &(p, available_at) in &lost {
+            let candidates: Vec<usize> = survivors
+                .iter()
+                .copied()
+                .filter(|&j| absorbed[j] < self.policy.reassign_cap)
+                .collect();
+            if candidates.is_empty() {
+                // Every survivor is at its reassignment cap: recovery is
+                // exhausted for this partition. Degrade or fail.
+                if self.policy.degraded_ok {
+                    continue;
+                }
+                return Err(ClusterError::NodeDown { query: query.into(), node: p });
+            }
+            let j = least_busy(&candidates, &busy);
+            absorbed[j] += 1;
+            let (rel, prof, regen_s, exec_s) = self.recover_partition(query, &node_plan, p, j)?;
+            let start = busy[j].max(available_at);
+            busy[j] = start + regen_s + exec_s;
+            report.recovery_seconds += regen_s + exec_s;
+            report.reassignments.push(Reassignment { partition: p, to: j });
+            partials[p] = Some(rel);
+            profiles[p] = prof;
+            exec_cost[p] = exec_s;
+            executor[p] = j;
+        }
+
+        // Phase 3 — speculative re-execution of stragglers: when a node
+        // runs past `threshold × median`, launch a copy (regeneration +
+        // execution) on the least-loaded survivor and take whichever
+        // finishes first. The result is identical either way (deterministic
+        // partitions), so only the clock and the accounting move.
+        if self.policy.speculation && survivors.len() > 1 {
+            let median_s = median_of(
+                survivors
+                    .iter()
+                    .filter(|&&i| !is_slow(faults.fault(i)))
+                    .map(|&i| busy[i])
+                    .collect(),
+            );
+            if let Some(median_s) = median_s {
+                let threshold = self.policy.straggler_threshold * median_s;
+                for i in 0..n {
+                    if !is_slow(faults.fault(i)) || busy[i] <= threshold {
+                        continue;
+                    }
+                    let others: Vec<usize> =
+                        survivors.iter().copied().filter(|&j| j != i).collect();
+                    if others.is_empty() {
+                        continue;
+                    }
+                    let j = least_busy(&others, &busy);
+                    let (rows, heap) = self.partition_size(i);
+                    let regen_s = self.regeneration_seconds(rows, heap);
+                    // The copy runs on a *healthy* node: strip the
+                    // straggler's slowdown from its recorded cost.
+                    let mult = match faults.fault(i) {
+                        Some(FaultKind::SlowNode { multiplier }) => multiplier.max(1.0),
+                        _ => 1.0,
+                    };
+                    let copy_exec = exec_cost[i] / mult;
+                    let done = busy[j].max(threshold) + regen_s + copy_exec;
+                    if done < busy[i] {
+                        report.speculated += 1;
+                        report.recovery_seconds += regen_s + copy_exec;
+                        report.reassignments.push(Reassignment { partition: i, to: j });
+                        busy[j] = done;
+                        busy[i] = done; // the straggler's copy is cancelled
+                        executor[i] = j;
+                    }
+                }
+            }
+        }
+
+        // Phase 4 — ship partials to the driver (its NIC is the bottleneck).
+        // Partial *aggregates* have SF-independent size; shipped *rows*
+        // scale with the modelled SF. A degraded executor NIC multiplies
+        // that partition's transfer time.
         let row_scale = match strategy {
             Strategy::PartialAggPushdown => 1.0,
             Strategy::ShipRows => self.config.model_scale,
         };
-        let bytes_shipped: u64 =
-            (partials.iter().map(|r| r.stream_bytes() as u64).sum::<u64>() as f64 * row_scale)
-                as u64;
+        let mut bytes_shipped = 0u64;
+        let mut nic_extra_s = 0.0f64;
+        let mut shippers = 0usize;
+        for (p, rel) in partials.iter().enumerate() {
+            let Some(rel) = rel else { continue };
+            let b = (rel.stream_bytes() as f64 * row_scale) as u64;
+            bytes_shipped += b;
+            shippers += 1;
+            if let Some(FaultKind::DegradedNic { multiplier }) = faults.fault(executor[p]) {
+                let base_s = self.config.net.transfer_s(b) - self.config.net.latency_ms / 1e3;
+                nic_extra_s += base_s * (multiplier.max(1.0) - 1.0);
+            }
+        }
         let network_seconds = self.config.net.transfer_s(bytes_shipped)
-            + self.config.net.latency_ms / 1e3 * self.node_catalogs.len() as f64;
-        // Merge on the driver node.
-        let merged_input = concat_relations(&partials)?;
+            + self.config.net.latency_ms / 1e3 * shippers as f64
+            + nic_extra_s;
+        report.recovery_seconds += nic_extra_s;
+
+        // Phase 5 — merge on the driver node; compute coverage.
+        let covered: Vec<Relation> = partials.iter().flatten().cloned().collect();
+        let (covered_rows, total_rows) = self.coverage_rows(&partials);
+        report.coverage =
+            if total_rows == 0 { 1.0 } else { covered_rows as f64 / total_rows as f64 };
+        report.degraded = covered_rows < total_rows;
+        let merged_input = concat_relations(&covered)?;
         let mut merge_cat = Catalog::new();
         merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
         let (result, merge_prof) = wimpi_engine::execute_query(&merge_plan, &merge_cat)?;
@@ -276,35 +528,224 @@ impl WimpiCluster {
             .config
             .memory
             .evaluate((merged_input.stream_bytes() as f64 * row_scale) as u64, &merge_prof)
-            .map_err(|needed| ClusterError::NodeOom { node: 0, needed })?;
-        let merge_seconds =
-            predict_all_cores(&self.pi, &merge_prof).total_s() + merge_penalty;
+            .map_err(|needed| ClusterError::NodeOom { query: query.into(), node: 0, needed })?;
+        let merge_seconds = predict_all_cores(&self.pi, &merge_prof).total_s() + merge_penalty;
+        let nodes_used = {
+            let mut ex: Vec<usize> = partials
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_some())
+                .map(|(p, _)| executor[p])
+                .collect();
+            ex.sort_unstable();
+            ex.dedup();
+            ex.len() as u32
+        };
         Ok(DistRun {
             result,
-            node_seconds,
-            node_profiles,
+            node_seconds: busy,
+            node_profiles: profiles,
             network_seconds,
             merge_seconds,
             bytes_shipped,
-            nodes_used: self.config.nodes,
+            nodes_used,
+            recovery: report,
         })
     }
 
-    /// Runs a whole (non-lineitem) query on node 0.
-    fn run_on_single_node(&self, plan: &LogicalPlan) -> Result<DistRun> {
-        if !self.alive[0] {
-            return Err(ClusterError::NodeDown(0));
+    /// One node's attempt at its home partition, with transient faults
+    /// retried under the policy's capped exponential backoff (in simulated
+    /// seconds — no wall clock anywhere).
+    fn attempt_home_partition(
+        &self,
+        query: &str,
+        node_plan: &LogicalPlan,
+        cat: &Catalog,
+        node: usize,
+        faults: &FaultPlan,
+        report: &mut RecoveryReport,
+    ) -> Result<NodeOutcome> {
+        let fault = faults.fault(node);
+        if !self.alive[node] || fault == Some(FaultKind::Crash) {
+            report.recovery_seconds += self.policy.detect_s;
+            return Ok(NodeOutcome::Lost { available_at: self.policy.detect_s });
         }
-        let cat = &self.node_catalogs[0];
+        let (rel, prof) = wimpi_engine::execute_query(node_plan, cat)?;
+        let prof = prof.scale(self.config.model_scale);
+        let base = (scan_bytes(node_plan, cat)? as f64 * self.config.model_scale) as u64;
+        let exec_s = match self.config.memory.evaluate(base, &prof) {
+            Ok(penalty) => predict_all_cores(&self.pi, &prof).total_s() + penalty,
+            Err(needed) => return Ok(NodeOutcome::Oom { needed }),
+        };
+        let _ = query;
+        match fault {
+            Some(FaultKind::TransientOom { failures }) => {
+                let budget = self.policy.max_retries;
+                if failures <= budget {
+                    // Fails `failures` times, then succeeds: the wasted
+                    // attempts and backoff delays precede the good run.
+                    let mut waste = 0.0;
+                    for a in 0..failures {
+                        waste += exec_s + self.policy.backoff_s(a);
+                    }
+                    report.retries += failures;
+                    report.recovery_seconds += waste;
+                    Ok(NodeOutcome::Done(rel, prof, waste + exec_s))
+                } else {
+                    // Retry budget exhausted: declared dead; its partition
+                    // becomes reassignable once the attempts have burned.
+                    let mut waste = 0.0;
+                    for a in 0..=budget {
+                        waste += exec_s + self.policy.backoff_s(a);
+                    }
+                    report.retries += budget;
+                    report.recovery_seconds += waste;
+                    Ok(NodeOutcome::Lost { available_at: waste })
+                }
+            }
+            Some(FaultKind::SlowNode { multiplier }) => {
+                Ok(NodeOutcome::Done(rel, prof, exec_s * multiplier.max(1.0)))
+            }
+            _ => Ok(NodeOutcome::Done(rel, prof, exec_s)),
+        }
+    }
+
+    /// Regenerates partition `p` via the chunk-deterministic generator and
+    /// executes the node plan over it on survivor `j`. Returns the partial,
+    /// the scaled profile, and the regeneration/execution seconds.
+    fn recover_partition(
+        &self,
+        query: &str,
+        node_plan: &LogicalPlan,
+        p: usize,
+        j: usize,
+    ) -> Result<(Relation, WorkProfile, f64, f64)> {
+        let gen = Generator::new(self.config.sf);
+        let (_, lineitem) = gen.orders_lineitem_chunk(p as u64, self.config.nodes as u64)?;
+        let rows = lineitem.num_rows() as u64;
+        let heap = lineitem.heap_bytes() as u64;
+        let mut rcat = Catalog::new();
+        for (name, t) in &self.replicated {
+            rcat.register_shared(name.clone(), Arc::clone(t));
+        }
+        rcat.register("lineitem", lineitem);
+        let (rel, prof) = wimpi_engine::execute_query(node_plan, &rcat)?;
+        let prof = prof.scale(self.config.model_scale);
+        let base = (scan_bytes(node_plan, &rcat)? as f64 * self.config.model_scale) as u64;
+        let exec_s = match self.config.memory.evaluate(base, &prof) {
+            Ok(penalty) => predict_all_cores(&self.pi, &prof).total_s() + penalty,
+            Err(needed) => {
+                return Err(ClusterError::NodeOom { query: query.into(), node: j, needed })
+            }
+        };
+        let regen_s = self.regeneration_seconds(rows, heap);
+        Ok((rel, prof, regen_s, exec_s))
+    }
+
+    /// Simulated seconds for a survivor to regenerate a lineitem chunk:
+    /// generator CPU/stream work priced by the Pi hardware model, plus
+    /// persisting the regenerated columns through the microSD card (MonetDB
+    /// base columns are mmap-backed files).
+    fn regeneration_seconds(&self, rows: u64, heap_bytes: u64) -> f64 {
+        let scaled_rows = (rows as f64 * self.config.model_scale) as u64;
+        let scaled_heap = (heap_bytes as f64 * self.config.model_scale) as u64;
+        let work = WorkProfile {
+            // ~64 data-dependent ops per generated row (RNG draws, text
+            // synthesis, column appends) — the generator is CPU-heavy.
+            cpu_ops: scaled_rows * 64,
+            seq_write_bytes: scaled_heap,
+            rows_in: scaled_rows,
+            ..WorkProfile::default()
+        };
+        predict_all_cores(&self.pi, &work).total_s()
+            + self.config.memory.reload_seconds(scaled_heap)
+    }
+
+    /// (rows, heap bytes) of a node's lineitem partition.
+    fn partition_size(&self, node: usize) -> (u64, u64) {
+        let t = self.node_catalogs[node]
+            .table("lineitem")
+            .expect("every node holds a lineitem partition");
+        (t.num_rows() as u64, t.heap_bytes() as u64)
+    }
+
+    /// (covered, total) lineitem rows for a partial-answer coverage ratio.
+    fn coverage_rows(&self, partials: &[Option<Relation>]) -> (u64, u64) {
+        let mut covered = 0;
+        let mut total = 0;
+        for (p, rel) in partials.iter().enumerate() {
+            let (rows, _) = self.partition_size(p);
+            total += rows;
+            if rel.is_some() {
+                covered += rows;
+            }
+        }
+        (covered, total)
+    }
+
+    /// Runs a whole (non-lineitem) query on one node — node 0 when healthy,
+    /// else the first healthy replica (every non-lineitem table is fully
+    /// replicated, so any node gives the identical answer).
+    fn run_on_single_node(
+        &self,
+        query: &str,
+        plan: &LogicalPlan,
+        faults: &FaultPlan,
+    ) -> Result<DistRun> {
+        let mut report = RecoveryReport::default();
+        let healthy = |i: &usize| self.alive[*i] && faults.fault(*i) != Some(FaultKind::Crash);
+        let mut candidates = (0..self.node_catalogs.len()).filter(healthy);
+        let Some(exec_node) = candidates.next() else {
+            return Err(ClusterError::AllNodesFailed {
+                query: query.into(),
+                failed: self.node_catalogs.len(),
+            });
+        };
+        if exec_node != 0 {
+            // Node 0's death was detected, then the query was re-routed.
+            report.recovery_seconds += self.policy.detect_s;
+            report.reassignments.push(Reassignment { partition: 0, to: exec_node });
+        }
+        let cat = &self.node_catalogs[exec_node];
         let (result, prof) = wimpi_engine::execute_query(plan, cat)?;
         let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(plan, cat)? as f64 * self.config.model_scale) as u64;
-        let penalty = self
-            .config
-            .memory
-            .evaluate(base, &prof)
-            .map_err(|needed| ClusterError::NodeOom { node: 0, needed })?;
-        let t = predict_all_cores(&self.pi, &prof).total_s() + penalty;
+        let exec_s = match self.config.memory.evaluate(base, &prof) {
+            Ok(penalty) => predict_all_cores(&self.pi, &prof).total_s() + penalty,
+            Err(needed) => {
+                return Err(ClusterError::NodeOom { query: query.into(), node: exec_node, needed })
+            }
+        };
+        let mut t = exec_s;
+        match faults.fault(exec_node) {
+            Some(FaultKind::TransientOom { failures }) => {
+                let tries = failures.min(self.policy.max_retries);
+                let mut waste = 0.0;
+                for a in 0..tries {
+                    waste += exec_s + self.policy.backoff_s(a);
+                }
+                report.retries += tries;
+                report.recovery_seconds += waste;
+                t += waste;
+            }
+            Some(FaultKind::SlowNode { multiplier }) => {
+                let slow = exec_s * multiplier.max(1.0);
+                // With a healthy replica available, hop instead of waiting
+                // out a straggler worse than the speculation threshold.
+                let backup = candidates.next();
+                let hop = self.policy.straggler_threshold * exec_s + exec_s;
+                match backup {
+                    Some(b) if self.policy.speculation && hop < slow => {
+                        report.speculated += 1;
+                        report.recovery_seconds += exec_s;
+                        report.reassignments.push(Reassignment { partition: 0, to: b });
+                        t = hop;
+                    }
+                    _ => t = slow,
+                }
+            }
+            _ => {}
+        }
         Ok(DistRun {
             result,
             node_seconds: vec![t],
@@ -313,8 +754,34 @@ impl WimpiCluster {
             merge_seconds: 0.0,
             bytes_shipped: 0,
             nodes_used: 1,
+            recovery: report,
         })
     }
+}
+
+/// A readable label for an anonymous plan, used in error messages when the
+/// caller didn't name the query (see [`WimpiCluster::run_named`]).
+fn derive_label(plan: &LogicalPlan) -> String {
+    format!("query[{}]", plan.tables().join("+"))
+}
+
+/// The least-busy node among `candidates` (which must be non-empty).
+fn least_busy(candidates: &[usize], busy: &[f64]) -> usize {
+    *candidates.iter().min_by(|a, b| busy[**a].total_cmp(&busy[**b])).expect("candidates non-empty")
+}
+
+/// True for straggler faults.
+fn is_slow(fault: Option<FaultKind>) -> bool {
+    matches!(fault, Some(FaultKind::SlowNode { .. }))
+}
+
+/// Median of an unsorted sample; `None` when empty.
+fn median_of(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    Some(xs[xs.len() / 2])
 }
 
 /// Bytes of base-table columns a plan actually scans on a catalog —
@@ -367,8 +834,7 @@ fn concat_relations(parts: &[Relation]) -> Result<Relation> {
     let first = parts.first().expect("at least one partial");
     let mut fields = Vec::with_capacity(first.num_columns());
     for (idx, (name, _)) in first.fields().iter().enumerate() {
-        let cols: Vec<&Column> =
-            parts.iter().map(|r| r.fields()[idx].1.as_ref()).collect();
+        let cols: Vec<&Column> = parts.iter().map(|r| r.fields()[idx].1.as_ref()).collect();
         fields.push((name.clone(), Arc::new(Column::concat(&cols)?)));
     }
     Ok(Relation::new(fields)?)
@@ -377,10 +843,7 @@ fn concat_relations(parts: &[Relation]) -> Result<Relation> {
 /// Converts a relation into a storable table (schema inferred from columns).
 fn relation_to_table(rel: &Relation) -> Result<Table> {
     let schema = Schema::new(
-        rel.fields()
-            .iter()
-            .map(|(n, c)| Field::new(n.clone(), c.data_type()))
-            .collect(),
+        rel.fields().iter().map(|(n, c)| Field::new(n.clone(), c.data_type())).collect(),
     );
     let columns = rel.fields().iter().map(|(_, c)| c.as_ref().clone()).collect();
     Ok(Table::new(schema, columns)?)
@@ -434,6 +897,8 @@ mod tests {
         );
         assert_eq!(run.nodes_used, 3);
         assert!(run.total_seconds() > 0.0);
+        // Fault-free runs carry an empty recovery report.
+        assert_eq!(run.recovery, RecoveryReport::default());
     }
 
     #[test]
@@ -467,15 +932,58 @@ mod tests {
     }
 
     #[test]
-    fn dead_node_fails_lineitem_queries() {
+    fn dead_node_recovers_via_reassignment() {
         let mut c = small_cluster(3);
-        c.kill_node(1);
-        assert!(matches!(
-            c.run(&query(6), Strategy::PartialAggPushdown),
-            Err(ClusterError::NodeDown(1))
-        ));
-        c.restore_node(1);
-        assert!(c.run(&query(6), Strategy::PartialAggPushdown).is_ok());
+        let q = query(6);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        c.kill_node(1).unwrap();
+        let run = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(
+            run.result.column("revenue").unwrap().as_decimal().unwrap(),
+            healthy.result.column("revenue").unwrap().as_decimal().unwrap(),
+            "recovery must not change the answer"
+        );
+        assert_eq!(run.recovery.reassignments.len(), 1);
+        assert_eq!(run.recovery.reassignments[0].partition, 1);
+        assert_ne!(run.recovery.reassignments[0].to, 1);
+        assert!(run.recovery.recovery_seconds > 0.0, "recovery is not free");
+        assert!(
+            run.total_seconds() > healthy.total_seconds(),
+            "regeneration + re-execution must cost simulated time"
+        );
+        assert_eq!(run.nodes_used, 2);
+        assert!(!run.recovery.degraded);
+        c.restore_node(1).unwrap();
+        let back = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        assert!(back.recovery.reassignments.is_empty());
+    }
+
+    #[test]
+    fn q13_reroutes_around_dead_node_zero() {
+        let mut c = small_cluster(3);
+        let reference = c.run(&query(13), Strategy::PartialAggPushdown).unwrap();
+        c.kill_node(0).unwrap();
+        let run = c.run(&query(13), Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(run.result.num_rows(), reference.result.num_rows());
+        assert_eq!(run.recovery.reassignments, vec![Reassignment { partition: 0, to: 1 }]);
+    }
+
+    #[test]
+    fn all_nodes_dead_is_an_error_naming_the_query() {
+        let mut c = small_cluster(2);
+        c.kill_node(0).unwrap();
+        c.kill_node(1).unwrap();
+        let err = c.run(&query(6), Strategy::PartialAggPushdown).unwrap_err();
+        assert!(matches!(err, ClusterError::AllNodesFailed { .. }));
+        assert!(err.to_string().contains("lineitem"), "query label in message: {err}");
+    }
+
+    #[test]
+    fn node_management_is_bounds_checked() {
+        let mut c = small_cluster(2);
+        assert!(matches!(c.kill_node(7), Err(ClusterError::NoSuchNode { node: 7, nodes: 2 })));
+        assert!(matches!(c.restore_node(9), Err(ClusterError::NoSuchNode { .. })));
+        assert_eq!(c.alive_nodes(), 2);
     }
 
     #[test]
@@ -484,10 +992,9 @@ mod tests {
         config.memory.mem_bytes = 16 << 10; // 16 KiB node: hash tables alone overflow
         config.memory.os_reserve_bytes = 0;
         let c = WimpiCluster::build(config).unwrap();
-        assert!(matches!(
-            c.run(&query(3), Strategy::ShipRows),
-            Err(ClusterError::NodeOom { .. })
-        ));
+        let err = c.run(&query(3), Strategy::ShipRows).unwrap_err();
+        assert!(matches!(err, ClusterError::NodeOom { .. }));
+        assert!(err.to_string().contains("query["), "query label in message: {err}");
     }
 
     #[test]
@@ -501,5 +1008,110 @@ mod tests {
         let pruned = scan_bytes(&q6, cat).unwrap();
         let full = cat.table("lineitem").unwrap().heap_bytes() as u64;
         assert!(pruned < full / 2, "Q6 touches a minority of lineitem: {pruned} vs {full}");
+    }
+
+    #[test]
+    fn transient_oom_retries_then_succeeds() {
+        let c = small_cluster(3);
+        let q = query(6);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        let plan = FaultPlan::none().with(1, FaultKind::TransientOom { failures: 2 });
+        let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(
+            run.result.column("revenue").unwrap().as_decimal().unwrap(),
+            healthy.result.column("revenue").unwrap().as_decimal().unwrap(),
+        );
+        assert_eq!(run.recovery.retries, 2);
+        assert!(run.recovery.reassignments.is_empty(), "retry succeeded in place");
+        assert!(run.node_seconds[1] > healthy.node_seconds[1]);
+    }
+
+    #[test]
+    fn transient_oom_beyond_budget_reassigns() {
+        let c = small_cluster(3);
+        let q = query(6);
+        let budget = c.recovery_policy().max_retries;
+        let plan = FaultPlan::none().with(0, FaultKind::TransientOom { failures: budget + 5 });
+        let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(run.recovery.retries, budget);
+        assert_eq!(run.recovery.reassignments.len(), 1);
+        assert_eq!(run.recovery.reassignments[0].partition, 0);
+    }
+
+    #[test]
+    fn straggler_speculation_caps_the_tail() {
+        let mut c = small_cluster(4);
+        let q = query(1);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        let plan = FaultPlan::none().with(2, FaultKind::SlowNode { multiplier: 50.0 });
+        let spec = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(spec.recovery.speculated, 1);
+        assert!(
+            spec.total_seconds() < healthy.total_seconds() * 50.0 / 2.0,
+            "speculation must beat waiting out a 50x straggler: {} vs {}",
+            spec.total_seconds(),
+            healthy.total_seconds()
+        );
+        // Without speculation the straggler dominates.
+        let mut policy = *c.recovery_policy();
+        policy.speculation = false;
+        c.set_recovery_policy(policy);
+        let slow = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(slow.recovery.speculated, 0);
+        assert!(slow.total_seconds() > spec.total_seconds());
+        assert_eq!(
+            spec.result.column("sum_qty").unwrap().as_decimal().unwrap(),
+            slow.result.column("sum_qty").unwrap().as_decimal().unwrap(),
+        );
+    }
+
+    #[test]
+    fn degraded_nic_prices_extra_shipping() {
+        let c = small_cluster(3);
+        let q = query(6);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        let plan = FaultPlan::none().with(1, FaultKind::DegradedNic { multiplier: 8.0 });
+        let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert!(run.network_seconds > healthy.network_seconds);
+        assert!(run.recovery.recovery_seconds > 0.0);
+        assert_eq!(
+            run.result.column("revenue").unwrap().as_decimal().unwrap(),
+            healthy.result.column("revenue").unwrap().as_decimal().unwrap(),
+        );
+    }
+
+    #[test]
+    fn unlimited_survivors_absorb_everything() {
+        let mut c = small_cluster(3);
+        c.kill_node(1).unwrap();
+        c.kill_node(2).unwrap();
+        let run = c.run(&query(6), Strategy::PartialAggPushdown).unwrap();
+        assert!(!run.recovery.degraded);
+        assert!((run.recovery.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(run.recovery.reassignments.len(), 2);
+        assert_eq!(run.nodes_used, 1);
+    }
+
+    #[test]
+    fn capped_recovery_fails_loudly_or_degrades() {
+        let mut c = small_cluster(4);
+        let mut policy = *c.recovery_policy();
+        policy.reassign_cap = 1; // one survivor may absorb one partition
+        c.set_recovery_policy(policy);
+        c.kill_node(1).unwrap();
+        c.kill_node(2).unwrap();
+        c.kill_node(3).unwrap();
+        // Three lost partitions, one survivor with capacity for one: the
+        // strict policy refuses …
+        let err = c.run(&query(6), Strategy::PartialAggPushdown).unwrap_err();
+        assert!(matches!(err, ClusterError::NodeDown { .. }), "got {err}");
+        // … and the degraded policy answers with partial coverage.
+        policy.degraded_ok = true;
+        c.set_recovery_policy(policy);
+        let run = c.run(&query(6), Strategy::PartialAggPushdown).unwrap();
+        assert!(run.recovery.degraded);
+        assert!(run.recovery.coverage > 0.0 && run.recovery.coverage < 1.0);
+        assert_eq!(run.recovery.reassignments.len(), 1);
+        assert_eq!(run.result.num_rows(), 1, "Q6 still yields its scalar");
     }
 }

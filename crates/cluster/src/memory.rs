@@ -72,6 +72,15 @@ impl MemoryModel {
         Ok((work.seq_read_bytes + work.seq_write_bytes) as f64 * miss_frac * REFAULT_FACTOR
             / self.sd_read_bps)
     }
+
+    /// Seconds to pull `bytes` of freshly (re)generated base columns through
+    /// the microSD card — the storage leg of regenerating a lost lineitem
+    /// partition on a survivor (mmap-backed columns must be persisted before
+    /// they are queryable, and the card is symmetric enough at this class
+    /// that one bandwidth figure covers both directions).
+    pub fn reload_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.sd_read_bps
+    }
 }
 
 #[cfg(test)]
@@ -97,9 +106,8 @@ mod tests {
     fn oversized_base_pays_sd_penalty() {
         let m = MemoryModel::wimpi_node();
         // 1.5 GB of base columns on a 0.875 GB budget: heavy thrash.
-        let penalty = m
-            .evaluate(1_500 << 20, &work(1 << 20, 0, 2_000 << 20))
-            .expect("thrash, not OOM");
+        let penalty =
+            m.evaluate(1_500 << 20, &work(1 << 20, 0, 2_000 << 20)).expect("thrash, not OOM");
         assert!(penalty > 5.0, "expected tens of seconds of SD rereads, got {penalty}");
     }
 

@@ -10,6 +10,7 @@
 //! merge).
 
 use crate::distribute::Strategy;
+use crate::faults::FaultPlan;
 use crate::{DistRun, Result, WimpiCluster};
 use wimpi_hwsim::{predict_all_cores, HwProfile};
 use wimpi_microbench::NetModel;
@@ -35,7 +36,19 @@ impl NamCluster {
     /// all-Pi deployment, but partials ship to the server, which merges
     /// them with its own compute/bandwidth and without memory pressure.
     pub fn run(&self, q: &QueryPlan, strategy: Strategy) -> Result<DistRun> {
-        let base = self.workers.run(q, strategy)?;
+        self.run_with_faults(q, strategy, &FaultPlan::none())
+    }
+
+    /// [`Self::run`] under an injected fault schedule: worker-side recovery
+    /// (retries, reassignment, speculation) happens exactly as in the all-Pi
+    /// cluster; only the shipping and merge legs are re-priced on the server.
+    pub fn run_with_faults(
+        &self,
+        q: &QueryPlan,
+        strategy: Strategy,
+        faults: &FaultPlan,
+    ) -> Result<DistRun> {
+        let base = self.workers.run_with_faults(q, strategy, faults)?;
         if base.nodes_used == 1 {
             // Single-node queries (Q13): NAM can host them on the server
             // outright — the §III-C1 "tasks that require a large amount of
@@ -91,8 +104,7 @@ mod tests {
     use wimpi_queries::query;
 
     fn hybrid(nodes: u32) -> NamCluster {
-        let workers =
-            WimpiCluster::build(ClusterConfig::new(nodes, 0.01)).expect("cluster builds");
+        let workers = WimpiCluster::build(ClusterConfig::new(nodes, 0.01)).expect("cluster builds");
         NamCluster::new(workers, wimpi_hwsim::profile("op-e5").expect("profile"))
     }
 
@@ -137,6 +149,21 @@ mod tests {
             all_pi.total_seconds()
         );
         assert_eq!(nam.result.num_rows(), all_pi.result.num_rows());
+    }
+
+    #[test]
+    fn recovery_survives_the_hybrid_path() {
+        let mut h = hybrid(3);
+        let q = query(6);
+        let healthy = h.run(&q, Strategy::PartialAggPushdown).unwrap();
+        h.workers.kill_node(1).unwrap();
+        let run = h.run(&q, Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(run.recovery.reassignments.len(), 1);
+        assert!(run.recovery.recovery_seconds > 0.0);
+        assert_eq!(
+            run.result.column("revenue").unwrap().as_decimal().unwrap(),
+            healthy.result.column("revenue").unwrap().as_decimal().unwrap(),
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use wimpi_analysis::{Series, TextFigure};
 use wimpi_cluster::distribute::Strategy;
+use wimpi_cluster::faults::FaultPlan;
 use wimpi_cluster::memory::MemoryModel;
 use wimpi_cluster::{scan_bytes, ClusterConfig, WimpiCluster};
 use wimpi_engine::{EngineError, Result, WorkProfile};
@@ -89,8 +90,7 @@ impl DistributedTable {
         f.rows = self.servers.profiles.clone();
         f.rows.extend(self.cluster_sizes.iter().map(|n| format!("pi3b+ x{n}")));
         for (c, q) in self.queries.iter().enumerate() {
-            let mut vals: Vec<f64> =
-                self.servers.seconds.iter().map(|row| row[c]).collect();
+            let mut vals: Vec<f64> = self.servers.seconds.iter().map(|row| row[c]).collect();
             vals.extend(self.wimpi_seconds.iter().map(|row| row[c]));
             f.push_series(Series::new(format!("Q{q}"), vals));
         }
@@ -123,14 +123,63 @@ impl StrategyTable {
                 );
                 f.rows = self.queries.iter().map(|q| format!("Q{q}")).collect();
                 for (p, paradigm) in Paradigm::ALL.iter().enumerate() {
-                    f.push_series(Series::new(
-                        paradigm.label(),
-                        self.seconds[m][p].clone(),
-                    ));
+                    f.push_series(Series::new(paradigm.label(), self.seconds[m][p].clone()));
                 }
                 f
             })
             .collect()
+    }
+}
+
+/// The availability experiment: recovery overhead when nodes are killed
+/// mid-study, swept over cluster size and failure count. Not in the paper —
+/// the paper §III-C4 only *reports* that OOM crashes stayed isolated; this
+/// quantifies what riding through real failures would have cost WIMPI.
+#[derive(Debug, Clone)]
+pub struct AvailabilityTable {
+    /// Target scale factor the numbers represent.
+    pub target_sf: f64,
+    /// Swept cluster sizes, row order.
+    pub cluster_sizes: Vec<u32>,
+    /// Nodes killed per experiment, column order (0 = fault-free baseline).
+    pub kills: Vec<u32>,
+    /// Choke-point total runtime relative to fault-free, `[size][kills]`
+    /// (1.0 = no overhead; NaN when the kill count reaches the size).
+    pub overhead: Vec<Vec<f64>>,
+    /// Simulated seconds attributed to recovery, `[size][kills]`.
+    pub recovery_seconds: Vec<Vec<f64>>,
+    /// Worst per-query answer coverage, `[size][kills]` (1.0 = complete).
+    pub coverage: Vec<Vec<f64>>,
+}
+
+impl AvailabilityTable {
+    /// Renders the overhead and recovery-time panels.
+    pub fn to_figures(&self) -> Vec<TextFigure> {
+        let rows: Vec<String> = self.cluster_sizes.iter().map(|n| format!("pi3b+ x{n}")).collect();
+        let mut f1 = TextFigure::new(
+            format!(
+                "Availability — choke-point runtime vs fault-free (SF {}, ratio)",
+                self.target_sf
+            ),
+            "cluster",
+        );
+        f1.rows = rows.clone();
+        let mut f2 = TextFigure::new(
+            format!("Availability — simulated recovery seconds (SF {})", self.target_sf),
+            "cluster",
+        );
+        f2.rows = rows;
+        for (c, k) in self.kills.iter().enumerate() {
+            f1.push_series(Series::new(
+                format!("{k} killed"),
+                self.overhead.iter().map(|row| row[c]).collect(),
+            ));
+            f2.push_series(Series::new(
+                format!("{k} killed"),
+                self.recovery_seconds.iter().map(|row| row[c]).collect(),
+            ));
+        }
+        vec![f1, f2]
     }
 }
 
@@ -146,14 +195,8 @@ impl Study {
         let mut f = TextFigure::new("Table I — hardware specifications", "name");
         let profiles = all_profiles();
         f.rows = profiles.iter().map(|p| p.name.to_string()).collect();
-        f.push_series(Series::new(
-            "GHz",
-            profiles.iter().map(|p| p.freq_ghz).collect(),
-        ));
-        f.push_series(Series::new(
-            "cores",
-            profiles.iter().map(|p| p.cores as f64).collect(),
-        ));
+        f.push_series(Series::new("GHz", profiles.iter().map(|p| p.freq_ghz).collect()));
+        f.push_series(Series::new("cores", profiles.iter().map(|p| p.cores as f64).collect()));
         f.push_series(Series::new(
             "LLC(MB)",
             profiles.iter().map(|p| p.llc_bytes as f64 / (1 << 20) as f64).collect(),
@@ -262,14 +305,18 @@ impl Study {
         let scale = 10.0 / self.measure_sf;
         let mut wimpi_seconds = Vec::with_capacity(cluster_sizes.len());
         for &n in cluster_sizes {
-            let cluster = WimpiCluster::build(
-                ClusterConfig::new(n, self.measure_sf).with_model_scale(scale),
-            )
-            .map_err(cluster_err)?;
+            let cluster =
+                WimpiCluster::build(ClusterConfig::new(n, self.measure_sf).with_model_scale(scale))
+                    .map_err(cluster_err)?;
             let mut row = Vec::with_capacity(CHOKEPOINT_QUERIES.len());
             for &q in &CHOKEPOINT_QUERIES {
                 let r = cluster
-                    .run(&query(q), Strategy::PartialAggPushdown)
+                    .run_named(
+                        &format!("Q{q}"),
+                        &query(q),
+                        Strategy::PartialAggPushdown,
+                        &FaultPlan::none(),
+                    )
                     .map_err(cluster_err)?;
                 row.push(r.total_seconds());
             }
@@ -284,16 +331,92 @@ impl Study {
         })
     }
 
+    /// The availability experiment: for each cluster size, permanently kill
+    /// the `k` highest-index nodes (for each `k` in `kills`) and run every
+    /// choke-point query through the recovery engine, recording the total
+    /// runtime relative to the fault-free baseline, the simulated seconds
+    /// recovery cost, and the worst answer coverage. Deterministic: the
+    /// kill set is a function of `(size, k)` alone.
+    pub fn availability(&self, cluster_sizes: &[u32], kills: &[u32]) -> Result<AvailabilityTable> {
+        let scale = 10.0 / self.measure_sf;
+        let mut overhead = Vec::with_capacity(cluster_sizes.len());
+        let mut recovery = Vec::with_capacity(cluster_sizes.len());
+        let mut coverage = Vec::with_capacity(cluster_sizes.len());
+        for &n in cluster_sizes {
+            let mut cluster =
+                WimpiCluster::build(ClusterConfig::new(n, self.measure_sf).with_model_scale(scale))
+                    .map_err(cluster_err)?;
+            let mut o_row = Vec::with_capacity(kills.len());
+            let mut r_row = Vec::with_capacity(kills.len());
+            let mut c_row = Vec::with_capacity(kills.len());
+            let mut baseline_total = 0.0;
+            for &q in &CHOKEPOINT_QUERIES {
+                let r = cluster
+                    .run_named(
+                        &format!("Q{q}"),
+                        &query(q),
+                        Strategy::PartialAggPushdown,
+                        &FaultPlan::none(),
+                    )
+                    .map_err(cluster_err)?;
+                baseline_total += r.total_seconds();
+            }
+            for &k in kills {
+                if k >= n {
+                    // Killing the whole cluster leaves nothing to answer.
+                    o_row.push(f64::NAN);
+                    r_row.push(f64::NAN);
+                    c_row.push(0.0);
+                    continue;
+                }
+                for node in 0..n as usize {
+                    cluster.restore_node(node).map_err(cluster_err)?;
+                }
+                for node in (n - k) as usize..n as usize {
+                    cluster.kill_node(node).map_err(cluster_err)?;
+                }
+                let mut total = 0.0;
+                let mut rec = 0.0;
+                let mut cov = 1.0f64;
+                for &q in &CHOKEPOINT_QUERIES {
+                    let r = cluster
+                        .run_named(
+                            &format!("Q{q}"),
+                            &query(q),
+                            Strategy::PartialAggPushdown,
+                            &FaultPlan::none(),
+                        )
+                        .map_err(cluster_err)?;
+                    total += r.total_seconds();
+                    rec += r.recovery.recovery_seconds;
+                    cov = cov.min(r.recovery.coverage);
+                }
+                o_row.push(total / baseline_total);
+                r_row.push(rec);
+                c_row.push(cov);
+            }
+            overhead.push(o_row);
+            recovery.push(r_row);
+            coverage.push(c_row);
+        }
+        Ok(AvailabilityTable {
+            target_sf: 10.0,
+            cluster_sizes: cluster_sizes.to_vec(),
+            kills: kills.to_vec(),
+            overhead,
+            recovery_seconds: recovery,
+            coverage,
+        })
+    }
+
     /// Figure 4: the three execution strategies, single-threaded, SF 1, on
     /// op-e5 / op-gold / Pi 3B+.
     pub fn fig4(&self) -> Result<StrategyTable> {
         let cat = generate(self.measure_sf)?;
         let scale = 1.0 / self.measure_sf;
         let machines = ["op-e5", "op-gold", "pi3b+"];
-        let hw: Vec<HwProfile> = machines
-            .iter()
-            .map(|n| wimpi_hwsim::profile(n).expect("profile exists"))
-            .collect();
+        let hw: Vec<HwProfile> =
+            machines.iter().map(|n| wimpi_hwsim::profile(n).expect("profile exists")).collect();
         let mut seconds =
             vec![vec![vec![0.0; STRATEGY_QUERIES.len()]; Paradigm::ALL.len()]; hw.len()];
         for (qi, &q) in STRATEGY_QUERIES.iter().enumerate() {
@@ -334,8 +457,8 @@ fn query_scan_bytes(q: &QueryPlan, cat: &Catalog) -> Result<u64> {
         QueryPlan::Single(p) => scan_bytes(p, cat).map_err(cluster_err),
         QueryPlan::TwoPhase { first, second, .. } => {
             let a = scan_bytes(first, cat).map_err(cluster_err)?;
-            let b = scan_bytes(&second(wimpi_storage::Value::F64(0.0)), cat)
-                .map_err(cluster_err)?;
+            let b =
+                scan_bytes(&second(wimpi_storage::Value::F64(0.0)), cat).map_err(cluster_err)?;
             Ok(a.max(b))
         }
     }
@@ -370,10 +493,8 @@ pub fn fig3(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
         ));
     }
     let biggest = *sf10.cluster_sizes.last().expect("at least one size");
-    let mut f2 = TextFigure::new(
-        format!("Fig 3 (right) — SF 10 speedup over WIMPI x{biggest}"),
-        "machine",
-    );
+    let mut f2 =
+        TextFigure::new(format!("Fig 3 (right) — SF 10 speedup over WIMPI x{biggest}"), "machine");
     f2.rows = sf10.servers.profiles.clone();
     for (c, q) in sf10.queries.iter().enumerate() {
         let w = sf10.wimpi(biggest, *q).expect("largest cluster present");
@@ -447,14 +568,10 @@ pub fn fig5(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
 
 /// Figure 6: hourly-cost-normalized improvement over the cloud instances.
 pub fn fig6(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
-    let clouds: Vec<HwProfile> = all_profiles()
-        .into_iter()
-        .filter(|p| p.category == wimpi_hwsim::Category::Cloud)
-        .collect();
-    let mut f1 = TextFigure::new(
-        "Fig 6 (left) — SF 1 hourly-cost-normalized improvement of pi3b+",
-        "query",
-    );
+    let clouds: Vec<HwProfile> =
+        all_profiles().into_iter().filter(|p| p.category == wimpi_hwsim::Category::Cloud).collect();
+    let mut f1 =
+        TextFigure::new("Fig 6 (left) — SF 1 hourly-cost-normalized improvement of pi3b+", "query");
     f1.rows = sf1.queries.iter().map(|q| format!("Q{q}")).collect();
     f1.precision = 0;
     for cloud in &clouds {
@@ -503,10 +620,8 @@ pub fn fig6(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
 
 /// Figure 7: TDP-energy-normalized improvement over the on-premises servers.
 pub fn fig7(sf1: &SingleNodeTable, sf10: &DistributedTable) -> Vec<TextFigure> {
-    let mut f1 = TextFigure::new(
-        "Fig 7 (left) — SF 1 energy-normalized improvement of pi3b+",
-        "query",
-    );
+    let mut f1 =
+        TextFigure::new("Fig 7 (left) — SF 1 energy-normalized improvement of pi3b+", "query");
     f1.rows = sf1.queries.iter().map(|q| format!("Q{q}")).collect();
     for server in ["op-e5", "op-gold"] {
         let hw = wimpi_hwsim::profile(server).expect("profile exists");
@@ -602,6 +717,24 @@ mod tests {
         for f in fig5(&sf1, &sf10) {
             assert!(!f.render().is_empty());
         }
+    }
+
+    #[test]
+    fn availability_prices_failures_above_baseline() {
+        let t = Study::new(0.01).availability(&[3, 4], &[0, 1, 2]).unwrap();
+        assert_eq!(t.cluster_sizes, vec![3, 4]);
+        for (r, _) in t.cluster_sizes.iter().enumerate() {
+            assert!((t.overhead[r][0] - 1.0).abs() < 1e-9, "0 kills = baseline");
+            assert_eq!(t.recovery_seconds[r][0], 0.0);
+            assert!(t.overhead[r][1] > 1.0, "1 kill must cost time: {}", t.overhead[r][1]);
+            assert!(t.recovery_seconds[r][1] > 0.0);
+            // Answers stay complete: recovery, not degradation.
+            assert_eq!(t.coverage[r][1], 1.0);
+            assert!(t.overhead[r][2] >= t.overhead[r][1], "more kills cannot be cheaper");
+        }
+        let figs = t.to_figures();
+        assert_eq!(figs.len(), 2);
+        assert!(!figs[0].render().is_empty());
     }
 
     #[test]

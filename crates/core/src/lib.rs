@@ -12,5 +12,7 @@ pub mod experiments;
 pub mod reference;
 pub mod report;
 
-pub use experiments::{fig3, fig5, fig6, fig7, DistributedTable, SingleNodeTable, Study};
+pub use experiments::{
+    fig3, fig5, fig6, fig7, AvailabilityTable, DistributedTable, SingleNodeTable, Study,
+};
 pub use report::{compare_table2, compare_table3, median, Comparison};

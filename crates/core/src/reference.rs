@@ -24,53 +24,53 @@ pub const TABLE2_ROWS: [&str; 10] = [
 pub const TABLE2_SECONDS: [[f64; 22]; 10] = [
     // op-e5
     [
-        0.161, 0.008, 0.080, 0.061, 0.082, 0.028, 0.052, 0.116, 0.116, 0.062, 0.017, 0.036,
-        0.196, 0.019, 0.034, 0.156, 0.101, 0.130, 0.027, 0.045, 0.155, 0.112,
+        0.161, 0.008, 0.080, 0.061, 0.082, 0.028, 0.052, 0.116, 0.116, 0.062, 0.017, 0.036, 0.196,
+        0.019, 0.034, 0.156, 0.101, 0.130, 0.027, 0.045, 0.155, 0.112,
     ],
     // op-gold
     [
-        0.056, 0.008, 0.046, 0.025, 0.041, 0.012, 0.024, 0.069, 0.055, 0.031, 0.011, 0.020,
-        0.121, 0.011, 0.015, 0.084, 0.051, 0.063, 0.020, 0.022, 0.199, 0.063,
+        0.056, 0.008, 0.046, 0.025, 0.041, 0.012, 0.024, 0.069, 0.055, 0.031, 0.011, 0.020, 0.121,
+        0.011, 0.015, 0.084, 0.051, 0.063, 0.020, 0.022, 0.199, 0.063,
     ],
     // c4.8xlarge
     [
-        0.054, 0.008, 0.021, 0.016, 0.020, 0.006, 0.022, 0.037, 0.033, 0.017, 0.006, 0.011,
-        0.097, 0.006, 0.011, 0.045, 0.022, 0.050, 0.018, 0.016, 0.068, 0.038,
+        0.054, 0.008, 0.021, 0.016, 0.020, 0.006, 0.022, 0.037, 0.033, 0.017, 0.006, 0.011, 0.097,
+        0.006, 0.011, 0.045, 0.022, 0.050, 0.018, 0.016, 0.068, 0.038,
     ],
     // m4.10xlarge
     [
-        0.056, 0.007, 0.021, 0.017, 0.021, 0.007, 0.021, 0.041, 0.034, 0.019, 0.006, 0.013,
-        0.111, 0.007, 0.012, 0.048, 0.022, 0.057, 0.021, 0.018, 0.087, 0.044,
+        0.056, 0.007, 0.021, 0.017, 0.021, 0.007, 0.021, 0.041, 0.034, 0.019, 0.006, 0.013, 0.111,
+        0.007, 0.012, 0.048, 0.022, 0.057, 0.021, 0.018, 0.087, 0.044,
     ],
     // m4.16xlarge (Q11 interpolated: the published column omits one value)
     [
-        0.043, 0.007, 0.023, 0.015, 0.021, 0.006, 0.023, 0.043, 0.032, 0.022, 0.006, 0.014,
-        0.116, 0.009, 0.012, 0.045, 0.016, 0.059, 0.029, 0.020, 0.237, 0.043,
+        0.043, 0.007, 0.023, 0.015, 0.021, 0.006, 0.023, 0.043, 0.032, 0.022, 0.006, 0.014, 0.116,
+        0.009, 0.012, 0.045, 0.016, 0.059, 0.029, 0.020, 0.237, 0.043,
     ],
     // z1d.metal
     [
-        0.073, 0.012, 0.079, 0.052, 0.057, 0.027, 0.035, 0.096, 0.083, 0.054, 0.024, 0.032,
-        0.196, 0.018, 0.031, 0.167, 0.089, 0.084, 0.037, 0.047, 0.169, 0.094,
+        0.073, 0.012, 0.079, 0.052, 0.057, 0.027, 0.035, 0.096, 0.083, 0.054, 0.024, 0.032, 0.196,
+        0.018, 0.031, 0.167, 0.089, 0.084, 0.037, 0.047, 0.169, 0.094,
     ],
     // m5.metal
     [
-        0.034, 0.010, 0.033, 0.023, 0.026, 0.008, 0.025, 0.053, 0.043, 0.031, 0.010, 0.018,
-        0.135, 0.011, 0.017, 0.074, 0.027, 0.064, 0.031, 0.024, 0.248, 0.064,
+        0.034, 0.010, 0.033, 0.023, 0.026, 0.008, 0.025, 0.053, 0.043, 0.031, 0.010, 0.018, 0.135,
+        0.011, 0.017, 0.074, 0.027, 0.064, 0.031, 0.024, 0.248, 0.064,
     ],
     // a1.metal
     [
-        0.270, 0.009, 0.062, 0.064, 0.087, 0.025, 0.071, 0.126, 0.123, 0.053, 0.018, 0.046,
-        0.330, 0.015, 0.026, 0.190, 0.077, 0.135, 0.024, 0.032, 0.085, 0.143,
+        0.270, 0.009, 0.062, 0.064, 0.087, 0.025, 0.071, 0.126, 0.123, 0.053, 0.018, 0.046, 0.330,
+        0.015, 0.026, 0.190, 0.077, 0.135, 0.024, 0.032, 0.085, 0.143,
     ],
     // c6g.metal
     [
-        0.049, 0.005, 0.045, 0.026, 0.047, 0.011, 0.038, 0.079, 0.057, 0.052, 0.011, 0.032,
-        0.204, 0.020, 0.018, 0.117, 0.040, 0.083, 0.017, 0.022, 0.620, 0.081,
+        0.049, 0.005, 0.045, 0.026, 0.047, 0.011, 0.038, 0.079, 0.057, 0.052, 0.011, 0.032, 0.204,
+        0.020, 0.018, 0.117, 0.040, 0.083, 0.017, 0.022, 0.620, 0.081,
     ],
     // pi3b+
     [
-        1.772, 0.044, 0.227, 0.222, 0.283, 0.099, 0.486, 0.244, 0.684, 0.221, 0.034, 0.154,
-        1.771, 0.076, 0.093, 0.302, 0.220, 0.394, 0.140, 0.141, 0.603, 0.269,
+        1.772, 0.044, 0.227, 0.222, 0.283, 0.099, 0.486, 0.244, 0.684, 0.221, 0.034, 0.154, 1.771,
+        0.076, 0.093, 0.302, 0.220, 0.394, 0.140, 0.141, 0.603, 0.269,
     ],
 ];
 
@@ -167,8 +167,7 @@ mod tests {
         // pi/op-e5 ratios sits in single digits.
         let pi = &TABLE2_SECONDS[9];
         let e5 = &TABLE2_SECONDS[0];
-        let log_sum: f64 =
-            pi.iter().zip(e5).map(|(p, e)| (p / e).ln()).sum::<f64>() / 22.0;
+        let log_sum: f64 = pi.iter().zip(e5).map(|(p, e)| (p / e).ln()).sum::<f64>() / 22.0;
         let geo = log_sum.exp();
         assert!((3.0..=12.0).contains(&geo), "geomean pi/op-e5 = {geo}");
         // Q21: the Pi beats c6g.metal (paper §II-D1).
@@ -177,9 +176,7 @@ mod tests {
         // Q4, Q6, Q14 (paper: five of eight queries).
         for q in [1, 3, 4, 6, 14] {
             let w = table3_wimpi(24, q).unwrap();
-            let beats = TABLE3_SERVER_ROWS
-                .iter()
-                .any(|r| table3_server(r, q).unwrap() > w);
+            let beats = TABLE3_SERVER_ROWS.iter().any(|r| table3_server(r, q).unwrap() > w);
             assert!(beats, "WIMPI@24 should beat someone on Q{q}");
         }
     }

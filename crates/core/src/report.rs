@@ -38,8 +38,7 @@ pub fn compare_table2(model: &SingleNodeTable) -> Comparison {
     for name in reference::TABLE2_ROWS {
         let paper: Vec<f64> =
             (1..=22).map(|q| reference::table2(name, q).expect("transcribed")).collect();
-        let ours: Vec<f64> =
-            (1..=22).map(|q| model.get(name, q).expect("modelled")).collect();
+        let ours: Vec<f64> = (1..=22).map(|q| model.get(name, q).expect("modelled")).collect();
         per_profile.push((name.to_string(), geomean_ratio(&ours, &paper)));
     }
     Comparison {

@@ -44,7 +44,6 @@ impl Fixed<'_> {
             Fixed::Const(c) => *c,
         }
     }
-
 }
 
 enum Float<'v> {
@@ -62,7 +61,6 @@ impl Float<'_> {
             Float::Const(c) => *c,
         }
     }
-
 }
 
 const POW10: [i64; 10] =
@@ -106,9 +104,9 @@ impl<'a> Evaluator<'a> {
                 let n = self.rel.num_rows();
                 match v {
                     Ev::Scalar(Value::Bool(b)) => Ok(Ev::Scalar(Value::Bool(!b))),
-                    Ev::Scalar(other) => Err(EngineError::Plan(format!(
-                        "NOT applied to non-boolean {other:?}"
-                    ))),
+                    Ev::Scalar(other) => {
+                        Err(EngineError::Plan(format!("NOT applied to non-boolean {other:?}")))
+                    }
                     Ev::Col(c) => {
                         let b = c.as_bool()?;
                         self.count(n as u64, n as u64, n as u64);
@@ -215,9 +213,7 @@ impl<'a> Evaluator<'a> {
         let to_mask = |ev: Ev| -> Result<Vec<bool>> {
             match ev {
                 Ev::Scalar(Value::Bool(b)) => Ok(vec![b; n]),
-                Ev::Scalar(v) => {
-                    Err(EngineError::Plan(format!("logical op on non-boolean {v:?}")))
-                }
+                Ev::Scalar(v) => Err(EngineError::Plan(format!("logical op on non-boolean {v:?}"))),
                 Ev::Col(c) => Ok(c.as_bool()?.to_vec()),
             }
         };
@@ -242,9 +238,8 @@ impl<'a> Evaluator<'a> {
                 let db = b.as_str()?;
                 let n = da.len();
                 self.count(n as u64, 2 * n as u64 * 4, n as u64);
-                let out: Vec<bool> = (0..n)
-                    .map(|i| cmp_ord(op, da.get(i).cmp(db.get(i))))
-                    .collect();
+                let out: Vec<bool> =
+                    (0..n).map(|i| cmp_ord(op, da.get(i).cmp(db.get(i)))).collect();
                 return Ok(Ev::Col(Arc::new(Column::Bool(out))));
             }
             _ => {
@@ -268,11 +263,7 @@ impl<'a> Evaluator<'a> {
             })
             .collect();
         let n = d.len();
-        self.count(
-            (n + d.cardinality()) as u64,
-            n as u64 * 4,
-            n as u64,
-        );
+        self.count((n + d.cardinality()) as u64, n as u64 * 4, n as u64);
         let out: Vec<bool> = d.codes().iter().map(|&c| dict_mask[c as usize]).collect();
         Ok(Ev::Col(Arc::new(Column::Bool(out))))
     }
@@ -291,11 +282,7 @@ impl<'a> Evaluator<'a> {
                 // Executed over the dictionary, but charged per *row* over
                 // raw strings — what MonetDB (no dictionary on text) pays;
                 // see DESIGN.md §2 on the comment-pool substitution.
-                self.count(
-                    n as u64 * (2 + pattern.len() as u64 / 4),
-                    n as u64 * 32,
-                    n as u64,
-                );
+                self.count(n as u64 * (2 + pattern.len() as u64 / 4), n as u64 * 32, n as u64);
                 let out: Vec<bool> = d.codes().iter().map(|&c| dict_mask[c as usize]).collect();
                 Ok(Ev::Col(Arc::new(Column::Bool(out))))
             }
@@ -307,8 +294,7 @@ impl<'a> Evaluator<'a> {
         match &v {
             Ev::Col(c) => match &**c {
                 Column::Str(d) => {
-                    let wanted: Vec<&str> =
-                        list.iter().filter_map(|v| v.as_str()).collect();
+                    let wanted: Vec<&str> = list.iter().filter_map(|v| v.as_str()).collect();
                     if wanted.len() != list.len() {
                         return Err(EngineError::Plan("IN list type mismatch".to_string()));
                     }
@@ -323,8 +309,7 @@ impl<'a> Evaluator<'a> {
                     ))))
                 }
                 _ => {
-                    let (f, scale) =
-                        fixed_view(&v).ok_or_else(|| non_numeric(&v))?;
+                    let (f, scale) = fixed_view(&v).ok_or_else(|| non_numeric(&v))?;
                     let wanted: Vec<i64> = list
                         .iter()
                         .map(|l| {
@@ -411,12 +396,8 @@ fn fixed_view<'v>(ev: &'v Ev) -> Option<(Fixed<'v>, u8)> {
         Ev::Col(c) => match &**c {
             Column::Int64(v) => Some((Fixed::Slice(v), 0)),
             Column::Decimal(v, s) => Some((Fixed::Slice(v), *s)),
-            Column::Int32(v) => {
-                Some((Fixed::Owned(v.iter().map(|&x| x as i64).collect()), 0))
-            }
-            Column::Date(v) => {
-                Some((Fixed::Owned(v.iter().map(|&x| x as i64).collect()), 0))
-            }
+            Column::Int32(v) => Some((Fixed::Owned(v.iter().map(|&x| x as i64).collect()), 0)),
+            Column::Date(v) => Some((Fixed::Owned(v.iter().map(|&x| x as i64).collect()), 0)),
             _ => None,
         },
         Ev::Scalar(v) => fixed_scalar_any(v),
@@ -480,9 +461,7 @@ fn cmp_fixed(op: BinOp, a: &Fixed, sa: u8, b: &Fixed, sb: u8, n: usize) -> Vec<b
     let s = sa.max(sb);
     let fa = POW10[(s - sa) as usize] as i128;
     let fb = POW10[(s - sb) as usize] as i128;
-    (0..n)
-        .map(|i| cmp_ord(op, (a.get(i) as i128 * fa).cmp(&(b.get(i) as i128 * fb))))
-        .collect()
+    (0..n).map(|i| cmp_ord(op, (a.get(i) as i128 * fa).cmp(&(b.get(i) as i128 * fb)))).collect()
 }
 
 fn cmp_f64(op: BinOp, a: f64, b: f64) -> bool {
@@ -516,9 +495,8 @@ fn arith_fixed(op: BinOp, a: &Fixed, sa: u8, b: &Fixed, sb: u8, n: usize) -> Res
             let s = sa + sb;
             if s > MAX_SCALE {
                 let div = POW10[(s - MAX_SCALE) as usize] as i128;
-                let out: Vec<i64> = (0..n)
-                    .map(|i| ((a.get(i) as i128 * b.get(i) as i128) / div) as i64)
-                    .collect();
+                let out: Vec<i64> =
+                    (0..n).map(|i| ((a.get(i) as i128 * b.get(i) as i128) / div) as i64).collect();
                 Ok(Column::Decimal(out, MAX_SCALE))
             } else {
                 let out: Vec<i64> = (0..n).map(|i| a.get(i) * b.get(i)).collect();
@@ -593,10 +571,7 @@ mod tests {
                     Date32::from_ymd(1995, 1, 1).0,
                 ])),
             ),
-            (
-                "mode".into(),
-                Arc::new(Column::Str(["AIR", "MAIL", "AIR"].into_iter().collect())),
-            ),
+            ("mode".into(), Arc::new(Column::Str(["AIR", "MAIL", "AIR"].into_iter().collect()))),
         ])
         .unwrap()
     }

@@ -49,10 +49,8 @@ pub fn exec_aggregate(
     prof.hash_bytes += ngroups as u64 * 32 * (group_by.len() + aggs.len()).max(1) as u64;
 
     // 3. Accumulate each aggregate.
-    let mut out_fields: Vec<(String, Arc<Column>)> = key_cols
-        .iter()
-        .map(|(name, c)| (name.clone(), Arc::new(c.take(&first_rows))))
-        .collect();
+    let mut out_fields: Vec<(String, Arc<Column>)> =
+        key_cols.iter().map(|(name, c)| (name.clone(), Arc::new(c.take(&first_rows)))).collect();
     for agg in aggs {
         let col = accumulate(rel, agg, &gids, ngroups, prof)?;
         out_fields.push((agg.name.clone(), Arc::new(col)));
@@ -84,9 +82,7 @@ fn accumulate(
 ) -> Result<Column> {
     let input = match (&agg.expr, agg.func) {
         (None, AggFunc::CountStar) => None,
-        (None, f) => {
-            return Err(EngineError::Plan(format!("{f:?} requires an input expression")))
-        }
+        (None, f) => return Err(EngineError::Plan(format!("{f:?} requires an input expression"))),
         (Some(e), _) => Some(Evaluator::new(rel, prof).eval(e)?),
     };
     match agg.func {
@@ -226,9 +222,7 @@ fn column_from_values(dtype: DataType, vals: Vec<Option<Value>>) -> Result<Colum
             vals.into_iter().map(|v| v.and_then(|v| v.as_i64()).unwrap_or(0)).collect(),
         )),
         DataType::Int32 => Ok(Column::Int32(
-            vals.into_iter()
-                .map(|v| v.and_then(|v| v.as_i64()).unwrap_or(0) as i32)
-                .collect(),
+            vals.into_iter().map(|v| v.and_then(|v| v.as_i64()).unwrap_or(0) as i32).collect(),
         )),
         DataType::Float64 => Ok(Column::Float64(
             vals.into_iter().map(|v| v.and_then(|v| v.as_f64()).unwrap_or(0.0)).collect(),
@@ -273,10 +267,7 @@ mod tests {
 
     fn rel() -> Relation {
         Relation::new(vec![
-            (
-                "flag".into(),
-                Arc::new(Column::Str(["A", "B", "A", "A"].into_iter().collect())),
-            ),
+            ("flag".into(), Arc::new(Column::Str(["A", "B", "A", "A"].into_iter().collect()))),
             ("qty".into(), Arc::new(Column::Decimal(vec![100, 200, 300, 400], 2))),
             ("f".into(), Arc::new(Column::Float64(vec![1.0, 2.0, 3.0, 4.0]))),
             ("b".into(), Arc::new(Column::Bool(vec![true, false, false, true]))),
@@ -336,21 +327,15 @@ mod tests {
 
     #[test]
     fn min_max_on_strings() {
-        let out = agg(
-            vec![],
-            vec![AggExpr::min(col("flag"), "lo"), AggExpr::max(col("flag"), "hi")],
-        );
+        let out =
+            agg(vec![], vec![AggExpr::min(col("flag"), "lo"), AggExpr::max(col("flag"), "hi")]);
         assert_eq!(out.value(0, "lo").unwrap(), Value::Str("A".into()));
         assert_eq!(out.value(0, "hi").unwrap(), Value::Str("B".into()));
     }
 
     #[test]
     fn empty_input_global_group() {
-        let empty = Relation::new(vec![(
-            "x".into(),
-            Arc::new(Column::Int64(vec![])),
-        )])
-        .unwrap();
+        let empty = Relation::new(vec![("x".into(), Arc::new(Column::Int64(vec![])))]).unwrap();
         let mut p = WorkProfile::new();
         let out = exec_aggregate(
             &empty,

@@ -51,12 +51,7 @@ pub fn exec_filter(rel: &Relation, predicate: &Expr, prof: &mut WorkProfile) -> 
                 prof.cpu_ops += candidates.len() as u64;
                 let mask = Evaluator::new(&sub, prof).eval_mask(&conjunct)?;
                 sel = Some(
-                    candidates
-                        .iter()
-                        .zip(&mask)
-                        .filter(|(_, &m)| m)
-                        .map(|(&i, _)| i)
-                        .collect(),
+                    candidates.iter().zip(&mask).filter(|(_, &m)| m).map(|(&i, _)| i).collect(),
                 );
             }
         }
@@ -127,19 +122,10 @@ mod tests {
         ])
         .unwrap();
         let mut cheap = WorkProfile::new();
-        exec_filter(
-            &rel,
-            &col("a").lt(lit(100i64)).and(col("b").gt(lit(0i64))),
-            &mut cheap,
-        )
-        .unwrap();
+        exec_filter(&rel, &col("a").lt(lit(100i64)).and(col("b").gt(lit(0i64))), &mut cheap)
+            .unwrap();
         let mut dear = WorkProfile::new();
-        exec_filter(
-            &rel,
-            &col("a").lt(lit(n)).and(col("b").gt(lit(0i64))),
-            &mut dear,
-        )
-        .unwrap();
+        exec_filter(&rel, &col("a").lt(lit(n)).and(col("b").gt(lit(0i64))), &mut dear).unwrap();
         assert!(
             cheap.seq_bytes() < dear.seq_bytes() / 2,
             "selective scans must stream fewer bytes: {} vs {}",

@@ -14,7 +14,7 @@ use crate::error::{EngineError, Result};
 use crate::plan::JoinType;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
-use wimpi_storage::{Column, DictBuilder, DataType};
+use wimpi_storage::{Column, DataType, DictBuilder};
 
 /// Synthetic column marking matched rows in a left outer join.
 pub const MATCHED_COL: &str = "__matched";
@@ -35,9 +35,8 @@ pub fn exec_join(
     for (l, r) in on {
         let lt = left.data_type(l)?;
         let rt = right.data_type(r)?;
-        let joinable = |t: DataType| {
-            matches!(t, DataType::Int64 | DataType::Int32 | DataType::Date)
-        };
+        let joinable =
+            |t: DataType| matches!(t, DataType::Int64 | DataType::Int32 | DataType::Date);
         if !joinable(lt) || !joinable(rt) {
             return Err(EngineError::Unsupported(format!(
                 "join keys must be integer/date columns, got {l}: {lt} = {r}: {rt}"
@@ -182,9 +181,9 @@ fn take_optional(col: &Column, sel: &[u32]) -> Column {
         Column::Date(v) => Column::Date(
             sel.iter().map(|&i| if i == NONE_ROW { 0 } else { v[i as usize] }).collect(),
         ),
-        Column::Bool(v) => Column::Bool(
-            sel.iter().map(|&i| i != NONE_ROW && v[i as usize]).collect(),
-        ),
+        Column::Bool(v) => {
+            Column::Bool(sel.iter().map(|&i| i != NONE_ROW && v[i as usize]).collect())
+        }
         Column::Str(d) => {
             let mut b = DictBuilder::with_capacity(sel.len());
             for &i in sel {
@@ -201,10 +200,7 @@ mod tests {
 
     fn rel(pairs: Vec<(&str, Vec<i64>)>) -> Relation {
         Relation::new(
-            pairs
-                .into_iter()
-                .map(|(n, v)| (n.to_string(), Arc::new(Column::Int64(v))))
-                .collect(),
+            pairs.into_iter().map(|(n, v)| (n.to_string(), Arc::new(Column::Int64(v)))).collect(),
         )
         .unwrap()
     }
@@ -266,20 +262,13 @@ mod tests {
 
     #[test]
     fn string_keys_rejected() {
-        let l = Relation::new(vec![(
-            "s".into(),
-            Arc::new(Column::Str(["a"].into_iter().collect())),
-        )])
-        .unwrap();
+        let l =
+            Relation::new(vec![("s".into(), Arc::new(Column::Str(["a"].into_iter().collect())))])
+                .unwrap();
         let r = rel(vec![("rk", vec![1])]);
         let mut p = WorkProfile::new();
-        let err = exec_join(
-            &l,
-            &r,
-            &[("s".to_string(), "rk".to_string())],
-            JoinType::Inner,
-            &mut p,
-        );
+        let err =
+            exec_join(&l, &r, &[("s".to_string(), "rk".to_string())], JoinType::Inner, &mut p);
         assert!(matches!(err, Err(EngineError::Unsupported(_))));
     }
 }

@@ -129,9 +129,7 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 
 /// A `decimal(_, 2)` literal from a human-readable string, e.g. `dec2("0.06")`.
 pub fn dec2(s: &str) -> Expr {
-    Expr::Lit(Value::Dec(
-        Decimal64::from_str_scale(s, 2).expect("dec2 literal must parse"),
-    ))
+    Expr::Lit(Value::Dec(Decimal64::from_str_scale(s, 2).expect("dec2 literal must parse")))
 }
 
 /// A date literal from `YYYY-MM-DD`.
@@ -240,11 +238,7 @@ impl Expr {
 
     /// `CASE WHEN self THEN then ELSE otherwise END`.
     pub fn case(self, then: Expr, otherwise: Expr) -> Expr {
-        Expr::Case {
-            when: Box::new(self),
-            then: Box::new(then),
-            otherwise: Box::new(otherwise),
-        }
+        Expr::Case { when: Box::new(self), then: Box::new(then), otherwise: Box::new(otherwise) }
     }
 
     /// `EXTRACT(YEAR FROM self)`.
@@ -356,10 +350,8 @@ mod tests {
 
     #[test]
     fn column_collection_walks_tree() {
-        let e = col("a")
-            .mul(lit(1i64).sub(col("b")))
-            .add(col("c").year())
-            .and(col("d").like("%x%"));
+        let e =
+            col("a").mul(lit(1i64).sub(col("b"))).add(col("c").year()).and(col("d").like("%x%"));
         let cols = e.column_set();
         assert_eq!(
             cols.into_iter().collect::<Vec<_>>(),

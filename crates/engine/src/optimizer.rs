@@ -23,13 +23,9 @@ pub fn output_columns(plan: &LogicalPlan, catalog: &Catalog) -> Result<BTreeSet<
     Ok(match plan {
         LogicalPlan::Scan { table, projection } => match projection {
             Some(p) => p.iter().cloned().collect(),
-            None => catalog
-                .table(table)?
-                .schema()
-                .fields()
-                .iter()
-                .map(|f| f.name.clone())
-                .collect(),
+            None => {
+                catalog.table(table)?.schema().fields().iter().map(|f| f.name.clone()).collect()
+            }
         },
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Sort { input, .. }
@@ -82,10 +78,9 @@ fn pushdown(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
             let input = pushdown(*input, catalog)?;
             push_conjuncts(input, conjs, catalog)
         }
-        LogicalPlan::Project { input, exprs } => Ok(LogicalPlan::Project {
-            input: Box::new(pushdown(*input, catalog)?),
-            exprs,
-        }),
+        LogicalPlan::Project { input, exprs } => {
+            Ok(LogicalPlan::Project { input: Box::new(pushdown(*input, catalog)?), exprs })
+        }
         LogicalPlan::Join { left, right, on, join_type } => Ok(LogicalPlan::Join {
             left: Box::new(pushdown(*left, catalog)?),
             right: Box::new(pushdown(*right, catalog)?),
@@ -108,11 +103,7 @@ fn pushdown(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
 }
 
 /// Pushes filter conjuncts as deep as their column references allow.
-fn push_conjuncts(
-    plan: LogicalPlan,
-    conjs: Vec<Expr>,
-    catalog: &Catalog,
-) -> Result<LogicalPlan> {
+fn push_conjuncts(plan: LogicalPlan, conjs: Vec<Expr>, catalog: &Catalog) -> Result<LogicalPlan> {
     if conjs.is_empty() {
         return Ok(plan);
     }
@@ -133,9 +124,7 @@ fn push_conjuncts(
                 let used = c.column_set();
                 if used.is_subset(&lcols) {
                     lpush.push(c);
-                } else if used.is_subset(&rcols)
-                    && join_type == JoinType::Inner
-                {
+                } else if used.is_subset(&rcols) && join_type == JoinType::Inner {
                     rpush.push(c);
                 } else {
                     keep.push(c);
@@ -143,12 +132,8 @@ fn push_conjuncts(
             }
             let left = push_conjuncts(*left, lpush, catalog)?;
             let right = push_conjuncts(*right, rpush, catalog)?;
-            let join = LogicalPlan::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                on,
-                join_type,
-            };
+            let join =
+                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on, join_type };
             Ok(wrap_filter(join, keep))
         }
         other => Ok(wrap_filter(other, conjs)),
@@ -230,10 +215,8 @@ fn prune(
             let rcols = output_columns(&right, catalog)?;
             let (lreq, rreq) = match required {
                 Some(req) => {
-                    let mut l: BTreeSet<String> =
-                        req.intersection(&lcols).cloned().collect();
-                    let mut r: BTreeSet<String> =
-                        req.intersection(&rcols).cloned().collect();
+                    let mut l: BTreeSet<String> = req.intersection(&lcols).cloned().collect();
+                    let mut r: BTreeSet<String> = req.intersection(&rcols).cloned().collect();
                     for (lk, rk) in &on {
                         l.insert(lk.clone());
                         r.insert(rk.clone());

@@ -237,8 +237,7 @@ impl LogicalPlan {
                     out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
                 }
                 LogicalPlan::Join { on, join_type, .. } => {
-                    let keys: Vec<String> =
-                        on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                    let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                     out.push_str(&format!("{pad}Join ({join_type:?}) on {}\n", keys.join(", ")));
                 }
                 LogicalPlan::Aggregate { group_by, aggs, .. } => {
@@ -253,9 +252,7 @@ impl LogicalPlan {
                 LogicalPlan::Sort { keys, .. } => {
                     let k: Vec<String> = keys
                         .iter()
-                        .map(|k| {
-                            format!("{}{}", k.column, if k.descending { " DESC" } else { "" })
-                        })
+                        .map(|k| format!("{}{}", k.column, if k.descending { " DESC" } else { "" }))
                         .collect();
                     out.push_str(&format!("{pad}Sort {}\n", k.join(", ")));
                 }
@@ -357,10 +354,7 @@ mod tests {
         PlanBuilder::scan("lineitem")
             .filter(col("l_quantity").lt(lit(24i64)))
             .inner_join(PlanBuilder::scan("orders"), vec![("l_orderkey", "o_orderkey")])
-            .aggregate(
-                vec![(col("o_orderpriority"), "prio")],
-                vec![AggExpr::count_star("n")],
-            )
+            .aggregate(vec![(col("o_orderpriority"), "prio")], vec![AggExpr::count_star("n")])
             .sort(vec![SortKey::asc("prio")])
             .limit(10)
             .build()
@@ -385,9 +379,8 @@ mod tests {
     fn inputs_enumeration() {
         let p = sample();
         assert_eq!(p.inputs().len(), 1);
-        let join = PlanBuilder::scan("a")
-            .inner_join(PlanBuilder::scan("b"), vec![("x", "y")])
-            .build();
+        let join =
+            PlanBuilder::scan("a").inner_join(PlanBuilder::scan("b"), vec![("x", "y")]).build();
         assert_eq!(join.inputs().len(), 2);
     }
 

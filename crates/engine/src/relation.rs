@@ -103,11 +103,7 @@ impl Relation {
     /// Gathers `sel` rows from every column.
     pub fn take(&self, sel: &[u32]) -> Relation {
         Relation {
-            fields: self
-                .fields
-                .iter()
-                .map(|(n, c)| (n.clone(), Arc::new(c.take(sel))))
-                .collect(),
+            fields: self.fields.iter().map(|(n, c)| (n.clone(), Arc::new(c.take(sel)))).collect(),
             nrows: sel.len(),
         }
     }
@@ -186,10 +182,7 @@ mod tests {
     #[test]
     fn from_table_projects() {
         let t = Table::new(
-            Schema::new(vec![
-                Field::new("a", DataType::Int64),
-                Field::new("b", DataType::Int64),
-            ]),
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Int64)]),
             vec![Column::Int64(vec![1]), Column::Int64(vec![2])],
         )
         .unwrap();

@@ -11,24 +11,15 @@ fn catalog() -> Catalog {
     cat.register(
         "t",
         Table::new(
-            Schema::new(vec![
-                Field::new("k", DataType::Int64),
-                Field::new("v", DataType::Int64),
-            ]),
-            vec![
-                Column::Int64(vec![1, 2, 3, 4, 5]),
-                Column::Int64(vec![10, 20, 30, 40, 50]),
-            ],
+            Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Int64)]),
+            vec![Column::Int64(vec![1, 2, 3, 4, 5]), Column::Int64(vec![10, 20, 30, 40, 50])],
         )
         .expect("table builds"),
     );
     cat.register(
         "empty",
         Table::new(
-            Schema::new(vec![
-                Field::new("ek", DataType::Int64),
-                Field::new("ev", DataType::Int64),
-            ]),
+            Schema::new(vec![Field::new("ek", DataType::Int64), Field::new("ev", DataType::Int64)]),
             vec![Column::Int64(vec![]), Column::Int64(vec![])],
         )
         .expect("table builds"),
@@ -40,9 +31,8 @@ fn catalog() -> Catalog {
 fn joins_with_empty_sides() {
     let cat = catalog();
     // Empty build side: inner join yields nothing; anti join keeps all.
-    let inner = PlanBuilder::scan("t")
-        .inner_join(PlanBuilder::scan("empty"), vec![("k", "ek")])
-        .build();
+    let inner =
+        PlanBuilder::scan("t").inner_join(PlanBuilder::scan("empty"), vec![("k", "ek")]).build();
     let (r, _) = execute_query(&inner, &cat).expect("runs");
     assert_eq!(r.num_rows(), 0);
 
@@ -53,9 +43,8 @@ fn joins_with_empty_sides() {
     assert_eq!(r.num_rows(), 5);
 
     // Empty probe side.
-    let probe_empty = PlanBuilder::scan("empty")
-        .inner_join(PlanBuilder::scan("t"), vec![("ek", "k")])
-        .build();
+    let probe_empty =
+        PlanBuilder::scan("empty").inner_join(PlanBuilder::scan("t"), vec![("ek", "k")]).build();
     let (r, _) = execute_query(&probe_empty, &cat).expect("runs");
     assert_eq!(r.num_rows(), 0);
     assert_eq!(r.num_columns(), 4);
@@ -98,10 +87,7 @@ fn limit_beyond_input_and_zero() {
 #[test]
 fn sort_then_limit_is_top_n() {
     let cat = catalog();
-    let plan = PlanBuilder::scan("t")
-        .sort(vec![SortKey::desc("v")])
-        .limit(2)
-        .build();
+    let plan = PlanBuilder::scan("t").sort(vec![SortKey::desc("v")]).limit(2).build();
     let (r, _) = execute_query(&plan, &cat).expect("runs");
     assert_eq!(r.column("v").expect("col").as_i64().expect("i64"), &[50, 40]);
 }
@@ -123,10 +109,7 @@ fn deeply_nested_plan_executes() {
 #[test]
 fn self_join_via_projection_rename() {
     let cat = catalog();
-    let right = PlanBuilder::scan("t").project(vec![
-        (col("k"), "rk"),
-        (col("v"), "rv"),
-    ]);
+    let right = PlanBuilder::scan("t").project(vec![(col("k"), "rk"), (col("v"), "rv")]);
     let plan = PlanBuilder::scan("t")
         .inner_join(right, vec![("k", "rk")])
         .filter(col("v").eq(col("rv")))
@@ -161,10 +144,7 @@ fn left_outer_join_of_empty_right() {
     let cat = catalog();
     let plan = PlanBuilder::scan("t")
         .join(PlanBuilder::scan("empty"), vec![("k", "ek")], JoinType::LeftOuter)
-        .aggregate(
-            vec![],
-            vec![AggExpr::count_if(col("__matched"), "m"), AggExpr::count_star("n")],
-        )
+        .aggregate(vec![], vec![AggExpr::count_if(col("__matched"), "m"), AggExpr::count_star("n")])
         .build();
     let (r, _) = execute_query(&plan, &cat).expect("runs");
     assert_eq!(r.column("m").expect("col").as_i64().expect("i64"), &[0]);

@@ -11,10 +11,7 @@ use wimpi_storage::{selection, Catalog, Column, DataType, Field, Schema, Table, 
 
 fn table_from(keys: Vec<i64>, vals: Vec<i64>) -> Table {
     Table::new(
-        Schema::new(vec![
-            Field::new("k", DataType::Int64),
-            Field::new("v", DataType::Int64),
-        ]),
+        Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Int64)]),
         vec![Column::Int64(keys), Column::Int64(vals)],
     )
     .expect("table builds")

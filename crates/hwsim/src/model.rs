@@ -82,11 +82,7 @@ pub fn predict(hw: &HwProfile, work: &WorkProfile, threads: u32) -> Prediction {
     let parallel_misses = (threads.min(hw.threads) as f64 * mlp).max(1.0);
     let rand_s = work.rand_accesses as f64 * lat_ns * 1e-9 / parallel_misses;
 
-    Prediction {
-        compute_s,
-        memory_s: stream_s + rand_s,
-        overhead_s: hw.query_overhead_s,
-    }
+    Prediction { compute_s, memory_s: stream_s + rand_s, overhead_s: hw.query_overhead_s }
 }
 
 /// Predicts with every hardware thread in use — the TPC-H configuration
@@ -213,8 +209,6 @@ mod tests {
         let w = compute_heavy();
         let gold = profile("op-gold").unwrap();
         let e5 = profile("op-e5").unwrap();
-        assert!(
-            predict_all_cores(&gold, &w).total_s() < predict_all_cores(&e5, &w).total_s()
-        );
+        assert!(predict_all_cores(&gold, &w).total_s() < predict_all_cores(&e5, &w).total_s());
     }
 }

@@ -434,10 +434,7 @@ mod tests {
         let c6g = by_name("c6g.metal");
 
         // §II-C1: Pi single-core Whetstone/Dhrystone 2–3× behind op-e5.
-        for (a, b) in [
-            (e5.whet_mwips_1c, pi.whet_mwips_1c),
-            (e5.dhry_dmips_1c, pi.dhry_dmips_1c),
-        ] {
+        for (a, b) in [(e5.whet_mwips_1c, pi.whet_mwips_1c), (e5.dhry_dmips_1c, pi.dhry_dmips_1c)] {
             let r = a / b;
             assert!((2.0..=3.0).contains(&r), "op-e5/pi single-core ratio {r}");
         }

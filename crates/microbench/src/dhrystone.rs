@@ -71,12 +71,8 @@ fn proc_8(arr1: &mut [i64; 50], arr2: &mut [[i64; 50]; 10], a: usize, b: i64) {
 
 /// Runs `iterations` Dhrystone loops.
 pub fn run(iterations: u64) -> DhrystoneResult {
-    let mut glob = Record {
-        int_comp: 40,
-        enum_comp: 2,
-        string_comp: *STR_1,
-        next: Some(Box::default()),
-    };
+    let mut glob =
+        Record { int_comp: 40, enum_comp: 2, string_comp: *STR_1, next: Some(Box::default()) };
     let mut arr1 = [0i64; 50];
     let mut arr2 = [[0i64; 50]; 10];
     let mut int_1;
@@ -103,10 +99,8 @@ pub fn run(iterations: u64) -> DhrystoneResult {
             std::mem::swap(&mut next.string_comp, &mut glob.string_comp);
             std::mem::swap(&mut next.string_comp, &mut glob.string_comp);
         }
-        checksum = checksum
-            .wrapping_add(glob.int_comp as u64)
-            .wrapping_mul(31)
-            .wrapping_add(int_3 as u64);
+        checksum =
+            checksum.wrapping_add(glob.int_comp as u64).wrapping_mul(31).wrapping_add(int_3 as u64);
         black_box(&arr1);
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);

@@ -34,11 +34,7 @@ pub fn run(max: u64) -> PrimeResult {
             found += 1;
         }
     }
-    PrimeResult {
-        max,
-        primes_found: black_box(found),
-        elapsed_s: start.elapsed().as_secs_f64(),
-    }
+    PrimeResult { max, primes_found: black_box(found), elapsed_s: start.elapsed().as_secs_f64() }
 }
 
 #[cfg(test)]

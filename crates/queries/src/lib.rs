@@ -59,11 +59,8 @@ pub fn run(q: &QueryPlan, catalog: &Catalog) -> Result<(Relation, WorkProfile)> 
         QueryPlan::Single(p) => execute_query(p, catalog),
         QueryPlan::TwoPhase { first, scalar_col, second } => {
             let (r1, p1) = execute_query(first, catalog)?;
-            let scalar = if r1.num_rows() == 0 {
-                Value::F64(0.0)
-            } else {
-                r1.value(0, scalar_col)?
-            };
+            let scalar =
+                if r1.num_rows() == 0 { Value::F64(0.0) } else { r1.value(0, scalar_col)? };
             let (r2, p2) = execute_query(&second(scalar), catalog)?;
             Ok((r2, p1 + p2))
         }

@@ -17,10 +17,7 @@ pub fn q1() -> QueryPlan {
         PlanBuilder::scan("lineitem")
             .filter(col("l_shipdate").lte(date("1998-09-02")))
             .aggregate(
-                vec![
-                    (col("l_returnflag"), "l_returnflag"),
-                    (col("l_linestatus"), "l_linestatus"),
-                ],
+                vec![(col("l_returnflag"), "l_returnflag"), (col("l_linestatus"), "l_linestatus")],
                 vec![
                     AggExpr::sum(col("l_quantity"), "sum_qty"),
                     AggExpr::sum(col("l_extendedprice"), "sum_base_price"),
@@ -84,9 +81,8 @@ pub fn q2() -> QueryPlan {
 /// Q3 — shipping priority (top unshipped orders by revenue).
 pub fn q3() -> QueryPlan {
     let cutoff = date("1995-03-15");
-    let cust_orders = PlanBuilder::scan("orders")
-        .filter(col("o_orderdate").lt(cutoff.clone()))
-        .inner_join(
+    let cust_orders =
+        PlanBuilder::scan("orders").filter(col("o_orderdate").lt(cutoff.clone())).inner_join(
             PlanBuilder::scan("customer").filter(col("c_mktsegment").eq(lit("BUILDING"))),
             vec![("o_custkey", "c_custkey")],
         );
@@ -145,10 +141,7 @@ pub fn q5() -> QueryPlan {
             asia_suppliers,
             vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
         )
-        .aggregate(
-            vec![(col("n_name"), "n_name")],
-            vec![AggExpr::sum(disc_price(), "revenue")],
-        )
+        .aggregate(vec![(col("n_name"), "n_name")], vec![AggExpr::sum(disc_price(), "revenue")])
         .sort(vec![SortKey::desc("revenue")])
         .build();
     QueryPlan::Single(plan)

@@ -18,14 +18,10 @@ pub fn q7() -> QueryPlan {
         PlanBuilder::scan("nation")
             .filter(col("n_name").eq(lit("FRANCE")).or(col("n_name").eq(lit("GERMANY"))))
     };
-    let n1 = two_nations().project(vec![
-        (col("n_nationkey"), "n1_key"),
-        (col("n_name"), "supp_nation"),
-    ]);
-    let n2 = two_nations().project(vec![
-        (col("n_nationkey"), "n2_key"),
-        (col("n_name"), "cust_nation"),
-    ]);
+    let n1 =
+        two_nations().project(vec![(col("n_nationkey"), "n1_key"), (col("n_name"), "supp_nation")]);
+    let n2 =
+        two_nations().project(vec![(col("n_nationkey"), "n2_key"), (col("n_name"), "cust_nation")]);
     let cross = col("supp_nation")
         .eq(lit("FRANCE"))
         .and(col("cust_nation").eq(lit("GERMANY")))
@@ -67,14 +63,11 @@ pub fn q8() -> QueryPlan {
             vec![("n_regionkey", "r_regionkey")],
         )
         .project(vec![(col("n_nationkey"), "n1_key")]);
-    let supp_nation = PlanBuilder::scan("nation").project(vec![
-        (col("n_nationkey"), "n2_key"),
-        (col("n_name"), "nation_name"),
-    ]);
+    let supp_nation = PlanBuilder::scan("nation")
+        .project(vec![(col("n_nationkey"), "n2_key"), (col("n_name"), "nation_name")]);
     let plan = PlanBuilder::scan("lineitem")
         .inner_join(
-            PlanBuilder::scan("part")
-                .filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL"))),
+            PlanBuilder::scan("part").filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL"))),
             vec![("l_partkey", "p_partkey")],
         )
         .inner_join(
@@ -124,10 +117,7 @@ pub fn q9() -> QueryPlan {
         .inner_join(PlanBuilder::scan("orders"), vec![("l_orderkey", "o_orderkey")])
         .inner_join(PlanBuilder::scan("nation"), vec![("s_nationkey", "n_nationkey")])
         .aggregate(
-            vec![
-                (col("n_name"), "nation"),
-                (col("o_orderdate").year(), "o_year"),
-            ],
+            vec![(col("n_name"), "nation"), (col("o_orderdate").year(), "o_year")],
             vec![AggExpr::sum(amount, "sum_profit")],
         )
         .sort(vec![SortKey::asc("nation"), SortKey::desc("o_year")])
@@ -181,9 +171,7 @@ pub fn q11() -> QueryPlan {
         )
     };
     let stock_value = || col("ps_supplycost").mul(col("ps_availqty"));
-    let first = german_ps()
-        .aggregate(vec![], vec![AggExpr::sum(stock_value(), "total")])
-        .build();
+    let first = german_ps().aggregate(vec![], vec![AggExpr::sum(stock_value(), "total")]).build();
     QueryPlan::TwoPhase {
         first,
         scalar_col: "total".to_string(),

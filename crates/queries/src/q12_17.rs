@@ -40,18 +40,15 @@ pub fn q12() -> QueryPlan {
 /// only choke-point query that never touches lineitem, which is why it runs
 /// on a single node in the paper's WIMPI cluster.
 pub fn q13() -> QueryPlan {
-    let orders = PlanBuilder::scan("orders")
-        .filter(col("o_comment").not_like("%special%requests%"));
+    let orders =
+        PlanBuilder::scan("orders").filter(col("o_comment").not_like("%special%requests%"));
     let plan = PlanBuilder::scan("customer")
         .join(orders, vec![("c_custkey", "o_custkey")], JoinType::LeftOuter)
         .aggregate(
             vec![(col("c_custkey"), "c_custkey")],
             vec![AggExpr::count_if(col(MATCHED_COL), "c_count")],
         )
-        .aggregate(
-            vec![(col("c_count"), "c_count")],
-            vec![AggExpr::count_star("custdist")],
-        )
+        .aggregate(vec![(col("c_count"), "c_count")], vec![AggExpr::count_star("custdist")])
         .sort(vec![SortKey::desc("custdist"), SortKey::desc("c_count")])
         .build();
     QueryPlan::Single(plan)
@@ -61,25 +58,17 @@ pub fn q13() -> QueryPlan {
 pub fn q14() -> QueryPlan {
     let plan = PlanBuilder::scan("lineitem")
         .filter(
-            col("l_shipdate")
-                .gte(date("1995-09-01"))
-                .and(col("l_shipdate").lt(date("1995-10-01"))),
+            col("l_shipdate").gte(date("1995-09-01")).and(col("l_shipdate").lt(date("1995-10-01"))),
         )
         .inner_join(PlanBuilder::scan("part"), vec![("l_partkey", "p_partkey")])
         .aggregate(
             vec![],
             vec![
-                AggExpr::sum(
-                    col("p_type").like("PROMO%").case(disc_price(), dec2("0")),
-                    "promo",
-                ),
+                AggExpr::sum(col("p_type").like("PROMO%").case(disc_price(), dec2("0")), "promo"),
                 AggExpr::sum(disc_price(), "total"),
             ],
         )
-        .project(vec![(
-            lit(100i64).mul(col("promo")).div(col("total")),
-            "promo_revenue",
-        )])
+        .project(vec![(lit(100i64).mul(col("promo")).div(col("total")), "promo_revenue")])
         .build();
     QueryPlan::Single(plan)
 }
@@ -98,9 +87,8 @@ pub fn q15() -> QueryPlan {
                 vec![AggExpr::sum(disc_price(), "total_revenue")],
             )
     };
-    let first = revenue()
-        .aggregate(vec![], vec![AggExpr::max(col("total_revenue"), "max_rev")])
-        .build();
+    let first =
+        revenue().aggregate(vec![], vec![AggExpr::max(col("total_revenue"), "max_rev")]).build();
     QueryPlan::TwoPhase {
         first,
         scalar_col: "max_rev".to_string(),
@@ -141,11 +129,7 @@ pub fn q16() -> QueryPlan {
         )
         .join(complainers, vec![("ps_suppkey", "bad_suppkey")], JoinType::Anti)
         .aggregate(
-            vec![
-                (col("p_brand"), "p_brand"),
-                (col("p_type"), "p_type"),
-                (col("p_size"), "p_size"),
-            ],
+            vec![(col("p_brand"), "p_brand"), (col("p_type"), "p_type"), (col("p_size"), "p_size")],
             vec![AggExpr::count_distinct(col("ps_suppkey"), "supplier_cnt")],
         )
         .sort(vec![
@@ -163,11 +147,7 @@ pub fn q16() -> QueryPlan {
 pub fn q17() -> QueryPlan {
     let filtered_part = || {
         PlanBuilder::scan("part")
-            .filter(
-                col("p_brand")
-                    .eq(lit("Brand#23"))
-                    .and(col("p_container").eq(lit("MED BOX"))),
-            )
+            .filter(col("p_brand").eq(lit("Brand#23")).and(col("p_container").eq(lit("MED BOX"))))
             .project(vec![(col("p_partkey"), "p_partkey")])
     };
     let avg_sub = PlanBuilder::scan("lineitem")

@@ -45,10 +45,7 @@ pub fn q19() -> QueryPlan {
     let class = |brand: &str, containers: [&str; 4], qlo: &str, qhi: &str, smax: i64| {
         col("p_brand")
             .eq(lit(brand))
-            .and(
-                col("p_container")
-                    .in_list(containers.iter().map(|&c| Value::from(c)).collect()),
-            )
+            .and(col("p_container").in_list(containers.iter().map(|&c| Value::from(c)).collect()))
             .and(col("l_quantity").between(
                 Value::Dec(wimpi_storage::Decimal64::from_str_scale(qlo, 2).expect("const")),
                 Value::Dec(wimpi_storage::Decimal64::from_str_scale(qhi, 2).expect("const")),
@@ -64,7 +61,13 @@ pub fn q19() -> QueryPlan {
         .inner_join(PlanBuilder::scan("part"), vec![("l_partkey", "p_partkey")])
         .filter(
             class("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], "1", "11", 5)
-                .or(class("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], "10", "20", 10))
+                .or(class(
+                    "Brand#23",
+                    ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                    "10",
+                    "20",
+                    10,
+                ))
                 .or(class("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], "20", "30", 15)),
         )
         .aggregate(vec![], vec![AggExpr::sum(disc_price(), "revenue")])
@@ -80,9 +83,7 @@ pub fn q20() -> QueryPlan {
         .project(vec![(col("p_partkey"), "p_partkey")]);
     let shipped = PlanBuilder::scan("lineitem")
         .filter(
-            col("l_shipdate")
-                .gte(date("1994-01-01"))
-                .and(col("l_shipdate").lt(date("1995-01-01"))),
+            col("l_shipdate").gte(date("1994-01-01")).and(col("l_shipdate").lt(date("1995-01-01"))),
         )
         .aggregate(
             vec![(col("l_partkey"), "lp"), (col("l_suppkey"), "ls")],
@@ -110,7 +111,8 @@ pub fn q20() -> QueryPlan {
 /// exists ⇔ `nsupp ≥ 2`; no *other* failing supplier ⇔ `nfail = 1` (the
 /// failing row itself is one of them).
 pub fn q21() -> QueryPlan {
-    let late = || PlanBuilder::scan("lineitem").filter(col("l_receiptdate").gt(col("l_commitdate")));
+    let late =
+        || PlanBuilder::scan("lineitem").filter(col("l_receiptdate").gt(col("l_commitdate")));
     let nall = PlanBuilder::scan("lineitem").aggregate(
         vec![(col("l_orderkey"), "all_okey")],
         vec![AggExpr::count_distinct(col("l_suppkey"), "nsupp")],
@@ -157,11 +159,7 @@ pub fn q22() -> QueryPlan {
             let threshold = avg_bal.as_f64().unwrap_or(0.0);
             PlanBuilder::scan("customer")
                 .filter(in_codes().and(col("c_acctbal").gt(lit(threshold))))
-                .join(
-                    PlanBuilder::scan("orders"),
-                    vec![("c_custkey", "o_custkey")],
-                    JoinType::Anti,
-                )
+                .join(PlanBuilder::scan("orders"), vec![("c_custkey", "o_custkey")], JoinType::Anti)
                 .aggregate(
                     vec![(cntrycode(), "cntrycode")],
                     vec![

@@ -25,13 +25,7 @@ fn q1_covers_nearly_all_lineitem() {
     let (rel, _) = run(&query(1), &cat).unwrap();
     // Four (returnflag, linestatus) groups: A/F, N/F, N/O, R/F.
     assert_eq!(rel.num_rows(), 4);
-    let total: i64 = rel
-        .column("count_order")
-        .unwrap()
-        .as_i64()
-        .unwrap()
-        .iter()
-        .sum();
+    let total: i64 = rel.column("count_order").unwrap().as_i64().unwrap().iter().sum();
     let lineitem_rows = cat.table("lineitem").unwrap().num_rows() as i64;
     let frac = total as f64 / lineitem_rows as f64;
     assert!(frac > 0.95 && frac <= 1.0, "Q1 should cover ~98% of lineitem, got {frac}");
@@ -118,10 +112,7 @@ fn q13_includes_customers_without_orders() {
     let dist = dist.as_i64().unwrap();
     let zero_bucket = counts.iter().position(|&c| c == 0).expect("zero bucket exists");
     let customers = cat.table("customer").unwrap().num_rows() as i64;
-    assert!(
-        dist[zero_bucket] >= customers / 3,
-        "at least a third of customers have no orders"
-    );
+    assert!(dist[zero_bucket] >= customers / 3, "at least a third of customers have no orders");
     // Total across buckets = number of customers.
     let total: i64 = dist.iter().sum();
     assert_eq!(total, customers);

@@ -141,12 +141,9 @@ impl SqlExpr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             SqlExpr::Not(e) => e.contains_aggregate(),
-            SqlExpr::Like { expr, .. }
-            | SqlExpr::InList { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Like { expr, .. } | SqlExpr::InList { expr, .. } => expr.contains_aggregate(),
             SqlExpr::Between { expr, low, high } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
             }
             SqlExpr::Case { when, then, otherwise } => {
                 when.contains_aggregate()

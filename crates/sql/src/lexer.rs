@@ -102,9 +102,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                             s.push(ch as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(SqlError::Lex("unterminated string literal".into()))
-                        }
+                        None => return Err(SqlError::Lex("unterminated string literal".into())),
                     }
                 }
                 out.push(Token::Str(s));
@@ -113,10 +111,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 let start = i;
                 let mut is_float = c == '.';
                 while i < b.len()
-                    && (b[i].is_ascii_digit() || (b[i] == b'.' && !is_float && {
-                        is_float = true;
-                        true
-                    }))
+                    && (b[i].is_ascii_digit()
+                        || (b[i] == b'.' && !is_float && {
+                            is_float = true;
+                            true
+                        }))
                 {
                     i += 1;
                 }
@@ -124,17 +123,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 if is_float {
                     out.push(Token::Number(text.to_string()));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| SqlError::Lex(format!("bad integer {text:?}")))?;
+                    let v: i64 =
+                        text.parse().map_err(|_| SqlError::Lex(format!("bad integer {text:?}")))?;
                     out.push(Token::Int(v));
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Word(input[start..i].to_string()));
@@ -154,7 +150,7 @@ mod tests {
         let toks = lex("SELECT a, sum(b) FROM t WHERE a >= 10.5 -- tail\n").unwrap();
         assert_eq!(toks[0], Token::Word("SELECT".into()));
         assert!(toks.iter().any(|t| *t == Token::Number("10.5".into())));
-        assert!(toks.iter().any(|t| *t == Token::Ge));
+        assert!(toks.contains(&Token::Ge));
         assert!(!toks.iter().any(|t| matches!(t, Token::Word(w) if w == "tail")));
     }
 
@@ -170,15 +166,7 @@ mod tests {
         let toks = lex("< <= <> != >= > =").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Lt,
-                Token::Le,
-                Token::Ne,
-                Token::Ne,
-                Token::Ge,
-                Token::Gt,
-                Token::Eq
-            ]
+            vec![Token::Lt, Token::Le, Token::Ne, Token::Ne, Token::Ge, Token::Gt, Token::Eq]
         );
     }
 

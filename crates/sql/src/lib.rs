@@ -29,10 +29,7 @@ pub fn plan(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
 }
 
 /// Parses, plans, optimizes, and executes one SELECT statement.
-pub fn execute_sql(
-    sql: &str,
-    catalog: &Catalog,
-) -> Result<(Relation, WorkProfile)> {
+pub fn execute_sql(sql: &str, catalog: &Catalog) -> Result<(Relation, WorkProfile)> {
     let p = plan(sql, catalog)?;
     wimpi_engine::execute_query(&p, catalog)
         .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))

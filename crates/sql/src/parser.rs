@@ -28,10 +28,7 @@ pub fn parse(sql: &str) -> Result<Query> {
         p.advance();
     }
     if p.pos != p.tokens.len() {
-        return Err(SqlError::Parse(format!(
-            "trailing input starting at {:?}",
-            p.tokens[p.pos]
-        )));
+        return Err(SqlError::Parse(format!("trailing input starting at {:?}", p.tokens[p.pos])));
     }
     Ok(q)
 }
@@ -141,11 +138,9 @@ impl Parser {
         // Fold explicit join conditions into WHERE.
         for c in join_conds {
             where_clause = Some(match where_clause {
-                Some(w) => SqlExpr::Binary {
-                    op: SqlOp::And,
-                    left: Box::new(w),
-                    right: Box::new(c),
-                },
+                Some(w) => {
+                    SqlExpr::Binary { op: SqlOp::And, left: Box::new(w), right: Box::new(c) }
+                }
                 None => c,
             });
         }
@@ -185,11 +180,7 @@ impl Parser {
 
     fn select_item(&mut self) -> Result<SelectItem> {
         let expr = self.expr()?;
-        let alias = if self.eat_kw("AS") {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
         Ok(SelectItem { expr, alias })
     }
 
@@ -197,11 +188,7 @@ impl Parser {
         let name = self.ident()?;
         // A bare identifier that is not a clause keyword is an alias.
         let alias = match self.peek() {
-            Some(Token::Word(w))
-                if !is_clause_keyword(w) =>
-            {
-                Some(self.ident()?)
-            }
+            Some(Token::Word(w)) if !is_clause_keyword(w) => Some(self.ident()?),
             _ => None,
         };
         Ok(TableRef { name, alias })
@@ -244,8 +231,7 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left =
-                SqlExpr::Binary { op: SqlOp::And, left: Box::new(left), right: Box::new(right) };
+            left = SqlExpr::Binary { op: SqlOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -287,11 +273,8 @@ impl Parser {
             let low = self.additive()?;
             self.expect_kw("AND")?;
             let high = self.additive()?;
-            let between = SqlExpr::Between {
-                expr: Box::new(left),
-                low: Box::new(low),
-                high: Box::new(high),
-            };
+            let between =
+                SqlExpr::Between { expr: Box::new(left), low: Box::new(low), high: Box::new(high) };
             return Ok(if negated { SqlExpr::Not(Box::new(between)) } else { between });
         }
         if negated {
@@ -368,14 +351,12 @@ impl Parser {
                 self.expect(Token::RParen)?;
                 Ok(e)
             }
-            Some(Token::Word(w)) if w.eq_ignore_ascii_case("date") => {
-                match self.advance() {
-                    Some(Token::Str(s)) => Ok(SqlExpr::Date(s)),
-                    other => Err(SqlError::Parse(format!(
-                        "DATE needs a string literal, found {other:?}"
-                    ))),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("date") => match self.advance() {
+                Some(Token::Str(s)) => Ok(SqlExpr::Date(s)),
+                other => {
+                    Err(SqlError::Parse(format!("DATE needs a string literal, found {other:?}")))
                 }
-            }
+            },
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("interval") => {
                 let n = match self.advance() {
                     Some(Token::Str(s)) => s
@@ -446,7 +427,12 @@ impl Parser {
                     if self.peek() == Some(&Token::Star) {
                         self.advance();
                         self.expect(Token::RParen)?;
-                        return Ok(SqlExpr::Func { name, distinct: false, star: true, args: vec![] });
+                        return Ok(SqlExpr::Func {
+                            name,
+                            distinct: false,
+                            star: true,
+                            args: vec![],
+                        });
                     }
                     let distinct = self.eat_kw("DISTINCT");
                     let mut args = vec![self.expr()?];

@@ -22,8 +22,8 @@ use std::collections::BTreeSet;
 use crate::ast::*;
 use crate::error::{Result, SqlError};
 use wimpi_engine::expr as ee;
-use wimpi_engine::plan::{AggExpr, AggFunc, LogicalPlan, SortKey};
 use wimpi_engine::plan::JoinType;
+use wimpi_engine::plan::{AggExpr, AggFunc, LogicalPlan, SortKey};
 use wimpi_storage::{Catalog, Date32, Decimal64, Value};
 
 /// Plans a parsed query against a catalog.
@@ -132,7 +132,7 @@ pub fn plan_query(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
             let name = items
                 .iter()
                 .find(|it| &it.expr == g)
-                .map(|it| item_name(it))
+                .map(item_name)
                 .unwrap_or_else(|| format!("__key{i}"));
             group_cols.push((lower_expr(g, &scope)?, name.clone()));
             key_names.push((g.clone(), name));
@@ -180,18 +180,14 @@ pub fn plan_query(q: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
             let column = match &o.key {
                 OrderKey::Name(n) => {
                     let found = output_names.iter().find(|c| c.eq_ignore_ascii_case(n));
-                    found
-                        .cloned()
-                        .ok_or_else(|| {
-                            SqlError::Plan(format!("ORDER BY column {n} is not in the output"))
-                        })?
+                    found.cloned().ok_or_else(|| {
+                        SqlError::Plan(format!("ORDER BY column {n} is not in the output"))
+                    })?
                 }
                 OrderKey::Position(p) => output_names
                     .get(p - 1)
                     .cloned()
-                    .ok_or_else(|| {
-                        SqlError::Plan(format!("ORDER BY position {p} out of range"))
-                    })?,
+                    .ok_or_else(|| SqlError::Plan(format!("ORDER BY position {p} out of range")))?,
             };
             keys.push(SortKey { column, descending: o.descending });
         }
@@ -219,8 +215,7 @@ impl Scope {
             let table = catalog
                 .table(&t.name)
                 .map_err(|_| SqlError::Plan(format!("unknown table {}", t.name)))?;
-            let cols =
-                table.schema().fields().iter().map(|f| f.name.clone()).collect::<Vec<_>>();
+            let cols = table.schema().fields().iter().map(|f| f.name.clone()).collect::<Vec<_>>();
             tables.push((t.name.clone(), t.alias.clone(), cols));
         }
         // Reject duplicate column names across tables (self-joins need
@@ -286,10 +281,7 @@ fn split_and(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
 }
 
 /// `t1.c1 = t2.c2` across two different tables → a join edge.
-fn as_join_edge(
-    e: &SqlExpr,
-    scope: &Scope,
-) -> Result<Option<(usize, String, usize, String)>> {
+fn as_join_edge(e: &SqlExpr, scope: &Scope) -> Result<Option<(usize, String, usize, String)>> {
     if let SqlExpr::Binary { op: SqlOp::Eq, left, right } = e {
         if let (
             SqlExpr::Column { qualifier: ql, name: nl },
@@ -357,10 +349,7 @@ fn lower_expr(e: &SqlExpr, scope: &Scope) -> Result<ee::Expr> {
         }
         SqlExpr::InList { expr, list, negated } => {
             let input = lower_expr(expr, scope)?;
-            let values = list
-                .iter()
-                .map(|v| literal_value(v))
-                .collect::<Result<Vec<_>>>()?;
+            let values = list.iter().map(literal_value).collect::<Result<Vec<_>>>()?;
             if *negated {
                 input.not_in_list(values)
             } else {
@@ -371,8 +360,9 @@ fn lower_expr(e: &SqlExpr, scope: &Scope) -> Result<ee::Expr> {
             let input = lower_expr(expr, scope)?;
             input.between(literal_value(low)?, literal_value(high)?)
         }
-        SqlExpr::Case { when, then, otherwise } => lower_expr(when, scope)?
-            .case(lower_expr(then, scope)?, lower_expr(otherwise, scope)?),
+        SqlExpr::Case { when, then, otherwise } => {
+            lower_expr(when, scope)?.case(lower_expr(then, scope)?, lower_expr(otherwise, scope)?)
+        }
         SqlExpr::Extract { field, from } => {
             if field != "YEAR" {
                 return Err(SqlError::Unsupported(format!("EXTRACT({field}) — only YEAR")));
@@ -394,11 +384,7 @@ fn lower_expr(e: &SqlExpr, scope: &Scope) -> Result<ee::Expr> {
 }
 
 /// `date 'x' ± interval 'n' unit` folds to a date literal at plan time.
-fn fold_date_interval(
-    op: &SqlOp,
-    left: &SqlExpr,
-    right: &SqlExpr,
-) -> Result<Option<ee::Expr>> {
+fn fold_date_interval(op: &SqlOp, left: &SqlExpr, right: &SqlExpr) -> Result<Option<ee::Expr>> {
     let (base, interval, sign) = match (op, left, right) {
         (SqlOp::Add, SqlExpr::Date(d), SqlExpr::Interval { n, unit }) => (d, (*n, unit), 1),
         (SqlOp::Sub, SqlExpr::Date(d), SqlExpr::Interval { n, unit }) => (d, (*n, unit), -1),
@@ -411,9 +397,7 @@ fn fold_date_interval(
         "DAY" => d.add_days(n),
         "MONTH" => d.add_months(n),
         "YEAR" => d.add_years(n),
-        other => {
-            return Err(SqlError::Unsupported(format!("INTERVAL unit {other}")))
-        }
+        other => return Err(SqlError::Unsupported(format!("INTERVAL unit {other}"))),
     };
     Ok(Some(ee::Expr::Lit(Value::Date(out))))
 }
@@ -423,14 +407,10 @@ fn literal_value(e: &SqlExpr) -> Result<Value> {
         SqlExpr::Int(v) => Value::I64(*v),
         SqlExpr::Number(s) => Value::Dec(number_to_decimal(s)?),
         SqlExpr::Str(s) => Value::Str(s.clone()),
-        SqlExpr::Date(s) => Value::Date(
-            Date32::parse(s).map_err(|e| SqlError::Plan(format!("bad date: {e}")))?,
-        ),
-        other => {
-            return Err(SqlError::Unsupported(format!(
-                "expected a literal, found {other:?}"
-            )))
+        SqlExpr::Date(s) => {
+            Value::Date(Date32::parse(s).map_err(|e| SqlError::Plan(format!("bad date: {e}")))?)
         }
+        other => return Err(SqlError::Unsupported(format!("expected a literal, found {other:?}"))),
     })
 }
 
@@ -464,17 +444,13 @@ fn extract_aggs(
                 ("min", false, false) => AggFunc::Min,
                 ("max", false, false) => AggFunc::Max,
                 other => {
-                    return Err(SqlError::Unsupported(format!(
-                        "aggregate combination {other:?}"
-                    )))
+                    return Err(SqlError::Unsupported(format!("aggregate combination {other:?}")))
                 }
             };
             let expr = match (func, args.first()) {
                 (AggFunc::CountStar, _) => None,
                 (_, Some(a)) => Some(lower_expr(a, scope)?),
-                (_, None) => {
-                    return Err(SqlError::Plan(format!("{name}() needs an argument")))
-                }
+                (_, None) => return Err(SqlError::Plan(format!("{name}() needs an argument"))),
             };
             let out_name = format!("__agg{}", aggs.len());
             aggs.push(AggExpr { func, expr, name: out_name.clone() });
@@ -501,8 +477,8 @@ fn extract_aggs(
         SqlExpr::Not(inner) => Ok(extract_aggs(inner, scope, aggs, keys)?.negate()),
         // Leaves without aggregates lower normally.
         other if !other.contains_aggregate() => lower_expr(other, scope),
-        other => Err(SqlError::Unsupported(format!(
-            "aggregate inside {other:?} is outside the subset"
-        ))),
+        other => {
+            Err(SqlError::Unsupported(format!("aggregate inside {other:?} is outside the subset")))
+        }
     }
 }

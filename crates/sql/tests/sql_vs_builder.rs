@@ -212,18 +212,13 @@ fn helpful_errors_for_unsupported_sql() {
     let err = plan("select * from lineitem, region", &cat).unwrap_err();
     assert!(matches!(err, SqlError::Unsupported(_)), "{err}");
     // Self-join.
-    let err = plan(
-        "select * from nation n1, nation n2 where n1.n_nationkey = n2.n_regionkey",
-        &cat,
-    )
-    .unwrap_err();
+    let err =
+        plan("select * from nation n1, nation n2 where n1.n_nationkey = n2.n_regionkey", &cat)
+            .unwrap_err();
     assert!(matches!(err, SqlError::Unsupported(_)), "{err}");
     // Unknown table / column.
     assert!(matches!(plan("select * from nope", &cat), Err(SqlError::Plan(_))));
-    assert!(matches!(
-        plan("select bogus from lineitem", &cat),
-        Err(SqlError::Plan(_))
-    ));
+    assert!(matches!(plan("select bogus from lineitem", &cat), Err(SqlError::Plan(_))));
     // ORDER BY something not in the output.
     assert!(matches!(
         plan("select l_orderkey from lineitem order by l_tax", &cat),

@@ -86,9 +86,7 @@ impl Column {
     /// [`Column::heap_bytes`].
     pub fn resident_bytes(&self) -> usize {
         match self {
-            Column::Str(d) => {
-                d.codes().iter().map(|&c| d.decode(c).len() + 8).sum::<usize>()
-            }
+            Column::Str(d) => d.codes().iter().map(|&c| d.decode(c).len() + 8).sum::<usize>(),
             other => other.heap_bytes(),
         }
     }
@@ -212,9 +210,9 @@ impl Column {
     /// Concatenates columns of the same type (used by the cluster driver when
     /// merging per-node partials).
     pub fn concat(parts: &[&Column]) -> Result<Column> {
-        let first = parts.first().ok_or_else(|| {
-            StorageError::Parse("concat of zero columns".to_string())
-        })?;
+        let first = parts
+            .first()
+            .ok_or_else(|| StorageError::Parse("concat of zero columns".to_string()))?;
         match first {
             Column::Int64(_) => {
                 let mut out = Vec::new();

@@ -106,9 +106,8 @@ impl Decimal64 {
         }
         let mut mantissa: i128 = 0;
         for c in int_part.chars() {
-            let d = c
-                .to_digit(10)
-                .ok_or_else(|| StorageError::Parse(format!("bad decimal: {s:?}")))?;
+            let d =
+                c.to_digit(10).ok_or_else(|| StorageError::Parse(format!("bad decimal: {s:?}")))?;
             mantissa = mantissa * 10 + d as i128;
         }
         for i in 0..scale as usize {

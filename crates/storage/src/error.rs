@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            StorageError::DecimalOverflow,
-            StorageError::DecimalOverflow
-        );
+        assert_eq!(StorageError::DecimalOverflow, StorageError::DecimalOverflow);
         assert_ne!(
             StorageError::TableNotFound("a".into()),
             StorageError::TableNotFound("b".into())

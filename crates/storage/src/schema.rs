@@ -138,10 +138,7 @@ mod tests {
     fn index_of_finds_fields() {
         let s = lineitem_fragment();
         assert_eq!(s.index_of("l_shipdate").unwrap(), 2);
-        assert!(matches!(
-            s.index_of("l_tax"),
-            Err(StorageError::ColumnNotFound(_))
-        ));
+        assert!(matches!(s.index_of("l_tax"), Err(StorageError::ColumnNotFound(_))));
     }
 
     #[test]

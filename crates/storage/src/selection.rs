@@ -76,10 +76,7 @@ pub fn complement(sel: &[u32], n: usize) -> SelVec {
 
 /// Converts a bool mask to a selection vector.
 pub fn from_mask(mask: &[bool]) -> SelVec {
-    mask.iter()
-        .enumerate()
-        .filter_map(|(i, &b)| b.then_some(i as u32))
-        .collect()
+    mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i as u32)).collect()
 }
 
 #[cfg(test)]

@@ -20,10 +20,7 @@ impl Table {
     /// and that all columns have the same length.
     pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
         if schema.len() != columns.len() {
-            return Err(StorageError::LengthMismatch {
-                left: schema.len(),
-                right: columns.len(),
-            });
+            return Err(StorageError::LengthMismatch { left: schema.len(), right: columns.len() });
         }
         let nrows = columns.first().map_or(0, |c| c.len());
         for (f, c) in schema.fields().iter().zip(&columns) {
@@ -101,9 +98,7 @@ impl Catalog {
 
     /// Looks a table up by name.
     pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        self.tables.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
     /// Table names in sorted order.
@@ -135,14 +130,8 @@ mod tests {
 
     fn small_table() -> Table {
         Table::new(
-            Schema::new(vec![
-                Field::new("k", DataType::Int64),
-                Field::new("v", DataType::Float64),
-            ]),
-            vec![
-                Column::Int64(vec![1, 2, 3]),
-                Column::Float64(vec![0.5, 1.5, 2.5]),
-            ],
+            Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Float64)]),
+            vec![Column::Int64(vec![1, 2, 3]), Column::Float64(vec![0.5, 1.5, 2.5])],
         )
         .unwrap()
     }
@@ -159,10 +148,7 @@ mod tests {
     #[test]
     fn construction_validates_lengths() {
         let err = Table::new(
-            Schema::new(vec![
-                Field::new("a", DataType::Int64),
-                Field::new("b", DataType::Int64),
-            ]),
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Int64)]),
             vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])],
         );
         assert!(matches!(err, Err(StorageError::LengthMismatch { .. })));

@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn data_type_reflects_variant() {
         assert_eq!(Value::I64(1).data_type(), DataType::Int64);
-        assert_eq!(
-            Value::Dec(Decimal64::new(100, 2)).data_type(),
-            DataType::Decimal(2)
-        );
+        assert_eq!(Value::Dec(Decimal64::new(100, 2)).data_type(), DataType::Decimal(2));
     }
 
     #[test]
@@ -173,10 +170,7 @@ mod tests {
     #[test]
     fn total_cmp_same_type() {
         assert_eq!(Value::I64(1).total_cmp(&Value::I64(2)), Ordering::Less);
-        assert_eq!(
-            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
-            Ordering::Less
-        );
+        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Str("b".into())), Ordering::Less);
     }
 
     #[test]

@@ -48,8 +48,7 @@ pub enum Paradigm {
 
 impl Paradigm {
     /// All paradigms, worst-to-best per the source paper.
-    pub const ALL: [Paradigm; 3] =
-        [Paradigm::DataCentric, Paradigm::Hybrid, Paradigm::AccessAware];
+    pub const ALL: [Paradigm; 3] = [Paradigm::DataCentric, Paradigm::Hybrid, Paradigm::AccessAware];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -126,13 +125,7 @@ pub fn run(n: usize, paradigm: Paradigm, catalog: &Catalog) -> StrategyRun {
         };
         f(catalog, &mut work)
     };
-    StrategyRun {
-        query: n,
-        paradigm,
-        digest,
-        host_seconds: start.elapsed().as_secs_f64(),
-        work,
-    }
+    StrategyRun { query: n, paradigm, digest, host_seconds: start.elapsed().as_secs_f64(), work }
 }
 
 #[cfg(test)]
@@ -143,8 +136,7 @@ mod tests {
     fn every_query_agrees_across_paradigms() {
         let cat = wimpi_tpch::Generator::new(0.003).generate_catalog().unwrap();
         for &q in &STRATEGY_QUERIES {
-            let runs: Vec<StrategyRun> =
-                Paradigm::ALL.iter().map(|&p| run(q, p, &cat)).collect();
+            let runs: Vec<StrategyRun> = Paradigm::ALL.iter().map(|&p| run(q, p, &cat)).collect();
             assert_eq!(runs[0].digest, runs[1].digest, "Q{q} data-centric vs hybrid");
             assert_eq!(runs[0].digest, runs[2].digest, "Q{q} data-centric vs access-aware");
             for r in &runs {

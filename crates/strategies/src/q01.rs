@@ -42,7 +42,11 @@ fn digest(groups: &[Acc; GROUPS]) -> Digest {
         }
         rows += 1;
         checksum += (g as i128 + 1)
-            * (a.count as i128 + a.sum_qty + a.sum_base + a.sum_disc_price + a.sum_charge
+            * (a.count as i128
+                + a.sum_qty
+                + a.sum_base
+                + a.sum_disc_price
+                + a.sum_charge
                 + a.sum_disc);
     }
     Digest { rows, checksum }
@@ -64,7 +68,13 @@ pub fn data_centric(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
         if li.shipdate[i] <= cut {
             sel += 1;
             let g = gid(li.returnflag.code(i), li.linestatus.code(i));
-            accumulate(&mut groups[g], li.quantity[i], li.extendedprice[i], li.discount[i], li.tax[i]);
+            accumulate(
+                &mut groups[g],
+                li.quantity[i],
+                li.extendedprice[i],
+                li.discount[i],
+                li.tax[i],
+            );
         }
     }
     Charge::data_centric(prof, li.len() as u64 + sel * 6);
@@ -94,7 +104,13 @@ pub fn hybrid(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
         for &iu in &sel_buf[..nsel] {
             let i = iu as usize;
             let g = gid(li.returnflag.code(i), li.linestatus.code(i));
-            accumulate(&mut groups[g], li.quantity[i], li.extendedprice[i], li.discount[i], li.tax[i]);
+            accumulate(
+                &mut groups[g],
+                li.quantity[i],
+                li.extendedprice[i],
+                li.discount[i],
+                li.tax[i],
+            );
         }
         base = end;
     }

@@ -117,10 +117,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let orders = qualifying_orders(cat, prof);
     let cut = cutoff();
     let n = li.len();
-    let sel: Vec<u32> = (0..n)
-        .filter(|&i| li.shipdate[i] > cut)
-        .map(|i| i as u32)
-        .collect();
+    let sel: Vec<u32> = (0..n).filter(|&i| li.shipdate[i] > cut).map(|i| i as u32).collect();
     let mut groups: HashMap<i64, i128> = HashMap::new();
     for &iu in &sel {
         let i = iu as usize;

@@ -15,11 +15,7 @@ fn window() -> (i32, i32) {
 fn digest_from_counts(counts: &[i64]) -> Digest {
     Digest {
         rows: counts.iter().filter(|&&c| c > 0).count() as u64,
-        checksum: counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (i as i128 + 1) * c as i128)
-            .sum(),
+        checksum: counts.iter().enumerate().map(|(i, &c)| (i as i128 + 1) * c as i128).sum(),
     }
 }
 
@@ -30,12 +26,8 @@ fn count_orders(cat: &Catalog, late: &HashSet<i64>, prof: &mut WorkProfile) -> D
     let odate = date_col(orders, "o_orderdate");
     let prio = dict_col(orders, "o_orderpriority");
     // Rank priorities by value so counts are dictionary-order independent.
-    let mut ranked: Vec<(String, u32)> = prio
-        .values()
-        .iter()
-        .enumerate()
-        .map(|(c, v)| (v.clone(), c as u32))
-        .collect();
+    let mut ranked: Vec<(String, u32)> =
+        prio.values().iter().enumerate().map(|(c, v)| (v.clone(), c as u32)).collect();
     ranked.sort();
     let mut rank_of_code = vec![0usize; prio.cardinality()];
     for (r, (_, code)) in ranked.iter().enumerate() {
@@ -101,8 +93,7 @@ pub fn hybrid(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
 pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let li = Lineitem::bind(cat);
     let n = li.len();
-    let mask: Vec<bool> =
-        (0..n).map(|i| li.commitdate[i] < li.receiptdate[i]).collect();
+    let mask: Vec<bool> = (0..n).map(|i| li.commitdate[i] < li.receiptdate[i]).collect();
     let mut late = HashSet::new();
     for i in 0..n {
         if mask[i] {

@@ -25,10 +25,8 @@ fn build_dims(cat: &Catalog, prof: &mut WorkProfile) -> Dims {
     let region = cat.table("region").expect("region registered");
     let rnames = dict_col(region, "r_name");
     let rkeys = i64_col(region, "r_regionkey");
-    let asia_region: Vec<i64> = (0..region.num_rows())
-        .filter(|&i| rnames.get(i) == "ASIA")
-        .map(|i| rkeys[i])
-        .collect();
+    let asia_region: Vec<i64> =
+        (0..region.num_rows()).filter(|&i| rnames.get(i) == "ASIA").map(|i| rkeys[i]).collect();
     let nation = cat.table("nation").expect("nation registered");
     let nkeys = i64_col(nation, "n_nationkey");
     let nregion = i64_col(nation, "n_regionkey");
@@ -141,9 +139,8 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let li = Lineitem::bind(cat);
     let dims = build_dims(cat, prof);
     let n = li.len();
-    let custkeys: Vec<i64> = (0..n)
-        .map(|i| dims.orders.get(&li.orderkey[i]).copied().unwrap_or(-1))
-        .collect();
+    let custkeys: Vec<i64> =
+        (0..n).map(|i| dims.orders.get(&li.orderkey[i]).copied().unwrap_or(-1)).collect();
     let mut rev = vec![0i128; dims.asia.len()];
     for i in 0..n {
         let ck = custkeys[i];
@@ -153,8 +150,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
         let sn = dims.supp_nation[li.suppkey[i] as usize];
         let cn = dims.cust_nation[ck as usize];
         if sn >= 0 && sn == cn && dims.asia[sn as usize] {
-            rev[sn as usize] +=
-                li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
+            rev[sn as usize] += li.extendedprice[i] as i128 * (100 - li.discount[i]) as i128;
         }
     }
     Charge::access_aware(prof, n as u64, 3);

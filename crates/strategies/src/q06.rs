@@ -98,8 +98,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let li = Lineitem::bind(cat);
     let (lo, hi, dlo, dhi, qmax) = params();
     let n = li.len();
-    let mut mask: Vec<i64> =
-        li.shipdate.iter().map(|&d| i64::from(d >= lo && d < hi)).collect();
+    let mut mask: Vec<i64> = li.shipdate.iter().map(|&d| i64::from(d >= lo && d < hi)).collect();
     for i in 0..n {
         mask[i] &= i64::from(li.discount[i] >= dlo && li.discount[i] <= dhi);
     }

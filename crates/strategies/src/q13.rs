@@ -15,11 +15,8 @@ use wimpi_storage::Catalog;
 fn comment_ok(cat: &Catalog) -> (Vec<bool>, usize) {
     let orders = cat.table("orders").expect("orders registered");
     let comments = dict_col(orders, "o_comment");
-    let ok: Vec<bool> = comments
-        .values()
-        .iter()
-        .map(|v| !like_match(v, "%special%requests%"))
-        .collect();
+    let ok: Vec<bool> =
+        comments.values().iter().map(|v| !like_match(v, "%special%requests%")).collect();
     (ok, orders.num_rows())
 }
 
@@ -34,10 +31,7 @@ fn digest(counts: &[u32], customers: usize) -> Digest {
     }
     Digest {
         rows: hist.len() as u64,
-        checksum: hist
-            .iter()
-            .map(|(&c_count, &dist)| (c_count as i128 + 1) * dist as i128)
-            .sum(),
+        checksum: hist.iter().map(|(&c_count, &dist)| (c_count as i128 + 1) * dist as i128).sum(),
     }
 }
 
@@ -100,8 +94,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let ocust = i64_col(orders, "o_custkey");
     let comments = dict_col(orders, "o_comment");
     let customers = num_customers(cat);
-    let mask: Vec<u32> =
-        (0..n).map(|i| u32::from(ok[comments.code(i) as usize])).collect();
+    let mask: Vec<u32> = (0..n).map(|i| u32::from(ok[comments.code(i) as usize])).collect();
     let mut counts = vec![0u32; customers + 1];
     for i in 0..n {
         counts[ocust[i] as usize] += mask[i];

@@ -16,8 +16,7 @@ fn promo_by_part(cat: &Catalog, prof: &mut WorkProfile) -> Vec<bool> {
     let part = cat.table("part").expect("part registered");
     let keys = i64_col(part, "p_partkey");
     let types = dict_col(part, "p_type");
-    let promo_value: Vec<bool> =
-        types.values().iter().map(|v| like_match(v, "PROMO%")).collect();
+    let promo_value: Vec<bool> = types.values().iter().map(|v| like_match(v, "PROMO%")).collect();
     let max_key = keys.iter().copied().max().unwrap_or(0) as usize;
     let mut lut = vec![false; max_key + 1];
     for (i, &k) in keys.iter().enumerate() {
@@ -94,8 +93,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let lut = promo_by_part(cat, prof);
     let (lo, hi) = window();
     let n = li.len();
-    let mask: Vec<i64> =
-        li.shipdate.iter().map(|&d| i64::from(d >= lo && d < hi)).collect();
+    let mask: Vec<i64> = li.shipdate.iter().map(|&d| i64::from(d >= lo && d < hi)).collect();
     let (mut promo, mut total) = (0i128, 0i128);
     for i in 0..n {
         let m = mask[i];

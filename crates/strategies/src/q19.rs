@@ -69,8 +69,7 @@ pub fn data_centric(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let (mut revenue, mut sel, mut evals) = (0i128, 0u64, 0u64);
     for i in 0..li.len() {
         evals += 1;
-        if !mode_ok[li.shipmode.code(i) as usize] || !instr_ok[li.shipinstruct.code(i) as usize]
-        {
+        if !mode_ok[li.shipmode.code(i) as usize] || !instr_ok[li.shipinstruct.code(i) as usize] {
             continue;
         }
         evals += 1;
@@ -107,8 +106,7 @@ pub fn hybrid(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
         for i in base..end {
             a[na] = i as u32;
             na += usize::from(
-                mode_ok[li.shipmode.code(i) as usize]
-                    && instr_ok[li.shipinstruct.code(i) as usize],
+                mode_ok[li.shipmode.code(i) as usize] && instr_ok[li.shipinstruct.code(i) as usize],
             );
         }
         evals += (end - base) as u64;
@@ -139,8 +137,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     let mut mask: Vec<i64> = (0..n)
         .map(|i| {
             i64::from(
-                mode_ok[li.shipmode.code(i) as usize]
-                    && instr_ok[li.shipinstruct.code(i) as usize],
+                mode_ok[li.shipmode.code(i) as usize] && instr_ok[li.shipinstruct.code(i) as usize],
             )
         })
         .collect();
@@ -149,8 +146,7 @@ pub fn access_aware(cat: &Catalog, prof: &mut WorkProfile) -> Digest {
     for i in 0..n {
         let class = classes[i] as usize;
         let (qlo, qhi) = QTY[class];
-        mask[i] &=
-            i64::from(class != 0 && li.quantity[i] >= qlo && li.quantity[i] <= qhi);
+        mask[i] &= i64::from(class != 0 && li.quantity[i] >= qlo && li.quantity[i] <= qhi);
     }
     let (mut revenue, mut sel) = (0i128, 0u64);
     for i in 0..n {

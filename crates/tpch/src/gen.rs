@@ -17,9 +17,7 @@
 use crate::rng::{RowRng, Stream};
 use crate::schema;
 use crate::text;
-use wimpi_storage::{
-    Catalog, Column, Date32, Decimal64, DictBuilder, Result, Table,
-};
+use wimpi_storage::{Catalog, Column, Date32, Decimal64, DictBuilder, Result, Table};
 
 /// TPC-H population constants (spec §4.2.3).
 pub const CUSTOMERS_PER_SF: f64 = 150_000.0;
@@ -58,9 +56,8 @@ struct CommentPool {
 impl CommentPool {
     fn new(stream: Stream, min: usize, max: usize, rows: u64) -> Self {
         let size = (rows as usize).clamp(1, COMMENT_POOL_MAX);
-        let texts = (0..size)
-            .map(|j| text::pseudo_text(&mut stream.rng(j as u64), min, max))
-            .collect();
+        let texts =
+            (0..size).map(|j| text::pseudo_text(&mut stream.rng(j as u64), min, max)).collect();
         Self { texts }
     }
 
@@ -388,7 +385,8 @@ impl Generator {
         for idx in lo..hi {
             let orderkey = order_key_for_index(idx);
             let custkey = draw_custkey(customers, idx);
-            let odate = start_date().0 + Stream::OrderDate.rng(idx).uniform_i64(0, date_span) as i32;
+            let odate =
+                start_date().0 + Stream::OrderDate.rng(idx).uniform_i64(0, date_span) as i32;
             let nlines = Stream::LineCount.rng(idx).uniform_i64(1, 7);
             let mut total_price = Decimal64::zero(2);
             let mut f_lines = 0;
@@ -456,8 +454,9 @@ impl Generator {
             });
             o_total.push(total_price.mantissa());
             o_date.push(odate);
-            o_prio
-                .push(text::PRIORITIES[Stream::OrderPriority.rng(idx).index(text::PRIORITIES.len())]);
+            o_prio.push(
+                text::PRIORITIES[Stream::OrderPriority.rng(idx).index(text::PRIORITIES.len())],
+            );
             let clerk = Stream::OrderClerk.rng(idx).uniform_i64(1, clerks.max(1));
             o_clerk.push(&format!("Clerk#{clerk:09}"));
             o_ship.push(0);
@@ -566,8 +565,7 @@ pub fn supplier_for_part(partkey: i64, j: i64, suppliers: i64) -> i64 {
 pub fn suppliers_of_part(partkey: i64, suppliers: i64) -> [i64; 4] {
     let mut out = [0i64; 4];
     for j in 0..4 {
-        let mut s =
-            (partkey + j * (suppliers / 4 + (partkey - 1) / suppliers)) % suppliers + 1;
+        let mut s = (partkey + j * (suppliers / 4 + (partkey - 1) / suppliers)) % suppliers + 1;
         if suppliers >= 4 {
             while out[..j as usize].contains(&s) {
                 s = s % suppliers + 1;
@@ -662,7 +660,7 @@ mod tests {
 
     #[test]
     fn retail_price_formula() {
-        assert_eq!(retail_price_cents(1), 90_000 + 0 + 100);
+        assert_eq!(retail_price_cents(1), 90_000 + 100);
         assert_eq!(retail_price_cents(10), 90_000 + 1 + 1000);
     }
 

@@ -65,8 +65,7 @@ impl RowRng {
     /// A random lowercase/uppercase/digit "v-string" of length in
     /// `[min, max]`, dbgen's address alphabet.
     pub fn v_string(&mut self, min: usize, max: usize) -> String {
-        const ALPHA: &[u8] =
-            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789, ";
+        const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789, ";
         let len = self.uniform_i64(min as i64, max as i64) as usize;
         (0..len).map(|_| ALPHA[self.index(ALPHA.len())] as char).collect()
     }

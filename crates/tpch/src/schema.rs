@@ -6,9 +6,8 @@ use wimpi_storage::{DataType, Field, Schema};
 pub const MONEY: DataType = DataType::Decimal(2);
 
 /// Table names in generation order (referenced tables first).
-pub const TABLE_NAMES: [&str; 8] = [
-    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
-];
+pub const TABLE_NAMES: [&str; 8] =
+    ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
 
 /// `region` schema.
 pub fn region() -> Schema {

@@ -26,9 +26,8 @@ pub fn write_tbl<W: Write>(table: &Table, out: &mut W) -> std::io::Result<()> {
 
 /// Reads a `.tbl` stream into a table of the named TPC-H schema.
 pub fn read_tbl<R: BufRead>(table_name: &str, input: R) -> Result<Table> {
-    let sch = schema::schema_for(table_name).ok_or_else(|| {
-        StorageError::TableNotFound(format!("{table_name} is not a TPC-H table"))
-    })?;
+    let sch = schema::schema_for(table_name)
+        .ok_or_else(|| StorageError::TableNotFound(format!("{table_name} is not a TPC-H table")))?;
     let types: Vec<DataType> = sch.fields().iter().map(|f| f.data_type).collect();
     let mut builders: Vec<ColBuilder> = types.iter().map(|t| ColBuilder::new(*t)).collect();
     for (lineno, line) in input.lines().enumerate() {
@@ -81,18 +80,12 @@ impl ColBuilder {
     fn push(&mut self, field: &str) -> Result<()> {
         match self {
             ColBuilder::I64(v) => v.push(
-                field
-                    .parse()
-                    .map_err(|_| StorageError::Parse(format!("bad int64 {field:?}")))?,
+                field.parse().map_err(|_| StorageError::Parse(format!("bad int64 {field:?}")))?,
             ),
             ColBuilder::I32(v) => v.push(
-                field
-                    .parse()
-                    .map_err(|_| StorageError::Parse(format!("bad int32 {field:?}")))?,
+                field.parse().map_err(|_| StorageError::Parse(format!("bad int32 {field:?}")))?,
             ),
-            ColBuilder::Dec(v, s) => {
-                v.push(Decimal64::from_str_scale(field, *s)?.mantissa())
-            }
+            ColBuilder::Dec(v, s) => v.push(Decimal64::from_str_scale(field, *s)?.mantissa()),
             ColBuilder::Date(v) => v.push(Date32::parse(field)?.0),
             ColBuilder::Str(b) => b.push(field),
         }
@@ -144,10 +137,7 @@ mod tests {
         assert_eq!(t.column_by_name("c_custkey").unwrap().as_i64().unwrap(), &[1]);
         let (bal, s) = t.column_by_name("c_acctbal").unwrap().as_decimal().unwrap();
         assert_eq!((bal[0], s), (71_156, 2));
-        assert_eq!(
-            t.column_by_name("c_mktsegment").unwrap().as_str().unwrap().get(0),
-            "BUILDING"
-        );
+        assert_eq!(t.column_by_name("c_mktsegment").unwrap().as_str().unwrap().get(0), "BUILDING");
     }
 
     #[test]

@@ -14,16 +14,97 @@ use crate::rng::RowRng;
 /// close enough that color-based selectivities are preserved; documented
 /// substitution in DESIGN.md).
 pub const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab",
-    "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
-    "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
-    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint",
-    "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
-    "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal",
-    "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
-    "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
     "yellow",
 ];
 
@@ -37,20 +118,16 @@ pub const TYPES_3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 /// P_CONTAINER syllable 1.
 pub const CONTAINERS_1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 /// P_CONTAINER syllable 2.
-pub const CONTAINERS_2: &[&str] =
-    &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINERS_2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// C_MKTSEGMENT values.
-pub const SEGMENTS: &[&str] =
-    &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 
 /// O_ORDERPRIORITY values.
-pub const PRIORITIES: &[&str] =
-    &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// L_SHIPINSTRUCT values.
-pub const INSTRUCTIONS: &[&str] =
-    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const INSTRUCTIONS: &[&str] = &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 
 /// L_SHIPMODE values.
 pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -90,48 +167,226 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 // --- pseudo-text grammar word lists (spec appendix) ---
 
 const NOUNS: &[&str] = &[
-    "foxes", "ideas", "theodolites", "pinto beans", "instructions", "dependencies", "excuses",
-    "platelets", "asymptotes", "courts", "dolphins", "multipliers", "sauternes", "warthogs",
-    "frets", "dinos", "attainments", "somas", "Tiresias'", "patterns", "forges", "braids",
-    "hockey players", "frays", "warhorses", "dugouts", "notornis", "epitaphs", "pearls",
-    "tithes", "waters", "orbits", "gifts", "sheaves", "depths", "sentiments", "decoys",
-    "realms", "pains", "grouches", "escapades", "packages", "requests", "accounts", "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
+    "attainments",
+    "somas",
+    "Tiresias'",
+    "patterns",
+    "forges",
+    "braids",
+    "hockey players",
+    "frays",
+    "warhorses",
+    "dugouts",
+    "notornis",
+    "epitaphs",
+    "pearls",
+    "tithes",
+    "waters",
+    "orbits",
+    "gifts",
+    "sheaves",
+    "depths",
+    "sentiments",
+    "decoys",
+    "realms",
+    "pains",
+    "grouches",
+    "escapades",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
 ];
 
 const VERBS: &[&str] = &[
-    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost", "affix", "detect",
-    "integrate", "maintain", "nod", "was", "lose", "sublate", "solve", "thrash", "promise",
-    "engage", "hinder", "print", "x-ray", "breach", "eat", "grow", "impress", "mold",
-    "poach", "serve", "run", "dazzle", "snooze", "doze", "unwind", "kindle", "play", "hang",
-    "believe", "doubt",
+    "sleep",
+    "wake",
+    "are",
+    "cajole",
+    "haggle",
+    "nag",
+    "use",
+    "boost",
+    "affix",
+    "detect",
+    "integrate",
+    "maintain",
+    "nod",
+    "was",
+    "lose",
+    "sublate",
+    "solve",
+    "thrash",
+    "promise",
+    "engage",
+    "hinder",
+    "print",
+    "x-ray",
+    "breach",
+    "eat",
+    "grow",
+    "impress",
+    "mold",
+    "poach",
+    "serve",
+    "run",
+    "dazzle",
+    "snooze",
+    "doze",
+    "unwind",
+    "kindle",
+    "play",
+    "hang",
+    "believe",
+    "doubt",
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet", "ruthless",
-    "thin", "close", "dogged", "daring", "bold", "ironic", "final", "permanent", "pending",
-    "silent", "idle", "busy", "regular", "special", "express", "even", "bold", "unusual",
+    "furious",
+    "sly",
+    "careful",
+    "blithe",
+    "quick",
+    "fluffy",
+    "slow",
+    "quiet",
+    "ruthless",
+    "thin",
+    "close",
+    "dogged",
+    "daring",
+    "bold",
+    "ironic",
+    "final",
+    "permanent",
+    "pending",
+    "silent",
+    "idle",
+    "busy",
+    "regular",
+    "special",
+    "express",
+    "even",
+    "bold",
+    "unusual",
 ];
 
 const ADVERBS: &[&str] = &[
-    "sometimes", "always", "never", "furiously", "slyly", "carefully", "blithely", "quickly",
-    "fluffily", "slowly", "quietly", "ruthlessly", "thinly", "closely", "doggedly", "daringly",
-    "boldly", "ironically", "finally", "permanently", "silently", "idly", "busily",
-    "regularly", "specially", "expressly", "evenly", "unusually",
+    "sometimes",
+    "always",
+    "never",
+    "furiously",
+    "slyly",
+    "carefully",
+    "blithely",
+    "quickly",
+    "fluffily",
+    "slowly",
+    "quietly",
+    "ruthlessly",
+    "thinly",
+    "closely",
+    "doggedly",
+    "daringly",
+    "boldly",
+    "ironically",
+    "finally",
+    "permanently",
+    "silently",
+    "idly",
+    "busily",
+    "regularly",
+    "specially",
+    "expressly",
+    "evenly",
+    "unusually",
 ];
 
 const PREPOSITIONS: &[&str] = &[
-    "about", "above", "according to", "across", "after", "against", "along", "alongside of",
-    "among", "around", "at", "atop", "before", "behind", "beneath", "beside", "besides",
-    "between", "beyond", "by", "despite", "during", "except", "for", "from", "in place of",
-    "inside", "instead of", "into", "near", "of", "on", "outside", "over", "past", "since",
-    "through", "throughout", "to", "toward", "under", "until", "up", "upon", "without",
-    "with", "within",
+    "about",
+    "above",
+    "according to",
+    "across",
+    "after",
+    "against",
+    "along",
+    "alongside of",
+    "among",
+    "around",
+    "at",
+    "atop",
+    "before",
+    "behind",
+    "beneath",
+    "beside",
+    "besides",
+    "between",
+    "beyond",
+    "by",
+    "despite",
+    "during",
+    "except",
+    "for",
+    "from",
+    "in place of",
+    "inside",
+    "instead of",
+    "into",
+    "near",
+    "of",
+    "on",
+    "outside",
+    "over",
+    "past",
+    "since",
+    "through",
+    "throughout",
+    "to",
+    "toward",
+    "under",
+    "until",
+    "up",
+    "upon",
+    "without",
+    "with",
+    "within",
 ];
 
 const AUXILIARIES: &[&str] = &[
-    "do", "may", "might", "shall", "will", "would", "can", "could", "should", "ought to",
-    "must", "will have to", "shall have to", "could have to", "should have to", "must have to",
-    "need to", "try to",
+    "do",
+    "may",
+    "might",
+    "shall",
+    "will",
+    "would",
+    "can",
+    "could",
+    "should",
+    "ought to",
+    "must",
+    "will have to",
+    "shall have to",
+    "could have to",
+    "should have to",
+    "must have to",
+    "need to",
+    "try to",
 ];
 
 const TERMINATORS: &[char] = &['.', ';', ':', '?', '!', '-'];

@@ -29,14 +29,11 @@ fn main() {
     println!("nodes   wimpi-time   msrp-improvement   energy-improvement");
     let mut msrp_imps = Vec::new();
     for &n in &sizes {
-        let cluster =
-            WimpiCluster::build(ClusterConfig::new(n, sf)).expect("cluster builds");
+        let cluster = WimpiCluster::build(ClusterConfig::new(n, sf)).expect("cluster builds");
         let run = cluster.run(&query(q), Strategy::PartialAggPushdown).expect("runs");
         let t = run.total_seconds();
-        let msrp_imp =
-            analysis::improvement(t, analysis::wimpi_msrp(n), e5_time, e5_msrp);
-        let energy_imp =
-            analysis::improvement(t, analysis::wimpi_power_w(n), e5_time, e5_tdp);
+        let msrp_imp = analysis::improvement(t, analysis::wimpi_msrp(n), e5_time, e5_msrp);
+        let energy_imp = analysis::improvement(t, analysis::wimpi_power_w(n), e5_time, e5_tdp);
         msrp_imps.push(msrp_imp);
         println!("{n:>5}   {t:>9.4} s {msrp_imp:>17.2}x {energy_imp:>19.2}x");
     }

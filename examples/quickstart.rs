@@ -14,10 +14,7 @@ fn main() {
     // 1. Generate TPC-H at scale factor 0.01 (≈ 60k lineitem rows).
     let catalog = Generator::new(0.01).generate_catalog().expect("generation succeeds");
     println!("tables: {}", catalog.names().collect::<Vec<_>>().join(", "));
-    println!(
-        "lineitem rows: {}\n",
-        catalog.table("lineitem").expect("registered").num_rows()
-    );
+    println!("lineitem rows: {}\n", catalog.table("lineitem").expect("registered").num_rows());
 
     // 2. Build TPC-H Q6 with the fluent plan API.
     let plan = PlanBuilder::scan("lineitem")

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use wimpi::cluster::distribute::Strategy;
+use wimpi::cluster::faults::FaultPlan;
 use wimpi::cluster::{ClusterConfig, WimpiCluster};
 use wimpi::queries::{query, run, CHOKEPOINT_QUERIES};
 use wimpi::storage::Catalog;
@@ -28,15 +29,9 @@ fn assert_equivalent(q: usize, a: &wimpi::engine::Relation, b: &wimpi::engine::R
             match (va.as_f64(), vb.as_f64()) {
                 (Some(x), Some(y)) => {
                     let tol = 1e-9 * x.abs().max(1.0);
-                    assert!(
-                        (x - y).abs() <= tol,
-                        "Q{q} row {row} col {name}: {x} vs {y}"
-                    );
+                    assert!((x - y).abs() <= tol, "Q{q} row {row} col {name}: {x} vs {y}");
                 }
-                _ => assert_eq!(
-                    va, vb,
-                    "Q{q} row {row} col {name} mismatch"
-                ),
+                _ => assert_eq!(va, vb, "Q{q} row {row} col {name} mismatch"),
             }
         }
     }
@@ -93,11 +88,86 @@ fn scalar_results_survive_distribution_exactly() {
 }
 
 #[test]
+fn single_node_failure_recovers_at_every_paper_scale() {
+    // The tentpole acceptance invariant: at N ∈ {4, 8, 24}, any single
+    // permanent node failure leaves every choke-point query answering
+    // exactly what the fault-free cluster answers, with the recovery work
+    // priced in simulated time.
+    for nodes in [4u32, 8, 24] {
+        let cluster = WimpiCluster::build(ClusterConfig::new(nodes, SF)).expect("builds");
+        // Crashing node 0 exercises both recovery paths: lineitem queries
+        // reassign its partition, and single-node Q13 re-routes off the
+        // default executor. The chaos property below sweeps other victims.
+        let victim = 0;
+        let plan = FaultPlan::crash(victim);
+        for &q in &CHOKEPOINT_QUERIES {
+            let healthy = cluster
+                .run(&query(q), Strategy::PartialAggPushdown)
+                .unwrap_or_else(|e| panic!("Q{q}@{nodes} healthy failed: {e}"));
+            let faulted = cluster
+                .run_with_faults(&query(q), Strategy::PartialAggPushdown, &plan)
+                .unwrap_or_else(|e| panic!("Q{q}@{nodes} faulted failed: {e}"));
+            assert_equivalent(q, &faulted.result, &healthy.result);
+            assert!(
+                faulted.recovery.recovery_seconds > 0.0,
+                "Q{q}@{nodes}: recovery must cost simulated time"
+            );
+            assert!(!faulted.recovery.degraded, "Q{q}@{nodes}: full answer expected");
+            if q != 13 {
+                // Q13 never touches lineitem; everything else reassigns
+                // the victim's partition and pays for it end-to-end.
+                assert_eq!(
+                    faulted.recovery.reassignments.len(),
+                    1,
+                    "Q{q}@{nodes}: exactly one partition moves"
+                );
+                assert_eq!(faulted.recovery.reassignments[0].partition, victim);
+                assert!(
+                    faulted.total_seconds() > healthy.total_seconds(),
+                    "Q{q}@{nodes}: recovery is not free"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Chaos property: any seeded fault plan (crashes, transient OOMs,
+    /// stragglers, degraded NICs on up to three distinct nodes) recovers to
+    /// the fault-free answer for every choke-point query.
+    #[test]
+    fn recovered_results_equal_fault_free_under_random_faults(
+        seed in 0u64..1000,
+        nodes in 2u32..7,
+        qi in 0usize..CHOKEPOINT_QUERIES.len(),
+    ) {
+        let q = CHOKEPOINT_QUERIES[qi];
+        let plan = FaultPlan::random(seed, nodes);
+        let cluster = WimpiCluster::build(ClusterConfig::new(nodes, SF)).expect("builds");
+        let healthy = cluster
+            .run(&query(q), Strategy::PartialAggPushdown)
+            .expect("fault-free runs");
+        let faulted = cluster
+            .run_with_faults(&query(q), Strategy::PartialAggPushdown, &plan)
+            .unwrap_or_else(|e| panic!("Q{q} under {plan:?} failed: {e}"));
+        assert_equivalent(q, &faulted.result, &healthy.result);
+        prop_assert!(!faulted.recovery.degraded);
+        prop_assert!((faulted.recovery.coverage - 1.0).abs() < 1e-12);
+        prop_assert!(
+            faulted.total_seconds() >= healthy.total_seconds() - 1e-9,
+            "faults cannot make the cluster faster: {} vs {}",
+            faulted.total_seconds(),
+            healthy.total_seconds()
+        );
+    }
+}
+
+#[test]
 fn timing_metadata_is_consistent() {
     let cluster = WimpiCluster::build(ClusterConfig::new(3, SF)).expect("builds");
-    let dist = cluster
-        .run(&query(1), Strategy::PartialAggPushdown)
-        .expect("runs");
+    let dist = cluster.run(&query(1), Strategy::PartialAggPushdown).expect("runs");
     assert_eq!(dist.node_seconds.len(), 3);
     assert_eq!(dist.node_profiles.len(), 3);
     assert!(dist.node_seconds.iter().all(|&t| t > 0.0));

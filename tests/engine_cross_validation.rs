@@ -23,13 +23,8 @@ fn q1_engine_matches_strategies() {
     let strategy = run_strategy(1, Paradigm::DataCentric, &cat);
     assert_eq!(strategy.digest.rows as usize, rel.num_rows(), "group count");
     // Engine group totals must reconcile with the digest's total row count:
-    let engine_rows: i64 = rel
-        .column("count_order")
-        .expect("col")
-        .as_i64()
-        .expect("i64")
-        .iter()
-        .sum();
+    let engine_rows: i64 =
+        rel.column("count_order").expect("col").as_i64().expect("i64").iter().sum();
     // Recompute selected-row count directly from base data.
     let li = cat.table("lineitem").expect("lineitem");
     let ship = li.column_by_name("l_shipdate").expect("col");
@@ -62,9 +57,7 @@ fn q6_revenue_identical_across_implementations() {
     let lo = wimpi::storage::Date32::from_ymd(1994, 1, 1).0;
     let hi = wimpi::storage::Date32::from_ymd(1995, 1, 1).0;
     let selected = (0..ship.len())
-        .filter(|&i| {
-            ship[i] >= lo && ship[i] < hi && (5..=7).contains(&disc[i]) && qty[i] < 2400
-        })
+        .filter(|&i| ship[i] >= lo && ship[i] < hi && (5..=7).contains(&disc[i]) && qty[i] < 2400)
         .count() as i128;
     assert_eq!(dc.digest.checksum - selected, engine_revenue);
 }
@@ -90,8 +83,7 @@ fn q13_histogram_matches() {
     let s = run_strategy(13, Paradigm::Hybrid, &cat);
     assert_eq!(s.digest.rows as usize, rel.num_rows(), "distinct c_count buckets");
     // Engine: Σ custdist == customers; strategy digest covers the same rows.
-    let total: i64 =
-        rel.column("custdist").expect("col").as_i64().expect("i64").iter().sum();
+    let total: i64 = rel.column("custdist").expect("col").as_i64().expect("i64").iter().sum();
     assert_eq!(total as usize, cat.table("customer").expect("customer").num_rows());
 }
 

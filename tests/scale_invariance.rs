@@ -34,10 +34,7 @@ fn table3_cluster_predictions_invariant_to_measure_sf() {
             let ta = a.wimpi(n, q).expect("modelled");
             let tb = b.wimpi(n, q).expect("modelled");
             let rel = (ta - tb).abs() / ta.max(tb);
-            assert!(
-                rel < 0.25,
-                "WIMPI x{n} Q{q}: {ta:.4}s vs {tb:.4}s (rel {rel:.2})"
-            );
+            assert!(rel < 0.25, "WIMPI x{n} Q{q}: {ta:.4}s vs {tb:.4}s (rel {rel:.2})");
         }
     }
 }

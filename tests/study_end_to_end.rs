@@ -38,10 +38,8 @@ fn full_study_reproduces_headline_shapes() {
     assert!(q1_4 / q1_16 > 5.0, "4→16 node Q1 jump: {q1_4} vs {q1_16}");
 
     // §II-D2: Q13 is flat across cluster sizes (single-node execution).
-    let q13: Vec<f64> = [4u32, 8, 16, 24]
-        .iter()
-        .map(|&n| sf10.wimpi(n, 13).expect("modelled"))
-        .collect();
+    let q13: Vec<f64> =
+        [4u32, 8, 16, 24].iter().map(|&n| sf10.wimpi(n, 13).expect("modelled")).collect();
     assert!(q13.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "Q13 flat: {q13:?}");
 
     // §II-D2: at 24 nodes WIMPI beats at least one comparison point on most
@@ -104,12 +102,7 @@ fn fig4_reproduces_strategy_ordering_on_servers() {
     // The source paper's finding: access-aware best, data-centric worst —
     // checked on the fast server where the effect is strongest.
     let ope5 = &t.seconds[0];
-    let mut aa_wins = 0;
-    for qi in 0..t.queries.len() {
-        if ope5[2][qi] <= ope5[0][qi] {
-            aa_wins += 1;
-        }
-    }
+    let aa_wins = (0..t.queries.len()).filter(|&qi| ope5[2][qi] <= ope5[0][qi]).count();
     assert!(
         aa_wins >= t.queries.len() - 1,
         "access-aware should beat data-centric on nearly every query: {aa_wins}/8"
@@ -118,9 +111,7 @@ fn fig4_reproduces_strategy_ordering_on_servers() {
     // §II-D3: on the Pi the advantage is less pronounced (bandwidth-starved
     // pullups) — the mean access-aware:data-centric gain is smaller there.
     let gain = |m: usize| -> f64 {
-        (0..t.queries.len())
-            .map(|qi| t.seconds[m][0][qi] / t.seconds[m][2][qi])
-            .sum::<f64>()
+        (0..t.queries.len()).map(|qi| t.seconds[m][0][qi] / t.seconds[m][2][qi]).sum::<f64>()
             / t.queries.len() as f64
     };
     let server_gain = gain(0);

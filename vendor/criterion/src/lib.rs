@@ -1,0 +1,148 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored shim
+//! provides the subset of criterion's API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!` / `Criterion::benchmark_group` /
+//! `Bencher::iter` / `iter_batched`). It really runs and times the
+//! closures with `std::time::Instant` and prints a mean per iteration —
+//! no statistics, no HTML reports, no warm-up model.
+
+use std::time::Instant;
+
+/// Re-export for benches importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    MediumInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Times closures for one benchmark id.
+pub struct Bencher {
+    samples: usize,
+    /// (id, mean ns/iter) recorded by the last routine.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, reporting mean nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to fault in lazily-built state.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+
+    /// Times `routine` over fresh `setup()` inputs, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total_ns = 0.0;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.last_ns = total_ns / self.samples as f64;
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets iterations per benchmark (criterion's sample count analogue).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, last_ns: 0.0 };
+        f(&mut b);
+        println!("{}/{:<40} {:>14.0} ns/iter", self.name, id, b.last_ns);
+        self
+    }
+
+    /// Ends the group (nothing to flush in the shim).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this vendored shim
+//! provides exactly the subset of proptest's API the workspace uses:
+//! the `proptest!` macro, `ProptestConfig::with_cases`, integer-range /
+//! `any::<bool>()` / `any::<sample::Index>()` / tuple / `collection::vec` /
+//! simple-regex string strategies, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: cases are driven by a counter-based SplitMix64
+//!   seeded from the test's module path and case number, so every run
+//!   explores the same inputs (reproducible CI, no flakes).
+//! * **No shrinking**: a failing case panics with its case number; re-run
+//!   the test to replay it (the same inputs regenerate).
+//! * **No persistence files** (`proptest-regressions/` is never written).
+
+pub mod rng {
+    //! Counter-based SplitMix64 — the same generator family the TPC-H
+    //! generator uses for chunk-deterministic data.
+
+    /// Deterministic stream generator.
+    #[derive(Debug, Clone)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// A stream for one named test case.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Rng(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, span)`; `span` must be nonzero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            self.next_u64() % span
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges and tuples.
+
+    use crate::rng::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// Uniform `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident / $v:ident),*) => {
+            impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+                type Value = ($($s::Value,)*);
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($v,)*) = self;
+                    ($($v.sample(rng),)*)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+
+    /// `&str` patterns act as string strategies, as in real proptest. Only
+    /// the `[x-y]{m,n}` shape (one character-class, one counted repetition,
+    /// e.g. `"[a-z]{0,6}"`) is supported — the only shape this workspace
+    /// uses. Anything else panics loudly.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut Rng) -> String {
+            let (lo_ch, hi_ch, min_len, max_len) = parse_class_repeat(self)
+                .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+            let len = min_len + rng.below((max_len - min_len + 1) as u64) as usize;
+            (0..len)
+                .map(|_| {
+                    let span = hi_ch as u64 - lo_ch as u64 + 1;
+                    (lo_ch as u8 + rng.below(span) as u8) as char
+                })
+                .collect()
+        }
+    }
+
+    /// Parses `[x-y]{m,n}` into (x, y, m, n).
+    fn parse_class_repeat(pat: &str) -> Option<(char, char, usize, usize)> {
+        let b = pat.as_bytes();
+        if b.len() < 5 || b[0] != b'[' || b[2] != b'-' || b[4] != b']' {
+            return None;
+        }
+        let (lo, hi) = (b[1] as char, b[3] as char);
+        if !(lo.is_ascii() && hi.is_ascii() && lo <= hi) {
+            return None;
+        }
+        let rest = &pat[5..];
+        if rest.is_empty() {
+            return Some((lo, hi, 1, 1));
+        }
+        let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (m, n) = match inner.split_once(',') {
+            Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+            None => {
+                let k = inner.trim().parse().ok()?;
+                (k, k)
+            }
+        };
+        (m <= n).then_some((lo, hi, m, n))
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`any::<prop::sample::Index>()`).
+
+    use crate::rng::Rng;
+    use crate::strategy::Strategy;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects onto `[0, len)`; `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy producing [`Index`] values.
+    #[derive(Debug, Clone, Copy)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn sample(&self, rng: &mut Rng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec`.
+
+    use crate::rng::Rng;
+    use crate::strategy::Strategy;
+
+    /// Length bounds for [`vec`] (half-open or inclusive usize ranges).
+    pub trait SizeRange {
+        /// Inclusive (min, max) lengths.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// A vector strategy: length drawn from `size`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the types the workspace samples.
+
+    use crate::sample::{Index, IndexStrategy};
+    use crate::strategy::{BoolStrategy, Strategy};
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// That strategy's type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+        fn arbitrary() -> IndexStrategy {
+            IndexStrategy
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration (`ProptestConfig::with_cases`).
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Case count.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` once per case with freshly sampled
+/// arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::rng::Rng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let run = || -> () { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` — mirrors real proptest's prelude.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module path (`prop::collection::vec`, `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_case_same_values() {
+        let mut a = crate::rng::Rng::for_case("t", 3);
+        let mut b = crate::rng::Rng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -50i64..50, y in 0u8..=6) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(y <= 6);
+        }
+
+        #[test]
+        fn vec_and_string_shapes(v in prop::collection::vec("[a-z]{0,6}", 0..20),
+                                 ix in any::<prop::sample::Index>(),
+                                 flag in any::<bool>()) {
+            prop_assert!(v.len() < 20);
+            for s in &v {
+                prop_assert!(s.len() <= 6);
+                prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            prop_assert!(ix.index(7) < 7);
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuples_sample_both(pair in (0i64..5, -100i64..100)) {
+            prop_assert!((0..5).contains(&pair.0));
+            prop_assert!((-100..100).contains(&pair.1));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Speedup-vs-threads for the 8 choke-point queries (morsel-driven engine).
+//!
+//! Runs each query at 1, 2, and 4 software threads on the host, verifying
+//! that results and work profiles are bit-identical across thread counts,
+//! and reports measured wall-clock speedups next to the hwsim roofline
+//! speedups for the Pi 3B+ and op-e5. On core-starved CI hosts the measured
+//! columns hover near 1× (there is no silicon to scale onto — the printed
+//! host parallelism makes that legible); the modeled columns are the
+//! machine-independent answer. Defaults to SF 1, the paper's single-node
+//! scale; override with `--sf`/`WIMPI_SF`.
+
+use std::time::Instant;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_engine::EngineConfig;
+use wimpi_hwsim::{modeled_speedup, pi3b, profile};
+use wimpi_queries::{query, run_with, CHOKEPOINT_QUERIES};
+use wimpi_tpch::Generator;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args = Args::parse_with(Args { sf: 1.0, ..Args::default() });
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("generating TPC-H SF {} (host parallelism: {host_threads})", args.sf);
+    let catalog = Generator::new(args.sf).generate_catalog().expect("catalog generates");
+    let pi = pi3b();
+    let e5 = profile("op-e5").expect("op-e5 profile exists");
+
+    let mut rows = Vec::new();
+    let mut measured: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len()];
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len() - 1];
+    let mut pi_model: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len() - 1];
+    let mut e5_model: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len() - 1];
+
+    for qn in CHOKEPOINT_QUERIES {
+        let plan = query(qn);
+        let mut secs = Vec::new();
+        let mut baseline = None;
+        for &t in &THREADS {
+            let cfg = EngineConfig::with_threads(t);
+            let start = Instant::now();
+            let (rel, prof) = run_with(&plan, &catalog, &cfg).expect("query runs");
+            secs.push(start.elapsed().as_secs_f64());
+            match &baseline {
+                None => baseline = Some((rel, prof)),
+                Some((rel0, prof0)) => {
+                    assert_eq!(&rel, rel0, "Q{qn}: result diverged at {t} threads");
+                    assert_eq!(&prof, prof0, "Q{qn}: work profile diverged at {t} threads");
+                }
+            }
+        }
+        let prof = baseline.expect("at least one run").1;
+        rows.push(format!("Q{qn}"));
+        for (i, &s) in secs.iter().enumerate() {
+            measured[i].push(s);
+        }
+        for (i, &t) in THREADS[1..].iter().enumerate() {
+            speedups[i].push(secs[0] / secs[i + 1]);
+            pi_model[i].push(modeled_speedup(&pi, &prof, t as u32));
+            e5_model[i].push(modeled_speedup(&e5, &prof, t as u32));
+        }
+        eprintln!(
+            "Q{qn}: {:.3}s / {:.3}s / {:.3}s (1/2/4 threads), profiles bit-identical",
+            secs[0], secs[1], secs[2]
+        );
+    }
+
+    let mut fig = TextFigure::new(
+        format!(
+            "Morsel-driven scaling, choke-point queries at SF {} \
+             (host parallelism {host_threads}; modeled = hwsim roofline)",
+            args.sf
+        ),
+        "query",
+    );
+    fig.rows = rows;
+    for (i, &t) in THREADS.iter().enumerate() {
+        fig.push_series(Series::new(format!("measured {t}T (s)"), measured[i].clone()));
+    }
+    for (i, &t) in THREADS[1..].iter().enumerate() {
+        fig.push_series(Series::new(format!("measured speedup {t}T"), speedups[i].clone()));
+    }
+    for (i, &t) in THREADS[1..].iter().enumerate() {
+        fig.push_series(Series::new(format!("pi3b+ modeled {t}T"), pi_model[i].clone()));
+    }
+    for (i, &t) in THREADS[1..].iter().enumerate() {
+        fig.push_series(Series::new(format!("op-e5 modeled {t}T"), e5_model[i].clone()));
+    }
+    wimpi_bench::emit(&args, "scaling", &[fig]);
+}

@@ -39,7 +39,14 @@ impl Default for Args {
 impl Args {
     /// Parses `std::env` (args override environment variables).
     pub fn parse() -> Self {
-        let mut out = Args::default();
+        Self::parse_with(Args::default())
+    }
+
+    /// Parses `std::env` on top of custom defaults — for binaries whose
+    /// natural scale differs from the harness default (e.g. `scaling` runs
+    /// at SF 1, the paper's single-node scale).
+    pub fn parse_with(base: Args) -> Self {
+        let mut out = base;
         if let Ok(v) = std::env::var("WIMPI_SF") {
             if let Ok(sf) = v.parse() {
                 out.sf = sf;

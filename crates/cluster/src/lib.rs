@@ -33,7 +33,7 @@ use distribute::{distribute, Distributed, Strategy, PARTIALS_TABLE};
 use faults::{FaultKind, FaultPlan, Reassignment, RecoveryPolicy, RecoveryReport};
 use memory::MemoryModel;
 use wimpi_engine::{optimizer, EngineError, LogicalPlan, Relation, WorkProfile};
-use wimpi_hwsim::{pi3b, predict_all_cores, HwProfile};
+use wimpi_hwsim::{pi3b, predict, HwProfile};
 use wimpi_microbench::NetModel;
 use wimpi_queries::QueryPlan;
 use wimpi_storage::{Catalog, Column, Field, Schema, Table};
@@ -138,6 +138,10 @@ pub struct ClusterConfig {
     /// bytes before pricing (DESIGN.md §4): a cluster *built* at SF `sf` but
     /// *modelled* as holding SF `sf × model_scale`. 1.0 = no extrapolation.
     pub model_scale: f64,
+    /// Software threads each node runs its query slice with. Defaults to the
+    /// Pi's 4 hardware threads (the paper runs MonetDB fully parallel);
+    /// lower it to model partially-loaded nodes.
+    pub node_threads: u32,
 }
 
 impl ClusterConfig {
@@ -150,6 +154,7 @@ impl ClusterConfig {
             memory: MemoryModel::wimpi_node(),
             net: NetModel::wimpi_node(),
             model_scale: 1.0,
+            node_threads: pi3b().threads,
         }
     }
 
@@ -157,6 +162,13 @@ impl ClusterConfig {
     pub fn with_model_scale(mut self, scale: f64) -> Self {
         assert!(scale > 0.0);
         self.model_scale = scale;
+        self
+    }
+
+    /// Sets the per-node software thread count (see `node_threads`).
+    pub fn with_node_threads(mut self, threads: u32) -> Self {
+        assert!(threads > 0, "nodes need at least one thread");
+        self.node_threads = threads;
         self
     }
 }
@@ -529,7 +541,8 @@ impl WimpiCluster {
             .memory
             .evaluate((merged_input.stream_bytes() as f64 * row_scale) as u64, &merge_prof)
             .map_err(|needed| ClusterError::NodeOom { query: query.into(), node: 0, needed })?;
-        let merge_seconds = predict_all_cores(&self.pi, &merge_prof).total_s() + merge_penalty;
+        let merge_seconds =
+            predict(&self.pi, &merge_prof, self.config.node_threads).total_s() + merge_penalty;
         let nodes_used = {
             let mut ex: Vec<usize> = partials
                 .iter()
@@ -574,7 +587,7 @@ impl WimpiCluster {
         let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(node_plan, cat)? as f64 * self.config.model_scale) as u64;
         let exec_s = match self.config.memory.evaluate(base, &prof) {
-            Ok(penalty) => predict_all_cores(&self.pi, &prof).total_s() + penalty,
+            Ok(penalty) => predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty,
             Err(needed) => return Ok(NodeOutcome::Oom { needed }),
         };
         let _ = query;
@@ -633,7 +646,7 @@ impl WimpiCluster {
         let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(node_plan, &rcat)? as f64 * self.config.model_scale) as u64;
         let exec_s = match self.config.memory.evaluate(base, &prof) {
-            Ok(penalty) => predict_all_cores(&self.pi, &prof).total_s() + penalty,
+            Ok(penalty) => predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty,
             Err(needed) => {
                 return Err(ClusterError::NodeOom { query: query.into(), node: j, needed })
             }
@@ -657,7 +670,7 @@ impl WimpiCluster {
             rows_in: scaled_rows,
             ..WorkProfile::default()
         };
-        predict_all_cores(&self.pi, &work).total_s()
+        predict(&self.pi, &work, self.config.node_threads).total_s()
             + self.config.memory.reload_seconds(scaled_heap)
     }
 
@@ -711,7 +724,7 @@ impl WimpiCluster {
         let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(plan, cat)? as f64 * self.config.model_scale) as u64;
         let exec_s = match self.config.memory.evaluate(base, &prof) {
-            Ok(penalty) => predict_all_cores(&self.pi, &prof).total_s() + penalty,
+            Ok(penalty) => predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty,
             Err(needed) => {
                 return Err(ClusterError::NodeOom { query: query.into(), node: exec_node, needed })
             }

@@ -5,10 +5,19 @@
 //! `cpu_ops` ≈ rows processed per primitive, `seq_read_bytes`/`seq_write_bytes`
 //! the streamed column payloads. String predicates are evaluated once per
 //! *dictionary value* and then mapped over codes.
+//!
+//! Element-wise primitives are parallelized per morsel via
+//! [`par_map_concat`]: each worker fills its own output chunk and chunks are
+//! concatenated in morsel order, so the result is identical to the serial
+//! one bit for bit. Dictionary-level work (one LIKE per distinct value)
+//! stays serial — it runs once per *dictionary*, and splitting rows would
+//! multiply it, not shrink it. Work is charged once from global row counts,
+//! never per worker.
 
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
+use crate::exec::parallel::{par_map_concat, EngineConfig};
 use crate::expr::{BinOp, Expr};
 use crate::like::like_match;
 use crate::relation::Relation;
@@ -19,6 +28,7 @@ use wimpi_storage::{Column, DictBuilder, DictColumn, Value};
 pub struct Evaluator<'a> {
     rel: &'a Relation,
     prof: &'a mut WorkProfile,
+    cfg: EngineConfig,
 }
 
 /// An evaluated operand: a full column or an unmaterialized scalar.
@@ -70,9 +80,15 @@ const POW10: [i64; 10] =
 const MAX_SCALE: u8 = 6;
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator over `rel`.
+    /// Creates a single-threaded evaluator over `rel`.
     pub fn new(rel: &'a Relation, prof: &'a mut WorkProfile) -> Self {
-        Self { rel, prof }
+        Self::with_config(rel, prof, EngineConfig::serial())
+    }
+
+    /// Creates an evaluator whose element-wise primitives run morsel-parallel
+    /// under `cfg`.
+    pub fn with_config(rel: &'a Relation, prof: &'a mut WorkProfile, cfg: EngineConfig) -> Self {
+        Self { rel, prof, cfg }
     }
 
     /// Evaluates `expr` to a full-length column.
@@ -110,7 +126,9 @@ impl<'a> Evaluator<'a> {
                     Ev::Col(c) => {
                         let b = c.as_bool()?;
                         self.count(n as u64, n as u64, n as u64);
-                        Ok(Ev::Col(Arc::new(Column::Bool(b.iter().map(|x| !x).collect()))))
+                        let out =
+                            par_map_concat(&self.cfg, n, |r| b[r].iter().map(|x| !x).collect());
+                        Ok(Ev::Col(Arc::new(Column::Bool(out))))
                     }
                 }
             }
@@ -139,9 +157,9 @@ impl<'a> Evaluator<'a> {
                 let v = self.eval(e)?;
                 let days = v.as_date()?;
                 self.count(days.len() as u64, days.len() as u64 * 4, days.len() as u64 * 4);
-                Ok(Ev::Col(Arc::new(Column::Int32(
-                    days.iter().map(|&d| wimpi_storage::Date32(d).year()).collect(),
-                ))))
+                Ok(Ev::Col(Arc::new(Column::Int32(par_map_concat(&self.cfg, days.len(), |r| {
+                    days[r].iter().map(|&d| wimpi_storage::Date32(d).year()).collect()
+                })))))
             }
             Expr::Substr { expr, start, len } => {
                 let v = self.eval(expr)?;
@@ -179,9 +197,11 @@ impl<'a> Evaluator<'a> {
             (Some((fa, sa)), Some((fb, sb))) => {
                 self.charge_widths(n, wl, wr, wout);
                 if op.is_comparison() {
-                    Ok(Ev::Col(Arc::new(Column::Bool(cmp_fixed(op, &fa, sa, &fb, sb, n)))))
+                    Ok(Ev::Col(Arc::new(Column::Bool(cmp_fixed(
+                        &self.cfg, op, &fa, sa, &fb, sb, n,
+                    )))))
                 } else {
-                    arith_fixed(op, &fa, sa, &fb, sb, n).map(|c| Ev::Col(Arc::new(c)))
+                    arith_fixed(&self.cfg, op, &fa, sa, &fb, sb, n).map(|c| Ev::Col(Arc::new(c)))
                 }
             }
             _ => {
@@ -189,12 +209,14 @@ impl<'a> Evaluator<'a> {
                 let fb = float_view(&r).ok_or_else(|| non_numeric(&r))?;
                 self.charge_widths(n, wl, wr, wout);
                 if op.is_comparison() {
-                    let out: Vec<bool> =
-                        (0..n).map(|i| cmp_f64(op, fa.get(i), fb.get(i))).collect();
+                    let out = par_map_concat(&self.cfg, n, |rg| {
+                        rg.map(|i| cmp_f64(op, fa.get(i), fb.get(i))).collect()
+                    });
                     Ok(Ev::Col(Arc::new(Column::Bool(out))))
                 } else {
-                    let out: Vec<f64> =
-                        (0..n).map(|i| arith_f64(op, fa.get(i), fb.get(i))).collect();
+                    let out = par_map_concat(&self.cfg, n, |rg| {
+                        rg.map(|i| arith_f64(op, fa.get(i), fb.get(i))).collect()
+                    });
                     Ok(Ev::Col(Arc::new(Column::Float64(out))))
                 }
             }
@@ -221,8 +243,12 @@ impl<'a> Evaluator<'a> {
         let b = to_mask(r)?;
         self.count(n as u64, 2 * n as u64, n as u64);
         let out: Vec<bool> = match op {
-            BinOp::And => a.iter().zip(&b).map(|(x, y)| *x && *y).collect(),
-            BinOp::Or => a.iter().zip(&b).map(|(x, y)| *x || *y).collect(),
+            BinOp::And => par_map_concat(&self.cfg, n, |r| {
+                a[r.clone()].iter().zip(&b[r]).map(|(x, y)| *x && *y).collect()
+            }),
+            BinOp::Or => par_map_concat(&self.cfg, n, |r| {
+                a[r.clone()].iter().zip(&b[r]).map(|(x, y)| *x || *y).collect()
+            }),
             _ => unreachable!("eval_logical only handles AND/OR"),
         };
         Ok(Ev::Col(Arc::new(Column::Bool(out))))
@@ -238,8 +264,9 @@ impl<'a> Evaluator<'a> {
                 let db = b.as_str()?;
                 let n = da.len();
                 self.count(n as u64, 2 * n as u64 * 4, n as u64);
-                let out: Vec<bool> =
-                    (0..n).map(|i| cmp_ord(op, da.get(i).cmp(db.get(i)))).collect();
+                let out = par_map_concat(&self.cfg, n, |r| {
+                    r.map(|i| cmp_ord(op, da.get(i).cmp(db.get(i)))).collect()
+                });
                 return Ok(Ev::Col(Arc::new(Column::Bool(out))));
             }
             _ => {
@@ -264,7 +291,10 @@ impl<'a> Evaluator<'a> {
             .collect();
         let n = d.len();
         self.count((n + d.cardinality()) as u64, n as u64 * 4, n as u64);
-        let out: Vec<bool> = d.codes().iter().map(|&c| dict_mask[c as usize]).collect();
+        let codes = d.codes();
+        let out = par_map_concat(&self.cfg, n, |r| {
+            codes[r].iter().map(|&c| dict_mask[c as usize]).collect()
+        });
         Ok(Ev::Col(Arc::new(Column::Bool(out))))
     }
 
@@ -283,7 +313,10 @@ impl<'a> Evaluator<'a> {
                 // raw strings — what MonetDB (no dictionary on text) pays;
                 // see DESIGN.md §2 on the comment-pool substitution.
                 self.count(n as u64 * (2 + pattern.len() as u64 / 4), n as u64 * 32, n as u64);
-                let out: Vec<bool> = d.codes().iter().map(|&c| dict_mask[c as usize]).collect();
+                let codes = d.codes();
+                let out = par_map_concat(&self.cfg, n, |r| {
+                    codes[r].iter().map(|&c| dict_mask[c as usize]).collect()
+                });
                 Ok(Ev::Col(Arc::new(Column::Bool(out))))
             }
         }
@@ -304,9 +337,10 @@ impl<'a> Evaluator<'a> {
                         .map(|s| wanted.contains(&s.as_str()) != negated)
                         .collect();
                     self.count((n + d.cardinality() * wanted.len()) as u64, n as u64 * 4, n as u64);
-                    Ok(Ev::Col(Arc::new(Column::Bool(
-                        d.codes().iter().map(|&c| dict_mask[c as usize]).collect(),
-                    ))))
+                    let codes = d.codes();
+                    Ok(Ev::Col(Arc::new(Column::Bool(par_map_concat(&self.cfg, n, |r| {
+                        codes[r].iter().map(|&c| dict_mask[c as usize]).collect()
+                    })))))
                 }
                 _ => {
                     let (f, scale) = fixed_view(&v).ok_or_else(|| non_numeric(&v))?;
@@ -319,8 +353,9 @@ impl<'a> Evaluator<'a> {
                         })
                         .collect::<Result<_>>()?;
                     self.count(n as u64 * wanted.len() as u64, n as u64 * 8, n as u64);
-                    let out: Vec<bool> =
-                        (0..n).map(|i| wanted.contains(&f.get(i)) != negated).collect();
+                    let out = par_map_concat(&self.cfg, n, |r| {
+                        r.map(|i| wanted.contains(&f.get(i)) != negated).collect()
+                    });
                     Ok(Ev::Col(Arc::new(Column::Bool(out))))
                 }
             },
@@ -337,15 +372,21 @@ impl<'a> Evaluator<'a> {
                 let fa = POW10[(s - sa) as usize];
                 let fb = POW10[(s - sb) as usize];
                 Column::Decimal(
-                    (0..n).map(|i| if mask[i] { a[i] * fa } else { b[i] * fb }).collect(),
+                    par_map_concat(&self.cfg, n, |r| {
+                        r.map(|i| if mask[i] { a[i] * fa } else { b[i] * fb }).collect()
+                    }),
                     s,
                 )
             }
             (Column::Int64(a), Column::Int64(b)) => {
-                Column::Int64((0..n).map(|i| if mask[i] { a[i] } else { b[i] }).collect())
+                Column::Int64(par_map_concat(&self.cfg, n, |r| {
+                    r.map(|i| if mask[i] { a[i] } else { b[i] }).collect()
+                }))
             }
             (Column::Float64(a), Column::Float64(b)) => {
-                Column::Float64((0..n).map(|i| if mask[i] { a[i] } else { b[i] }).collect())
+                Column::Float64(par_map_concat(&self.cfg, n, |r| {
+                    r.map(|i| if mask[i] { a[i] } else { b[i] }).collect()
+                }))
             }
             _ => {
                 // Mixed numeric types fall back to floats.
@@ -355,9 +396,9 @@ impl<'a> Evaluator<'a> {
                     .ok_or_else(|| EngineError::Plan("CASE branch not numeric".into()))?;
                 let fb = float_view(&tb)
                     .ok_or_else(|| EngineError::Plan("CASE branch not numeric".into()))?;
-                Column::Float64(
-                    (0..n).map(|i| if mask[i] { fa.get(i) } else { fb.get(i) }).collect(),
-                )
+                Column::Float64(par_map_concat(&self.cfg, n, |r| {
+                    r.map(|i| if mask[i] { fa.get(i) } else { fb.get(i) }).collect()
+                }))
             }
         };
         Ok(Ev::Col(Arc::new(out)))
@@ -457,11 +498,21 @@ fn cmp_ord(op: BinOp, ord: std::cmp::Ordering) -> bool {
     }
 }
 
-fn cmp_fixed(op: BinOp, a: &Fixed, sa: u8, b: &Fixed, sb: u8, n: usize) -> Vec<bool> {
+fn cmp_fixed(
+    cfg: &EngineConfig,
+    op: BinOp,
+    a: &Fixed,
+    sa: u8,
+    b: &Fixed,
+    sb: u8,
+    n: usize,
+) -> Vec<bool> {
     let s = sa.max(sb);
     let fa = POW10[(s - sa) as usize] as i128;
     let fb = POW10[(s - sb) as usize] as i128;
-    (0..n).map(|i| cmp_ord(op, (a.get(i) as i128 * fa).cmp(&(b.get(i) as i128 * fb)))).collect()
+    par_map_concat(cfg, n, |r| {
+        r.map(|i| cmp_ord(op, (a.get(i) as i128 * fa).cmp(&(b.get(i) as i128 * fb)))).collect()
+    })
 }
 
 fn cmp_f64(op: BinOp, a: f64, b: f64) -> bool {
@@ -478,16 +529,24 @@ fn arith_f64(op: BinOp, a: f64, b: f64) -> f64 {
     }
 }
 
-fn arith_fixed(op: BinOp, a: &Fixed, sa: u8, b: &Fixed, sb: u8, n: usize) -> Result<Column> {
+fn arith_fixed(
+    cfg: &EngineConfig,
+    op: BinOp,
+    a: &Fixed,
+    sa: u8,
+    b: &Fixed,
+    sb: u8,
+    n: usize,
+) -> Result<Column> {
     match op {
         BinOp::Add | BinOp::Sub => {
             let s = sa.max(sb);
             let fa = POW10[(s - sa) as usize];
             let fb = POW10[(s - sb) as usize];
             let out: Vec<i64> = if op == BinOp::Add {
-                (0..n).map(|i| a.get(i) * fa + b.get(i) * fb).collect()
+                par_map_concat(cfg, n, |r| r.map(|i| a.get(i) * fa + b.get(i) * fb).collect())
             } else {
-                (0..n).map(|i| a.get(i) * fa - b.get(i) * fb).collect()
+                par_map_concat(cfg, n, |r| r.map(|i| a.get(i) * fa - b.get(i) * fb).collect())
             };
             Ok(Column::Decimal(out, s))
         }
@@ -495,19 +554,22 @@ fn arith_fixed(op: BinOp, a: &Fixed, sa: u8, b: &Fixed, sb: u8, n: usize) -> Res
             let s = sa + sb;
             if s > MAX_SCALE {
                 let div = POW10[(s - MAX_SCALE) as usize] as i128;
-                let out: Vec<i64> =
-                    (0..n).map(|i| ((a.get(i) as i128 * b.get(i) as i128) / div) as i64).collect();
+                let out: Vec<i64> = par_map_concat(cfg, n, |r| {
+                    r.map(|i| ((a.get(i) as i128 * b.get(i) as i128) / div) as i64).collect()
+                });
                 Ok(Column::Decimal(out, MAX_SCALE))
             } else {
-                let out: Vec<i64> = (0..n).map(|i| a.get(i) * b.get(i)).collect();
+                let out: Vec<i64> =
+                    par_map_concat(cfg, n, |r| r.map(|i| a.get(i) * b.get(i)).collect());
                 Ok(Column::Decimal(out, s))
             }
         }
         BinOp::Div => {
             let da = POW10[sa as usize] as f64;
             let db = POW10[sb as usize] as f64;
-            let out: Vec<f64> =
-                (0..n).map(|i| (a.get(i) as f64 / da) / (b.get(i) as f64 / db)).collect();
+            let out: Vec<f64> = par_map_concat(cfg, n, |r| {
+                r.map(|i| (a.get(i) as f64 / da) / (b.get(i) as f64 / db)).collect()
+            });
             Ok(Column::Float64(out))
         }
         _ => unreachable!("arith_fixed on non-arithmetic"),
@@ -521,7 +583,15 @@ fn fold_scalar(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
     }
     match (fixed_scalar_any(a), fixed_scalar_any(b)) {
         (Some((Fixed::Const(ma), sa)), Some((Fixed::Const(mb), sb))) if op != BinOp::Div => {
-            let c = arith_fixed(op, &Fixed::Const(ma), sa, &Fixed::Const(mb), sb, 1)?;
+            let c = arith_fixed(
+                &EngineConfig::serial(),
+                op,
+                &Fixed::Const(ma),
+                sa,
+                &Fixed::Const(mb),
+                sb,
+                1,
+            )?;
             Ok(c.value(0))
         }
         _ => {

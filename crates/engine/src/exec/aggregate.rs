@@ -1,16 +1,20 @@
-//! Hash group-by aggregation.
+//! Hash group-by aggregation, morsel-driven.
 //!
 //! Group keys are arbitrary expressions; states are accumulated column-at-a-
-//! time (each aggregate input is evaluated once as a full column, then
-//! scattered into per-group states by group id). `avg` over an empty group
-//! yields `0.0` — SQL would say NULL, but no reproduced query aggregates an
-//! empty group (DESIGN.md §7).
+//! time. Each morsel builds a thread-local table (its own key→gid map plus
+//! per-aggregate state vectors); the partials are then merged **in morsel
+//! order**, so the global group order is exactly the serial first-appearance
+//! order and every float reduction tree depends only on the data and the
+//! morsel size — never on the thread count (bit-exact determinism; see
+//! `exec::parallel`). Decimal sums accumulate in `i128`, which is exact and
+//! order-free. `avg` over an empty group yields `0.0` — SQL would say NULL,
+//! but no reproduced query aggregates an empty group (DESIGN.md §7).
 
 use std::collections::{HashMap, HashSet};
-use std::hash::Hash;
 use std::sync::Arc;
 
 use super::key_values;
+use super::parallel::{morsel_ranges, run_morsels, EngineConfig};
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;
 use crate::plan::{AggExpr, AggFunc};
@@ -24,174 +28,336 @@ pub fn exec_aggregate(
     group_by: &[(crate::expr::Expr, String)],
     aggs: &[AggExpr],
     prof: &mut WorkProfile,
+    cfg: &EngineConfig,
 ) -> Result<Relation> {
     let n = rel.num_rows();
-    // 1. Evaluate group keys.
+    // 1. Evaluate group keys and aggregate inputs as full columns (their
+    //    element-wise primitives parallelize inside the evaluator).
     let mut key_cols: Vec<(String, Arc<Column>)> = Vec::with_capacity(group_by.len());
     for (e, name) in group_by {
-        let c = Evaluator::new(rel, prof).eval(e)?;
+        let c = Evaluator::with_config(rel, prof, *cfg).eval(e)?;
         key_cols.push((name.clone(), c));
     }
     let encoded: Vec<Vec<i64>> =
-        key_cols.iter().map(|(_, c)| key_values(c)).collect::<Result<_>>()?;
+        key_cols.iter().map(|(_, c)| key_values(c.as_ref())).collect::<Result<_>>()?;
 
-    // 2. Assign group ids.
-    let (gids, first_rows) = match encoded.len() {
-        0 => (vec![0u32; n], if n > 0 { vec![0u32] } else { vec![] }),
-        1 => assign_groups(n, |i| encoded[0][i]),
-        2 => assign_groups(n, |i| (encoded[0][i], encoded[1][i])),
-        _ => assign_groups(n, |i| encoded.iter().map(|k| k[i]).collect::<Vec<_>>()),
-    };
+    let mut input_cols: Vec<Option<Arc<Column>>> = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        input_cols.push(match (&agg.expr, agg.func) {
+            (None, AggFunc::CountStar) => None,
+            (None, f) => {
+                return Err(EngineError::Plan(format!("{f:?} requires an input expression")))
+            }
+            (Some(e), _) => Some(Evaluator::with_config(rel, prof, *cfg).eval(e)?),
+        });
+    }
+    let inputs: Vec<AggInput> = aggs
+        .iter()
+        .zip(&input_cols)
+        .map(|(agg, c)| AggInput::bind(agg.func, c.as_deref()))
+        .collect::<Result<_>>()?;
+
+    // 2. Morsel-local partial tables, then an in-order merge.
+    let ranges = morsel_ranges(n, cfg.morsel_rows);
+    let partials = run_morsels(cfg, &ranges, |_, r| {
+        let mut p = MorselAgg::new(&inputs);
+        for i in r {
+            p.push_row(i, &encoded, &inputs);
+        }
+        p
+    });
+
+    let mut gmap: HashMap<Key, u32> = HashMap::new();
+    let mut first_rows: Vec<u32> = Vec::new();
+    let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+    for partial in partials {
+        let gid_map: Vec<u32> = partial
+            .keys
+            .into_iter()
+            .zip(partial.first_rows)
+            .map(|(k, fr)| {
+                *gmap.entry(k).or_insert_with(|| {
+                    first_rows.push(fr);
+                    (first_rows.len() - 1) as u32
+                })
+            })
+            .collect();
+        for (gst, lst) in gstates.iter_mut().zip(partial.states) {
+            gst.grow_to(first_rows.len());
+            gst.merge_from(lst, &gid_map);
+        }
+    }
     let ngroups = if group_by.is_empty() { 1 } else { first_rows.len() };
+    for st in &mut gstates {
+        st.grow_to(ngroups);
+    }
 
     prof.cpu_ops += n as u64 * (1 + aggs.len() as u64);
     prof.rand_accesses += n as u64;
     prof.hash_bytes += ngroups as u64 * 32 * (group_by.len() + aggs.len()).max(1) as u64;
+    for agg in aggs {
+        if agg.func == AggFunc::CountDistinct {
+            prof.rand_accesses += n as u64;
+        }
+    }
 
-    // 3. Accumulate each aggregate.
+    // 3. Materialize output columns.
     let mut out_fields: Vec<(String, Arc<Column>)> =
         key_cols.iter().map(|(name, c)| (name.clone(), Arc::new(c.take(&first_rows)))).collect();
-    for agg in aggs {
-        let col = accumulate(rel, agg, &gids, ngroups, prof)?;
-        out_fields.push((agg.name.clone(), Arc::new(col)));
+    for (agg, st) in aggs.iter().zip(gstates) {
+        out_fields.push((agg.name.clone(), Arc::new(st.finish()?)));
     }
     prof.seq_write_bytes += out_fields.iter().map(|(_, c)| c.stream_bytes() as u64).sum::<u64>();
     Relation::new(out_fields)
 }
 
-fn assign_groups<K: Hash + Eq>(n: usize, key: impl Fn(usize) -> K) -> (Vec<u32>, Vec<u32>) {
-    let mut map: HashMap<K, u32> = HashMap::new();
-    let mut gids = Vec::with_capacity(n);
-    let mut first_rows = Vec::new();
-    for i in 0..n {
-        let gid = *map.entry(key(i)).or_insert_with(|| {
-            first_rows.push(i as u32);
-            (first_rows.len() - 1) as u32
-        });
-        gids.push(gid);
-    }
-    (gids, first_rows)
+/// A group key: the common 0/1/2-column cases avoid heap allocation.
+#[derive(Clone, Hash, PartialEq, Eq)]
+enum Key {
+    Unit,
+    One(i64),
+    Two(i64, i64),
+    Many(Vec<i64>),
 }
 
-fn accumulate(
-    rel: &Relation,
-    agg: &AggExpr,
-    gids: &[u32],
-    ngroups: usize,
-    prof: &mut WorkProfile,
-) -> Result<Column> {
-    let input = match (&agg.expr, agg.func) {
-        (None, AggFunc::CountStar) => None,
-        (None, f) => return Err(EngineError::Plan(format!("{f:?} requires an input expression"))),
-        (Some(e), _) => Some(Evaluator::new(rel, prof).eval(e)?),
-    };
-    match agg.func {
-        AggFunc::CountStar => {
-            let mut counts = vec![0i64; ngroups];
-            for &g in gids {
-                counts[g as usize] += 1;
-            }
-            Ok(Column::Int64(counts))
-        }
-        AggFunc::CountIf => {
-            let col = input.expect("checked above");
-            let mask = col.as_bool()?;
-            let mut counts = vec![0i64; ngroups];
-            for (i, &g) in gids.iter().enumerate() {
-                counts[g as usize] += i64::from(mask[i]);
-            }
-            Ok(Column::Int64(counts))
-        }
-        AggFunc::CountDistinct => {
-            let col = input.expect("checked above");
-            let enc = key_values(&col)?;
-            let mut sets: Vec<HashSet<i64>> = vec![HashSet::new(); ngroups];
-            for (i, &g) in gids.iter().enumerate() {
-                sets[g as usize].insert(enc[i]);
-            }
-            prof.rand_accesses += gids.len() as u64;
-            Ok(Column::Int64(sets.into_iter().map(|s| s.len() as i64).collect()))
-        }
-        AggFunc::Sum => {
-            let col = input.expect("checked above");
-            match &*col {
-                Column::Decimal(v, s) => {
-                    let mut acc = vec![0i128; ngroups];
-                    for (i, &g) in gids.iter().enumerate() {
-                        acc[g as usize] += v[i] as i128;
-                    }
-                    let out: Vec<i64> = acc
-                        .into_iter()
-                        .map(|x| i64::try_from(x).map_err(|_| StorageError::DecimalOverflow))
-                        .collect::<std::result::Result<_, _>>()?;
-                    Ok(Column::Decimal(out, *s))
+#[inline]
+fn key_at(encoded: &[Vec<i64>], i: usize) -> Key {
+    match encoded.len() {
+        0 => Key::Unit,
+        1 => Key::One(encoded[0][i]),
+        2 => Key::Two(encoded[0][i], encoded[1][i]),
+        _ => Key::Many(encoded.iter().map(|k| k[i]).collect()),
+    }
+}
+
+/// One aggregate's input, typed once up front so the per-row hot loop is a
+/// slice index, not a `Column` match.
+enum AggInput<'c> {
+    None,
+    Mask(&'c [bool]),
+    Encoded(Vec<i64>),
+    Dec(&'c [i64], u8),
+    I64(&'c [i64]),
+    I32(&'c [i32]),
+    SumF64(Vec<f64>),
+    Avg(Vec<f64>),
+    MinMax(&'c Column, bool),
+}
+
+impl<'c> AggInput<'c> {
+    fn bind(func: AggFunc, col: Option<&'c Column>) -> Result<AggInput<'c>> {
+        Ok(match func {
+            AggFunc::CountStar => AggInput::None,
+            AggFunc::CountIf => AggInput::Mask(col.expect("checked above").as_bool()?),
+            AggFunc::CountDistinct => AggInput::Encoded(key_values(col.expect("checked above"))?),
+            AggFunc::Sum => match col.expect("checked above") {
+                Column::Decimal(v, s) => AggInput::Dec(v, *s),
+                Column::Int64(v) => AggInput::I64(v),
+                Column::Int32(v) => AggInput::I32(v),
+                Column::Float64(v) => AggInput::SumF64(v.clone()),
+                other => {
+                    return Err(EngineError::Plan(format!(
+                        "sum over non-numeric column of type {}",
+                        other.data_type()
+                    )))
                 }
-                Column::Int64(v) => {
-                    let mut acc = vec![0i64; ngroups];
-                    for (i, &g) in gids.iter().enumerate() {
-                        acc[g as usize] += v[i];
-                    }
-                    Ok(Column::Int64(acc))
+            },
+            AggFunc::Avg => AggInput::Avg(as_f64_vec(col.expect("checked above"))?),
+            AggFunc::Min | AggFunc::Max => {
+                AggInput::MinMax(col.expect("checked above"), func == AggFunc::Min)
+            }
+        })
+    }
+}
+
+/// One morsel's thread-local partial aggregation.
+struct MorselAgg {
+    map: HashMap<Key, u32>,
+    keys: Vec<Key>,
+    first_rows: Vec<u32>,
+    states: Vec<AggState>,
+}
+
+impl MorselAgg {
+    fn new(inputs: &[AggInput]) -> Self {
+        Self {
+            map: HashMap::new(),
+            keys: Vec::new(),
+            first_rows: Vec::new(),
+            states: inputs.iter().map(AggState::empty_like).collect(),
+        }
+    }
+
+    #[inline]
+    fn push_row(&mut self, i: usize, encoded: &[Vec<i64>], inputs: &[AggInput]) {
+        let k = key_at(encoded, i);
+        let g = match self.map.get(&k) {
+            Some(&g) => g,
+            None => {
+                let g = self.keys.len() as u32;
+                self.map.insert(k.clone(), g);
+                self.keys.push(k);
+                self.first_rows.push(i as u32);
+                for st in &mut self.states {
+                    st.grow_to(g as usize + 1);
                 }
-                Column::Int32(v) => {
-                    let mut acc = vec![0i64; ngroups];
-                    for (i, &g) in gids.iter().enumerate() {
-                        acc[g as usize] += v[i] as i64;
-                    }
-                    Ok(Column::Int64(acc))
-                }
-                Column::Float64(v) => {
-                    let mut acc = vec![0f64; ngroups];
-                    for (i, &g) in gids.iter().enumerate() {
-                        acc[g as usize] += v[i];
-                    }
-                    Ok(Column::Float64(acc))
-                }
-                other => Err(EngineError::Plan(format!(
-                    "sum over non-numeric column of type {}",
-                    other.data_type()
-                ))),
+                g
+            }
+        };
+        for (st, input) in self.states.iter_mut().zip(inputs) {
+            st.push(g as usize, i, input);
+        }
+    }
+}
+
+/// Per-aggregate accumulator state, one slot per group.
+enum AggState {
+    Count(Vec<i64>),
+    Distinct(Vec<HashSet<i64>>),
+    SumDec(Vec<i128>, u8),
+    SumInt(Vec<i64>),
+    SumFloat(Vec<f64>),
+    Avg { sum: Vec<f64>, cnt: Vec<i64> },
+    MinMax { best: Vec<Option<Value>>, want_min: bool, dtype: DataType },
+}
+
+impl AggState {
+    /// An empty state matching the input/function pairing of `input`.
+    fn empty_like(input: &AggInput) -> AggState {
+        match input {
+            AggInput::None | AggInput::Mask(_) => AggState::Count(Vec::new()),
+            AggInput::Encoded(_) => AggState::Distinct(Vec::new()),
+            AggInput::Dec(_, s) => AggState::SumDec(Vec::new(), *s),
+            AggInput::I64(_) | AggInput::I32(_) => AggState::SumInt(Vec::new()),
+            AggInput::SumF64(_) => AggState::SumFloat(Vec::new()),
+            AggInput::Avg(_) => AggState::Avg { sum: Vec::new(), cnt: Vec::new() },
+            AggInput::MinMax(c, want_min) => {
+                AggState::MinMax { best: Vec::new(), want_min: *want_min, dtype: c.data_type() }
             }
         }
-        AggFunc::Avg => {
-            let col = input.expect("checked above");
-            let vals = as_f64_vec(&col)?;
-            let mut sum = vec![0f64; ngroups];
-            let mut cnt = vec![0i64; ngroups];
-            for (i, &g) in gids.iter().enumerate() {
-                sum[g as usize] += vals[i];
-                cnt[g as usize] += 1;
+    }
+
+    fn grow_to(&mut self, ngroups: usize) {
+        match self {
+            AggState::Count(v) | AggState::SumInt(v) => v.resize(ngroups, 0),
+            AggState::Distinct(v) => v.resize_with(ngroups, HashSet::new),
+            AggState::SumDec(v, _) => v.resize(ngroups, 0),
+            AggState::SumFloat(v) => v.resize(ngroups, 0.0),
+            AggState::Avg { sum, cnt } => {
+                sum.resize(ngroups, 0.0);
+                cnt.resize(ngroups, 0);
             }
-            Ok(Column::Float64(
+            AggState::MinMax { best, .. } => best.resize(ngroups, None),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, g: usize, i: usize, input: &AggInput) {
+        match (self, input) {
+            (AggState::Count(v), AggInput::None) => v[g] += 1,
+            (AggState::Count(v), AggInput::Mask(m)) => v[g] += i64::from(m[i]),
+            (AggState::Distinct(v), AggInput::Encoded(e)) => {
+                v[g].insert(e[i]);
+            }
+            (AggState::SumDec(v, _), AggInput::Dec(m, _)) => v[g] += m[i] as i128,
+            (AggState::SumInt(v), AggInput::I64(x)) => v[g] += x[i],
+            (AggState::SumInt(v), AggInput::I32(x)) => v[g] += x[i] as i64,
+            (AggState::SumFloat(v), AggInput::SumF64(x)) => v[g] += x[i],
+            (AggState::Avg { sum, cnt }, AggInput::Avg(x)) => {
+                sum[g] += x[i];
+                cnt[g] += 1;
+            }
+            (AggState::MinMax { best, want_min, .. }, AggInput::MinMax(c, _)) => {
+                let v = c.value(i);
+                Self::consider(&mut best[g], v, *want_min);
+            }
+            _ => unreachable!("state/input pairing fixed at bind time"),
+        }
+    }
+
+    #[inline]
+    fn consider(slot: &mut Option<Value>, v: Value, want_min: bool) {
+        let replace = match slot {
+            None => true,
+            Some(cur) => {
+                let ord = v.total_cmp(cur);
+                if want_min {
+                    ord.is_lt()
+                } else {
+                    ord.is_gt()
+                }
+            }
+        };
+        if replace {
+            *slot = Some(v);
+        }
+    }
+
+    /// Folds a morsel-local state into this global one; `gid_map` maps local
+    /// group ids to global ones. Merging in morsel order keeps float sums
+    /// and min/max tie-breaks identical to the serial scan.
+    fn merge_from(&mut self, other: AggState, gid_map: &[u32]) {
+        match (self, other) {
+            (AggState::Count(g), AggState::Count(l))
+            | (AggState::SumInt(g), AggState::SumInt(l)) => {
+                for (lg, x) in l.into_iter().enumerate() {
+                    g[gid_map[lg] as usize] += x;
+                }
+            }
+            (AggState::Distinct(g), AggState::Distinct(l)) => {
+                for (lg, set) in l.into_iter().enumerate() {
+                    g[gid_map[lg] as usize].extend(set);
+                }
+            }
+            (AggState::SumDec(g, _), AggState::SumDec(l, _)) => {
+                for (lg, x) in l.into_iter().enumerate() {
+                    g[gid_map[lg] as usize] += x;
+                }
+            }
+            (AggState::SumFloat(g), AggState::SumFloat(l)) => {
+                for (lg, x) in l.into_iter().enumerate() {
+                    g[gid_map[lg] as usize] += x;
+                }
+            }
+            (AggState::Avg { sum: gs, cnt: gc }, AggState::Avg { sum: ls, cnt: lc }) => {
+                for (lg, (s, c)) in ls.into_iter().zip(lc).enumerate() {
+                    gs[gid_map[lg] as usize] += s;
+                    gc[gid_map[lg] as usize] += c;
+                }
+            }
+            (AggState::MinMax { best: g, want_min, .. }, AggState::MinMax { best: l, .. }) => {
+                let want_min = *want_min;
+                for (lg, v) in l.into_iter().enumerate() {
+                    if let Some(v) = v {
+                        Self::consider(&mut g[gid_map[lg] as usize], v, want_min);
+                    }
+                }
+            }
+            _ => unreachable!("partials share one state layout"),
+        }
+    }
+
+    fn finish(self) -> Result<Column> {
+        match self {
+            AggState::Count(v) | AggState::SumInt(v) => Ok(Column::Int64(v)),
+            AggState::Distinct(v) => {
+                Ok(Column::Int64(v.into_iter().map(|s| s.len() as i64).collect()))
+            }
+            AggState::SumDec(v, s) => {
+                let out: Vec<i64> = v
+                    .into_iter()
+                    .map(|x| i64::try_from(x).map_err(|_| StorageError::DecimalOverflow))
+                    .collect::<std::result::Result<_, _>>()?;
+                Ok(Column::Decimal(out, s))
+            }
+            AggState::SumFloat(v) => Ok(Column::Float64(v)),
+            AggState::Avg { sum, cnt } => Ok(Column::Float64(
                 sum.iter()
                     .zip(&cnt)
                     .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
                     .collect(),
-            ))
-        }
-        AggFunc::Min | AggFunc::Max => {
-            let col = input.expect("checked above");
-            let want_min = agg.func == AggFunc::Min;
-            let mut best: Vec<Option<Value>> = vec![None; ngroups];
-            for (i, &g) in gids.iter().enumerate() {
-                let v = col.value(i);
-                let slot = &mut best[g as usize];
-                let replace = match slot {
-                    None => true,
-                    Some(cur) => {
-                        let ord = v.total_cmp(cur);
-                        if want_min {
-                            ord.is_lt()
-                        } else {
-                            ord.is_gt()
-                        }
-                    }
-                };
-                if replace {
-                    *slot = Some(v);
-                }
-            }
-            column_from_values(col.data_type(), best)
+            )),
+            AggState::MinMax { best, dtype, .. } => column_from_values(dtype, best),
         }
     }
 }
@@ -264,6 +430,15 @@ fn column_from_values(dtype: DataType, vals: Vec<Option<Value>>) -> Result<Colum
 mod tests {
     use super::*;
     use crate::expr::col;
+
+    fn exec_aggregate(
+        rel: &Relation,
+        group_by: &[(crate::expr::Expr, String)],
+        aggs: &[AggExpr],
+        prof: &mut WorkProfile,
+    ) -> Result<Relation> {
+        super::exec_aggregate(rel, group_by, aggs, prof, &EngineConfig::serial())
+    }
 
     fn rel() -> Relation {
         Relation::new(vec![
@@ -355,5 +530,40 @@ mod tests {
         let f = out.column("s").unwrap().as_f64().unwrap();
         assert!((f[0] - 8.0).abs() < 1e-9);
         assert!((f[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_morsel_merge_matches_serial() {
+        // A relation wide enough to span many tiny morsels; group keys cycle
+        // so every morsel sees every group. Parallel runs (2 and 4 threads,
+        // 7-row morsels) must be bit-identical to the serial result —
+        // including group order and the profile counters.
+        let n = 100i64;
+        let rel = Relation::new(vec![
+            ("g".into(), Arc::new(Column::Int64((0..n).map(|i| i % 5).collect()))),
+            ("d".into(), Arc::new(Column::Decimal((0..n).map(|i| i * 7).collect(), 2))),
+            ("f".into(), Arc::new(Column::Float64((0..n).map(|i| i as f64 * 0.31).collect()))),
+        ])
+        .unwrap();
+        let group = vec![(col("g"), "g".to_string())];
+        let aggs = vec![
+            AggExpr::sum(col("d"), "sd"),
+            AggExpr::sum(col("f"), "sf"),
+            AggExpr::avg(col("f"), "af"),
+            AggExpr::min(col("d"), "lo"),
+            AggExpr::max(col("f"), "hi"),
+            AggExpr::count_star("n"),
+            AggExpr::count_distinct(col("d"), "u"),
+        ];
+        let base_cfg = EngineConfig::serial().with_morsel_rows(7);
+        let mut base_prof = WorkProfile::new();
+        let base = super::exec_aggregate(&rel, &group, &aggs, &mut base_prof, &base_cfg).unwrap();
+        for threads in [2, 4] {
+            let cfg = EngineConfig::with_threads(threads).with_morsel_rows(7);
+            let mut prof = WorkProfile::new();
+            let out = super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg).unwrap();
+            assert_eq!(out, base, "parallel aggregate diverged at {threads} threads");
+            assert_eq!(prof, base_prof, "profile counters diverged at {threads} threads");
+        }
     }
 }

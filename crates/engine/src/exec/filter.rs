@@ -13,22 +13,45 @@ use std::sync::Arc;
 
 use crate::error::Result;
 use crate::eval::Evaluator;
+use crate::exec::parallel::EngineConfig;
 use crate::expr::Expr;
 use crate::optimizer::split_conjuncts;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
-use wimpi_storage::selection;
+use wimpi_storage::{selection, Column};
 
 /// Evaluates `predicate` with candidate propagation, then gathers the
 /// surviving rows of every column.
-pub fn exec_filter(rel: &Relation, predicate: &Expr, prof: &mut WorkProfile) -> Result<Relation> {
+pub fn exec_filter(
+    rel: &Relation,
+    predicate: &Expr,
+    prof: &mut WorkProfile,
+    cfg: &EngineConfig,
+) -> Result<Relation> {
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate.clone(), &mut conjuncts);
     let mut sel: Option<Vec<u32>> = None;
     for conjunct in conjuncts {
+        let needed: BTreeSet<String> = conjunct.column_set();
+        if needed.is_empty() {
+            // Constant conjunct: evaluate it once on a 1-row dummy relation
+            // instead of gathering (or repeating over) full columns. A false
+            // constant empties the selection; a true one is a no-op.
+            let one = Relation::new(vec![("__const".into(), Arc::new(Column::Bool(vec![true])))])?;
+            prof.cpu_ops += 1;
+            let keep = Evaluator::new(&one, prof).eval_mask(&conjunct)?[0];
+            if !keep {
+                sel = Some(Vec::new());
+                break;
+            }
+            if sel.is_none() {
+                sel = Some(selection::identity(rel.num_rows()));
+            }
+            continue;
+        }
         match sel.take() {
             None => {
-                let mask = Evaluator::new(rel, prof).eval_mask(&conjunct)?;
+                let mask = Evaluator::with_config(rel, prof, *cfg).eval_mask(&conjunct)?;
                 sel = Some(selection::from_mask(&mask));
             }
             Some(candidates) => {
@@ -38,7 +61,6 @@ pub fn exec_filter(rel: &Relation, predicate: &Expr, prof: &mut WorkProfile) -> 
                 }
                 // Gather only the columns this conjunct touches, only for
                 // the surviving candidates.
-                let needed: BTreeSet<String> = conjunct.column_set();
                 let fields = rel
                     .fields()
                     .iter()
@@ -49,10 +71,14 @@ pub fn exec_filter(rel: &Relation, predicate: &Expr, prof: &mut WorkProfile) -> 
                 prof.seq_read_bytes += sub.stream_bytes() as u64;
                 prof.seq_write_bytes += sub.stream_bytes() as u64;
                 prof.cpu_ops += candidates.len() as u64;
-                let mask = Evaluator::new(&sub, prof).eval_mask(&conjunct)?;
-                sel = Some(
-                    candidates.iter().zip(&mask).filter(|(_, &m)| m).map(|(&i, _)| i).collect(),
-                );
+                let mask = Evaluator::with_config(&sub, prof, *cfg).eval_mask(&conjunct)?;
+                let mut kept = Vec::with_capacity(candidates.len());
+                for (&i, &m) in candidates.iter().zip(&mask) {
+                    if m {
+                        kept.push(i);
+                    }
+                }
+                sel = Some(kept);
             }
         }
     }
@@ -83,6 +109,10 @@ mod tests {
     use crate::expr::{col, lit};
     use std::sync::Arc;
     use wimpi_storage::Column;
+
+    fn exec_filter(rel: &Relation, pred: &Expr, prof: &mut WorkProfile) -> Result<Relation> {
+        super::exec_filter(rel, pred, prof, &EngineConfig::serial())
+    }
 
     fn rel() -> Relation {
         Relation::new(vec![
@@ -141,6 +171,26 @@ mod tests {
         let out = exec_filter(&rel(), &pred, &mut p).unwrap();
         assert_eq!(out.num_rows(), 0);
         assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn constant_conjuncts_keep_or_clear_candidates() {
+        // A later conjunct with an empty column set must not silently drop
+        // the surviving candidates (it used to build a 0-row sub-relation
+        // whose empty mask zipped everything away).
+        let mut p = WorkProfile::new();
+        let pred = col("k").gt(lit(1i64)).and(lit(true));
+        let out = exec_filter(&rel(), &pred, &mut p).unwrap();
+        assert_eq!(out.column("k").unwrap().as_i64().unwrap(), &[2, 3, 4]);
+
+        let pred = col("k").gt(lit(1i64)).and(lit(false));
+        let out = exec_filter(&rel(), &pred, &mut p).unwrap();
+        assert_eq!(out.num_rows(), 0);
+
+        // Constant-first conjunctions skip the full-column evaluation too.
+        let pred = Expr::Lit(wimpi_storage::Value::Bool(true)).and(col("k").lt(lit(3i64)));
+        let out = exec_filter(&rel(), &pred, &mut p).unwrap();
+        assert_eq!(out.column("k").unwrap().as_i64().unwrap(), &[1, 2]);
     }
 
     #[test]

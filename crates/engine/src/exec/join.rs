@@ -1,15 +1,25 @@
-//! Hash equi-joins: inner, semi, anti, and left outer.
+//! Hash equi-joins: inner, semi, anti, and left outer — morsel-driven.
 //!
 //! The right input is the build side (query authors put the smaller relation
 //! there, as the TPC-H plans in `wimpi-queries` do). Duplicate build keys are
 //! handled with the classic head+next chain layout, avoiding per-key
 //! allocations.
+//!
+//! Parallel runs partition the build by a deterministic key hash: each
+//! partition owner scans all build keys and inserts only its own rows, in
+//! global row order, so every chain is laid out exactly as the serial build
+//! would lay it out (most-recent-first). The probe then walks left-side
+//! morsels independently and the per-morsel selections are concatenated in
+//! morsel order — the output row order is bit-identical to the serial join
+//! at any thread count (see `exec::parallel`).
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::ops::Range;
 use std::sync::Arc;
 
 use super::key_values;
+use super::parallel::{morsel_ranges, run_morsels, EngineConfig};
 use crate::error::{EngineError, Result};
 use crate::plan::JoinType;
 use crate::relation::Relation;
@@ -28,6 +38,7 @@ pub fn exec_join(
     on: &[(String, String)],
     join_type: JoinType,
     prof: &mut WorkProfile,
+    cfg: &EngineConfig,
 ) -> Result<Relation> {
     if on.is_empty() {
         return Err(EngineError::Plan("join requires at least one key".to_string()));
@@ -44,13 +55,21 @@ pub fn exec_join(
         }
     }
     let lkeys: Vec<Vec<i64>> =
-        on.iter().map(|(l, _)| key_values(left.column(l)?)).collect::<Result<_>>()?;
+        on.iter().map(|(l, _)| key_values(left.column(l)?.as_ref())).collect::<Result<_>>()?;
     let rkeys: Vec<Vec<i64>> =
-        on.iter().map(|(_, r)| key_values(right.column(r)?)).collect::<Result<_>>()?;
+        on.iter().map(|(_, r)| key_values(right.column(r)?.as_ref())).collect::<Result<_>>()?;
 
     let (lsel, rsel) = match on.len() {
-        1 => probe(left.num_rows(), right.num_rows(), |i| lkeys[0][i], |i| rkeys[0][i], join_type),
+        1 => probe(
+            cfg,
+            left.num_rows(),
+            right.num_rows(),
+            |i| lkeys[0][i],
+            |i| rkeys[0][i],
+            join_type,
+        ),
         2 => probe(
+            cfg,
             left.num_rows(),
             right.num_rows(),
             |i| (lkeys[0][i], lkeys[1][i]),
@@ -58,6 +77,7 @@ pub fn exec_join(
             join_type,
         ),
         _ => probe(
+            cfg,
             left.num_rows(),
             right.num_rows(),
             |i| lkeys.iter().map(|k| k[i]).collect::<Vec<_>>(),
@@ -67,7 +87,8 @@ pub fn exec_join(
     };
 
     // Work: build inserts + probe lookups are random accesses; the build
-    // table footprint informs the LLC model.
+    // table footprint informs the LLC model. Charged once from global row
+    // counts, so parallel and serial runs record identical profiles.
     prof.rand_accesses += (left.num_rows() + right.num_rows()) as u64;
     prof.cpu_ops += 2 * (left.num_rows() + right.num_rows()) as u64;
     prof.hash_bytes += right.num_rows() as u64 * 16 * on.len() as u64;
@@ -97,67 +118,151 @@ pub fn exec_join(
     Ok(out)
 }
 
-/// Builds on the right, probes with the left. Returns selected row ids per
-/// side; for semi/anti the right vector is empty; for left outer, unmatched
-/// right slots hold `NONE_ROW`.
-fn probe<K: Hash + Eq>(
-    nleft: usize,
-    nright: usize,
-    lkey: impl Fn(usize) -> K,
-    rkey: impl Fn(usize) -> K,
+/// Deterministic key→partition assignment, identical on every thread.
+/// `DefaultHasher::new()` uses fixed SipHash keys (unlike a `HashMap`'s
+/// per-instance `RandomState`), which the chain-layout determinism relies on.
+#[inline]
+fn partition_of<K: Hash>(k: &K, nparts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() % nparts as u64) as usize
+}
+
+/// Appends the (left, right) output rows that left row `i` contributes given
+/// its head-chain hit — the per-row core shared by the serial and parallel
+/// probes.
+#[inline]
+fn emit_row(
+    i: usize,
+    hit: Option<u32>,
+    next: &[u32],
     join_type: JoinType,
-) -> (Vec<u32>, Vec<u32>) {
-    // head: key -> most recent build row; next: chain through earlier rows.
-    let mut head: HashMap<K, u32> = HashMap::with_capacity(nright * 2);
-    let mut next: Vec<u32> = vec![NONE_ROW; nright];
-    #[allow(clippy::needless_range_loop)] // `i` is the row id being chained
-    for i in 0..nright {
-        match head.entry(rkey(i)) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                next[i] = *e.get();
-                *e.get_mut() = i as u32;
+    lsel: &mut Vec<u32>,
+    rsel: &mut Vec<u32>,
+) {
+    match join_type {
+        JoinType::Inner => {
+            let mut cur = hit;
+            while let Some(r) = cur {
+                lsel.push(i as u32);
+                rsel.push(r);
+                cur = (next[r as usize] != NONE_ROW).then(|| next[r as usize]);
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(i as u32);
+        }
+        JoinType::Semi => {
+            if hit.is_some() {
+                lsel.push(i as u32);
+            }
+        }
+        JoinType::Anti => {
+            if hit.is_none() {
+                lsel.push(i as u32);
+            }
+        }
+        JoinType::LeftOuter => {
+            let mut cur = hit;
+            if cur.is_none() {
+                lsel.push(i as u32);
+                rsel.push(NONE_ROW);
+            }
+            while let Some(r) = cur {
+                lsel.push(i as u32);
+                rsel.push(r);
+                cur = (next[r as usize] != NONE_ROW).then(|| next[r as usize]);
             }
         }
     }
-    let mut lsel = Vec::new();
-    let mut rsel = Vec::new();
-    for i in 0..nleft {
-        let hit = head.get(&lkey(i)).copied();
-        match join_type {
-            JoinType::Inner => {
-                let mut cur = hit;
-                while let Some(r) = cur {
-                    lsel.push(i as u32);
-                    rsel.push(r);
-                    cur = (next[r as usize] != NONE_ROW).then(|| next[r as usize]);
+}
+
+/// Builds on the right, probes with the left. Returns selected row ids per
+/// side; for semi/anti the right vector is empty; for left outer, unmatched
+/// right slots hold `NONE_ROW`.
+fn probe<K: Hash + Eq + Send + Sync>(
+    cfg: &EngineConfig,
+    nleft: usize,
+    nright: usize,
+    lkey: impl Fn(usize) -> K + Sync,
+    rkey: impl Fn(usize) -> K + Sync,
+    join_type: JoinType,
+) -> (Vec<u32>, Vec<u32>) {
+    if cfg.threads <= 1 {
+        // Serial fast path: one build map, one probe scan.
+        // head: key -> most recent build row; next: chain through earlier rows.
+        let mut head: HashMap<K, u32> = HashMap::with_capacity(nright * 2);
+        let mut next: Vec<u32> = vec![NONE_ROW; nright];
+        #[allow(clippy::needless_range_loop)] // `i` is the row id being chained
+        for i in 0..nright {
+            match head.entry(rkey(i)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    next[i] = *e.get();
+                    *e.get_mut() = i as u32;
                 }
-            }
-            JoinType::Semi => {
-                if hit.is_some() {
-                    lsel.push(i as u32);
-                }
-            }
-            JoinType::Anti => {
-                if hit.is_none() {
-                    lsel.push(i as u32);
-                }
-            }
-            JoinType::LeftOuter => {
-                let mut cur = hit;
-                if cur.is_none() {
-                    lsel.push(i as u32);
-                    rsel.push(NONE_ROW);
-                }
-                while let Some(r) = cur {
-                    lsel.push(i as u32);
-                    rsel.push(r);
-                    cur = (next[r as usize] != NONE_ROW).then(|| next[r as usize]);
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i as u32);
                 }
             }
         }
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        for i in 0..nleft {
+            emit_row(i, head.get(&lkey(i)).copied(), &next, join_type, &mut lsel, &mut rsel);
+        }
+        return (lsel, rsel);
+    }
+
+    // Partitioned parallel build: partition owner `p` scans every build key
+    // and inserts only the rows hashing to `p`, in global row order — all
+    // rows of one key share a partition, so each chain is laid out exactly
+    // as the serial build lays it out.
+    let nparts = cfg.threads;
+    let part_ranges: Vec<Range<usize>> = (0..nparts).map(|p| p..p + 1).collect();
+    let built = run_morsels(cfg, &part_ranges, |p, _| {
+        let mut head: HashMap<K, u32> = HashMap::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for i in 0..nright {
+            let k = rkey(i);
+            if partition_of(&k, nparts) != p {
+                continue;
+            }
+            match head.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    edges.push((i as u32, *e.get()));
+                    *e.get_mut() = i as u32;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i as u32);
+                }
+            }
+        }
+        (head, edges)
+    });
+    let mut next: Vec<u32> = vec![NONE_ROW; nright];
+    let mut heads: Vec<HashMap<K, u32>> = Vec::with_capacity(nparts);
+    for (head, edges) in built {
+        for (row, prev) in edges {
+            next[row as usize] = prev;
+        }
+        heads.push(head);
+    }
+
+    // Morsel-parallel probe; per-morsel selections concatenate in morsel
+    // order, reproducing the serial output order.
+    let probe_ranges = morsel_ranges(nleft, cfg.morsel_rows);
+    let parts = run_morsels(cfg, &probe_ranges, |_, r| {
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        for i in r {
+            let k = lkey(i);
+            let hit = heads[partition_of(&k, nparts)].get(&k).copied();
+            emit_row(i, hit, &next, join_type, &mut lsel, &mut rsel);
+        }
+        (lsel, rsel)
+    });
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
+    for (l, r) in parts {
+        lsel.extend(l);
+        rsel.extend(r);
     }
     (lsel, rsel)
 }
@@ -209,7 +314,7 @@ mod tests {
         let on: Vec<(String, String)> =
             on.into_iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
         let mut p = WorkProfile::new();
-        exec_join(l, r, &on, jt, &mut p).unwrap()
+        exec_join(l, r, &on, jt, &mut p, &EngineConfig::serial()).unwrap()
     }
 
     #[test]
@@ -267,8 +372,39 @@ mod tests {
                 .unwrap();
         let r = rel(vec![("rk", vec![1])]);
         let mut p = WorkProfile::new();
-        let err =
-            exec_join(&l, &r, &[("s".to_string(), "rk".to_string())], JoinType::Inner, &mut p);
+        let err = exec_join(
+            &l,
+            &r,
+            &[("s".to_string(), "rk".to_string())],
+            JoinType::Inner,
+            &mut p,
+            &EngineConfig::serial(),
+        );
         assert!(matches!(err, Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_exactly() {
+        // Duplicate keys on both sides so chain layout and duplicate
+        // expansion order are exercised; tiny morsels force multi-morsel
+        // probes. All join types must be bit-identical to serial.
+        let n = 200i64;
+        let l = rel(vec![("lk", (0..n).map(|i| i % 17).collect()), ("lv", (0..n).collect())]);
+        let r = rel(vec![
+            ("rk", (0..60).map(|i| i % 23).collect()),
+            ("rv", (0..60).map(|i| i * 3).collect()),
+        ]);
+        for jt in [JoinType::Inner, JoinType::Semi, JoinType::Anti, JoinType::LeftOuter] {
+            let on = [("lk".to_string(), "rk".to_string())];
+            let mut sp = WorkProfile::new();
+            let serial = exec_join(&l, &r, &on, jt, &mut sp, &EngineConfig::serial()).unwrap();
+            for threads in [2, 4] {
+                let cfg = EngineConfig::with_threads(threads).with_morsel_rows(13);
+                let mut pp = WorkProfile::new();
+                let par = exec_join(&l, &r, &on, jt, &mut pp, &cfg).unwrap();
+                assert_eq!(par, serial, "{jt:?} diverged at {threads} threads");
+                assert_eq!(pp, sp, "{jt:?} profile diverged at {threads} threads");
+            }
+        }
     }
 }

@@ -5,22 +5,33 @@
 pub mod aggregate;
 pub mod filter;
 pub mod join;
+pub mod parallel;
 pub mod sort;
-
-use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;
 use crate::plan::LogicalPlan;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
+use parallel::EngineConfig;
 use wimpi_storage::Catalog;
 
-/// Executes a plan against a catalog, returning the result relation and the
-/// work performed.
+/// Executes a plan serially — today's default; identical to
+/// [`execute_with`] under [`EngineConfig::serial`].
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<(Relation, WorkProfile)> {
+    execute_with(plan, catalog, &EngineConfig::serial())
+}
+
+/// Executes a plan against a catalog under an execution configuration,
+/// returning the result relation and the work performed. Results and work
+/// profiles are bit-identical at any thread count (see [`parallel`]).
+pub fn execute_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<(Relation, WorkProfile)> {
     let mut prof = WorkProfile::new();
-    let rel = exec_node(plan, catalog, &mut prof)?;
+    let rel = exec_node(plan, catalog, &mut prof, cfg)?;
     prof.rows_out = rel.num_rows() as u64;
     Ok((rel, prof))
 }
@@ -30,6 +41,7 @@ pub(crate) fn exec_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
     prof: &mut WorkProfile,
+    cfg: &EngineConfig,
 ) -> Result<Relation> {
     match plan {
         LogicalPlan::Scan { table, projection } => {
@@ -39,12 +51,12 @@ pub(crate) fn exec_node(
             Ok(rel)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rel = exec_node(input, catalog, prof)?;
-            filter::exec_filter(&rel, predicate, prof)
+            let rel = exec_node(input, catalog, prof, cfg)?;
+            filter::exec_filter(&rel, predicate, prof, cfg)
         }
         LogicalPlan::Project { input, exprs } => {
-            let rel = exec_node(input, catalog, prof)?;
-            let mut ev = Evaluator::new(&rel, prof);
+            let rel = exec_node(input, catalog, prof, cfg)?;
+            let mut ev = Evaluator::with_config(&rel, prof, *cfg);
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
                 fields.push((name.clone(), ev.eval(e)?));
@@ -55,20 +67,20 @@ pub(crate) fn exec_node(
             Relation::new(fields)
         }
         LogicalPlan::Join { left, right, on, join_type } => {
-            let l = exec_node(left, catalog, prof)?;
-            let r = exec_node(right, catalog, prof)?;
-            join::exec_join(&l, &r, on, *join_type, prof)
+            let l = exec_node(left, catalog, prof, cfg)?;
+            let r = exec_node(right, catalog, prof, cfg)?;
+            join::exec_join(&l, &r, on, *join_type, prof, cfg)
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
-            let rel = exec_node(input, catalog, prof)?;
-            aggregate::exec_aggregate(&rel, group_by, aggs, prof)
+            let rel = exec_node(input, catalog, prof, cfg)?;
+            aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg)
         }
         LogicalPlan::Sort { input, keys } => {
-            let rel = exec_node(input, catalog, prof)?;
+            let rel = exec_node(input, catalog, prof, cfg)?;
             sort::exec_sort(&rel, keys, prof)
         }
         LogicalPlan::Limit { input, n } => {
-            let rel = exec_node(input, catalog, prof)?;
+            let rel = exec_node(input, catalog, prof, cfg)?;
             let keep = rel.num_rows().min(*n);
             let sel: Vec<u32> = (0..keep as u32).collect();
             Ok(rel.take(&sel))
@@ -81,9 +93,9 @@ pub(crate) fn exec_node(
 /// Strings use their dictionary codes (valid for grouping within one column;
 /// joins on strings are rejected at a higher level), decimals their
 /// mantissas, floats their IEEE bits — all injective encodings.
-pub(crate) fn key_values(col: &Arc<wimpi_storage::Column>) -> Result<Vec<i64>> {
+pub(crate) fn key_values(col: &wimpi_storage::Column) -> Result<Vec<i64>> {
     use wimpi_storage::Column;
-    Ok(match &**col {
+    Ok(match col {
         Column::Int64(v) => v.clone(),
         Column::Int32(v) => v.iter().map(|&x| x as i64).collect(),
         Column::Date(v) => v.iter().map(|&x| x as i64).collect(),

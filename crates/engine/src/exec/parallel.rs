@@ -1,0 +1,214 @@
+//! Morsel-driven parallel execution: a small work-stealing pool over fixed
+//! ~64K-row morsels (Leis et al., SIGMOD 2014), built on `std::thread::scope`
+//! and per-worker crossbeam-style deques (implemented here with
+//! `Mutex<VecDeque>` — the build environment cannot reach crates.io).
+//!
+//! ## Determinism contract
+//!
+//! Morsel boundaries come from [`morsel_ranges`] and depend only on the row
+//! count and `morsel_rows` — never on the thread count. Workers race over
+//! *which* morsel they execute, but every per-morsel result is a pure
+//! function of its input range, and [`run_morsels`] returns results in
+//! morsel-index order. Any reduction the caller performs over that ordered
+//! vector (float sums included) is therefore bit-identical at 1, 2, or 64
+//! threads. Changing `morsel_rows` may move float reduction boundaries;
+//! changing `threads` never does.
+//!
+//! Work counters are charged once per kernel from global row counts (not
+//! per-worker), so a parallel run reports exactly the serial totals; see
+//! [`crate::stats::WorkProfile::merge`] for combining profiles that were
+//! accumulated independently.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+pub use wimpi_storage::morsel::{morsel_ranges, DEFAULT_MORSEL_ROWS};
+
+/// Execution-wide knobs for the morsel-driven engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for parallel kernels. `1` runs every kernel inline on
+    /// the calling thread — byte-for-byte today's serial engine.
+    pub threads: usize,
+    /// Rows per morsel. Fixed boundaries are what make parallel runs
+    /// bit-exact with serial ones; see the module docs before changing this
+    /// mid-comparison.
+    pub morsel_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+}
+
+impl EngineConfig {
+    /// Single-threaded execution (the pre-parallel engine, exactly).
+    pub fn serial() -> Self {
+        Self { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// A config with `threads` workers and the default morsel size.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// Overrides the morsel size (mainly for tests, which shrink it to
+    /// exercise multi-morsel paths on small data).
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.morsel_rows = morsel_rows.max(1);
+        self
+    }
+}
+
+/// Runs `f` over every morsel, returning results in morsel-index order.
+///
+/// With one worker (or one morsel) everything runs inline. Otherwise morsel
+/// indices are dealt round-robin into per-worker deques; each worker pops
+/// its own deque LIFO (cache-warm) and steals FIFO from the others (coldest
+/// first) when its deque drains. Jobs are only enqueued before the workers
+/// start, so an empty sweep over all deques means the pool is done.
+pub(crate) fn run_morsels<T, F>(cfg: &EngineConfig, ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let nworkers = cfg.threads.min(ranges.len()).max(1);
+    if nworkers == 1 {
+        return ranges.iter().enumerate().map(|(i, r)| f(i, r.clone())).collect();
+    }
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..ranges.len() {
+        deques[i % nworkers].lock().unwrap().push_back(i);
+    }
+    let deques = &deques;
+    let f = &f;
+    let mut partials: Vec<Vec<(usize, T)>> = Vec::with_capacity(nworkers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let job = deques[w].lock().unwrap().pop_back().or_else(|| {
+                            (1..nworkers).find_map(|d| {
+                                deques[(w + d) % nworkers].lock().unwrap().pop_front()
+                            })
+                        });
+                        match job {
+                            Some(i) => done.push((i, f(i, ranges[i].clone()))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("morsel worker panicked"));
+        }
+    });
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    for (i, t) in partials.into_iter().flatten() {
+        debug_assert!(results[i].is_none(), "morsel {i} executed twice");
+        results[i] = Some(t);
+    }
+    results.into_iter().map(|t| t.expect("every morsel executed exactly once")).collect()
+}
+
+/// Maps `f` over morsels of `0..n` and concatenates the per-morsel vectors
+/// in morsel order — the workhorse for element-wise kernels, whose output
+/// under any chunking equals the single-chunk output.
+///
+/// The serial/small case calls `f(0..n)` once: zero allocation or dispatch
+/// overhead relative to the pre-parallel engine.
+pub(crate) fn par_map_concat<T, F>(cfg: &EngineConfig, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    if cfg.threads <= 1 || n <= cfg.morsel_rows {
+        return f(0..n);
+    }
+    let parts = run_morsels(cfg, &morsel_ranges(n, cfg.morsel_rows), |_, r| f(r));
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_config_reproduces_defaults() {
+        assert_eq!(EngineConfig::serial().threads, 1);
+        assert_eq!(EngineConfig::serial().morsel_rows, DEFAULT_MORSEL_ROWS);
+        assert_eq!(EngineConfig::with_threads(0).threads, 1, "threads clamp to 1");
+    }
+
+    #[test]
+    fn every_morsel_runs_exactly_once_in_order() {
+        let cfg = EngineConfig::with_threads(4).with_morsel_rows(10);
+        let ranges = morsel_ranges(1000, 10);
+        let calls = AtomicUsize::new(0);
+        let out = run_morsels(&cfg, &ranges, |i, r| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (i, r.start, r.end)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        for (i, (idx, start, end)) in out.iter().enumerate() {
+            assert_eq!(*idx, i, "results in morsel order");
+            assert_eq!((*start, *end), (i * 10, (i + 1) * 10));
+        }
+    }
+
+    #[test]
+    fn par_map_concat_matches_serial_map() {
+        let serial = EngineConfig::serial().with_morsel_rows(7);
+        let parallel = EngineConfig::with_threads(4).with_morsel_rows(7);
+        let f = |r: std::ops::Range<usize>| -> Vec<u64> { r.map(|i| (i as u64) * 3 + 1).collect() };
+        for n in [0usize, 1, 6, 7, 8, 100, 1023] {
+            assert_eq!(par_map_concat(&serial, n, f), par_map_concat(&parallel, n, f), "n={n}");
+        }
+    }
+
+    #[test]
+    fn float_reductions_identical_across_thread_counts() {
+        // The determinism contract: per-morsel float partials merged in
+        // morsel order are bit-identical whatever the worker count.
+        let data: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sum_with = |threads: usize| -> f64 {
+            let cfg = EngineConfig::with_threads(threads).with_morsel_rows(64);
+            let parts = run_morsels(&cfg, &morsel_ranges(data.len(), 64), |_, r| {
+                data[r].iter().sum::<f64>()
+            });
+            parts.into_iter().sum()
+        };
+        let s1 = sum_with(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(s1.to_bits(), sum_with(t).to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn stealing_drains_uneven_work() {
+        // One slow morsel must not serialize the rest: all work completes
+        // and results stay ordered even with pathological imbalance.
+        let cfg = EngineConfig::with_threads(4).with_morsel_rows(1);
+        let ranges = morsel_ranges(64, 1);
+        let out = run_morsels(&cfg, &ranges, |i, r| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            r.start
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -18,7 +18,8 @@ pub mod relation;
 pub mod stats;
 
 pub use error::{EngineError, Result};
-pub use exec::execute;
+pub use exec::parallel::EngineConfig;
+pub use exec::{execute, execute_with};
 pub use expr::{col, date, dec2, lit, Expr};
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
 pub use relation::Relation;
@@ -26,8 +27,19 @@ pub use stats::WorkProfile;
 
 use wimpi_storage::Catalog;
 
-/// Optimizes and executes a plan — the everyday entry point.
+/// Optimizes and executes a plan — the everyday (serial) entry point.
 pub fn execute_query(plan: &LogicalPlan, catalog: &Catalog) -> Result<(Relation, WorkProfile)> {
+    execute_query_with(plan, catalog, &EngineConfig::serial())
+}
+
+/// Optimizes and executes a plan under an execution configuration. The
+/// morsel-driven kernels keep results and work profiles bit-identical at any
+/// thread count (see [`exec::parallel`]).
+pub fn execute_query_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<(Relation, WorkProfile)> {
     let optimized = optimizer::optimize(plan.clone(), catalog)?;
-    exec::execute(&optimized, catalog)
+    exec::execute_with(&optimized, catalog, cfg)
 }

@@ -8,7 +8,10 @@ use wimpi_storage::{Column, DataType, StorageError, Table, Value};
 /// An intermediate (or final) result: ordered named columns of equal length.
 ///
 /// Columns are reference-counted so projections and scans are zero-copy.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-exact column equality (floats compare by value, dictionary
+/// columns by codes and values) — what the parallel-determinism tests assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     fields: Vec<(String, Arc<Column>)>,
     nrows: usize,

@@ -46,6 +46,25 @@ impl WorkProfile {
         self.seq_read_bytes + self.seq_write_bytes
     }
 
+    /// Combines per-worker counters into one total — the reduction the
+    /// morsel-driven kernels apply to independently accumulated profiles.
+    ///
+    /// Saturating addition makes `merge` a total, associative, and
+    /// commutative operation (a plain `+` would panic on overflow in debug
+    /// builds, breaking associativity at the u64 boundary); the property
+    /// tests in `tests/property_tests.rs` pin this down. Merging profiles
+    /// charged from global row counts reproduces the serial totals exactly.
+    pub fn merge(&mut self, o: &WorkProfile) {
+        self.cpu_ops = self.cpu_ops.saturating_add(o.cpu_ops);
+        self.seq_read_bytes = self.seq_read_bytes.saturating_add(o.seq_read_bytes);
+        self.seq_write_bytes = self.seq_write_bytes.saturating_add(o.seq_write_bytes);
+        self.rand_accesses = self.rand_accesses.saturating_add(o.rand_accesses);
+        self.hash_bytes = self.hash_bytes.saturating_add(o.hash_bytes);
+        self.rows_in = self.rows_in.saturating_add(o.rows_in);
+        self.rows_out = self.rows_out.saturating_add(o.rows_out);
+        self.network_bytes = self.network_bytes.saturating_add(o.network_bytes);
+    }
+
     /// Scales every counter by an integer factor — used to extrapolate a
     /// measured SF to the paper's SF when the host can't hold the full data
     /// (all TPC-H choke-point work scales linearly in SF; DESIGN.md §4).
@@ -105,6 +124,18 @@ mod tests {
     fn seq_bytes_sums_read_write() {
         let p = WorkProfile { seq_read_bytes: 3, seq_write_bytes: 4, ..Default::default() };
         assert_eq!(p.seq_bytes(), 7);
+    }
+
+    #[test]
+    fn merge_matches_add_and_saturates() {
+        let a = WorkProfile { cpu_ops: 10, hash_bytes: 3, ..Default::default() };
+        let b = WorkProfile { cpu_ops: 5, rows_in: 2, ..Default::default() };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m, a + b);
+        let mut s = WorkProfile { cpu_ops: u64::MAX - 1, ..Default::default() };
+        s.merge(&WorkProfile { cpu_ops: 7, ..Default::default() });
+        assert_eq!(s.cpu_ops, u64::MAX, "merge saturates instead of overflowing");
     }
 
     #[test]

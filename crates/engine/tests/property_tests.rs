@@ -157,3 +157,60 @@ proptest! {
         }
     }
 }
+
+/// Builds a [`wimpi_engine::WorkProfile`] from two sampled 4-tuples (the
+/// proptest shim's tuple strategies cap at four elements).
+#[allow(clippy::type_complexity)]
+fn profile_from(
+    ((cpu, sr, sw, ra), (hb, ri, ro, nb)): ((u64, u64, u64, u64), (u64, u64, u64, u64)),
+) -> wimpi_engine::WorkProfile {
+    wimpi_engine::WorkProfile {
+        cpu_ops: cpu,
+        seq_read_bytes: sr,
+        seq_write_bytes: sw,
+        rand_accesses: ra,
+        hash_bytes: hb,
+        rows_in: ri,
+        rows_out: ro,
+        network_bytes: nb,
+    }
+}
+
+type CounterRanges =
+    (std::ops::Range<u64>, std::ops::Range<u64>, std::ops::Range<u64>, std::ops::Range<u64>);
+
+/// Full-width counters so saturating sums are exercised routinely.
+fn arb_counters() -> (CounterRanges, CounterRanges) {
+    (
+        (0..u64::MAX, 0..u64::MAX, 0..u64::MAX, 0..u64::MAX),
+        (0..u64::MAX, 0..u64::MAX, 0..u64::MAX, 0..u64::MAX),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The morsel kernels reduce per-worker profiles with `merge`; any
+    /// reduction tree must give the same total, so `merge` has to be
+    /// associative and commutative — including at the u64 saturation
+    /// boundary, which full-width counters reach on roughly half the cases.
+    #[test]
+    fn work_profile_merge_associative_commutative(a in arb_counters(),
+                                                  b in arb_counters(),
+                                                  c in arb_counters()) {
+        let (a, b, c) = (profile_from(a), profile_from(b), profile_from(c));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        let mut ab_then_c = ab;
+        ab_then_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_then_bc = a;
+        a_then_bc.merge(&bc);
+        prop_assert_eq!(ab_then_c, a_then_bc);
+    }
+}

@@ -15,5 +15,5 @@ pub mod micro;
 pub mod model;
 pub mod profiles;
 
-pub use model::{predict, predict_all_cores, predict_single_core, Prediction};
+pub use model::{modeled_speedup, predict, predict_all_cores, predict_single_core, Prediction};
 pub use profiles::{all_profiles, pi3b, profile, Category, HwProfile};

@@ -66,7 +66,11 @@ pub fn predict(hw: &HwProfile, work: &WorkProfile, threads: u32) -> Prediction {
     let eff = hw.effective_cores(threads).max(1e-9);
     let rate_1c = UNIT_RATE * hw.olap_rate_1c();
     let w = work.cpu_ops as f64;
-    let compute_s = if threads <= 1 {
+    // One effective core computes serially no matter how many software
+    // threads are requested — the Amdahl split must collapse to the serial
+    // formula exactly (not just to within float rounding) so a cores=1
+    // profile reproduces serial predictions bit-for-bit.
+    let compute_s = if threads <= 1 || eff <= 1.0 {
         w / rate_1c
     } else {
         SERIAL_FRAC * w / rate_1c + (1.0 - SERIAL_FRAC) * w / (rate_1c * eff)
@@ -83,6 +87,17 @@ pub fn predict(hw: &HwProfile, work: &WorkProfile, threads: u32) -> Prediction {
     let rand_s = work.rand_accesses as f64 * lat_ns * 1e-9 / parallel_misses;
 
     Prediction { compute_s, memory_s: stream_s + rand_s, overhead_s: hw.query_overhead_s }
+}
+
+/// Modeled speedup of a `threads`-thread run over a serial run of the same
+/// work on the same hardware — what the `scaling` bench reports next to the
+/// measured numbers (indispensable on core-starved CI hosts, where wall-clock
+/// speedup is physically unattainable). On a single-core profile whose
+/// all-core bandwidth equals its single-core bandwidth this is exactly 1.0
+/// at every thread count: extra software threads buy nothing the roofline
+/// doesn't already account for.
+pub fn modeled_speedup(hw: &HwProfile, work: &WorkProfile, threads: u32) -> f64 {
+    predict(hw, work, 1).total_s() / predict(hw, work, threads).total_s()
 }
 
 /// Predicts with every hardware thread in use — the TPC-H configuration
@@ -202,6 +217,45 @@ mod tests {
         assert!((geomean_ratio(&a, &a) - 1.0).abs() < 1e-12);
         let b = [2.0, 4.0, 8.0];
         assert!((geomean_ratio(&b, &a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_speedup_is_one_for_one_thread() {
+        for hw in crate::profiles::all_profiles() {
+            for w in [scan_heavy(), compute_heavy()] {
+                assert!((modeled_speedup(&hw, &w, 1) - 1.0).abs() < 1e-12, "{}", hw.name);
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_profile_reproduces_serial_at_any_thread_count() {
+        // A 1-core, 1-hardware-thread machine with a flat bandwidth curve
+        // must price a "parallel" run exactly like a serial one — requesting
+        // more software threads cannot conjure hardware.
+        let mut hw = pi3b();
+        hw.cores = 1;
+        hw.threads = 1;
+        hw.membw_all_gbs = hw.membw_1c_gbs;
+        for w in [scan_heavy(), compute_heavy()] {
+            let serial = predict(&hw, &w, 1);
+            for t in [2, 4, 8, 64] {
+                assert_eq!(predict(&hw, &w, t), serial, "threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_ceiling_caps_memory_bound_speedup() {
+        // The Pi's single memory channel is saturated by one core, so
+        // scan-heavy work barely scales while compute-heavy work gets most
+        // of the Amdahl-limited gain — the paper's Q1-vs-Q6 asymmetry.
+        let pi = pi3b();
+        let scan = modeled_speedup(&pi, &scan_heavy(), 4);
+        let compute = modeled_speedup(&pi, &compute_heavy(), 4);
+        assert!(scan < 1.5, "memory-bound speedup must stay near 1: {scan}");
+        assert!(compute > 2.0, "compute-bound speedup must approach Amdahl: {compute}");
+        assert!(compute > scan);
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod q07_11;
 mod q12_17;
 mod q18_22;
 
-use wimpi_engine::{execute_query, LogicalPlan, Relation, Result, WorkProfile};
+use wimpi_engine::{execute_query_with, EngineConfig, LogicalPlan, Relation, Result, WorkProfile};
 use wimpi_storage::{Catalog, Value};
 
 /// A TPC-H query, possibly needing a scalar pre-pass.
@@ -53,15 +53,25 @@ impl QueryPlan {
     }
 }
 
-/// Executes a query (all phases), summing work profiles.
+/// Executes a query (all phases) serially, summing work profiles.
 pub fn run(q: &QueryPlan, catalog: &Catalog) -> Result<(Relation, WorkProfile)> {
+    run_with(q, catalog, &EngineConfig::serial())
+}
+
+/// Executes a query (all phases) under an execution configuration. The
+/// morsel-driven engine keeps results bit-identical at any thread count.
+pub fn run_with(
+    q: &QueryPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<(Relation, WorkProfile)> {
     match q {
-        QueryPlan::Single(p) => execute_query(p, catalog),
+        QueryPlan::Single(p) => execute_query_with(p, catalog, cfg),
         QueryPlan::TwoPhase { first, scalar_col, second } => {
-            let (r1, p1) = execute_query(first, catalog)?;
+            let (r1, p1) = execute_query_with(first, catalog, cfg)?;
             let scalar =
                 if r1.num_rows() == 0 { Value::F64(0.0) } else { r1.value(0, scalar_col)? };
-            let (r2, p2) = execute_query(&second(scalar), catalog)?;
+            let (r2, p2) = execute_query_with(&second(scalar), catalog, cfg)?;
             Ok((r2, p1 + p2))
         }
     }

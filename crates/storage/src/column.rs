@@ -117,6 +117,26 @@ impl Column {
         }
     }
 
+    /// Copies the contiguous row range `r` into a new column — the morsel
+    /// slice used by the engine's parallel kernels (`crate::morsel`).
+    ///
+    /// Dictionary columns slice their codes but clone the full dictionary:
+    /// codes stay valid without re-interning, and the values vector is tiny
+    /// next to the code payload for TPC-H's low-cardinality strings. Kernels
+    /// that would pay per-morsel dictionary work (LIKE over a near-unique
+    /// comment pool) operate on code slices directly instead of slicing.
+    pub fn slice(&self, r: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(v[r].to_vec()),
+            Column::Int32(v) => Column::Int32(v[r].to_vec()),
+            Column::Float64(v) => Column::Float64(v[r].to_vec()),
+            Column::Decimal(v, s) => Column::Decimal(v[r].to_vec(), *s),
+            Column::Date(v) => Column::Date(v[r].to_vec()),
+            Column::Str(d) => Column::Str(d.slice(r)),
+            Column::Bool(v) => Column::Bool(v[r].to_vec()),
+        }
+    }
+
     /// Gathers the rows named by `sel` into a new column.
     pub fn take(&self, sel: &[u32]) -> Column {
         match self {

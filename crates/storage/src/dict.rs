@@ -85,6 +85,12 @@ impl DictColumn {
         }
     }
 
+    /// Copies the contiguous code range `r`, reusing this column's
+    /// dictionary (codes stay valid) — see [`crate::Column::slice`].
+    pub fn slice(&self, r: std::ops::Range<usize>) -> DictColumn {
+        DictColumn { codes: self.codes[r].to_vec(), values: self.values.clone() }
+    }
+
     /// Iterates decoded values in row order.
     pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
         self.codes.iter().map(move |&c| self.values[c as usize].as_str())

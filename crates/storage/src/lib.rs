@@ -12,6 +12,7 @@ pub mod date;
 pub mod decimal;
 pub mod dict;
 pub mod error;
+pub mod morsel;
 pub mod schema;
 pub mod selection;
 pub mod table;

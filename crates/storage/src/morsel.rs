@@ -1,0 +1,62 @@
+//! Morsel boundaries — the fixed work units of intra-query parallelism.
+//!
+//! A morsel is a contiguous range of ~64K rows (Leis et al., "Morsel-Driven
+//! Parallelism", SIGMOD 2014). Boundaries depend only on the row count and
+//! the configured morsel size — never on the thread count — so any
+//! per-morsel partial result (and in particular every floating-point
+//! reduction tree built over morsels in index order) is identical no matter
+//! how many workers execute the morsels. This is the invariant the engine's
+//! bit-exact determinism guarantee rests on (DESIGN.md "Threading model").
+
+use std::ops::Range;
+
+/// Default rows per morsel. Small enough that a handful of live columns fit
+/// in a Pi 3B+'s 512 KB LLC slice per core, large enough that dispatch
+/// overhead is noise against the per-row work.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// Splits `n` rows into contiguous morsels of at most `morsel_rows` rows.
+///
+/// Every row belongs to exactly one morsel; the final morsel may be short.
+/// `morsel_rows == 0` is treated as one morsel spanning everything.
+pub fn morsel_ranges(n: usize, morsel_rows: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let size = if morsel_rows == 0 { n } else { morsel_rows };
+    let count = n.div_ceil(size);
+    (0..count).map(|m| (m * size)..((m + 1) * size).min(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_rows_exactly_once() {
+        for n in [0usize, 1, 99, 100, 101, 65_536, 65_537, 200_000] {
+            let ranges = morsel_ranges(n, 100);
+            let covered: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, n, "n={n}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "morsels must be contiguous");
+            }
+            if n > 0 {
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_morsel_rows_means_one_morsel() {
+        let ranges = morsel_ranges(10, 0);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0], 0..10);
+    }
+
+    #[test]
+    fn boundaries_independent_of_anything_but_n_and_size() {
+        assert_eq!(morsel_ranges(250, 100), vec![0..100, 100..200, 200..250]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Parallel determinism suite: the morsel-driven engine must produce
+//! bit-identical results and work profiles at any thread count.
+//!
+//! Morsel boundaries depend only on the row count and the configured morsel
+//! size — never on the thread count — and per-morsel partials merge in
+//! morsel order, so every float reduction tree, group order, and join chain
+//! is the serial one (DESIGN.md §execution). The full 22-query sweep runs
+//! in release CI (`cargo test --workspace --release`); debug runs keep the
+//! Q1/Q6 smoke.
+
+use wimpi::engine::EngineConfig;
+use wimpi::queries::{query, run_with};
+use wimpi::storage::Catalog;
+use wimpi::tpch::Generator;
+
+const SF: f64 = 0.01;
+
+fn catalog() -> Catalog {
+    Generator::new(SF).generate_catalog().expect("generation succeeds")
+}
+
+/// Serial vs 2- and 4-thread runs, at the default morsel size and at a tiny
+/// one that forces many morsels per kernel even at SF 0.01.
+fn assert_bit_exact(qn: usize, cat: &Catalog) {
+    let q = query(qn);
+    for morsel_rows in [wimpi::engine::exec::parallel::DEFAULT_MORSEL_ROWS, 4096] {
+        let serial_cfg = EngineConfig::serial().with_morsel_rows(morsel_rows);
+        let (rel0, prof0) = run_with(&q, cat, &serial_cfg).expect("serial run");
+        for threads in [2, 4] {
+            let cfg = EngineConfig::with_threads(threads).with_morsel_rows(morsel_rows);
+            let (rel, prof) = run_with(&q, cat, &cfg).expect("parallel run");
+            assert_eq!(
+                rel, rel0,
+                "Q{qn}: result diverged at {threads} threads, morsel {morsel_rows}"
+            );
+            assert_eq!(
+                prof, prof0,
+                "Q{qn}: work profile diverged at {threads} threads, morsel {morsel_rows}"
+            );
+        }
+    }
+}
+
+#[test]
+fn q1_q6_parallel_bit_exact_smoke() {
+    let cat = catalog();
+    assert_bit_exact(1, &cat);
+    assert_bit_exact(6, &cat);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full 22-query sweep; run with --release")]
+fn all_22_queries_parallel_bit_exact() {
+    let cat = catalog();
+    for qn in 1..=22 {
+        assert_bit_exact(qn, &cat);
+    }
+}

@@ -4,10 +4,11 @@
 //! EXPERIMENTS.md).
 
 use wimpi_core::{compare_table2, compare_table3, median, reference, Study};
+use wimpi_obs::status;
 
 fn main() {
     let args = wimpi_bench::Args::parse();
-    eprintln!("running full study at measure SF {} …", args.sf);
+    status!("running full study at measure SF {} …", args.sf);
     let study = Study::new(args.sf);
 
     wimpi_bench::emit(&args, "table1", &[Study::table1()]);

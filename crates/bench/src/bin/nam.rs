@@ -6,13 +6,14 @@ use wimpi_analysis::{Series, TextFigure};
 use wimpi_cluster::distribute::Strategy;
 use wimpi_cluster::nam::NamCluster;
 use wimpi_cluster::{ClusterConfig, WimpiCluster};
+use wimpi_obs::status;
 use wimpi_queries::{query, CHOKEPOINT_QUERIES};
 
 fn main() {
     let args = wimpi_bench::Args::parse();
     let nodes = *args.sizes.last().expect("at least one size");
     let scale = 10.0 / args.sf;
-    eprintln!("building {nodes}-node cluster at measure SF {} (modelled SF 10) …", args.sf);
+    status!("building {nodes}-node cluster at measure SF {} (modelled SF 10) …", args.sf);
     let workers = WimpiCluster::build(ClusterConfig::new(nodes, args.sf).with_model_scale(scale))
         .expect("cluster builds");
     let server = wimpi_hwsim::profile("op-e5").expect("profile exists");
@@ -41,7 +42,7 @@ fn main() {
     fig.push_series(Series::new("speedup", all_pi.iter().zip(&nam).map(|(a, b)| a / b).collect()));
     wimpi_bench::emit(&args, "nam", &[fig]);
     if let (Some(m), Some(w)) = (hybrid.msrp(), hybrid.power_w()) {
-        println!(
+        status!(
             "hybrid MSRP ${m:.0}, peak {w:.0} W (all-pi: ${:.0}, {:.0} W)",
             wimpi_analysis::wimpi_msrp(nodes),
             wimpi_analysis::wimpi_power_w(nodes)

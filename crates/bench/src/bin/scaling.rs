@@ -14,7 +14,8 @@ use std::time::Instant;
 use wimpi_analysis::{Series, TextFigure};
 use wimpi_bench::Args;
 use wimpi_engine::EngineConfig;
-use wimpi_hwsim::{modeled_speedup, pi3b, profile};
+use wimpi_hwsim::{modeled_speedup, pi3b, profile, record_residuals};
+use wimpi_obs::{status, Registry};
 use wimpi_queries::{query, run_with, CHOKEPOINT_QUERIES};
 use wimpi_tpch::Generator;
 
@@ -23,10 +24,11 @@ const THREADS: [usize; 3] = [1, 2, 4];
 fn main() {
     let args = Args::parse_with(Args { sf: 1.0, ..Args::default() });
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    eprintln!("generating TPC-H SF {} (host parallelism: {host_threads})", args.sf);
+    status!("generating TPC-H SF {} (host parallelism: {host_threads})", args.sf);
     let catalog = Generator::new(args.sf).generate_catalog().expect("catalog generates");
     let pi = pi3b();
     let e5 = profile("op-e5").expect("op-e5 profile exists");
+    let residuals = Registry::new();
 
     let mut rows = Vec::new();
     let mut measured: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len()];
@@ -57,13 +59,23 @@ fn main() {
             measured[i].push(s);
         }
         for (i, &t) in THREADS[1..].iter().enumerate() {
-            speedups[i].push(secs[0] / secs[i + 1]);
-            pi_model[i].push(modeled_speedup(&pi, &prof, t as u32));
-            e5_model[i].push(modeled_speedup(&e5, &prof, t as u32));
+            let measured = secs[0] / secs[i + 1];
+            let pi_s = modeled_speedup(&pi, &prof, t as u32);
+            let e5_s = modeled_speedup(&e5, &prof, t as u32);
+            speedups[i].push(measured);
+            pi_model[i].push(pi_s);
+            e5_model[i].push(e5_s);
+            // Modeled-vs-measured speedup residuals: on a real Pi/Xeon these
+            // histograms are the calibration check; on starved CI hosts they
+            // mostly document how far the host is from the modeled silicon.
+            record_residuals(&residuals, pi.name, &format!("Q{qn}/{t}T"), pi_s, measured);
+            record_residuals(&residuals, e5.name, &format!("Q{qn}/{t}T"), e5_s, measured);
         }
-        eprintln!(
+        status!(
             "Q{qn}: {:.3}s / {:.3}s / {:.3}s (1/2/4 threads), profiles bit-identical",
-            secs[0], secs[1], secs[2]
+            secs[0],
+            secs[1],
+            secs[2]
         );
     }
 
@@ -89,4 +101,28 @@ fn main() {
         fig.push_series(Series::new(format!("op-e5 modeled {t}T"), e5_model[i].clone()));
     }
     wimpi_bench::emit(&args, "scaling", &[fig]);
+    wimpi_bench::write_artifact(&args.out, "scaling_metrics.txt", &residuals.render());
+
+    if let Some(path) = &args.trace_json {
+        // Trace structure is thread-count-invariant (morsel spans follow
+        // morsel boundaries, not workers), so one traced pass at the top
+        // thread count stands for all of them.
+        let qns: Vec<usize> = if args.queries.is_empty() {
+            CHOKEPOINT_QUERIES.to_vec()
+        } else {
+            args.queries.clone()
+        };
+        let cfg = EngineConfig::with_threads(*THREADS.last().expect("non-empty"));
+        let doc = wimpi_bench::trace_document(args.sf, &qns, &catalog, &cfg);
+        match std::fs::write(path, &doc) {
+            Ok(()) => status!("wrote {}", path.display()),
+            Err(e) => status!("cannot write {}: {e}", path.display()),
+        }
+        if args.check {
+            match wimpi_core::validate_trace_document(&doc) {
+                Ok(per_query) => status!("trace check passed ({} queries)", per_query.len()),
+                Err(e) => panic!("trace check failed: {e}"),
+            }
+        }
+    }
 }

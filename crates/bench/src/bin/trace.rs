@@ -1,0 +1,63 @@
+//! Operator-level query traces: `EXPLAIN ANALYZE` for the bench harness.
+//!
+//! ```text
+//! cargo run --release --bin trace -- [--sf f] [--queries 1,6,...]
+//!     [--trace-json path] [--check]
+//! ```
+//!
+//! Runs the selected TPC-H queries (default: the 8 choke-point queries) with
+//! tracing enabled, prints each span tree as aligned text on stdout, and —
+//! with `--trace-json` — writes the combined JSON document. `--check`
+//! validates that document against `wimpi_core::validate_trace_document`:
+//! schema plus the accounting invariant that every counter's self-values sum
+//! to the root total. CI runs `--queries 1,6 --check` as the trace smoke
+//! test.
+
+use wimpi_bench::Args;
+use wimpi_engine::EngineConfig;
+use wimpi_obs::status;
+use wimpi_queries::{query, run_traced, CHOKEPOINT_QUERIES};
+use wimpi_tpch::Generator;
+
+fn main() {
+    let args = Args::parse_with(Args { sf: 0.05, ..Args::default() });
+    let qns: Vec<usize> =
+        if args.queries.is_empty() { CHOKEPOINT_QUERIES.to_vec() } else { args.queries.clone() };
+    status!("generating TPC-H SF {}", args.sf);
+    let catalog = Generator::new(args.sf).generate_catalog().expect("catalog generates");
+    let cfg = EngineConfig::serial();
+
+    for &qn in &qns {
+        let (_, prof, span) =
+            run_traced(&query(qn), &catalog, &cfg).unwrap_or_else(|e| panic!("Q{qn} traces: {e}"));
+        println!("Q{qn}");
+        print!("{}", span.render());
+        println!();
+        // The invariant the trace exists to uphold — cheap to assert on
+        // every run, not just under --check.
+        assert_eq!(
+            span.counter("rows_out"),
+            prof.rows_out,
+            "Q{qn}: root rows_out must match the work profile"
+        );
+    }
+
+    let doc = wimpi_bench::trace_document(args.sf, &qns, &catalog, &cfg);
+    if let Some(path) = &args.trace_json {
+        match std::fs::write(path, &doc) {
+            Ok(()) => status!("wrote {}", path.display()),
+            Err(e) => panic!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if args.check {
+        match wimpi_core::validate_trace_document(&doc) {
+            Ok(per_query) => {
+                for (qn, stats) in &per_query {
+                    status!("Q{qn}: {} spans, accounting exact", stats.spans);
+                }
+                status!("trace check passed ({} queries)", per_query.len());
+            }
+            Err(e) => panic!("trace check failed: {e}"),
+        }
+    }
+}

@@ -13,11 +13,20 @@
 //! * `--out <dir>` / `WIMPI_OUT` — artifact directory (default `results`).
 //! * `--sizes a,b,c` — cluster sizes for Table III (default the paper's
 //!   4,8,12,16,20,24).
+//! * `--trace-json <path>` / `WIMPI_TRACE_JSON` — also write operator-level
+//!   trace trees (one JSON document) to `<path>`.
+//! * `--queries a,b,c` — restrict trace-aware binaries to these TPC-H
+//!   query numbers.
+//! * `--check` — validate emitted trace JSON against the schema checker.
+//!
+//! Status chatter goes through [`wimpi_obs::status`] (stderr, silenced by
+//! `WIMPI_QUIET=1`); stdout carries only table/figure data.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use wimpi_analysis::TextFigure;
+use wimpi_obs::status;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -28,11 +37,24 @@ pub struct Args {
     pub out: PathBuf,
     /// Cluster sizes for distributed experiments.
     pub sizes: Vec<u32>,
+    /// Where to write operator-level trace JSON (`None` = tracing off).
+    pub trace_json: Option<PathBuf>,
+    /// TPC-H query numbers for trace-aware binaries (empty = binary default).
+    pub queries: Vec<usize>,
+    /// Validate emitted trace JSON against the schema checker.
+    pub check: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Self { sf: 0.2, out: PathBuf::from("results"), sizes: vec![4, 8, 12, 16, 20, 24] }
+        Self {
+            sf: 0.2,
+            out: PathBuf::from("results"),
+            sizes: vec![4, 8, 12, 16, 20, 24],
+            trace_json: None,
+            queries: Vec::new(),
+            check: false,
+        }
     }
 }
 
@@ -54,6 +76,11 @@ impl Args {
         }
         if let Ok(v) = std::env::var("WIMPI_OUT") {
             out.out = PathBuf::from(v);
+        }
+        if let Ok(v) = std::env::var("WIMPI_TRACE_JSON") {
+            if !v.is_empty() {
+                out.trace_json = Some(PathBuf::from(v));
+            }
         }
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -81,8 +108,24 @@ impl Args {
                     }
                     i += 2;
                 }
+                "--trace-json" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        out.trace_json = Some(PathBuf::from(v));
+                    }
+                    i += 2;
+                }
+                "--queries" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        out.queries = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                    }
+                    i += 2;
+                }
+                "--check" => {
+                    out.check = true;
+                    i += 1;
+                }
                 other => {
-                    eprintln!("ignoring unknown flag {other}");
+                    status!("ignoring unknown flag {other}");
                     i += 1;
                 }
             }
@@ -90,6 +133,28 @@ impl Args {
         assert!(out.sf > 0.0, "--sf must be positive");
         out
     }
+}
+
+/// Runs `queries` with operator-level tracing and renders one trace-JSON
+/// document: `{"sf": …, "queries": [{"query": n, "trace": <span>}, …]}` —
+/// the schema `wimpi_core::validate_trace_document` checks.
+pub fn trace_document(
+    sf: f64,
+    queries: &[usize],
+    catalog: &wimpi_storage::Catalog,
+    cfg: &wimpi_engine::EngineConfig,
+) -> String {
+    let mut doc = format!("{{\"sf\": {sf}, \"queries\": [");
+    for (i, &qn) in queries.iter().enumerate() {
+        let (_, _, span) = wimpi_queries::run_traced(&wimpi_queries::query(qn), catalog, cfg)
+            .unwrap_or_else(|e| panic!("Q{qn} traces: {e}"));
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!("{{\"query\": {qn}, \"trace\": {}}}", span.to_json()));
+    }
+    doc.push_str("]}");
+    doc
 }
 
 /// Prints a figure and writes its `.txt`/`.json` artifacts.
@@ -113,13 +178,13 @@ pub fn emit(args: &Args, slug: &str, figures: &[TextFigure]) {
 /// Writes one artifact file, creating the directory if needed.
 pub fn write_artifact(dir: &Path, name: &str, contents: &str) {
     if let Err(e) = fs::create_dir_all(dir) {
-        eprintln!("cannot create {}: {e}", dir.display());
+        status!("cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(name);
     match fs::write(&path, contents) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        Ok(()) => status!("wrote {}", path.display()),
+        Err(e) => status!("cannot write {}: {e}", path.display()),
     }
 }
 

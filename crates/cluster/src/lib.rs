@@ -35,9 +35,17 @@ use memory::MemoryModel;
 use wimpi_engine::{optimizer, EngineError, LogicalPlan, Relation, WorkProfile};
 use wimpi_hwsim::{pi3b, predict, HwProfile};
 use wimpi_microbench::NetModel;
+use wimpi_obs::Registry;
 use wimpi_queries::QueryPlan;
 use wimpi_storage::{Catalog, Column, Field, Schema, Table};
 use wimpi_tpch::Generator;
+
+/// Histogram bounds for simulated backoff delays (policy default: base
+/// 0.05 s doubling to a 1 s cap).
+const BACKOFF_BUCKETS: [f64; 5] = [0.05, 0.1, 0.25, 0.5, 1.0];
+
+/// Histogram bounds for per-run recovery seconds.
+const RECOVERY_BUCKETS: [f64; 5] = [0.1, 0.5, 1.0, 5.0, 30.0];
 
 /// Cluster-level errors. Every query-time variant names the query so
 /// multi-query studies can attribute failures.
@@ -229,6 +237,7 @@ pub struct WimpiCluster {
     replicated: Vec<(String, Arc<Table>)>,
     alive: Vec<bool>,
     policy: RecoveryPolicy,
+    metrics: Registry,
 }
 
 impl WimpiCluster {
@@ -269,7 +278,16 @@ impl WimpiCluster {
             node_catalogs,
             replicated,
             policy: RecoveryPolicy::default(),
+            metrics: Registry::new(),
         })
+    }
+
+    /// Fault/recovery metrics accumulated across every run on this cluster:
+    /// per-kind fault counters, retry/speculation/reassignment totals, a
+    /// backoff-delay histogram, and the last answer's coverage gauge. Render
+    /// with [`Registry::render`] or [`Registry::to_json`].
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Cluster configuration.
@@ -554,6 +572,7 @@ impl WimpiCluster {
             ex.dedup();
             ex.len() as u32
         };
+        self.record_run_metrics(faults, &report);
         Ok(DistRun {
             result,
             node_seconds: busy,
@@ -564,6 +583,40 @@ impl WimpiCluster {
             nodes_used,
             recovery: report,
         })
+    }
+
+    /// The policy's backoff delay for `attempt`, recorded into the backoff
+    /// histogram on the way out.
+    fn observed_backoff_s(&self, attempt: u32) -> f64 {
+        let delay = self.policy.backoff_s(attempt);
+        self.metrics.observe("cluster_backoff_seconds", &BACKOFF_BUCKETS, delay);
+        delay
+    }
+
+    /// Folds one run's fault schedule and recovery report into the registry.
+    fn record_run_metrics(&self, faults: &FaultPlan, report: &RecoveryReport) {
+        self.metrics.inc("cluster_runs_total", 1);
+        for f in faults.faults() {
+            let kind = match f.kind {
+                FaultKind::Crash => "crash",
+                FaultKind::TransientOom { .. } => "transient_oom",
+                FaultKind::SlowNode { .. } => "slow_node",
+                FaultKind::DegradedNic { .. } => "degraded_nic",
+            };
+            self.metrics.inc(&format!("cluster_faults_total{{kind=\"{kind}\"}}"), 1);
+        }
+        self.metrics.inc("cluster_retries_total", report.retries as u64);
+        self.metrics.inc("cluster_speculations_total", report.speculated as u64);
+        self.metrics.inc("cluster_reassignments_total", report.reassignments.len() as u64);
+        if report.degraded {
+            self.metrics.inc("cluster_degraded_answers_total", 1);
+        }
+        self.metrics.set_gauge("cluster_coverage_last", report.coverage);
+        self.metrics.observe(
+            "cluster_recovery_seconds",
+            &RECOVERY_BUCKETS,
+            report.recovery_seconds,
+        );
     }
 
     /// One node's attempt at its home partition, with transient faults
@@ -599,7 +652,7 @@ impl WimpiCluster {
                     // attempts and backoff delays precede the good run.
                     let mut waste = 0.0;
                     for a in 0..failures {
-                        waste += exec_s + self.policy.backoff_s(a);
+                        waste += exec_s + self.observed_backoff_s(a);
                     }
                     report.retries += failures;
                     report.recovery_seconds += waste;
@@ -609,7 +662,7 @@ impl WimpiCluster {
                     // becomes reassignable once the attempts have burned.
                     let mut waste = 0.0;
                     for a in 0..=budget {
-                        waste += exec_s + self.policy.backoff_s(a);
+                        waste += exec_s + self.observed_backoff_s(a);
                     }
                     report.retries += budget;
                     report.recovery_seconds += waste;
@@ -735,7 +788,7 @@ impl WimpiCluster {
                 let tries = failures.min(self.policy.max_retries);
                 let mut waste = 0.0;
                 for a in 0..tries {
-                    waste += exec_s + self.policy.backoff_s(a);
+                    waste += exec_s + self.observed_backoff_s(a);
                 }
                 report.retries += tries;
                 report.recovery_seconds += waste;
@@ -759,6 +812,7 @@ impl WimpiCluster {
             }
             _ => {}
         }
+        self.record_run_metrics(faults, &report);
         Ok(DistRun {
             result,
             node_seconds: vec![t],
@@ -1037,6 +1091,24 @@ mod tests {
         assert_eq!(run.recovery.retries, 2);
         assert!(run.recovery.reassignments.is_empty(), "retry succeeded in place");
         assert!(run.node_seconds[1] > healthy.node_seconds[1]);
+    }
+
+    #[test]
+    fn metrics_accumulate_fault_and_recovery_events() {
+        let c = small_cluster(3);
+        let q = query(6);
+        let plan = FaultPlan::none().with(1, FaultKind::TransientOom { failures: 2 });
+        c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        let m = c.metrics();
+        assert_eq!(m.counter("cluster_runs_total"), 2);
+        assert_eq!(m.counter("cluster_faults_total{kind=\"transient_oom\"}"), 1);
+        assert_eq!(m.counter("cluster_retries_total"), 2);
+        assert_eq!(m.counter("cluster_speculations_total"), 0);
+        assert_eq!(m.gauge("cluster_coverage_last"), Some(1.0));
+        let rendered = m.render();
+        assert!(rendered.contains("cluster_backoff_seconds"), "{rendered}");
+        assert!(rendered.contains("cluster_recovery_seconds"), "{rendered}");
     }
 
     #[test]

@@ -13,24 +13,30 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use super::key_values;
-use super::parallel::{morsel_ranges, run_morsels, EngineConfig};
+use super::parallel::{morsel_ranges, run_morsels_spanned, EngineConfig};
+use super::{ensure_u32_indexable, key_values};
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;
 use crate::plan::{AggExpr, AggFunc};
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
+use wimpi_obs::{Span, Tracer};
 use wimpi_storage::{Column, DataType, DictBuilder, StorageError, Value};
 
 /// Executes a hash aggregation; empty `group_by` means one global group.
+/// When tracing, a `partials` stage span (with per-morsel children) covering
+/// the morsel-local tables and their in-order merge is attached to the open
+/// aggregate span.
 pub fn exec_aggregate(
     rel: &Relation,
     group_by: &[(crate::expr::Expr, String)],
     aggs: &[AggExpr],
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
+    tracer: &Tracer,
 ) -> Result<Relation> {
     let n = rel.num_rows();
+    ensure_u32_indexable(n, "aggregate")?;
     // 1. Evaluate group keys and aggregate inputs as full columns (their
     //    element-wise primitives parallelize inside the evaluator).
     let mut key_cols: Vec<(String, Arc<Column>)> = Vec::with_capacity(group_by.len());
@@ -58,8 +64,10 @@ pub fn exec_aggregate(
         .collect::<Result<_>>()?;
 
     // 2. Morsel-local partial tables, then an in-order merge.
+    let sink = tracer.morsel_sink();
+    let stage_started = tracer.is_enabled().then(std::time::Instant::now);
     let ranges = morsel_ranges(n, cfg.morsel_rows);
-    let partials = run_morsels(cfg, &ranges, |_, r| {
+    let partials = run_morsels_spanned(cfg, &ranges, &sink, |_, r| {
         let mut p = MorselAgg::new(&inputs);
         for i in r {
             p.push_row(i, &encoded, &inputs);
@@ -90,6 +98,14 @@ pub fn exec_aggregate(
     let ngroups = if group_by.is_empty() { 1 } else { first_rows.len() };
     for st in &mut gstates {
         st.grow_to(ngroups);
+    }
+    if let Some(started) = stage_started {
+        let mut stage = Span::leaf("partials", "");
+        stage.rows_in = n as u64;
+        stage.rows_out = ngroups as u64;
+        stage.wall_ns = started.elapsed().as_nanos() as u64;
+        stage.children = sink.into_spans();
+        tracer.attach(stage);
     }
 
     prof.cpu_ops += n as u64 * (1 + aggs.len() as u64);
@@ -437,7 +453,7 @@ mod tests {
         aggs: &[AggExpr],
         prof: &mut WorkProfile,
     ) -> Result<Relation> {
-        super::exec_aggregate(rel, group_by, aggs, prof, &EngineConfig::serial())
+        super::exec_aggregate(rel, group_by, aggs, prof, &EngineConfig::serial(), Tracer::off())
     }
 
     fn rel() -> Relation {
@@ -557,11 +573,14 @@ mod tests {
         ];
         let base_cfg = EngineConfig::serial().with_morsel_rows(7);
         let mut base_prof = WorkProfile::new();
-        let base = super::exec_aggregate(&rel, &group, &aggs, &mut base_prof, &base_cfg).unwrap();
+        let base =
+            super::exec_aggregate(&rel, &group, &aggs, &mut base_prof, &base_cfg, Tracer::off())
+                .unwrap();
         for threads in [2, 4] {
             let cfg = EngineConfig::with_threads(threads).with_morsel_rows(7);
             let mut prof = WorkProfile::new();
-            let out = super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg).unwrap();
+            let out =
+                super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg, Tracer::off()).unwrap();
             assert_eq!(out, base, "parallel aggregate diverged at {threads} threads");
             assert_eq!(prof, base_prof, "profile counters diverged at {threads} threads");
         }

@@ -14,20 +14,26 @@ use std::sync::Arc;
 use crate::error::Result;
 use crate::eval::Evaluator;
 use crate::exec::parallel::EngineConfig;
+use crate::exec::{ensure_u32_indexable, expr_sketch};
 use crate::expr::Expr;
 use crate::optimizer::split_conjuncts;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
+use wimpi_obs::Tracer;
 use wimpi_storage::{selection, Column};
 
 /// Evaluates `predicate` with candidate propagation, then gathers the
-/// surviving rows of every column.
+/// surviving rows of every column. Each non-constant conjunct becomes an
+/// `eval` child span when tracing (rows in = candidates it scanned, rows
+/// out = survivors).
 pub fn exec_filter(
     rel: &Relation,
     predicate: &Expr,
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
+    tracer: &Tracer,
 ) -> Result<Relation> {
+    ensure_u32_indexable(rel.num_rows(), "filter")?;
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate.clone(), &mut conjuncts);
     let mut sel: Option<Vec<u32>> = None;
@@ -49,13 +55,25 @@ pub fn exec_filter(
             }
             continue;
         }
-        match sel.take() {
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.push("eval", &expr_sketch(&conjunct));
+        }
+        let before = *prof;
+        let rows_scanned;
+        let result: Result<Vec<u32>> = match sel.take() {
             None => {
-                let mask = Evaluator::with_config(rel, prof, *cfg).eval_mask(&conjunct)?;
-                sel = Some(selection::from_mask(&mask));
+                rows_scanned = rel.num_rows() as u64;
+                Evaluator::with_config(rel, prof, *cfg)
+                    .eval_mask(&conjunct)
+                    .map(|mask| selection::from_mask(&mask))
             }
             Some(candidates) => {
+                rows_scanned = candidates.len() as u64;
                 if candidates.is_empty() {
+                    if traced {
+                        tracer.pop(0, 0, Vec::new());
+                    }
                     sel = Some(candidates);
                     break;
                 }
@@ -71,16 +89,22 @@ pub fn exec_filter(
                 prof.seq_read_bytes += sub.stream_bytes() as u64;
                 prof.seq_write_bytes += sub.stream_bytes() as u64;
                 prof.cpu_ops += candidates.len() as u64;
-                let mask = Evaluator::with_config(&sub, prof, *cfg).eval_mask(&conjunct)?;
-                let mut kept = Vec::with_capacity(candidates.len());
-                for (&i, &m) in candidates.iter().zip(&mask) {
-                    if m {
-                        kept.push(i);
+                Evaluator::with_config(&sub, prof, *cfg).eval_mask(&conjunct).map(|mask| {
+                    let mut kept = Vec::with_capacity(candidates.len());
+                    for (&i, &m) in candidates.iter().zip(&mask) {
+                        if m {
+                            kept.push(i);
+                        }
                     }
-                }
-                sel = Some(kept);
+                    kept
+                })
             }
+        };
+        if traced {
+            let survivors = result.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+            tracer.pop(rows_scanned, survivors, prof.delta_since(&before).counter_pairs());
         }
+        sel = Some(result?);
     }
     let sel = sel.unwrap_or_default();
     let out = rel.take(&sel);
@@ -111,7 +135,7 @@ mod tests {
     use wimpi_storage::Column;
 
     fn exec_filter(rel: &Relation, pred: &Expr, prof: &mut WorkProfile) -> Result<Relation> {
-        super::exec_filter(rel, pred, prof, &EngineConfig::serial())
+        super::exec_filter(rel, pred, prof, &EngineConfig::serial(), Tracer::off())
     }
 
     fn rel() -> Relation {

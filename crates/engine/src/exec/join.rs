@@ -18,12 +18,13 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 use std::ops::Range;
 use std::sync::Arc;
 
-use super::key_values;
-use super::parallel::{morsel_ranges, run_morsels, EngineConfig};
+use super::parallel::{morsel_ranges, run_morsels, run_morsels_spanned, EngineConfig};
+use super::{ensure_u32_indexable, key_values};
 use crate::error::{EngineError, Result};
 use crate::plan::JoinType;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
+use wimpi_obs::{MorselSink, MorselSpan, Span, Tracer};
 use wimpi_storage::{Column, DataType, DictBuilder};
 
 /// Synthetic column marking matched rows in a left outer join.
@@ -39,10 +40,13 @@ pub fn exec_join(
     join_type: JoinType,
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
+    tracer: &Tracer,
 ) -> Result<Relation> {
     if on.is_empty() {
         return Err(EngineError::Plan("join requires at least one key".to_string()));
     }
+    ensure_u32_indexable(left.num_rows(), "join (probe side)")?;
+    ensure_u32_indexable(right.num_rows(), "join (build side)")?;
     for (l, r) in on {
         let lt = left.data_type(l)?;
         let rt = right.data_type(r)?;
@@ -67,6 +71,7 @@ pub fn exec_join(
             |i| lkeys[0][i],
             |i| rkeys[0][i],
             join_type,
+            tracer,
         ),
         2 => probe(
             cfg,
@@ -75,6 +80,7 @@ pub fn exec_join(
             |i| (lkeys[0][i], lkeys[1][i]),
             |i| (rkeys[0][i], rkeys[1][i]),
             join_type,
+            tracer,
         ),
         _ => probe(
             cfg,
@@ -83,6 +89,7 @@ pub fn exec_join(
             |i| lkeys.iter().map(|k| k[i]).collect::<Vec<_>>(),
             |i| rkeys.iter().map(|k| k[i]).collect::<Vec<_>>(),
             join_type,
+            tracer,
         ),
     };
 
@@ -177,6 +184,11 @@ fn emit_row(
 /// Builds on the right, probes with the left. Returns selected row ids per
 /// side; for semi/anti the right vector is empty; for left outer, unmatched
 /// right slots hold `NONE_ROW`.
+///
+/// When tracing, `build` and `probe` phase spans are attached to the open
+/// join span; the probe span gets per-morsel children over the same
+/// `morsel_ranges(nleft, morsel_rows)` boundaries on both the serial and the
+/// parallel path, so trace structure is identical at any thread count.
 fn probe<K: Hash + Eq + Send + Sync>(
     cfg: &EngineConfig,
     nleft: usize,
@@ -184,7 +196,11 @@ fn probe<K: Hash + Eq + Send + Sync>(
     lkey: impl Fn(usize) -> K + Sync,
     rkey: impl Fn(usize) -> K + Sync,
     join_type: JoinType,
+    tracer: &Tracer,
 ) -> (Vec<u32>, Vec<u32>) {
+    let traced = tracer.is_enabled();
+    let sink = tracer.morsel_sink();
+    let build_started = traced.then(std::time::Instant::now);
     if cfg.threads <= 1 {
         // Serial fast path: one build map, one probe scan.
         // head: key -> most recent build row; next: chain through earlier rows.
@@ -202,18 +218,49 @@ fn probe<K: Hash + Eq + Send + Sync>(
                 }
             }
         }
+        let build_ns = elapsed_ns(&build_started);
+        let probe_started = traced.then(std::time::Instant::now);
         let mut lsel = Vec::new();
         let mut rsel = Vec::new();
-        for i in 0..nleft {
-            emit_row(i, head.get(&lkey(i)).copied(), &next, join_type, &mut lsel, &mut rsel);
+        if sink.is_enabled() {
+            // Chunk the scan by morsel boundaries (pure bookkeeping — the
+            // iteration order is unchanged) so the serial trace has the same
+            // morsel children the parallel probe records.
+            for (mi, r) in morsel_ranges(nleft, cfg.morsel_rows).into_iter().enumerate() {
+                let rows = r.len() as u64;
+                let m0 = std::time::Instant::now();
+                for i in r {
+                    emit_row(
+                        i,
+                        head.get(&lkey(i)).copied(),
+                        &next,
+                        join_type,
+                        &mut lsel,
+                        &mut rsel,
+                    );
+                }
+                sink.record(MorselSpan {
+                    index: mi,
+                    rows,
+                    worker: 0,
+                    wall_ns: m0.elapsed().as_nanos() as u64,
+                });
+            }
+        } else {
+            for i in 0..nleft {
+                emit_row(i, head.get(&lkey(i)).copied(), &next, join_type, &mut lsel, &mut rsel);
+            }
         }
+        attach_phases(tracer, nright, build_ns, nleft, &lsel, &probe_started, sink);
         return (lsel, rsel);
     }
 
     // Partitioned parallel build: partition owner `p` scans every build key
     // and inserts only the rows hashing to `p`, in global row order — all
     // rows of one key share a partition, so each chain is laid out exactly
-    // as the serial build lays it out.
+    // as the serial build lays it out. (No morsel spans here: the partition
+    // count follows the thread count, so per-partition children would break
+    // trace-structure determinism.)
     let nparts = cfg.threads;
     let part_ranges: Vec<Range<usize>> = (0..nparts).map(|p| p..p + 1).collect();
     let built = run_morsels(cfg, &part_ranges, |p, _| {
@@ -244,11 +291,13 @@ fn probe<K: Hash + Eq + Send + Sync>(
         }
         heads.push(head);
     }
+    let build_ns = elapsed_ns(&build_started);
+    let probe_started = traced.then(std::time::Instant::now);
 
     // Morsel-parallel probe; per-morsel selections concatenate in morsel
     // order, reproducing the serial output order.
     let probe_ranges = morsel_ranges(nleft, cfg.morsel_rows);
-    let parts = run_morsels(cfg, &probe_ranges, |_, r| {
+    let parts = run_morsels_spanned(cfg, &probe_ranges, &sink, |_, r| {
         let mut lsel = Vec::new();
         let mut rsel = Vec::new();
         for i in r {
@@ -264,7 +313,40 @@ fn probe<K: Hash + Eq + Send + Sync>(
         lsel.extend(l);
         rsel.extend(r);
     }
+    attach_phases(tracer, nright, build_ns, nleft, &lsel, &probe_started, sink);
     (lsel, rsel)
+}
+
+#[inline]
+fn elapsed_ns(started: &Option<std::time::Instant>) -> u64 {
+    started.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+}
+
+/// Attaches `build` and `probe` phase spans (with the probe's morsel
+/// children) to the open join span. No-op when the tracer is disabled.
+fn attach_phases(
+    tracer: &Tracer,
+    nright: usize,
+    build_ns: u64,
+    nleft: usize,
+    lsel: &[u32],
+    probe_started: &Option<std::time::Instant>,
+    sink: MorselSink,
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let mut build = Span::leaf("build", "");
+    build.rows_in = nright as u64;
+    build.rows_out = nright as u64;
+    build.wall_ns = build_ns;
+    let mut probe = Span::leaf("probe", "");
+    probe.rows_in = nleft as u64;
+    probe.rows_out = lsel.len() as u64;
+    probe.wall_ns = elapsed_ns(probe_started);
+    probe.children = sink.into_spans();
+    tracer.attach(build);
+    tracer.attach(probe);
 }
 
 /// Gathers rows, substituting a type default where the index is `NONE_ROW`.
@@ -314,7 +396,7 @@ mod tests {
         let on: Vec<(String, String)> =
             on.into_iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
         let mut p = WorkProfile::new();
-        exec_join(l, r, &on, jt, &mut p, &EngineConfig::serial()).unwrap()
+        exec_join(l, r, &on, jt, &mut p, &EngineConfig::serial(), Tracer::off()).unwrap()
     }
 
     #[test]
@@ -379,6 +461,7 @@ mod tests {
             JoinType::Inner,
             &mut p,
             &EngineConfig::serial(),
+            Tracer::off(),
         );
         assert!(matches!(err, Err(EngineError::Unsupported(_))));
     }
@@ -397,11 +480,13 @@ mod tests {
         for jt in [JoinType::Inner, JoinType::Semi, JoinType::Anti, JoinType::LeftOuter] {
             let on = [("lk".to_string(), "rk".to_string())];
             let mut sp = WorkProfile::new();
-            let serial = exec_join(&l, &r, &on, jt, &mut sp, &EngineConfig::serial()).unwrap();
+            let serial =
+                exec_join(&l, &r, &on, jt, &mut sp, &EngineConfig::serial(), Tracer::off())
+                    .unwrap();
             for threads in [2, 4] {
                 let cfg = EngineConfig::with_threads(threads).with_morsel_rows(13);
                 let mut pp = WorkProfile::new();
-                let par = exec_join(&l, &r, &on, jt, &mut pp, &cfg).unwrap();
+                let par = exec_join(&l, &r, &on, jt, &mut pp, &cfg, Tracer::off()).unwrap();
                 assert_eq!(par, serial, "{jt:?} diverged at {threads} threads");
                 assert_eq!(pp, sp, "{jt:?} profile diverged at {threads} threads");
             }

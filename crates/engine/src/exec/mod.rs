@@ -1,6 +1,14 @@
 //! Physical execution: a recursive, fully materializing (operator-at-a-time)
 //! interpreter over [`LogicalPlan`] — the MonetDB execution style the paper
 //! benchmarks. Every operator charges its work to a [`WorkProfile`].
+//!
+//! Execution can be traced: [`execute_traced`] threads an enabled
+//! [`Tracer`] through the interpreter, and every operator becomes a span in
+//! a tree mirroring the plan. Span counters are *inclusive* (operator plus
+//! its inputs), measured as work-profile deltas around each subtree, so
+//! summing each span's `self` counters reproduces the query's total profile
+//! exactly. The default path passes [`Tracer::off`], which reduces every
+//! trace call to a branch on a `None`.
 
 pub mod aggregate;
 pub mod filter;
@@ -10,10 +18,12 @@ pub mod sort;
 
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;
+use crate::expr::Expr;
 use crate::plan::LogicalPlan;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
 use parallel::EngineConfig;
+use wimpi_obs::{Span, Tracer};
 use wimpi_storage::Catalog;
 
 /// Executes a plan serially — today's default; identical to
@@ -31,61 +41,178 @@ pub fn execute_with(
     cfg: &EngineConfig,
 ) -> Result<(Relation, WorkProfile)> {
     let mut prof = WorkProfile::new();
-    let rel = exec_node(plan, catalog, &mut prof, cfg)?;
+    let rel = exec_node(plan, catalog, &mut prof, cfg, Tracer::off())?;
     prof.rows_out = rel.num_rows() as u64;
     Ok((rel, prof))
 }
 
-/// Recursive node interpreter.
+/// Executes a plan with operator-level tracing, returning the result, the
+/// work profile, and the query's span tree. The root span's counters equal
+/// the returned profile exactly, and every span's `self` counters sum back
+/// to that root (the invariant `wimpi-core`'s trace checker enforces).
+pub fn execute_traced(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<(Relation, WorkProfile, Span)> {
+    let tracer = Tracer::enabled();
+    tracer.push("query", "");
+    let mut prof = WorkProfile::new();
+    let rel = exec_node(plan, catalog, &mut prof, cfg, &tracer)?;
+    prof.rows_out = rel.num_rows() as u64;
+    tracer.pop(prof.rows_in, prof.rows_out, prof.counter_pairs());
+    let span = tracer.take_root().expect("traced execution produces a root span");
+    Ok((rel, prof, span))
+}
+
+/// Recursive node interpreter; wraps every node in a trace span when the
+/// tracer is enabled.
 pub(crate) fn exec_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
+    tracer: &Tracer,
 ) -> Result<Relation> {
+    if !tracer.is_enabled() {
+        return exec_node_inner(plan, catalog, prof, cfg, tracer).map(|(_, rel)| rel);
+    }
+    let (op, label) = span_head(plan);
+    tracer.push(op, &label);
+    let before = *prof;
+    match exec_node_inner(plan, catalog, prof, cfg, tracer) {
+        Ok((rows_in, rel)) => {
+            tracer.pop(rows_in, rel.num_rows() as u64, prof.delta_since(&before).counter_pairs());
+            Ok(rel)
+        }
+        Err(e) => {
+            // Keep the span stack balanced; the trace is discarded on error.
+            tracer.pop(0, 0, Vec::new());
+            Err(e)
+        }
+    }
+}
+
+/// The actual interpreter. Returns the operator's input row count alongside
+/// its output so the caller can fill the span without re-deriving it.
+fn exec_node_inner(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    prof: &mut WorkProfile,
+    cfg: &EngineConfig,
+    tracer: &Tracer,
+) -> Result<(u64, Relation)> {
     match plan {
         LogicalPlan::Scan { table, projection } => {
             let t = catalog.table(table)?;
             let rel = Relation::from_table(t, projection.as_deref())?;
             prof.rows_in += rel.num_rows() as u64;
-            Ok(rel)
+            Ok((0, rel))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rel = exec_node(input, catalog, prof, cfg)?;
-            filter::exec_filter(&rel, predicate, prof, cfg)
+            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rows_in = rel.num_rows() as u64;
+            Ok((rows_in, filter::exec_filter(&rel, predicate, prof, cfg, tracer)?))
         }
         LogicalPlan::Project { input, exprs } => {
-            let rel = exec_node(input, catalog, prof, cfg)?;
-            let mut ev = Evaluator::with_config(&rel, prof, *cfg);
+            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let n = rel.num_rows() as u64;
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
-                fields.push((name.clone(), ev.eval(e)?));
+                let traced = tracer.is_enabled();
+                if traced {
+                    tracer.push("eval", name);
+                }
+                let before = *prof;
+                let col = Evaluator::with_config(&rel, prof, *cfg).eval(e);
+                if traced {
+                    tracer.pop(n, n, prof.delta_since(&before).counter_pairs());
+                }
+                fields.push((name.clone(), col?));
             }
             if fields.is_empty() {
                 return Err(EngineError::Plan("empty projection".to_string()));
             }
-            Relation::new(fields)
+            Ok((n, Relation::new(fields)?))
         }
         LogicalPlan::Join { left, right, on, join_type } => {
-            let l = exec_node(left, catalog, prof, cfg)?;
-            let r = exec_node(right, catalog, prof, cfg)?;
-            join::exec_join(&l, &r, on, *join_type, prof, cfg)
+            let l = exec_node(left, catalog, prof, cfg, tracer)?;
+            let r = exec_node(right, catalog, prof, cfg, tracer)?;
+            let rows_in = (l.num_rows() + r.num_rows()) as u64;
+            Ok((rows_in, join::exec_join(&l, &r, on, *join_type, prof, cfg, tracer)?))
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
-            let rel = exec_node(input, catalog, prof, cfg)?;
-            aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg)
+            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rows_in = rel.num_rows() as u64;
+            Ok((rows_in, aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg, tracer)?))
         }
         LogicalPlan::Sort { input, keys } => {
-            let rel = exec_node(input, catalog, prof, cfg)?;
-            sort::exec_sort(&rel, keys, prof)
+            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rows_in = rel.num_rows() as u64;
+            Ok((rows_in, sort::exec_sort(&rel, keys, prof)?))
         }
         LogicalPlan::Limit { input, n } => {
-            let rel = exec_node(input, catalog, prof, cfg)?;
+            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
             let keep = rel.num_rows().min(*n);
+            ensure_u32_indexable(keep, "limit")?;
             let sel: Vec<u32> = (0..keep as u32).collect();
-            Ok(rel.take(&sel))
+            Ok((rel.num_rows() as u64, rel.take(&sel)))
         }
     }
+}
+
+/// Span `(op, label)` for a plan node. Labels are short human sketches —
+/// table names, predicate/key summaries — not full expression dumps.
+fn span_head(plan: &LogicalPlan) -> (&'static str, String) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => ("scan", table.clone()),
+        LogicalPlan::Filter { predicate, .. } => ("filter", expr_sketch(predicate)),
+        LogicalPlan::Project { exprs, .. } => ("project", format!("{} exprs", exprs.len())),
+        LogicalPlan::Join { on, join_type, .. } => {
+            let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            ("join", format!("{join_type:?} {}", keys.join(",")))
+        }
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            ("aggregate", format!("{} keys, {} aggs", group_by.len(), aggs.len()))
+        }
+        LogicalPlan::Sort { keys, .. } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", k.column, if k.descending { " desc" } else { "" }))
+                .collect();
+            ("sort", ks.join(","))
+        }
+        LogicalPlan::Limit { n, .. } => ("limit", n.to_string()),
+    }
+}
+
+/// A short (≤ 48 char) debug sketch of an expression for span labels.
+pub(crate) fn expr_sketch(e: &Expr) -> String {
+    let full = format!("{e:?}");
+    if full.len() <= 48 {
+        full
+    } else {
+        let mut cut = 45;
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}...", &full[..cut])
+    }
+}
+
+/// Rejects row counts the engine's `u32` selection vectors cannot index.
+/// `u32::MAX` itself is excluded — it is the join's "no row" sentinel.
+///
+/// Every operator that builds a `u32` row-index vector (`filter`, `join`,
+/// `aggregate`, `sort`, `limit`) guards its input through this before
+/// casting; `Relation::take` can then assume in-range indices.
+pub(crate) fn ensure_u32_indexable(n: usize, op: &str) -> Result<()> {
+    if n >= u32::MAX as usize {
+        return Err(EngineError::Unsupported(format!(
+            "{op} over {n} rows exceeds the engine's u32 row-index limit"
+        )));
+    }
+    Ok(())
 }
 
 /// Extracts a join/group key column as `i64` values.
@@ -104,4 +231,33 @@ pub(crate) fn key_values(col: &wimpi_storage::Column) -> Result<Vec<i64>> {
         Column::Str(d) => d.codes().iter().map(|&c| c as i64).collect(),
         Column::Float64(v) => v.iter().map(|&f| f.to_bits() as i64).collect(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_guard_rejects_only_unindexable_sizes() {
+        assert!(ensure_u32_indexable(0, "test").is_ok());
+        assert!(ensure_u32_indexable(u32::MAX as usize - 1, "test").is_ok());
+        let err = ensure_u32_indexable(u32::MAX as usize, "sort").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+        assert!(err.to_string().contains("sort"));
+        assert!(ensure_u32_indexable(u32::MAX as usize + 1, "test").is_err());
+    }
+
+    #[test]
+    fn expr_sketch_truncates_long_expressions() {
+        use crate::expr::{col, lit};
+        let short = expr_sketch(&col("k"));
+        assert!(short.len() <= 48);
+        let mut e = col("a").gt(lit(0i64));
+        for i in 0..10 {
+            e = e.and(col("abcdefgh").lt(lit(i)));
+        }
+        let sketch = expr_sketch(&e);
+        assert!(sketch.len() <= 48, "{}: {}", sketch.len(), sketch);
+        assert!(sketch.ends_with("..."));
+    }
 }

@@ -75,9 +75,53 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    run_morsels_indexed(cfg, ranges, |_, i, r| f(i, r))
+}
+
+/// [`run_morsels`] with per-morsel trace recording: each morsel's wall time,
+/// row count, and executing worker go into `sink`. When the sink is disabled
+/// this is exactly `run_morsels` — no timestamps, no recording.
+///
+/// Morsel spans are recorded on the inline (single-worker) path too, as
+/// worker 0, so the trace *structure* is identical at any thread count —
+/// only the measured wall times and worker ids vary (see `wimpi-obs`).
+pub(crate) fn run_morsels_spanned<T, F>(
+    cfg: &EngineConfig,
+    ranges: &[Range<usize>],
+    sink: &wimpi_obs::MorselSink,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if !sink.is_enabled() {
+        return run_morsels(cfg, ranges, f);
+    }
+    run_morsels_indexed(cfg, ranges, |worker, i, r| {
+        let rows = r.len() as u64;
+        let started = std::time::Instant::now();
+        let out = f(i, r);
+        sink.record(wimpi_obs::MorselSpan {
+            index: i,
+            rows,
+            worker,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        });
+        out
+    })
+}
+
+/// The worker-aware core: `f(worker, morsel_index, range)`. The inline path
+/// runs everything as worker 0.
+fn run_morsels_indexed<T, F>(cfg: &EngineConfig, ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize, Range<usize>) -> T + Sync,
+{
     let nworkers = cfg.threads.min(ranges.len()).max(1);
     if nworkers == 1 {
-        return ranges.iter().enumerate().map(|(i, r)| f(i, r.clone())).collect();
+        return ranges.iter().enumerate().map(|(i, r)| f(0, i, r.clone())).collect();
     }
     let deques: Vec<Mutex<VecDeque<usize>>> =
         (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -99,7 +143,7 @@ where
                             })
                         });
                         match job {
-                            Some(i) => done.push((i, f(i, ranges[i].clone()))),
+                            Some(i) => done.push((i, f(w, i, ranges[i].clone()))),
                             None => break,
                         }
                     }
@@ -195,6 +239,31 @@ mod tests {
         for t in [2, 3, 4, 8] {
             assert_eq!(s1.to_bits(), sum_with(t).to_bits(), "threads={t}");
         }
+    }
+
+    #[test]
+    fn spanned_run_records_every_morsel_in_order() {
+        use wimpi_obs::Tracer;
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig::with_threads(threads).with_morsel_rows(10);
+            let ranges = morsel_ranges(95, 10);
+            let tracer = Tracer::enabled();
+            let sink = tracer.morsel_sink();
+            let out = run_morsels_spanned(&cfg, &ranges, &sink, |i, r| (i, r.len()));
+            assert_eq!(out.len(), 10);
+            let spans = sink.into_spans();
+            assert_eq!(spans.len(), 10, "threads={threads}");
+            for (i, s) in spans.iter().enumerate() {
+                assert_eq!(s.label, i.to_string(), "merged in morsel order");
+                assert_eq!(s.rows_in, if i == 9 { 5 } else { 10 });
+            }
+        }
+        // A disabled sink records nothing and changes nothing.
+        let cfg = EngineConfig::with_threads(2).with_morsel_rows(10);
+        let sink = Tracer::disabled().morsel_sink();
+        let out = run_morsels_spanned(&cfg, &morsel_ranges(95, 10), &sink, |i, _| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(sink.into_spans().is_empty());
     }
 
     #[test]

@@ -28,6 +28,17 @@ impl KeyRep {
             KeyRep::Rank(v) => v[a].cmp(&v[b]),
         }
     }
+
+    /// Bytes one comparison streams per row of this key: ranks are `u32`
+    /// (4 B), integer/float keys are 8 B. Cost accounting must charge the
+    /// width actually touched, or hwsim over-prices ORDER BY on dictionary
+    /// columns by 2×.
+    fn row_bytes(&self) -> u64 {
+        match self {
+            KeyRep::I64(_) | KeyRep::F64(_) => 8,
+            KeyRep::Rank(_) => 4,
+        }
+    }
 }
 
 /// Sorts the relation by `keys` (most significant first).
@@ -36,6 +47,7 @@ pub fn exec_sort(rel: &Relation, keys: &[SortKey], prof: &mut WorkProfile) -> Re
         return Err(EngineError::Plan("sort requires at least one key".to_string()));
     }
     let n = rel.num_rows();
+    super::ensure_u32_indexable(n, "sort")?;
     let mut reps = Vec::with_capacity(keys.len());
     for k in keys {
         let col = rel.column(&k.column)?;
@@ -51,10 +63,14 @@ pub fn exec_sort(rel: &Relation, keys: &[SortKey], prof: &mut WorkProfile) -> Re
         }
         Ordering::Equal
     });
-    // n log n comparisons over all keys, plus the output gather.
-    let logn = (n.max(2) as f64).log2() as u64;
+    // n log n comparisons over all keys, plus the output gather. log2 is
+    // rounded to nearest — truncation undercharged by up to one comparison
+    // level per row (e.g. n=1000 paid for 9 of its ~10 levels).
+    let logn = (n.max(2) as f64).log2().round() as u64;
     prof.cpu_ops += n as u64 * logn * keys.len() as u64;
-    prof.seq_read_bytes += (n * 8 * keys.len()) as u64;
+    // Each comparison streams the key representations at their real widths:
+    // 4 B dictionary ranks, 8 B integer/float keys.
+    prof.seq_read_bytes += n as u64 * reps.iter().map(|(rep, _)| rep.row_bytes()).sum::<u64>();
     let out = rel.take(&idx);
     super::filter::charge_gather(rel, &out, n, prof);
     Ok(out)
@@ -127,6 +143,19 @@ mod tests {
         let out = sort(vec![SortKey::asc("name")]);
         // betas keep their original relative order (v=2 before v=1)
         assert_eq!(out.column("v").unwrap().as_i64().unwrap(), &[9, 4, 2, 1]);
+    }
+
+    #[test]
+    fn cost_charges_actual_key_widths() {
+        // name is a Str key (4 B rank), v an Int64 key (8 B).
+        let mut both = WorkProfile::new();
+        let out = exec_sort(&rel(), &[SortKey::asc("name"), SortKey::asc("v")], &mut both).unwrap();
+        let mut gather_only = WorkProfile::new();
+        super::super::filter::charge_gather(&rel(), &out, 4, &mut gather_only);
+        let key_bytes = both.seq_read_bytes - gather_only.seq_read_bytes;
+        assert_eq!(key_bytes, 4 * (4 + 8), "4 rows × (rank 4 B + i64 8 B)");
+        // log2 rounds to nearest: n=4 → exactly 2 levels, 2 keys.
+        assert_eq!(both.cpu_ops - gather_only.cpu_ops, 4 * 2 * 2);
     }
 
     #[test]

@@ -19,11 +19,12 @@ pub mod stats;
 
 pub use error::{EngineError, Result};
 pub use exec::parallel::EngineConfig;
-pub use exec::{execute, execute_with};
+pub use exec::{execute, execute_traced, execute_with};
 pub use expr::{col, date, dec2, lit, Expr};
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
 pub use relation::Relation;
 pub use stats::WorkProfile;
+pub use wimpi_obs::{Span, Tracer};
 
 use wimpi_storage::Catalog;
 
@@ -42,4 +43,17 @@ pub fn execute_query_with(
 ) -> Result<(Relation, WorkProfile)> {
     let optimized = optimizer::optimize(plan.clone(), catalog)?;
     exec::execute_with(&optimized, catalog, cfg)
+}
+
+/// Optimizes and executes a plan with operator-level tracing enabled,
+/// returning the query's span tree alongside the result. Tracing adds a
+/// per-operator timing wrapper but never changes results or work profiles;
+/// the root span's counters equal the returned [`WorkProfile`] exactly.
+pub fn execute_query_traced(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<(Relation, WorkProfile, Span)> {
+    let optimized = optimizer::optimize(plan.clone(), catalog)?;
+    exec::execute_traced(&optimized, catalog, cfg)
 }

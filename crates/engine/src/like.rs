@@ -7,8 +7,14 @@
 /// Returns true when `text` matches the SQL LIKE `pattern`.
 ///
 /// Uses the classic two-pointer backtracking algorithm (linear for the
-/// TPC-H patterns, worst-case O(n·m)).
+/// TPC-H patterns, worst-case O(n·m)). All-ASCII inputs — every TPC-H
+/// string — match directly over the byte slices with no allocation; mixed
+/// or non-ASCII inputs fall back to a char-decoded path (`_` must match one
+/// *character*, so byte indexing would miscount multi-byte UTF-8).
 pub fn like_match(text: &str, pattern: &str) -> bool {
+    if text.is_ascii() && pattern.is_ascii() {
+        return like_match_ascii(text.as_bytes(), pattern.as_bytes());
+    }
     let t: Vec<char> = text.chars().collect();
     let p: Vec<char> = pattern.chars().collect();
     let (mut ti, mut pi) = (0usize, 0usize);
@@ -31,6 +37,33 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
         }
     }
     while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// The same two-pointer backtracking over raw bytes — valid because in
+/// all-ASCII inputs every byte is one character.
+fn like_match_ascii(t: &[u8], p: &[u8]) -> bool {
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            pi = star_p + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
         pi += 1;
     }
     pi == p.len()

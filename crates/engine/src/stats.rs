@@ -65,6 +65,42 @@ impl WorkProfile {
         self.network_bytes = self.network_bytes.saturating_add(o.network_bytes);
     }
 
+    /// Per-counter saturating difference `self - before`: the inclusive work
+    /// performed between two profile snapshots, which is exactly what a trace
+    /// span records (counters only grow, so this is exact in practice).
+    pub fn delta_since(&self, before: &WorkProfile) -> WorkProfile {
+        WorkProfile {
+            cpu_ops: self.cpu_ops.saturating_sub(before.cpu_ops),
+            seq_read_bytes: self.seq_read_bytes.saturating_sub(before.seq_read_bytes),
+            seq_write_bytes: self.seq_write_bytes.saturating_sub(before.seq_write_bytes),
+            rand_accesses: self.rand_accesses.saturating_sub(before.rand_accesses),
+            hash_bytes: self.hash_bytes.saturating_sub(before.hash_bytes),
+            rows_in: self.rows_in.saturating_sub(before.rows_in),
+            rows_out: self.rows_out.saturating_sub(before.rows_out),
+            network_bytes: self.network_bytes.saturating_sub(before.network_bytes),
+        }
+    }
+
+    /// The counters as named pairs with zero entries omitted — the generic
+    /// form `wimpi-obs` spans carry (obs sits below the engine in the
+    /// dependency graph and cannot name `WorkProfile`).
+    pub fn counter_pairs(&self) -> Vec<(String, u64)> {
+        [
+            ("cpu_ops", self.cpu_ops),
+            ("seq_read_bytes", self.seq_read_bytes),
+            ("seq_write_bytes", self.seq_write_bytes),
+            ("rand_accesses", self.rand_accesses),
+            ("hash_bytes", self.hash_bytes),
+            ("rows_in", self.rows_in),
+            ("rows_out", self.rows_out),
+            ("network_bytes", self.network_bytes),
+        ]
+        .into_iter()
+        .filter(|&(_, v)| v != 0)
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+    }
+
     /// Scales every counter by an integer factor — used to extrapolate a
     /// measured SF to the paper's SF when the host can't hold the full data
     /// (all TPC-H choke-point work scales linearly in SF; DESIGN.md §4).
@@ -136,6 +172,30 @@ mod tests {
         let mut s = WorkProfile { cpu_ops: u64::MAX - 1, ..Default::default() };
         s.merge(&WorkProfile { cpu_ops: 7, ..Default::default() });
         assert_eq!(s.cpu_ops, u64::MAX, "merge saturates instead of overflowing");
+    }
+
+    #[test]
+    fn delta_since_subtracts_snapshots() {
+        let before = WorkProfile { cpu_ops: 10, seq_read_bytes: 100, ..Default::default() };
+        let after = WorkProfile { cpu_ops: 25, seq_read_bytes: 100, rows_in: 3, ..before };
+        let d = after.delta_since(&before);
+        assert_eq!(d.cpu_ops, 15);
+        assert_eq!(d.seq_read_bytes, 0);
+        assert_eq!(d.rows_in, 3);
+        // Counters never shrink, but the subtraction still saturates.
+        assert_eq!(before.delta_since(&after).cpu_ops, 0);
+    }
+
+    #[test]
+    fn counter_pairs_name_nonzero_counters() {
+        let p = WorkProfile { cpu_ops: 7, hash_bytes: 9, ..Default::default() };
+        let pairs = p.counter_pairs();
+        assert_eq!(
+            pairs,
+            vec![("cpu_ops".to_string(), 7), ("hash_bytes".to_string(), 9)],
+            "zero counters are omitted"
+        );
+        assert!(WorkProfile::new().counter_pairs().is_empty());
     }
 
     #[test]

@@ -158,6 +158,61 @@ proptest! {
     }
 }
 
+/// Ground-truth LIKE: exponential recursive descent over chars. Obviously
+/// correct, unusably slow on big inputs — which is why `like_match` exists.
+fn naive_like(text: &[char], pattern: &[char]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some(('%', rest)) => (0..=text.len()).any(|i| naive_like(&text[i..], rest)),
+        Some(('_', rest)) => !text.is_empty() && naive_like(&text[1..], rest),
+        Some((c, rest)) => text.first() == Some(c) && naive_like(&text[1..], rest),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `like_match` (iterative, backtracking, with an ASCII byte fast path)
+    /// agrees with the naive recursive reference on every ASCII input. The
+    /// generator's `c`/`d` become `%`/`_` in the pattern only, so texts also
+    /// contain characters the pattern can never match literally.
+    #[test]
+    fn like_matches_naive_reference_ascii(text in "[a-d]{0,8}", raw in "[a-d]{0,8}") {
+        let pattern: String =
+            raw.chars().map(|c| match c { 'c' => '%', 'd' => '_', c => c }).collect();
+        let expected = naive_like(
+            &text.chars().collect::<Vec<_>>(),
+            &pattern.chars().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(wimpi_engine::like::like_match(&text, &pattern), expected,
+            "text={:?} pattern={:?}", text, pattern);
+    }
+
+    /// Same agreement off the ASCII fast path: `b` maps to a multi-byte
+    /// char in both text and pattern, forcing the char-wise slow path.
+    #[test]
+    fn like_matches_naive_reference_unicode(text in "[a-d]{0,8}", raw in "[a-d]{0,8}") {
+        let widen = |s: &str, wild: bool| -> String {
+            s.chars()
+                .map(|c| match c {
+                    'b' => 'é',
+                    'c' if wild => '%',
+                    'd' if wild => '_',
+                    c => c,
+                })
+                .collect()
+        };
+        let text = widen(&text, false);
+        let pattern = widen(&raw, true);
+        let expected = naive_like(
+            &text.chars().collect::<Vec<_>>(),
+            &pattern.chars().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(wimpi_engine::like::like_match(&text, &pattern), expected,
+            "text={:?} pattern={:?}", text, pattern);
+    }
+}
+
 /// Builds a [`wimpi_engine::WorkProfile`] from two sampled 4-tuples (the
 /// proptest shim's tuple strategies cap at four elements).
 #[allow(clippy::type_complexity)]

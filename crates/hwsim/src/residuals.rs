@@ -1,0 +1,58 @@
+//! Modeled-vs-measured residual tracking.
+//!
+//! Wherever the repo has both a hwsim prediction and a host measurement for
+//! the same work (the `scaling` bench, the experiment runners), the delta is
+//! worth keeping: a drifting residual distribution is the first sign the
+//! roofline calibration no longer matches the engine. Residuals land in a
+//! [`Registry`] as a relative-error histogram per machine plus a per-label
+//! model/measured ratio gauge.
+
+use wimpi_obs::Registry;
+
+/// Histogram bucket bounds for `|modeled − measured| / measured`.
+pub const RESIDUAL_BUCKETS: [f64; 6] = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
+
+/// Records one modeled-vs-measured pair into `reg`.
+///
+/// `machine` is the hardware profile name, `label` identifies the workload
+/// (e.g. `"Q6/4T"`). Non-positive or non-finite measurements only bump the
+/// sample counter — host timers on loaded CI machines do return zeros.
+pub fn record_residuals(reg: &Registry, machine: &str, label: &str, modeled: f64, measured: f64) {
+    reg.inc(&format!("hwsim_residual_samples{{machine=\"{machine}\"}}"), 1);
+    if measured > 0.0 && modeled.is_finite() && measured.is_finite() {
+        let rel = (modeled - measured).abs() / measured;
+        reg.observe(
+            &format!("hwsim_residual_relative{{machine=\"{machine}\"}}"),
+            &RESIDUAL_BUCKETS,
+            rel,
+        );
+        reg.set_gauge(
+            &format!("hwsim_model_ratio{{machine=\"{machine}\",label=\"{label}\"}}"),
+            modeled / measured,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_histogram_and_ratio() {
+        let reg = Registry::new();
+        record_residuals(&reg, "pi3b+", "Q6/4T", 2.0, 1.0);
+        record_residuals(&reg, "pi3b+", "Q1/4T", 1.05, 1.0);
+        assert_eq!(reg.counter("hwsim_residual_samples{machine=\"pi3b+\"}"), 2);
+        assert_eq!(reg.gauge("hwsim_model_ratio{machine=\"pi3b+\",label=\"Q6/4T\"}"), Some(2.0));
+        let rendered = reg.render();
+        assert!(rendered.contains("hwsim_residual_relative"), "{rendered}");
+    }
+
+    #[test]
+    fn zero_measurement_only_counts_the_sample() {
+        let reg = Registry::new();
+        record_residuals(&reg, "op-e5", "Q1/2T", 0.5, 0.0);
+        assert_eq!(reg.counter("hwsim_residual_samples{machine=\"op-e5\"}"), 1);
+        assert_eq!(reg.gauge("hwsim_model_ratio{machine=\"op-e5\",label=\"Q1/2T\"}"), None);
+    }
+}

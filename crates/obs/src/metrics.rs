@@ -1,0 +1,251 @@
+//! A small metrics registry: named counters, gauges, and fixed-bucket
+//! histograms behind one mutex. Dependency-free and deterministic — metric
+//! names are kept in a `BTreeMap`, so snapshots and renderings are always in
+//! lexicographic order regardless of registration order.
+//!
+//! Used by `cluster` (fault/recovery/backoff events) and `hwsim`
+//! (modeled-vs-measured residuals). Throughput is irrelevant at those call
+//! sites — events are per-partition or per-query, not per-row — so a mutexed
+//! map is the right trade against code size.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::span::json_str;
+
+/// One recorded metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing count of events.
+    Counter(u64),
+    /// Last-observed value.
+    Gauge(f64),
+    /// Observations bucketed against fixed upper bounds.
+    Histogram(Histogram),
+}
+
+/// A histogram with fixed, caller-chosen bucket upper bounds plus an
+/// implicit `+inf` bucket, tracking count and sum for mean recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// `counts[i]` = observations `<= bounds[i]` (non-cumulative);
+    /// `counts[bounds.len()]` = observations above every bound.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let slot = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// A registry of named metrics. Interior-mutable so subsystems that only
+/// hand out `&self` (e.g. `WimpiCluster::run`) can still record.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn inc(&self, name: &str, delta: u64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += delta,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.metrics.lock().unwrap().insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Records `value` into the named histogram, creating it with `bounds`
+    /// on first use. Later calls ignore `bounds` (the first call wins).
+    pub fn observe(&self, name: &str, bounds: &[f64], value: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of a counter (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge (`None` when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.metrics.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.lock().unwrap().is_empty()
+    }
+
+    /// Renders every metric as `name value` lines (histograms as
+    /// `name{le=bound} count` plus `_count`/`_sum`), Prometheus-flavoured.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {c}\n")),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {g}\n")),
+                Metric::Histogram(h) => {
+                    for (i, c) in h.counts.iter().enumerate() {
+                        let le = h
+                            .bounds
+                            .get(i)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+inf".to_string());
+                        out.push_str(&format!("{name}{{le=\"{le}\"}} {c}\n"));
+                    }
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes every metric as one JSON object
+    /// (`{"name": 3, "g": 1.5, "h": {"bounds": [...], ...}}`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (name, metric)) in self.snapshot().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_str(&mut s, &name);
+            s.push(':');
+            match metric {
+                Metric::Counter(c) => s.push_str(&c.to_string()),
+                Metric::Gauge(g) => s.push_str(&json_f64(g)),
+                Metric::Histogram(h) => {
+                    s.push_str("{\"bounds\":[");
+                    for (j, b) in h.bounds.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&json_f64(*b));
+                    }
+                    s.push_str("],\"counts\":[");
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&c.to_string());
+                    }
+                    s.push_str(&format!("],\"count\":{},\"sum\":{}}}", h.count, json_f64(h.sum)));
+                }
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// f64 → JSON number (JSON has no NaN/inf; map them to null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.inc("faults.crash", 1);
+        r.inc("faults.crash", 2);
+        assert_eq!(r.counter("faults.crash"), 3);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.set_gauge("coverage", 0.5);
+        r.set_gauge("coverage", 0.9);
+        assert_eq!(r.gauge("coverage"), Some(0.9));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let r = Registry::new();
+        let bounds = [1.0, 10.0];
+        r.observe("backoff_s", &bounds, 0.5);
+        r.observe("backoff_s", &bounds, 1.0); // inclusive upper bound
+        r.observe("backoff_s", &bounds, 5.0);
+        r.observe("backoff_s", &bounds, 100.0); // +inf bucket
+        let snap = r.snapshot();
+        let (_, Metric::Histogram(h)) = &snap[0] else { panic!("expected histogram") };
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 106.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_render_stable() {
+        let r = Registry::new();
+        r.inc("z.last", 1);
+        r.inc("a.first", 1);
+        let names: Vec<_> = r.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+        let text = r.render();
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+    }
+
+    #[test]
+    fn json_is_an_object() {
+        let r = Registry::new();
+        assert_eq!(r.to_json(), "{}");
+        r.inc("c", 2);
+        r.set_gauge("g", 1.5);
+        r.observe("h", &[1.0], 0.5);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"c\":2"));
+        assert!(j.contains("\"g\":1.5"));
+        assert!(j.contains("\"bounds\":[1]"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace spans — one node per operator (or per morsel) of a query execution.
+//!
+//! A span records what an operator *did*: rows in and out, wall-clock time,
+//! and the work-profile counters accumulated while it (and its subtree) ran.
+//! Counters are stored **inclusive** (the whole subtree); [`Span::self_counters`]
+//! subtracts the children, so summing `self` over the tree reproduces the
+//! root's inclusive totals exactly — the invariant the trace checker in
+//! `wimpi-core` enforces.
+
+/// One node of a query trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Operator kind: `scan`, `filter`, `eval`, `join`, `aggregate`, `sort`,
+    /// `limit`, `query`, or a stage/morsel name (`build`, `probe`, `morsel`).
+    pub op: String,
+    /// Human label (table name, expression sketch, morsel index…).
+    pub label: String,
+    /// Rows entering the operator.
+    pub rows_in: u64,
+    /// Rows leaving the operator.
+    pub rows_out: u64,
+    /// Measured wall-clock nanoseconds (the only non-deterministic field,
+    /// along with the `worker` counter on morsel spans).
+    pub wall_ns: u64,
+    /// Inclusive work counters (subtree totals), zero entries omitted.
+    pub counters: Vec<(String, u64)>,
+    /// Child spans in deterministic order (operator inputs first, then
+    /// stages, then morsels in morsel-index order).
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A span with everything zero/empty but `op` and `label`.
+    pub fn leaf(op: impl Into<String>, label: impl Into<String>) -> Self {
+        Span {
+            op: op.into(),
+            label: label.into(),
+            rows_in: 0,
+            rows_out: 0,
+            wall_ns: 0,
+            counters: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The value of one inclusive counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Exclusive counters: this span's inclusive totals minus the sum of its
+    /// children's inclusive totals (saturating — children are nested
+    /// sub-intervals of an additive counter, so this is exact in practice).
+    pub fn self_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(name, v)| {
+                let kids: u64 = self.children.iter().map(|c| c.counter(name)).sum();
+                (name.clone(), v.saturating_sub(kids))
+            })
+            .collect()
+    }
+
+    /// Total number of spans in the subtree (including `self`).
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(Span::len).sum::<usize>()
+    }
+
+    /// True when the tree is a single node.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Structural equality: everything except measured wall time and the
+    /// `worker` counter (which worker ran a morsel is a race; *what* ran,
+    /// over *which rows*, with *which work*, is deterministic).
+    pub fn structure_eq(&self, other: &Span) -> bool {
+        let strip = |c: &Vec<(String, u64)>| -> Vec<(String, u64)> {
+            c.iter().filter(|(n, _)| n != "worker").cloned().collect()
+        };
+        self.op == other.op
+            && self.label == other.label
+            && self.rows_in == other.rows_in
+            && self.rows_out == other.rows_out
+            && strip(&self.counters) == strip(&other.counters)
+            && self.children.len() == other.children.len()
+            && self.children.iter().zip(&other.children).all(|(a, b)| a.structure_eq(b))
+    }
+
+    /// Renders the tree as aligned text, one line per span:
+    /// `op[label]  rows_in→rows_out  wall  self-bytes  self-ops`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let selfs = self.self_counters();
+        let get = |n: &str| selfs.iter().find(|(k, _)| k == n).map_or(0, |(_, v)| *v);
+        let bytes = get("seq_read_bytes") + get("seq_write_bytes");
+        let name = if self.label.is_empty() {
+            self.op.clone()
+        } else {
+            format!("{}[{}]", self.op, self.label)
+        };
+        out.push_str(&format!(
+            "{:indent$}{name:w$} {:>12} → {:<12} {:>10} {:>12} B {:>12} ops\n",
+            "",
+            self.rows_in,
+            self.rows_out,
+            fmt_ns(self.wall_ns),
+            bytes,
+            get("cpu_ops"),
+            indent = depth * 2,
+            w = 28usize.saturating_sub(depth * 2),
+        ));
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    /// Serializes the tree as a JSON object (no external dependencies; the
+    /// schema is validated by `wimpi-core`'s trace checker).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.json_into(&mut s);
+        s
+    }
+
+    fn json_into(&self, s: &mut String) {
+        s.push_str("{\"op\":");
+        json_str(s, &self.op);
+        s.push_str(",\"label\":");
+        json_str(s, &self.label);
+        s.push_str(&format!(
+            ",\"rows_in\":{},\"rows_out\":{},\"wall_ns\":{}",
+            self.rows_in, self.rows_out, self.wall_ns
+        ));
+        json_counters(s, "total", &self.counters);
+        json_counters(s, "self", &self.self_counters());
+        s.push_str(",\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            c.json_into(s);
+        }
+        s.push_str("]}");
+    }
+}
+
+fn json_counters(s: &mut String, key: &str, counters: &[(String, u64)]) {
+    s.push_str(&format!(",\"{key}\":{{"));
+    for (i, (n, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json_str(s, n);
+        s.push_str(&format!(":{v}"));
+    }
+    s.push('}');
+}
+
+/// Writes a JSON string literal (escaping quotes, backslashes, controls).
+pub(crate) fn json_str(s: &mut String, v: &str) {
+    s.push('"');
+    for ch in v.chars() {
+        match ch {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Span {
+        let mut child = Span::leaf("scan", "lineitem");
+        child.rows_out = 10;
+        child.counters = vec![("cpu_ops".into(), 4), ("seq_read_bytes".into(), 80)];
+        let mut root = Span::leaf("query", "");
+        root.rows_out = 3;
+        root.counters = vec![("cpu_ops".into(), 10), ("seq_read_bytes".into(), 80)];
+        root.children.push(child);
+        root
+    }
+
+    #[test]
+    fn self_counters_subtract_children() {
+        let t = tree();
+        let s = t.self_counters();
+        assert_eq!(s[0], ("cpu_ops".to_string(), 6));
+        assert_eq!(s[1], ("seq_read_bytes".to_string(), 0));
+    }
+
+    #[test]
+    fn self_counters_sum_to_root_total() {
+        let t = tree();
+        fn sum(span: &Span, name: &str) -> u64 {
+            span.self_counters().iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+                + span.children.iter().map(|c| sum(c, name)).sum::<u64>()
+        }
+        assert_eq!(sum(&t, "cpu_ops"), t.counter("cpu_ops"));
+        assert_eq!(sum(&t, "seq_read_bytes"), t.counter("seq_read_bytes"));
+    }
+
+    #[test]
+    fn structure_eq_ignores_wall_and_worker() {
+        let mut a = tree();
+        let mut b = tree();
+        a.wall_ns = 1;
+        b.wall_ns = 99;
+        a.children[0].counters.push(("worker".into(), 0));
+        b.children[0].counters.push(("worker".into(), 3));
+        assert!(a.structure_eq(&b));
+        b.children[0].rows_out = 11;
+        assert!(!a.structure_eq(&b));
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut t = tree();
+        t.label = "a\"b\\c\nd".into();
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\"b\\\\c\\nd"));
+        assert!(j.contains("\"total\":{"));
+        assert!(j.contains("\"self\":{"));
+        assert!(j.contains("\"children\":["));
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let text = tree().render();
+        assert!(text.contains("query"));
+        assert!(text.contains("  scan[lineitem]"));
+        assert_eq!(tree().len(), 2);
+    }
+}

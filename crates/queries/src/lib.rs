@@ -16,7 +16,10 @@ mod q07_11;
 mod q12_17;
 mod q18_22;
 
-use wimpi_engine::{execute_query_with, EngineConfig, LogicalPlan, Relation, Result, WorkProfile};
+use wimpi_engine::{
+    execute_query_traced, execute_query_with, EngineConfig, LogicalPlan, Relation, Result, Span,
+    WorkProfile,
+};
 use wimpi_storage::{Catalog, Value};
 
 /// A TPC-H query, possibly needing a scalar pre-pass.
@@ -73,6 +76,39 @@ pub fn run_with(
                 if r1.num_rows() == 0 { Value::F64(0.0) } else { r1.value(0, scalar_col)? };
             let (r2, p2) = execute_query_with(&second(scalar), catalog, cfg)?;
             Ok((r2, p1 + p2))
+        }
+    }
+}
+
+/// Executes a query (all phases) with operator-level tracing, returning the
+/// span tree alongside the result. Single-phase queries return the engine's
+/// root span directly; two-phase queries nest each phase's tree under a
+/// synthetic root whose counters are the summed work profile, preserving the
+/// invariant that the root's totals equal the returned [`WorkProfile`].
+pub fn run_traced(
+    q: &QueryPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<(Relation, WorkProfile, Span)> {
+    match q {
+        QueryPlan::Single(p) => execute_query_traced(p, catalog, cfg),
+        QueryPlan::TwoPhase { first, scalar_col, second } => {
+            let (r1, p1, mut s1) = execute_query_traced(first, catalog, cfg)?;
+            let scalar =
+                if r1.num_rows() == 0 { Value::F64(0.0) } else { r1.value(0, scalar_col)? };
+            let (r2, p2, mut s2) = execute_query_traced(&second(scalar), catalog, cfg)?;
+            let prof = p1 + p2;
+            s1.op = "phase".to_string();
+            s1.label = "1 (scalar)".to_string();
+            s2.op = "phase".to_string();
+            s2.label = "2 (outer)".to_string();
+            let mut root = Span::leaf("query", "two-phase");
+            root.rows_in = prof.rows_in;
+            root.rows_out = prof.rows_out;
+            root.wall_ns = s1.wall_ns + s2.wall_ns;
+            root.counters = prof.counter_pairs();
+            root.children = vec![s1, s2];
+            Ok((r2, prof, root))
         }
     }
 }

@@ -19,7 +19,7 @@ pub mod token;
 
 pub use error::{Result, SqlError};
 
-use wimpi_engine::{LogicalPlan, Relation, WorkProfile};
+use wimpi_engine::{EngineConfig, LogicalPlan, Relation, Span, WorkProfile};
 use wimpi_storage::Catalog;
 
 /// Parses and plans one SELECT statement.
@@ -33,4 +33,52 @@ pub fn execute_sql(sql: &str, catalog: &Catalog) -> Result<(Relation, WorkProfil
     let p = plan(sql, catalog)?;
     wimpi_engine::execute_query(&p, catalog)
         .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
+}
+
+/// Executes one SELECT statement with operator-level tracing — the engine's
+/// `EXPLAIN ANALYZE`. The returned [`Span`] tree carries per-operator row
+/// counts, wall times, and work-profile deltas; its root totals equal the
+/// returned [`WorkProfile`] exactly.
+pub fn explain_analyze(sql: &str, catalog: &Catalog) -> Result<(Relation, WorkProfile, Span)> {
+    let p = plan(sql, catalog)?;
+    wimpi_engine::execute_query_traced(&p, catalog, &EngineConfig::serial())
+        .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
+}
+
+/// Strips a leading `EXPLAIN ANALYZE` prefix (case-insensitive, any
+/// whitespace between the keywords), returning the statement to trace.
+/// Returns `None` when the input is not an EXPLAIN ANALYZE.
+pub fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    fn strip_word<'a>(s: &'a str, word: &str) -> Option<&'a str> {
+        let head = s.get(..word.len())?;
+        if !head.eq_ignore_ascii_case(word) {
+            return None;
+        }
+        let rest = &s[word.len()..];
+        // Keyword must end at a word boundary: `EXPLAINANALYZE` is not SQL.
+        rest.starts_with(char::is_whitespace).then(|| rest.trim_start())
+    }
+    let rest = strip_word(sql.trim_start(), "EXPLAIN")?;
+    strip_word(rest, "ANALYZE").filter(|r| !r.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_explain_analyze_is_case_insensitive() {
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE SELECT 1"), Some("SELECT 1"));
+        assert_eq!(strip_explain_analyze("explain   analyze\n select 1"), Some("select 1"));
+        assert_eq!(strip_explain_analyze("  Explain Analyze select 1"), Some("select 1"));
+    }
+
+    #[test]
+    fn strip_explain_analyze_rejects_non_prefixes() {
+        assert_eq!(strip_explain_analyze("SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE "), None);
+    }
 }

@@ -28,9 +28,32 @@ pub fn morsel_ranges(n: usize, morsel_rows: usize) -> Vec<Range<usize>> {
     (0..count).map(|m| (m * size)..((m + 1) * size).min(n)).collect()
 }
 
+/// Number of morsels `morsel_ranges(n, morsel_rows)` would produce, without
+/// materializing them. Lets observability code size span buffers up front.
+pub fn morsel_count(n: usize, morsel_rows: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let size = if morsel_rows == 0 { n } else { morsel_rows };
+    n.div_ceil(size)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn count_matches_ranges_len() {
+        for n in [0usize, 1, 99, 100, 101, 65_537] {
+            for size in [0usize, 1, 100, 65_536] {
+                assert_eq!(
+                    morsel_count(n, size),
+                    morsel_ranges(n, size).len(),
+                    "n={n} size={size}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn covers_all_rows_exactly_once() {

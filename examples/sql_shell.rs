@@ -4,13 +4,15 @@
 //! cargo run --release --example sql_shell [sf]
 //! ```
 //!
-//! Type SQL (single line, `;` optional). Meta-commands: `\tables`,
+//! Type SQL (single line, `;` optional). Prefix a statement with
+//! `EXPLAIN ANALYZE` to get the operator-level trace tree (rows, wall time,
+//! and work-profile bytes per operator). Meta-commands: `\tables`,
 //! `\schema <table>`, `\hw` (toggle per-machine predictions), `\q`.
 
 use std::io::{BufRead, Write};
 
 use wimpi::hwsim::{all_profiles, predict_all_cores};
-use wimpi::sql::execute_sql;
+use wimpi::sql::{execute_sql, explain_analyze, strip_explain_analyze};
 use wimpi::tpch::Generator;
 
 fn main() {
@@ -45,6 +47,22 @@ fn main() {
                 let table = cmd.trim_start_matches("\\schema").trim();
                 match catalog.table(table) {
                     Ok(t) => println!("{}", t.schema()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            sql if strip_explain_analyze(sql).is_some() => {
+                let inner = strip_explain_analyze(sql).expect("guard matched");
+                let inner = inner.trim_end_matches(';').trim_end();
+                match explain_analyze(inner, &catalog) {
+                    Ok((rel, work, span)) => {
+                        print!("{}", span.render());
+                        println!(
+                            "({} rows; {:.1} MB streamed, {} ops)",
+                            rel.num_rows(),
+                            work.seq_bytes() as f64 / 1e6,
+                            work.cpu_ops
+                        );
+                    }
                     Err(e) => println!("error: {e}"),
                 }
             }

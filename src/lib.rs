@@ -10,6 +10,7 @@ pub use wimpi_core as core;
 pub use wimpi_engine as engine;
 pub use wimpi_hwsim as hwsim;
 pub use wimpi_microbench as microbench;
+pub use wimpi_obs as obs;
 pub use wimpi_queries as queries;
 pub use wimpi_sql as sql;
 pub use wimpi_storage as storage;

@@ -8,9 +8,9 @@
 //! in release CI (`cargo test --workspace --release`); debug runs keep the
 //! Q1/Q6 smoke.
 
-use wimpi::engine::EngineConfig;
+use wimpi::engine::{execute_query_with, EngineConfig, PlanBuilder, SortKey};
 use wimpi::queries::{query, run_with};
-use wimpi::storage::Catalog;
+use wimpi::storage::{Catalog, Value};
 use wimpi::tpch::Generator;
 
 const SF: f64 = 0.01;
@@ -46,6 +46,47 @@ fn q1_q6_parallel_bit_exact_smoke() {
     let cat = catalog();
     assert_bit_exact(1, &cat);
     assert_bit_exact(6, &cat);
+}
+
+/// Regression for the sort key-representation sweep: a multi-key sort that
+/// mixes dictionary-ranked string keys with a *descending* decimal key must
+/// order correctly and stay bit-exact across thread counts. Exercises the
+/// Rank (u32) and I64 (negated for DESC) key representations together.
+#[test]
+fn multi_key_string_and_decimal_desc_sort() {
+    let cat = catalog();
+    let plan = PlanBuilder::scan("lineitem")
+        .sort(vec![
+            SortKey::asc("l_returnflag"),
+            SortKey::asc("l_linestatus"),
+            SortKey::desc("l_extendedprice"),
+        ])
+        .build();
+    let (rel0, prof0) = execute_query_with(&plan, &cat, &EngineConfig::serial()).expect("serial");
+    for threads in [2, 4] {
+        let cfg = EngineConfig::with_threads(threads);
+        let (rel, prof) = execute_query_with(&plan, &cat, &cfg).expect("parallel run");
+        assert_eq!(rel, rel0, "sort result diverged at {threads} threads");
+        assert_eq!(prof, prof0, "sort work profile diverged at {threads} threads");
+    }
+    // Independently verify the ordering: (flag asc, status asc, price desc).
+    let key = |row: usize| -> (String, String, f64) {
+        let s = |name: &str| match rel0.value(row, name).expect("column present") {
+            Value::Str(s) => s,
+            v => panic!("expected string, got {v:?}"),
+        };
+        let price = match rel0.value(row, "l_extendedprice").expect("column present") {
+            Value::Dec(d) => d.to_f64(),
+            v => panic!("expected decimal, got {v:?}"),
+        };
+        (s("l_returnflag"), s("l_linestatus"), -price)
+    };
+    let mut prev = key(0);
+    for row in 1..rel0.num_rows() {
+        let cur = key(row);
+        assert!(prev <= cur, "rows {row} out of order: {prev:?} then {cur:?}");
+        prev = cur;
+    }
 }
 
 #[test]

@@ -1,0 +1,111 @@
+//! Operator-trace invariants: a trace is an *audit* of the work profile,
+//! not a parallel bookkeeping system that can drift from it.
+//!
+//! Three properties, checked end to end through the public surfaces:
+//!
+//! 1. The root span's inclusive counters equal the query's [`WorkProfile`]
+//!    exactly (tracing observes execution; it never re-derives costs).
+//! 2. The span tree's *structure* — operators, rows, counters, morsel
+//!    children — is identical at every thread count; only wall times and
+//!    worker ids may differ (see `Span::structure_eq`).
+//! 3. The emitted JSON round-trips through `wimpi-core`'s independent
+//!    hand-rolled checker, including the Σ self == root-total invariant.
+
+use wimpi::core::{validate_trace_document, validate_trace_json};
+use wimpi::engine::EngineConfig;
+use wimpi::queries::{query, run_traced, run_with};
+use wimpi::sql::{explain_analyze, strip_explain_analyze};
+use wimpi::storage::Catalog;
+use wimpi::tpch::Generator;
+
+const SF: f64 = 0.01;
+
+/// Q1 (agg-heavy), Q6 (filter-heavy), Q9 (join-heavy), Q15 (two-phase
+/// scalar subquery — the synthetic `query[two-phase]` root).
+const TRACED: [usize; 4] = [1, 6, 9, 15];
+
+fn catalog() -> Catalog {
+    Generator::new(SF).generate_catalog().expect("generation succeeds")
+}
+
+#[test]
+fn root_span_counters_equal_work_profile() {
+    let cat = catalog();
+    for qn in TRACED {
+        let (_, prof, span) = run_traced(&query(qn), &cat, &EngineConfig::serial())
+            .unwrap_or_else(|e| panic!("Q{qn} traces: {e}"));
+        assert_eq!(
+            span.counters,
+            prof.counter_pairs(),
+            "Q{qn}: root span counters must be the work profile, verbatim"
+        );
+        assert_eq!(span.rows_out, prof.rows_out, "Q{qn}: root rows_out");
+        assert!(span.len() > 1, "Q{qn}: trace must have operator children");
+    }
+}
+
+#[test]
+fn tracing_never_changes_results_or_profiles() {
+    let cat = catalog();
+    for qn in TRACED {
+        let cfg = EngineConfig::with_threads(2);
+        let (rel0, prof0) = run_with(&query(qn), &cat, &cfg).expect("untraced run");
+        let (rel, prof, _) = run_traced(&query(qn), &cat, &cfg).expect("traced run");
+        assert_eq!(rel, rel0, "Q{qn}: tracing changed the result");
+        assert_eq!(prof, prof0, "Q{qn}: tracing changed the work profile");
+    }
+}
+
+#[test]
+fn trace_structure_is_thread_count_invariant() {
+    let cat = catalog();
+    for qn in TRACED {
+        let spans: Vec<_> = [1, 2, 4]
+            .iter()
+            .map(|&t| {
+                let cfg = EngineConfig::with_threads(t);
+                run_traced(&query(qn), &cat, &cfg).expect("traced run").2
+            })
+            .collect();
+        for (i, s) in spans.iter().enumerate().skip(1) {
+            assert!(
+                s.structure_eq(&spans[0]),
+                "Q{qn}: trace structure diverged between 1 thread and {} threads:\n{}\nvs\n{}",
+                [1, 2, 4][i],
+                spans[0].render(),
+                s.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn emitted_json_passes_the_independent_checker() {
+    let cat = catalog();
+    for qn in TRACED {
+        let (_, _, span) =
+            run_traced(&query(qn), &cat, &EngineConfig::with_threads(4)).expect("traced run");
+        let stats = validate_trace_json(&span.to_json())
+            .unwrap_or_else(|e| panic!("Q{qn} trace rejected: {e}"));
+        assert_eq!(stats.spans, span.len(), "Q{qn}: checker span count");
+    }
+    let doc = wimpi_bench::trace_document(SF, &[1, 6], &cat, &EngineConfig::serial());
+    let per_query = validate_trace_document(&doc).expect("document validates");
+    assert_eq!(per_query.len(), 2);
+    assert_eq!(per_query[0].0, 1);
+    assert_eq!(per_query[1].0, 6);
+}
+
+#[test]
+fn explain_analyze_traces_sql() {
+    let cat = catalog();
+    let sql = "EXPLAIN ANALYZE SELECT l_returnflag, count(*) AS n \
+               FROM lineitem GROUP BY l_returnflag";
+    let inner = strip_explain_analyze(sql).expect("prefix recognized");
+    let (rel, prof, span) = explain_analyze(inner, &cat).expect("explain analyze runs");
+    assert_eq!(rel.num_rows() as u64, prof.rows_out);
+    assert_eq!(span.counters, prof.counter_pairs());
+    let text = span.render();
+    assert!(text.contains("aggregate"), "span tree names the aggregate:\n{text}");
+    assert!(text.contains("scan[lineitem]"), "span tree names the scan:\n{text}");
+}

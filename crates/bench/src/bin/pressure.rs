@@ -1,0 +1,157 @@
+//! Memory-pressure sweep: the resource governor under shrinking budgets.
+//!
+//! ```text
+//! cargo run --release --bin pressure -- [--sf f] [--queries 1,6,...]
+//!     [--smoke]
+//! ```
+//!
+//! Runs the choke-point queries under a ladder of per-query memory budgets
+//! (unlimited → 16 MB → 1 MB → 64 KB → 1 KB → 0) and records, per cell, the
+//! host seconds, the measured reservation peak, and the execution mode:
+//!
+//! * `inmem` — everything fit, no degradation;
+//! * `grace×k` — at least one join/aggregate build fell back to
+//!   Grace-style partitioning (largest fan-out `k`), answer still bit-exact;
+//! * `exhausted(op)` — even maximal partitioning cannot fit: the typed
+//!   `ResourceExhausted` error named `op`, no crash, engine reusable.
+//!
+//! Every completed budgeted run is asserted bit-exact against the
+//! unconstrained baseline — the governor may slow a query down, never change
+//! its answer. Artifacts land in `results/pressure.{txt,json}` plus a
+//! `results/pressure_modes.txt` matrix.
+//!
+//! `--smoke` is the CI entry point: Q1 must degrade (not error) under a tiny
+//! budget and stay bit-exact, Q6 must stay bit-exact, and a zero budget must
+//! yield `ResourceExhausted` — not a panic.
+
+use std::time::Instant;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_engine::{EngineConfig, EngineError, QueryContext};
+use wimpi_obs::status;
+use wimpi_queries::{query, run_governed, CHOKEPOINT_QUERIES};
+use wimpi_tpch::Generator;
+
+/// The budget ladder: label and bytes (`None` = unlimited).
+const BUDGETS: [(&str, Option<u64>); 6] = [
+    ("unlimited", None),
+    ("16M", Some(16 << 20)),
+    ("1M", Some(1 << 20)),
+    ("64K", Some(64 << 10)),
+    ("1K", Some(1 << 10)),
+    ("0", Some(0)),
+];
+
+fn ctx_for(budget: Option<u64>) -> QueryContext {
+    match budget {
+        Some(b) => QueryContext::with_budget(b),
+        None => QueryContext::new(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Args::parse_with(Args { sf: 0.01, ..Args::default() });
+    let catalog = Generator::new(args.sf).generate_catalog().expect("catalog generates");
+    let cfg = EngineConfig::serial();
+    if smoke {
+        run_smoke(&catalog, &cfg);
+        return;
+    }
+
+    let qns: Vec<usize> =
+        if args.queries.is_empty() { CHOKEPOINT_QUERIES.to_vec() } else { args.queries.clone() };
+    status!("pressure sweep at SF {} over {:?}", args.sf, qns);
+
+    let mut seconds =
+        TextFigure::new(format!("Pressure sweep: host seconds (SF {})", args.sf), "query");
+    let mut peaks =
+        TextFigure::new(format!("Pressure sweep: measured peak bytes (SF {})", args.sf), "query");
+    seconds.rows = qns.iter().map(|q| format!("Q{q}")).collect();
+    peaks.rows = seconds.rows.clone();
+    let mut modes: Vec<Vec<String>> = vec![Vec::new(); qns.len()];
+
+    for (label, budget) in BUDGETS {
+        let mut secs_col: Vec<Option<f64>> = Vec::with_capacity(qns.len());
+        let mut peak_col: Vec<Option<f64>> = Vec::with_capacity(qns.len());
+        for (qi, &qn) in qns.iter().enumerate() {
+            let q = query(qn);
+            let baseline =
+                run_governed(&q, &catalog, &cfg, &QueryContext::new()).expect("baseline runs");
+            let ctx = ctx_for(budget);
+            let started = Instant::now();
+            let (secs, peak, mode) = match run_governed(&q, &catalog, &cfg, &ctx) {
+                Ok((rel, _)) => {
+                    assert_eq!(
+                        rel, baseline.0,
+                        "Q{qn} at budget {label}: degraded answer must be bit-exact"
+                    );
+                    let mode = if ctx.fallbacks() == 0 {
+                        "inmem".to_string()
+                    } else {
+                        format!("grace×{}", ctx.max_fallback_parts())
+                    };
+                    (Some(started.elapsed().as_secs_f64()), Some(ctx.high_water() as f64), mode)
+                }
+                Err(EngineError::ResourceExhausted { operator, .. }) => {
+                    assert_eq!(ctx.used(), 0, "Q{qn}: failed run must release its budget");
+                    (None, None, format!("exhausted({operator})"))
+                }
+                Err(EngineError::Cancelled) => (None, None, "cancelled".to_string()),
+                Err(e) => panic!("Q{qn} at budget {label}: unexpected error {e}"),
+            };
+            status!("Q{qn:<2} budget {label:>9}: {mode}");
+            secs_col.push(secs);
+            peak_col.push(peak);
+            modes[qi].push(format!("{mode:>16}"));
+        }
+        seconds.push_series(Series { name: label.to_string(), values: secs_col });
+        peaks.push_series(Series { name: label.to_string(), values: peak_col });
+    }
+
+    wimpi_bench::emit(&args, "pressure", &[seconds, peaks]);
+    let mut mode_text =
+        format!("{:>5} {}\n", "query", BUDGETS.map(|(l, _)| format!("{l:>16}")).join(" "));
+    for (qi, qn) in qns.iter().enumerate() {
+        mode_text.push_str(&format!("{:>5} {}\n", format!("Q{qn}"), modes[qi].join(" ")));
+    }
+    print!("{mode_text}");
+    wimpi_bench::write_artifact(&args.out, "pressure_modes.txt", &mode_text);
+}
+
+/// CI smoke: tiny budgets must degrade deterministically, impossible
+/// budgets must fail with the typed error, and nothing may crash.
+fn run_smoke(catalog: &wimpi_storage::Catalog, cfg: &EngineConfig) {
+    for qn in [1usize, 6] {
+        let q = query(qn);
+        let (base, _) =
+            run_governed(&q, catalog, cfg, &QueryContext::new()).expect("baseline runs");
+
+        // 1 KB: Q1's grouped aggregate cannot fit and must fall back to
+        // Grace partitioning; Q6's single-group state fits outright. Both
+        // answers must be bit-exact.
+        let tiny = QueryContext::with_budget(1 << 10);
+        let (rel, _) = run_governed(&q, catalog, cfg, &tiny)
+            .unwrap_or_else(|e| panic!("Q{qn} must degrade, not error: {e}"));
+        assert_eq!(rel, base, "Q{qn}: degraded answer must be bit-exact");
+        if qn == 1 {
+            assert!(tiny.fallbacks() > 0, "Q1 under 1 KB must take the Grace fallback");
+        }
+        assert_eq!(tiny.used(), 0, "Q{qn}: budget must be fully released");
+
+        // Budget 0 admits no scratch at all: the typed error, not a crash —
+        // and the catalog stays queryable afterwards.
+        let zero = QueryContext::with_budget(0);
+        match run_governed(&q, catalog, cfg, &zero) {
+            Err(EngineError::ResourceExhausted { budget: 0, .. }) => {}
+            other => panic!("Q{qn} at budget 0: expected ResourceExhausted, got {other:?}"),
+        }
+        assert_eq!(zero.used(), 0, "Q{qn}: failed run must release everything");
+        let (again, _) =
+            run_governed(&q, catalog, cfg, &QueryContext::new()).expect("engine stays usable");
+        assert_eq!(again, base, "Q{qn}: rerun after exhaustion must match");
+    }
+    status!("pressure smoke passed");
+    println!("pressure smoke: OK");
+}

@@ -205,6 +205,17 @@ pub struct RecoveryReport {
     /// re-execution of lost or speculated partitions, and degraded-NIC
     /// shipping overhead. Not all of it lands on the critical path.
     pub recovery_seconds: f64,
+    /// Simulated seconds of duplicate work performed and then thrown away
+    /// when a speculated straggler's original run was cooperatively
+    /// cancelled (take-whichever-finishes-first keeps both copies running
+    /// until one wins; the loser's work up to the cancellation point is
+    /// pure waste, and this is where it is accounted).
+    pub cancelled_work_seconds: f64,
+    /// Executions that only completed under a reduced memory budget: the
+    /// memory model predicted a hard OOM at full scale, and the engine's
+    /// governed retry degraded joins/aggregates to Grace-partitioned builds
+    /// that fit.
+    pub budget_degraded: u32,
     /// Fraction of lineitem rows the answer covers (1.0 unless degraded).
     pub coverage: f64,
     /// True when recovery was exhausted and the answer is partial.
@@ -218,6 +229,8 @@ impl Default for RecoveryReport {
             speculated: 0,
             reassignments: Vec::new(),
             recovery_seconds: 0.0,
+            cancelled_work_seconds: 0.0,
+            budget_degraded: 0,
             coverage: 1.0,
             degraded: false,
         }

@@ -31,8 +31,11 @@ use std::sync::Arc;
 
 use distribute::{distribute, Distributed, Strategy, PARTIALS_TABLE};
 use faults::{FaultKind, FaultPlan, Reassignment, RecoveryPolicy, RecoveryReport};
-use memory::MemoryModel;
-use wimpi_engine::{optimizer, EngineError, LogicalPlan, Relation, WorkProfile};
+use memory::{MeasuredPeak, MemoryModel};
+use wimpi_engine::{
+    optimizer, CancelToken, EngineConfig, EngineError, LogicalPlan, QueryContext, Relation,
+    WorkProfile,
+};
 use wimpi_hwsim::{pi3b, predict, HwProfile};
 use wimpi_microbench::NetModel;
 use wimpi_obs::Registry;
@@ -218,12 +221,24 @@ impl DistRun {
 
 /// Outcome of one node's attempt at its home partition.
 enum NodeOutcome {
-    /// Executed: partial result, scaled profile, seconds, executor node.
-    Done(Relation, WorkProfile, f64),
+    /// Executed: partial result, scaled profile, seconds, and the governed
+    /// run's cancellation token (so a later speculation win can stop the
+    /// duplicate cooperatively).
+    Done(Relation, WorkProfile, f64, CancelToken),
     /// Permanently failed; recovery may begin at the given simulated time.
     Lost { available_at: f64 },
     /// Deterministic OOM (capacity, not a fault): unrecoverable on
     /// identical nodes.
+    Oom { needed: u64 },
+}
+
+/// One governed, memory-model-priced execution of a plan on one catalog.
+enum Priced {
+    /// The run fits (possibly only after the reduced-budget retry —
+    /// `budgeted` says which): result, scaled profile, thrash penalty, and
+    /// the cancellation token of the governed run.
+    Fit { rel: Relation, prof: WorkProfile, penalty_s: f64, cancel: CancelToken, budgeted: bool },
+    /// Even the budget-governed retry could not fit: deterministic OOM.
     Oom { needed: u64 },
 }
 
@@ -418,13 +433,15 @@ impl WimpiCluster {
         let mut survivors: Vec<usize> = Vec::new();
         let mut lost: Vec<(usize, f64)> = Vec::new();
         let mut oom_nodes: Vec<(usize, u64)> = Vec::new();
+        let mut cancels: Vec<Option<CancelToken>> = (0..n).map(|_| None).collect();
         for (i, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
-                NodeOutcome::Done(rel, prof, secs) => {
+                NodeOutcome::Done(rel, prof, secs, cancel) => {
                     busy[i] = secs;
                     exec_cost[i] = secs;
                     partials[i] = Some(rel);
                     profiles[i] = prof;
+                    cancels[i] = Some(cancel);
                     survivors.push(i);
                 }
                 NodeOutcome::Lost { available_at } => lost.push((i, available_at)),
@@ -458,7 +475,11 @@ impl WimpiCluster {
             }
             let j = least_busy(&candidates, &busy);
             absorbed[j] += 1;
-            let (rel, prof, regen_s, exec_s) = self.recover_partition(query, &node_plan, p, j)?;
+            let (rel, prof, regen_s, exec_s, budgeted) =
+                self.recover_partition(query, &node_plan, p, j)?;
+            if budgeted {
+                report.budget_degraded += 1;
+            }
             let start = busy[j].max(available_at);
             busy[j] = start + regen_s + exec_s;
             report.recovery_seconds += regen_s + exec_s;
@@ -509,7 +530,15 @@ impl WimpiCluster {
                         report.recovery_seconds += regen_s + copy_exec;
                         report.reassignments.push(Reassignment { partition: i, to: j });
                         busy[j] = done;
-                        busy[i] = done; // the straggler's copy is cancelled
+                        // The copy won: the straggler's original run is
+                        // stopped through the engine's cooperative token at
+                        // `done`, so it is charged only the work it did up
+                        // to the cancellation point — all of it wasted.
+                        busy[i] = done;
+                        report.cancelled_work_seconds += done;
+                        if let Some(tok) = &cancels[i] {
+                            tok.cancel();
+                        }
                         executor[i] = j;
                     }
                 }
@@ -551,14 +580,20 @@ impl WimpiCluster {
         let merged_input = concat_relations(&covered)?;
         let mut merge_cat = Catalog::new();
         merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
-        let (result, merge_prof) = wimpi_engine::execute_query(&merge_plan, &merge_cat)?;
-        let mut merge_prof = merge_prof.scale(row_scale);
+        let merge_base = (merged_input.stream_bytes() as f64 * row_scale) as u64;
+        let (result, mut merge_prof, merge_penalty) =
+            match self.priced_execution(&merge_plan, &merge_cat, merge_base, row_scale)? {
+                Priced::Fit { rel, prof, penalty_s, budgeted, .. } => {
+                    if budgeted {
+                        report.budget_degraded += 1;
+                    }
+                    (rel, prof, penalty_s)
+                }
+                Priced::Oom { needed } => {
+                    return Err(ClusterError::NodeOom { query: query.into(), node: 0, needed })
+                }
+            };
         merge_prof.network_bytes = bytes_shipped;
-        let merge_penalty = self
-            .config
-            .memory
-            .evaluate((merged_input.stream_bytes() as f64 * row_scale) as u64, &merge_prof)
-            .map_err(|needed| ClusterError::NodeOom { query: query.into(), node: 0, needed })?;
         let merge_seconds =
             predict(&self.pi, &merge_prof, self.config.node_threads).total_s() + merge_penalty;
         let nodes_used = {
@@ -617,6 +652,69 @@ impl WimpiCluster {
             &RECOVERY_BUCKETS,
             report.recovery_seconds,
         );
+        if report.cancelled_work_seconds > 0.0 {
+            self.metrics.observe(
+                "cluster_cancelled_work_seconds",
+                &RECOVERY_BUCKETS,
+                report.cancelled_work_seconds,
+            );
+        }
+    }
+
+    /// Executes `plan` on `cat` under the resource governor and prices the
+    /// run with the memory model, preferring the governor's *measured*
+    /// peaks (scaled by `scale`) over the model's `hash_bytes` estimate.
+    ///
+    /// When the model still predicts a hard OOM, the node gets exactly one
+    /// more attempt under a reduced budget — the modelled available memory
+    /// mapped back to host scale — so joins and aggregates degrade to
+    /// Grace-partitioned builds that shrink the real reservation peak. Only
+    /// when even that budgeted run cannot fit (`ResourceExhausted`, or a
+    /// measured peak the partitioning cannot reduce) is the OOM final.
+    fn priced_execution(
+        &self,
+        plan: &LogicalPlan,
+        cat: &Catalog,
+        base: u64,
+        scale: f64,
+    ) -> Result<Priced> {
+        let ctx = QueryContext::new();
+        let (rel, prof) =
+            wimpi_engine::execute_query_governed(plan, cat, &EngineConfig::serial(), &ctx)?;
+        let prof = prof.scale(scale);
+        match self.config.memory.evaluate_measured(base, &prof, scaled_peak(&ctx, scale)) {
+            Ok(penalty_s) => {
+                Ok(Priced::Fit { rel, prof, penalty_s, cancel: ctx.cancel, budgeted: false })
+            }
+            Err(needed) => self.budgeted_retry(plan, cat, base, scale, needed),
+        }
+    }
+
+    /// The one reduced-budget retry behind [`Self::priced_execution`].
+    fn budgeted_retry(
+        &self,
+        plan: &LogicalPlan,
+        cat: &Catalog,
+        base: u64,
+        scale: f64,
+        needed: u64,
+    ) -> Result<Priced> {
+        let budget = ((self.config.memory.available() as f64 / scale) as u64).max(1);
+        let ctx = QueryContext::with_budget(budget);
+        match wimpi_engine::execute_query_governed(plan, cat, &EngineConfig::serial(), &ctx) {
+            Ok((rel, prof)) => {
+                let prof = prof.scale(scale);
+                match self.config.memory.evaluate_measured(base, &prof, scaled_peak(&ctx, scale)) {
+                    Ok(penalty_s) => {
+                        self.metrics.inc("cluster_degraded_budget_runs_total", 1);
+                        Ok(Priced::Fit { rel, prof, penalty_s, cancel: ctx.cancel, budgeted: true })
+                    }
+                    Err(still_needed) => Ok(Priced::Oom { needed: still_needed }),
+                }
+            }
+            Err(EngineError::ResourceExhausted { .. }) => Ok(Priced::Oom { needed }),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// One node's attempt at its home partition, with transient faults
@@ -636,13 +734,19 @@ impl WimpiCluster {
             report.recovery_seconds += self.policy.detect_s;
             return Ok(NodeOutcome::Lost { available_at: self.policy.detect_s });
         }
-        let (rel, prof) = wimpi_engine::execute_query(node_plan, cat)?;
-        let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(node_plan, cat)? as f64 * self.config.model_scale) as u64;
-        let exec_s = match self.config.memory.evaluate(base, &prof) {
-            Ok(penalty) => predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty,
-            Err(needed) => return Ok(NodeOutcome::Oom { needed }),
-        };
+        let (rel, prof, exec_s, cancel) =
+            match self.priced_execution(node_plan, cat, base, self.config.model_scale)? {
+                Priced::Fit { rel, prof, penalty_s, cancel, budgeted } => {
+                    if budgeted {
+                        report.budget_degraded += 1;
+                    }
+                    let s =
+                        predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
+                    (rel, prof, s, cancel)
+                }
+                Priced::Oom { needed } => return Ok(NodeOutcome::Oom { needed }),
+            };
         let _ = query;
         match fault {
             Some(FaultKind::TransientOom { failures }) => {
@@ -656,7 +760,7 @@ impl WimpiCluster {
                     }
                     report.retries += failures;
                     report.recovery_seconds += waste;
-                    Ok(NodeOutcome::Done(rel, prof, waste + exec_s))
+                    Ok(NodeOutcome::Done(rel, prof, waste + exec_s, cancel))
                 } else {
                     // Retry budget exhausted: declared dead; its partition
                     // becomes reassignable once the attempts have burned.
@@ -670,22 +774,23 @@ impl WimpiCluster {
                 }
             }
             Some(FaultKind::SlowNode { multiplier }) => {
-                Ok(NodeOutcome::Done(rel, prof, exec_s * multiplier.max(1.0)))
+                Ok(NodeOutcome::Done(rel, prof, exec_s * multiplier.max(1.0), cancel))
             }
-            _ => Ok(NodeOutcome::Done(rel, prof, exec_s)),
+            _ => Ok(NodeOutcome::Done(rel, prof, exec_s, cancel)),
         }
     }
 
     /// Regenerates partition `p` via the chunk-deterministic generator and
     /// executes the node plan over it on survivor `j`. Returns the partial,
-    /// the scaled profile, and the regeneration/execution seconds.
+    /// the scaled profile, the regeneration/execution seconds, and whether
+    /// the execution only fit under a reduced memory budget.
     fn recover_partition(
         &self,
         query: &str,
         node_plan: &LogicalPlan,
         p: usize,
         j: usize,
-    ) -> Result<(Relation, WorkProfile, f64, f64)> {
+    ) -> Result<(Relation, WorkProfile, f64, f64, bool)> {
         let gen = Generator::new(self.config.sf);
         let (_, lineitem) = gen.orders_lineitem_chunk(p as u64, self.config.nodes as u64)?;
         let rows = lineitem.num_rows() as u64;
@@ -695,17 +800,20 @@ impl WimpiCluster {
             rcat.register_shared(name.clone(), Arc::clone(t));
         }
         rcat.register("lineitem", lineitem);
-        let (rel, prof) = wimpi_engine::execute_query(node_plan, &rcat)?;
-        let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(node_plan, &rcat)? as f64 * self.config.model_scale) as u64;
-        let exec_s = match self.config.memory.evaluate(base, &prof) {
-            Ok(penalty) => predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty,
-            Err(needed) => {
-                return Err(ClusterError::NodeOom { query: query.into(), node: j, needed })
-            }
-        };
+        let (rel, prof, exec_s, budgeted) =
+            match self.priced_execution(node_plan, &rcat, base, self.config.model_scale)? {
+                Priced::Fit { rel, prof, penalty_s, budgeted, .. } => {
+                    let s =
+                        predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
+                    (rel, prof, s, budgeted)
+                }
+                Priced::Oom { needed } => {
+                    return Err(ClusterError::NodeOom { query: query.into(), node: j, needed })
+                }
+            };
         let regen_s = self.regeneration_seconds(rows, heap);
-        Ok((rel, prof, regen_s, exec_s))
+        Ok((rel, prof, regen_s, exec_s, budgeted))
     }
 
     /// Simulated seconds for a survivor to regenerate a lineitem chunk:
@@ -773,15 +881,25 @@ impl WimpiCluster {
             report.reassignments.push(Reassignment { partition: 0, to: exec_node });
         }
         let cat = &self.node_catalogs[exec_node];
-        let (result, prof) = wimpi_engine::execute_query(plan, cat)?;
-        let prof = prof.scale(self.config.model_scale);
         let base = (scan_bytes(plan, cat)? as f64 * self.config.model_scale) as u64;
-        let exec_s = match self.config.memory.evaluate(base, &prof) {
-            Ok(penalty) => predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty,
-            Err(needed) => {
-                return Err(ClusterError::NodeOom { query: query.into(), node: exec_node, needed })
-            }
-        };
+        let (result, prof, exec_s, cancel) =
+            match self.priced_execution(plan, cat, base, self.config.model_scale)? {
+                Priced::Fit { rel, prof, penalty_s, cancel, budgeted } => {
+                    if budgeted {
+                        report.budget_degraded += 1;
+                    }
+                    let s =
+                        predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
+                    (rel, prof, s, cancel)
+                }
+                Priced::Oom { needed } => {
+                    return Err(ClusterError::NodeOom {
+                        query: query.into(),
+                        node: exec_node,
+                        needed,
+                    })
+                }
+            };
         let mut t = exec_s;
         match faults.fault(exec_node) {
             Some(FaultKind::TransientOom { failures }) => {
@@ -805,6 +923,11 @@ impl WimpiCluster {
                         report.speculated += 1;
                         report.recovery_seconds += exec_s;
                         report.reassignments.push(Reassignment { partition: 0, to: b });
+                        // The backup finished first at `hop`: cancel the
+                        // straggler's run cooperatively and charge it only
+                        // the (wasted) work done up to that point.
+                        report.cancelled_work_seconds += hop;
+                        cancel.cancel();
                         t = hop;
                     }
                     _ => t = slow,
@@ -830,6 +953,16 @@ impl WimpiCluster {
 /// caller didn't name the query (see [`WimpiCluster::run_named`]).
 fn derive_label(plan: &LogicalPlan) -> String {
     format!("query[{}]", plan.tables().join("+"))
+}
+
+/// The governor's measured peaks, scaled to the modelled SF. `None` when the
+/// run reserved and tracked nothing (e.g. a bare scan) — the model estimate
+/// stands in then.
+fn scaled_peak(ctx: &QueryContext, scale: f64) -> Option<MeasuredPeak> {
+    (ctx.high_water() > 0).then(|| MeasuredPeak {
+        hard_bytes: (ctx.hard_high_water() as f64 * scale) as u64,
+        transient_bytes: (ctx.high_water() as f64 * scale) as u64,
+    })
 }
 
 /// The least-busy node among `candidates` (which must be non-empty).
@@ -1055,13 +1188,26 @@ mod tests {
 
     #[test]
     fn oom_when_memory_too_small() {
+        // 256 bytes: even maximally Grace-partitioned hash builds and the
+        // final sort's key buffer cannot fit, so the governed retry is
+        // exhausted and the deterministic capacity OOM survives.
         let mut config = ClusterConfig::new(2, 0.01);
-        config.memory.mem_bytes = 16 << 10; // 16 KiB node: hash tables alone overflow
+        config.memory.mem_bytes = 256;
         config.memory.os_reserve_bytes = 0;
         let c = WimpiCluster::build(config).unwrap();
         let err = c.run(&query(3), Strategy::ShipRows).unwrap_err();
         assert!(matches!(err, ClusterError::NodeOom { .. }));
         assert!(err.to_string().contains("query["), "query label in message: {err}");
+
+        // 16 KiB — which hard-OOMed before the governor existed (the hash
+        // tables alone overflow) — now completes: the budgeted retry
+        // degrades the builds to Grace partitioning that fits.
+        let mut config = ClusterConfig::new(2, 0.01);
+        config.memory.mem_bytes = 16 << 10;
+        config.memory.os_reserve_bytes = 0;
+        let c = WimpiCluster::build(config).unwrap();
+        let run = c.run(&query(3), Strategy::ShipRows).unwrap();
+        assert!(run.recovery.budget_degraded > 0, "16 KiB must go through the degraded path");
     }
 
     #[test]
@@ -1148,6 +1294,99 @@ mod tests {
             spec.result.column("sum_qty").unwrap().as_decimal().unwrap(),
             slow.result.column("sum_qty").unwrap().as_decimal().unwrap(),
         );
+    }
+
+    #[test]
+    fn speculation_cancels_the_straggler_cooperatively() {
+        let c = small_cluster(4);
+        let q = query(1);
+        let plan = FaultPlan::none().with(2, FaultKind::SlowNode { multiplier: 50.0 });
+        let spec = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(spec.recovery.speculated, 1);
+        // The straggler is charged only up to the cancellation point, and
+        // that wasted work is accounted separately.
+        assert!(spec.recovery.cancelled_work_seconds > 0.0);
+        assert!(
+            spec.recovery.cancelled_work_seconds <= spec.node_seconds[2] + 1e-12,
+            "cancelled work cannot exceed the straggler's charged time: {} vs {}",
+            spec.recovery.cancelled_work_seconds,
+            spec.node_seconds[2]
+        );
+        let rendered = c.metrics().render();
+        assert!(rendered.contains("cluster_cancelled_work_seconds"), "{rendered}");
+        // A fault-free run wastes nothing.
+        let clean = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(clean.recovery.cancelled_work_seconds, 0.0);
+    }
+
+    #[test]
+    fn model_hard_oom_degrades_to_a_budgeted_grace_run() {
+        let q = query(3);
+        let reference = small_cluster(2).run(&q, Strategy::PartialAggPushdown).unwrap();
+        // Measure the per-node unbudgeted reservation peak, then probe for
+        // an `avail` below it that a budget-governed (Grace-degraded) run
+        // still fits — mirroring exactly what the cluster's retry will do.
+        let probe_cluster = small_cluster(2);
+        let plan = match query(3) {
+            QueryPlan::Single(p) => p,
+            _ => unreachable!(),
+        };
+        let Distributed { node_plan, .. } =
+            distribute(&plan, Strategy::PartialAggPushdown).unwrap();
+        let serial = EngineConfig::serial();
+        let hard: u64 = (0..2)
+            .map(|i| {
+                let ctx = QueryContext::new();
+                wimpi_engine::execute_query_governed(
+                    &node_plan,
+                    probe_cluster.node_catalog(i),
+                    &serial,
+                    &ctx,
+                )
+                .unwrap();
+                ctx.hard_high_water()
+            })
+            .max()
+            .unwrap();
+        assert!(hard > 0, "Q3 must reserve scratch");
+        let avail = (1..16u64)
+            .rev()
+            .map(|frac| hard * frac / 16)
+            .find(|&avail| {
+                (0..2).all(|i| {
+                    let ctx = QueryContext::with_budget(avail);
+                    wimpi_engine::execute_query_governed(
+                        &node_plan,
+                        probe_cluster.node_catalog(i),
+                        &serial,
+                        &ctx,
+                    )
+                    .is_ok()
+                        && ctx.fallbacks() > 0
+                        && ctx.hard_high_water() <= avail
+                })
+            })
+            .expect("some reduced budget lets Q3 degrade and fit");
+        let mut config = ClusterConfig::new(2, 0.01);
+        config.memory.mem_bytes = avail;
+        config.memory.os_reserve_bytes = 0;
+        let c = WimpiCluster::build(config).unwrap();
+        let run = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        // Bit-exact vs the unconstrained cluster, with the degradation
+        // visible in the report and the registry.
+        for (name, col) in reference.result.fields() {
+            assert_eq!(
+                run.result.column(name).unwrap().as_ref(),
+                col.as_ref(),
+                "budget-degraded answer must match on {name}"
+            );
+        }
+        assert!(
+            run.recovery.budget_degraded >= 2,
+            "both home partitions should have degraded: {}",
+            run.recovery.budget_degraded
+        );
+        assert!(c.metrics().counter("cluster_degraded_budget_runs_total") >= 2);
     }
 
     #[test]

@@ -9,6 +9,19 @@
 
 use wimpi_engine::WorkProfile;
 
+/// A measured per-query memory peak from the engine's resource governor,
+/// split the same way the model splits demand: `hard_bytes` is the peak of
+/// reserved operator scratch (anonymous allocations that hard-OOM a swap-off
+/// node), `transient_bytes` the combined peak including tracked materialized
+/// intermediates (which only add mmap pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasuredPeak {
+    /// Reservation-only (anonymous scratch) high-water mark, bytes.
+    pub hard_bytes: u64,
+    /// Combined high-water mark (scratch + intermediates), bytes.
+    pub transient_bytes: u64,
+}
+
 /// Memory model parameters for one node.
 #[derive(Debug, Clone, Copy)]
 pub struct MemoryModel {
@@ -52,11 +65,29 @@ impl MemoryModel {
     /// * `Ok(penalty_s)` — extra seconds spent re-reading mmap-backed data
     ///   from the microSD card (0.0 when everything fits).
     pub fn evaluate(&self, base_bytes: u64, work: &WorkProfile) -> Result<f64, u64> {
+        self.evaluate_measured(base_bytes, work, None)
+    }
+
+    /// [`evaluate`](Self::evaluate) with an optional [`MeasuredPeak`] from
+    /// the engine's resource governor. When present, the measured
+    /// reservation peak replaces the modeled `hash_bytes` for the hard-OOM
+    /// check and the measured combined peak replaces the modeled
+    /// `hash_bytes + seq_write_bytes/3` pressure — ground truth beats the
+    /// estimate. With `None` this is bit-identical to `evaluate`, which is
+    /// what keeps the model-only tables pinned.
+    pub fn evaluate_measured(
+        &self,
+        base_bytes: u64,
+        work: &WorkProfile,
+        measured: Option<MeasuredPeak>,
+    ) -> Result<f64, u64> {
         let avail = self.available();
-        if work.hash_bytes > avail {
-            return Err(work.hash_bytes);
+        let hard = measured.map_or(work.hash_bytes, |m| m.hard_bytes);
+        if hard > avail {
+            return Err(hard);
         }
-        let pressure = base_bytes + Self::transient_bytes(work);
+        let transient = measured.map_or_else(|| Self::transient_bytes(work), |m| m.transient_bytes);
+        let pressure = base_bytes + transient;
         if pressure <= avail {
             return Ok(0.0);
         }
@@ -128,6 +159,35 @@ mod tests {
         let p16 = m.evaluate(400 << 20, &work(0, 0, 500 << 20)).unwrap();
         assert!(p4 > 4.0 * p8.max(0.01), "4-node thrash dwarfs 8-node: {p4} vs {p8}");
         assert_eq!(p16, 0.0, "16-node partitions fit");
+    }
+
+    #[test]
+    fn measured_peak_overrides_the_model() {
+        let m = MemoryModel::wimpi_node();
+        let w = work(2 << 30, 100 << 20, 500 << 20);
+        // The model alone says hard OOM (2 GB of hash tables) …
+        assert!(m.evaluate(0, &w).is_err());
+        // … but a measured Grace-degraded run that reserved only 64 MB of
+        // scratch fits, whatever the estimate claimed.
+        let measured = MeasuredPeak { hard_bytes: 64 << 20, transient_bytes: 128 << 20 };
+        assert_eq!(m.evaluate_measured(0, &w, Some(measured)), Ok(0.0));
+        // And conversely: a measured reservation peak above available memory
+        // is an OOM even when the model sees harmless hash sizes.
+        let small = work(1 << 20, 0, 0);
+        let over = MeasuredPeak { hard_bytes: 1 << 30, transient_bytes: 1 << 30 };
+        assert!(matches!(m.evaluate_measured(0, &small, Some(over)), Err(n) if n == 1 << 30));
+    }
+
+    #[test]
+    fn no_measurement_is_bit_identical_to_the_model() {
+        let m = MemoryModel::wimpi_node();
+        for (base, w) in [
+            (100u64 << 20, work(1 << 20, 30 << 20, 500 << 20)),
+            (1_500 << 20, work(1 << 20, 0, 2_000 << 20)),
+            (1_600 << 20, work(0, 0, 2_000 << 20)),
+        ] {
+            assert_eq!(m.evaluate(base, &w), m.evaluate_measured(base, &w, None));
+        }
     }
 
     #[test]

@@ -391,6 +391,21 @@ mod tests {
     }
 
     #[test]
+    fn peak_deltas_telescope() {
+        // `peak_bytes` spans record interval deltas of a monotone reservation
+        // high-water ratchet: sequential children raise it by at most the
+        // parent's own delta, and the remainder is the parent's self value.
+        // The additive accounting invariant therefore holds without any
+        // special-casing — pin that here.
+        let mut tree = sample_tree();
+        tree.counters.push(("peak_bytes".into(), 500));
+        tree.children[0].counters.push(("peak_bytes".into(), 200));
+        tree.children[1].counters.push(("peak_bytes".into(), 250));
+        let stats = validate_trace_json(&tree.to_json()).unwrap();
+        assert_eq!(stats.root_total["peak_bytes"], 500);
+    }
+
+    #[test]
     fn detects_missing_fields() {
         let err = validate_trace_json(r#"{"op":"query"}"#).unwrap_err();
         assert!(err.contains("label"), "{err}");

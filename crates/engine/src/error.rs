@@ -12,6 +12,20 @@ pub enum EngineError {
     Plan(String),
     /// A feature the engine deliberately does not implement.
     Unsupported(String),
+    /// An operator needed more scratch memory than the query's budget allows,
+    /// even after graceful degradation (Grace partitioning) where available.
+    ResourceExhausted {
+        /// Bytes the failing reservation asked for.
+        requested: u64,
+        /// The query's configured budget.
+        budget: u64,
+        /// The operator that could not fit (e.g. `"join build"`, `"sort"`).
+        operator: String,
+    },
+    /// The query was cancelled (token fired or deadline passed) at a morsel
+    /// boundary. Catalog and engine state are untouched; re-running the same
+    /// plan on the same catalog is bit-exact with an uncancelled run.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -20,6 +34,12 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage: {e}"),
             EngineError::Plan(s) => write!(f, "plan error: {s}"),
             EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            EngineError::ResourceExhausted { requested, budget, operator } => write!(
+                f,
+                "resource exhausted: {operator} needs {requested} bytes \
+                 but the query budget is {budget} bytes"
+            ),
+            EngineError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

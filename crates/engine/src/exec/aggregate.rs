@@ -13,10 +13,12 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use super::join::MAX_GRACE_PARTS;
 use super::parallel::{morsel_ranges, run_morsels_spanned, EngineConfig};
-use super::{ensure_u32_indexable, key_values};
+use super::{ensure_u32_indexable, key_values, partition_of};
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;
+use crate::governor::QueryContext;
 use crate::plan::{AggExpr, AggFunc};
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
@@ -34,6 +36,7 @@ pub fn exec_aggregate(
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
+    ctx: &QueryContext,
 ) -> Result<Relation> {
     let n = rel.num_rows();
     ensure_u32_indexable(n, "aggregate")?;
@@ -69,32 +72,26 @@ pub fn exec_aggregate(
     let ranges = morsel_ranges(n, cfg.morsel_rows);
     let partials = run_morsels_spanned(cfg, &ranges, &sink, |_, r| {
         let mut p = MorselAgg::new(&inputs);
+        if ctx.interrupted() {
+            return p;
+        }
         for i in r {
             p.push_row(i, &encoded, &inputs);
         }
         p
     });
+    ctx.checkpoint()?;
 
-    let mut gmap: HashMap<Key, u32> = HashMap::new();
-    let mut first_rows: Vec<u32> = Vec::new();
-    let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
-    for partial in partials {
-        let gid_map: Vec<u32> = partial
-            .keys
-            .into_iter()
-            .zip(partial.first_rows)
-            .map(|(k, fr)| {
-                *gmap.entry(k).or_insert_with(|| {
-                    first_rows.push(fr);
-                    (first_rows.len() - 1) as u32
-                })
-            })
-            .collect();
-        for (gst, lst) in gstates.iter_mut().zip(partial.states) {
-            gst.grow_to(first_rows.len());
-            gst.merge_from(lst, &gid_map);
-        }
-    }
+    // The coordinator merge reserves one `width`-byte table entry per
+    // distinct group (the same constant the work profile charges to
+    // `hash_bytes`). When the table would exceed the query budget the merge
+    // is abandoned and redone Grace-style: partition the groups by key hash
+    // and build one bounded table per partition, sequentially.
+    let width = 32 * (group_by.len() + aggs.len()).max(1) as u64;
+    let (first_rows, mut gstates) = match merge_partials(partials, &inputs, width, ctx) {
+        Some(table) => table,
+        None => grace_aggregate(&ranges, &encoded, &inputs, width, ctx)?,
+    };
     let ngroups = if group_by.is_empty() { 1 } else { first_rows.len() };
     for st in &mut gstates {
         st.grow_to(ngroups);
@@ -125,6 +122,151 @@ pub fn exec_aggregate(
     }
     prof.seq_write_bytes += out_fields.iter().map(|(_, c)| c.stream_bytes() as u64).sum::<u64>();
     Relation::new(out_fields)
+}
+
+/// Merges the morsel partials into one global table (in morsel order — see
+/// the module doc), growing a reservation by `width` bytes per distinct
+/// group. Returns `None` as soon as a new group no longer fits the query
+/// budget; the caller then takes the Grace-style partitioned path. The
+/// reservation is released on return either way: the table's peak is already
+/// recorded, and what survives the merge is the output itself.
+fn merge_partials(
+    partials: Vec<MorselAgg>,
+    inputs: &[AggInput],
+    width: u64,
+    ctx: &QueryContext,
+) -> Option<(Vec<u32>, Vec<AggState>)> {
+    let mut guard = ctx.try_reserve(0)?;
+    let mut gmap: HashMap<Key, u32> = HashMap::new();
+    let mut first_rows: Vec<u32> = Vec::new();
+    let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+    for partial in partials {
+        let mut gid_map: Vec<u32> = Vec::with_capacity(partial.keys.len());
+        for (k, fr) in partial.keys.into_iter().zip(partial.first_rows) {
+            match gmap.get(&k) {
+                Some(&g) => gid_map.push(g),
+                None => {
+                    if !guard.grow(width) {
+                        return None;
+                    }
+                    let g = first_rows.len() as u32;
+                    gmap.insert(k, g);
+                    first_rows.push(fr);
+                    gid_map.push(g);
+                }
+            }
+        }
+        for (gst, lst) in gstates.iter_mut().zip(partial.states) {
+            gst.grow_to(first_rows.len());
+            gst.merge_from(lst, &gid_map);
+        }
+    }
+    Some((first_rows, gstates))
+}
+
+/// Grace-style budget fallback: partition the groups by key hash and run the
+/// aggregation once per partition, sequentially, each against its own
+/// reservation that is released before the next partition starts. Doubles
+/// the partition count until every partition's table fits the budget.
+///
+/// Bit-exactness: every row of a group lands in the same partition, so each
+/// group's accumulator sees exactly the per-morsel partial values of the
+/// unpartitioned merge, folded in the same morsel order. Distinct groups
+/// have distinct first rows, so sorting the stitched groups by first row
+/// reproduces the unpartitioned first-appearance group order exactly.
+fn grace_aggregate(
+    ranges: &[std::ops::Range<usize>],
+    encoded: &[Vec<i64>],
+    inputs: &[AggInput],
+    width: u64,
+    ctx: &QueryContext,
+) -> Result<(Vec<u32>, Vec<AggState>)> {
+    let mut nparts = 2usize;
+    // The doubling below restarts the whole attempt (`continue 'attempt`),
+    // so mutating the inner `0..nparts` bound is the point, not a bug.
+    #[allow(clippy::mut_range_bound)]
+    'attempt: loop {
+        // (first row, partition, local gid) of every group, in discovery
+        // order, plus each partition's accumulated states.
+        let mut order: Vec<(u32, u32, u32)> = Vec::new();
+        let mut part_states: Vec<Vec<AggState>> = Vec::with_capacity(nparts);
+        let mut part_counts: Vec<usize> = Vec::with_capacity(nparts);
+        for p in 0..nparts {
+            ctx.checkpoint()?;
+            let mut guard = ctx.try_reserve(0).expect("an empty reservation always fits");
+            let mut gmap: HashMap<Key, u32> = HashMap::new();
+            let mut first_rows: Vec<u32> = Vec::new();
+            let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+            for r in ranges {
+                // Re-scan the morsel restricted to this partition's rows:
+                // within a morsel a group's rows are the same rows the
+                // unpartitioned partial saw, so its local sum is identical.
+                let mut partial = MorselAgg::new(inputs);
+                for i in r.clone() {
+                    if partition_of(&key_at(encoded, i), nparts) == p {
+                        partial.push_row(i, encoded, inputs);
+                    }
+                }
+                let mut gid_map: Vec<u32> = Vec::with_capacity(partial.keys.len());
+                for (k, fr) in partial.keys.into_iter().zip(partial.first_rows) {
+                    match gmap.get(&k) {
+                        Some(&g) => gid_map.push(g),
+                        None => {
+                            if !guard.grow(width) {
+                                if first_rows.is_empty() || nparts >= MAX_GRACE_PARTS {
+                                    // A partition of one group cannot shrink
+                                    // further, and past the doubling cap the
+                                    // budget is declared impossible.
+                                    return Err(EngineError::ResourceExhausted {
+                                        requested: guard.bytes() + width,
+                                        budget: ctx.budget(),
+                                        operator: "aggregate".to_string(),
+                                    });
+                                }
+                                nparts *= 2;
+                                continue 'attempt;
+                            }
+                            let g = first_rows.len() as u32;
+                            gmap.insert(k, g);
+                            first_rows.push(fr);
+                            gid_map.push(g);
+                        }
+                    }
+                }
+                for (gst, lst) in gstates.iter_mut().zip(partial.states) {
+                    gst.grow_to(first_rows.len());
+                    gst.merge_from(lst, &gid_map);
+                }
+            }
+            for (lg, &fr) in first_rows.iter().enumerate() {
+                order.push((fr, p as u32, lg as u32));
+            }
+            part_counts.push(first_rows.len());
+            part_states.push(gstates);
+            // `guard` drops here: the partition's table scratch is released
+            // before the next partition reserves its own.
+        }
+        // Every partition fit. Stitch the global table in first-appearance
+        // order; folding each partition total into a fresh accumulator is
+        // exact (0 + x, None → x, set ∪ ∅).
+        order.sort_unstable_by_key(|&(fr, _, _)| fr);
+        let first_rows: Vec<u32> = order.iter().map(|&(fr, _, _)| fr).collect();
+        let mut gid_maps: Vec<Vec<u32>> = part_counts.iter().map(|&c| vec![0u32; c]).collect();
+        for (g, &(_, p, lg)) in order.iter().enumerate() {
+            gid_maps[p as usize][lg as usize] = g as u32;
+        }
+        let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+        for st in &mut gstates {
+            st.grow_to(first_rows.len());
+        }
+        for (p, pstates) in part_states.into_iter().enumerate() {
+            for (gst, lst) in gstates.iter_mut().zip(pstates) {
+                gst.merge_from(lst, &gid_maps[p]);
+            }
+        }
+        ctx.note_fallback(nparts as u32);
+        return Ok((first_rows, gstates));
+    }
 }
 
 /// A group key: the common 0/1/2-column cases avoid heap allocation.
@@ -453,7 +595,16 @@ mod tests {
         aggs: &[AggExpr],
         prof: &mut WorkProfile,
     ) -> Result<Relation> {
-        super::exec_aggregate(rel, group_by, aggs, prof, &EngineConfig::serial(), Tracer::off())
+        let ctx = QueryContext::default();
+        super::exec_aggregate(
+            rel,
+            group_by,
+            aggs,
+            prof,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
     }
 
     fn rel() -> Relation {
@@ -573,16 +724,90 @@ mod tests {
         ];
         let base_cfg = EngineConfig::serial().with_morsel_rows(7);
         let mut base_prof = WorkProfile::new();
-        let base =
-            super::exec_aggregate(&rel, &group, &aggs, &mut base_prof, &base_cfg, Tracer::off())
-                .unwrap();
+        let ctx = QueryContext::default();
+        let base = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut base_prof,
+            &base_cfg,
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap();
         for threads in [2, 4] {
             let cfg = EngineConfig::with_threads(threads).with_morsel_rows(7);
             let mut prof = WorkProfile::new();
             let out =
-                super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg, Tracer::off()).unwrap();
+                super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg, Tracer::off(), &ctx)
+                    .unwrap();
             assert_eq!(out, base, "parallel aggregate diverged at {threads} threads");
             assert_eq!(prof, base_prof, "profile counters diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn grace_fallback_is_bit_exact_and_budget_bounded() {
+        // 10 groups × width 32·(1 key + 3 aggs) = 128 B/group: a 640 B budget
+        // fits at most 5 group table entries at once, forcing the Grace path,
+        // which must still be bit-identical to the unconstrained serial run
+        // at every thread count.
+        let n = 200i64;
+        let rel = Relation::new(vec![
+            ("g".into(), Arc::new(Column::Int64((0..n).map(|i| i % 10).collect()))),
+            ("d".into(), Arc::new(Column::Decimal((0..n).map(|i| i * 3).collect(), 2))),
+            ("f".into(), Arc::new(Column::Float64((0..n).map(|i| i as f64 * 0.17).collect()))),
+        ])
+        .unwrap();
+        let group = vec![(col("g"), "g".to_string())];
+        let aggs = vec![
+            AggExpr::sum(col("d"), "sd"),
+            AggExpr::avg(col("f"), "af"),
+            AggExpr::count_star("n"),
+        ];
+        let mut base_prof = WorkProfile::new();
+        let base = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut base_prof,
+            &EngineConfig::serial().with_morsel_rows(13),
+            Tracer::off(),
+            &QueryContext::default(),
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let cfg = EngineConfig::with_threads(threads).with_morsel_rows(13);
+            let ctx = QueryContext::with_budget(640);
+            let mut prof = WorkProfile::new();
+            let out =
+                super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg, Tracer::off(), &ctx)
+                    .unwrap();
+            assert_eq!(out, base, "grace aggregate diverged at {threads} threads");
+            assert_eq!(prof, base_prof, "grace profile diverged at {threads} threads");
+            assert!(ctx.fallbacks() > 0, "640 B budget must take the Grace path");
+            assert_eq!(ctx.used(), 0, "all reservations released after the query");
+        }
+        // A budget below one table entry cannot be partitioned around.
+        let ctx = QueryContext::with_budget(100);
+        let mut prof = WorkProfile::new();
+        let err = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut prof,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap_err();
+        match err {
+            EngineError::ResourceExhausted { operator, budget, .. } => {
+                assert_eq!(operator, "aggregate");
+                assert_eq!(budget, 100);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        assert_eq!(ctx.used(), 0, "failed queries leave no reservation behind");
     }
 }

@@ -16,6 +16,7 @@ use crate::eval::Evaluator;
 use crate::exec::parallel::EngineConfig;
 use crate::exec::{ensure_u32_indexable, expr_sketch};
 use crate::expr::Expr;
+use crate::governor::QueryContext;
 use crate::optimizer::split_conjuncts;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
@@ -32,12 +33,14 @@ pub fn exec_filter(
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
+    ctx: &QueryContext,
 ) -> Result<Relation> {
     ensure_u32_indexable(rel.num_rows(), "filter")?;
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate.clone(), &mut conjuncts);
     let mut sel: Option<Vec<u32>> = None;
     for conjunct in conjuncts {
+        ctx.checkpoint()?;
         let needed: BTreeSet<String> = conjunct.column_set();
         if needed.is_empty() {
             // Constant conjunct: evaluate it once on a 1-row dummy relation
@@ -135,7 +138,8 @@ mod tests {
     use wimpi_storage::Column;
 
     fn exec_filter(rel: &Relation, pred: &Expr, prof: &mut WorkProfile) -> Result<Relation> {
-        super::exec_filter(rel, pred, prof, &EngineConfig::serial(), Tracer::off())
+        let ctx = QueryContext::default();
+        super::exec_filter(rel, pred, prof, &EngineConfig::serial(), Tracer::off(), &ctx)
     }
 
     fn rel() -> Relation {

@@ -14,18 +14,28 @@
 //! at any thread count (see `exec::parallel`).
 
 use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::hash::Hash;
 use std::ops::Range;
 use std::sync::Arc;
 
 use super::parallel::{morsel_ranges, run_morsels, run_morsels_spanned, EngineConfig};
 use super::{ensure_u32_indexable, key_values};
 use crate::error::{EngineError, Result};
+use crate::governor::QueryContext;
 use crate::plan::JoinType;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
 use wimpi_obs::{MorselSink, MorselSpan, Span, Tracer};
 use wimpi_storage::{Column, DataType, DictBuilder};
+
+/// Estimated bytes per build-side row per key in the hash table — the same
+/// constant the work profile charges to `hash_bytes`, so the governor's
+/// reservations and the cost model agree about what a build "weighs".
+const BUILD_BYTES_PER_ROW_KEY: u64 = 16;
+
+/// The Grace fallback stops doubling here; a build that cannot fit at 1024
+/// partitions is declared `ResourceExhausted`.
+pub(crate) const MAX_GRACE_PARTS: usize = 1024;
 
 /// Synthetic column marking matched rows in a left outer join.
 pub const MATCHED_COL: &str = "__matched";
@@ -33,6 +43,7 @@ pub const MATCHED_COL: &str = "__matched";
 const NONE_ROW: u32 = u32::MAX;
 
 /// Executes a hash join.
+#[allow(clippy::too_many_arguments)]
 pub fn exec_join(
     left: &Relation,
     right: &Relation,
@@ -41,6 +52,7 @@ pub fn exec_join(
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
+    ctx: &QueryContext,
 ) -> Result<Relation> {
     if on.is_empty() {
         return Err(EngineError::Plan("join requires at least one key".to_string()));
@@ -72,7 +84,9 @@ pub fn exec_join(
             |i| rkeys[0][i],
             join_type,
             tracer,
-        ),
+            ctx,
+            1,
+        )?,
         2 => probe(
             cfg,
             left.num_rows(),
@@ -81,7 +95,9 @@ pub fn exec_join(
             |i| (rkeys[0][i], rkeys[1][i]),
             join_type,
             tracer,
-        ),
+            ctx,
+            2,
+        )?,
         _ => probe(
             cfg,
             left.num_rows(),
@@ -90,7 +106,9 @@ pub fn exec_join(
             |i| rkeys.iter().map(|k| k[i]).collect::<Vec<_>>(),
             join_type,
             tracer,
-        ),
+            ctx,
+            on.len(),
+        )?,
     };
 
     // Work: build inserts + probe lookups are random accesses; the build
@@ -125,15 +143,7 @@ pub fn exec_join(
     Ok(out)
 }
 
-/// Deterministic key→partition assignment, identical on every thread.
-/// `DefaultHasher::new()` uses fixed SipHash keys (unlike a `HashMap`'s
-/// per-instance `RandomState`), which the chain-layout determinism relies on.
-#[inline]
-fn partition_of<K: Hash>(k: &K, nparts: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    k.hash(&mut h);
-    (h.finish() % nparts as u64) as usize
-}
+use super::partition_of;
 
 /// Appends the (left, right) output rows that left row `i` contributes given
 /// its head-chain hit — the per-row core shared by the serial and parallel
@@ -189,6 +199,13 @@ fn emit_row(
 /// join span; the probe span gets per-morsel children over the same
 /// `morsel_ranges(nleft, morsel_rows)` boundaries on both the serial and the
 /// parallel path, so trace structure is identical at any thread count.
+///
+/// The whole build table is reserved against the query budget up front; when
+/// it does not fit, [`grace_probe`] degrades to a partitioned build with the
+/// same output and trace structure. Worker threads bail out at morsel
+/// boundaries once cancellation is signalled (the partial result is
+/// discarded — the final checkpoint turns it into `Cancelled`).
+#[allow(clippy::too_many_arguments)]
 fn probe<K: Hash + Eq + Send + Sync>(
     cfg: &EngineConfig,
     nleft: usize,
@@ -197,7 +214,13 @@ fn probe<K: Hash + Eq + Send + Sync>(
     rkey: impl Fn(usize) -> K + Sync,
     join_type: JoinType,
     tracer: &Tracer,
-) -> (Vec<u32>, Vec<u32>) {
+    ctx: &QueryContext,
+    nkeys: usize,
+) -> Result<(Vec<u32>, Vec<u32>)> {
+    let build_bytes = nright as u64 * BUILD_BYTES_PER_ROW_KEY * nkeys as u64;
+    let Some(_guard) = ctx.try_reserve(build_bytes) else {
+        return grace_probe(cfg, nleft, nright, lkey, rkey, join_type, tracer, ctx, nkeys);
+    };
     let traced = tracer.is_enabled();
     let sink = tracer.morsel_sink();
     let build_started = traced.then(std::time::Instant::now);
@@ -227,6 +250,9 @@ fn probe<K: Hash + Eq + Send + Sync>(
             // iteration order is unchanged) so the serial trace has the same
             // morsel children the parallel probe records.
             for (mi, r) in morsel_ranges(nleft, cfg.morsel_rows).into_iter().enumerate() {
+                if ctx.interrupted() {
+                    break;
+                }
                 let rows = r.len() as u64;
                 let m0 = std::time::Instant::now();
                 for i in r {
@@ -247,12 +273,25 @@ fn probe<K: Hash + Eq + Send + Sync>(
                 });
             }
         } else {
-            for i in 0..nleft {
-                emit_row(i, head.get(&lkey(i)).copied(), &next, join_type, &mut lsel, &mut rsel);
+            for r in morsel_ranges(nleft, cfg.morsel_rows) {
+                if ctx.interrupted() {
+                    break;
+                }
+                for i in r {
+                    emit_row(
+                        i,
+                        head.get(&lkey(i)).copied(),
+                        &next,
+                        join_type,
+                        &mut lsel,
+                        &mut rsel,
+                    );
+                }
             }
         }
+        ctx.checkpoint()?;
         attach_phases(tracer, nright, build_ns, nleft, &lsel, &probe_started, sink);
-        return (lsel, rsel);
+        return Ok((lsel, rsel));
     }
 
     // Partitioned parallel build: partition owner `p` scans every build key
@@ -266,6 +305,9 @@ fn probe<K: Hash + Eq + Send + Sync>(
     let built = run_morsels(cfg, &part_ranges, |p, _| {
         let mut head: HashMap<K, u32> = HashMap::new();
         let mut edges: Vec<(u32, u32)> = Vec::new();
+        if ctx.interrupted() {
+            return (head, edges);
+        }
         for i in 0..nright {
             let k = rkey(i);
             if partition_of(&k, nparts) != p {
@@ -300,6 +342,9 @@ fn probe<K: Hash + Eq + Send + Sync>(
     let parts = run_morsels_spanned(cfg, &probe_ranges, &sink, |_, r| {
         let mut lsel = Vec::new();
         let mut rsel = Vec::new();
+        if ctx.interrupted() {
+            return (lsel, rsel);
+        }
         for i in r {
             let k = lkey(i);
             let hit = heads[partition_of(&k, nparts)].get(&k).copied();
@@ -313,8 +358,140 @@ fn probe<K: Hash + Eq + Send + Sync>(
         lsel.extend(l);
         rsel.extend(r);
     }
+    ctx.checkpoint()?;
     attach_phases(tracer, nright, build_ns, nleft, &lsel, &probe_started, sink);
-    (lsel, rsel)
+    Ok((lsel, rsel))
+}
+
+/// The Grace-style degraded build: partition the build keys by their
+/// deterministic hash, process partitions *sequentially* (one partition's
+/// hash table lives at a time), then splice the per-partition outputs back
+/// into global left-row order.
+///
+/// Determinism argument: all rows of one key hash to one partition, and each
+/// partition inserts its build rows in ascending global row order — so every
+/// chain is laid out exactly as the serial build lays it out, and each left
+/// row's matches are emitted in the same order the serial probe emits them.
+/// The merge then visits left rows 0..nleft in order, which reproduces the
+/// serial output byte for byte. Partition choice depends only on row counts
+/// and the budget, never on the thread count.
+#[allow(clippy::too_many_arguments)]
+fn grace_probe<K: Hash + Eq + Send + Sync>(
+    cfg: &EngineConfig,
+    nleft: usize,
+    nright: usize,
+    lkey: impl Fn(usize) -> K + Sync,
+    rkey: impl Fn(usize) -> K + Sync,
+    join_type: JoinType,
+    tracer: &Tracer,
+    ctx: &QueryContext,
+    nkeys: usize,
+) -> Result<(Vec<u32>, Vec<u32>)> {
+    let traced = tracer.is_enabled();
+    let sink = tracer.morsel_sink();
+    let build_started = traced.then(std::time::Instant::now);
+    // Linear bookkeeping (partition lists, the shared chain array — 4 B/row
+    // each side, ×2) is *measured* but not capped: like selection vectors
+    // and materialized outputs it streams sequentially, and only the
+    // random-access hash table is what thrashes a wimpy node (the same line
+    // the cluster's MemoryModel draws around `hash_bytes`).
+    ctx.track((nleft + nright) as u64 * 8);
+
+    // Double the fan-out until the *largest* partition's build table fits.
+    let mut nparts = 2usize;
+    let counts = loop {
+        let mut counts = vec![0u32; nparts];
+        for i in 0..nright {
+            counts[partition_of(&rkey(i), nparts)] += 1;
+        }
+        let maxcount = counts.iter().copied().max().unwrap_or(0) as u64;
+        let need = maxcount * BUILD_BYTES_PER_ROW_KEY * nkeys as u64;
+        if let Some(probe_fit) = ctx.try_reserve(need) {
+            drop(probe_fit);
+            break counts;
+        }
+        if nparts >= MAX_GRACE_PARTS {
+            return Err(EngineError::ResourceExhausted {
+                requested: need,
+                budget: ctx.budget(),
+                operator: "join build".to_string(),
+            });
+        }
+        nparts *= 2;
+    };
+    ctx.note_fallback(nparts as u32);
+
+    // Partition both sides (ascending row order within each partition).
+    let mut rrows: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c as usize)).collect();
+    for i in 0..nright {
+        rrows[partition_of(&rkey(i), nparts)].push(i as u32);
+    }
+    let mut lpart: Vec<u32> = Vec::with_capacity(nleft);
+    let mut lrows: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+    for i in 0..nleft {
+        let p = partition_of(&lkey(i), nparts);
+        lpart.push(p as u32);
+        lrows[p].push(i as u32);
+    }
+    let build_ns = elapsed_ns(&build_started);
+    let probe_started = traced.then(std::time::Instant::now);
+
+    // One partition at a time: build, probe, drop.
+    let mut next: Vec<u32> = vec![NONE_ROW; nright];
+    let mut part_sels: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(nparts);
+    for p in 0..nparts {
+        ctx.checkpoint()?;
+        let _table =
+            ctx.reserve(counts[p] as u64 * BUILD_BYTES_PER_ROW_KEY * nkeys as u64, "join build")?;
+        let mut head: HashMap<K, u32> = HashMap::with_capacity(counts[p] as usize * 2);
+        for &i in &rrows[p] {
+            match head.entry(rkey(i as usize)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    next[i as usize] = *e.get();
+                    *e.get_mut() = i;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        for &i in &lrows[p] {
+            let hit = head.get(&lkey(i as usize)).copied();
+            emit_row(i as usize, hit, &next, join_type, &mut lsel, &mut rsel);
+        }
+        part_sels.push((lsel, rsel));
+    }
+
+    // Splice back to global left-row order (per-partition outputs are
+    // already ascending in the left row id).
+    let mut cursors = vec![0usize; nparts];
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
+    for (i, &p) in lpart.iter().enumerate() {
+        let p = p as usize;
+        let (pl, pr) = &part_sels[p];
+        let c = &mut cursors[p];
+        while *c < pl.len() && pl[*c] == i as u32 {
+            lsel.push(i as u32);
+            if !pr.is_empty() {
+                rsel.push(pr[*c]);
+            }
+            *c += 1;
+        }
+    }
+
+    // Identical trace structure to the resident-build paths: the probe span
+    // carries one child per left morsel (synthetic here — the fallback
+    // probes by partition, but the *structure* must not leak the budget).
+    if sink.is_enabled() {
+        for (mi, r) in morsel_ranges(nleft, cfg.morsel_rows).into_iter().enumerate() {
+            sink.record(MorselSpan { index: mi, rows: r.len() as u64, worker: 0, wall_ns: 0 });
+        }
+    }
+    attach_phases(tracer, nright, build_ns, nleft, &lsel, &probe_started, sink);
+    Ok((lsel, rsel))
 }
 
 #[inline]
@@ -396,7 +573,8 @@ mod tests {
         let on: Vec<(String, String)> =
             on.into_iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
         let mut p = WorkProfile::new();
-        exec_join(l, r, &on, jt, &mut p, &EngineConfig::serial(), Tracer::off()).unwrap()
+        let ctx = QueryContext::default();
+        exec_join(l, r, &on, jt, &mut p, &EngineConfig::serial(), Tracer::off(), &ctx).unwrap()
     }
 
     #[test]
@@ -462,6 +640,7 @@ mod tests {
             &mut p,
             &EngineConfig::serial(),
             Tracer::off(),
+            &QueryContext::default(),
         );
         assert!(matches!(err, Err(EngineError::Unsupported(_))));
     }
@@ -480,16 +659,76 @@ mod tests {
         for jt in [JoinType::Inner, JoinType::Semi, JoinType::Anti, JoinType::LeftOuter] {
             let on = [("lk".to_string(), "rk".to_string())];
             let mut sp = WorkProfile::new();
+            let ctx = QueryContext::default();
             let serial =
-                exec_join(&l, &r, &on, jt, &mut sp, &EngineConfig::serial(), Tracer::off())
+                exec_join(&l, &r, &on, jt, &mut sp, &EngineConfig::serial(), Tracer::off(), &ctx)
                     .unwrap();
             for threads in [2, 4] {
                 let cfg = EngineConfig::with_threads(threads).with_morsel_rows(13);
                 let mut pp = WorkProfile::new();
-                let par = exec_join(&l, &r, &on, jt, &mut pp, &cfg, Tracer::off()).unwrap();
+                let ctx = QueryContext::default();
+                let par = exec_join(&l, &r, &on, jt, &mut pp, &cfg, Tracer::off(), &ctx).unwrap();
                 assert_eq!(par, serial, "{jt:?} diverged at {threads} threads");
                 assert_eq!(pp, sp, "{jt:?} profile diverged at {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn grace_fallback_is_bit_exact_and_budget_bounded() {
+        // Duplicate keys exercise the chain layout the determinism argument
+        // leans on. 60 build rows × 16 B/key = 960 B resident build; a
+        // budget well under that forces the Grace path at every thread count.
+        let n = 200i64;
+        let l = rel(vec![("lk", (0..n).map(|i| i % 17).collect()), ("lv", (0..n).collect())]);
+        let r = rel(vec![
+            ("rk", (0..60).map(|i| i % 23).collect()),
+            ("rv", (0..60).map(|i| i * 3).collect()),
+        ]);
+        for jt in [JoinType::Inner, JoinType::Semi, JoinType::Anti, JoinType::LeftOuter] {
+            let on = [("lk".to_string(), "rk".to_string())];
+            let mut sp = WorkProfile::new();
+            let unbounded = QueryContext::default();
+            let want = exec_join(
+                &l,
+                &r,
+                &on,
+                jt,
+                &mut sp,
+                &EngineConfig::serial(),
+                Tracer::off(),
+                &unbounded,
+            )
+            .unwrap();
+            for threads in [1, 2, 4] {
+                let cfg = EngineConfig::with_threads(threads).with_morsel_rows(13);
+                let ctx = QueryContext::with_budget(500);
+                let mut p = WorkProfile::new();
+                let got = exec_join(&l, &r, &on, jt, &mut p, &cfg, Tracer::off(), &ctx).unwrap();
+                assert_eq!(got, want, "{jt:?} grace diverged at {threads} threads");
+                assert!(ctx.fallbacks() > 0, "{jt:?}: budget must engage the fallback");
+                assert_eq!(ctx.mem.used(), 0, "{jt:?}: all reservations released");
+            }
+        }
+        // A budget below one key's chain (keys repeat 3×: 48 B minimum even
+        // at max fan-out) errors, typed.
+        let ctx = QueryContext::with_budget(40);
+        let mut p = WorkProfile::new();
+        let err = exec_join(
+            &l,
+            &r,
+            &[("lk".to_string(), "rk".to_string())],
+            JoinType::Inner,
+            &mut p,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { ref operator, .. } if operator == "join build"),
+            "got {err:?}"
+        );
+        assert_eq!(ctx.mem.used(), 0, "failed join released everything");
     }
 }

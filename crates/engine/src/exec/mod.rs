@@ -19,6 +19,7 @@ pub mod sort;
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;
 use crate::expr::Expr;
+use crate::governor::QueryContext;
 use crate::plan::LogicalPlan;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
@@ -40,8 +41,23 @@ pub fn execute_with(
     catalog: &Catalog,
     cfg: &EngineConfig,
 ) -> Result<(Relation, WorkProfile)> {
+    execute_governed(plan, catalog, cfg, &QueryContext::default())
+}
+
+/// [`execute_with`] under a resource governor: the context's budget caps
+/// operator scratch allocations (joins/aggregates degrade to Grace
+/// partitioning before erroring), its token/deadline cancel cooperatively at
+/// morsel boundaries, and the measured peak lands in
+/// [`WorkProfile::peak_bytes`]. The default context reproduces ungoverned
+/// execution exactly.
+pub fn execute_governed(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile)> {
     let mut prof = WorkProfile::new();
-    let rel = exec_node(plan, catalog, &mut prof, cfg, Tracer::off())?;
+    let rel = exec_node(plan, catalog, &mut prof, cfg, Tracer::off(), ctx)?;
     prof.rows_out = rel.num_rows() as u64;
     Ok((rel, prof))
 }
@@ -55,10 +71,26 @@ pub fn execute_traced(
     catalog: &Catalog,
     cfg: &EngineConfig,
 ) -> Result<(Relation, WorkProfile, Span)> {
+    execute_traced_governed(plan, catalog, cfg, &QueryContext::default())
+}
+
+/// [`execute_traced`] under a resource governor (see [`execute_governed`]).
+pub fn execute_traced_governed(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile, Span)> {
     let tracer = Tracer::enabled();
     tracer.push("query", "");
     let mut prof = WorkProfile::new();
-    let rel = exec_node(plan, catalog, &mut prof, cfg, &tracer)?;
+    let rel = match exec_node(plan, catalog, &mut prof, cfg, &tracer, ctx) {
+        Ok(rel) => rel,
+        Err(e) => {
+            tracer.pop(0, 0, Vec::new());
+            return Err(e);
+        }
+    };
     prof.rows_out = rel.num_rows() as u64;
     tracer.pop(prof.rows_in, prof.rows_out, prof.counter_pairs());
     let span = tracer.take_root().expect("traced execution produces a root span");
@@ -66,22 +98,28 @@ pub fn execute_traced(
 }
 
 /// Recursive node interpreter; wraps every node in a trace span when the
-/// tracer is enabled.
+/// tracer is enabled. Every node entry is a cancellation checkpoint, and
+/// every node exit ratchets the measured memory peak into the profile.
 pub(crate) fn exec_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
+    ctx: &QueryContext,
 ) -> Result<Relation> {
+    ctx.checkpoint()?;
     if !tracer.is_enabled() {
-        return exec_node_inner(plan, catalog, prof, cfg, tracer).map(|(_, rel)| rel);
+        let (_, rel) = exec_node_inner(plan, catalog, prof, cfg, tracer, ctx)?;
+        finish_node(plan, &rel, prof, ctx);
+        return Ok(rel);
     }
     let (op, label) = span_head(plan);
     tracer.push(op, &label);
     let before = *prof;
-    match exec_node_inner(plan, catalog, prof, cfg, tracer) {
+    match exec_node_inner(plan, catalog, prof, cfg, tracer, ctx) {
         Ok((rows_in, rel)) => {
+            finish_node(plan, &rel, prof, ctx);
             tracer.pop(rows_in, rel.num_rows() as u64, prof.delta_since(&before).counter_pairs());
             Ok(rel)
         }
@@ -93,6 +131,19 @@ pub(crate) fn exec_node(
     }
 }
 
+/// Closes out one operator under the governor: materialized intermediates
+/// count toward the measured peak (scans share the catalog's columns and are
+/// not an allocation), and the profile's `peak_bytes` ratchets up to the
+/// query-wide high-water mark. The ratchet is monotone over the operator
+/// sequence, so traced span deltas telescope to exactly the root's peak —
+/// the property the independent trace checker validates.
+fn finish_node(plan: &LogicalPlan, rel: &Relation, prof: &mut WorkProfile, ctx: &QueryContext) {
+    if !matches!(plan, LogicalPlan::Scan { .. }) {
+        ctx.track(rel.stream_bytes() as u64);
+    }
+    prof.peak_bytes = prof.peak_bytes.max(ctx.high_water());
+}
+
 /// The actual interpreter. Returns the operator's input row count alongside
 /// its output so the caller can fill the span without re-deriving it.
 fn exec_node_inner(
@@ -101,6 +152,7 @@ fn exec_node_inner(
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
+    ctx: &QueryContext,
 ) -> Result<(u64, Relation)> {
     match plan {
         LogicalPlan::Scan { table, projection } => {
@@ -110,12 +162,12 @@ fn exec_node_inner(
             Ok((0, rel))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = rel.num_rows() as u64;
-            Ok((rows_in, filter::exec_filter(&rel, predicate, prof, cfg, tracer)?))
+            Ok((rows_in, filter::exec_filter(&rel, predicate, prof, cfg, tracer, ctx)?))
         }
         LogicalPlan::Project { input, exprs } => {
-            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let n = rel.num_rows() as u64;
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
@@ -136,23 +188,23 @@ fn exec_node_inner(
             Ok((n, Relation::new(fields)?))
         }
         LogicalPlan::Join { left, right, on, join_type } => {
-            let l = exec_node(left, catalog, prof, cfg, tracer)?;
-            let r = exec_node(right, catalog, prof, cfg, tracer)?;
+            let l = exec_node(left, catalog, prof, cfg, tracer, ctx)?;
+            let r = exec_node(right, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = (l.num_rows() + r.num_rows()) as u64;
-            Ok((rows_in, join::exec_join(&l, &r, on, *join_type, prof, cfg, tracer)?))
+            Ok((rows_in, join::exec_join(&l, &r, on, *join_type, prof, cfg, tracer, ctx)?))
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
-            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = rel.num_rows() as u64;
-            Ok((rows_in, aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg, tracer)?))
+            Ok((rows_in, aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg, tracer, ctx)?))
         }
         LogicalPlan::Sort { input, keys } => {
-            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = rel.num_rows() as u64;
-            Ok((rows_in, sort::exec_sort(&rel, keys, prof)?))
+            Ok((rows_in, sort::exec_sort(&rel, keys, prof, ctx)?))
         }
         LogicalPlan::Limit { input, n } => {
-            let rel = exec_node(input, catalog, prof, cfg, tracer)?;
+            let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let keep = rel.num_rows().min(*n);
             ensure_u32_indexable(keep, "limit")?;
             let sel: Vec<u32> = (0..keep as u32).collect();
@@ -198,6 +250,19 @@ pub(crate) fn expr_sketch(e: &Expr) -> String {
         }
         format!("{}...", &full[..cut])
     }
+}
+
+/// Deterministic key→partition assignment for the Grace-style fallbacks,
+/// identical on every thread. `DefaultHasher::new()` uses fixed SipHash keys
+/// (unlike a `HashMap`'s per-instance `RandomState`), which both the join's
+/// chain-layout determinism and the budget fallbacks' partition choice rely
+/// on.
+#[inline]
+pub(crate) fn partition_of<K: std::hash::Hash>(k: &K, nparts: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = std::hash::DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() % nparts as u64) as usize
 }
 
 /// Rejects row counts the engine's `u32` selection vectors cannot index.

@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 
 use crate::error::{EngineError, Result};
+use crate::governor::QueryContext;
 use crate::plan::SortKey;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
@@ -42,17 +43,34 @@ impl KeyRep {
 }
 
 /// Sorts the relation by `keys` (most significant first).
-pub fn exec_sort(rel: &Relation, keys: &[SortKey], prof: &mut WorkProfile) -> Result<Relation> {
+///
+/// Sorting has no Grace-style fallback — the key representations and the
+/// index vector are the algorithm — so the whole buffer is reserved up
+/// front and an impossible budget fails fast with `ResourceExhausted`.
+pub fn exec_sort(
+    rel: &Relation,
+    keys: &[SortKey],
+    prof: &mut WorkProfile,
+    ctx: &QueryContext,
+) -> Result<Relation> {
     if keys.is_empty() {
         return Err(EngineError::Plan("sort requires at least one key".to_string()));
     }
     let n = rel.num_rows();
     super::ensure_u32_indexable(n, "sort")?;
+    // Key reps at their real widths (4 B ranks, 8 B ints/floats) plus the
+    // 4 B/row index vector being sorted.
+    let mut key_width = 4u64;
+    for k in keys {
+        key_width += rel.column(&k.column)?.data_type().sort_key_bytes();
+    }
+    let _guard = ctx.reserve(n as u64 * key_width, "sort")?;
     let mut reps = Vec::with_capacity(keys.len());
     for k in keys {
         let col = rel.column(&k.column)?;
         reps.push((prepare_key(col), k.descending));
     }
+    ctx.checkpoint()?;
     let mut idx: Vec<u32> = (0..n as u32).collect();
     idx.sort_by(|&a, &b| {
         for (rep, desc) in &reps {
@@ -116,7 +134,7 @@ mod tests {
 
     fn sort(keys: Vec<SortKey>) -> Relation {
         let mut p = WorkProfile::new();
-        exec_sort(&rel(), &keys, &mut p).unwrap()
+        exec_sort(&rel(), &keys, &mut p, &QueryContext::default()).unwrap()
     }
 
     #[test]
@@ -149,7 +167,13 @@ mod tests {
     fn cost_charges_actual_key_widths() {
         // name is a Str key (4 B rank), v an Int64 key (8 B).
         let mut both = WorkProfile::new();
-        let out = exec_sort(&rel(), &[SortKey::asc("name"), SortKey::asc("v")], &mut both).unwrap();
+        let out = exec_sort(
+            &rel(),
+            &[SortKey::asc("name"), SortKey::asc("v")],
+            &mut both,
+            &QueryContext::default(),
+        )
+        .unwrap();
         let mut gather_only = WorkProfile::new();
         super::super::filter::charge_gather(&rel(), &out, 4, &mut gather_only);
         let key_bytes = both.seq_read_bytes - gather_only.seq_read_bytes;
@@ -161,7 +185,9 @@ mod tests {
     #[test]
     fn missing_key_errors() {
         let mut p = WorkProfile::new();
-        assert!(exec_sort(&rel(), &[SortKey::asc("zzz")], &mut p).is_err());
-        assert!(exec_sort(&rel(), &[], &mut p).is_err());
+        assert!(
+            exec_sort(&rel(), &[SortKey::asc("zzz")], &mut p, &QueryContext::default()).is_err()
+        );
+        assert!(exec_sort(&rel(), &[], &mut p, &QueryContext::default()).is_err());
     }
 }

@@ -11,6 +11,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod expr;
+pub mod governor;
 pub mod like;
 pub mod optimizer;
 pub mod plan;
@@ -19,8 +20,9 @@ pub mod stats;
 
 pub use error::{EngineError, Result};
 pub use exec::parallel::EngineConfig;
-pub use exec::{execute, execute_traced, execute_with};
+pub use exec::{execute, execute_governed, execute_traced, execute_traced_governed, execute_with};
 pub use expr::{col, date, dec2, lit, Expr};
+pub use governor::{CancelToken, MemoryReservation, QueryContext, Reservation};
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
 pub use relation::Relation;
 pub use stats::WorkProfile;
@@ -56,4 +58,31 @@ pub fn execute_query_traced(
 ) -> Result<(Relation, WorkProfile, Span)> {
     let optimized = optimizer::optimize(plan.clone(), catalog)?;
     exec::execute_traced(&optimized, catalog, cfg)
+}
+
+/// Optimizes and executes a plan under a resource governor: the context's
+/// memory budget caps operator scratch (with deterministic Grace-partitioned
+/// fallbacks before any error), and its cancel token/deadline stop the query
+/// cooperatively at morsel boundaries. With `QueryContext::default()` this
+/// is exactly [`execute_query_with`].
+pub fn execute_query_governed(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile)> {
+    let optimized = optimizer::optimize(plan.clone(), catalog)?;
+    exec::execute_governed(&optimized, catalog, cfg, ctx)
+}
+
+/// [`execute_query_governed`] with operator-level tracing; `EXPLAIN ANALYZE`
+/// uses this to report measured per-operator peak bytes.
+pub fn execute_query_traced_governed(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile, Span)> {
+    let optimized = optimizer::optimize(plan.clone(), catalog)?;
+    exec::execute_traced_governed(&optimized, catalog, cfg, ctx)
 }

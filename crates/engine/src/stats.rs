@@ -33,6 +33,14 @@ pub struct WorkProfile {
     /// Bytes shipped over the network (filled in by the cluster driver; zero
     /// for single-node runs).
     pub network_bytes: u64,
+    /// *Measured* peak bytes of governed memory (operator scratch plus
+    /// materialized intermediates), taken from the query's
+    /// [`MemoryReservation`](crate::governor::MemoryReservation) high-water
+    /// mark. Unlike the other counters this is a maximum, not a sum; the
+    /// engine ratchets it monotonically at operator boundaries so span
+    /// deltas still telescope (each span's delta is the peak *growth* it
+    /// observed, and the deltas sum to the root's final peak).
+    pub peak_bytes: u64,
 }
 
 impl WorkProfile {
@@ -63,6 +71,7 @@ impl WorkProfile {
         self.rows_in = self.rows_in.saturating_add(o.rows_in);
         self.rows_out = self.rows_out.saturating_add(o.rows_out);
         self.network_bytes = self.network_bytes.saturating_add(o.network_bytes);
+        self.peak_bytes = self.peak_bytes.saturating_add(o.peak_bytes);
     }
 
     /// Per-counter saturating difference `self - before`: the inclusive work
@@ -78,6 +87,7 @@ impl WorkProfile {
             rows_in: self.rows_in.saturating_sub(before.rows_in),
             rows_out: self.rows_out.saturating_sub(before.rows_out),
             network_bytes: self.network_bytes.saturating_sub(before.network_bytes),
+            peak_bytes: self.peak_bytes.saturating_sub(before.peak_bytes),
         }
     }
 
@@ -94,6 +104,7 @@ impl WorkProfile {
             ("rows_in", self.rows_in),
             ("rows_out", self.rows_out),
             ("network_bytes", self.network_bytes),
+            ("peak_bytes", self.peak_bytes),
         ]
         .into_iter()
         .filter(|&(_, v)| v != 0)
@@ -115,6 +126,7 @@ impl WorkProfile {
             rows_in: s(self.rows_in),
             rows_out: s(self.rows_out),
             network_bytes: s(self.network_bytes),
+            peak_bytes: s(self.peak_bytes),
         }
     }
 }
@@ -132,6 +144,7 @@ impl Add for WorkProfile {
             rows_in: self.rows_in + o.rows_in,
             rows_out: self.rows_out + o.rows_out,
             network_bytes: self.network_bytes + o.network_bytes,
+            peak_bytes: self.peak_bytes + o.peak_bytes,
         }
     }
 }

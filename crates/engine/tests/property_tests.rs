@@ -228,6 +228,7 @@ fn profile_from(
         rows_in: ri,
         rows_out: ro,
         network_bytes: nb,
+        peak_bytes: 0,
     }
 }
 

@@ -11,7 +11,11 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use crate::span::json_str;
+use crate::span::{json_str, Span};
+
+/// Bucket bounds for the `operator_peak_bytes` histogram: 4 KiB to 256 MiB
+/// in ×16 steps — wimpy-node scratch sizes, per the paper's premise.
+const PEAK_BOUNDS: [f64; 5] = [4096.0, 65536.0, 1048576.0, 16777216.0, 268435456.0];
 
 /// One recorded metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +81,43 @@ impl Registry {
     /// Sets the named gauge to `value`.
     pub fn set_gauge(&self, name: &str, value: f64) {
         self.metrics.lock().unwrap().insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Raises the named gauge to `value` if larger (creates it otherwise) —
+    /// a high-water gauge.
+    pub fn max_gauge(&self, name: &str, value: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(g) => *g = g.max(value),
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records the measured memory peaks of one query trace. The root span's
+    /// inclusive `peak_bytes` (the query-wide reservation high-water mark)
+    /// raises the `query_peak_bytes` gauge; every operator's *own* raise of
+    /// the high-water mark (its self delta — the inclusive counter is a
+    /// ratcheted maximum, so deltas attribute the growth) feeds the
+    /// `operator_peak_bytes` histogram and a per-op `peak_bytes{op="..."}`
+    /// high-water gauge.
+    pub fn record_span_peaks(&self, span: &Span) {
+        let total = span.counter("peak_bytes");
+        if total > 0 {
+            self.max_gauge("query_peak_bytes", total as f64);
+        }
+        self.walk_peaks(span);
+    }
+
+    fn walk_peaks(&self, span: &Span) {
+        let own =
+            span.self_counters().iter().find(|(n, _)| n == "peak_bytes").map_or(0, |&(_, v)| v);
+        if own > 0 {
+            self.observe("operator_peak_bytes", &PEAK_BOUNDS, own as f64);
+            self.max_gauge(&format!("peak_bytes{{op=\"{}\"}}", span.op), own as f64);
+        }
+        for c in &span.children {
+            self.walk_peaks(c);
+        }
     }
 
     /// Records `value` into the named histogram, creating it with `bounds`
@@ -233,6 +274,33 @@ mod tests {
         assert_eq!(names, vec!["a.first", "z.last"]);
         let text = r.render();
         assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+    }
+
+    #[test]
+    fn span_peaks_feed_gauges_and_histogram() {
+        // Root peak 1000 of which the child raised 600: the query gauge
+        // reads the root, the per-op gauges read the self deltas.
+        let mut child = Span::leaf("join", "");
+        child.counters = vec![("peak_bytes".into(), 600)];
+        let mut root = Span::leaf("query", "");
+        root.counters = vec![("peak_bytes".into(), 1000)];
+        root.children.push(child);
+        let r = Registry::new();
+        r.record_span_peaks(&root);
+        assert_eq!(r.gauge("query_peak_bytes"), Some(1000.0));
+        assert_eq!(r.gauge("peak_bytes{op=\"join\"}"), Some(600.0));
+        assert_eq!(r.gauge("peak_bytes{op=\"query\"}"), Some(400.0));
+        let snap = r.snapshot();
+        let Some((_, Metric::Histogram(h))) = snap.iter().find(|(n, _)| n == "operator_peak_bytes")
+        else {
+            panic!("expected operator_peak_bytes histogram")
+        };
+        assert_eq!(h.count, 2);
+        // A second, smaller query must not lower the high-water gauges.
+        let mut small = Span::leaf("query", "");
+        small.counters = vec![("peak_bytes".into(), 10)];
+        r.record_span_peaks(&small);
+        assert_eq!(r.gauge("query_peak_bytes"), Some(1000.0));
     }
 
     #[test]

@@ -71,12 +71,14 @@ impl Span {
         self.children.is_empty()
     }
 
-    /// Structural equality: everything except measured wall time and the
+    /// Structural equality: everything except measured wall time, the
     /// `worker` counter (which worker ran a morsel is a race; *what* ran,
-    /// over *which rows*, with *which work*, is deterministic).
+    /// over *which rows*, with *which work*, is deterministic), and the
+    /// measured `peak_bytes` counter — a budget-constrained run reserves
+    /// less than an unconstrained one yet must still structure-match it.
     pub fn structure_eq(&self, other: &Span) -> bool {
         let strip = |c: &Vec<(String, u64)>| -> Vec<(String, u64)> {
-            c.iter().filter(|(n, _)| n != "worker").cloned().collect()
+            c.iter().filter(|(n, _)| n != "worker" && n != "peak_bytes").cloned().collect()
         };
         self.op == other.op
             && self.label == other.label
@@ -104,8 +106,8 @@ impl Span {
         } else {
             format!("{}[{}]", self.op, self.label)
         };
-        out.push_str(&format!(
-            "{:indent$}{name:w$} {:>12} → {:<12} {:>10} {:>12} B {:>12} ops\n",
+        let mut line = format!(
+            "{:indent$}{name:w$} {:>12} → {:<12} {:>10} {:>12} B {:>12} ops",
             "",
             self.rows_in,
             self.rows_out,
@@ -114,7 +116,15 @@ impl Span {
             get("cpu_ops"),
             indent = depth * 2,
             w = 28usize.saturating_sub(depth * 2),
-        ));
+        );
+        // The measured reservation peak is inclusive (a ratcheted maximum up
+        // to this operator's finish), so it reads from the span itself.
+        let peak = self.counter("peak_bytes");
+        if peak > 0 {
+            line.push_str(&format!(" {peak:>12} B peak"));
+        }
+        line.push('\n');
+        out.push_str(&line);
         for c in &self.children {
             c.render_into(out, depth + 1);
         }
@@ -224,13 +234,15 @@ mod tests {
     }
 
     #[test]
-    fn structure_eq_ignores_wall_and_worker() {
+    fn structure_eq_ignores_wall_worker_and_peak() {
         let mut a = tree();
         let mut b = tree();
         a.wall_ns = 1;
         b.wall_ns = 99;
         a.children[0].counters.push(("worker".into(), 0));
         b.children[0].counters.push(("worker".into(), 3));
+        a.counters.push(("peak_bytes".into(), 4096));
+        b.counters.push(("peak_bytes".into(), 128));
         assert!(a.structure_eq(&b));
         b.children[0].rows_out = 11;
         assert!(!a.structure_eq(&b));

@@ -17,8 +17,8 @@ mod q12_17;
 mod q18_22;
 
 use wimpi_engine::{
-    execute_query_traced, execute_query_with, EngineConfig, LogicalPlan, Relation, Result, Span,
-    WorkProfile,
+    execute_query_governed, execute_query_traced_governed, EngineConfig, LogicalPlan, QueryContext,
+    Relation, Result, Span, WorkProfile,
 };
 use wimpi_storage::{Catalog, Value};
 
@@ -68,13 +68,29 @@ pub fn run_with(
     catalog: &Catalog,
     cfg: &EngineConfig,
 ) -> Result<(Relation, WorkProfile)> {
+    run_governed(q, catalog, cfg, &QueryContext::default())
+}
+
+/// Executes a query (all phases) under a resource governor. Both phases of a
+/// two-phase query share the one context: the budget, cancellation token,
+/// and deadline span the whole query, and the context's high-water mark is
+/// the true measured peak. Note that the summed profile's `peak_bytes`
+/// *overcounts* for two-phase queries (phase 2's ratchet starts from phase
+/// 1's peak, and the phase profiles are added) — read
+/// [`QueryContext::high_water`] when the exact peak matters.
+pub fn run_governed(
+    q: &QueryPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile)> {
     match q {
-        QueryPlan::Single(p) => execute_query_with(p, catalog, cfg),
+        QueryPlan::Single(p) => execute_query_governed(p, catalog, cfg, ctx),
         QueryPlan::TwoPhase { first, scalar_col, second } => {
-            let (r1, p1) = execute_query_with(first, catalog, cfg)?;
+            let (r1, p1) = execute_query_governed(first, catalog, cfg, ctx)?;
             let scalar =
                 if r1.num_rows() == 0 { Value::F64(0.0) } else { r1.value(0, scalar_col)? };
-            let (r2, p2) = execute_query_with(&second(scalar), catalog, cfg)?;
+            let (r2, p2) = execute_query_governed(&second(scalar), catalog, cfg, ctx)?;
             Ok((r2, p1 + p2))
         }
     }
@@ -90,13 +106,26 @@ pub fn run_traced(
     catalog: &Catalog,
     cfg: &EngineConfig,
 ) -> Result<(Relation, WorkProfile, Span)> {
+    run_traced_governed(q, catalog, cfg, &QueryContext::default())
+}
+
+/// [`run_traced`] under a resource governor (see [`run_governed`] — the
+/// two-phase `peak_bytes` overcount applies to the synthetic root's totals
+/// too, which is what keeps the trace checker's additive invariant intact).
+pub fn run_traced_governed(
+    q: &QueryPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile, Span)> {
     match q {
-        QueryPlan::Single(p) => execute_query_traced(p, catalog, cfg),
+        QueryPlan::Single(p) => execute_query_traced_governed(p, catalog, cfg, ctx),
         QueryPlan::TwoPhase { first, scalar_col, second } => {
-            let (r1, p1, mut s1) = execute_query_traced(first, catalog, cfg)?;
+            let (r1, p1, mut s1) = execute_query_traced_governed(first, catalog, cfg, ctx)?;
             let scalar =
                 if r1.num_rows() == 0 { Value::F64(0.0) } else { r1.value(0, scalar_col)? };
-            let (r2, p2, mut s2) = execute_query_traced(&second(scalar), catalog, cfg)?;
+            let (r2, p2, mut s2) =
+                execute_query_traced_governed(&second(scalar), catalog, cfg, ctx)?;
             let prof = p1 + p2;
             s1.op = "phase".to_string();
             s1.label = "1 (scalar)".to_string();

@@ -19,7 +19,7 @@ pub mod token;
 
 pub use error::{Result, SqlError};
 
-use wimpi_engine::{EngineConfig, LogicalPlan, Relation, Span, WorkProfile};
+use wimpi_engine::{EngineConfig, LogicalPlan, QueryContext, Relation, Span, WorkProfile};
 use wimpi_storage::Catalog;
 
 /// Parses and plans one SELECT statement.
@@ -30,18 +30,42 @@ pub fn plan(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
 
 /// Parses, plans, optimizes, and executes one SELECT statement.
 pub fn execute_sql(sql: &str, catalog: &Catalog) -> Result<(Relation, WorkProfile)> {
+    execute_sql_governed(sql, catalog, &QueryContext::default())
+}
+
+/// [`execute_sql`] under a resource governor: the context's memory budget
+/// caps operator scratch (joins/aggregates degrade to Grace partitioning
+/// before erroring) and its cancellation token/deadline stop the query
+/// cooperatively. The shell's `SET memory_budget` / `SET timeout_ms` route
+/// through here.
+pub fn execute_sql_governed(
+    sql: &str,
+    catalog: &Catalog,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile)> {
     let p = plan(sql, catalog)?;
-    wimpi_engine::execute_query(&p, catalog)
+    wimpi_engine::execute_query_governed(&p, catalog, &EngineConfig::serial(), ctx)
         .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
 }
 
 /// Executes one SELECT statement with operator-level tracing — the engine's
 /// `EXPLAIN ANALYZE`. The returned [`Span`] tree carries per-operator row
-/// counts, wall times, and work-profile deltas; its root totals equal the
+/// counts, wall times, and work-profile deltas (including the measured
+/// `peak_bytes` reservation high-water mark); its root totals equal the
 /// returned [`WorkProfile`] exactly.
 pub fn explain_analyze(sql: &str, catalog: &Catalog) -> Result<(Relation, WorkProfile, Span)> {
+    explain_analyze_governed(sql, catalog, &QueryContext::default())
+}
+
+/// [`explain_analyze`] under a resource governor (see
+/// [`execute_sql_governed`]).
+pub fn explain_analyze_governed(
+    sql: &str,
+    catalog: &Catalog,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile, Span)> {
     let p = plan(sql, catalog)?;
-    wimpi_engine::execute_query_traced(&p, catalog, &EngineConfig::serial())
+    wimpi_engine::execute_query_traced_governed(&p, catalog, &EngineConfig::serial(), ctx)
         .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
 }
 

@@ -29,6 +29,19 @@ pub enum DataType {
     Bool,
 }
 
+impl DataType {
+    /// Bytes per row of this type's *orderable key representation*: strings
+    /// sort as 4-byte dictionary ranks, everything else as an 8-byte
+    /// integer/float. The engine's sort operator sizes its key buffers (and
+    /// therefore its memory reservation) from this.
+    pub fn sort_key_bytes(&self) -> u64 {
+        match self {
+            DataType::Utf8 => 4,
+            _ => 8,
+        }
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

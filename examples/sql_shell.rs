@@ -6,14 +6,44 @@
 //!
 //! Type SQL (single line, `;` optional). Prefix a statement with
 //! `EXPLAIN ANALYZE` to get the operator-level trace tree (rows, wall time,
-//! and work-profile bytes per operator). Meta-commands: `\tables`,
-//! `\schema <table>`, `\hw` (toggle per-machine predictions), `\q`.
+//! and work-profile bytes per operator, including the measured reservation
+//! peak). Meta-commands: `\tables`, `\schema <table>`, `\hw` (toggle
+//! per-machine predictions), `\q`.
+//!
+//! Resource governance: `SET memory_budget = 64M` caps each query's operator
+//! scratch (`0` or `unlimited` lifts the cap; the `WIMPI_MEM_BUDGET`
+//! environment variable seeds the initial value), and `SET timeout_ms = 500`
+//! gives every query a cooperative deadline (`0` disables it).
 
 use std::io::{BufRead, Write};
 
+use wimpi::engine::{governor, QueryContext};
 use wimpi::hwsim::{all_profiles, predict_all_cores};
-use wimpi::sql::{execute_sql, explain_analyze, strip_explain_analyze};
+use wimpi::sql::{execute_sql_governed, explain_analyze_governed, strip_explain_analyze};
 use wimpi::tpch::Generator;
+
+/// Parses `SET <knob> = <value>` (case-insensitive `SET`, optional `;`).
+fn parse_set(line: &str) -> Option<(String, String)> {
+    let trimmed = line.trim().trim_end_matches(';').trim_end();
+    let (head, rest) = trimmed.split_once(char::is_whitespace)?;
+    if !head.eq_ignore_ascii_case("set") {
+        return None;
+    }
+    let (knob, value) = rest.split_once('=')?;
+    Some((knob.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Builds the per-query governor context from the session knobs.
+fn make_ctx(mem_budget: Option<u64>, timeout_ms: Option<u64>) -> QueryContext {
+    let mut ctx = match mem_budget {
+        Some(b) => QueryContext::with_budget(b),
+        None => QueryContext::new(),
+    };
+    if let Some(ms) = timeout_ms {
+        ctx = ctx.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    ctx
+}
 
 fn main() {
     let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
@@ -22,6 +52,8 @@ fn main() {
     eprintln!("ready. \\tables lists tables, \\q quits.\n");
     let stdin = std::io::stdin();
     let mut show_hw = false;
+    let mut mem_budget: Option<u64> = governor::budget_from_env();
+    let mut timeout_ms: Option<u64> = None;
     print!("wimpi> ");
     std::io::stdout().flush().ok();
     for line in stdin.lock().lines() {
@@ -50,33 +82,86 @@ fn main() {
                     Err(e) => println!("error: {e}"),
                 }
             }
+            cmd if parse_set(cmd).is_some() => {
+                let (knob, value) = parse_set(cmd).expect("guard matched");
+                match knob.as_str() {
+                    "memory_budget" => {
+                        if value == "0" || value.eq_ignore_ascii_case("unlimited") {
+                            mem_budget = None;
+                            println!("memory budget unlimited");
+                        } else {
+                            match governor::parse_budget(&value) {
+                                Some(b) => {
+                                    mem_budget = Some(b);
+                                    println!("memory budget {b} bytes");
+                                }
+                                None => println!(
+                                    "error: cannot parse budget {value:?} (try 64K, 16M, 1G)"
+                                ),
+                            }
+                        }
+                    }
+                    "timeout_ms" => match value.parse::<u64>() {
+                        Ok(0) => {
+                            timeout_ms = None;
+                            println!("timeout disabled");
+                        }
+                        Ok(ms) => {
+                            timeout_ms = Some(ms);
+                            println!("timeout {ms} ms");
+                        }
+                        Err(_) => println!("error: timeout_ms wants an integer, got {value:?}"),
+                    },
+                    other => {
+                        println!("error: unknown knob {other:?} (memory_budget, timeout_ms)")
+                    }
+                }
+            }
             sql if strip_explain_analyze(sql).is_some() => {
                 let inner = strip_explain_analyze(sql).expect("guard matched");
                 let inner = inner.trim_end_matches(';').trim_end();
-                match explain_analyze(inner, &catalog) {
+                let ctx = make_ctx(mem_budget, timeout_ms);
+                match explain_analyze_governed(inner, &catalog, &ctx) {
                     Ok((rel, work, span)) => {
                         print!("{}", span.render());
                         println!(
-                            "({} rows; {:.1} MB streamed, {} ops)",
+                            "({} rows; {:.1} MB streamed, {} ops, peak {} B)",
                             rel.num_rows(),
                             work.seq_bytes() as f64 / 1e6,
-                            work.cpu_ops
+                            work.cpu_ops,
+                            work.peak_bytes
                         );
+                        if ctx.fallbacks() > 0 {
+                            println!(
+                                "(degraded: {} operator(s) fell back to Grace partitioning, \
+                                 up to {} partitions)",
+                                ctx.fallbacks(),
+                                ctx.max_fallback_parts()
+                            );
+                        }
                     }
                     Err(e) => println!("error: {e}"),
                 }
             }
             sql => {
                 let started = std::time::Instant::now();
-                match execute_sql(sql, &catalog) {
+                let ctx = make_ctx(mem_budget, timeout_ms);
+                match execute_sql_governed(sql, &catalog, &ctx) {
                     Ok((rel, work)) => {
                         println!("{}", rel.to_text(20));
                         println!(
-                            "({} rows in {:.3}s host; {:.1} MB streamed)",
+                            "({} rows in {:.3}s host; {:.1} MB streamed, peak {} B)",
                             rel.num_rows(),
                             started.elapsed().as_secs_f64(),
-                            work.seq_bytes() as f64 / 1e6
+                            work.seq_bytes() as f64 / 1e6,
+                            work.peak_bytes
                         );
+                        if ctx.fallbacks() > 0 {
+                            println!(
+                                "(degraded: {} operator(s) fell back to Grace partitioning)",
+                                ctx.fallbacks()
+                            );
+                        }
                         if show_hw {
                             for hw in all_profiles() {
                                 let p = predict_all_cores(&hw, &work);

@@ -8,8 +8,8 @@
 //! in release CI (`cargo test --workspace --release`); debug runs keep the
 //! Q1/Q6 smoke.
 
-use wimpi::engine::{execute_query_with, EngineConfig, PlanBuilder, SortKey};
-use wimpi::queries::{query, run_with};
+use wimpi::engine::{execute_query_with, EngineConfig, PlanBuilder, QueryContext, SortKey};
+use wimpi::queries::{query, run_governed, run_with};
 use wimpi::storage::{Catalog, Value};
 use wimpi::tpch::Generator;
 
@@ -95,5 +95,28 @@ fn all_22_queries_parallel_bit_exact() {
     let cat = catalog();
     for qn in 1..=22 {
         assert_bit_exact(qn, &cat);
+    }
+}
+
+/// The determinism guarantee survives memory governance: a budget tight
+/// enough to force Grace-partitioned builds (64 KB at SF 0.01) must yield
+/// the same relation and work profile at every thread count, because
+/// reservation decisions are taken once on the coordinator — never raced by
+/// workers.
+#[test]
+fn budget_constrained_runs_stay_parallel_bit_exact() {
+    let cat = catalog();
+    for qn in [1usize, 3, 6, 13] {
+        let q = query(qn);
+        let serial_ctx = QueryContext::with_budget(64 << 10);
+        let (rel0, prof0) = run_governed(&q, &cat, &EngineConfig::serial(), &serial_ctx)
+            .expect("budgeted serial run");
+        for threads in [2, 4] {
+            let ctx = QueryContext::with_budget(64 << 10);
+            let cfg = EngineConfig::with_threads(threads);
+            let (rel, prof) = run_governed(&q, &cat, &cfg, &ctx).expect("budgeted parallel run");
+            assert_eq!(rel, rel0, "Q{qn}: budgeted result diverged at {threads} threads");
+            assert_eq!(prof, prof0, "Q{qn}: budgeted profile diverged at {threads} threads");
+        }
     }
 }

@@ -1,0 +1,335 @@
+//! Overload stress harness: the concurrent query service under a ladder of
+//! closed-loop client counts.
+//!
+//! ```text
+//! cargo run --release --bin overload -- [--sf f] [--queries 1,6,...]
+//!     [--smoke]
+//! ```
+//!
+//! Drives N closed-loop clients (N ∈ {1, 2, 4, 8}) over the 8 choke-point
+//! queries against one `engine::service::Service` whose node-wide budget is
+//! sized from the measured unconstrained peaks — small enough that grants
+//! contend, large enough that every query fits at full budget. Per level it
+//! asserts the service's three contracts:
+//!
+//! 1. **No oversubscription** — the shared reservation's high-water mark
+//!    never exceeds the node budget (checked both by a live sampler thread
+//!    and post-hoc).
+//! 2. **Bit-exactness** — every answer that completes equals the serial
+//!    unconstrained baseline, no matter the concurrency, shedding, Grace
+//!    degradation, or budget retries along the way.
+//! 3. **Exactly one terminal outcome** — each submission ends as exactly one
+//!    of {answer, Overloaded, ResourceExhausted, Cancelled}; the client-side
+//!    tally and the service's own counters must agree.
+//!
+//! Artifacts: `results/overload.{txt,json}` (per-level throughput, sheds,
+//! retries, latency) and `results/overload_metrics.txt` (the full registry
+//! per level).
+//!
+//! `--smoke` is the CI entry point: a 2-client burst over Q1/Q6 with a tight
+//! budget plus a full-queue shed check, all three contracts asserted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_engine::{
+    EngineConfig, EngineError, QueryContext, QuerySpec, Relation, Service, ServiceConfig,
+    ServiceError,
+};
+use wimpi_obs::status;
+use wimpi_queries::{query, run_governed, CHOKEPOINT_QUERIES};
+use wimpi_tpch::Generator;
+
+/// Closed-loop client counts — the concurrency ladder.
+const LADDER: [usize; 4] = [1, 2, 4, 8];
+/// Service worker threads (fixed: the ladder varies offered load, not
+/// capacity, so the top rungs overload the queue and shed).
+const WORKERS: usize = 2;
+/// Admission queue depth — small enough that 8 clients overrun it.
+const QUEUE_DEPTH: usize = 4;
+/// Rounds each client plays through the whole query set per level.
+const ROUNDS: usize = 2;
+
+/// One client's view of its submissions' terminal outcomes.
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    completed: u64,
+    shed: u64,
+    exhausted: u64,
+    cancelled: u64,
+}
+
+impl Tally {
+    fn total(&self) -> u64 {
+        self.completed + self.shed + self.exhausted + self.cancelled
+    }
+}
+
+/// One closed-loop client: submit → wait → next, `ROUNDS` passes over the
+/// query set. Every outcome must be one of the four terminal states; every
+/// completed answer must equal the baseline.
+fn run_client(
+    svc: &Service,
+    catalog: &std::sync::Arc<wimpi_storage::Catalog>,
+    qns: &[usize],
+    baselines: &[Relation],
+    estimate: u64,
+    client: usize,
+) -> Tally {
+    let mut tally = Tally::default();
+    for round in 0..ROUNDS {
+        for (qi, &qn) in qns.iter().enumerate() {
+            let cat = std::sync::Arc::clone(catalog);
+            let spec = QuerySpec::new(format!("c{client}r{round}q{qn}")).with_estimate(estimate);
+            let outcome = svc.run_blocking(spec, move |ctx| {
+                run_governed(&query(qn), &cat, &EngineConfig::serial(), ctx).map(|(rel, _)| rel)
+            });
+            match outcome {
+                Ok(rel) => {
+                    assert_eq!(
+                        rel, baselines[qi],
+                        "Q{qn} (client {client}, round {round}): completed answer \
+                         must be bit-exact vs the serial unconstrained run"
+                    );
+                    tally.completed += 1;
+                }
+                Err(ServiceError::Overloaded { queue_depth, retry_after_hint_s }) => {
+                    // A real client would back off `retry_after_hint_s`; the
+                    // closed loop just records the shed and moves on.
+                    assert!(queue_depth >= QUEUE_DEPTH, "shed below the configured depth");
+                    assert!(retry_after_hint_s > 0.0, "hint must be actionable");
+                    tally.shed += 1;
+                }
+                Err(ServiceError::Engine(EngineError::ResourceExhausted { .. })) => {
+                    tally.exhausted += 1;
+                }
+                Err(ServiceError::Engine(EngineError::Cancelled)) => tally.cancelled += 1,
+                Err(e) => panic!("Q{qn} (client {client}): outcome outside the terminal set: {e}"),
+            }
+        }
+    }
+    tally
+}
+
+/// Runs one ladder level; returns (tally, retries, mean latency seconds,
+/// elapsed wall seconds, metrics render).
+fn run_level(
+    clients: usize,
+    catalog: &std::sync::Arc<wimpi_storage::Catalog>,
+    qns: &[usize],
+    baselines: &[Relation],
+    node_budget: u64,
+    estimate: u64,
+) -> (Tally, u64, f64, f64, String) {
+    let mut svc = Service::new(ServiceConfig {
+        node_budget,
+        workers: WORKERS,
+        queue_depth: QUEUE_DEPTH,
+        small_cutoff: estimate, // declared estimates queue as "small"
+        ..ServiceConfig::default()
+    });
+    let started = Instant::now();
+    let stop = AtomicBool::new(false);
+    let mut tally = Tally::default();
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let stop = &stop;
+        // Live oversubscription sampler: races admissions on purpose.
+        let sampler = s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                assert!(
+                    svc.node_used() <= node_budget,
+                    "oversubscribed mid-flight: {} > {}",
+                    svc.node_used(),
+                    node_budget
+                );
+                std::thread::yield_now();
+            }
+        });
+        let handles: Vec<_> = (0..clients)
+            .map(|c| s.spawn(move || run_client(svc, catalog, qns, baselines, estimate, c)))
+            .collect();
+        for h in handles {
+            let t = h.join().expect("client threads must not panic");
+            tally.completed += t.completed;
+            tally.shed += t.shed;
+            tally.exhausted += t.exhausted;
+            tally.cancelled += t.cancelled;
+        }
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler must not panic");
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    svc.shutdown();
+
+    // Contract 1: the shared reservation never oversubscribed.
+    assert!(
+        svc.node_high_water() <= node_budget,
+        "{clients} clients: high water {} exceeds node budget {node_budget}",
+        svc.node_high_water()
+    );
+    assert_eq!(svc.node_used(), 0, "{clients} clients: grants must drain at quiescence");
+
+    // Contract 3: exactly one terminal outcome per submission — the client
+    // tally and the service ledger must agree.
+    let m = svc.metrics();
+    let expected = (clients * ROUNDS * qns.len()) as u64;
+    assert_eq!(tally.total(), expected, "{clients} clients: an outcome went missing");
+    assert_eq!(m.counter("service_shed_total"), tally.shed);
+    assert_eq!(m.counter("service_completed_total"), tally.completed);
+    assert_eq!(m.counter("service_exhausted_total"), tally.exhausted);
+    assert_eq!(m.counter("service_cancelled_total"), tally.cancelled);
+    assert_eq!(
+        m.counter("service_submitted_total"),
+        expected - tally.shed,
+        "accepted = offered - shed"
+    );
+    assert_eq!(m.counter("service_failed_total"), 0);
+    assert_eq!(m.counter("service_panicked_total"), 0);
+
+    let retries = m.counter("service_retries_total");
+    let mean_latency = match m.snapshot().into_iter().find(|(n, _)| n == "service_latency_seconds")
+    {
+        Some((_, wimpi_obs::Metric::Histogram(h))) if h.count > 0 => h.sum / h.count as f64,
+        _ => 0.0,
+    };
+    (tally, retries, mean_latency, elapsed, m.render())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Args::parse_with(Args { sf: 0.01, ..Args::default() });
+    let catalog =
+        std::sync::Arc::new(Generator::new(args.sf).generate_catalog().expect("catalog generates"));
+    if smoke {
+        run_smoke(&catalog);
+        return;
+    }
+
+    let qns: Vec<usize> =
+        if args.queries.is_empty() { CHOKEPOINT_QUERIES.to_vec() } else { args.queries.clone() };
+
+    // Serial unconstrained baselines — the bit-exactness referee — and the
+    // measured peaks that size the node budget.
+    let cfg = EngineConfig::serial();
+    let mut baselines = Vec::new();
+    let mut max_peak = 0u64;
+    for &qn in &qns {
+        let ctx = QueryContext::new();
+        let (rel, _) = run_governed(&query(qn), &catalog, &cfg, &ctx)
+            .unwrap_or_else(|e| panic!("Q{qn} baseline: {e}"));
+        max_peak = max_peak.max(ctx.high_water());
+        baselines.push(rel);
+    }
+    // Big enough that any single query fits at full budget (so the one
+    // budget retry can always succeed), small enough that concurrent grants
+    // contend. Estimates are deliberately tight: most queries Grace-degrade
+    // under their grant, and the heaviest exhaust and take the retry.
+    // Grace fan-out caps at ~1024 partitions, so a grant below roughly
+    // peak/1024 exhausts even after degradation — dividing by 2048 puts the
+    // heaviest queries past that edge and onto the retry path.
+    let node_budget = max_peak.max(1);
+    let estimate = (max_peak / 2048).max(256);
+    status!(
+        "overload ladder at SF {} over {qns:?}: node budget {node_budget} B, \
+         declared estimate {estimate} B, {WORKERS} workers, queue depth {QUEUE_DEPTH}",
+        args.sf
+    );
+
+    let mut fig = TextFigure::new(
+        format!("Overload ladder (SF {}, node budget {node_budget} B)", args.sf),
+        "clients",
+    );
+    fig.rows = LADDER.iter().map(|c| format!("c={c}")).collect();
+    let mut cols: Vec<(&str, Vec<Option<f64>>)> = [
+        ("completed", vec![]),
+        ("shed", vec![]),
+        ("exhausted", vec![]),
+        ("retries", vec![]),
+        ("mean_latency_s", vec![]),
+        ("throughput_qps", vec![]),
+    ]
+    .into();
+    let mut metrics_text = String::new();
+    for clients in LADDER {
+        let (tally, retries, mean_latency, elapsed, render) =
+            run_level(clients, &catalog, &qns, &baselines, node_budget, estimate);
+        status!(
+            "c={clients}: {} completed, {} shed, {} exhausted, {retries} retries, \
+             mean latency {mean_latency:.4}s",
+            tally.completed,
+            tally.shed,
+            tally.exhausted
+        );
+        for (name, col) in cols.iter_mut() {
+            col.push(Some(match *name {
+                "completed" => tally.completed as f64,
+                "shed" => tally.shed as f64,
+                "exhausted" => tally.exhausted as f64,
+                "retries" => retries as f64,
+                "mean_latency_s" => mean_latency,
+                _ => tally.completed as f64 / elapsed.max(1e-9),
+            }));
+        }
+        metrics_text.push_str(&format!("=== {clients} client(s) ===\n{render}\n"));
+    }
+    for (name, col) in cols {
+        fig.push_series(Series { name: name.to_string(), values: col });
+    }
+    wimpi_bench::emit(&args, "overload", &[fig]);
+    wimpi_bench::write_artifact(&args.out, "overload_metrics.txt", &metrics_text);
+}
+
+/// CI smoke: the three contracts on a small burst, plus a deterministic
+/// full-queue shed.
+fn run_smoke(catalog: &std::sync::Arc<wimpi_storage::Catalog>) {
+    let cfg = EngineConfig::serial();
+    let qns = [1usize, 6];
+    let mut baselines = Vec::new();
+    let mut max_peak = 0u64;
+    for &qn in &qns {
+        let ctx = QueryContext::new();
+        let (rel, _) = run_governed(&query(qn), catalog, &cfg, &ctx).expect("smoke baseline runs");
+        max_peak = max_peak.max(ctx.high_water());
+        baselines.push(rel);
+    }
+    let node_budget = max_peak.max(1);
+    let (tally, _, _, _, _) =
+        run_level(2, catalog, &qns, &baselines, node_budget, (max_peak / 64).max(512));
+    assert!(tally.completed > 0, "smoke must complete some queries");
+
+    // Deterministic shed: one worker pinned by queue + tiny depth.
+    let mut svc = Service::new(ServiceConfig {
+        node_budget,
+        workers: 1,
+        queue_depth: 1,
+        ..ServiceConfig::default()
+    });
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+    let gate_rx = std::sync::Mutex::new(gate_rx);
+    let busy = svc
+        .submit(QuerySpec::new("busy"), move |_| {
+            let _ = gate_rx.lock().unwrap().recv();
+            Ok(0u64)
+        })
+        .expect("admits");
+    while svc.in_flight() == 0 {
+        std::thread::yield_now();
+    }
+    let queued = svc.submit(QuerySpec::new("waits"), |_| Ok(0u64)).expect("queues");
+    match svc.submit(QuerySpec::new("shed"), |_| Ok(0u64)) {
+        Err(ServiceError::Overloaded { .. }) => {}
+        Ok(_) => panic!("full queue must shed"),
+        Err(e) => panic!("expected Overloaded, got {e}"),
+    }
+    drop(gate_tx);
+    busy.wait().expect("gated job finishes");
+    queued.wait().expect("queued job runs");
+    svc.shutdown();
+    assert_eq!(svc.metrics().counter("service_shed_total"), 1);
+    assert_eq!(svc.node_used(), 0);
+    status!("overload smoke passed");
+    println!("overload smoke: OK");
+}

@@ -137,7 +137,14 @@ where
                 s.spawn(move || {
                     let mut done = Vec::new();
                     loop {
-                        let job = deques[w].lock().unwrap().pop_back().or_else(|| {
+                        // The own-deque pop must be a standalone statement: its
+                        // temporary MutexGuard lives to the end of the enclosing
+                        // statement, so folding the steal into `.or_else(..)` on
+                        // the same expression would hold deque[w] while locking
+                        // the others — a lock cycle once every worker goes
+                        // stealing at once. Pop, release, then steal.
+                        let own = deques[w].lock().unwrap().pop_back();
+                        let job = own.or_else(|| {
                             (1..nworkers).find_map(|d| {
                                 deques[(w + d) % nworkers].lock().unwrap().pop_front()
                             })
@@ -264,6 +271,24 @@ mod tests {
         let out = run_morsels_spanned(&cfg, &morsel_ranges(95, 10), &sink, |i, _| i);
         assert_eq!(out, (0..10).collect::<Vec<_>>());
         assert!(sink.into_spans().is_empty());
+    }
+
+    #[test]
+    fn simultaneous_stealing_does_not_deadlock() {
+        // Regression: the own-deque pop used to hold its MutexGuard across
+        // the steal sweep (guard temporaries live to the end of the `let`
+        // statement), so workers that went stealing at the same instant
+        // formed a lock cycle — worker w holding deque[w], waiting on
+        // deque[w+1]. Trivial jobs over many rounds push every worker into
+        // the steal path together; with the cycle present this test hangs.
+        let cfg = EngineConfig::with_threads(4).with_morsel_rows(1);
+        for n in [4usize, 5, 8, 64] {
+            let ranges = morsel_ranges(n, 1);
+            for _ in 0..200 {
+                let out = run_morsels(&cfg, &ranges, |_, r| r.start);
+                assert_eq!(out, (0..n).collect::<Vec<_>>());
+            }
+        }
     }
 
     #[test]

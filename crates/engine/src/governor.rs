@@ -377,31 +377,76 @@ impl QueryContext {
     }
 }
 
-/// Parses a byte budget like `64K`, `16M`, `1G`, or `1048576` (case-
-/// insensitive suffixes, powers of 1024). Used by the shell and benches for
+/// Why a budget string did not parse (see [`parse_budget`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetParseError {
+    /// The string was empty (or all whitespace).
+    Empty,
+    /// The number or unit suffix was unrecognizable.
+    Malformed(String),
+    /// The value parsed but is zero or negative — a budget must grant at
+    /// least one byte. (Shells spell "no limit" out of band, e.g.
+    /// `SET memory_budget = unlimited`.)
+    NonPositive(String),
+}
+
+impl std::fmt::Display for BudgetParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetParseError::Empty => write!(f, "empty budget string"),
+            BudgetParseError::Malformed(s) => {
+                write!(f, "malformed budget {s:?} (want e.g. 64K, 1.5GiB, 0.5MB, 1048576)")
+            }
+            BudgetParseError::NonPositive(s) => {
+                write!(f, "budget {s:?} is not positive (a budget grants at least one byte)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetParseError {}
+
+/// Parses a byte budget: a positive (possibly fractional) number with an
+/// optional unit. `K`/`KiB`-style suffixes are powers of 1024, `KB`-style
+/// are powers of 1000, both case-insensitive: `64K`, `1.5GiB`, `0.5MB`,
+/// `1048576`. Zero and negative values are rejected with a typed error —
+/// "unlimited" is not a number here. Used by the shell and benches for
 /// `WIMPI_MEM_BUDGET`; the engine core itself never reads the environment.
-pub fn parse_budget(s: &str) -> Option<u64> {
+pub fn parse_budget(s: &str) -> std::result::Result<u64, BudgetParseError> {
     let s = s.trim();
     if s.is_empty() {
-        return None;
+        return Err(BudgetParseError::Empty);
     }
-    let (num, mult) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
-        b'K' => (&s[..s.len() - 1], 1u64 << 10),
-        b'M' => (&s[..s.len() - 1], 1u64 << 20),
-        b'G' => (&s[..s.len() - 1], 1u64 << 30),
-        _ => (s, 1),
+    let split = s.len() - s.bytes().rev().take_while(|b| b.is_ascii_alphabetic()).count();
+    let (num, unit) = (s[..split].trim(), &s[split..]);
+    let mult: u64 = match unit.to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kib" => 1 << 10,
+        "m" | "mib" => 1 << 20,
+        "g" | "gib" => 1 << 30,
+        "kb" => 1_000,
+        "mb" => 1_000_000,
+        "gb" => 1_000_000_000,
+        _ => return Err(BudgetParseError::Malformed(s.to_string())),
     };
-    let v: f64 = num.trim().parse().ok()?;
-    if !v.is_finite() || v < 0.0 {
-        return None;
+    let v: f64 = num.parse().map_err(|_| BudgetParseError::Malformed(s.to_string()))?;
+    if !v.is_finite() {
+        return Err(BudgetParseError::Malformed(s.to_string()));
     }
-    Some((v * mult as f64) as u64)
+    if v <= 0.0 {
+        return Err(BudgetParseError::NonPositive(s.to_string()));
+    }
+    let bytes = (v * mult as f64).round();
+    if bytes < 1.0 {
+        return Err(BudgetParseError::NonPositive(s.to_string()));
+    }
+    Ok(bytes as u64)
 }
 
 /// Reads `WIMPI_MEM_BUDGET` (see [`parse_budget`]); `None` when unset or
 /// unparsable.
 pub fn budget_from_env() -> Option<u64> {
-    std::env::var("WIMPI_MEM_BUDGET").ok().and_then(|s| parse_budget(&s))
+    std::env::var("WIMPI_MEM_BUDGET").ok().and_then(|s| parse_budget(&s).ok())
 }
 
 #[cfg(test)]
@@ -533,14 +578,38 @@ mod tests {
 
     #[test]
     fn budget_parsing() {
-        assert_eq!(parse_budget("1048576"), Some(1 << 20));
-        assert_eq!(parse_budget("64K"), Some(64 << 10));
-        assert_eq!(parse_budget("16m"), Some(16 << 20));
-        assert_eq!(parse_budget("1G"), Some(1 << 30));
-        assert_eq!(parse_budget("1.5K"), Some(1536));
-        assert_eq!(parse_budget("0"), Some(0));
-        assert_eq!(parse_budget(""), None);
-        assert_eq!(parse_budget("chunky"), None);
-        assert_eq!(parse_budget("-1"), None);
+        assert_eq!(parse_budget("1048576"), Ok(1 << 20));
+        assert_eq!(parse_budget("64K"), Ok(64 << 10));
+        assert_eq!(parse_budget("16m"), Ok(16 << 20));
+        assert_eq!(parse_budget("1G"), Ok(1 << 30));
+        assert_eq!(parse_budget("1.5K"), Ok(1536));
+        assert_eq!(parse_budget("  512 b "), Ok(512));
+    }
+
+    #[test]
+    fn budget_parsing_fractional_units() {
+        assert_eq!(parse_budget("1.5GiB"), Ok(3 << 29)); // 1.5 × 2^30
+        assert_eq!(parse_budget("0.5MB"), Ok(500_000)); // SI: powers of 1000
+        assert_eq!(parse_budget("0.5MiB"), Ok(512 << 10));
+        assert_eq!(parse_budget("2kb"), Ok(2_000));
+        assert_eq!(parse_budget("0.25k"), Ok(256));
+    }
+
+    #[test]
+    fn budget_parsing_rejects_with_typed_errors() {
+        assert_eq!(parse_budget(""), Err(BudgetParseError::Empty));
+        assert_eq!(parse_budget("   "), Err(BudgetParseError::Empty));
+        assert_eq!(parse_budget("chunky"), Err(BudgetParseError::Malformed("chunky".into())));
+        assert_eq!(parse_budget("1X"), Err(BudgetParseError::Malformed("1X".into())));
+        assert_eq!(parse_budget("nanG"), Err(BudgetParseError::Malformed("nanG".into())));
+        assert_eq!(parse_budget("infG"), Err(BudgetParseError::Malformed("infG".into())));
+        assert_eq!(parse_budget("0"), Err(BudgetParseError::NonPositive("0".into())));
+        assert_eq!(parse_budget("-1"), Err(BudgetParseError::NonPositive("-1".into())));
+        assert_eq!(parse_budget("-1.5G"), Err(BudgetParseError::NonPositive("-1.5G".into())));
+        assert_eq!(
+            parse_budget("0.4"),
+            Err(BudgetParseError::NonPositive("0.4".into())),
+            "rounds to zero bytes"
+        );
     }
 }

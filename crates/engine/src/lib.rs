@@ -16,15 +16,17 @@ pub mod like;
 pub mod optimizer;
 pub mod plan;
 pub mod relation;
+pub mod service;
 pub mod stats;
 
 pub use error::{EngineError, Result};
 pub use exec::parallel::EngineConfig;
 pub use exec::{execute, execute_governed, execute_traced, execute_traced_governed, execute_with};
 pub use expr::{col, date, dec2, lit, Expr};
-pub use governor::{CancelToken, MemoryReservation, QueryContext, Reservation};
+pub use governor::{BudgetParseError, CancelToken, MemoryReservation, QueryContext, Reservation};
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
 pub use relation::Relation;
+pub use service::{QuerySpec, Service, ServiceConfig, ServiceError, Ticket};
 pub use stats::WorkProfile;
 pub use wimpi_obs::{Span, Tracer};
 

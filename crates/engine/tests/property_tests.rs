@@ -270,3 +270,72 @@ proptest! {
         prop_assert_eq!(ab_then_c, a_then_bc);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse_budget` round-trip: formatting a whole number of units with
+    /// any recognized suffix (IEC powers of 1024, SI powers of 1000, upper
+    /// or lower case, optional padding) parses back to exactly
+    /// `value × multiplier`. Values stay below 2^20 so every product is
+    /// f64-exact.
+    #[test]
+    fn parse_budget_round_trips_whole_units(
+        v in 1u64..(1 << 20),
+        unit_idx in 0usize..8,
+        upper in any::<bool>(),
+        pad in any::<bool>(),
+    ) {
+        use wimpi_engine::governor::parse_budget;
+        let units: [(&str, u64); 8] = [
+            ("", 1),
+            ("K", 1 << 10),
+            ("KiB", 1 << 10),
+            ("M", 1 << 20),
+            ("MiB", 1 << 20),
+            ("G", 1 << 30),
+            ("KB", 1_000),
+            ("MB", 1_000_000),
+        ];
+        let (unit, mult) = units[unit_idx];
+        let unit = if upper { unit.to_ascii_uppercase() } else { unit.to_ascii_lowercase() };
+        let s = if pad { format!("  {v} {unit} ") } else { format!("{v}{unit}") };
+        prop_assert_eq!(parse_budget(&s), Ok(v * mult), "input {:?}", s);
+    }
+
+    /// Fractional round-trip through halves: `x.5` of a unit is exactly
+    /// representable in f64, so `(2v+1)/2` units must parse to exactly
+    /// `(2v+1) × multiplier / 2` bytes (all multipliers here are even).
+    #[test]
+    fn parse_budget_handles_fractional_units_exactly(
+        v in 0u64..(1 << 19),
+        unit_idx in 0usize..4,
+    ) {
+        use wimpi_engine::governor::parse_budget;
+        let units: [(&str, u64); 4] = [("K", 1 << 10), ("MiB", 1 << 20), ("G", 1 << 30), ("MB", 1_000_000)];
+        let (unit, mult) = units[unit_idx];
+        let s = format!("{v}.5{unit}");
+        let want = v * mult + mult / 2;
+        prop_assert_eq!(parse_budget(&s), Ok(want), "input {:?}", s);
+    }
+
+    /// Zero and negatives are always a typed `NonPositive` rejection, with
+    /// or without a unit.
+    #[test]
+    fn parse_budget_rejects_non_positive(
+        v in 0i64..(1 << 20),
+        unit_idx in 0usize..4,
+        negative in any::<bool>(),
+    ) {
+        use wimpi_engine::governor::{parse_budget, BudgetParseError};
+        // Positive values without a sign would parse fine; keep only the
+        // non-positive inputs: any negative, or an unsigned zero.
+        let v = if negative { v } else { 0 };
+        let unit = ["", "K", "MiB", "GB"][unit_idx];
+        let s = format!("{}{v}{unit}", if negative { "-" } else { "" });
+        match parse_budget(&s) {
+            Err(BudgetParseError::NonPositive(got)) => prop_assert_eq!(got, s),
+            other => prop_assert!(false, "expected NonPositive for {:?}, got {:?}", s, other),
+        }
+    }
+}

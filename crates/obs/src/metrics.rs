@@ -50,9 +50,17 @@ impl Histogram {
 
     fn observe(&mut self, v: f64) {
         let slot = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
-        self.counts[slot] += 1;
-        self.count += 1;
+        self.counts[slot] = self.counts[slot].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum += v;
+    }
+
+    /// Observations above the last bound — the explicit overflow bucket.
+    /// Rendered as the `+inf` line, `_overflow`, and the JSON `"overflow"`
+    /// key, so saturation of the bucket layout is visible without
+    /// subtracting bucket counts from the total.
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
     }
 }
 
@@ -69,11 +77,13 @@ impl Registry {
         Registry::default()
     }
 
-    /// Adds `delta` to the named counter, creating it at zero first.
+    /// Adds `delta` to the named counter, creating it at zero first. The add
+    /// saturates at `u64::MAX`: a counter that would wrap instead pins,
+    /// keeping "monotonically increasing" true even for pathological deltas.
     pub fn inc(&self, name: &str, delta: u64) {
         let mut m = self.metrics.lock().unwrap();
         match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
-            Metric::Counter(c) => *c += delta,
+            Metric::Counter(c) => *c = c.saturating_add(delta),
             other => panic!("metric {name:?} is not a counter: {other:?}"),
         }
     }
@@ -174,6 +184,7 @@ impl Registry {
                             .unwrap_or_else(|| "+inf".to_string());
                         out.push_str(&format!("{name}{{le=\"{le}\"}} {c}\n"));
                     }
+                    out.push_str(&format!("{name}_overflow {}\n", h.overflow()));
                     out.push_str(&format!("{name}_count {}\n", h.count));
                     out.push_str(&format!("{name}_sum {}\n", h.sum));
                 }
@@ -210,7 +221,12 @@ impl Registry {
                         }
                         s.push_str(&c.to_string());
                     }
-                    s.push_str(&format!("],\"count\":{},\"sum\":{}}}", h.count, json_f64(h.sum)));
+                    s.push_str(&format!(
+                        "],\"overflow\":{},\"count\":{},\"sum\":{}}}",
+                        h.overflow(),
+                        h.count,
+                        json_f64(h.sum)
+                    ));
                 }
             }
         }
@@ -239,6 +255,33 @@ mod tests {
         r.inc("faults.crash", 2);
         assert_eq!(r.counter("faults.crash"), 3);
         assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let r = Registry::new();
+        r.inc("near_max", u64::MAX - 1);
+        r.inc("near_max", 5);
+        assert_eq!(r.counter("near_max"), u64::MAX, "saturates, never wraps");
+        r.inc("near_max", 1);
+        assert_eq!(r.counter("near_max"), u64::MAX, "stays pinned once saturated");
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_is_explicit() {
+        let r = Registry::new();
+        let bounds = [1.0, 10.0];
+        r.observe("lat", &bounds, 0.5);
+        r.observe("lat", &bounds, 50.0);
+        r.observe("lat", &bounds, 1e9);
+        let snap = r.snapshot();
+        let (_, Metric::Histogram(h)) = &snap[0] else { panic!("expected histogram") };
+        assert_eq!(h.overflow(), 2, "values above the last bound are countable directly");
+        assert_eq!(h.overflow(), h.count - 1, "consistent with total minus bounded buckets");
+        let text = r.render();
+        assert!(text.contains("lat_overflow 2"), "render exposes the overflow line:\n{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"overflow\":2"), "json exposes the overflow key:\n{json}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Errors from lexing, parsing, or planning SQL.
+/// Errors from lexing, parsing, planning, or executing SQL.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlError {
     /// Tokenizer failure.
@@ -13,6 +13,10 @@ pub enum SqlError {
     Plan(String),
     /// A SQL feature outside the supported subset.
     Unsupported(String),
+    /// Execution failed — the engine's typed error, preserved so callers
+    /// (the shell's concurrent service, retry logic) can still distinguish
+    /// `ResourceExhausted` and `Cancelled` from plain failures.
+    Engine(wimpi_engine::EngineError),
 }
 
 impl fmt::Display for SqlError {
@@ -22,11 +26,37 @@ impl fmt::Display for SqlError {
             SqlError::Parse(s) => write!(f, "parse error: {s}"),
             SqlError::Plan(s) => write!(f, "plan error: {s}"),
             SqlError::Unsupported(s) => write!(f, "unsupported SQL: {s}"),
+            SqlError::Engine(e) => write!(f, "execution failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for SqlError {}
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wimpi_engine::EngineError> for SqlError {
+    fn from(e: wimpi_engine::EngineError) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+impl SqlError {
+    /// Converts into the engine's error type: `Engine` unwraps to the
+    /// original, front-end failures become `EngineError::Plan`. This is what
+    /// lets a `Service` job run SQL and keep typed retry/cancel semantics.
+    pub fn into_engine(self) -> wimpi_engine::EngineError {
+        match self {
+            SqlError::Engine(e) => e,
+            other => wimpi_engine::EngineError::Plan(other.to_string()),
+        }
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, SqlError>;

@@ -45,7 +45,7 @@ pub fn execute_sql_governed(
 ) -> Result<(Relation, WorkProfile)> {
     let p = plan(sql, catalog)?;
     wimpi_engine::execute_query_governed(&p, catalog, &EngineConfig::serial(), ctx)
-        .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
+        .map_err(SqlError::Engine)
 }
 
 /// Executes one SELECT statement with operator-level tracing — the engine's
@@ -66,7 +66,7 @@ pub fn explain_analyze_governed(
 ) -> Result<(Relation, WorkProfile, Span)> {
     let p = plan(sql, catalog)?;
     wimpi_engine::execute_query_traced_governed(&p, catalog, &EngineConfig::serial(), ctx)
-        .map_err(|e| SqlError::Plan(format!("execution failed: {e}")))
+        .map_err(SqlError::Engine)
 }
 
 /// Strips a leading `EXPLAIN ANALYZE` prefix (case-insensitive, any

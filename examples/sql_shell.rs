@@ -8,18 +8,29 @@
 //! `EXPLAIN ANALYZE` to get the operator-level trace tree (rows, wall time,
 //! and work-profile bytes per operator, including the measured reservation
 //! peak). Meta-commands: `\tables`, `\schema <table>`, `\hw` (toggle
-//! per-machine predictions), `\q`.
+//! per-machine predictions), `\metrics` (service counters), `\q`.
 //!
 //! Resource governance: `SET memory_budget = 64M` caps each query's operator
 //! scratch (`0` or `unlimited` lifts the cap; the `WIMPI_MEM_BUDGET`
-//! environment variable seeds the initial value), and `SET timeout_ms = 500`
-//! gives every query a cooperative deadline (`0` disables it).
+//! environment variable seeds the initial value; fractional units like
+//! `1.5GiB` or `0.5MB` work), and `SET timeout_ms = 500` gives every query a
+//! cooperative deadline (`0` disables it).
+//!
+//! Concurrency: `SET concurrency = N` routes statements through an
+//! `engine::service::Service` with `N` workers whose node-wide budget is the
+//! session's memory budget — admission control, grant arbitration, and the
+//! one full-budget retry all engage, and `\metrics` shows the counters.
+//! `SET concurrency = 0` (the default) returns to direct in-process
+//! execution.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
-use wimpi::engine::{governor, QueryContext};
+use wimpi::engine::governor::UNLIMITED;
+use wimpi::engine::{governor, QueryContext, QuerySpec, Service, ServiceConfig};
 use wimpi::hwsim::{all_profiles, predict_all_cores};
-use wimpi::sql::{execute_sql_governed, explain_analyze_governed, strip_explain_analyze};
+use wimpi::sql::{execute_sql_governed, strip_explain_analyze};
+use wimpi::storage::Catalog;
 use wimpi::tpch::Generator;
 
 /// Parses `SET <knob> = <value>` (case-insensitive `SET`, optional `;`).
@@ -33,7 +44,8 @@ fn parse_set(line: &str) -> Option<(String, String)> {
     Some((knob.trim().to_ascii_lowercase(), value.trim().to_string()))
 }
 
-/// Builds the per-query governor context from the session knobs.
+/// Builds the per-query governor context from the session knobs (direct
+/// execution path — with a service, the service builds the context).
 fn make_ctx(mem_budget: Option<u64>, timeout_ms: Option<u64>) -> QueryContext {
     let mut ctx = match mem_budget {
         Some(b) => QueryContext::with_budget(b),
@@ -45,15 +57,34 @@ fn make_ctx(mem_budget: Option<u64>, timeout_ms: Option<u64>) -> QueryContext {
     ctx
 }
 
+/// A fresh service sized to the session knobs (`None` when concurrency is
+/// off). Rebuilt whenever `concurrency` or `memory_budget` changes.
+fn make_service(concurrency: usize, mem_budget: Option<u64>) -> Option<Service> {
+    (concurrency > 0)
+        .then(|| Service::new(ServiceConfig::new(mem_budget.unwrap_or(UNLIMITED), concurrency)))
+}
+
+/// The spec for one shell statement submitted to the service.
+fn make_spec(sql: &str, timeout_ms: Option<u64>) -> QuerySpec {
+    let mut spec = QuerySpec::new(sql);
+    if let Some(ms) = timeout_ms {
+        spec = spec.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    spec
+}
+
 fn main() {
     let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
     eprintln!("generating TPC-H SF {sf} …");
-    let catalog = Generator::new(sf).generate_catalog().expect("generation succeeds");
+    let catalog: Arc<Catalog> =
+        Arc::new(Generator::new(sf).generate_catalog().expect("generation succeeds"));
     eprintln!("ready. \\tables lists tables, \\q quits.\n");
     let stdin = std::io::stdin();
     let mut show_hw = false;
     let mut mem_budget: Option<u64> = governor::budget_from_env();
     let mut timeout_ms: Option<u64> = None;
+    let mut concurrency: usize = 0;
+    let mut service: Option<Service> = None;
     print!("wimpi> ");
     std::io::stdout().flush().ok();
     for line in stdin.lock().lines() {
@@ -69,6 +100,10 @@ fn main() {
                 show_hw = !show_hw;
                 println!("hardware predictions {}", if show_hw { "on" } else { "off" });
             }
+            "\\metrics" => match &service {
+                Some(svc) => print!("{}", svc.metrics().render()),
+                None => println!("no service running (SET concurrency = N to start one)"),
+            },
             "\\tables" => {
                 for name in catalog.names() {
                     let t = catalog.table(name).expect("registered");
@@ -91,14 +126,16 @@ fn main() {
                             println!("memory budget unlimited");
                         } else {
                             match governor::parse_budget(&value) {
-                                Some(b) => {
+                                Ok(b) => {
                                     mem_budget = Some(b);
                                     println!("memory budget {b} bytes");
                                 }
-                                None => println!(
-                                    "error: cannot parse budget {value:?} (try 64K, 16M, 1G)"
-                                ),
+                                Err(e) => println!("error: {e}"),
                             }
+                        }
+                        if service.is_some() {
+                            service = make_service(concurrency, mem_budget);
+                            println!("(service restarted with the new node budget)");
                         }
                     }
                     "timeout_ms" => match value.parse::<u64>() {
@@ -112,8 +149,30 @@ fn main() {
                         }
                         Err(_) => println!("error: timeout_ms wants an integer, got {value:?}"),
                     },
+                    "concurrency" => match value.parse::<usize>() {
+                        Ok(0) => {
+                            concurrency = 0;
+                            service = None;
+                            println!("concurrency off (direct execution)");
+                        }
+                        Ok(n) => {
+                            concurrency = n;
+                            service = make_service(n, mem_budget);
+                            println!(
+                                "service: {n} worker(s), node budget {}",
+                                match mem_budget {
+                                    Some(b) => format!("{b} bytes"),
+                                    None => "unlimited".to_string(),
+                                }
+                            );
+                        }
+                        Err(_) => println!("error: concurrency wants an integer, got {value:?}"),
+                    },
                     other => {
-                        println!("error: unknown knob {other:?} (memory_budget, timeout_ms)")
+                        println!(
+                            "error: unknown knob {other:?} \
+                             (memory_budget, timeout_ms, concurrency)"
+                        )
                     }
                 }
             }
@@ -121,7 +180,7 @@ fn main() {
                 let inner = strip_explain_analyze(sql).expect("guard matched");
                 let inner = inner.trim_end_matches(';').trim_end();
                 let ctx = make_ctx(mem_budget, timeout_ms);
-                match explain_analyze_governed(inner, &catalog, &ctx) {
+                match wimpi::sql::explain_analyze_governed(inner, &catalog, &ctx) {
                     Ok((rel, work, span)) => {
                         print!("{}", span.render());
                         println!(
@@ -145,9 +204,29 @@ fn main() {
             }
             sql => {
                 let started = std::time::Instant::now();
-                let ctx = make_ctx(mem_budget, timeout_ms);
-                match execute_sql_governed(sql, &catalog, &ctx) {
-                    Ok((rel, work)) => {
+                let outcome = match &service {
+                    // Through the service: admission, grant arbitration, and
+                    // the one full-budget retry all apply. The closure reads
+                    // fallback telemetry before the context is torn down.
+                    Some(svc) => {
+                        let owned = sql.to_string();
+                        let cat = Arc::clone(&catalog);
+                        svc.run_blocking(make_spec(sql, timeout_ms), move |ctx| {
+                            execute_sql_governed(&owned, &cat, ctx)
+                                .map(|(rel, work)| (rel, work, ctx.fallbacks()))
+                                .map_err(|e| e.into_engine())
+                        })
+                        .map_err(|e| e.to_string())
+                    }
+                    None => {
+                        let ctx = make_ctx(mem_budget, timeout_ms);
+                        execute_sql_governed(sql, &catalog, &ctx)
+                            .map(|(rel, work)| (rel, work, ctx.fallbacks()))
+                            .map_err(|e| e.to_string())
+                    }
+                };
+                match outcome {
+                    Ok((rel, work, fallbacks)) => {
                         println!("{}", rel.to_text(20));
                         println!(
                             "({} rows in {:.3}s host; {:.1} MB streamed, peak {} B)",
@@ -156,10 +235,10 @@ fn main() {
                             work.seq_bytes() as f64 / 1e6,
                             work.peak_bytes
                         );
-                        if ctx.fallbacks() > 0 {
+                        if fallbacks > 0 {
                             println!(
-                                "(degraded: {} operator(s) fell back to Grace partitioning)",
-                                ctx.fallbacks()
+                                "(degraded: {fallbacks} operator(s) fell back to \
+                                 Grace partitioning)"
                             );
                         }
                         if show_hw {

@@ -174,6 +174,30 @@ fn grace_degraded_runs_stay_bit_exact_across_threads() {
     }
 }
 
+/// Panic-safety audit (DESIGN.md §10): the `Reservation` RAII guard must
+/// restore the full budget when an operator panics mid-query — the unwind
+/// drops the guards, so the account drains to zero and keeps granting. A
+/// grown reservation must release its grown size, not its original one.
+#[test]
+fn reservation_guard_restores_budget_when_an_operator_panics() {
+    let ctx = QueryContext::with_budget(10_000);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut outer = ctx.reserve(4_000, "join build").expect("fits");
+        assert!(outer.grow(1_000), "growth within budget succeeds");
+        let _inner = ctx.reserve(2_000, "sort run").expect("fits");
+        assert_eq!(ctx.used(), 7_000);
+        panic!("operator blew up mid-query");
+    }));
+    assert!(result.is_err(), "the closure must actually panic");
+    assert_eq!(ctx.used(), 0, "unwind must drop every guard and restore the budget");
+    assert_eq!(ctx.high_water(), 7_000, "the peak survives as telemetry");
+
+    // The account is not poisoned: the full budget grants again.
+    let g = ctx.reserve(10_000, "post-panic").expect("full budget available after the panic");
+    drop(g);
+    assert_eq!(ctx.used(), 0);
+}
+
 /// Exhaustion is a typed error, not a poisoned engine: the failed run
 /// releases everything and the same catalog answers the same query again.
 #[test]

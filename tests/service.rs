@@ -1,0 +1,234 @@
+//! Concurrent query service suite: admission arbitration against real TPC-H
+//! queries, cancellation-vs-retry interaction, and the determinism contract
+//! (DESIGN.md §11) — any answer the service completes is bit-exact with the
+//! serial unconstrained run, at any worker count.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use wimpi::engine::{
+    governor::UNLIMITED, EngineConfig, EngineError, QueryContext, QuerySpec, Service,
+    ServiceConfig, ServiceError,
+};
+use wimpi::queries::{query, run_governed, CHOKEPOINT_QUERIES};
+use wimpi::storage::Catalog;
+use wimpi::tpch::Generator;
+
+const SF: f64 = 0.01;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(Generator::new(SF).generate_catalog().expect("generation succeeds"))
+}
+
+/// Pins every worker of `svc` on a gated job holding `estimate` bytes each;
+/// returns the gates (drop them to release) once all workers are busy.
+fn pin_workers(svc: &Service, workers: usize, estimate: u64) -> Vec<mpsc::Sender<()>> {
+    let mut gates = Vec::new();
+    let running = Arc::new(AtomicU32::new(0));
+    for i in 0..workers {
+        let (tx, rx) = mpsc::channel::<()>();
+        let rx = Mutex::new(rx);
+        let running = Arc::clone(&running);
+        let t = svc
+            .submit(QuerySpec::new(format!("pin{i}")).with_estimate(estimate), move |_| {
+                running.fetch_add(1, Ordering::SeqCst);
+                let _ = rx.lock().unwrap().recv();
+                Ok(0u64)
+            })
+            .expect("pin job admits");
+        // Tickets for the pins are not waited on; dropping them is fine.
+        drop(t);
+        gates.push(tx);
+    }
+    while running.load(Ordering::SeqCst) < workers as u32 {
+        std::thread::yield_now();
+    }
+    gates
+}
+
+/// The cancellation-vs-retry satellite: a query cancelled while waiting in
+/// the admission queue must leave the queue *immediately* (no free worker
+/// required) and never consume a byte of the node budget — at 1, 2, and 4
+/// workers.
+#[test]
+fn queued_cancellation_is_immediate_and_budget_free() {
+    for workers in [1usize, 2, 4] {
+        let node_budget = 1_000_000u64;
+        let pin_bytes = 1_000u64;
+        let mut svc = Service::new(ServiceConfig {
+            node_budget,
+            workers,
+            queue_depth: 16,
+            ..ServiceConfig::default()
+        });
+        let gates = pin_workers(&svc, workers, pin_bytes);
+
+        let ran = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&ran);
+        let doomed = svc
+            .submit(QuerySpec::new("doomed").with_estimate(500_000), move |_| {
+                r.fetch_add(1, Ordering::SeqCst);
+                Ok(0u64)
+            })
+            .expect("queues behind the pins");
+        assert_eq!(svc.queue_depth(), 1, "{workers} workers: the query waits");
+
+        doomed.cancel();
+        assert_eq!(
+            svc.queue_depth(),
+            0,
+            "{workers} workers: cancellation must leave the queue immediately, \
+             even with every worker busy"
+        );
+        match doomed.wait() {
+            Err(ServiceError::Engine(EngineError::Cancelled)) => {}
+            other => panic!("{workers} workers: expected Cancelled, got {other:?}"),
+        }
+
+        drop(gates);
+        svc.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "{workers} workers: cancelled query ran");
+        assert_eq!(svc.node_used(), 0, "{workers} workers: accounting must drain");
+        assert!(
+            svc.node_high_water() <= workers as u64 * pin_bytes,
+            "{workers} workers: the cancelled query's 500 KB grant was never carved \
+             (high water {} > pins only)",
+            svc.node_high_water()
+        );
+        assert_eq!(svc.metrics().counter("service_cancelled_total"), 1);
+    }
+}
+
+/// Cancellation beats retry: when a query's token fires during an attempt
+/// that ends `ResourceExhausted`, the coordinator must NOT spend the
+/// full-budget retry on a dead query — the attempt count stays at one and
+/// the submission still gets exactly one terminal outcome.
+#[test]
+fn cancellation_suppresses_the_budget_retry() {
+    for workers in [1usize, 2, 4] {
+        let mut svc = Service::new(ServiceConfig {
+            node_budget: 1_000_000,
+            workers,
+            ..ServiceConfig::default()
+        });
+        let attempts = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&attempts);
+        let spec = QuerySpec::new("self-cancelling");
+        let token = spec.cancel.clone();
+        let err = svc
+            .run_blocking(spec.with_estimate(1_000), move |ctx| {
+                a.fetch_add(1, Ordering::SeqCst);
+                token.cancel(); // fires mid-attempt, before the exhaustion
+                ctx.reserve(500_000, "big build").map(|_| 0u64)
+            })
+            .expect_err("cannot succeed under a 1 KB grant");
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            1,
+            "{workers} workers: a cancelled query must not get the budget retry"
+        );
+        match err {
+            ServiceError::Engine(
+                EngineError::ResourceExhausted { .. } | EngineError::Cancelled,
+            ) => {}
+            other => panic!("{workers} workers: untyped terminal outcome {other:?}"),
+        }
+        svc.shutdown();
+        assert_eq!(svc.node_used(), 0);
+        assert_eq!(svc.metrics().counter("service_retries_total"), 0);
+    }
+}
+
+/// The determinism contract on real queries: choke-point answers completed
+/// through the service — concurrent submissions, tight node budget, Grace
+/// degradation and budget retries engaged — are bit-exact with the serial
+/// unconstrained baseline at every worker count.
+#[test]
+fn service_answers_are_bit_exact_with_serial_unconstrained_runs() {
+    let cat = catalog();
+    let subset = [1usize, 6, 13]; // cheap-but-diverse slice of the 8
+    let mut baselines = Vec::new();
+    for &qn in &subset {
+        let (rel, _) =
+            run_governed(&query(qn), &cat, &EngineConfig::serial(), &QueryContext::new())
+                .expect("baseline");
+        baselines.push(rel);
+    }
+
+    for workers in [1usize, 2, 4] {
+        // Tight node budget: declared estimates are deliberately small so
+        // some attempts exhaust and take the full-budget retry path.
+        let mut svc = Service::new(ServiceConfig {
+            node_budget: 4 << 20,
+            workers,
+            queue_depth: 64,
+            small_cutoff: 64 << 10,
+            ..ServiceConfig::default()
+        });
+        let mut tickets = Vec::new();
+        for round in 0..2 {
+            for &qn in &subset {
+                let cat = Arc::clone(&cat);
+                let label = format!("q{qn}r{round}");
+                tickets.push((
+                    qn,
+                    svc.submit(QuerySpec::new(label).with_estimate(32 << 10), move |ctx| {
+                        run_governed(&query(qn), &cat, &EngineConfig::serial(), ctx)
+                            .map(|(rel, _)| rel)
+                    })
+                    .expect("queue is deep enough"),
+                ));
+            }
+        }
+        for (qn, t) in tickets {
+            let rel = t.wait().unwrap_or_else(|e| panic!("Q{qn} at {workers} workers: {e}"));
+            let idx = subset.iter().position(|&n| n == qn).expect("submitted");
+            assert_eq!(
+                rel, baselines[idx],
+                "Q{qn}: answer diverged from serial baseline at {workers} workers"
+            );
+        }
+        svc.shutdown();
+        assert!(svc.node_high_water() <= 4 << 20, "oversubscribed at {workers} workers");
+        assert_eq!(svc.node_used(), 0);
+        assert_eq!(svc.metrics().counter("service_completed_total"), 2 * subset.len() as u64);
+    }
+}
+
+/// Every choke-point query completes through the service under an
+/// unconstrained node budget, and the submission/terminal accounting
+/// identity holds exactly.
+#[test]
+fn chokepoint_queries_all_complete_and_accounting_balances() {
+    let cat = catalog();
+    let mut svc = Service::new(ServiceConfig {
+        node_budget: UNLIMITED,
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let mut tickets = Vec::new();
+    for &qn in CHOKEPOINT_QUERIES.iter() {
+        let cat = Arc::clone(&cat);
+        tickets.push(
+            svc.submit(QuerySpec::new(format!("q{qn}")), move |ctx| {
+                run_governed(&query(qn), &cat, &EngineConfig::serial(), ctx)
+                    .map(|(rel, _)| rel.num_rows() as u64)
+            })
+            .expect("admits"),
+        );
+    }
+    for t in tickets {
+        t.wait().expect("completes");
+    }
+    svc.shutdown();
+    let m = svc.metrics();
+    let n = CHOKEPOINT_QUERIES.len() as u64;
+    assert_eq!(m.counter("service_submitted_total"), n);
+    assert_eq!(m.counter("service_completed_total"), n);
+    let terminals = m.counter("service_completed_total")
+        + m.counter("service_cancelled_total")
+        + m.counter("service_exhausted_total")
+        + m.counter("service_failed_total")
+        + m.counter("service_panicked_total");
+    assert_eq!(terminals, n, "every submission resolves exactly once");
+}

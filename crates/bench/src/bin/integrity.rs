@@ -1,0 +1,197 @@
+//! Integrity harness: silent-corruption injection under a corruption-rate
+//! ladder, asserting the end-to-end detect → quarantine → repair contract.
+//!
+//! ```text
+//! cargo run --release --bin integrity -- [--sf f] [--queries 1,6,...]
+//!     [--smoke]
+//! ```
+//!
+//! Per ladder rung (rising chunks-corrupted × bits-per-chunk), every
+//! choke-point query runs once healthy and once with a seeded
+//! `FaultKind::BitFlip` silently corrupting resident chunks on one node.
+//! Three contracts are asserted at every rung:
+//!
+//! 1. **100% detection** — every injected corruption trips the scan-time
+//!    checksum verifier (`integrity_detected >= 1`, never a silent pass).
+//! 2. **Bit-exact repair** — the repaired answer equals the healthy answer
+//!    exactly (`Relation` equality, not float tolerance): repair re-executes
+//!    on pristine data, and verification + repair cost simulated time.
+//! 3. **Exact counter reconciliation** — the cluster registry's
+//!    `integrity_failures_total` / `integrity_repairs_total` equal the
+//!    summed per-run `RecoveryReport` figures, with no drift.
+//!
+//! A fourth, zero-overhead guard runs once: with verification *off*, results
+//! and work profiles on a checksummed (sealed) catalog are bit-identical to
+//! an unsealed catalog's — disabling the feature costs nothing.
+//!
+//! Artifacts: `results/integrity.{txt,json}` (per-rung detection, repair,
+//! and simulated recovery-time figures).
+//!
+//! `--smoke` is the CI entry point: one rung over Q1/Q6/Q13 plus the
+//! zero-overhead guard.
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_cluster::distribute::Strategy;
+use wimpi_cluster::faults::{FaultKind, FaultPlan};
+use wimpi_cluster::{ClusterConfig, WimpiCluster};
+use wimpi_engine::EngineConfig;
+use wimpi_obs::status;
+use wimpi_queries::{query, run_with, CHOKEPOINT_QUERIES};
+use wimpi_tpch::Generator;
+
+/// Cluster size for the ladder (big enough for real partitions, small
+/// enough to stay fast).
+const NODES: u32 = 4;
+/// Node carrying the corruption. Node 0 also hosts single-node queries
+/// (Q13), so every query shape meets the fault.
+const VICTIM: usize = 0;
+/// The corruption-rate ladder: (chunks corrupted, bits flipped per chunk).
+const LADDER: [(u32, u32); 4] = [(1, 1), (2, 2), (4, 3), (8, 4)];
+
+/// Aggregates for one ladder rung.
+#[derive(Default)]
+struct Rung {
+    detected: u64,
+    repaired: u64,
+    recovery_s: f64,
+    verify_overhead_s: f64,
+}
+
+/// Runs every query at one rung against `cluster`, asserting detection and
+/// bit-exact repair per query; returns the rung aggregates.
+fn run_rung(cluster: &WimpiCluster, qns: &[usize], chunks: u32, bits: u32) -> Rung {
+    let plan = FaultPlan::none().with(VICTIM, FaultKind::BitFlip { chunks, bits_per_chunk: bits });
+    let mut rung = Rung::default();
+    for &qn in qns {
+        let healthy = cluster
+            .run(&query(qn), Strategy::PartialAggPushdown)
+            .unwrap_or_else(|e| panic!("Q{qn} healthy: {e}"));
+        let faulted = cluster
+            .run_with_faults(&query(qn), Strategy::PartialAggPushdown, &plan)
+            .unwrap_or_else(|e| panic!("Q{qn} corrupted ({chunks}x{bits}): {e}"));
+        // Contract 1: no silent pass — every injection is detected.
+        assert!(
+            faulted.recovery.integrity_detected >= 1,
+            "Q{qn} ({chunks}x{bits}): corruption slipped past verification"
+        );
+        // Contract 2: the repaired answer is the healthy answer, bit-exact,
+        // at full coverage, and the repair work costs simulated time.
+        assert_eq!(
+            faulted.result, healthy.result,
+            "Q{qn} ({chunks}x{bits}): repaired answer drifted"
+        );
+        assert_eq!(
+            faulted.recovery.integrity_repaired, faulted.recovery.integrity_detected,
+            "Q{qn} ({chunks}x{bits}): a detected violation went unrepaired"
+        );
+        assert!(!faulted.recovery.degraded, "Q{qn}: repair must restore the full answer");
+        assert!((faulted.recovery.coverage - 1.0).abs() < 1e-12, "Q{qn}: coverage");
+        assert!(
+            faulted.total_seconds() > healthy.total_seconds(),
+            "Q{qn} ({chunks}x{bits}): verification + repair cannot be free"
+        );
+        rung.detected += faulted.recovery.integrity_detected as u64;
+        rung.repaired += faulted.recovery.integrity_repaired as u64;
+        rung.recovery_s += faulted.recovery.recovery_seconds;
+        rung.verify_overhead_s += faulted.total_seconds() - healthy.total_seconds();
+    }
+    rung
+}
+
+/// Zero-overhead-disabled guard: with verification off, a sealed catalog
+/// answers bit-identically (results *and* work profiles) to an unsealed one.
+fn assert_zero_overhead_when_disabled(sf: f64, qns: &[usize]) {
+    let unsealed = Generator::new(sf).generate_catalog().expect("catalog generates");
+    let mut sealed = unsealed.clone();
+    sealed.seal_integrity();
+    let cfg = EngineConfig::serial(); // verify_checksums defaults to off
+    for &qn in qns {
+        let (rel_u, work_u) =
+            run_with(&query(qn), &unsealed, &cfg).unwrap_or_else(|e| panic!("Q{qn}: {e}"));
+        let (rel_s, work_s) =
+            run_with(&query(qn), &sealed, &cfg).unwrap_or_else(|e| panic!("Q{qn} sealed: {e}"));
+        assert_eq!(rel_s, rel_u, "Q{qn}: sealing alone changed the answer");
+        assert_eq!(work_s, work_u, "Q{qn}: sealing alone changed the work profile");
+    }
+    status!("zero-overhead guard: verification off is bit-identical over {qns:?}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = Args::parse_with(Args { sf: 0.01, ..Args::default() });
+    let qns: Vec<usize> = if smoke {
+        vec![1, 6, 13]
+    } else if args.queries.is_empty() {
+        CHOKEPOINT_QUERIES.to_vec()
+    } else {
+        args.queries.clone()
+    };
+    let ladder: &[(u32, u32)] = if smoke { &LADDER[..1] } else { &LADDER };
+
+    status!("integrity ladder at SF {} over {qns:?}, {NODES} nodes, victim {VICTIM}", args.sf);
+    let cluster = WimpiCluster::build(ClusterConfig::new(NODES, args.sf)).expect("cluster builds");
+
+    let mut fig = TextFigure::new(
+        format!("Silent-corruption ladder (SF {}, {NODES} nodes)", args.sf),
+        "corruption",
+    );
+    fig.rows = ladder.iter().map(|(c, b)| format!("{c}x{b}b")).collect();
+    let mut detected_col = Vec::new();
+    let mut repaired_col = Vec::new();
+    let mut recovery_col = Vec::new();
+    let mut overhead_col = Vec::new();
+    let (mut total_detected, mut total_repaired) = (0u64, 0u64);
+    for &(chunks, bits) in ladder {
+        let rung = run_rung(&cluster, &qns, chunks, bits);
+        status!(
+            "{chunks} chunk(s) x {bits} bit(s): {} detected, {} repaired, \
+             {:.4}s simulated recovery",
+            rung.detected,
+            rung.repaired,
+            rung.recovery_s
+        );
+        total_detected += rung.detected;
+        total_repaired += rung.repaired;
+        detected_col.push(Some(rung.detected as f64));
+        repaired_col.push(Some(rung.repaired as f64));
+        recovery_col.push(Some(rung.recovery_s));
+        overhead_col.push(Some(rung.verify_overhead_s));
+    }
+
+    // Contract 3: the registry's ledger reconciles with the per-run reports
+    // exactly — every detection and repair was counted once, nowhere twice.
+    let m = cluster.metrics();
+    assert_eq!(
+        m.counter("integrity_failures_total"),
+        total_detected,
+        "detection counter drifted from the summed recovery reports"
+    );
+    assert_eq!(
+        m.counter("integrity_repairs_total"),
+        total_repaired,
+        "repair counter drifted from the summed recovery reports"
+    );
+    assert_eq!(total_repaired, total_detected, "every detection must be repaired");
+    assert!(m.counter("integrity_checks_total") > 0, "verified scans must count checks");
+    assert_eq!(
+        m.counter("cluster_faults_total{kind=\"bit_flip\"}"),
+        (ladder.len() * qns.len()) as u64,
+        "one injected bit-flip per (rung, query)"
+    );
+
+    assert_zero_overhead_when_disabled(args.sf, &qns);
+
+    if smoke {
+        status!("integrity smoke passed");
+        println!("integrity smoke: OK ({total_detected} detected, {total_repaired} repaired)");
+        return;
+    }
+
+    fig.push_series(Series { name: "detected".into(), values: detected_col });
+    fig.push_series(Series { name: "repaired".into(), values: repaired_col });
+    fig.push_series(Series { name: "recovery_s".into(), values: recovery_col });
+    fig.push_series(Series { name: "overhead_s".into(), values: overhead_col });
+    wimpi_bench::emit(&args, "integrity", &[fig]);
+    wimpi_bench::write_artifact(&args.out, "integrity_metrics.txt", &m.render());
+}

@@ -45,7 +45,28 @@ pub enum FaultKind {
         /// Transfer-time multiplier, ≥ 1.
         multiplier: f64,
     },
+    /// Silent data corruption: seeded bit flips in `chunks` resident column
+    /// chunks of the node's data (column payloads, a string dictionary, or
+    /// the integrity manifest itself — non-ECC LPDDR and microSD media make
+    /// this a *when*, not an *if*, on the paper's hardware). Unlike every
+    /// other kind it produces **no error** — only wrong bytes. Detection
+    /// requires scan-time checksum verification (DESIGN.md §12); the
+    /// recovery engine then quarantines the chunk, repairs it
+    /// deterministically (local regeneration or priced peer re-fetch), and
+    /// verifies again before answering.
+    BitFlip {
+        /// How many distinct chunks get corrupted.
+        chunks: u32,
+        /// Seeded single-bit flips applied per corrupted chunk.
+        bits_per_chunk: u32,
+    },
 }
+
+/// Number of [`FaultKind`] variants — keep in sync with the enum so
+/// [`FaultPlan::random`] samples every kind uniformly. (An earlier revision
+/// hard-coded `% 4` in the sampler; appending a variant then silently
+/// under-sampled it. The `random_plans_cover_every_kind` test pins this.)
+const NUM_FAULT_KINDS: u64 = 5;
 
 /// A fault bound to a node index.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,11 +135,15 @@ impl FaultPlan {
             let j = k + (rng.next() as usize) % (targets.len() - k);
             targets.swap(k, j);
             let node = targets[k];
-            let kind = match rng.next() % 4 {
+            let kind = match rng.next() % NUM_FAULT_KINDS {
                 0 => FaultKind::Crash,
                 1 => FaultKind::TransientOom { failures: 1 + (rng.next() % 2) as u32 },
                 2 => FaultKind::SlowNode { multiplier: 2.0 + (rng.next() % 6) as f64 },
-                _ => FaultKind::DegradedNic { multiplier: 2.0 + (rng.next() % 4) as f64 },
+                3 => FaultKind::DegradedNic { multiplier: 2.0 + (rng.next() % 4) as f64 },
+                _ => FaultKind::BitFlip {
+                    chunks: 1 + (rng.next() % 3) as u32,
+                    bits_per_chunk: 1 + (rng.next() % 3) as u32,
+                },
             };
             plan = plan.with(node, kind);
         }
@@ -220,6 +245,14 @@ pub struct RecoveryReport {
     pub coverage: f64,
     /// True when recovery was exhausted and the answer is partial.
     pub degraded: bool,
+    /// Corrupt chunks detected by scan-time checksum verification
+    /// ([`FaultKind::BitFlip`] injections caught before they could poison
+    /// an answer).
+    pub integrity_detected: u32,
+    /// Corrupt chunks repaired (regenerated or peer-refetched) and
+    /// re-verified clean. Equals `integrity_detected` unless repair was
+    /// exhausted and the run degraded.
+    pub integrity_repaired: u32,
 }
 
 impl Default for RecoveryReport {
@@ -233,6 +266,8 @@ impl Default for RecoveryReport {
             budget_degraded: 0,
             coverage: 1.0,
             degraded: false,
+            integrity_detected: 0,
+            integrity_repaired: 0,
         }
     }
 }
@@ -240,14 +275,14 @@ impl Default for RecoveryReport {
 /// SplitMix64 — the same counter-based generator family the TPC-H
 /// generator uses, re-implemented here so fault plans stay deterministic
 /// without growing a dependency.
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self(seed)
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -299,5 +334,46 @@ mod tests {
     #[test]
     fn single_node_cluster_gets_no_faults() {
         assert!(FaultPlan::random(7, 1).is_empty());
+    }
+
+    #[test]
+    fn random_plans_cover_every_kind() {
+        // Uniform sampling over all variants: each kind must appear, and no
+        // kind may be starved to below half its fair share. (The old `% 4`
+        // sampler gave an appended fifth kind a 0% share.)
+        let mut counts = [0usize; NUM_FAULT_KINDS as usize];
+        let mut total = 0usize;
+        for seed in 0..400u64 {
+            for f in FaultPlan::random(seed, 6).faults() {
+                let k = match f.kind {
+                    FaultKind::Crash => 0,
+                    FaultKind::TransientOom { .. } => 1,
+                    FaultKind::SlowNode { .. } => 2,
+                    FaultKind::DegradedNic { .. } => 3,
+                    FaultKind::BitFlip { .. } => 4,
+                };
+                counts[k] += 1;
+                total += 1;
+            }
+        }
+        let fair = total / NUM_FAULT_KINDS as usize;
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(c > fair / 2, "kind {k} under-sampled: {c} of {total}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_plans_parameterize_sensibly() {
+        let mut seen = false;
+        for seed in 0..200u64 {
+            for f in FaultPlan::random(seed, 5).faults() {
+                if let FaultKind::BitFlip { chunks, bits_per_chunk } = f.kind {
+                    seen = true;
+                    assert!((1..=3).contains(&chunks), "seed {seed}");
+                    assert!((1..=3).contains(&bits_per_chunk), "seed {seed}");
+                }
+            }
+        }
+        assert!(seen, "200 seeds must surface at least one BitFlip");
     }
 }

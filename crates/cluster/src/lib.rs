@@ -30,7 +30,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use distribute::{distribute, Distributed, Strategy, PARTIALS_TABLE};
-use faults::{FaultKind, FaultPlan, Reassignment, RecoveryPolicy, RecoveryReport};
+use faults::{FaultKind, FaultPlan, Reassignment, RecoveryPolicy, RecoveryReport, SplitMix64};
 use memory::{MeasuredPeak, MemoryModel};
 use wimpi_engine::{
     optimizer, CancelToken, EngineConfig, EngineError, LogicalPlan, QueryContext, Relation,
@@ -49,6 +49,11 @@ const BACKOFF_BUCKETS: [f64; 5] = [0.05, 0.1, 0.25, 0.5, 1.0];
 
 /// Histogram bounds for per-run recovery seconds.
 const RECOVERY_BUCKETS: [f64; 5] = [0.1, 0.5, 1.0, 5.0, 30.0];
+
+/// Domain-separation salt for BitFlip corruption-target draws (which
+/// column/chunk/dictionary a flip lands on), independent of the fault-plan
+/// stream in [`faults`].
+const CORRUPTION_SALT: u64 = 0x5bd1_e995_7b7d_159f;
 
 /// Cluster-level errors. Every query-time variant names the query so
 /// multi-query studies can attribute failures.
@@ -232,6 +237,19 @@ enum NodeOutcome {
     Oom { needed: u64 },
 }
 
+/// One quarantined-corruption repair order: what to restore and what the
+/// detection pass already established and cost.
+struct RepairJob {
+    /// The corrupted table.
+    target: String,
+    /// Model-scaled scanned bytes (memory-model input for the re-run).
+    base: u64,
+    /// Simulated cost of one verified scan pass.
+    verify_s: f64,
+    /// Violations the quarantine enumerated (repairs must match).
+    detected: u32,
+}
+
 /// One governed, memory-model-priced execution of a plan on one catalog.
 enum Priced {
     /// The run fits (possibly only after the reduced-budget retry —
@@ -261,13 +279,16 @@ impl WimpiCluster {
     /// host — each simulated node still *accounts* for its full replica).
     pub fn build(config: ClusterConfig) -> Result<Self> {
         let gen = Generator::new(config.sf);
+        // Every resident table is sealed with an integrity manifest at build
+        // time — the trusted reference scan-time verification checks against
+        // (DESIGN.md §12). Replicated tables share one sealed Arc.
         let mut replicated: Vec<(String, Arc<Table>)> = vec![
-            ("region".into(), Arc::new(gen.region_table()?)),
-            ("nation".into(), Arc::new(gen.nation_table()?)),
-            ("supplier".into(), Arc::new(gen.supplier_table()?)),
-            ("customer".into(), Arc::new(gen.customer_table()?)),
-            ("part".into(), Arc::new(gen.part_table()?)),
-            ("partsupp".into(), Arc::new(gen.partsupp_table()?)),
+            ("region".into(), Arc::new(gen.region_table()?.with_integrity())),
+            ("nation".into(), Arc::new(gen.nation_table()?.with_integrity())),
+            ("supplier".into(), Arc::new(gen.supplier_table()?.with_integrity())),
+            ("customer".into(), Arc::new(gen.customer_table()?.with_integrity())),
+            ("part".into(), Arc::new(gen.part_table()?.with_integrity())),
+            ("partsupp".into(), Arc::new(gen.partsupp_table()?.with_integrity())),
         ];
         let mut lineitems = Vec::with_capacity(config.nodes as usize);
         let mut order_chunks = Vec::with_capacity(config.nodes as usize);
@@ -276,14 +297,15 @@ impl WimpiCluster {
             order_chunks.push(orders);
             lineitems.push(lineitem);
         }
-        replicated.push(("orders".into(), Arc::new(concat_tables(&order_chunks)?)));
+        replicated
+            .push(("orders".into(), Arc::new(concat_tables(&order_chunks)?.with_integrity())));
         let mut node_catalogs = Vec::with_capacity(config.nodes as usize);
         for lineitem in lineitems {
             let mut cat = Catalog::new();
             for (name, t) in &replicated {
                 cat.register_shared(name.clone(), Arc::clone(t));
             }
-            cat.register("lineitem", lineitem);
+            cat.register("lineitem", lineitem.with_integrity());
             node_catalogs.push(cat);
         }
         Ok(Self {
@@ -581,18 +603,23 @@ impl WimpiCluster {
         let mut merge_cat = Catalog::new();
         merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
         let merge_base = (merged_input.stream_bytes() as f64 * row_scale) as u64;
-        let (result, mut merge_prof, merge_penalty) =
-            match self.priced_execution(&merge_plan, &merge_cat, merge_base, row_scale)? {
-                Priced::Fit { rel, prof, penalty_s, budgeted, .. } => {
-                    if budgeted {
-                        report.budget_degraded += 1;
-                    }
-                    (rel, prof, penalty_s)
+        let (result, mut merge_prof, merge_penalty) = match self.priced_execution(
+            &EngineConfig::serial(),
+            &merge_plan,
+            &merge_cat,
+            merge_base,
+            row_scale,
+        )? {
+            Priced::Fit { rel, prof, penalty_s, budgeted, .. } => {
+                if budgeted {
+                    report.budget_degraded += 1;
                 }
-                Priced::Oom { needed } => {
-                    return Err(ClusterError::NodeOom { query: query.into(), node: 0, needed })
-                }
-            };
+                (rel, prof, penalty_s)
+            }
+            Priced::Oom { needed } => {
+                return Err(ClusterError::NodeOom { query: query.into(), node: 0, needed })
+            }
+        };
         merge_prof.network_bytes = bytes_shipped;
         let merge_seconds =
             predict(&self.pi, &merge_prof, self.config.node_threads).total_s() + merge_penalty;
@@ -637,6 +664,7 @@ impl WimpiCluster {
                 FaultKind::TransientOom { .. } => "transient_oom",
                 FaultKind::SlowNode { .. } => "slow_node",
                 FaultKind::DegradedNic { .. } => "degraded_nic",
+                FaultKind::BitFlip { .. } => "bit_flip",
             };
             self.metrics.inc(&format!("cluster_faults_total{{kind=\"{kind}\"}}"), 1);
         }
@@ -673,26 +701,38 @@ impl WimpiCluster {
     /// measured peak the partitioning cannot reduce) is the OOM final.
     fn priced_execution(
         &self,
+        cfg: &EngineConfig,
         plan: &LogicalPlan,
         cat: &Catalog,
         base: u64,
         scale: f64,
     ) -> Result<Priced> {
         let ctx = QueryContext::new();
-        let (rel, prof) =
-            wimpi_engine::execute_query_governed(plan, cat, &EngineConfig::serial(), &ctx)?;
+        let run = wimpi_engine::execute_query_governed(plan, cat, cfg, &ctx);
+        self.note_integrity_checks(&ctx);
+        let (rel, prof) = run?;
         let prof = prof.scale(scale);
         match self.config.memory.evaluate_measured(base, &prof, scaled_peak(&ctx, scale)) {
             Ok(penalty_s) => {
                 Ok(Priced::Fit { rel, prof, penalty_s, cancel: ctx.cancel, budgeted: false })
             }
-            Err(needed) => self.budgeted_retry(plan, cat, base, scale, needed),
+            Err(needed) => self.budgeted_retry(cfg, plan, cat, base, scale, needed),
+        }
+    }
+
+    /// Folds a governed run's scan-verification check count into the
+    /// registry (no-op for unverified runs).
+    fn note_integrity_checks(&self, ctx: &QueryContext) {
+        let checks = ctx.integrity_checks();
+        if checks > 0 {
+            self.metrics.inc("integrity_checks_total", checks);
         }
     }
 
     /// The one reduced-budget retry behind [`Self::priced_execution`].
     fn budgeted_retry(
         &self,
+        cfg: &EngineConfig,
         plan: &LogicalPlan,
         cat: &Catalog,
         base: u64,
@@ -701,7 +741,9 @@ impl WimpiCluster {
     ) -> Result<Priced> {
         let budget = ((self.config.memory.available() as f64 / scale) as u64).max(1);
         let ctx = QueryContext::with_budget(budget);
-        match wimpi_engine::execute_query_governed(plan, cat, &EngineConfig::serial(), &ctx) {
+        let run = wimpi_engine::execute_query_governed(plan, cat, cfg, &ctx);
+        self.note_integrity_checks(&ctx);
+        match run {
             Ok((rel, prof)) => {
                 let prof = prof.scale(scale);
                 match self.config.memory.evaluate_measured(base, &prof, scaled_peak(&ctx, scale)) {
@@ -734,19 +776,26 @@ impl WimpiCluster {
             report.recovery_seconds += self.policy.detect_s;
             return Ok(NodeOutcome::Lost { available_at: self.policy.detect_s });
         }
+        if let Some(FaultKind::BitFlip { chunks, bits_per_chunk }) = fault {
+            return self.attempt_bit_flipped(node_plan, cat, node, chunks, bits_per_chunk, report);
+        }
         let base = (scan_bytes(node_plan, cat)? as f64 * self.config.model_scale) as u64;
-        let (rel, prof, exec_s, cancel) =
-            match self.priced_execution(node_plan, cat, base, self.config.model_scale)? {
-                Priced::Fit { rel, prof, penalty_s, cancel, budgeted } => {
-                    if budgeted {
-                        report.budget_degraded += 1;
-                    }
-                    let s =
-                        predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
-                    (rel, prof, s, cancel)
+        let (rel, prof, exec_s, cancel) = match self.priced_execution(
+            &EngineConfig::serial(),
+            node_plan,
+            cat,
+            base,
+            self.config.model_scale,
+        )? {
+            Priced::Fit { rel, prof, penalty_s, cancel, budgeted } => {
+                if budgeted {
+                    report.budget_degraded += 1;
                 }
-                Priced::Oom { needed } => return Ok(NodeOutcome::Oom { needed }),
-            };
+                let s = predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
+                (rel, prof, s, cancel)
+            }
+            Priced::Oom { needed } => return Ok(NodeOutcome::Oom { needed }),
+        };
         let _ = query;
         match fault {
             Some(FaultKind::TransientOom { failures }) => {
@@ -780,6 +829,212 @@ impl WimpiCluster {
         }
     }
 
+    /// A [`FaultKind::BitFlip`]-faulted node's attempt: resident column
+    /// bytes are silently corrupted (no error, only wrong bytes), the node
+    /// runs its plan with scan-time verification on, and the checksum
+    /// mismatch — not the fault injector — is what surfaces the damage.
+    /// Detection quarantines every corrupt chunk against the sealed
+    /// manifest, then repairs deterministically and re-verifies
+    /// ([`Self::repair_and_rerun`]).
+    fn attempt_bit_flipped(
+        &self,
+        node_plan: &LogicalPlan,
+        cat: &Catalog,
+        node: usize,
+        chunks: u32,
+        bits_per_chunk: u32,
+        report: &mut RecoveryReport,
+    ) -> Result<NodeOutcome> {
+        let verify_cfg = EngineConfig::serial().with_verify_checksums(true);
+        let base = (scan_bytes(node_plan, cat)? as f64 * self.config.model_scale) as u64;
+        let verify_s = self.verification_seconds(base);
+        let (ccat, target) =
+            self.corrupted_catalog(node_plan, cat, node, chunks, bits_per_chunk)?;
+        match self.priced_execution(&verify_cfg, node_plan, &ccat, base, self.config.model_scale) {
+            Ok(Priced::Fit { rel, prof, penalty_s, cancel, budgeted }) => {
+                // The flips found nothing to land on (e.g. an empty
+                // partition): the verified scan vouches for the bytes, so
+                // the answer is trustworthy as-is.
+                if budgeted {
+                    report.budget_degraded += 1;
+                }
+                let s = predict(&self.pi, &prof, self.config.node_threads).total_s()
+                    + penalty_s
+                    + verify_s;
+                Ok(NodeOutcome::Done(rel, prof, s, cancel))
+            }
+            Ok(Priced::Oom { needed }) => Ok(NodeOutcome::Oom { needed }),
+            Err(ClusterError::Engine(EngineError::Integrity { .. })) => {
+                // Detection. Quarantine: enumerate the full extent of the
+                // damage against the *clean* manifest, not just the chunk
+                // the scan tripped over first.
+                let detected = count_violations(cat.table(&target)?, ccat.table(&target)?);
+                report.integrity_detected += detected;
+                self.metrics.inc("integrity_failures_total", detected as u64);
+                let job = RepairJob { target, base, verify_s, detected };
+                self.repair_and_rerun(node_plan, cat, node, job, report)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Repairs a quarantined table deterministically, re-verifies, and
+    /// re-executes. `lineitem` partitions are regenerated locally via the
+    /// chunk-deterministic TPC-H generator (bit-exact by construction);
+    /// replicated tables are re-fetched from a peer's sealed replica over
+    /// the modelled link. Verify-after-repair failures burn the policy's
+    /// retry budget with backoff, then escalate the partition to the
+    /// reassignment / degraded-answer ladder.
+    fn repair_and_rerun(
+        &self,
+        node_plan: &LogicalPlan,
+        cat: &Catalog,
+        node: usize,
+        job: RepairJob,
+        report: &mut RecoveryReport,
+    ) -> Result<NodeOutcome> {
+        let verify_cfg = EngineConfig::serial().with_verify_checksums(true);
+        let repair_s = if job.target == "lineitem" {
+            let (rows, heap) = self.partition_size(node);
+            self.regeneration_seconds(rows, heap)
+        } else {
+            let bytes =
+                (cat.table(&job.target)?.heap_bytes() as f64 * self.config.model_scale) as u64;
+            self.config.net.transfer_s(bytes) + self.config.memory.reload_seconds(bytes)
+        };
+        // Detection already cost one verified scan; every repair attempt
+        // costs the repair work plus the re-verified run.
+        let mut waste = job.verify_s + repair_s;
+        for attempt in 0..=self.policy.max_retries {
+            match self.priced_execution(
+                &verify_cfg,
+                node_plan,
+                cat,
+                job.base,
+                self.config.model_scale,
+            ) {
+                Ok(Priced::Fit { rel, prof, penalty_s, cancel, budgeted }) => {
+                    if budgeted {
+                        report.budget_degraded += 1;
+                    }
+                    report.integrity_repaired += job.detected;
+                    self.metrics.inc("integrity_repairs_total", job.detected as u64);
+                    self.metrics.observe("integrity_repair_seconds", &RECOVERY_BUCKETS, waste);
+                    report.recovery_seconds += waste;
+                    let exec_s = predict(&self.pi, &prof, self.config.node_threads).total_s()
+                        + penalty_s
+                        + job.verify_s;
+                    return Ok(NodeOutcome::Done(rel, prof, waste + exec_s, cancel));
+                }
+                Ok(Priced::Oom { needed }) => return Ok(NodeOutcome::Oom { needed }),
+                Err(ClusterError::Engine(EngineError::Integrity { .. })) => {
+                    // Verify-after-repair failed: the node's repair source
+                    // is itself corrupt. Pay the attempt and back off.
+                    report.retries += 1;
+                    waste += job.verify_s + repair_s + self.observed_backoff_s(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Capped attempts: give the partition up — a survivor regenerates
+        // it from scratch (phase 2), or ultimately the degraded path.
+        report.recovery_seconds += waste;
+        Ok(NodeOutcome::Lost { available_at: waste })
+    }
+
+    /// A copy of `cat` where the plan's primary scan target holds silently
+    /// corrupted bytes: seeded, deterministic draws flip data chunks,
+    /// dictionary values, or the manifest itself, while the *original*
+    /// sealed manifest rides along — which is exactly what makes the
+    /// corruption detectable. Returns the catalog and the corrupted table's
+    /// name.
+    fn corrupted_catalog(
+        &self,
+        node_plan: &LogicalPlan,
+        cat: &Catalog,
+        node: usize,
+        chunks: u32,
+        bits_per_chunk: u32,
+    ) -> Result<(Catalog, String)> {
+        let optimized = optimizer::optimize(node_plan.clone(), cat)?;
+        let scanned = scanned_tables(&optimized);
+        let (target, cols) = scanned
+            .iter()
+            .find(|(t, _)| t == "lineitem")
+            .or_else(|| scanned.first())
+            .ok_or_else(|| ClusterError::Unsupported("plan scans no base table".into()))?
+            .clone();
+        let t = cat.table(&target)?;
+        let schema = t.schema();
+        let col_indices: Vec<usize> = match &cols {
+            None => (0..t.num_columns()).collect(),
+            Some(names) => names
+                .iter()
+                .filter_map(|n| schema.fields().iter().position(|f| &f.name == n))
+                .collect(),
+        };
+        let mut rng = SplitMix64::new(
+            CORRUPTION_SALT
+                ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ ((chunks as u64) << 32)
+                ^ ((bits_per_chunk as u64) << 16),
+        );
+        let mut dirty: Table = (**t).clone();
+        for _ in 0..chunks.max(1) {
+            let kind = rng.next() % 8;
+            let seed = rng.next();
+            if kind == 0 {
+                if let Some(m) = dirty.manifest() {
+                    let poisoned = wimpi_storage::integrity::corrupt_manifest(m, seed);
+                    dirty = dirty.with_manifest(Arc::new(poisoned));
+                    continue;
+                }
+            }
+            if col_indices.is_empty() {
+                break;
+            }
+            let ci = col_indices[(rng.next() as usize) % col_indices.len()];
+            let col = Arc::clone(dirty.column(ci));
+            if kind == 1 && matches!(col.as_ref(), Column::Str(_)) {
+                let poisoned = wimpi_storage::integrity::corrupt_dict_values(
+                    col.as_ref(),
+                    bits_per_chunk.max(1),
+                    seed,
+                );
+                dirty = dirty.with_replaced_column(ci, poisoned)?;
+                continue;
+            }
+            let n = col.len();
+            if n == 0 {
+                continue;
+            }
+            let chunk_rows = dirty
+                .manifest()
+                .map(|m| m.chunk_rows())
+                .unwrap_or(wimpi_storage::morsel::DEFAULT_MORSEL_ROWS);
+            let ranges = wimpi_storage::morsel::morsel_ranges(n, chunk_rows);
+            let r = ranges[(rng.next() as usize) % ranges.len()].clone();
+            let poisoned =
+                wimpi_storage::integrity::flip_bits(col.as_ref(), r, bits_per_chunk.max(1), seed);
+            dirty = dirty.with_replaced_column(ci, poisoned)?;
+        }
+        let mut out = cat.clone();
+        out.register(target.clone(), dirty);
+        Ok((out, target))
+    }
+
+    /// Simulated seconds for one verified pass over `scanned_bytes`: the
+    /// CRC32C kernel is ~one table-lookup op per byte over a sequential
+    /// read of the scanned columns.
+    fn verification_seconds(&self, scanned_bytes: u64) -> f64 {
+        let work = WorkProfile {
+            cpu_ops: scanned_bytes,
+            seq_read_bytes: scanned_bytes,
+            ..WorkProfile::default()
+        };
+        predict(&self.pi, &work, self.config.node_threads).total_s()
+    }
+
     /// Regenerates partition `p` via the chunk-deterministic generator and
     /// executes the node plan over it on survivor `j`. Returns the partial,
     /// the scaled profile, the regeneration/execution seconds, and whether
@@ -801,17 +1056,21 @@ impl WimpiCluster {
         }
         rcat.register("lineitem", lineitem);
         let base = (scan_bytes(node_plan, &rcat)? as f64 * self.config.model_scale) as u64;
-        let (rel, prof, exec_s, budgeted) =
-            match self.priced_execution(node_plan, &rcat, base, self.config.model_scale)? {
-                Priced::Fit { rel, prof, penalty_s, budgeted, .. } => {
-                    let s =
-                        predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
-                    (rel, prof, s, budgeted)
-                }
-                Priced::Oom { needed } => {
-                    return Err(ClusterError::NodeOom { query: query.into(), node: j, needed })
-                }
-            };
+        let (rel, prof, exec_s, budgeted) = match self.priced_execution(
+            &EngineConfig::serial(),
+            node_plan,
+            &rcat,
+            base,
+            self.config.model_scale,
+        )? {
+            Priced::Fit { rel, prof, penalty_s, budgeted, .. } => {
+                let s = predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
+                (rel, prof, s, budgeted)
+            }
+            Priced::Oom { needed } => {
+                return Err(ClusterError::NodeOom { query: query.into(), node: j, needed })
+            }
+        };
         let regen_s = self.regeneration_seconds(rows, heap);
         Ok((rel, prof, regen_s, exec_s, budgeted))
     }
@@ -875,32 +1134,80 @@ impl WimpiCluster {
                 failed: self.node_catalogs.len(),
             });
         };
+        let mut exec_node = exec_node;
         if exec_node != 0 {
             // Node 0's death was detected, then the query was re-routed.
             report.recovery_seconds += self.policy.detect_s;
             report.reassignments.push(Reassignment { partition: 0, to: exec_node });
         }
-        let cat = &self.node_catalogs[exec_node];
-        let base = (scan_bytes(plan, cat)? as f64 * self.config.model_scale) as u64;
-        let (result, prof, exec_s, cancel) =
-            match self.priced_execution(plan, cat, base, self.config.model_scale)? {
-                Priced::Fit { rel, prof, penalty_s, cancel, budgeted } => {
-                    if budgeted {
-                        report.budget_degraded += 1;
-                    }
-                    let s =
-                        predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
-                    (rel, prof, s, cancel)
+        // Silent corruption on the executing replica: detect via the
+        // verified scan, repair by re-fetching a peer's sealed copy, and
+        // only if even that fails hop to the next healthy replica.
+        let mut pre_s = 0.0;
+        if let Some(FaultKind::BitFlip { chunks, bits_per_chunk }) = faults.fault(exec_node) {
+            let cat = &self.node_catalogs[exec_node];
+            match self.attempt_bit_flipped(
+                plan,
+                cat,
+                exec_node,
+                chunks,
+                bits_per_chunk,
+                &mut report,
+            )? {
+                NodeOutcome::Done(result, prof, t, _cancel) => {
+                    self.record_run_metrics(faults, &report);
+                    return Ok(DistRun {
+                        result,
+                        node_seconds: vec![t],
+                        node_profiles: vec![prof],
+                        network_seconds: 0.0,
+                        merge_seconds: 0.0,
+                        bytes_shipped: 0,
+                        nodes_used: 1,
+                        recovery: report,
+                    });
                 }
-                Priced::Oom { needed } => {
+                NodeOutcome::Lost { available_at } => {
+                    let Some(b) = candidates.next() else {
+                        return Err(ClusterError::NodeDown {
+                            query: query.into(),
+                            node: exec_node,
+                        });
+                    };
+                    report.reassignments.push(Reassignment { partition: 0, to: b });
+                    pre_s = available_at;
+                    exec_node = b;
+                }
+                NodeOutcome::Oom { needed } => {
                     return Err(ClusterError::NodeOom {
                         query: query.into(),
                         node: exec_node,
                         needed,
                     })
                 }
-            };
-        let mut t = exec_s;
+            }
+        }
+        let cat = &self.node_catalogs[exec_node];
+        let base = (scan_bytes(plan, cat)? as f64 * self.config.model_scale) as u64;
+        let (result, prof, exec_s, cancel) = match self.priced_execution(
+            &EngineConfig::serial(),
+            plan,
+            cat,
+            base,
+            self.config.model_scale,
+        )? {
+            Priced::Fit { rel, prof, penalty_s, cancel, budgeted } => {
+                if budgeted {
+                    report.budget_degraded += 1;
+                }
+                let s = predict(&self.pi, &prof, self.config.node_threads).total_s() + penalty_s;
+                (rel, prof, s, cancel)
+            }
+            Priced::Oom { needed } => {
+                return Err(ClusterError::NodeOom { query: query.into(), node: exec_node, needed })
+            }
+        };
+        let mut t = pre_s + exec_s;
         match faults.fault(exec_node) {
             Some(FaultKind::TransientOom { failures }) => {
                 let tries = failures.min(self.policy.max_retries);
@@ -982,6 +1289,51 @@ fn median_of(mut xs: Vec<f64>) -> Option<f64> {
     }
     xs.sort_by(f64::total_cmp);
     Some(xs[xs.len() / 2])
+}
+
+/// How many sealed checksums `dirty`'s resident bytes violate, judged
+/// against `clean`'s trusted manifest (plus one for a corrupted manifest
+/// self-check). At least 1 — this is only called after a detection.
+fn count_violations(clean: &Table, dirty: &Table) -> u32 {
+    let mut n = 0;
+    if let Some(m) = dirty.manifest() {
+        if !m.verify_self() {
+            n += 1;
+        }
+    }
+    if let Some(m) = clean.manifest() {
+        n += m.violations(dirty).len() as u32;
+    }
+    n.max(1)
+}
+
+/// The base tables a plan scans, in first-scan order, each with the union
+/// of scanned columns (`None` = every column). Expects an optimized plan so
+/// projections reflect what executions will actually read.
+fn scanned_tables(plan: &LogicalPlan) -> Vec<(String, Option<Vec<String>>)> {
+    fn walk(p: &LogicalPlan, out: &mut Vec<(String, Option<Vec<String>>)>) {
+        if let LogicalPlan::Scan { table, projection } = p {
+            match out.iter_mut().find(|(t, _)| t == table) {
+                Some((_, cols)) => match (cols.as_mut(), projection) {
+                    (Some(have), Some(add)) => {
+                        for c in add {
+                            if !have.contains(c) {
+                                have.push(c.clone());
+                            }
+                        }
+                    }
+                    _ => *cols = None,
+                },
+                None => out.push((table.clone(), projection.clone())),
+            }
+        }
+        for child in p.inputs() {
+            walk(child, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
 }
 
 /// Bytes of base-table columns a plan actually scans on a catalog —
@@ -1437,5 +1789,98 @@ mod tests {
         assert!(run.recovery.coverage > 0.0 && run.recovery.coverage < 1.0);
         assert_eq!(run.recovery.reassignments.len(), 1);
         assert_eq!(run.result.num_rows(), 1, "Q6 still yields its scalar");
+    }
+
+    #[test]
+    fn bit_flip_is_detected_repaired_and_bit_exact() {
+        let c = small_cluster(3);
+        let q = query(6);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(healthy.recovery, RecoveryReport::default());
+        let plan = FaultPlan::none().with(1, FaultKind::BitFlip { chunks: 2, bits_per_chunk: 3 });
+        let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(run.result, healthy.result, "repaired answer must be bit-exact");
+        assert!(run.recovery.integrity_detected >= 1, "{:?}", run.recovery);
+        assert_eq!(run.recovery.integrity_repaired, run.recovery.integrity_detected);
+        assert!(!run.recovery.degraded);
+        assert!((run.recovery.coverage - 1.0).abs() < 1e-12);
+        assert!(
+            run.node_seconds[1] > healthy.node_seconds[1],
+            "detection + repair + re-verified run must cost simulated time"
+        );
+        let m = c.metrics();
+        assert_eq!(m.counter("cluster_faults_total{kind=\"bit_flip\"}"), 1);
+        assert_eq!(m.counter("integrity_failures_total"), run.recovery.integrity_detected as u64);
+        assert_eq!(m.counter("integrity_repairs_total"), run.recovery.integrity_repaired as u64);
+        assert!(m.counter("integrity_checks_total") > 0, "verified scans count their checks");
+        assert!(m.render().contains("integrity_repair_seconds"));
+    }
+
+    #[test]
+    fn bit_flip_on_a_replicated_table_repairs_by_peer_refetch() {
+        // Q13 never touches lineitem: the single-replica path corrupts a
+        // replicated table and repairs by re-fetching a peer's sealed copy.
+        let c = small_cluster(3);
+        let q = query(13);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        let plan = FaultPlan::none().with(0, FaultKind::BitFlip { chunks: 1, bits_per_chunk: 1 });
+        let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert_eq!(run.result, healthy.result);
+        assert!(run.recovery.integrity_detected >= 1, "{:?}", run.recovery);
+        assert_eq!(run.recovery.integrity_repaired, run.recovery.integrity_detected);
+        assert!(run.node_seconds[0] > healthy.node_seconds[0]);
+    }
+
+    #[test]
+    fn every_seeded_bit_flip_shape_is_detected() {
+        // The corruption helper draws data chunks, dictionary values, and
+        // the manifest itself across seeds/params; every shape must be
+        // caught and the repaired answer must stay bit-exact.
+        let c = small_cluster(4);
+        let q = query(1);
+        let healthy = c.run(&q, Strategy::PartialAggPushdown).unwrap();
+        for (node, chunks, bits) in [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 2, 1)] {
+            let plan =
+                FaultPlan::none().with(node, FaultKind::BitFlip { chunks, bits_per_chunk: bits });
+            let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+            assert_eq!(run.result, healthy.result, "node {node} chunks {chunks} bits {bits}");
+            assert!(run.recovery.integrity_detected >= 1, "node {node}: {:?}", run.recovery);
+            assert_eq!(run.recovery.integrity_repaired, run.recovery.integrity_detected);
+        }
+    }
+
+    #[test]
+    fn unrepairable_corruption_escalates_to_reassignment() {
+        // Poison the node's *actual* resident partition (keeping the sealed
+        // manifest): local regeneration re-runs over the same corrupt
+        // bytes, so verify-after-repair keeps failing until the partition
+        // escalates to a survivor.
+        let mut c = small_cluster(3);
+        let lineitem = Arc::clone(c.node_catalogs[0].table("lineitem").unwrap());
+        let qty = lineitem.column(4); // l_quantity — scanned by Q6
+        let dirty = wimpi_storage::integrity::flip_bits(qty.as_ref(), 0..qty.len(), 2, 7);
+        let poisoned = lineitem.with_replaced_column(4, dirty).unwrap();
+        c.node_catalogs[0].register("lineitem", poisoned);
+        let q = query(6);
+        let plan = FaultPlan::none().with(0, FaultKind::BitFlip { chunks: 1, bits_per_chunk: 1 });
+        let run = c.run_with_faults(&q, Strategy::PartialAggPushdown, &plan).unwrap();
+        assert!(run.recovery.integrity_detected >= 1);
+        assert_eq!(run.recovery.integrity_repaired, 0, "local repair can never verify");
+        assert!(run.recovery.retries >= c.recovery_policy().max_retries);
+        assert_eq!(run.recovery.reassignments.len(), 1, "{:?}", run.recovery);
+        assert_eq!(run.recovery.reassignments[0].partition, 0);
+        assert!(!run.recovery.degraded);
+        assert!((run.recovery.coverage - 1.0).abs() < 1e-12, "survivor regenerated cleanly");
+    }
+
+    #[test]
+    fn verification_off_keeps_fault_free_runs_untouched() {
+        // Sealing manifests at build time must not change a fault-free
+        // run's answer, profile, or integrity accounting.
+        let c = small_cluster(2);
+        let run = c.run(&query(6), Strategy::PartialAggPushdown).unwrap();
+        assert_eq!(run.recovery, RecoveryReport::default());
+        assert_eq!(c.metrics().counter("integrity_checks_total"), 0);
+        assert_eq!(c.metrics().counter("integrity_failures_total"), 0);
     }
 }

@@ -26,6 +26,25 @@ pub enum EngineError {
     /// boundary. Catalog and engine state are untouched; re-running the same
     /// plan on the same catalog is bit-exact with an uncancelled run.
     Cancelled,
+    /// Scan-time checksum verification found a column chunk whose bytes no
+    /// longer match the table's sealed `IntegrityManifest` — silent
+    /// corruption, caught (DESIGN.md §12). Raised only when
+    /// `EngineConfig::verify_checksums` is on; the repair paths in the
+    /// cluster and service quarantine exactly the named chunk.
+    Integrity {
+        /// Table whose scan failed verification.
+        table: String,
+        /// Column holding the corrupt chunk (`"__manifest__"` when the
+        /// manifest itself failed its self-check).
+        column: String,
+        /// Morsel-aligned chunk index (a string column's dictionary is the
+        /// pseudo-chunk one past its last data chunk).
+        chunk: usize,
+        /// The checksum sealed in the manifest.
+        expected: u32,
+        /// The checksum recomputed from the resident bytes.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +59,11 @@ impl fmt::Display for EngineError {
                  but the query budget is {budget} bytes"
             ),
             EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Integrity { table, column, chunk, expected, actual } => write!(
+                f,
+                "integrity violation: table {table:?} column {column:?} chunk {chunk}: \
+                 expected crc32c {expected:#010x}, got {actual:#010x}"
+            ),
         }
     }
 }

@@ -157,6 +157,9 @@ fn exec_node_inner(
     match plan {
         LogicalPlan::Scan { table, projection } => {
             let t = catalog.table(table)?;
+            if cfg.verify_checksums {
+                verify_scan(table, t, projection.as_deref(), ctx)?;
+            }
             let rel = Relation::from_table(t, projection.as_deref())?;
             prof.rows_in += rel.num_rows() as u64;
             Ok((0, rel))
@@ -211,6 +214,65 @@ fn exec_node_inner(
             Ok((rel.num_rows() as u64, rel.take(&sel)))
         }
     }
+}
+
+/// Scan-time integrity verification (DESIGN.md §12): recomputes the CRC32C
+/// of every morsel-aligned chunk of the columns this scan actually reads and
+/// compares them against the table's sealed manifest. Unsealed tables verify
+/// trivially — manifests are opt-in like the verification itself. The
+/// manifest's own self-checksum is checked first, so a bit flip *inside the
+/// manifest* is reported as such rather than falsely accusing a data chunk.
+fn verify_scan(
+    name: &str,
+    table: &wimpi_storage::Table,
+    projection: Option<&[String]>,
+    ctx: &QueryContext,
+) -> Result<()> {
+    use wimpi_storage::integrity::MANIFEST_PSEUDO_COLUMN;
+    let Some(manifest) = table.manifest() else { return Ok(()) };
+    if !manifest.verify_self() {
+        return Err(EngineError::Integrity {
+            table: name.to_string(),
+            column: MANIFEST_PSEUDO_COLUMN.to_string(),
+            chunk: 0,
+            expected: 0,
+            actual: 0,
+        });
+    }
+    let verify_col = |cname: &str, col: &wimpi_storage::Column| -> Result<u64> {
+        manifest.verify_column(cname, col).map(|n| n as u64).map_err(|v| EngineError::Integrity {
+            table: name.to_string(),
+            column: v.column,
+            chunk: v.chunk,
+            expected: v.expected,
+            actual: v.actual,
+        })
+    };
+    let mut checks = 1u64; // the self-check above
+    let mut outcome = Ok(());
+    let columns: Vec<&str> = match projection {
+        Some(cols) => cols.iter().map(String::as_str).collect(),
+        None => table.schema().fields().iter().map(|f| f.name.as_str()).collect(),
+    };
+    for cname in columns {
+        match table.column_by_name(cname) {
+            Ok(col) => match verify_col(cname, col.as_ref()) {
+                Ok(n) => checks += n,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            },
+            Err(e) => {
+                outcome = Err(e.into());
+                break;
+            }
+        }
+    }
+    // Checks performed up to (and including) a failure are still checks;
+    // the service/cluster ledgers read this to reconcile their counters.
+    ctx.note_integrity_checks(checks);
+    outcome
 }
 
 /// Span `(op, label)` for a plan node. Labels are short human sketches —

@@ -35,30 +35,42 @@ pub struct EngineConfig {
     /// bit-exact with serial ones; see the module docs before changing this
     /// mid-comparison.
     pub morsel_rows: usize,
+    /// Verify sealed [`IntegrityManifest`](wimpi_storage::IntegrityManifest)
+    /// checksums on every scanned column chunk, raising a typed
+    /// [`EngineError::Integrity`](crate::EngineError::Integrity) on the
+    /// first mismatch (DESIGN.md §12). Off by default and zero-cost when
+    /// off, like the tracer: one branch per scan, no per-row work.
+    pub verify_checksums: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { threads, morsel_rows: DEFAULT_MORSEL_ROWS }
+        Self { threads, morsel_rows: DEFAULT_MORSEL_ROWS, verify_checksums: false }
     }
 }
 
 impl EngineConfig {
     /// Single-threaded execution (the pre-parallel engine, exactly).
     pub fn serial() -> Self {
-        Self { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+        Self { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS, verify_checksums: false }
     }
 
     /// A config with `threads` workers and the default morsel size.
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS }
+        Self { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS, verify_checksums: false }
     }
 
     /// Overrides the morsel size (mainly for tests, which shrink it to
     /// exercise multi-morsel paths on small data).
     pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
         self.morsel_rows = morsel_rows.max(1);
+        self
+    }
+
+    /// Enables (or disables) scan-time checksum verification.
+    pub fn with_verify_checksums(mut self, verify: bool) -> Self {
+        self.verify_checksums = verify;
         self
     }
 }

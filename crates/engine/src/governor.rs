@@ -252,6 +252,10 @@ pub struct QueryContext {
     fallbacks: Arc<AtomicU32>,
     /// Largest partition fan-out any fallback needed.
     max_parts: Arc<AtomicU32>,
+    /// Chunk checksum comparisons performed by scan-time verification
+    /// (DESIGN.md §12) — telemetry the service/cluster ledgers fold into
+    /// their `integrity_checks_total` counters.
+    integrity_checks: Arc<AtomicU64>,
 }
 
 impl QueryContext {
@@ -374,6 +378,17 @@ impl QueryContext {
     /// The largest partition fan-out any fallback used (0 = none).
     pub fn max_fallback_parts(&self) -> u32 {
         self.max_parts.load(Ordering::Acquire)
+    }
+
+    /// Notes `n` chunk checksum comparisons performed by a verifying scan.
+    pub fn note_integrity_checks(&self, n: u64) {
+        self.integrity_checks.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Chunk checksum comparisons this context's queries performed (0 when
+    /// verification is off or no scanned table carries a manifest).
+    pub fn integrity_checks(&self) -> u64 {
+        self.integrity_checks.load(Ordering::Acquire)
     }
 }
 

@@ -26,7 +26,7 @@ pub use expr::{col, date, dec2, lit, Expr};
 pub use governor::{BudgetParseError, CancelToken, MemoryReservation, QueryContext, Reservation};
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
 pub use relation::Relation;
-pub use service::{QuerySpec, Service, ServiceConfig, ServiceError, Ticket};
+pub use service::{QuerySpec, ScrubReport, Service, ServiceConfig, ServiceError, Ticket};
 pub use stats::WorkProfile;
 pub use wimpi_obs::{Span, Tracer};
 

@@ -59,6 +59,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wimpi_obs::Registry;
+use wimpi_storage::integrity::{chunk_checksum, dict_checksum, IntegrityViolation};
+use wimpi_storage::morsel::morsel_ranges;
+use wimpi_storage::{Catalog, Column};
 
 use crate::error::EngineError;
 use crate::governor::{CancelToken, MemoryReservation, QueryContext, UNLIMITED};
@@ -169,6 +172,18 @@ impl QuerySpec {
         self.timeout = Some(timeout);
         self
     }
+}
+
+/// Outcome of one [`Service::scrub`] slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Chunk checksums verified in this slice.
+    pub checks: u64,
+    /// Violations found, each with the owning table named.
+    pub violations: Vec<(String, IntegrityViolation)>,
+    /// True when this slice reached the end of the catalog and the cursor
+    /// wrapped back to the start — one full scrub pass completed.
+    pub wrapped: bool,
 }
 
 /// Errors a submission can terminate with (beyond the engine's own).
@@ -308,6 +323,10 @@ enum AttemptEnd {
     /// `ResourceExhausted` under this attempt's grant; the coordinator
     /// decides whether the query gets its one full-budget retry.
     Exhausted(EngineError),
+    /// Scan-time verification caught silent corruption
+    /// (`EngineError::Integrity`); the coordinator may invoke the installed
+    /// repairer and grant the one repair-and-retry.
+    Corrupted(EngineError),
 }
 
 #[derive(Clone, Copy)]
@@ -324,6 +343,9 @@ struct Pending {
     label: String,
     grant: u64,
     attempt: u32,
+    /// Repair-and-retries already spent (capped at one, independently of
+    /// the one budget retry `attempt` counts).
+    repairs: u32,
     cancel: CancelToken,
     timeout: Option<Duration>,
     submitted: Instant,
@@ -342,12 +364,23 @@ struct Inner {
     next_id: u64,
 }
 
+/// The pluggable repair hook: receives the `EngineError::Integrity` a query
+/// tripped over and returns `true` once the underlying storage has been
+/// restored (e.g. the corrupt table regenerated and re-sealed), at which
+/// point the coordinator grants the one repair-and-retry.
+type Repairer = Arc<dyn Fn(&EngineError) -> bool + Send + Sync>;
+
 struct Shared {
     state: Mutex<Inner>,
     work: Condvar,
     node: MemoryReservation,
     metrics: Registry,
     cfg: ServiceConfig,
+    repairer: Mutex<Option<Repairer>>,
+    /// Background-scrubber resume point: a flat index into the catalog's
+    /// (table, column, chunk) units, persisted across [`Service::scrub`]
+    /// slices.
+    scrub_cursor: Mutex<u64>,
 }
 
 impl Shared {
@@ -409,6 +442,8 @@ impl Service {
             node: MemoryReservation::with_budget(cfg.node_budget),
             metrics: Registry::new(),
             cfg,
+            repairer: Mutex::new(None),
+            scrub_cursor: Mutex::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -442,6 +477,7 @@ impl Service {
                 AttemptEnd::Resolved(ResolvedKind::Completed)
             }
             Err(e @ EngineError::ResourceExhausted { .. }) => AttemptEnd::Exhausted(e),
+            Err(e @ EngineError::Integrity { .. }) => AttemptEnd::Corrupted(e),
             Err(EngineError::Cancelled) => {
                 run_state.resolve(Err(ServiceError::Engine(EngineError::Cancelled)));
                 AttemptEnd::Resolved(ResolvedKind::Cancelled)
@@ -473,6 +509,7 @@ impl Service {
             label: spec.label,
             grant,
             attempt: 0,
+            repairs: 0,
             cancel: spec.cancel.clone(),
             timeout: spec.timeout,
             submitted: Instant::now(),
@@ -531,6 +568,106 @@ impl Service {
     /// The configured node budget.
     pub fn node_budget(&self) -> u64 {
         self.shared.cfg.node_budget
+    }
+
+    /// Installs (or replaces) the integrity repairer: a hook the
+    /// coordinator invokes when a query's scan trips an
+    /// [`EngineError::Integrity`]. Returning `true` means the storage was
+    /// restored and the query earns its one repair-and-retry; `false` (or
+    /// no hook) fails the query with the typed error.
+    pub fn set_repairer<F>(&self, f: F)
+    where
+        F: Fn(&EngineError) -> bool + Send + Sync + 'static,
+    {
+        *self.shared.repairer.lock().unwrap() = Some(Arc::new(f));
+    }
+
+    /// One cooperative slice of the background scrubber: verifies up to
+    /// `max_chunks` sealed chunk checksums against `catalog`'s resident
+    /// bytes, resuming where the previous slice stopped (the cursor
+    /// persists across calls and wraps at the end of the catalog).
+    ///
+    /// Runs under the caller's [`QueryContext`], so the governor's
+    /// cancellation token and deadline apply at chunk granularity — a
+    /// scrubber sharing a node with foreground queries yields at the next
+    /// chunk boundary, and progress made before an interruption is kept.
+    /// Checks and violations are folded into `integrity_checks_total` /
+    /// `integrity_failures_total`.
+    pub fn scrub(
+        &self,
+        catalog: &Catalog,
+        max_chunks: u64,
+        ctx: &QueryContext,
+    ) -> crate::error::Result<ScrubReport> {
+        // Flat, deterministic unit list: every (table, column, data chunk)
+        // plus each dictionary pseudo-chunk, in catalog (sorted) order.
+        let mut units: Vec<(String, usize, usize)> = Vec::new();
+        for name in catalog.names() {
+            let t = catalog.table(name)?;
+            let Some(m) = t.manifest() else { continue };
+            for (ci, f) in t.schema().fields().iter().enumerate() {
+                let Some(sealed) = m.column(&f.name) else { continue };
+                for chunk in 0..sealed.chunks.len() {
+                    units.push((name.to_string(), ci, chunk));
+                }
+                if sealed.dict.is_some() {
+                    units.push((name.to_string(), ci, sealed.chunks.len()));
+                }
+            }
+        }
+        let mut report = ScrubReport::default();
+        if units.is_empty() {
+            return Ok(report);
+        }
+        let mut cursor = self.shared.scrub_cursor.lock().unwrap();
+        let start = (*cursor as usize) % units.len();
+        let outcome = (|| {
+            for i in 0..(max_chunks as usize).min(units.len()) {
+                ctx.checkpoint()?;
+                let (name, ci, chunk) = &units[(start + i) % units.len()];
+                let t = catalog.table(name)?;
+                let m = t.manifest().expect("unit listed only for sealed tables");
+                let col = t.column(*ci);
+                let field = &t.schema().fields()[*ci];
+                let sealed = m.column(&field.name).expect("unit listed only for sealed columns");
+                let (expected, actual) = if *chunk == sealed.chunks.len() {
+                    let d = match col.as_ref() {
+                        Column::Str(d) => d,
+                        _ => unreachable!("dict pseudo-chunk implies a Str column"),
+                    };
+                    (sealed.dict.unwrap_or(0), dict_checksum(d))
+                } else {
+                    let r = morsel_ranges(col.len(), m.chunk_rows())
+                        .get(*chunk)
+                        .cloned()
+                        .unwrap_or(0..0);
+                    (sealed.chunks[*chunk], chunk_checksum(col.as_ref(), r))
+                };
+                report.checks += 1;
+                if expected != actual {
+                    report.violations.push((
+                        name.clone(),
+                        IntegrityViolation {
+                            column: field.name.clone(),
+                            chunk: *chunk,
+                            expected,
+                            actual,
+                        },
+                    ));
+                }
+                let next = (start + i + 1) % units.len();
+                if next == 0 {
+                    report.wrapped = true;
+                }
+                *cursor = next as u64;
+            }
+            Ok(())
+        })();
+        self.shared.metrics.inc("integrity_checks_total", report.checks);
+        if !report.violations.is_empty() {
+            self.shared.metrics.inc("integrity_failures_total", report.violations.len() as u64);
+        }
+        outcome.map(|()| report)
     }
 
     /// Stops admissions, resolves every queued submission as `Cancelled`,
@@ -658,6 +795,10 @@ fn run_admitted(shared: &Arc<Shared>, p: Pending, grant: Grant) {
         ctx = ctx.with_timeout(t);
     }
     let end = catch_unwind(AssertUnwindSafe(|| (p.run)(&ctx)));
+    let checks = ctx.integrity_checks();
+    if checks > 0 {
+        shared.metrics.inc("integrity_checks_total", checks);
+    }
     drop(ctx);
 
     match end {
@@ -708,6 +849,60 @@ fn run_admitted(shared: &Arc<Shared>, p: Pending, grant: Grant) {
                 }
             } else {
                 shared.metrics.inc("service_exhausted_total", 1);
+                (p.resolve_err)(ServiceError::Engine(err));
+                finish_in_flight(shared, p.id, p.submitted);
+            }
+        }
+        Ok(AttemptEnd::Corrupted(err)) => {
+            drop(grant);
+            shared.metrics.inc("integrity_failures_total", 1);
+            let repairer = shared.repairer.lock().unwrap().clone();
+            let eligible = p.repairs == 0 && !p.cancel.is_cancelled();
+            let repaired = match (repairer, eligible) {
+                (Some(repair), true) => {
+                    let started = Instant::now();
+                    let ok = repair(&err);
+                    if ok {
+                        shared.metrics.inc("integrity_repairs_total", 1);
+                        shared.metrics.observe(
+                            "integrity_repair_seconds",
+                            &LATENCY_BUCKETS,
+                            started.elapsed().as_secs_f64(),
+                        );
+                    }
+                    ok
+                }
+                _ => false,
+            };
+            if repaired {
+                // One repair-and-retry, mirroring the budget retry's shape:
+                // simulated backoff, then head-of-class re-admission with
+                // the same grant (the query's memory needs didn't change).
+                let backoff = shared.cfg.backoff_s(p.repairs);
+                shared.metrics.observe("service_backoff_sim_seconds", &BACKOFF_BUCKETS, backoff);
+                let retried = Pending { repairs: p.repairs + 1, ..p };
+                let mut st = shared.state.lock().unwrap();
+                st.in_flight -= 1;
+                st.in_flight_tokens.retain(|(id, _)| *id != retried.id);
+                if st.shutdown {
+                    shared.update_queue_gauges(&st);
+                    drop(st);
+                    shared.metrics.inc("service_cancelled_total", 1);
+                    (retried.resolve_err)(ServiceError::Engine(EngineError::Cancelled));
+                } else {
+                    if retried.grant <= shared.cfg.small_cutoff {
+                        st.small.push_front(retried);
+                    } else {
+                        st.large.push_front(retried);
+                    }
+                    shared.update_queue_gauges(&st);
+                    drop(st);
+                    shared.work.notify_all();
+                }
+            } else {
+                // No repairer, repair refused, or the one repair already
+                // spent: surface the typed error.
+                shared.metrics.inc("service_failed_total", 1);
                 (p.resolve_err)(ServiceError::Engine(err));
                 finish_in_flight(shared, p.id, p.submitted);
             }
@@ -1030,5 +1225,153 @@ mod tests {
         assert!(svc.node_high_water() <= budget, "admission arbitration must hold the line");
         assert_eq!(svc.node_used(), 0);
         assert_eq!(svc.metrics().counter("service_completed_total"), 32);
+    }
+
+    fn integrity_err() -> EngineError {
+        EngineError::Integrity {
+            table: "t".into(),
+            column: "k".into(),
+            chunk: 0,
+            expected: 1,
+            actual: 2,
+        }
+    }
+
+    #[test]
+    fn corrupted_query_gets_one_repair_and_retry() {
+        let mut svc = tiny(1, 1000, 8);
+        let repaired = Arc::new(AtomicU32::new(0));
+        let hook_flag = Arc::clone(&repaired);
+        svc.set_repairer(move |e| {
+            assert!(matches!(e, EngineError::Integrity { .. }));
+            hook_flag.fetch_add(1, Ordering::SeqCst);
+            true
+        });
+        let probe = Arc::clone(&repaired);
+        let out = svc
+            .run_blocking(QuerySpec::new("q").with_estimate(100), move |_ctx| {
+                if probe.load(Ordering::SeqCst) == 0 {
+                    Err(integrity_err())
+                } else {
+                    Ok(7u32)
+                }
+            })
+            .expect("repair-and-retry succeeds");
+        assert_eq!(out, 7);
+        assert_eq!(repaired.load(Ordering::SeqCst), 1, "repairer ran exactly once");
+        svc.shutdown();
+        let m = svc.metrics();
+        assert_eq!(m.counter("integrity_failures_total"), 1);
+        assert_eq!(m.counter("integrity_repairs_total"), 1);
+        assert_eq!(m.counter("service_completed_total"), 1);
+        assert_eq!(m.counter("service_failed_total"), 0);
+        assert!(m.render().contains("integrity_repair_seconds"));
+    }
+
+    #[test]
+    fn corruption_without_a_repairer_fails_typed() {
+        let mut svc = tiny(1, 1000, 8);
+        let err = svc
+            .run_blocking(QuerySpec::new("q").with_estimate(100), |_ctx| {
+                Err::<u32, _>(integrity_err())
+            })
+            .expect_err("no repairer installed");
+        assert!(matches!(err, ServiceError::Engine(EngineError::Integrity { .. })), "{err}");
+        svc.shutdown();
+        assert_eq!(svc.metrics().counter("integrity_failures_total"), 1);
+        assert_eq!(svc.metrics().counter("integrity_repairs_total"), 0);
+        assert_eq!(svc.metrics().counter("service_failed_total"), 1);
+    }
+
+    #[test]
+    fn persistent_corruption_is_repaired_at_most_once() {
+        let mut svc = tiny(1, 1000, 8);
+        let repairs = Arc::new(AtomicU32::new(0));
+        let hook_flag = Arc::clone(&repairs);
+        svc.set_repairer(move |_| {
+            hook_flag.fetch_add(1, Ordering::SeqCst);
+            true
+        });
+        let err = svc
+            .run_blocking(QuerySpec::new("q").with_estimate(100), |_ctx| {
+                // Keeps failing even after the "repair": the coordinator
+                // must not loop.
+                Err::<u32, _>(integrity_err())
+            })
+            .expect_err("second corruption is terminal");
+        assert!(matches!(err, ServiceError::Engine(EngineError::Integrity { .. })), "{err}");
+        assert_eq!(repairs.load(Ordering::SeqCst), 1);
+        svc.shutdown();
+        assert_eq!(svc.metrics().counter("integrity_failures_total"), 2);
+        assert_eq!(svc.metrics().counter("integrity_repairs_total"), 1);
+        assert_eq!(svc.metrics().counter("service_failed_total"), 1);
+    }
+
+    fn sealed_scrub_catalog(rows: usize) -> Catalog {
+        use wimpi_storage::{DataType, Field, Schema, Table};
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Int64)]);
+        let t = Table::new(
+            schema,
+            vec![
+                Column::Int64((0..rows as i64).collect()),
+                Column::Int64((0..rows as i64).map(|x| x * 3).collect()),
+            ],
+        )
+        .unwrap()
+        .with_integrity();
+        let mut cat = Catalog::new();
+        cat.register("t", t);
+        cat
+    }
+
+    #[test]
+    fn scrubber_passes_a_clean_catalog_and_wraps() {
+        let svc = tiny(1, 1000, 8);
+        let cat = sealed_scrub_catalog(100);
+        let ctx = QueryContext::new();
+        let r = svc.scrub(&cat, 64, &ctx).unwrap();
+        assert_eq!(r.checks, 2, "two columns, one chunk each");
+        assert!(r.violations.is_empty());
+        assert!(r.wrapped);
+        assert_eq!(svc.metrics().counter("integrity_checks_total"), 2);
+    }
+
+    #[test]
+    fn scrubber_finds_corruption_and_resumes_across_slices() {
+        let svc = tiny(1, 1000, 8);
+        let mut cat = sealed_scrub_catalog(100);
+        // Corrupt column "v" (unit index 1) while keeping the sealed
+        // manifest, exactly as a BitFlip fault would.
+        let t = Arc::clone(cat.table("t").unwrap());
+        let dirty = wimpi_storage::integrity::flip_bits(t.column(1).as_ref(), 0..100, 1, 42);
+        cat.register("t", t.with_replaced_column(1, dirty).unwrap());
+        let ctx = QueryContext::new();
+        // Slice 1 covers only "k": clean, no wrap.
+        let first = svc.scrub(&cat, 1, &ctx).unwrap();
+        assert_eq!((first.checks, first.violations.len(), first.wrapped), (1, 0, false));
+        // Slice 2 resumes at "v" and trips over the flip.
+        let second = svc.scrub(&cat, 1, &ctx).unwrap();
+        assert_eq!(second.checks, 1);
+        assert_eq!(second.violations.len(), 1);
+        assert!(second.wrapped, "cursor wrapped after the last unit");
+        let (table, v) = &second.violations[0];
+        assert_eq!((table.as_str(), v.column.as_str(), v.chunk), ("t", "v", 0));
+        assert_ne!(v.expected, v.actual);
+        assert_eq!(svc.metrics().counter("integrity_failures_total"), 1);
+    }
+
+    #[test]
+    fn scrubber_respects_cancellation_but_keeps_progress() {
+        let svc = tiny(1, 1000, 8);
+        let cat = sealed_scrub_catalog(100);
+        let token = CancelToken::new();
+        let ctx = QueryContext::new().with_cancel_token(token.clone());
+        token.cancel();
+        let err = svc.scrub(&cat, 64, &ctx).unwrap_err();
+        assert_eq!(err, EngineError::Cancelled);
+        // A fresh context picks up at the persisted cursor.
+        let r = svc.scrub(&cat, 64, &QueryContext::new()).unwrap();
+        assert_eq!(r.checks, 2);
     }
 }

@@ -43,9 +43,20 @@ pub fn execute_sql_governed(
     catalog: &Catalog,
     ctx: &QueryContext,
 ) -> Result<(Relation, WorkProfile)> {
+    execute_sql_with(sql, catalog, &EngineConfig::serial(), ctx)
+}
+
+/// [`execute_sql_governed`] with an explicit [`EngineConfig`] — the shell's
+/// `SET verify_checksums` routes through here to turn scan-time integrity
+/// verification on for a governed run.
+pub fn execute_sql_with(
+    sql: &str,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile)> {
     let p = plan(sql, catalog)?;
-    wimpi_engine::execute_query_governed(&p, catalog, &EngineConfig::serial(), ctx)
-        .map_err(SqlError::Engine)
+    wimpi_engine::execute_query_governed(&p, catalog, cfg, ctx).map_err(SqlError::Engine)
 }
 
 /// Executes one SELECT statement with operator-level tracing — the engine's
@@ -64,9 +75,19 @@ pub fn explain_analyze_governed(
     catalog: &Catalog,
     ctx: &QueryContext,
 ) -> Result<(Relation, WorkProfile, Span)> {
+    explain_analyze_with(sql, catalog, &EngineConfig::serial(), ctx)
+}
+
+/// [`explain_analyze_governed`] with an explicit [`EngineConfig`] (see
+/// [`execute_sql_with`]).
+pub fn explain_analyze_with(
+    sql: &str,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    ctx: &QueryContext,
+) -> Result<(Relation, WorkProfile, Span)> {
     let p = plan(sql, catalog)?;
-    wimpi_engine::execute_query_traced_governed(&p, catalog, &EngineConfig::serial(), ctx)
-        .map_err(SqlError::Engine)
+    wimpi_engine::execute_query_traced_governed(&p, catalog, cfg, ctx).map_err(SqlError::Engine)
 }
 
 /// Strips a leading `EXPLAIN ANALYZE` prefix (case-insensitive, any
@@ -104,5 +125,30 @@ mod tests {
         assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
         assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE"), None);
         assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE "), None);
+    }
+
+    #[test]
+    fn verify_checksums_catches_corruption_that_silently_skews_answers() {
+        use wimpi_storage::{Column, DataType, Field, Schema, Table};
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let clean =
+            Table::new(schema, vec![Column::Int64((1..=100).collect())]).unwrap().with_integrity();
+        let dirty = wimpi_storage::integrity::flip_bits(clean.column(0).as_ref(), 0..100, 1, 9);
+        let corrupted = clean.with_replaced_column(0, dirty).unwrap();
+        let mut cat = Catalog::new();
+        cat.register("t", corrupted);
+        let sql = "SELECT sum(x) AS s FROM t";
+        // Verification off: the corruption silently skews the aggregate.
+        let (skewed, _) = execute_sql(sql, &cat).expect("no detection without verification");
+        assert!(skewed.num_rows() == 1);
+        // Verification on: the scan refuses the corrupt chunk, typed.
+        let cfg = wimpi_engine::EngineConfig::serial().with_verify_checksums(true);
+        let err = execute_sql_with(sql, &cat, &cfg, &QueryContext::new()).unwrap_err();
+        match err {
+            SqlError::Engine(wimpi_engine::EngineError::Integrity { table, column, .. }) => {
+                assert_eq!((table.as_str(), column.as_str()), ("t", "x"));
+            }
+            other => panic!("expected an integrity violation, got {other}"),
+        }
     }
 }

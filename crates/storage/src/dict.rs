@@ -60,6 +60,21 @@ impl DictColumn {
         &self.values
     }
 
+    /// Reassembles a column from raw codes and dictionary values.
+    ///
+    /// Exists for the integrity layer's fault injection and repair paths,
+    /// which must rebuild columns with deliberately wrong (but in-range)
+    /// bytes. Every code must index into `values`; that invariant is
+    /// asserted here because a code past the dictionary would turn silent
+    /// corruption into an out-of-bounds panic at decode time.
+    pub fn from_parts(codes: Vec<u32>, values: Vec<String>) -> DictColumn {
+        debug_assert!(
+            codes.iter().all(|&c| (c as usize) < values.len().max(1)),
+            "every code must index the dictionary"
+        );
+        DictColumn { codes, values }
+    }
+
     /// Looks up the code of an exact value, if present. O(cardinality); use
     /// once per predicate, not per row.
     pub fn code_of(&self, value: &str) -> Option<u32> {

@@ -7,22 +7,26 @@
 //!
 //! Design notes live in the repository's `DESIGN.md` (§3, §7).
 
+pub mod checksum;
 pub mod column;
 pub mod date;
 pub mod decimal;
 pub mod dict;
 pub mod error;
+pub mod integrity;
 pub mod morsel;
 pub mod schema;
 pub mod selection;
 pub mod table;
 pub mod value;
 
+pub use checksum::crc32c;
 pub use column::Column;
 pub use date::Date32;
 pub use decimal::Decimal64;
 pub use dict::{DictBuilder, DictColumn};
 pub use error::{Result, StorageError};
+pub use integrity::{IntegrityManifest, IntegrityViolation};
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use selection::SelVec;
 pub use table::{Catalog, Table};

@@ -5,14 +5,17 @@ use std::sync::Arc;
 
 use crate::column::Column;
 use crate::error::{Result, StorageError};
+use crate::integrity::IntegrityManifest;
 use crate::schema::{Schema, SchemaRef};
 
-/// An immutable in-memory table: a schema plus one column per field.
+/// An immutable in-memory table: a schema plus one column per field, plus an
+/// optional sealed [`IntegrityManifest`] vouching for the column bytes.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: SchemaRef,
     columns: Vec<Arc<Column>>,
     nrows: usize,
+    manifest: Option<Arc<IntegrityManifest>>,
 }
 
 impl Table {
@@ -38,6 +41,53 @@ impl Table {
             schema: Arc::new(schema),
             columns: columns.into_iter().map(Arc::new).collect(),
             nrows,
+            manifest: None,
+        })
+    }
+
+    /// Seals an [`IntegrityManifest`] over the current column bytes and
+    /// returns the table carrying it (DESIGN.md §12). Call at
+    /// generation/load time, before the bytes are exposed to faults.
+    pub fn with_integrity(mut self) -> Self {
+        self.manifest = Some(Arc::new(IntegrityManifest::seal(&self)));
+        self
+    }
+
+    /// Attaches an externally sealed manifest. The fault-injection and
+    /// repair paths use this to pair corrupted bytes with the *original*
+    /// manifest (which is exactly what makes the corruption detectable).
+    pub fn with_manifest(mut self, manifest: Arc<IntegrityManifest>) -> Self {
+        self.manifest = Some(manifest);
+        self
+    }
+
+    /// The sealed manifest, if any.
+    pub fn manifest(&self) -> Option<&Arc<IntegrityManifest>> {
+        self.manifest.as_ref()
+    }
+
+    /// A copy of this table with the column at ordinal `index` replaced
+    /// (type and length checked) and every other column Arc-shared. The
+    /// manifest handle is carried over unchanged — when the replacement
+    /// holds different bytes, scan-time verification will say so.
+    pub fn with_replaced_column(&self, index: usize, column: Column) -> Result<Self> {
+        let field = &self.schema.fields()[index];
+        if column.data_type() != field.data_type {
+            return Err(StorageError::TypeMismatch {
+                expected: format!("{} for {}", field.data_type, field.name),
+                actual: column.data_type().to_string(),
+            });
+        }
+        if column.len() != self.nrows {
+            return Err(StorageError::LengthMismatch { left: self.nrows, right: column.len() });
+        }
+        let mut columns = self.columns.clone();
+        columns[index] = Arc::new(column);
+        Ok(Self {
+            schema: Arc::clone(&self.schema),
+            columns,
+            nrows: self.nrows,
+            manifest: self.manifest.clone(),
         })
     }
 
@@ -121,6 +171,23 @@ impl Catalog {
     pub fn heap_bytes(&self) -> usize {
         self.tables.values().map(|t| t.heap_bytes()).sum()
     }
+
+    /// Seals an [`IntegrityManifest`] over every table that does not carry
+    /// one yet. Tables shared between catalogs lose their sharing here (the
+    /// sealed copy is new); callers replicating tables should seal *before*
+    /// registering the shared handle.
+    pub fn seal_integrity(&mut self) {
+        let unsealed: Vec<String> = self
+            .tables
+            .iter()
+            .filter(|(_, t)| t.manifest().is_none())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in unsealed {
+            let sealed = self.tables[&name].as_ref().clone().with_integrity();
+            self.tables.insert(name, Arc::new(sealed));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +255,40 @@ mod tests {
     fn heap_bytes_sums_columns() {
         let t = small_table();
         assert_eq!(t.heap_bytes(), 3 * 8 + 3 * 8);
+    }
+
+    #[test]
+    fn sealing_attaches_a_verifying_manifest() {
+        let t = small_table().with_integrity();
+        let m = t.manifest().expect("sealed");
+        assert!(m.verify_self());
+        assert!(m.verify_table(&t).is_ok());
+    }
+
+    #[test]
+    fn catalog_seal_integrity_covers_every_table() {
+        let mut c = Catalog::new();
+        c.register("t", small_table());
+        c.seal_integrity();
+        assert!(c.table("t").unwrap().manifest().is_some());
+        // Idempotent: a second seal keeps the existing manifest handle.
+        let before = Arc::as_ptr(c.table("t").unwrap().manifest().unwrap());
+        c.seal_integrity();
+        assert_eq!(before, Arc::as_ptr(c.table("t").unwrap().manifest().unwrap()));
+    }
+
+    #[test]
+    fn replaced_columns_keep_schema_and_manifest() {
+        let t = small_table().with_integrity();
+        let swapped = t.with_replaced_column(0, Column::Int64(vec![9, 2, 3])).expect("valid swap");
+        assert_eq!(swapped.column(0).as_i64().unwrap(), &[9, 2, 3]);
+        // The carried-over manifest now (correctly) flags the new bytes.
+        let m = swapped.manifest().expect("carried over");
+        assert!(m.verify_table(&swapped).is_err());
+        assert!(
+            t.with_replaced_column(0, Column::Float64(vec![1.0, 2.0, 3.0])).is_err(),
+            "type checked"
+        );
+        assert!(t.with_replaced_column(0, Column::Int64(vec![1])).is_err(), "length checked");
     }
 }

@@ -48,12 +48,28 @@ pub fn read_tbl<R: BufRead>(table_name: &str, input: R) -> Result<Table> {
                 builders.len()
             )));
         }
-        for (b, f) in builders.iter_mut().zip(&fields) {
-            b.push(f)?;
+        for (ci, (b, f)) in builders.iter_mut().zip(&fields).enumerate() {
+            b.push(f).map_err(|e| {
+                StorageError::Parse(format!(
+                    "line {}: column {:?}: {}",
+                    lineno + 1,
+                    sch.fields()[ci].name,
+                    parse_reason(&e)
+                ))
+            })?;
         }
     }
     let columns = builders.into_iter().map(ColBuilder::finish).collect();
     Table::new(sch, columns)
+}
+
+/// The inner reason of a field-level parse failure, unwrapped so the
+/// line-level error doesn't nest "parse error: parse error: …".
+fn parse_reason(e: &StorageError) -> String {
+    match e {
+        StorageError::Parse(msg) => msg.clone(),
+        other => other.to_string(),
+    }
 }
 
 /// Incremental, type-directed column builder for `.tbl` parsing.
@@ -145,6 +161,27 @@ mod tests {
         assert!(read_tbl("region", "1|AFRICA|\n".as_bytes()).is_err(), "missing field");
         assert!(read_tbl("region", "x|AFRICA|comment|\n".as_bytes()).is_err(), "bad key");
         assert!(read_tbl("nope", "".as_bytes()).is_err(), "unknown table");
+    }
+
+    #[test]
+    fn malformed_fields_name_the_line_and_column() {
+        // Row 2's account balance is not a decimal.
+        let input = "1|a|addr|15|phone|711.56|BUILDING|c|\n\
+                     2|b|addr|15|phone|not-money|BUILDING|c|\n";
+        let err = read_tbl("customer", input.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("c_acctbal"), "{err}");
+        // A malformed date names its line and column too.
+        let good = "1|36901|7706|1|17|21168.23|0.04|0.02|N|O|1996-03-13|1996-02-12|\
+                    1996-03-22|DELIVER IN PERSON|TRUCK|c|";
+        let bad = good.replace("1996-03-13", "not-a-date");
+        let err = read_tbl("lineitem", bad.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("l_shipdate"), "{err}");
+        // Field-count mismatches already carried the line number.
+        let err =
+            read_tbl("region", "0|AFRICA|x|\n1|AMERICA|\n".as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]

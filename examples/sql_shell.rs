@@ -22,14 +22,20 @@
 //! one full-budget retry all engage, and `\metrics` shows the counters.
 //! `SET concurrency = 0` (the default) returns to direct in-process
 //! execution.
+//!
+//! Integrity: `SET verify_checksums = on` seals an integrity manifest over
+//! every table (first time only) and verifies each scan against it — a
+//! corrupt chunk fails the query with a typed violation instead of silently
+//! skewing the answer. `\metrics` includes the `integrity_*` counters in
+//! both direct and service mode.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use wimpi::engine::governor::UNLIMITED;
-use wimpi::engine::{governor, QueryContext, QuerySpec, Service, ServiceConfig};
+use wimpi::engine::{governor, EngineConfig, QueryContext, QuerySpec, Service, ServiceConfig};
 use wimpi::hwsim::{all_profiles, predict_all_cores};
-use wimpi::sql::{execute_sql_governed, strip_explain_analyze};
+use wimpi::sql::{execute_sql_with, strip_explain_analyze};
 use wimpi::storage::Catalog;
 use wimpi::tpch::Generator;
 
@@ -76,7 +82,7 @@ fn make_spec(sql: &str, timeout_ms: Option<u64>) -> QuerySpec {
 fn main() {
     let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
     eprintln!("generating TPC-H SF {sf} …");
-    let catalog: Arc<Catalog> =
+    let mut catalog: Arc<Catalog> =
         Arc::new(Generator::new(sf).generate_catalog().expect("generation succeeds"));
     eprintln!("ready. \\tables lists tables, \\q quits.\n");
     let stdin = std::io::stdin();
@@ -85,6 +91,10 @@ fn main() {
     let mut timeout_ms: Option<u64> = None;
     let mut concurrency: usize = 0;
     let mut service: Option<Service> = None;
+    let mut verify = false;
+    // Integrity counters for direct (serviceless) execution; with a
+    // service, its own registry carries them.
+    let shell_metrics = wimpi::obs::Registry::new();
     print!("wimpi> ");
     std::io::stdout().flush().ok();
     for line in stdin.lock().lines() {
@@ -102,7 +112,17 @@ fn main() {
             }
             "\\metrics" => match &service {
                 Some(svc) => print!("{}", svc.metrics().render()),
-                None => println!("no service running (SET concurrency = N to start one)"),
+                None => {
+                    let rendered = shell_metrics.render();
+                    if rendered.is_empty() {
+                        println!(
+                            "no counters yet (SET concurrency = N starts a service; \
+                             SET verify_checksums = on counts integrity checks)"
+                        );
+                    } else {
+                        print!("{rendered}");
+                    }
+                }
             },
             "\\tables" => {
                 for name in catalog.names() {
@@ -168,10 +188,24 @@ fn main() {
                         }
                         Err(_) => println!("error: concurrency wants an integer, got {value:?}"),
                     },
+                    "verify_checksums" => match value.to_ascii_lowercase().as_str() {
+                        "on" | "true" | "1" => {
+                            // Seal manifests lazily on first use; sealing is
+                            // idempotent, so re-enabling is free.
+                            Arc::make_mut(&mut catalog).seal_integrity();
+                            verify = true;
+                            println!("scan-time checksum verification on");
+                        }
+                        "off" | "false" | "0" => {
+                            verify = false;
+                            println!("scan-time checksum verification off");
+                        }
+                        _ => println!("error: verify_checksums wants on|off, got {value:?}"),
+                    },
                     other => {
                         println!(
                             "error: unknown knob {other:?} \
-                             (memory_budget, timeout_ms, concurrency)"
+                             (memory_budget, timeout_ms, concurrency, verify_checksums)"
                         )
                     }
                 }
@@ -180,7 +214,8 @@ fn main() {
                 let inner = strip_explain_analyze(sql).expect("guard matched");
                 let inner = inner.trim_end_matches(';').trim_end();
                 let ctx = make_ctx(mem_budget, timeout_ms);
-                match wimpi::sql::explain_analyze_governed(inner, &catalog, &ctx) {
+                let cfg = EngineConfig::serial().with_verify_checksums(verify);
+                match wimpi::sql::explain_analyze_with(inner, &catalog, &cfg, &ctx) {
                     Ok((rel, work, span)) => {
                         print!("{}", span.render());
                         println!(
@@ -211,8 +246,9 @@ fn main() {
                     Some(svc) => {
                         let owned = sql.to_string();
                         let cat = Arc::clone(&catalog);
+                        let cfg = EngineConfig::serial().with_verify_checksums(verify);
                         svc.run_blocking(make_spec(sql, timeout_ms), move |ctx| {
-                            execute_sql_governed(&owned, &cat, ctx)
+                            execute_sql_with(&owned, &cat, &cfg, ctx)
                                 .map(|(rel, work)| (rel, work, ctx.fallbacks()))
                                 .map_err(|e| e.into_engine())
                         })
@@ -220,9 +256,18 @@ fn main() {
                     }
                     None => {
                         let ctx = make_ctx(mem_budget, timeout_ms);
-                        execute_sql_governed(sql, &catalog, &ctx)
+                        let cfg = EngineConfig::serial().with_verify_checksums(verify);
+                        let out = execute_sql_with(sql, &catalog, &cfg, &ctx)
                             .map(|(rel, work)| (rel, work, ctx.fallbacks()))
-                            .map_err(|e| e.to_string())
+                            .map_err(|e| e.to_string());
+                        let checks = ctx.integrity_checks();
+                        if checks > 0 {
+                            shell_metrics.inc("integrity_checks_total", checks);
+                        }
+                        if matches!(&out, Err(e) if e.contains("integrity violation")) {
+                            shell_metrics.inc("integrity_failures_total", 1);
+                        }
+                        out
                     }
                 };
                 match outcome {

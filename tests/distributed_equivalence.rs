@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use wimpi::cluster::distribute::Strategy;
-use wimpi::cluster::faults::FaultPlan;
+use wimpi::cluster::faults::{FaultKind, FaultPlan};
 use wimpi::cluster::{ClusterConfig, WimpiCluster};
 use wimpi::queries::{query, run, CHOKEPOINT_QUERIES};
 use wimpi::storage::Catalog;
@@ -161,6 +161,105 @@ proptest! {
             faulted.total_seconds(),
             healthy.total_seconds()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Silent-corruption chaos: a seeded bit-flip on any node is always
+    /// detected, deterministically repaired, and the repaired answer equals
+    /// the fault-free answer bit-exactly (same Relation, not just within
+    /// tolerance — repair re-executes on clean data).
+    #[test]
+    fn seeded_bit_flips_repair_to_the_exact_fault_free_answer(
+        seed in 0u64..500,
+        nodes in 2u32..6,
+        qi in 0usize..CHOKEPOINT_QUERIES.len(),
+    ) {
+        let q = CHOKEPOINT_QUERIES[qi];
+        let mut rng = seed;
+        let mut draw = |m: u64| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) % m
+        };
+        // Q13 never touches lineitem and runs on the default executor
+        // (node 0); a flip planted elsewhere would never fire.
+        let victim = if q == 13 { 0 } else { draw(nodes as u64) as usize };
+        let chunks = draw(3) as u32 + 1;
+        let bits = draw(4) as u32 + 1;
+        let plan = FaultPlan::none()
+            .with(victim, FaultKind::BitFlip { chunks, bits_per_chunk: bits });
+        let cluster = WimpiCluster::build(ClusterConfig::new(nodes, SF)).expect("builds");
+        let healthy = cluster
+            .run(&query(q), Strategy::PartialAggPushdown)
+            .expect("fault-free runs");
+        let faulted = cluster
+            .run_with_faults(&query(q), Strategy::PartialAggPushdown, &plan)
+            .unwrap_or_else(|e| panic!("Q{q} under {plan:?} failed: {e}"));
+        // Bit-exact, not tolerance-based: the repair path re-executes on
+        // pristine columns, so even floats must match exactly.
+        prop_assert_eq!(&faulted.result, &healthy.result);
+        prop_assert!(faulted.recovery.integrity_detected >= 1, "corruption must be detected");
+        prop_assert_eq!(
+            faulted.recovery.integrity_repaired,
+            faulted.recovery.integrity_detected,
+            "every detected violation is repaired"
+        );
+        prop_assert!(!faulted.recovery.degraded);
+        prop_assert!((faulted.recovery.coverage - 1.0).abs() < 1e-12);
+        prop_assert!(
+            faulted.total_seconds() > healthy.total_seconds(),
+            "verification + repair cannot be free"
+        );
+    }
+}
+
+#[test]
+fn verified_scans_stay_bit_identical_across_thread_counts() {
+    // Scan-time verification must not perturb morsel-level determinism: with
+    // checksums on, results and work profiles are bit-identical at 1, 2, and
+    // 4 threads, and a corrupt chunk is detected at every thread count.
+    use wimpi::engine::EngineConfig;
+    use wimpi::queries::run_with;
+    use wimpi::storage::integrity::flip_bits;
+    let mut catalog = reference_catalog();
+    catalog.seal_integrity();
+    let baseline: Vec<_> = CHOKEPOINT_QUERIES
+        .iter()
+        .map(|&q| {
+            let cfg = EngineConfig::serial().with_verify_checksums(true);
+            run_with(&query(q), &catalog, &cfg)
+                .unwrap_or_else(|e| panic!("Q{q} serial verified failed: {e}"))
+        })
+        .collect();
+    for threads in [2usize, 4] {
+        for (i, &q) in CHOKEPOINT_QUERIES.iter().enumerate() {
+            let cfg = EngineConfig::with_threads(threads).with_verify_checksums(true);
+            let (rel, work) = run_with(&query(q), &catalog, &cfg)
+                .unwrap_or_else(|e| panic!("Q{q}@{threads}t verified failed: {e}"));
+            assert_eq!(rel, baseline[i].0, "Q{q}@{threads} threads: result drifted");
+            assert_eq!(work, baseline[i].1, "Q{q}@{threads} threads: work profile drifted");
+        }
+    }
+    // One flipped bit in lineitem's quantity column fails Q6 at every
+    // thread count with the same typed violation.
+    let clean = catalog.table("lineitem").expect("registered");
+    let qty = clean.schema().index_of("l_quantity").expect("column exists");
+    let rows = clean.num_rows();
+    let dirty_col = flip_bits(clean.column(qty).as_ref(), 0..rows.min(2048), 1, 0xC0FFEE);
+    let dirty = (**clean).clone().with_replaced_column(qty, dirty_col).expect("replace");
+    let mut corrupted = catalog.clone();
+    corrupted.register("lineitem", dirty);
+    for threads in [1usize, 2, 4] {
+        let cfg = EngineConfig::with_threads(threads).with_verify_checksums(true);
+        let err = run_with(&query(6), &corrupted, &cfg).expect_err("corruption must be detected");
+        match err {
+            wimpi::engine::EngineError::Integrity { table, column, .. } => {
+                assert_eq!((table.as_str(), column.as_str()), ("lineitem", "l_quantity"));
+            }
+            other => panic!("expected integrity violation at {threads} threads, got {other}"),
+        }
     }
 }
 

@@ -1,0 +1,107 @@
+//! Fused vs materializing executor on the 8 choke-point queries.
+//!
+//! Runs every choke-point query under both `Executor::Materialize` and
+//! `Executor::Fused` (same thread count, same morsel size), asserts the
+//! results are bit-identical, and reports:
+//!
+//! * measured wall seconds per executor (best of several runs) and the
+//!   host speedup — the multi-x wins on Q1/Q6/Q19 are the headline;
+//! * the materialized-bytes term (`seq_write_bytes`) under each executor —
+//!   the counter fusion collapses;
+//! * the hwsim-modeled fused gain on the Pi 3B+ and op-e5, from the two
+//!   measured work profiles ([`wimpi_hwsim::modeled_fused_gain`]) — the
+//!   machine-independent version of the same story.
+//!
+//! Defaults to SF 1; `--smoke` drops to SF 0.05 with one timing iteration
+//! for CI. Artifacts land in `results/fused.{txt,json}`.
+
+use std::time::Instant;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_engine::{EngineConfig, Executor};
+use wimpi_hwsim::{modeled_fused_gain, pi3b, profile};
+use wimpi_obs::status;
+use wimpi_queries::{query, run_with, CHOKEPOINT_QUERIES};
+use wimpi_tpch::Generator;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut args = Args::parse_with(Args { sf: 1.0, ..Args::default() });
+    let iters = if smoke {
+        args.sf = args.sf.min(0.05);
+        1
+    } else {
+        3
+    };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    status!("generating TPC-H SF {} ({} threads, best of {iters})", args.sf, threads);
+    let catalog = Generator::new(args.sf).generate_catalog().expect("catalog generates");
+    let pi = pi3b();
+    let e5 = profile("op-e5").expect("op-e5 profile exists");
+
+    let mut rows = Vec::new();
+    let mut mat_s = Vec::new();
+    let mut fused_s = Vec::new();
+    let mut speedup = Vec::new();
+    let mut mat_mb = Vec::new();
+    let mut fused_mb = Vec::new();
+    let mut pi_gain = Vec::new();
+    let mut e5_gain = Vec::new();
+
+    for qn in CHOKEPOINT_QUERIES {
+        let plan = query(qn);
+        let mut best = [f64::INFINITY; 2];
+        let mut runs = Vec::new();
+        for (ei, executor) in [Executor::Materialize, Executor::Fused].into_iter().enumerate() {
+            let cfg = EngineConfig::with_threads(threads).with_executor(executor);
+            for _ in 0..iters {
+                let start = Instant::now();
+                let (rel, prof) = run_with(&plan, &catalog, &cfg).expect("query runs");
+                best[ei] = best[ei].min(start.elapsed().as_secs_f64());
+                if runs.len() <= ei {
+                    runs.push((rel, prof));
+                }
+            }
+        }
+        let (mat, fused) = (&runs[0], &runs[1]);
+        assert_eq!(mat.0, fused.0, "Q{qn}: fused result diverged from materializing");
+        rows.push(format!("Q{qn}"));
+        mat_s.push(best[0]);
+        fused_s.push(best[1]);
+        speedup.push(best[0] / best[1]);
+        mat_mb.push(mat.1.seq_write_bytes as f64 / 1e6);
+        fused_mb.push(fused.1.seq_write_bytes as f64 / 1e6);
+        pi_gain.push(modeled_fused_gain(&pi, &mat.1, &fused.1));
+        e5_gain.push(modeled_fused_gain(&e5, &mat.1, &fused.1));
+        status!(
+            "Q{qn}: materialize {:.3}s, fused {:.3}s ({:.2}x), written bytes {} -> {}",
+            best[0],
+            best[1],
+            best[0] / best[1],
+            mat.1.seq_write_bytes,
+            fused.1.seq_write_bytes
+        );
+    }
+
+    let mut timing = TextFigure::new(
+        format!("Fused vs materializing executor (SF {}, {} threads, host s)", args.sf, threads),
+        "query",
+    );
+    timing.rows = rows.clone();
+    timing.push_series(Series::new("materialize", mat_s));
+    timing.push_series(Series::new("fused", fused_s));
+    timing.push_series(Series::new("speedup", speedup));
+
+    let mut work = TextFigure::new(
+        "Fused execution — materialized-bytes collapse and modeled gain".to_string(),
+        "query",
+    );
+    work.rows = rows;
+    work.push_series(Series::new("mat MB written", mat_mb));
+    work.push_series(Series::new("fused MB written", fused_mb));
+    work.push_series(Series::new("pi3b+ gain", pi_gain));
+    work.push_series(Series::new("op-e5 gain", e5_gain));
+
+    wimpi_bench::emit(&args, "fused", &[timing, work]);
+}

@@ -753,5 +753,34 @@ mod tests {
             ope5[2][qi],
             ope5[0][qi]
         );
+        // Compiled-fused is priced as hybrid minus the staged write stream
+        // and the per-batch dispatch, so it can never lose to hybrid…
+        for (m, name) in t.machines.iter().enumerate() {
+            for q in 0..t.queries.len() {
+                assert!(
+                    t.seconds[m][3][q] <= t.seconds[m][1][q],
+                    "fused must not lose to hybrid on {name} Q{}",
+                    t.queries[q]
+                );
+            }
+        }
+        // …and it changes the Pi-vs-Xeon story: on the Xeon, access-aware's
+        // predicate pullups keep winning the scan-heavy queries (extra
+        // column passes are free when bandwidth is abundant), but on the
+        // single-DDR2-channel Pi those passes are exactly what hurts —
+        // compiled-fused, which adds zero byte traffic over the minimum,
+        // becomes the best paradigm on strictly more queries there.
+        let fused_wins = |m: usize| {
+            (0..t.queries.len())
+                .filter(|&q| (0..3).all(|p| t.seconds[m][3][q] < t.seconds[m][p][q]))
+                .count()
+        };
+        let pi_idx = t.machines.iter().position(|n| n == "pi3b+").unwrap();
+        assert!(
+            fused_wins(pi_idx) > fused_wins(0),
+            "fusion should dominate on the bandwidth-starved Pi: {} wins there vs {} on op-e5",
+            fused_wins(pi_idx),
+            fused_wins(0)
+        );
     }
 }

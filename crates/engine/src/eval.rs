@@ -73,11 +73,11 @@ impl Float<'_> {
     }
 }
 
-const POW10: [i64; 10] =
+pub(crate) const POW10: [i64; 10] =
     [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
 
 /// Caps intermediate decimal scales; TPC-H's deepest products reach 4+2.
-const MAX_SCALE: u8 = 6;
+pub(crate) const MAX_SCALE: u8 = 6;
 
 impl<'a> Evaluator<'a> {
     /// Creates a single-threaded evaluator over `rel`.
@@ -456,7 +456,7 @@ fn fixed_scalar_any(v: &Value) -> Option<(Fixed<'static>, u8)> {
 }
 
 /// A scalar rescaled to `scale` mantissa units, if numeric.
-fn fixed_scalar(v: &Value, scale: u8) -> Option<i64> {
+pub(crate) fn fixed_scalar(v: &Value, scale: u8) -> Option<i64> {
     let (f, s) = fixed_scalar_any(v)?;
     let m = match f {
         Fixed::Const(m) => m,
@@ -486,7 +486,7 @@ fn float_view<'v>(ev: &'v Ev) -> Option<Float<'v>> {
     }
 }
 
-fn cmp_ord(op: BinOp, ord: std::cmp::Ordering) -> bool {
+pub(crate) fn cmp_ord(op: BinOp, ord: std::cmp::Ordering) -> bool {
     match op {
         BinOp::Eq => ord.is_eq(),
         BinOp::Ne => !ord.is_eq(),
@@ -515,11 +515,11 @@ fn cmp_fixed(
     })
 }
 
-fn cmp_f64(op: BinOp, a: f64, b: f64) -> bool {
+pub(crate) fn cmp_f64(op: BinOp, a: f64, b: f64) -> bool {
     cmp_ord(op, a.total_cmp(&b))
 }
 
-fn arith_f64(op: BinOp, a: f64, b: f64) -> f64 {
+pub(crate) fn arith_f64(op: BinOp, a: f64, b: f64) -> f64 {
     match op {
         BinOp::Add => a + b,
         BinOp::Sub => a - b,
@@ -577,7 +577,7 @@ fn arith_fixed(
 }
 
 /// Scalar-scalar constant folding.
-fn fold_scalar(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+pub(crate) fn fold_scalar(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
     if op.is_comparison() {
         return Ok(Value::Bool(cmp_ord(op, a.total_cmp(b))));
     }

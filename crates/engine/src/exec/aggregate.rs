@@ -7,9 +7,15 @@
 //! order and every float reduction tree depends only on the data and the
 //! morsel size — never on the thread count (bit-exact determinism; see
 //! `exec::parallel`). Decimal sums accumulate in `i128`, which is exact and
-//! order-free. `avg` over an empty group yields `0.0` — SQL would say NULL,
-//! but no reproduced query aggregates an empty group (DESIGN.md §7).
+//! order-free; `avg` over fixed-point inputs (decimal/int) likewise sums
+//! mantissas in `i128` and divides once at the end, so its value is
+//! independent of morsel boundaries too — which is what lets the fused
+//! executor (DESIGN.md §13) fold rows in base-table morsel order and still
+//! produce bit-identical averages. `avg` over an empty group yields `0.0` —
+//! SQL would say NULL, but no reproduced query aggregates an empty group
+//! (DESIGN.md §7).
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -88,7 +94,8 @@ pub fn exec_aggregate(
     // is abandoned and redone Grace-style: partition the groups by key hash
     // and build one bounded table per partition, sequentially.
     let width = 32 * (group_by.len() + aggs.len()).max(1) as u64;
-    let (first_rows, mut gstates) = match merge_partials(partials, &inputs, width, ctx) {
+    let empty_states = || inputs.iter().map(AggState::empty_like).collect();
+    let (first_rows, mut gstates) = match merge_partials(partials, &empty_states, width, ctx) {
         Some(table) => table,
         None => grace_aggregate(&ranges, &encoded, &inputs, width, ctx)?,
     };
@@ -127,19 +134,20 @@ pub fn exec_aggregate(
 /// Merges the morsel partials into one global table (in morsel order — see
 /// the module doc), growing a reservation by `width` bytes per distinct
 /// group. Returns `None` as soon as a new group no longer fits the query
-/// budget; the caller then takes the Grace-style partitioned path. The
-/// reservation is released on return either way: the table's peak is already
-/// recorded, and what survives the merge is the output itself.
-fn merge_partials(
+/// budget; the caller then takes the Grace-style partitioned path (the fused
+/// executor instead re-runs the pipeline through the materializing engine).
+/// The reservation is released on return either way: the table's peak is
+/// already recorded, and what survives the merge is the output itself.
+pub(super) fn merge_partials(
     partials: Vec<MorselAgg>,
-    inputs: &[AggInput],
+    empty_states: &dyn Fn() -> Vec<AggState>,
     width: u64,
     ctx: &QueryContext,
 ) -> Option<(Vec<u32>, Vec<AggState>)> {
     let mut guard = ctx.try_reserve(0)?;
-    let mut gmap: HashMap<Key, u32> = HashMap::new();
+    let mut gmap: KeyMap = KeyMap::default();
     let mut first_rows: Vec<u32> = Vec::new();
-    let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+    let mut gstates: Vec<AggState> = empty_states();
     for partial in partials {
         let mut gid_map: Vec<u32> = Vec::with_capacity(partial.keys.len());
         for (k, fr) in partial.keys.into_iter().zip(partial.first_rows) {
@@ -194,7 +202,7 @@ fn grace_aggregate(
         for p in 0..nparts {
             ctx.checkpoint()?;
             let mut guard = ctx.try_reserve(0).expect("an empty reservation always fits");
-            let mut gmap: HashMap<Key, u32> = HashMap::new();
+            let mut gmap: KeyMap = KeyMap::default();
             let mut first_rows: Vec<u32> = Vec::new();
             let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
             for r in ranges {
@@ -269,13 +277,89 @@ fn grace_aggregate(
     }
 }
 
-/// A group key: the common 0/1/2-column cases avoid heap allocation.
+/// Deterministic multiply-xor hasher (the FxHash construction) for the
+/// group maps: the default SipHash spends more per-row time hashing a
+/// two-slot key than the aggregation spends accumulating it. Iteration
+/// order of the maps is never observed — group order always comes from
+/// `first_rows` / insertion-ordered `keys` — so swapping the hasher cannot
+/// change any result.
+#[derive(Clone, Default)]
+struct FxBuild;
+
+impl std::hash::BuildHasher for FxBuild {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64)
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64)
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v)
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64)
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64)
+    }
+}
+
+type KeyMap = HashMap<Key, u32, FxBuild>;
+
+/// A group key: the common 0/1/2-column cases avoid heap allocation. Keys
+/// hold `key_values`-encoded slots, so the fused executor's VM (which emits
+/// the same encoding) builds identical keys from its per-morsel buffers.
 #[derive(Clone, Hash, PartialEq, Eq)]
-enum Key {
+pub(super) enum Key {
     Unit,
     One(i64),
     Two(i64, i64),
     Many(Vec<i64>),
+}
+
+impl Key {
+    /// Builds a key from one row of column-major encoded slots.
+    #[inline]
+    pub(super) fn from_slots(slots: &[Vec<i64>], i: usize) -> Key {
+        key_at(slots, i)
+    }
 }
 
 #[inline]
@@ -298,6 +382,12 @@ enum AggInput<'c> {
     I64(&'c [i64]),
     I32(&'c [i32]),
     SumF64(Vec<f64>),
+    /// `avg` over fixed-point inputs: mantissas (scale 0 for integers) summed
+    /// exactly in `i128`, divided once at finish. Order-free, so the fused
+    /// executor reproduces it bit-exactly whatever the fold boundaries.
+    AvgFixed(Cow<'c, [i64]>, u8),
+    /// `avg` over a float column: per-row f64 accumulation (morsel-order
+    /// deterministic like every float sum; the fused path falls back).
     Avg(Vec<f64>),
     MinMax(&'c Column, bool),
 }
@@ -320,7 +410,20 @@ impl<'c> AggInput<'c> {
                     )))
                 }
             },
-            AggFunc::Avg => AggInput::Avg(as_f64_vec(col.expect("checked above"))?),
+            AggFunc::Avg => match col.expect("checked above") {
+                Column::Decimal(v, s) => AggInput::AvgFixed(Cow::Borrowed(&v[..]), *s),
+                Column::Int64(v) => AggInput::AvgFixed(Cow::Borrowed(&v[..]), 0),
+                Column::Int32(v) => {
+                    AggInput::AvgFixed(Cow::Owned(v.iter().map(|&x| x as i64).collect()), 0)
+                }
+                Column::Float64(v) => AggInput::Avg(v.clone()),
+                other => {
+                    return Err(EngineError::Plan(format!(
+                        "avg over non-numeric column of type {}",
+                        other.data_type()
+                    )))
+                }
+            },
             AggFunc::Min | AggFunc::Max => {
                 AggInput::MinMax(col.expect("checked above"), func == AggFunc::Min)
             }
@@ -329,8 +432,8 @@ impl<'c> AggInput<'c> {
 }
 
 /// One morsel's thread-local partial aggregation.
-struct MorselAgg {
-    map: HashMap<Key, u32>,
+pub(super) struct MorselAgg {
+    map: KeyMap,
     keys: Vec<Key>,
     first_rows: Vec<u32>,
     states: Vec<AggState>,
@@ -338,43 +441,128 @@ struct MorselAgg {
 
 impl MorselAgg {
     fn new(inputs: &[AggInput]) -> Self {
-        Self {
-            map: HashMap::new(),
-            keys: Vec::new(),
-            first_rows: Vec::new(),
-            states: inputs.iter().map(AggState::empty_like).collect(),
-        }
+        Self::with_states(inputs.iter().map(AggState::empty_like).collect())
+    }
+
+    /// An empty partial for the fused executor's slot-fed aggregates.
+    pub(super) fn for_slots(kinds: &[SlotAgg]) -> Self {
+        Self::with_states(kinds.iter().map(|k| k.empty_state()).collect())
+    }
+
+    fn with_states(states: Vec<AggState>) -> Self {
+        Self { map: KeyMap::default(), keys: Vec::new(), first_rows: Vec::new(), states }
     }
 
     #[inline]
     fn push_row(&mut self, i: usize, encoded: &[Vec<i64>], inputs: &[AggInput]) {
-        let k = key_at(encoded, i);
-        let g = match self.map.get(&k) {
+        let g = self.group_of(key_at(encoded, i), i as u32);
+        for (st, input) in self.states.iter_mut().zip(inputs) {
+            st.push(g as usize, i, input);
+        }
+    }
+
+    /// Fused-path morsel push: one group-resolution pass over the key
+    /// buffers, then one accumulation sweep per aggregate with the state
+    /// dispatch hoisted out of the row loop. Keys are built from per-morsel
+    /// VM buffers and `rows` carries *global* base-table row ids, so merged
+    /// `first_rows` (and with them the output group order and key gathers)
+    /// are identical to the materializing path's; each state sees its rows
+    /// in the same order row-at-a-time pushing would feed them.
+    pub(super) fn push_slot_batch(
+        &mut self,
+        keybufs: &[Vec<i64>],
+        rows: &[u32],
+        aggbufs: &[Option<Vec<i64>>],
+        kinds: &[SlotAgg],
+        gids: &mut Vec<u32>,
+    ) {
+        gids.clear();
+        gids.reserve(rows.len());
+        for (vi, &row) in rows.iter().enumerate() {
+            let g = self.group_of(Key::from_slots(keybufs, vi), row);
+            gids.push(g);
+        }
+        for (st, (buf, &kind)) in self.states.iter_mut().zip(aggbufs.iter().zip(kinds)) {
+            st.push_slot_batch(gids, buf.as_deref(), kind);
+        }
+    }
+
+    #[inline]
+    fn group_of(&mut self, k: Key, row_id: u32) -> u32 {
+        match self.map.get(&k) {
             Some(&g) => g,
             None => {
                 let g = self.keys.len() as u32;
                 self.map.insert(k.clone(), g);
                 self.keys.push(k);
-                self.first_rows.push(i as u32);
+                self.first_rows.push(row_id);
                 for st in &mut self.states {
                     st.grow_to(g as usize + 1);
                 }
                 g
             }
-        };
-        for (st, input) in self.states.iter_mut().zip(inputs) {
-            st.push(g as usize, i, input);
         }
     }
 }
 
+/// How the fused executor feeds one VM-computed `i64` slot per row into an
+/// [`AggState`]. Slots carry the `key_values` encoding (decimal mantissas,
+/// bools as 0/1, …), so the states accumulate exactly the values the
+/// materializing path's typed inputs would. Aggregates without an exact
+/// slot form (float sums/avgs, min/max) are not represented — plans using
+/// them fall back to the materializing executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum SlotAgg {
+    CountStar,
+    CountIf,
+    CountDistinct,
+    SumDec(u8),
+    SumInt,
+    AvgFixed(u8),
+}
+
+impl SlotAgg {
+    /// The slot form of `func` over an input of type `dtype` (`None` for
+    /// `count(*)`); `None` means the pairing has no exact slot form.
+    pub(super) fn bind(func: AggFunc, dtype: Option<DataType>) -> Option<SlotAgg> {
+        Some(match (func, dtype) {
+            (AggFunc::CountStar, _) => SlotAgg::CountStar,
+            (AggFunc::CountIf, Some(DataType::Bool)) => SlotAgg::CountIf,
+            (AggFunc::CountDistinct, Some(_)) => SlotAgg::CountDistinct,
+            (AggFunc::Sum, Some(DataType::Decimal(s))) => SlotAgg::SumDec(s),
+            (AggFunc::Sum, Some(DataType::Int64 | DataType::Int32)) => SlotAgg::SumInt,
+            (AggFunc::Avg, Some(DataType::Decimal(s))) => SlotAgg::AvgFixed(s),
+            (AggFunc::Avg, Some(DataType::Int64 | DataType::Int32)) => SlotAgg::AvgFixed(0),
+            _ => return None,
+        })
+    }
+
+    fn empty_state(self) -> AggState {
+        match self {
+            SlotAgg::CountStar | SlotAgg::CountIf => AggState::Count(Vec::new()),
+            SlotAgg::CountDistinct => AggState::Distinct(Vec::new()),
+            SlotAgg::SumDec(s) => AggState::SumDec(Vec::new(), s),
+            SlotAgg::SumInt => AggState::SumInt(Vec::new()),
+            SlotAgg::AvgFixed(s) => {
+                AggState::AvgFixed { sum: Vec::new(), cnt: Vec::new(), scale: s }
+            }
+        }
+    }
+
+    /// Builds the empty global states for a fused aggregation.
+    pub(super) fn empty_states(kinds: &[SlotAgg]) -> Vec<AggState> {
+        kinds.iter().map(|k| k.empty_state()).collect()
+    }
+}
+
 /// Per-aggregate accumulator state, one slot per group.
-enum AggState {
+pub(super) enum AggState {
     Count(Vec<i64>),
     Distinct(Vec<HashSet<i64>>),
     SumDec(Vec<i128>, u8),
     SumInt(Vec<i64>),
     SumFloat(Vec<f64>),
+    AvgFixed { sum: Vec<i128>, cnt: Vec<i64>, scale: u8 },
     Avg { sum: Vec<f64>, cnt: Vec<i64> },
     MinMax { best: Vec<Option<Value>>, want_min: bool, dtype: DataType },
 }
@@ -388,6 +576,9 @@ impl AggState {
             AggInput::Dec(_, s) => AggState::SumDec(Vec::new(), *s),
             AggInput::I64(_) | AggInput::I32(_) => AggState::SumInt(Vec::new()),
             AggInput::SumF64(_) => AggState::SumFloat(Vec::new()),
+            AggInput::AvgFixed(_, s) => {
+                AggState::AvgFixed { sum: Vec::new(), cnt: Vec::new(), scale: *s }
+            }
             AggInput::Avg(_) => AggState::Avg { sum: Vec::new(), cnt: Vec::new() },
             AggInput::MinMax(c, want_min) => {
                 AggState::MinMax { best: Vec::new(), want_min: *want_min, dtype: c.data_type() }
@@ -395,12 +586,16 @@ impl AggState {
         }
     }
 
-    fn grow_to(&mut self, ngroups: usize) {
+    pub(super) fn grow_to(&mut self, ngroups: usize) {
         match self {
             AggState::Count(v) | AggState::SumInt(v) => v.resize(ngroups, 0),
             AggState::Distinct(v) => v.resize_with(ngroups, HashSet::new),
             AggState::SumDec(v, _) => v.resize(ngroups, 0),
             AggState::SumFloat(v) => v.resize(ngroups, 0.0),
+            AggState::AvgFixed { sum, cnt, .. } => {
+                sum.resize(ngroups, 0);
+                cnt.resize(ngroups, 0);
+            }
             AggState::Avg { sum, cnt } => {
                 sum.resize(ngroups, 0.0);
                 cnt.resize(ngroups, 0);
@@ -421,6 +616,10 @@ impl AggState {
             (AggState::SumInt(v), AggInput::I64(x)) => v[g] += x[i],
             (AggState::SumInt(v), AggInput::I32(x)) => v[g] += x[i] as i64,
             (AggState::SumFloat(v), AggInput::SumF64(x)) => v[g] += x[i],
+            (AggState::AvgFixed { sum, cnt, .. }, AggInput::AvgFixed(m, _)) => {
+                sum[g] += m[i] as i128;
+                cnt[g] += 1;
+            }
             (AggState::Avg { sum, cnt }, AggInput::Avg(x)) => {
                 sum[g] += x[i];
                 cnt[g] += 1;
@@ -430,6 +629,48 @@ impl AggState {
                 Self::consider(&mut best[g], v, *want_min);
             }
             _ => unreachable!("state/input pairing fixed at bind time"),
+        }
+    }
+
+    /// Fused-path push: one `key_values`-encoded slot per row (see
+    /// [`SlotAgg`]), swept a whole morsel at a time. Every arm accumulates
+    /// exactly what the matching [`AggInput`] arm of [`AggState::push`]
+    /// would, in the same row order.
+    fn push_slot_batch(&mut self, gids: &[u32], slots: Option<&[i64]>, kind: SlotAgg) {
+        let input = |name| slots.unwrap_or_else(|| panic!("{name} has an input column"));
+        match (self, kind) {
+            (AggState::Count(v), SlotAgg::CountStar) => {
+                for &g in gids {
+                    v[g as usize] += 1;
+                }
+            }
+            (AggState::Count(v), SlotAgg::CountIf) => {
+                for (&g, &x) in gids.iter().zip(input("count_if")) {
+                    v[g as usize] += x;
+                }
+            }
+            (AggState::Distinct(v), SlotAgg::CountDistinct) => {
+                for (&g, &x) in gids.iter().zip(input("count_distinct")) {
+                    v[g as usize].insert(x);
+                }
+            }
+            (AggState::SumDec(v, _), SlotAgg::SumDec(_)) => {
+                for (&g, &x) in gids.iter().zip(input("sum")) {
+                    v[g as usize] += x as i128;
+                }
+            }
+            (AggState::SumInt(v), SlotAgg::SumInt) => {
+                for (&g, &x) in gids.iter().zip(input("sum")) {
+                    v[g as usize] += x;
+                }
+            }
+            (AggState::AvgFixed { sum, cnt, .. }, SlotAgg::AvgFixed(_)) => {
+                for (&g, &x) in gids.iter().zip(input("avg")) {
+                    sum[g as usize] += x as i128;
+                    cnt[g as usize] += 1;
+                }
+            }
+            _ => unreachable!("state/kind pairing fixed at compile time"),
         }
     }
 
@@ -477,6 +718,15 @@ impl AggState {
                     g[gid_map[lg] as usize] += x;
                 }
             }
+            (
+                AggState::AvgFixed { sum: gs, cnt: gc, .. },
+                AggState::AvgFixed { sum: ls, cnt: lc, .. },
+            ) => {
+                for (lg, (s, c)) in ls.into_iter().zip(lc).enumerate() {
+                    gs[gid_map[lg] as usize] += s;
+                    gc[gid_map[lg] as usize] += c;
+                }
+            }
             (AggState::Avg { sum: gs, cnt: gc }, AggState::Avg { sum: ls, cnt: lc }) => {
                 for (lg, (s, c)) in ls.into_iter().zip(lc).enumerate() {
                     gs[gid_map[lg] as usize] += s;
@@ -495,7 +745,7 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> Result<Column> {
+    pub(super) fn finish(self) -> Result<Column> {
         match self {
             AggState::Count(v) | AggState::SumInt(v) => Ok(Column::Int64(v)),
             AggState::Distinct(v) => {
@@ -509,6 +759,15 @@ impl AggState {
                 Ok(Column::Decimal(out, s))
             }
             AggState::SumFloat(v) => Ok(Column::Float64(v)),
+            AggState::AvgFixed { sum, cnt, scale } => {
+                let div = crate::eval::POW10[scale as usize] as f64;
+                Ok(Column::Float64(
+                    sum.iter()
+                        .zip(&cnt)
+                        .map(|(&s, &c)| if c == 0 { 0.0 } else { (s as f64 / div) / c as f64 })
+                        .collect(),
+                ))
+            }
             AggState::Avg { sum, cnt } => Ok(Column::Float64(
                 sum.iter()
                     .zip(&cnt)
@@ -518,24 +777,6 @@ impl AggState {
             AggState::MinMax { best, dtype, .. } => column_from_values(dtype, best),
         }
     }
-}
-
-fn as_f64_vec(col: &Column) -> Result<Vec<f64>> {
-    Ok(match col {
-        Column::Float64(v) => v.clone(),
-        Column::Int64(v) => v.iter().map(|&x| x as f64).collect(),
-        Column::Int32(v) => v.iter().map(|&x| x as f64).collect(),
-        Column::Decimal(v, s) => {
-            let div = 10f64.powi(*s as i32);
-            v.iter().map(|&x| x as f64 / div).collect()
-        }
-        other => {
-            return Err(EngineError::Plan(format!(
-                "avg over non-numeric column of type {}",
-                other.data_type()
-            )))
-        }
-    })
 }
 
 /// Builds a typed column from per-group optional values (None → type default,

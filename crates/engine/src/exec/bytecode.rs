@@ -1,0 +1,1149 @@
+//! Compile-once expression bytecode for the fused executor (DESIGN.md §13).
+//!
+//! [`Program::compile`] lowers an [`Expr`] tree into a flat postfix program
+//! (`Arc<Vec<Op>>`) evaluated by a tiny stack VM, replacing the recursive
+//! column-at-a-time walks of [`crate::eval`] in the fused executor's hot
+//! loop. Every slot is an `i64` in exactly the [`super::key_values`]
+//! encoding — decimal mantissas, dictionary codes, `f64::to_bits`, widened
+//! narrow integers — so the compiled path is bit-identical per row to the
+//! materializing evaluator: same fixed-point rescale factors, same
+//! `f64` conversions (scalar constants go through [`Value::as_f64`] at
+//! compile time, just as [`crate::eval`] does at run time), same both-sides
+//! evaluation of AND/OR. String predicates compile to per-dictionary-value
+//! masks indexed by code, mirroring the evaluator's dictionary idiom.
+//!
+//! Anything the ISA cannot express — column-vs-column string comparison,
+//! `SUBSTR`, `CASE` over strings, operands the evaluator would reject —
+//! makes [`Program::compile`] return `None` and the caller falls back to
+//! the materializing path, which then either succeeds or reports the exact
+//! error the query would have produced anyway.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::eval::{self, POW10};
+use crate::expr::{BinOp, Expr};
+use crate::like::like_match;
+use crate::relation::Relation;
+use wimpi_storage::{Column, DataType, Date32, Value};
+
+/// Compile-time type of a VM slot; mirrors the column types the evaluator
+/// would materialize for the same sub-expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Raw `i64`.
+    I64,
+    /// `i32` widened to `i64`.
+    I32,
+    /// Days since epoch, widened to `i64`.
+    Date,
+    /// Decimal mantissa at the given scale.
+    Dec(u8),
+    /// `f64` carried as `to_bits() as i64`.
+    F64,
+    /// `bool` as 0/1.
+    Bool,
+    /// Dictionary code widened to `i64`.
+    Str,
+}
+
+impl Ty {
+    fn of_column(c: &Column) -> Ty {
+        match c {
+            Column::Int64(_) => Ty::I64,
+            Column::Int32(_) => Ty::I32,
+            Column::Date(_) => Ty::Date,
+            Column::Decimal(_, s) => Ty::Dec(*s),
+            Column::Float64(_) => Ty::F64,
+            Column::Bool(_) => Ty::Bool,
+            Column::Str(_) => Ty::Str,
+        }
+    }
+
+    /// The column type the evaluator would produce for this slot type.
+    pub fn data_type(self) -> DataType {
+        match self {
+            Ty::I64 => DataType::Int64,
+            Ty::I32 => DataType::Int32,
+            Ty::Date => DataType::Date,
+            Ty::Dec(s) => DataType::Decimal(s),
+            Ty::F64 => DataType::Float64,
+            Ty::Bool => DataType::Bool,
+            Ty::Str => DataType::Utf8,
+        }
+    }
+
+    /// Fixed-point scale, if this type is on the evaluator's fixed path.
+    fn fixed_scale(self) -> Option<u8> {
+        match self {
+            Ty::I64 | Ty::I32 | Ty::Date => Some(0),
+            Ty::Dec(s) => Some(s),
+            Ty::F64 | Ty::Bool | Ty::Str => None,
+        }
+    }
+
+    /// Streamed bytes per row, matching the evaluator's charge model.
+    fn width(self) -> u64 {
+        match self {
+            Ty::I64 | Ty::Dec(_) | Ty::F64 => 8,
+            Ty::I32 | Ty::Date | Ty::Str => 4,
+            Ty::Bool => 1,
+        }
+    }
+}
+
+/// One postfix VM instruction. Operands live on an `i64` stack.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push column slot (key_values encoding) for the current row.
+    Load(u16),
+    /// Push an immediate slot.
+    Const(i64),
+    /// Fixed-point comparison: pop b, a; push `cmp(a*fa, b*fb)`.
+    CmpFixed {
+        op: BinOp,
+        fa: i128,
+        fb: i128,
+    },
+    /// Fixed-point add/sub after rescaling both mantissas.
+    AddFixed {
+        fa: i64,
+        fb: i64,
+    },
+    SubFixed {
+        fa: i64,
+        fb: i64,
+    },
+    /// Fixed-point multiply; scales add.
+    MulFixed,
+    /// Fixed-point multiply whose result scale is capped: `(a*b)/div`.
+    MulFixedCapped {
+        div: i128,
+    },
+    /// Fixed-point divide: floats out, `(a/da)/(b/db)`.
+    DivFixed {
+        da: f64,
+        db: f64,
+    },
+    /// Convert a fixed slot to an f64 slot: `(m as f64) / div`.
+    FixedToF64 {
+        div: f64,
+    },
+    /// Float comparison via `total_cmp`, operands are f64 bit patterns.
+    CmpF64 {
+        op: BinOp,
+    },
+    /// Float arithmetic, operands and result are f64 bit patterns.
+    ArithF64 {
+        op: BinOp,
+    },
+    /// Boolean connectives over 0/1 slots (both sides already evaluated).
+    And,
+    Or,
+    Not,
+    /// Pop a dictionary code; push `masks[mask][code]`.
+    DictMask {
+        mask: u16,
+    },
+    /// Pop a mantissa; push `lists[list].contains(m) != negated`.
+    InFixed {
+        list: u16,
+        negated: bool,
+    },
+    /// Pop days-since-epoch; push the calendar year.
+    Year,
+    /// Pop otherwise, then, cond; push the picked branch (same repr).
+    CaseRaw,
+    /// CaseRaw for decimal branches rescaled to a common scale.
+    CaseFixed {
+        ft: i64,
+        fo: i64,
+    },
+}
+
+fn op_stack_effect(op: &Op) -> i32 {
+    match op {
+        Op::Load(_) | Op::Const(_) => 1,
+        Op::CmpFixed { .. }
+        | Op::AddFixed { .. }
+        | Op::SubFixed { .. }
+        | Op::MulFixed
+        | Op::MulFixedCapped { .. }
+        | Op::DivFixed { .. }
+        | Op::CmpF64 { .. }
+        | Op::ArithF64 { .. }
+        | Op::And
+        | Op::Or => -1,
+        Op::Not | Op::DictMask { .. } | Op::InFixed { .. } | Op::Year | Op::FixedToF64 { .. } => 0,
+        Op::CaseRaw | Op::CaseFixed { .. } => -2,
+    }
+}
+
+/// Specialized single-pass predicate forms recognized by a peephole pass,
+/// so the most common conjuncts (`col <cmp> const`, string membership,
+/// numeric IN / BETWEEN) skip interpreter dispatch entirely.
+#[derive(Debug, Clone)]
+enum Quick {
+    CmpConst { col: u16, op: BinOp, fa: i128, rhs: i128 },
+    Dict { col: u16, mask: u16 },
+    InFixed { col: u16, list: u16, negated: bool },
+    RangeFixed { col: u16, fa_lo: i128, lo: i128, fa_hi: i128, hi: i128 },
+}
+
+/// A borrowed typed view of one bound column, read per row by the VM.
+enum ColView<'a> {
+    I64(&'a [i64]),
+    I32(&'a [i32]),
+    Date(&'a [i32]),
+    Dec(&'a [i64]),
+    F64(&'a [f64]),
+    Bool(&'a [bool]),
+    Str(&'a [u32]),
+}
+
+impl ColView<'_> {
+    #[inline]
+    fn slot(&self, i: usize) -> i64 {
+        match self {
+            ColView::I64(v) | ColView::Dec(v) => v[i],
+            ColView::I32(v) | ColView::Date(v) => v[i] as i64,
+            ColView::F64(v) => v[i].to_bits() as i64,
+            ColView::Bool(v) => v[i] as i64,
+            ColView::Str(v) => v[i] as i64,
+        }
+    }
+}
+
+/// The row set one batch evaluation runs over: a dense morsel range or the
+/// surviving rows of an upstream selection vector.
+enum Rows<'a> {
+    Dense(std::ops::Range<usize>),
+    Sparse(&'a [u32]),
+}
+
+impl Rows<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Dense(r) => r.len(),
+            Rows::Sparse(s) => s.len(),
+        }
+    }
+}
+
+/// One vectorized VM stack entry: a scalar constant, or a pooled buffer
+/// holding the value for every row in the batch.
+enum Slot {
+    S(i64),
+    V(Vec<i64>),
+}
+
+impl Slot {
+    #[inline]
+    fn at(&self, j: usize) -> i64 {
+        match self {
+            Slot::S(k) => *k,
+            Slot::V(v) => v[j],
+        }
+    }
+
+    fn free(self) {
+        if let Slot::V(v) = self {
+            put_slots(v);
+        }
+    }
+}
+
+/// Gathers one column into slot encoding for a whole batch, with the column
+/// variant matched once outside the copy loop.
+fn load_batch(view: &ColView, rows: &Rows, out: &mut Vec<i64>) {
+    out.clear();
+    out.reserve(rows.len());
+    macro_rules! go {
+        ($v:ident, $x:ident, $conv:expr) => {
+            match rows {
+                Rows::Dense(r) => out.extend($v[r.clone()].iter().map(|&$x| $conv)),
+                Rows::Sparse(s) => out.extend(s.iter().map(|&i| {
+                    let $x = $v[i as usize];
+                    $conv
+                })),
+            }
+        };
+    }
+    match view {
+        ColView::I64(v) | ColView::Dec(v) => go!(v, x, x),
+        ColView::I32(v) | ColView::Date(v) => go!(v, x, x as i64),
+        ColView::F64(v) => go!(v, x, x.to_bits() as i64),
+        ColView::Bool(v) => go!(v, x, x as i64),
+        ColView::Str(v) => go!(v, x, x as i64),
+    }
+}
+
+/// Vectorized three-way select (`CaseRaw` / `CaseFixed`): pops otherwise,
+/// then, and condition, pushing the per-row select with the `CaseFixed`
+/// rescale factors applied to whichever branch was taken.
+fn case_batch(stack: &mut Vec<Slot>, ft: i64, fo: i64) {
+    let o = stack.pop().expect("stack");
+    let t = stack.pop().expect("stack");
+    let c = stack.pop().expect("stack");
+    let out = match c {
+        Slot::S(c0) => {
+            let (keep, drop, f) = if c0 != 0 { (t, o, ft) } else { (o, t, fo) };
+            drop.free();
+            match keep {
+                Slot::S(k) => Slot::S(k * f),
+                Slot::V(mut v) => {
+                    if f != 1 {
+                        for p in v.iter_mut() {
+                            *p *= f;
+                        }
+                    }
+                    Slot::V(v)
+                }
+            }
+        }
+        Slot::V(mut cv) => {
+            for (j, c) in cv.iter_mut().enumerate() {
+                *c = if *c != 0 { t.at(j) * ft } else { o.at(j) * fo };
+            }
+            t.free();
+            o.free();
+            Slot::V(cv)
+        }
+    };
+    stack.push(out);
+}
+
+/// A compiled expression: postfix ops plus the constant pools and column
+/// bindings they index. Compiled once per query, shared across workers.
+pub struct Program {
+    ops: Arc<Vec<Op>>,
+    cols: Vec<Arc<Column>>,
+    masks: Vec<Vec<bool>>,
+    lists: Vec<Vec<i64>>,
+    out: Ty,
+    max_stack: usize,
+    quick: Option<Quick>,
+}
+
+/// Result of compiling one sub-expression: a (possibly empty) op fragment
+/// plus what it leaves behind — a constant the evaluator would fold, or a
+/// typed slot on the stack.
+struct Frag {
+    ops: Vec<Op>,
+    out: Out,
+}
+
+enum Out {
+    Scalar(Value),
+    Col(Ty),
+}
+
+impl Frag {
+    fn scalar(v: Value) -> Frag {
+        Frag { ops: Vec::new(), out: Out::Scalar(v) }
+    }
+    fn is_str(&self) -> bool {
+        matches!(self.out, Out::Col(Ty::Str)) || matches!(&self.out, Out::Scalar(Value::Str(_)))
+    }
+}
+
+struct Compiler<'r> {
+    rel: &'r Relation,
+    cols: Vec<(String, Arc<Column>)>,
+    masks: Vec<Vec<bool>>,
+    lists: Vec<Vec<i64>>,
+}
+
+impl<'r> Compiler<'r> {
+    fn col_index(&mut self, name: &str) -> Option<(u16, Ty)> {
+        if let Some(i) = self.cols.iter().position(|(n, _)| n == name) {
+            return Some((i as u16, Ty::of_column(&self.cols[i].1)));
+        }
+        let c = Arc::clone(self.rel.column(name).ok()?);
+        let ty = Ty::of_column(&c);
+        let i = self.cols.len();
+        if i > u16::MAX as usize {
+            return None;
+        }
+        self.cols.push((name.to_string(), c));
+        Some((i as u16, ty))
+    }
+
+    /// Materializes a scalar as a constant slot, mirroring how the
+    /// evaluator's `Column::repeat` would type it.
+    fn emit_scalar(ops: &mut Vec<Op>, v: &Value) -> Option<Ty> {
+        let (slot, ty) = match v {
+            Value::I64(x) => (*x, Ty::I64),
+            Value::I32(x) => (*x as i64, Ty::I32),
+            Value::Date(d) => (d.0 as i64, Ty::Date),
+            Value::Dec(d) => (d.mantissa(), Ty::Dec(d.scale())),
+            Value::Bool(b) => (*b as i64, Ty::Bool),
+            Value::F64(f) => (f.to_bits() as i64, Ty::F64),
+            Value::Str(_) => return None,
+        };
+        ops.push(Op::Const(slot));
+        Some(ty)
+    }
+
+    /// Forces a fragment into an emitted slot (materializing scalars).
+    fn to_slot(frag: Frag) -> Option<(Vec<Op>, Ty)> {
+        match frag.out {
+            Out::Col(ty) => Some((frag.ops, ty)),
+            Out::Scalar(v) => {
+                let mut ops = frag.ops;
+                let ty = Self::emit_scalar(&mut ops, &v)?;
+                Some((ops, ty))
+            }
+        }
+    }
+
+    /// Appends the conversion the evaluator's `float_view` applies, if any.
+    fn to_f64_slot(frag: Frag) -> Option<Vec<Op>> {
+        match frag.out {
+            Out::Scalar(v) => {
+                let f = v.as_f64()?;
+                let mut ops = frag.ops;
+                ops.push(Op::Const(f.to_bits() as i64));
+                Some(ops)
+            }
+            Out::Col(ty) => {
+                let mut ops = frag.ops;
+                match ty {
+                    Ty::F64 => {}
+                    Ty::I64 | Ty::I32 => ops.push(Op::FixedToF64 { div: 1.0 }),
+                    Ty::Dec(s) => ops.push(Op::FixedToF64 { div: POW10[s as usize] as f64 }),
+                    // `float_view` has no Date/Bool/Str conversion: the
+                    // evaluator errors here, so the fused path falls back.
+                    Ty::Date | Ty::Bool | Ty::Str => return None,
+                }
+                Some(ops)
+            }
+        }
+    }
+
+    fn compile(&mut self, e: &Expr) -> Option<Frag> {
+        match e {
+            Expr::Col(name) => {
+                let (i, ty) = self.col_index(name)?;
+                Some(Frag { ops: vec![Op::Load(i)], out: Out::Col(ty) })
+            }
+            Expr::Lit(v) => Some(Frag::scalar(v.clone())),
+            Expr::Bin { op, left, right } => self.compile_bin(*op, left, right),
+            Expr::Not(inner) => {
+                let f = self.compile(inner)?;
+                match f.out {
+                    Out::Scalar(Value::Bool(b)) => Some(Frag::scalar(Value::Bool(!b))),
+                    Out::Scalar(_) => None,
+                    Out::Col(Ty::Bool) => {
+                        let mut ops = f.ops;
+                        ops.push(Op::Not);
+                        Some(Frag { ops, out: Out::Col(Ty::Bool) })
+                    }
+                    Out::Col(_) => None,
+                }
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let f = self.compile(expr)?;
+                match f.out {
+                    Out::Scalar(Value::Str(s)) => {
+                        Some(Frag::scalar(Value::Bool(like_match(&s, pattern) != *negated)))
+                    }
+                    Out::Scalar(_) => None,
+                    Out::Col(Ty::Str) => {
+                        self.dict_predicate(f.ops, |v| like_match(v, pattern) != *negated)
+                    }
+                    Out::Col(_) => None,
+                }
+            }
+            Expr::InList { expr, list, negated } => self.compile_in(expr, list, *negated),
+            Expr::Between { expr, low, high } => {
+                // Same desugaring as the evaluator: expr >= low AND expr <= high.
+                let desugared = (*expr.clone())
+                    .gte(Expr::Lit(low.clone()))
+                    .and((*expr.clone()).lte(Expr::Lit(high.clone())));
+                self.compile(&desugared)
+            }
+            Expr::Case { when, then, otherwise } => self.compile_case(when, then, otherwise),
+            Expr::ExtractYear(inner) => {
+                let f = self.compile(inner)?;
+                let (mut ops, ty) = Self::to_slot(f)?;
+                if ty != Ty::Date {
+                    return None;
+                }
+                ops.push(Op::Year);
+                Some(Frag { ops, out: Out::Col(Ty::I32) })
+            }
+            Expr::Substr { .. } => None,
+        }
+    }
+
+    /// Compiles a dictionary-mask predicate over a `Str` slot. The ops must
+    /// end in the `Load` of the string column (the only Str producer), whose
+    /// dictionary the mask is computed against at compile time.
+    fn dict_predicate(&mut self, ops: Vec<Op>, pred: impl Fn(&str) -> bool) -> Option<Frag> {
+        let col = match ops.last() {
+            Some(Op::Load(i)) => *i,
+            _ => return None,
+        };
+        let dict = self.cols[col as usize].1.as_str().ok()?;
+        let mask: Vec<bool> = dict.values().iter().map(|v| pred(v)).collect();
+        let m = self.masks.len();
+        if m > u16::MAX as usize {
+            return None;
+        }
+        self.masks.push(mask);
+        let mut ops = ops;
+        ops.push(Op::DictMask { mask: m as u16 });
+        Some(Frag { ops, out: Out::Col(Ty::Bool) })
+    }
+
+    fn compile_bin(&mut self, op: BinOp, l: &Expr, r: &Expr) -> Option<Frag> {
+        let lf = self.compile(l)?;
+        let rf = self.compile(r)?;
+        if op.is_logical() {
+            return Self::assemble_logical(op, lf, rf);
+        }
+        // Scalar-scalar folds exactly as the evaluator folds.
+        if let (Out::Scalar(a), Out::Scalar(b)) = (&lf.out, &rf.out) {
+            return Some(Frag::scalar(eval::fold_scalar(op, a, b).ok()?));
+        }
+        if lf.is_str() || rf.is_str() {
+            return self.assemble_str_cmp(op, lf, rf);
+        }
+        self.assemble_numeric(op, lf, rf)
+    }
+
+    fn assemble_logical(op: BinOp, lf: Frag, rf: Frag) -> Option<Frag> {
+        let to_bool = |f: Frag| -> Option<Vec<Op>> {
+            match f.out {
+                Out::Scalar(Value::Bool(b)) => {
+                    let mut ops = f.ops;
+                    ops.push(Op::Const(b as i64));
+                    Some(ops)
+                }
+                Out::Scalar(_) => None,
+                Out::Col(Ty::Bool) => Some(f.ops),
+                Out::Col(_) => None,
+            }
+        };
+        let mut ops = to_bool(lf)?;
+        ops.extend(to_bool(rf)?);
+        ops.push(if op == BinOp::And { Op::And } else { Op::Or });
+        Some(Frag { ops, out: Out::Col(Ty::Bool) })
+    }
+
+    fn assemble_str_cmp(&mut self, op: BinOp, lf: Frag, rf: Frag) -> Option<Frag> {
+        // Only column-vs-scalar string comparison compiles; column-vs-column
+        // (row-wise decode) and str-vs-non-str (an evaluator error) fall back.
+        let (col_frag, scalar, flipped) = match (&lf.out, &rf.out) {
+            (Out::Col(Ty::Str), Out::Scalar(Value::Str(s))) => (lf.ops, s.clone(), false),
+            (Out::Scalar(Value::Str(s)), Out::Col(Ty::Str)) => {
+                let s = s.clone();
+                (rf.ops, s, true)
+            }
+            _ => return None,
+        };
+        self.dict_predicate(col_frag, |v| {
+            let ord = if flipped { scalar.as_str().cmp(v) } else { v.cmp(scalar.as_str()) };
+            eval::cmp_ord(op, ord)
+        })
+    }
+
+    fn assemble_numeric(&mut self, op: BinOp, lf: Frag, rf: Frag) -> Option<Frag> {
+        let fixed_of = |out: &Out| -> Option<u8> {
+            match out {
+                Out::Col(ty) => ty.fixed_scale(),
+                Out::Scalar(v) => match v {
+                    Value::I64(_) | Value::I32(_) | Value::Date(_) => Some(0),
+                    Value::Dec(d) => Some(d.scale()),
+                    _ => None,
+                },
+            }
+        };
+        if let (Some(sa), Some(sb)) = (fixed_of(&lf.out), fixed_of(&rf.out)) {
+            // Fixed-point fast path, same rescale factors as the evaluator.
+            let (lops, _) = Self::to_slot(lf)?;
+            let (rops, _) = Self::to_slot(rf)?;
+            let mut ops = lops;
+            ops.extend(rops);
+            let s = sa.max(sb);
+            let (out, opcode) = if op.is_comparison() {
+                let fa = POW10[(s - sa) as usize] as i128;
+                let fb = POW10[(s - sb) as usize] as i128;
+                (Ty::Bool, Op::CmpFixed { op, fa, fb })
+            } else {
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        let fa = POW10[(s - sa) as usize];
+                        let fb = POW10[(s - sb) as usize];
+                        let opc = if op == BinOp::Add {
+                            Op::AddFixed { fa, fb }
+                        } else {
+                            Op::SubFixed { fa, fb }
+                        };
+                        (Ty::Dec(s), opc)
+                    }
+                    BinOp::Mul => {
+                        let s = sa + sb;
+                        if s > eval::MAX_SCALE {
+                            let div = POW10[(s - eval::MAX_SCALE) as usize] as i128;
+                            (Ty::Dec(eval::MAX_SCALE), Op::MulFixedCapped { div })
+                        } else {
+                            (Ty::Dec(s), Op::MulFixed)
+                        }
+                    }
+                    BinOp::Div => {
+                        let da = POW10[sa as usize] as f64;
+                        let db = POW10[sb as usize] as f64;
+                        (Ty::F64, Op::DivFixed { da, db })
+                    }
+                    _ => unreachable!("logical ops handled earlier"),
+                }
+            };
+            ops.push(opcode);
+            return Some(Frag { ops, out: Out::Col(out) });
+        }
+        // Float fallback path.
+        let mut ops = Self::to_f64_slot(lf)?;
+        ops.extend(Self::to_f64_slot(rf)?);
+        let out = if op.is_comparison() {
+            ops.push(Op::CmpF64 { op });
+            Ty::Bool
+        } else {
+            ops.push(Op::ArithF64 { op });
+            Ty::F64
+        };
+        Some(Frag { ops, out: Out::Col(out) })
+    }
+
+    fn compile_in(&mut self, expr: &Expr, list: &[Value], negated: bool) -> Option<Frag> {
+        let f = self.compile(expr)?;
+        match f.out {
+            Out::Scalar(s) => Some(Frag::scalar(Value::Bool(list.contains(&s) != negated))),
+            Out::Col(Ty::Str) => {
+                let wanted: Vec<&str> = list.iter().filter_map(|v| v.as_str()).collect();
+                if wanted.len() != list.len() {
+                    return None; // evaluator: "IN list type mismatch"
+                }
+                self.dict_predicate(f.ops, |v| wanted.contains(&v) != negated)
+            }
+            Out::Col(ty) => {
+                let scale = ty.fixed_scale()?;
+                let wanted: Vec<i64> =
+                    list.iter().map(|l| eval::fixed_scalar(l, scale)).collect::<Option<_>>()?;
+                let li = self.lists.len();
+                if li > u16::MAX as usize {
+                    return None;
+                }
+                self.lists.push(wanted);
+                let mut ops = f.ops;
+                ops.push(Op::InFixed { list: li as u16, negated });
+                Some(Frag { ops, out: Out::Col(Ty::Bool) })
+            }
+        }
+    }
+
+    fn compile_case(&mut self, when: &Expr, then: &Expr, otherwise: &Expr) -> Option<Frag> {
+        let wf = self.compile(when)?;
+        let (wops, wty) = Self::to_slot(wf)?;
+        if wty != Ty::Bool {
+            return None;
+        }
+        let tf = self.compile(then)?;
+        let of = self.compile(otherwise)?;
+        let (tops, tt) = Self::to_slot(tf)?;
+        let (oops, to) = Self::to_slot(of)?;
+        let mut ops = wops;
+        let (out, tail) = match (tt, to) {
+            (Ty::Dec(sa), Ty::Dec(sb)) => {
+                let s = sa.max(sb);
+                let ft = POW10[(s - sa) as usize];
+                let fo = POW10[(s - sb) as usize];
+                ops.extend(tops);
+                ops.extend(oops);
+                (Ty::Dec(s), Op::CaseFixed { ft, fo })
+            }
+            (Ty::I64, Ty::I64) => {
+                ops.extend(tops);
+                ops.extend(oops);
+                (Ty::I64, Op::CaseRaw)
+            }
+            (Ty::F64, Ty::F64) => {
+                ops.extend(tops);
+                ops.extend(oops);
+                (Ty::F64, Op::CaseRaw)
+            }
+            _ => {
+                // Mixed numeric branches fall back to floats, like eval_case.
+                ops.extend(Self::to_f64_slot(Frag { ops: tops, out: Out::Col(tt) })?);
+                ops.extend(Self::to_f64_slot(Frag { ops: oops, out: Out::Col(to) })?);
+                (Ty::F64, Op::CaseRaw)
+            }
+        };
+        ops.push(tail);
+        Some(Frag { ops, out: Out::Col(out) })
+    }
+}
+
+impl Program {
+    /// Compiles `expr` against `rel`'s schema, or returns `None` when the
+    /// expression needs a fallback to the materializing evaluator.
+    pub fn compile(expr: &Expr, rel: &Relation) -> Option<Program> {
+        let mut c = Compiler { rel, cols: Vec::new(), masks: Vec::new(), lists: Vec::new() };
+        let frag = c.compile(expr)?;
+        let (ops, out) = Compiler::to_slot(frag)?;
+        let mut depth = 0i32;
+        let mut max_stack = 0i32;
+        for op in &ops {
+            depth += op_stack_effect(op);
+            max_stack = max_stack.max(depth);
+        }
+        debug_assert_eq!(depth, 1, "a program leaves exactly one slot");
+        let quick = Self::peephole(&ops);
+        Some(Program {
+            ops: Arc::new(ops),
+            cols: c.cols.into_iter().map(|(_, c)| c).collect(),
+            masks: c.masks,
+            lists: c.lists,
+            out,
+            max_stack: max_stack.max(1) as usize,
+            quick,
+        })
+    }
+
+    fn peephole(ops: &[Op]) -> Option<Quick> {
+        match ops {
+            [Op::Load(c), Op::Const(k), Op::CmpFixed { op, fa, fb }] => {
+                Some(Quick::CmpConst { col: *c, op: *op, fa: *fa, rhs: *k as i128 * fb })
+            }
+            [Op::Load(c), Op::DictMask { mask }] => Some(Quick::Dict { col: *c, mask: *mask }),
+            [Op::Load(c), Op::InFixed { list, negated }] => {
+                Some(Quick::InFixed { col: *c, list: *list, negated: *negated })
+            }
+            [Op::Load(c), Op::Const(lo), Op::CmpFixed { op: BinOp::Ge, fa: fa_lo, fb: fb_lo }, Op::Load(c2), Op::Const(hi), Op::CmpFixed { op: BinOp::Le, fa: fa_hi, fb: fb_hi }, Op::And]
+                if c == c2 =>
+            {
+                Some(Quick::RangeFixed {
+                    col: *c,
+                    fa_lo: *fa_lo,
+                    lo: *lo as i128 * fb_lo,
+                    fa_hi: *fa_hi,
+                    hi: *hi as i128 * fb_hi,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Output slot type.
+    pub fn out(&self) -> Ty {
+        self.out
+    }
+
+    /// `Some(b)` when the whole program folded to the boolean constant `b`
+    /// (e.g. a literal-only conjunct). The fused filter drops constant-true
+    /// conjuncts and short-circuits the morsel loop on constant-false.
+    pub fn const_bool(&self) -> Option<bool> {
+        match (self.ops.as_slice(), self.out) {
+            ([Op::Const(k)], Ty::Bool) => Some(*k != 0),
+            _ => None,
+        }
+    }
+
+    /// Streamed bytes per row across the distinct columns this program
+    /// reads — the fused executor's per-conjunct charge width.
+    pub fn width_bytes(&self) -> u64 {
+        self.cols.iter().map(|c| Ty::of_column(c).width()).sum()
+    }
+
+    /// Number of distinct columns read.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn views(&self) -> Vec<ColView<'_>> {
+        self.cols
+            .iter()
+            .map(|c| match &**c {
+                Column::Int64(v) => ColView::I64(v),
+                Column::Int32(v) => ColView::I32(v),
+                Column::Date(v) => ColView::Date(v),
+                Column::Decimal(v, _) => ColView::Dec(v),
+                Column::Float64(v) => ColView::F64(v),
+                Column::Bool(v) => ColView::Bool(v),
+                Column::Str(d) => ColView::Str(d.codes()),
+            })
+            .collect()
+    }
+
+    /// Evaluates the whole program column-at-a-time over one row set: every
+    /// opcode runs one tight loop over the batch before the next dispatches,
+    /// so interpreter overhead is paid per (op, morsel) instead of per
+    /// (op, row). Scalar operands stay scalar (`Slot::S`) — a `x * (1 - d)`
+    /// program touches no constant vectors — and vector operands are folded
+    /// in place, so a program allocates nothing in steady state beyond its
+    /// pooled `Load` buffers. The per-element arithmetic is identical to the
+    /// old row VM, which is what keeps the result bit-exact.
+    fn eval_batch(&self, views: &[ColView], rows: &Rows) -> Slot {
+        let mut stack: Vec<Slot> = Vec::with_capacity(self.max_stack);
+
+        macro_rules! bin {
+            (|$a:ident, $b:ident| $body:expr) => {{
+                let rhs = stack.pop().expect("stack");
+                let lhs = stack.pop().expect("stack");
+                let out = match (lhs, rhs) {
+                    (Slot::S($a), Slot::S($b)) => Slot::S($body),
+                    (Slot::V(mut av), Slot::S($b)) => {
+                        for p in av.iter_mut() {
+                            let $a = *p;
+                            *p = $body;
+                        }
+                        Slot::V(av)
+                    }
+                    (Slot::S($a), Slot::V(mut bv)) => {
+                        for p in bv.iter_mut() {
+                            let $b = *p;
+                            *p = $body;
+                        }
+                        Slot::V(bv)
+                    }
+                    (Slot::V(mut av), Slot::V(bv)) => {
+                        for (p, &$b) in av.iter_mut().zip(&bv) {
+                            let $a = *p;
+                            *p = $body;
+                        }
+                        put_slots(bv);
+                        Slot::V(av)
+                    }
+                };
+                stack.push(out);
+            }};
+        }
+        macro_rules! un {
+            (|$a:ident| $body:expr) => {{
+                let out = match stack.pop().expect("stack") {
+                    Slot::S($a) => Slot::S($body),
+                    Slot::V(mut av) => {
+                        for p in av.iter_mut() {
+                            let $a = *p;
+                            *p = $body;
+                        }
+                        Slot::V(av)
+                    }
+                };
+                stack.push(out);
+            }};
+        }
+
+        for op in self.ops.iter() {
+            match op {
+                Op::Load(c) => {
+                    let mut buf = take_slots();
+                    load_batch(&views[*c as usize], rows, &mut buf);
+                    stack.push(Slot::V(buf));
+                }
+                Op::Const(k) => stack.push(Slot::S(*k)),
+                Op::CmpFixed { op, fa, fb } => {
+                    let (op, fa, fb) = (*op, *fa, *fb);
+                    if fa == 1 && fb == 1 {
+                        bin!(|a, b| eval::cmp_ord(op, a.cmp(&b)) as i64)
+                    } else {
+                        bin!(|a, b| eval::cmp_ord(op, (a as i128 * fa).cmp(&(b as i128 * fb)))
+                            as i64)
+                    }
+                }
+                Op::AddFixed { fa, fb } => {
+                    let (fa, fb) = (*fa, *fb);
+                    bin!(|a, b| a * fa + b * fb)
+                }
+                Op::SubFixed { fa, fb } => {
+                    let (fa, fb) = (*fa, *fb);
+                    bin!(|a, b| a * fa - b * fb)
+                }
+                Op::MulFixed => bin!(|a, b| a * b),
+                Op::MulFixedCapped { div } => {
+                    let div = *div;
+                    bin!(|a, b| (a as i128 * b as i128 / div) as i64)
+                }
+                Op::DivFixed { da, db } => {
+                    let (da, db) = (*da, *db);
+                    bin!(|a, b| ((a as f64 / da) / (b as f64 / db)).to_bits() as i64)
+                }
+                Op::FixedToF64 { div } => {
+                    let div = *div;
+                    un!(|a| (a as f64 / div).to_bits() as i64)
+                }
+                Op::CmpF64 { op } => {
+                    let op = *op;
+                    bin!(|a, b| eval::cmp_f64(
+                        op,
+                        f64::from_bits(a as u64),
+                        f64::from_bits(b as u64)
+                    ) as i64)
+                }
+                Op::ArithF64 { op } => {
+                    let op = *op;
+                    bin!(|a, b| eval::arith_f64(
+                        op,
+                        f64::from_bits(a as u64),
+                        f64::from_bits(b as u64)
+                    )
+                    .to_bits() as i64)
+                }
+                Op::And => bin!(|a, b| ((a != 0) && (b != 0)) as i64),
+                Op::Or => bin!(|a, b| ((a != 0) || (b != 0)) as i64),
+                Op::Not => un!(|a| (a == 0) as i64),
+                Op::DictMask { mask } => {
+                    let m = &self.masks[*mask as usize];
+                    un!(|a| m[a as usize] as i64)
+                }
+                Op::InFixed { list, negated } => {
+                    let (l, neg) = (&self.lists[*list as usize], *negated);
+                    un!(|a| (l.contains(&a) != neg) as i64)
+                }
+                Op::Year => un!(|a| Date32(a as i32).year() as i64),
+                Op::CaseRaw => case_batch(&mut stack, 1, 1),
+                Op::CaseFixed { ft, fo } => case_batch(&mut stack, *ft, *fo),
+            }
+        }
+        stack.pop().expect("program leaves one slot")
+    }
+
+    /// Runs a boolean program over a dense row range, appending survivors.
+    /// Panics in debug if the program's output is not boolean.
+    pub fn filter_range(&self, range: std::ops::Range<usize>, sel: &mut Vec<u32>) {
+        debug_assert_eq!(self.out, Ty::Bool);
+        let views = self.views();
+        let rows = Rows::Dense(range);
+        match &self.quick {
+            Some(q) => self.quick_filter(q, &views, &rows, sel),
+            None => self.slow_filter(&views, &rows, sel),
+        }
+    }
+
+    /// Runs a boolean program over candidate rows, appending survivors.
+    pub fn filter_sel(&self, cand: &[u32], out: &mut Vec<u32>) {
+        debug_assert_eq!(self.out, Ty::Bool);
+        let views = self.views();
+        let rows = Rows::Sparse(cand);
+        match &self.quick {
+            Some(q) => self.quick_filter(q, &views, &rows, out),
+            None => self.slow_filter(&views, &rows, out),
+        }
+    }
+
+    /// General filter: batch-evaluate the program, then sweep the boolean
+    /// slots for survivors.
+    fn slow_filter(&self, views: &[ColView], rows: &Rows, out: &mut Vec<u32>) {
+        match self.eval_batch(views, rows) {
+            Slot::S(k) => {
+                if k != 0 {
+                    match rows {
+                        Rows::Dense(r) => out.extend(r.clone().map(|i| i as u32)),
+                        Rows::Sparse(s) => out.extend_from_slice(s),
+                    }
+                }
+            }
+            Slot::V(v) => {
+                let start = out.len();
+                out.resize(start + v.len(), 0);
+                let dst = &mut out[start..];
+                let mut k = 0usize;
+                match rows {
+                    Rows::Dense(r) => {
+                        for (j, i) in r.clone().enumerate() {
+                            dst[k] = i as u32;
+                            k += (v[j] != 0) as usize;
+                        }
+                    }
+                    Rows::Sparse(s) => {
+                        for (j, &i) in s.iter().enumerate() {
+                            dst[k] = i;
+                            k += (v[j] != 0) as usize;
+                        }
+                    }
+                }
+                out.truncate(start + k);
+                put_slots(v);
+            }
+        }
+    }
+
+    /// Single-pass filters with the column variant matched *outside* the
+    /// loop: the common conjuncts (date range scans, dictionary membership)
+    /// run as branch-per-row compares over native slices, with the i128
+    /// rescale path kept only for mixed-scale decimal comparisons.
+    fn quick_filter(&self, q: &Quick, views: &[ColView], rows: &Rows, out: &mut Vec<u32>) {
+        // Branch-free compaction: the candidate row id is written
+        // unconditionally and the cursor advances by the predicate's truth
+        // value, so a 30%-selectivity conjunct costs no mispredicts. The
+        // over-provisioned tail is truncated away afterwards.
+        macro_rules! keep {
+            (|$i:ident| $pred:expr) => {{
+                let start = out.len();
+                match rows {
+                    Rows::Dense(r) => {
+                        out.resize(start + r.len(), 0);
+                        let dst = &mut out[start..];
+                        let mut k = 0usize;
+                        for $i in r.clone() {
+                            dst[k] = $i as u32;
+                            k += ($pred) as usize;
+                        }
+                        out.truncate(start + k);
+                    }
+                    Rows::Sparse(s) => {
+                        out.resize(start + s.len(), 0);
+                        let dst = &mut out[start..];
+                        let mut k = 0usize;
+                        for &row in *s {
+                            let $i = row as usize;
+                            dst[k] = row;
+                            k += ($pred) as usize;
+                        }
+                        out.truncate(start + k);
+                    }
+                }
+            }};
+        }
+        match q {
+            Quick::CmpConst { col, op, fa, rhs } => {
+                let v = &views[*col as usize];
+                let (op, fa, rhs) = (*op, *fa, *rhs);
+                if fa == 1 {
+                    if let Ok(r) = i64::try_from(rhs) {
+                        match v {
+                            ColView::I64(x) | ColView::Dec(x) => {
+                                return keep!(|i| eval::cmp_ord(op, x[i].cmp(&r)));
+                            }
+                            ColView::I32(x) | ColView::Date(x) => {
+                                return keep!(|i| eval::cmp_ord(op, (x[i] as i64).cmp(&r)));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                keep!(|i| eval::cmp_ord(op, (v.slot(i) as i128 * fa).cmp(&rhs)))
+            }
+            Quick::Dict { col, mask } => {
+                let m = &self.masks[*mask as usize];
+                match &views[*col as usize] {
+                    ColView::Str(codes) => keep!(|i| m[codes[i] as usize]),
+                    v => keep!(|i| m[v.slot(i) as usize]),
+                }
+            }
+            Quick::InFixed { col, list, negated } => {
+                let v = &views[*col as usize];
+                let l = &self.lists[*list as usize];
+                let neg = *negated;
+                keep!(|i| l.contains(&v.slot(i)) != neg)
+            }
+            Quick::RangeFixed { col, fa_lo, lo, fa_hi, hi } => {
+                let v = &views[*col as usize];
+                let (fa_lo, lo, fa_hi, hi) = (*fa_lo, *lo, *fa_hi, *hi);
+                if fa_lo == 1 && fa_hi == 1 {
+                    if let (Ok(lo), Ok(hi)) = (i64::try_from(lo), i64::try_from(hi)) {
+                        match v {
+                            ColView::I64(x) | ColView::Dec(x) => {
+                                return keep!(|i| {
+                                    let m = x[i];
+                                    m >= lo && m <= hi
+                                });
+                            }
+                            ColView::I32(x) | ColView::Date(x) => {
+                                return keep!(|i| {
+                                    let m = x[i] as i64;
+                                    m >= lo && m <= hi
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                keep!(|i| {
+                    let m = v.slot(i) as i128;
+                    m * fa_lo >= lo && m * fa_hi <= hi
+                })
+            }
+        }
+    }
+
+    /// Evaluates the program at each selected row into `out` slots.
+    pub fn eval_sel(&self, sel: &[u32], out: &mut Vec<i64>) {
+        let views = self.views();
+        // Single-op column references skip the interpreter entirely.
+        if let [Op::Load(c)] = self.ops.as_slice() {
+            load_batch(&views[*c as usize], &Rows::Sparse(sel), out);
+            return;
+        }
+        match self.eval_batch(&views, &Rows::Sparse(sel)) {
+            Slot::S(k) => {
+                out.clear();
+                out.resize(sel.len(), k);
+            }
+            Slot::V(mut v) => {
+                std::mem::swap(out, &mut v);
+                put_slots(v);
+            }
+        }
+    }
+
+    /// Builds the column the materializing evaluator would have produced
+    /// from per-row slots; `None` for string outputs (dictionary codes
+    /// alone cannot rebuild a column — callers gather the source instead).
+    pub fn column_from_slots(&self, slots: Vec<i64>) -> Option<Column> {
+        Some(match self.out {
+            Ty::I64 => Column::Int64(slots),
+            Ty::I32 => Column::Int32(slots.into_iter().map(|x| x as i32).collect()),
+            Ty::Date => Column::Date(slots.into_iter().map(|x| x as i32).collect()),
+            Ty::Dec(s) => Column::Decimal(slots, s),
+            Ty::F64 => {
+                Column::Float64(slots.into_iter().map(|x| f64::from_bits(x as u64)).collect())
+            }
+            Ty::Bool => Column::Bool(slots.into_iter().map(|x| x != 0).collect()),
+            Ty::Str => return None,
+        })
+    }
+
+    /// Evaluates the full column (test hook for the bytecode-vs-evaluator
+    /// property tests); `None` for string outputs.
+    pub fn eval_full(&self, num_rows: usize) -> Option<Column> {
+        let sel: Vec<u32> = (0..num_rows as u32).collect();
+        let mut slots = Vec::new();
+        self.eval_sel(&sel, &mut slots);
+        self.column_from_slots(slots)
+    }
+}
+
+thread_local! {
+    /// Reusable VM stacks and slot buffers, so per-morsel evaluation does
+    /// not allocate in steady state (same idiom as the selection-vector
+    /// scratch pool in `wimpi-storage`).
+    static STACKS: RefCell<Vec<Vec<i64>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_stack(cap: usize) -> Vec<i64> {
+    let mut s = STACKS.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    s.clear();
+    s.reserve(cap);
+    s
+}
+
+fn put_stack(s: Vec<i64>) {
+    STACKS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(s);
+        }
+    });
+}
+
+/// Takes a reusable `i64` slot buffer from the thread-local pool.
+pub(crate) fn take_slots() -> Vec<i64> {
+    take_stack(0)
+}
+
+/// Returns a slot buffer to the thread-local pool.
+pub(crate) fn put_slots(v: Vec<i64>) {
+    put_stack(v);
+}

@@ -93,12 +93,16 @@ pub fn exec_filter(
                 prof.seq_write_bytes += sub.stream_bytes() as u64;
                 prof.cpu_ops += candidates.len() as u64;
                 Evaluator::with_config(&sub, prof, *cfg).eval_mask(&conjunct).map(|mask| {
-                    let mut kept = Vec::with_capacity(candidates.len());
+                    // Recycled thread-local buffer: the conjunct loop would
+                    // otherwise allocate a fresh survivor list per conjunct.
+                    let mut kept = selection::take_scratch();
+                    kept.reserve(candidates.len());
                     for (&i, &m) in candidates.iter().zip(&mask) {
                         if m {
                             kept.push(i);
                         }
                     }
+                    selection::put_scratch(candidates);
                     kept
                 })
             }
@@ -112,6 +116,7 @@ pub fn exec_filter(
     let sel = sel.unwrap_or_default();
     let out = rel.take(&sel);
     charge_gather(rel, &out, sel.len(), prof);
+    selection::put_scratch(sel);
     Ok(out)
 }
 

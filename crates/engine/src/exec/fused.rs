@@ -1,0 +1,634 @@
+//! Fused morsel-at-a-time execution (DESIGN.md §13).
+//!
+//! The materializing interpreter runs scan → filter → eval → aggregate as
+//! separate full-column passes, paying memory bandwidth — the scarcest
+//! resource on a wimpy node — for every intermediate. The fused executor
+//! collapses that pipeline: each worker walks one morsel of the *base*
+//! relation, evaluates the filter conjuncts into a reusable selection
+//! vector (candidate-propagating, like the materializing filter, but per
+//! morsel and without gathering sub-relations), evaluates group-key and
+//! aggregate-input expressions with compiled [`bytecode::Program`]s over
+//! the survivors, and folds the rows straight into a thread-local
+//! [`MorselAgg`] partial. Partials merge in morsel-index order — the same
+//! merge as the materializing aggregate — so results are bit-identical to
+//! the materializing executor at any thread count.
+//!
+//! Determinism argument: morsel boundaries depend only on the row count and
+//! morsel size; each partial sees exactly the rows of its morsel in row
+//! order; `first_rows` hold *global* base-table row ids, so the merged
+//! group order (first appearance) and every accumulator value match the
+//! materializing path's, whose partials over the filtered relation see the
+//! same rows in the same relative order. The VM emits `key_values`-encoded
+//! slots and [`SlotAgg`] accumulators mirror [`aggregate`]'s exact-arithmetic
+//! states, so no float is combined in a different order than before.
+//!
+//! Fallback rules: plan shapes or expressions the bytecode compiler cannot
+//! express (joins inside the pipeline stay as a materialized source; string
+//! column-vs-column compares, `SUBSTR`, float sums/avgs, min/max) run the
+//! materializing operators in place over the already-executed source —
+//! transparently, with identical results, errors, and charges to
+//! `Executor::Materialize`. A budget too small for the merged group table
+//! takes the same fallback, which then Grace-partitions exactly like the
+//! materializing aggregate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use super::aggregate::{self, MorselAgg, SlotAgg};
+use super::bytecode::{self, Program};
+use super::parallel::{morsel_ranges, run_morsels, run_morsels_spanned, EngineConfig};
+use super::{ensure_u32_indexable, expr_sketch, filter};
+use crate::error::Result;
+use crate::expr::{BinOp, Expr};
+use crate::governor::QueryContext;
+use crate::optimizer::split_conjuncts;
+use crate::plan::{AggExpr, AggFunc, LogicalPlan};
+use crate::relation::Relation;
+use crate::stats::WorkProfile;
+use wimpi_obs::{Span, Tracer};
+use wimpi_storage::{selection, Column};
+
+/// One compiled group key: the program computing its slots, plus the source
+/// column when the key is a plain column reference (its output is then a
+/// direct gather of the base column — bit-identical to the materializing
+/// take-of-filtered-take, including shared string dictionaries).
+struct KeyPlan {
+    prog: Program,
+    source: Option<Arc<Column>>,
+}
+
+/// One compiled filter conjunct. A top-level OR compiles to its disjuncts'
+/// separate AND-chains so the filter can cascade: each disjunct's own most
+/// selective conjunct (often a single-pass `Quick` form) prunes candidates
+/// before the wider arms are touched, instead of every arm evaluating over
+/// every row the way one flat program would.
+enum Pred {
+    One(Program),
+    /// Disjuncts, each an AND-chain of programs; a row survives when any
+    /// chain passes it.
+    AnyOf(Vec<Vec<Program>>),
+}
+
+impl Pred {
+    fn filter_range(&self, r: std::ops::Range<usize>, out: &mut Vec<u32>) {
+        match self {
+            Pred::One(p) => p.filter_range(r, out),
+            Pred::AnyOf(chains) => {
+                let mut cand = selection::take_scratch();
+                cand.extend(r.map(|i| i as u32));
+                or_cascade(chains, &cand, out);
+                selection::put_scratch(cand);
+            }
+        }
+    }
+
+    fn filter_sel(&self, cand: &[u32], out: &mut Vec<u32>) {
+        match self {
+            Pred::One(p) => p.filter_sel(cand, out),
+            Pred::AnyOf(chains) => or_cascade(chains, cand, out),
+        }
+    }
+
+    /// Bytes-per-row pricing: the flat program's width — the materializing
+    /// evaluator reads every arm for every row, and the charge model stays
+    /// invariant to how the cascade happened to prune.
+    fn width_bytes(&self) -> u64 {
+        match self {
+            Pred::One(p) => p.width_bytes(),
+            Pred::AnyOf(chains) => chains.iter().flatten().map(Program::width_bytes).sum(),
+        }
+    }
+}
+
+/// Runs each disjunct's AND-chain over the candidates not yet accepted,
+/// unioning survivors. Disjunct sets are disjoint by construction (later
+/// chains only see rows earlier chains rejected), so sorting the
+/// concatenation restores ascending row order — exactly the rows a flat
+/// evaluation of the OR would keep.
+fn or_cascade(chains: &[Vec<Program>], cand: &[u32], out: &mut Vec<u32>) {
+    let mut remaining = selection::take_scratch();
+    remaining.extend_from_slice(cand);
+    let mut pass = selection::take_scratch();
+    let mut tmp = selection::take_scratch();
+    let start = out.len();
+    for chain in chains {
+        if remaining.is_empty() {
+            break;
+        }
+        pass.clear();
+        chain[0].filter_sel(&remaining, &mut pass);
+        for conj in &chain[1..] {
+            if pass.is_empty() {
+                break;
+            }
+            tmp.clear();
+            conj.filter_sel(&pass, &mut tmp);
+            std::mem::swap(&mut pass, &mut tmp);
+        }
+        if pass.is_empty() {
+            continue;
+        }
+        // remaining -= pass (both ascending).
+        tmp.clear();
+        let mut pi = 0;
+        for &row in remaining.iter() {
+            if pi < pass.len() && pass[pi] == row {
+                pi += 1;
+            } else {
+                tmp.push(row);
+            }
+        }
+        std::mem::swap(&mut remaining, &mut tmp);
+        out.extend_from_slice(&pass);
+    }
+    out[start..].sort_unstable();
+    selection::put_scratch(remaining);
+    selection::put_scratch(pass);
+    selection::put_scratch(tmp);
+}
+
+/// Splits an OR tree into disjuncts (mirror of `split_conjuncts`).
+fn split_disjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Bin { op: BinOp::Or, left, right } => {
+            split_disjuncts(left, out);
+            split_disjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// A conjunct after compilation: constant-folded away, or an executable
+/// predicate.
+enum Compiled {
+    ConstTrue,
+    ConstFalse,
+    Pred(Pred),
+}
+
+/// Compiles one already-split conjunct, recognizing top-level OR chains.
+/// `None` means some sub-expression needs the materializing fallback.
+fn compile_conjunct(c: &Expr, src: &Relation) -> Option<Compiled> {
+    let mut disjuncts = Vec::new();
+    split_disjuncts(c, &mut disjuncts);
+    if disjuncts.len() > 1 {
+        let mut chains = Vec::new();
+        for d in &disjuncts {
+            let mut parts = Vec::new();
+            split_conjuncts(d.clone(), &mut parts);
+            let mut chain = Vec::new();
+            let mut dead = false;
+            for p in parts {
+                let prog = Program::compile(&p, src)?;
+                if prog.out() != bytecode::Ty::Bool {
+                    return None;
+                }
+                match prog.const_bool() {
+                    Some(true) => {}
+                    Some(false) => {
+                        dead = true;
+                        break;
+                    }
+                    None => chain.push(prog),
+                }
+            }
+            if dead {
+                continue; // a constant-false arm never accepts anything
+            }
+            if chain.is_empty() {
+                return Some(Compiled::ConstTrue); // a constant-true arm accepts everything
+            }
+            chains.push(chain);
+        }
+        return Some(if chains.is_empty() {
+            Compiled::ConstFalse
+        } else {
+            Compiled::Pred(Pred::AnyOf(chains))
+        });
+    }
+    let prog = Program::compile(c, src)?;
+    if prog.out() != bytecode::Ty::Bool {
+        return None;
+    }
+    Some(match prog.const_bool() {
+        Some(true) => Compiled::ConstTrue,
+        Some(false) => Compiled::ConstFalse,
+        None => Compiled::Pred(Pred::One(prog)),
+    })
+}
+
+/// A fully compiled scan→filter→eval→aggregate pipeline.
+struct Pipeline {
+    /// Filter conjuncts in execution order (innermost filter first), with
+    /// constant-true conjuncts dropped at compile time.
+    conjuncts: Vec<Pred>,
+    /// A conjunct folded to constant false: no row survives.
+    const_false: bool,
+    keys: Vec<KeyPlan>,
+    /// One program per aggregate input; `None` for `count(*)`.
+    agg_progs: Vec<Option<Program>>,
+    kinds: Vec<SlotAgg>,
+}
+
+impl Pipeline {
+    /// Compiles the filters, keys, and aggregate inputs against the source
+    /// relation; `None` means the shape needs the materializing fallback.
+    fn compile(
+        filters: &[&Expr],
+        group_by: &[(Expr, String)],
+        aggs: &[AggExpr],
+        src: &Relation,
+    ) -> Option<Pipeline> {
+        let mut conjuncts = Vec::new();
+        let mut const_false = false;
+        for f in filters {
+            let mut parts = Vec::new();
+            split_conjuncts((*f).clone(), &mut parts);
+            for c in parts {
+                match compile_conjunct(&c, src)? {
+                    Compiled::ConstTrue => {}
+                    Compiled::ConstFalse => const_false = true,
+                    Compiled::Pred(p) => conjuncts.push(p),
+                }
+            }
+        }
+        let mut keys = Vec::with_capacity(group_by.len());
+        for (e, _) in group_by {
+            let prog = Program::compile(e, src)?;
+            let source = match e {
+                Expr::Col(name) => Some(Arc::clone(src.column(name).ok()?)),
+                _ => None,
+            };
+            if source.is_none() && prog.out() == bytecode::Ty::Str {
+                return None; // computed string keys cannot be rebuilt from slots
+            }
+            keys.push(KeyPlan { prog, source });
+        }
+        let mut agg_progs = Vec::with_capacity(aggs.len());
+        let mut kinds = Vec::with_capacity(aggs.len());
+        for agg in aggs {
+            match (&agg.expr, agg.func) {
+                (None, AggFunc::CountStar) => {
+                    agg_progs.push(None);
+                    kinds.push(SlotAgg::CountStar);
+                }
+                (Some(e), func) if func != AggFunc::CountStar => {
+                    let prog = Program::compile(e, src)?;
+                    let kind = SlotAgg::bind(func, Some(prog.out().data_type()))?;
+                    agg_progs.push(Some(prog));
+                    kinds.push(kind);
+                }
+                _ => return None, // malformed pairing: let the evaluator report it
+            }
+        }
+        Some(Pipeline { conjuncts, const_false, keys, agg_progs, kinds })
+    }
+}
+
+/// Executes an `Aggregate` node (and the chain of `Filter`s beneath it) as
+/// one fused pipeline over the materialized source. Called from the
+/// interpreter's `Aggregate` arm when `cfg.executor == Executor::Fused`; the
+/// enclosing span (op `fused`) is already open.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn exec_fused(
+    input: &LogicalPlan,
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+    catalog: &wimpi_storage::Catalog,
+    prof: &mut WorkProfile,
+    cfg: &EngineConfig,
+    tracer: &Tracer,
+    ctx: &QueryContext,
+) -> Result<(u64, Relation)> {
+    // Peel the filter chain; everything below it (scan, joins, …) executes
+    // through the materializing interpreter and becomes the fused source.
+    let mut filters: Vec<&Expr> = Vec::new();
+    let mut src_plan = input;
+    while let LogicalPlan::Filter { input, predicate } = src_plan {
+        filters.push(predicate);
+        src_plan = input;
+    }
+    filters.reverse(); // innermost (first-executed) conjuncts first
+    let src = super::exec_node(src_plan, catalog, prof, cfg, tracer, ctx)?;
+    let rows_in = src.num_rows() as u64;
+    ensure_u32_indexable(src.num_rows(), "fused")?;
+
+    let pipe = match Pipeline::compile(&filters, group_by, aggs, &src) {
+        Some(p) => p,
+        None => return materializing_tail(src, &filters, group_by, aggs, prof, cfg, tracer, ctx),
+    };
+
+    let n = src.num_rows();
+    let nconj = pipe.conjuncts.len();
+    let naggs = aggs.len();
+    let sink = tracer.morsel_sink();
+    let stage_started = tracer.is_enabled().then(Instant::now);
+    let ranges = morsel_ranges(n, cfg.morsel_rows);
+    let results = run_morsels_spanned(cfg, &ranges, &sink, |_, r| {
+        let mut partial = MorselAgg::for_slots(&pipe.kinds);
+        let mut examined = vec![0u64; nconj];
+        if ctx.interrupted() {
+            return (partial, examined, 0u64);
+        }
+        // Filter stage: candidate propagation through a recycled selection
+        // vector, no intermediate columns.
+        let mut sel = selection::take_scratch();
+        if !pipe.const_false {
+            match pipe.conjuncts.split_first() {
+                None => sel.extend(r.clone().map(|i| i as u32)),
+                Some((first, rest)) => {
+                    examined[0] = r.len() as u64;
+                    first.filter_range(r.clone(), &mut sel);
+                    for (k, conj) in rest.iter().enumerate() {
+                        examined[k + 1] = sel.len() as u64;
+                        if sel.is_empty() {
+                            break;
+                        }
+                        let mut next = selection::take_scratch();
+                        conj.filter_sel(&sel, &mut next);
+                        selection::put_scratch(std::mem::replace(&mut sel, next));
+                    }
+                }
+            }
+        }
+        let nsel = sel.len() as u64;
+        // Eval + fold stage: run each program once over the survivors, then
+        // push rows into the morsel-local table keyed by *global* row ids.
+        let mut keybufs: Vec<Vec<i64>> = Vec::with_capacity(pipe.keys.len());
+        for kp in &pipe.keys {
+            let mut buf = bytecode::take_slots();
+            kp.prog.eval_sel(&sel, &mut buf);
+            keybufs.push(buf);
+        }
+        let mut aggbufs: Vec<Option<Vec<i64>>> = Vec::with_capacity(naggs);
+        for prog in &pipe.agg_progs {
+            aggbufs.push(prog.as_ref().map(|p| {
+                let mut buf = bytecode::take_slots();
+                p.eval_sel(&sel, &mut buf);
+                buf
+            }));
+        }
+        let mut gids = selection::take_scratch();
+        partial.push_slot_batch(&keybufs, &sel, &aggbufs, &pipe.kinds, &mut gids);
+        selection::put_scratch(gids);
+        for buf in keybufs {
+            bytecode::put_slots(buf);
+        }
+        for buf in aggbufs.into_iter().flatten() {
+            bytecode::put_slots(buf);
+        }
+        selection::put_scratch(sel);
+        (partial, examined, nsel)
+    });
+    ctx.checkpoint()?;
+
+    let mut partials = Vec::with_capacity(results.len());
+    let mut examined = vec![0u64; nconj];
+    let mut nsel = 0u64;
+    for (p, ex, ns) in results {
+        partials.push(p);
+        for (total, morsel) in examined.iter_mut().zip(ex) {
+            *total += morsel;
+        }
+        nsel += ns;
+    }
+
+    let width = 32 * (group_by.len() + aggs.len()).max(1) as u64;
+    let empty_states = || SlotAgg::empty_states(&pipe.kinds);
+    let (first_rows, mut gstates) =
+        match aggregate::merge_partials(partials, &empty_states, width, ctx) {
+            Some(table) => table,
+            // Budget too small for the merged table: rerun through the
+            // materializing operators, whose aggregate Grace-partitions under
+            // the same budget (deterministically) before erroring.
+            None => {
+                return materializing_tail(src, &filters, group_by, aggs, prof, cfg, tracer, ctx)
+            }
+        };
+    let ngroups = if group_by.is_empty() { 1 } else { first_rows.len() };
+    for st in &mut gstates {
+        st.grow_to(ngroups);
+    }
+
+    if let Some(started) = stage_started {
+        let mut pred = Span::leaf("predicates", format!("{nconj} conjuncts"));
+        pred.rows_in = n as u64;
+        pred.rows_out = nsel;
+        tracer.attach(pred);
+        let mut stage = Span::leaf("partials", "");
+        stage.rows_in = nsel;
+        stage.rows_out = ngroups as u64;
+        stage.wall_ns = started.elapsed().as_nanos() as u64;
+        stage.children = sink.into_spans();
+        tracer.attach(stage);
+    }
+
+    // Charges, computed from globally summed per-morsel counts so they are
+    // invariant to thread count and identical whichever worker ran what.
+    // The headline difference from the materializing path: conjuncts and
+    // expression programs read their base columns but *write nothing* — the
+    // intermediate seq_write_bytes term collapses to just the output.
+    for (k, conj) in pipe.conjuncts.iter().enumerate() {
+        prof.cpu_ops += examined[k];
+        prof.seq_read_bytes += examined[k] * conj.width_bytes();
+    }
+    for kp in &pipe.keys {
+        prof.cpu_ops += nsel;
+        prof.seq_read_bytes += nsel * kp.prog.width_bytes();
+    }
+    for prog in pipe.agg_progs.iter().flatten() {
+        prof.cpu_ops += nsel;
+        prof.seq_read_bytes += nsel * prog.width_bytes();
+    }
+    prof.cpu_ops += nsel * (1 + naggs as u64);
+    prof.rand_accesses += nsel;
+    prof.hash_bytes += ngroups as u64 * width;
+    for kind in &pipe.kinds {
+        if *kind == SlotAgg::CountDistinct {
+            prof.rand_accesses += nsel;
+        }
+    }
+
+    // Materialize the output: key columns gather the base relation at the
+    // groups' first rows (or re-run the key program at just those rows),
+    // aggregate columns come straight from the merged states.
+    let mut out_fields: Vec<(String, Arc<Column>)> =
+        Vec::with_capacity(group_by.len() + aggs.len());
+    for (kp, (_, name)) in pipe.keys.iter().zip(group_by) {
+        let col = match &kp.source {
+            Some(c) => c.take(&first_rows),
+            None => {
+                let mut slots = Vec::new();
+                kp.prog.eval_sel(&first_rows, &mut slots);
+                kp.prog.column_from_slots(slots).expect("non-string checked at compile")
+            }
+        };
+        out_fields.push((name.clone(), Arc::new(col)));
+    }
+    for (agg, st) in aggs.iter().zip(gstates) {
+        out_fields.push((agg.name.clone(), Arc::new(st.finish()?)));
+    }
+    prof.seq_write_bytes += out_fields.iter().map(|(_, c)| c.stream_bytes() as u64).sum::<u64>();
+    Ok((rows_in, Relation::new(out_fields)?))
+}
+
+/// The transparent fallback: run the peeled filters and the aggregate
+/// through the materializing operators, in place, over the already-executed
+/// source — reproducing `Executor::Materialize`'s results, errors, charges,
+/// and governor behavior exactly. Each operator gets its own child span
+/// inside the open `fused` span, plus a `fallback` marker leaf.
+#[allow(clippy::too_many_arguments)]
+fn materializing_tail(
+    src: Relation,
+    filters: &[&Expr],
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+    prof: &mut WorkProfile,
+    cfg: &EngineConfig,
+    tracer: &Tracer,
+    ctx: &QueryContext,
+) -> Result<(u64, Relation)> {
+    let rows_in = src.num_rows() as u64;
+    let traced = tracer.is_enabled();
+    if traced {
+        tracer.attach(Span::leaf("fallback", "materializing path"));
+    }
+    let mut rel = src;
+    for f in filters {
+        ctx.checkpoint()?;
+        if traced {
+            tracer.push("filter", &expr_sketch(f));
+        }
+        let before = *prof;
+        let fin = rel.num_rows() as u64;
+        let out = match filter::exec_filter(&rel, f, prof, cfg, tracer, ctx) {
+            Ok(out) => out,
+            Err(e) => {
+                if traced {
+                    tracer.pop(0, 0, Vec::new());
+                }
+                return Err(e);
+            }
+        };
+        ctx.track(out.stream_bytes() as u64);
+        prof.peak_bytes = prof.peak_bytes.max(ctx.high_water());
+        if traced {
+            tracer.pop(fin, out.num_rows() as u64, prof.delta_since(&before).counter_pairs());
+        }
+        rel = out;
+    }
+    ctx.checkpoint()?;
+    if traced {
+        tracer.push("aggregate", &format!("{} keys, {} aggs", group_by.len(), aggs.len()));
+    }
+    let before = *prof;
+    let fin = rel.num_rows() as u64;
+    match aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg, tracer, ctx) {
+        Ok(out) => {
+            if traced {
+                tracer.pop(fin, out.num_rows() as u64, prof.delta_since(&before).counter_pairs());
+            }
+            // The enclosing exec_node wrapper tracks the output and ratchets
+            // the peak, exactly as it would for a materializing Aggregate.
+            Ok((rows_in, out))
+        }
+        Err(e) => {
+            if traced {
+                tracer.pop(0, 0, Vec::new());
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Bytecode-compiled standalone filter, used for `Filter` nodes that are not
+/// consumed by a fused aggregate (e.g. below a join). Candidates propagate
+/// through recycled per-morsel selection vectors and the surviving rows are
+/// gathered exactly once, instead of the materializing path's per-conjunct
+/// mask columns and sub-relation gathers. Results are bit-identical; the
+/// profile drops the intermediate write traffic. Falls back to the
+/// materializing filter when any conjunct fails to compile.
+pub(super) fn exec_filter_fused(
+    rel: &Relation,
+    predicate: &Expr,
+    prof: &mut WorkProfile,
+    cfg: &EngineConfig,
+    tracer: &Tracer,
+    ctx: &QueryContext,
+) -> Result<Relation> {
+    ensure_u32_indexable(rel.num_rows(), "filter")?;
+    let mut parts = Vec::new();
+    split_conjuncts(predicate.clone(), &mut parts);
+    let mut conjuncts = Vec::new();
+    let mut const_false = false;
+    let compiled = parts.iter().try_for_each(|c| {
+        match compile_conjunct(c, rel)? {
+            Compiled::ConstTrue => {}
+            Compiled::ConstFalse => const_false = true,
+            Compiled::Pred(p) => conjuncts.push(p),
+        }
+        Some(())
+    });
+    if compiled.is_none() {
+        if tracer.is_enabled() {
+            tracer.attach(Span::leaf("fallback", "materializing path"));
+        }
+        return filter::exec_filter(rel, predicate, prof, cfg, tracer, ctx);
+    }
+
+    let n = rel.num_rows();
+    let nconj = conjuncts.len();
+    let traced = tracer.is_enabled();
+    let started = traced.then(Instant::now);
+    let ranges = morsel_ranges(n, cfg.morsel_rows);
+    let results = run_morsels(cfg, &ranges, |_, r| {
+        let mut examined = vec![0u64; nconj];
+        let mut sel = selection::take_scratch();
+        if ctx.interrupted() || const_false {
+            return (sel, examined);
+        }
+        match conjuncts.split_first() {
+            None => sel.extend(r.clone().map(|i| i as u32)),
+            Some((first, rest)) => {
+                examined[0] = r.len() as u64;
+                first.filter_range(r.clone(), &mut sel);
+                for (k, conj) in rest.iter().enumerate() {
+                    examined[k + 1] = sel.len() as u64;
+                    if sel.is_empty() {
+                        break;
+                    }
+                    let mut next = selection::take_scratch();
+                    conj.filter_sel(&sel, &mut next);
+                    selection::put_scratch(std::mem::replace(&mut sel, next));
+                }
+            }
+        }
+        (sel, examined)
+    });
+    ctx.checkpoint()?;
+    let mut sel: Vec<u32> = Vec::new();
+    let mut examined = vec![0u64; nconj];
+    for (morsel_sel, ex) in results {
+        sel.extend_from_slice(&morsel_sel);
+        selection::put_scratch(morsel_sel);
+        for (total, morsel) in examined.iter_mut().zip(ex) {
+            *total += morsel;
+        }
+    }
+    for (k, conj) in conjuncts.iter().enumerate() {
+        prof.cpu_ops += examined[k];
+        prof.seq_read_bytes += examined[k] * conj.width_bytes();
+    }
+    if traced {
+        let mut pred = Span::leaf("predicates", format!("{nconj} conjuncts"));
+        pred.rows_in = n as u64;
+        pred.rows_out = sel.len() as u64;
+        if let Some(started) = started {
+            pred.wall_ns = started.elapsed().as_nanos() as u64;
+        }
+        tracer.attach(pred);
+    }
+    let out = rel.take(&sel);
+    filter::charge_gather(rel, &out, sel.len(), prof);
+    Ok(out)
+}

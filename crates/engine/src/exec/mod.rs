@@ -11,7 +11,9 @@
 //! trace call to a branch on a `None`.
 
 pub mod aggregate;
+pub mod bytecode;
 pub mod filter;
+mod fused;
 pub mod join;
 pub mod parallel;
 pub mod sort;
@@ -23,7 +25,7 @@ use crate::governor::QueryContext;
 use crate::plan::LogicalPlan;
 use crate::relation::Relation;
 use crate::stats::WorkProfile;
-use parallel::EngineConfig;
+use parallel::{EngineConfig, Executor};
 use wimpi_obs::{Span, Tracer};
 use wimpi_storage::Catalog;
 
@@ -114,7 +116,7 @@ pub(crate) fn exec_node(
         finish_node(plan, &rel, prof, ctx);
         return Ok(rel);
     }
-    let (op, label) = span_head(plan);
+    let (op, label) = span_head(plan, cfg);
     tracer.push(op, &label);
     let before = *prof;
     match exec_node_inner(plan, catalog, prof, cfg, tracer, ctx) {
@@ -167,7 +169,12 @@ fn exec_node_inner(
         LogicalPlan::Filter { input, predicate } => {
             let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = rel.num_rows() as u64;
-            Ok((rows_in, filter::exec_filter(&rel, predicate, prof, cfg, tracer, ctx)?))
+            let out = if cfg.executor == Executor::Fused {
+                fused::exec_filter_fused(&rel, predicate, prof, cfg, tracer, ctx)?
+            } else {
+                filter::exec_filter(&rel, predicate, prof, cfg, tracer, ctx)?
+            };
+            Ok((rows_in, out))
         }
         LogicalPlan::Project { input, exprs } => {
             let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
@@ -197,6 +204,9 @@ fn exec_node_inner(
             Ok((rows_in, join::exec_join(&l, &r, on, *join_type, prof, cfg, tracer, ctx)?))
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
+            if cfg.executor == Executor::Fused {
+                return fused::exec_fused(input, group_by, aggs, catalog, prof, cfg, tracer, ctx);
+            }
             let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = rel.num_rows() as u64;
             Ok((rows_in, aggregate::exec_aggregate(&rel, group_by, aggs, prof, cfg, tracer, ctx)?))
@@ -276,8 +286,10 @@ fn verify_scan(
 }
 
 /// Span `(op, label)` for a plan node. Labels are short human sketches —
-/// table names, predicate/key summaries — not full expression dumps.
-fn span_head(plan: &LogicalPlan) -> (&'static str, String) {
+/// table names, predicate/key summaries — not full expression dumps. A fused
+/// aggregate announces itself as `fused`: the span covers the whole peeled
+/// scan→filter→eval→aggregate pipeline, not just the aggregation.
+fn span_head(plan: &LogicalPlan, cfg: &EngineConfig) -> (&'static str, String) {
     match plan {
         LogicalPlan::Scan { table, .. } => ("scan", table.clone()),
         LogicalPlan::Filter { predicate, .. } => ("filter", expr_sketch(predicate)),
@@ -287,7 +299,8 @@ fn span_head(plan: &LogicalPlan) -> (&'static str, String) {
             ("join", format!("{join_type:?} {}", keys.join(",")))
         }
         LogicalPlan::Aggregate { group_by, aggs, .. } => {
-            ("aggregate", format!("{} keys, {} aggs", group_by.len(), aggs.len()))
+            let op = if cfg.executor == Executor::Fused { "fused" } else { "aggregate" };
+            (op, format!("{} keys, {} aggs", group_by.len(), aggs.len()))
         }
         LogicalPlan::Sort { keys, .. } => {
             let ks: Vec<String> = keys

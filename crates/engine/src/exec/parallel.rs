@@ -25,6 +25,32 @@ use std::sync::Mutex;
 
 pub use wimpi_storage::morsel::{morsel_ranges, DEFAULT_MORSEL_ROWS};
 
+/// Which executor runs the query pipeline (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Column-at-a-time: every operator fully materializes its output
+    /// columns before the next one runs (the MonetDB style the engine
+    /// started with).
+    #[default]
+    Materialize,
+    /// Morsel-at-a-time fusion: scan→filter→eval→aggregate pipelines run
+    /// per morsel with compiled expression bytecode and no intermediate
+    /// column materialization. Plan shapes the fused path does not cover
+    /// fall back to [`Executor::Materialize`] transparently — results are
+    /// bit-identical either way.
+    Fused,
+}
+
+impl Executor {
+    /// The knob's name in `SET executor = …` / trace labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Executor::Materialize => "materialize",
+            Executor::Fused => "fused",
+        }
+    }
+}
+
 /// Execution-wide knobs for the morsel-driven engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -41,24 +67,44 @@ pub struct EngineConfig {
     /// first mismatch (DESIGN.md §12). Off by default and zero-cost when
     /// off, like the tracer: one branch per scan, no per-row work.
     pub verify_checksums: bool,
+    /// Which executor runs supported pipelines (DESIGN.md §13). Defaults to
+    /// the materializing engine; [`Executor::Fused`] opts eligible
+    /// aggregate-over-filter pipelines into morsel-at-a-time fusion with
+    /// compiled bytecode, falling back transparently everywhere else.
+    pub executor: Executor,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { threads, morsel_rows: DEFAULT_MORSEL_ROWS, verify_checksums: false }
+        Self {
+            threads,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            verify_checksums: false,
+            executor: Executor::Materialize,
+        }
     }
 }
 
 impl EngineConfig {
     /// Single-threaded execution (the pre-parallel engine, exactly).
     pub fn serial() -> Self {
-        Self { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS, verify_checksums: false }
+        Self {
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            verify_checksums: false,
+            executor: Executor::Materialize,
+        }
     }
 
     /// A config with `threads` workers and the default morsel size.
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS, verify_checksums: false }
+        Self {
+            threads: threads.max(1),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            verify_checksums: false,
+            executor: Executor::Materialize,
+        }
     }
 
     /// Overrides the morsel size (mainly for tests, which shrink it to
@@ -71,6 +117,12 @@ impl EngineConfig {
     /// Enables (or disables) scan-time checksum verification.
     pub fn with_verify_checksums(mut self, verify: bool) -> Self {
         self.verify_checksums = verify;
+        self
+    }
+
+    /// Selects the executor for supported pipelines.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 }

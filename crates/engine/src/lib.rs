@@ -20,7 +20,7 @@ pub mod service;
 pub mod stats;
 
 pub use error::{EngineError, Result};
-pub use exec::parallel::EngineConfig;
+pub use exec::parallel::{EngineConfig, Executor};
 pub use exec::{execute, execute_governed, execute_traced, execute_traced_governed, execute_with};
 pub use expr::{col, date, dec2, lit, Expr};
 pub use governor::{BudgetParseError, CancelToken, MemoryReservation, QueryContext, Reservation};

@@ -100,6 +100,18 @@ pub fn modeled_speedup(hw: &HwProfile, work: &WorkProfile, threads: u32) -> f64 
     predict(hw, work, 1).total_s() / predict(hw, work, threads).total_s()
 }
 
+/// Modeled speedup the fused executor buys over the materializing one on
+/// `hw`, all cores: the ratio of predicted runtimes for the two measured
+/// [`WorkProfile`]s of the *same query* (`materialize` from
+/// `Executor::Materialize`, `fused` from `Executor::Fused`). Fusion mostly
+/// erases `seq_write_bytes` — intermediate-column traffic — so the gain is
+/// largest where the roofline is bandwidth-limited: a Pi 3B+ with one DDR2
+/// channel sees a bigger ratio than a Xeon with six DDR4 channels, which is
+/// how fusion shifts the paper's Pi-vs-Xeon comparison.
+pub fn modeled_fused_gain(hw: &HwProfile, materialize: &WorkProfile, fused: &WorkProfile) -> f64 {
+    predict_all_cores(hw, materialize).total_s() / predict_all_cores(hw, fused).total_s()
+}
+
 /// Predicts with every hardware thread in use — the TPC-H configuration
 /// (the paper runs MonetDB with full parallelism).
 pub fn predict_all_cores(hw: &HwProfile, work: &WorkProfile) -> Prediction {
@@ -256,6 +268,25 @@ mod tests {
         assert!(scan < 1.5, "memory-bound speedup must stay near 1: {scan}");
         assert!(compute > 2.0, "compute-bound speedup must approach Amdahl: {compute}");
         assert!(compute > scan);
+    }
+
+    #[test]
+    fn fused_gain_is_larger_on_the_pi() {
+        // A write-heavy materializing profile vs the same query fused: the
+        // fused run streams the same inputs but writes almost nothing back.
+        let mat = scan_heavy();
+        let mut fused = mat;
+        fused.seq_write_bytes = 0;
+        fused.cpu_ops = mat.cpu_ops * 9 / 10; // no gather/scatter loops
+        let pi = pi3b();
+        let e5 = profile("op-e5").unwrap();
+        let pi_gain = modeled_fused_gain(&pi, &mat, &fused);
+        let e5_gain = modeled_fused_gain(&e5, &mat, &fused);
+        assert!(pi_gain > 1.0, "fusion must help the Pi: {pi_gain}");
+        assert!(
+            pi_gain > e5_gain,
+            "erased write traffic must matter more on one DDR2 channel: pi {pi_gain} vs e5 {e5_gain}"
+        );
     }
 
     #[test]

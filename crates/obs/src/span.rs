@@ -117,6 +117,19 @@ impl Span {
             indent = depth * 2,
             w = 28usize.saturating_sub(depth * 2),
         );
+        // Per-stage throughput from the measured wall clock and the span's
+        // own (exclusive) traffic. Wall time is the non-deterministic field,
+        // so rates appear in the rendering only — never in the JSON the
+        // trace checker compares.
+        if self.wall_ns > 0 {
+            let secs = self.wall_ns as f64 / 1e9;
+            let rows = self.rows_in.max(self.rows_out);
+            line.push_str(&format!(
+                " {:>10} rows/s {:>10}/s",
+                fmt_rate(rows as f64 / secs),
+                fmt_bytes(bytes as f64 / secs),
+            ));
+        }
         // The measured reservation peak is inclusive (a ratcheted maximum up
         // to this operator's finish), so it reads from the span itself.
         let peak = self.counter("peak_bytes");
@@ -187,6 +200,32 @@ pub(crate) fn json_str(s: &mut String, v: &str) {
         }
     }
     s.push('"');
+}
+
+/// `12.3M`-style scaling for row rates.
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// `1.2 GB`-style scaling for byte rates.
+fn fmt_bytes(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} GB", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} MB", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} KB", v / 1e3)
+    } else {
+        format!("{v:.0} B")
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -266,5 +305,19 @@ mod tests {
         assert!(text.contains("query"));
         assert!(text.contains("  scan[lineitem]"));
         assert_eq!(tree().len(), 2);
+    }
+
+    #[test]
+    fn render_reports_throughput_when_timed() {
+        let mut t = tree();
+        // Untimed spans carry no rates (wall time is unmeasured, not zero).
+        assert!(!t.render().contains("rows/s"));
+        // 10 rows and 80 self-bytes over 1 ms → 10K rows/s, 80.0 KB/s.
+        t.children[0].wall_ns = 1_000_000;
+        let text = t.render();
+        assert!(text.contains("10.0K rows/s"), "{text}");
+        assert!(text.contains("80.0 KB/s"), "{text}");
+        // Rates never leak into the checker-compared JSON.
+        assert!(!t.to_json().contains("rows/s"));
     }
 }

@@ -134,6 +134,25 @@ impl Charge {
         prof.seq_write_bytes += rows * passes; // mask writes
     }
 
+    /// Compiled-fused: reprice a hybrid run as the engine's fused morsel
+    /// pipeline. The vectorized evaluation work is identical, but the
+    /// per-batch cross-operator handoff disappears — the compiled bytecode
+    /// is dispatched once per morsel, its selection vectors live in
+    /// cache-resident scratch that is never written back, and no
+    /// intermediate column is materialized. [`Charge::hybrid`] priced that
+    /// staging at 2 cpu units and 4 written bytes per batched row, and in a
+    /// hybrid run the staged selection vectors are the *only* source of
+    /// `seq_write_bytes`, so both terms are exactly invertible here: the
+    /// materialized-bytes term collapses to zero and the dispatch surcharge
+    /// (half the staged bytes) comes off the cpu total. On a
+    /// bandwidth-starved node the erased write stream is a far bigger share
+    /// of total time than on a server, which is what shifts the Pi-vs-Xeon
+    /// picture.
+    pub fn fuse(prof: &mut WorkProfile) {
+        prof.cpu_ops -= prof.seq_write_bytes / 2;
+        prof.seq_write_bytes = 0;
+    }
+
     /// A hash probe stream (same for all paradigms).
     pub fn probes(prof: &mut WorkProfile, n: u64, table_bytes: u64) {
         prof.cpu_ops += 2 * n;

@@ -28,12 +28,20 @@
 //! corrupt chunk fails the query with a typed violation instead of silently
 //! skewing the answer. `\metrics` includes the `integrity_*` counters in
 //! both direct and service mode.
+//!
+//! Execution: `SET executor = fused | materialize` switches between the
+//! materializing operator-at-a-time interpreter and the fused
+//! morsel-at-a-time bytecode executor (DESIGN.md §13); results are
+//! bit-identical, the work profile is not. `EXPLAIN ANALYZE` names the
+//! active executor and shows the fused pipeline as a single `fused` span.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use wimpi::engine::governor::UNLIMITED;
-use wimpi::engine::{governor, EngineConfig, QueryContext, QuerySpec, Service, ServiceConfig};
+use wimpi::engine::{
+    governor, EngineConfig, Executor, QueryContext, QuerySpec, Service, ServiceConfig,
+};
 use wimpi::hwsim::{all_profiles, predict_all_cores};
 use wimpi::sql::{execute_sql_with, strip_explain_analyze};
 use wimpi::storage::Catalog;
@@ -92,6 +100,7 @@ fn main() {
     let mut concurrency: usize = 0;
     let mut service: Option<Service> = None;
     let mut verify = false;
+    let mut executor = Executor::default();
     // Integrity counters for direct (serviceless) execution; with a
     // service, its own registry carries them.
     let shell_metrics = wimpi::obs::Registry::new();
@@ -188,6 +197,17 @@ fn main() {
                         }
                         Err(_) => println!("error: concurrency wants an integer, got {value:?}"),
                     },
+                    "executor" => match value.to_ascii_lowercase().as_str() {
+                        "fused" => {
+                            executor = Executor::Fused;
+                            println!("executor fused (morsel-at-a-time bytecode pipeline)");
+                        }
+                        "materialize" | "materializing" => {
+                            executor = Executor::Materialize;
+                            println!("executor materialize (operator-at-a-time)");
+                        }
+                        _ => println!("error: executor wants fused|materialize, got {value:?}"),
+                    },
                     "verify_checksums" => match value.to_ascii_lowercase().as_str() {
                         "on" | "true" | "1" => {
                             // Seal manifests lazily on first use; sealing is
@@ -205,7 +225,7 @@ fn main() {
                     other => {
                         println!(
                             "error: unknown knob {other:?} \
-                             (memory_budget, timeout_ms, concurrency, verify_checksums)"
+                             (memory_budget, timeout_ms, concurrency, verify_checksums, executor)"
                         )
                     }
                 }
@@ -214,12 +234,14 @@ fn main() {
                 let inner = strip_explain_analyze(sql).expect("guard matched");
                 let inner = inner.trim_end_matches(';').trim_end();
                 let ctx = make_ctx(mem_budget, timeout_ms);
-                let cfg = EngineConfig::serial().with_verify_checksums(verify);
+                let cfg =
+                    EngineConfig::serial().with_verify_checksums(verify).with_executor(executor);
                 match wimpi::sql::explain_analyze_with(inner, &catalog, &cfg, &ctx) {
                     Ok((rel, work, span)) => {
                         print!("{}", span.render());
                         println!(
-                            "({} rows; {:.1} MB streamed, {} ops, peak {} B)",
+                            "(executor: {}; {} rows; {:.1} MB streamed, {} ops, peak {} B)",
+                            executor.label(),
                             rel.num_rows(),
                             work.seq_bytes() as f64 / 1e6,
                             work.cpu_ops,
@@ -246,7 +268,9 @@ fn main() {
                     Some(svc) => {
                         let owned = sql.to_string();
                         let cat = Arc::clone(&catalog);
-                        let cfg = EngineConfig::serial().with_verify_checksums(verify);
+                        let cfg = EngineConfig::serial()
+                            .with_verify_checksums(verify)
+                            .with_executor(executor);
                         svc.run_blocking(make_spec(sql, timeout_ms), move |ctx| {
                             execute_sql_with(&owned, &cat, &cfg, ctx)
                                 .map(|(rel, work)| (rel, work, ctx.fallbacks()))
@@ -256,7 +280,9 @@ fn main() {
                     }
                     None => {
                         let ctx = make_ctx(mem_budget, timeout_ms);
-                        let cfg = EngineConfig::serial().with_verify_checksums(verify);
+                        let cfg = EngineConfig::serial()
+                            .with_verify_checksums(verify)
+                            .with_executor(executor);
                         let out = execute_sql_with(sql, &catalog, &cfg, &ctx)
                             .map(|(rel, work)| (rel, work, ctx.fallbacks()))
                             .map_err(|e| e.to_string());

@@ -8,7 +8,9 @@
 //! in release CI (`cargo test --workspace --release`); debug runs keep the
 //! Q1/Q6 smoke.
 
-use wimpi::engine::{execute_query_with, EngineConfig, PlanBuilder, QueryContext, SortKey};
+use wimpi::engine::{
+    execute_query_with, EngineConfig, Executor, PlanBuilder, QueryContext, SortKey,
+};
 use wimpi::queries::{query, run_governed, run_with};
 use wimpi::storage::{Catalog, Value};
 use wimpi::tpch::Generator;
@@ -95,6 +97,324 @@ fn all_22_queries_parallel_bit_exact() {
     let cat = catalog();
     for qn in 1..=22 {
         assert_bit_exact(qn, &cat);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused executor (DESIGN.md §13): same guarantees, second execution engine.
+// ---------------------------------------------------------------------------
+
+/// Fused runs (threads 1/2/4 × two morsel sizes) must reproduce the serial
+/// materializing result bit-exactly, and the fused work profile itself must
+/// be invariant to thread count and morsel size.
+fn assert_fused_bit_exact(qn: usize, cat: &Catalog) {
+    let q = query(qn);
+    let (mat_rel, _) = run_with(&q, cat, &EngineConfig::serial()).expect("materializing run");
+    let mut prof0 = None;
+    for morsel_rows in [wimpi::engine::exec::parallel::DEFAULT_MORSEL_ROWS, 4096] {
+        for threads in [1, 2, 4] {
+            let cfg = EngineConfig::with_threads(threads)
+                .with_morsel_rows(morsel_rows)
+                .with_executor(Executor::Fused);
+            let (rel, prof) = run_with(&q, cat, &cfg).expect("fused run");
+            assert_eq!(
+                rel, mat_rel,
+                "Q{qn}: fused diverged from materializing at {threads} threads, morsel {morsel_rows}"
+            );
+            let baseline = *prof0.get_or_insert(prof);
+            assert_eq!(
+                prof, baseline,
+                "Q{qn}: fused profile varied at {threads} threads, morsel {morsel_rows}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_choke_points_bit_exact_smoke() {
+    let cat = catalog();
+    for qn in [1, 6, 19] {
+        assert_fused_bit_exact(qn, &cat);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full 22-query sweep; run with --release")]
+fn all_22_queries_fused_bit_exact() {
+    let cat = catalog();
+    for qn in 1..=22 {
+        assert_fused_bit_exact(qn, &cat);
+    }
+}
+
+/// The headline of the fused executor: scan→filter→eval→aggregate pipelines
+/// stop materializing intermediates, so the profile's `seq_write_bytes` —
+/// the term the paper's bandwidth model charges for — collapses.
+#[test]
+fn fused_collapses_materialized_write_traffic() {
+    let cat = catalog();
+    for qn in [1, 6, 19] {
+        let q = query(qn);
+        let (_, mat) = run_with(&q, &cat, &EngineConfig::serial()).expect("materializing run");
+        let fused_cfg = EngineConfig::serial().with_executor(Executor::Fused);
+        let (_, fused) = run_with(&q, &cat, &fused_cfg).expect("fused run");
+        assert!(
+            fused.seq_write_bytes < mat.seq_write_bytes,
+            "Q{qn}: fused wrote {} bytes, materializing {}",
+            fused.seq_write_bytes,
+            mat.seq_write_bytes
+        );
+    }
+}
+
+/// Budgeted fused runs: bit-exact against the budgeted serial materializing
+/// baseline at every thread count and morsel size, whether the fused path
+/// ran natively or fell back under the budget.
+#[test]
+fn fused_budgeted_runs_stay_bit_exact() {
+    let cat = catalog();
+    for qn in [1usize, 6] {
+        let q = query(qn);
+        let serial_ctx = QueryContext::with_budget(64 << 10);
+        let (rel0, _) = run_governed(&q, &cat, &EngineConfig::serial(), &serial_ctx)
+            .expect("budgeted materializing run");
+        let mut prof0 = None;
+        for morsel_rows in [wimpi::engine::exec::parallel::DEFAULT_MORSEL_ROWS, 4096] {
+            for threads in [1, 2, 4] {
+                let ctx = QueryContext::with_budget(64 << 10);
+                let cfg = EngineConfig::with_threads(threads)
+                    .with_morsel_rows(morsel_rows)
+                    .with_executor(Executor::Fused);
+                let (rel, prof) = run_governed(&q, &cat, &cfg, &ctx).expect("budgeted fused run");
+                assert_eq!(rel, rel0, "Q{qn}: budgeted fused diverged at {threads} threads");
+                let baseline = *prof0.get_or_insert(prof);
+                assert_eq!(prof, baseline, "Q{qn}: budgeted fused profile varied");
+            }
+        }
+    }
+}
+
+/// When the merged group table exceeds the budget, the fused executor falls
+/// back to the materializing operators — which Grace-partition — and must
+/// reproduce their results *and* work profile exactly.
+#[test]
+fn fused_budget_fallback_matches_materializing() {
+    use wimpi::engine::{col, execute_query_governed, AggExpr, PlanBuilder};
+    use wimpi::storage::{Column, DataType, Field, Schema, Table};
+
+    let n = 50_000i64;
+    let keys: Vec<i64> = (0..n).collect();
+    let vals: Vec<i64> = (0..n).map(|i| i * 3 % 101).collect();
+    let mut cat = Catalog::new();
+    let table = Table::new(
+        Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Int64)]),
+        vec![Column::Int64(keys), Column::Int64(vals)],
+    )
+    .expect("table builds");
+    cat.register("t", table);
+    let plan = PlanBuilder::scan("t")
+        .aggregate(vec![(col("k"), "k")], vec![AggExpr::sum(col("v"), "s")])
+        .build();
+    // 50k distinct 64-byte group slots blow a 64 KB budget; both executors
+    // must degrade identically (fused falls back, materializing Graces).
+    let mat_ctx = QueryContext::with_budget(64 << 10);
+    let (rel0, prof0) = execute_query_governed(&plan, &cat, &EngineConfig::serial(), &mat_ctx)
+        .expect("budgeted materializing run");
+    for threads in [1, 2, 4] {
+        let ctx = QueryContext::with_budget(64 << 10);
+        let cfg = EngineConfig::with_threads(threads).with_executor(Executor::Fused);
+        let (rel, prof) =
+            execute_query_governed(&plan, &cat, &cfg, &ctx).expect("budgeted fused run");
+        assert_eq!(rel, rel0, "fallback result diverged at {threads} threads");
+        assert_eq!(prof, prof0, "fallback profile diverged at {threads} threads");
+    }
+}
+
+/// Aggregates the bytecode pipeline cannot express (min/max) fall back to
+/// the materializing operators transparently: identical results and charges.
+#[test]
+fn fused_unsupported_aggregates_fall_back_transparently() {
+    use wimpi::engine::plan::{AggExpr, AggFunc};
+    use wimpi::engine::{col, execute_query_with, lit, PlanBuilder};
+
+    let cat = catalog();
+    let plan = PlanBuilder::scan("lineitem")
+        .filter(col("l_quantity").lt(lit(25i64)))
+        .aggregate(
+            vec![(col("l_returnflag"), "f")],
+            vec![AggExpr {
+                func: AggFunc::Max,
+                expr: Some(col("l_extendedprice")),
+                name: "m".into(),
+            }],
+        )
+        .build();
+    let (rel0, prof0) =
+        execute_query_with(&plan, &cat, &EngineConfig::serial()).expect("materializing run");
+    for threads in [1, 2, 4] {
+        let cfg = EngineConfig::with_threads(threads).with_executor(Executor::Fused);
+        let (rel, prof) = execute_query_with(&plan, &cat, &cfg).expect("fused run");
+        assert_eq!(rel, rel0, "fallback result diverged at {threads} threads");
+        assert_eq!(prof, prof0, "fallback profile diverged at {threads} threads");
+    }
+}
+
+mod bytecode_vs_evaluator {
+    //! Property test: on random expressions the bytecode VM must agree
+    //! bit-for-bit with the recursive evaluator wherever it compiles.
+    //! Expressions are grown from a drawn opcode stream (the vendored
+    //! proptest shim has no recursive strategies), covering arithmetic over
+    //! mixed int/decimal/float columns, comparisons, logical combinations,
+    //! LIKE / IN / BETWEEN / CASE / EXTRACT(YEAR), and scalar folding.
+
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use wimpi::engine::eval::Evaluator;
+    use wimpi::engine::exec::bytecode::Program;
+    use wimpi::engine::{col, lit, Expr, Relation, WorkProfile};
+    use wimpi::storage::{Column, Decimal64, DictColumn, Value};
+
+    /// A small relation exercising every column type the VM handles.
+    fn test_relation() -> Relation {
+        let n = 257usize; // deliberately not a power of two
+        let i64s: Vec<i64> = (0..n).map(|i| (i as i64 * 7 % 50) - 25).collect();
+        let i32s: Vec<i32> = (0..n).map(|i| (i as i32 * 13 % 40) - 20).collect();
+        let dec2: Vec<i64> = (0..n).map(|i| (i as i64 * 31 % 2000) - 1000).collect();
+        let dec1: Vec<i64> = (0..n).map(|i| (i as i64 * 17 % 500) - 250).collect();
+        let f64s: Vec<f64> = (0..n).map(|i| (i as f64 - 128.0) / 3.0).collect();
+        let dates: Vec<i32> = (0..n).map(|i| 9000 + (i as i32 * 37 % 2000)).collect();
+        let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let modes = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"];
+        let strs: DictColumn = (0..n).map(|i| modes[i * 11 % modes.len()]).collect();
+        Relation::new(vec![
+            ("i".to_string(), Arc::new(Column::Int64(i64s))),
+            ("j".to_string(), Arc::new(Column::Int32(i32s))),
+            ("d".to_string(), Arc::new(Column::Decimal(dec2, 2))),
+            ("e".to_string(), Arc::new(Column::Decimal(dec1, 1))),
+            ("f".to_string(), Arc::new(Column::Float64(f64s))),
+            ("t".to_string(), Arc::new(Column::Date(dates))),
+            ("b".to_string(), Arc::new(Column::Bool(bools))),
+            ("s".to_string(), Arc::new(Column::Str(strs))),
+        ])
+        .expect("relation builds")
+    }
+
+    /// Bit-exact column equality: floats compare by IEEE bits, so a shared
+    /// NaN (e.g. from `i / i` at `i = 0`) counts as agreement — `PartialEq`
+    /// would report bit-identical NaN columns as different.
+    fn bit_eq(a: &Column, b: &Column) -> bool {
+        match (a, b) {
+            (Column::Float64(x), Column::Float64(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+            _ => a == b,
+        }
+    }
+
+    /// Deterministic expression growth from a drawn opcode stream.
+    struct Gen<'a> {
+        stream: &'a [u32],
+        pos: std::cell::Cell<usize>,
+    }
+
+    impl<'a> Gen<'a> {
+        fn next(&self) -> u32 {
+            let p = self.pos.get();
+            self.pos.set(p + 1);
+            self.stream[p % self.stream.len()].wrapping_add((p / self.stream.len()) as u32)
+        }
+
+        fn num_leaf(&self) -> Expr {
+            match self.next() % 9 {
+                0 => col("i"),
+                1 => col("j"),
+                2 => col("d"),
+                3 => col("e"),
+                4 => col("f"),
+                5 => col("t"),
+                6 => lit((self.next() % 100) as i64 - 50),
+                7 => lit(Value::Dec(Decimal64::new((self.next() % 2000) as i64 - 1000, 2))),
+                8 => lit((self.next() % 100) as f64 / 4.0 - 12.5),
+                _ => unreachable!(),
+            }
+        }
+
+        fn num(&self, depth: u32) -> Expr {
+            if depth == 0 {
+                return self.num_leaf();
+            }
+            match self.next() % 8 {
+                0..=2 => self.num_leaf(),
+                3 => self.num(depth - 1).add(self.num(depth - 1)),
+                4 => self.num(depth - 1).sub(self.num(depth - 1)),
+                5 => self.num(depth - 1).mul(self.num(depth - 1)),
+                6 => self.num(depth - 1).div(self.num(depth - 1)),
+                7 => self.boolean(depth - 1).case(self.num(depth - 1), self.num(depth - 1)),
+                _ => unreachable!(),
+            }
+        }
+
+        fn cmp(&self, a: Expr, b: Expr) -> Expr {
+            match self.next() % 6 {
+                0 => a.eq(b),
+                1 => a.neq(b),
+                2 => a.lt(b),
+                3 => a.lte(b),
+                4 => a.gt(b),
+                5 => a.gte(b),
+                _ => unreachable!(),
+            }
+        }
+
+        fn boolean(&self, depth: u32) -> Expr {
+            if depth == 0 {
+                return self.cmp(self.num_leaf(), self.num_leaf());
+            }
+            match self.next() % 12 {
+                0..=3 => self.cmp(self.num(depth - 1), self.num(depth - 1)),
+                4 => self.boolean(depth - 1).and(self.boolean(depth - 1)),
+                5 => self.boolean(depth - 1).or(self.boolean(depth - 1)),
+                6 => self.boolean(depth - 1).negate(),
+                7 => col("b"),
+                8 => {
+                    let pats = ["%AI%", "R_IL", "SHIP", "%K", "M%"];
+                    col("s").like(pats[self.next() as usize % pats.len()])
+                }
+                9 => col("s")
+                    .in_list(vec![Value::Str("AIR".to_string()), Value::Str("SHIP".to_string())]),
+                10 => {
+                    let lo = (self.next() % 40) as i64 - 20;
+                    col("i").between(lo, lo + (self.next() % 20) as i64)
+                }
+                11 => self.cmp(col("t").year(), lit(1994i64 + (self.next() % 6) as i64)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn bytecode_matches_recursive_evaluator(
+            stream in prop::collection::vec(0u32..u32::MAX, 8..40),
+            as_bool in any::<bool>(),
+            depth in 1u32..4,
+        ) {
+            let rel = test_relation();
+            let g = Gen { stream: &stream, pos: std::cell::Cell::new(0) };
+            let expr = if as_bool { g.boolean(depth) } else { g.num(depth) };
+            let Some(prog) = Program::compile(&expr, &rel) else {
+                return; // fused execution would fall back; nothing to compare
+            };
+            let mut prof = WorkProfile::new();
+            let evaluated = Evaluator::new(&rel, &mut prof)
+                .eval(&expr)
+                .expect("the compiler only accepts expressions the evaluator accepts");
+            if let Some(vm) = prog.eval_full(rel.num_rows()) {
+                prop_assert!(bit_eq(&vm, &evaluated), "VM diverged on {expr:?}");
+            }
+        }
     }
 }
 

@@ -1,0 +1,135 @@
+//! Zone-map scan pruning on the 8 choke-point queries.
+//!
+//! Generates a *clustered* catalog (`lineitem` ordered by `l_shipdate`,
+//! `orders` by `o_orderdate` — the layout a date-partitioned ingest would
+//! land, see DESIGN.md §14) with zone maps sealed, then runs every
+//! choke-point query with `EngineConfig::prune_scans` off and on:
+//!
+//! * asserts the pruned results are bit-identical to the unpruned ones at
+//!   threads 1/2/4 under both executors, and that the profile's
+//!   `rows_in`/`rows_out` are untouched — pruning must be a pure no-op on
+//!   answers;
+//! * reports measured wall seconds (best of several runs) off vs on, the
+//!   morsels and megabytes the pruned run skipped, and the hwsim-modeled
+//!   prune gain on the Pi 3B+ and op-e5
+//!   ([`wimpi_hwsim::modeled_prune_gain`]);
+//! * asserts Q6 — the clustered-date selective scan — actually skipped
+//!   morsels, so CI notices if pruning silently stops firing.
+//!
+//! Defaults to SF 0.1; `--smoke` drops to SF 0.05 with one timing
+//! iteration for CI. Artifacts land in `results/prune.{txt,json}`.
+
+use std::time::Instant;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_engine::{EngineConfig, Executor};
+use wimpi_hwsim::{modeled_prune_gain, pi3b, profile};
+use wimpi_obs::status;
+use wimpi_queries::{query, run_with, CHOKEPOINT_QUERIES};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut args = Args::parse_with(Args { sf: 0.1, ..Args::default() });
+    let iters = if smoke {
+        args.sf = args.sf.min(0.05);
+        1
+    } else {
+        3
+    };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    status!("generating clustered TPC-H SF {} ({threads} threads, best of {iters})", args.sf);
+    let catalog = wimpi_tpch::clustered_catalog(args.sf).expect("clustered catalog generates");
+    let pi = pi3b();
+    let e5 = profile("op-e5").expect("op-e5 profile exists");
+
+    let mut rows = Vec::new();
+    let mut off_s = Vec::new();
+    let mut on_s = Vec::new();
+    let mut speedup = Vec::new();
+    let mut skipped_morsels = Vec::new();
+    let mut skipped_mb = Vec::new();
+    let mut pi_gain = Vec::new();
+    let mut e5_gain = Vec::new();
+
+    for qn in CHOKEPOINT_QUERIES {
+        let plan = query(qn);
+        let base = EngineConfig::with_threads(threads).with_executor(Executor::Fused);
+        // Timed runs: pruning off vs on, fused executor, all threads.
+        let mut best = [f64::INFINITY; 2];
+        let mut runs = Vec::new();
+        for (pi_idx, prune) in [false, true].into_iter().enumerate() {
+            let cfg = base.with_prune_scans(prune);
+            for _ in 0..iters {
+                let start = Instant::now();
+                let (rel, prof) = run_with(&plan, &catalog, &cfg).expect("query runs");
+                best[pi_idx] = best[pi_idx].min(start.elapsed().as_secs_f64());
+                if runs.len() <= pi_idx {
+                    runs.push((rel, prof));
+                }
+            }
+        }
+        let (off, on) = (&runs[0], &runs[1]);
+        assert_eq!(off.0, on.0, "Q{qn}: pruned result diverged from unpruned");
+        assert_eq!(
+            (off.1.rows_in, off.1.rows_out),
+            (on.1.rows_in, on.1.rows_out),
+            "Q{qn}: pruning must not change operator row counts"
+        );
+        // Exactness sweep: both executors, threads 1/2/4, pruning on — the
+        // morsel-order merge keeps results bit-identical everywhere.
+        for executor in [Executor::Materialize, Executor::Fused] {
+            for t in [1, 2, 4] {
+                let cfg =
+                    EngineConfig::with_threads(t).with_executor(executor).with_prune_scans(true);
+                let (rel, _) = run_with(&plan, &catalog, &cfg).expect("query runs");
+                assert_eq!(rel, off.0, "Q{qn}: pruned {executor:?} at {t} threads diverged");
+            }
+        }
+        if qn == 6 {
+            assert!(
+                on.1.pruned_morsels > 0,
+                "Q6 must skip morsels on a shipdate-clustered catalog \
+                 (got pruned_morsels = 0 — pruning stopped firing)"
+            );
+        }
+        rows.push(format!("Q{qn}"));
+        off_s.push(best[0]);
+        on_s.push(best[1]);
+        speedup.push(best[0] / best[1]);
+        skipped_morsels.push(on.1.pruned_morsels as f64);
+        skipped_mb.push(on.1.pruned_bytes as f64 / 1e6);
+        pi_gain.push(modeled_prune_gain(&pi, &on.1));
+        e5_gain.push(modeled_prune_gain(&e5, &on.1));
+        status!(
+            "Q{qn}: prune off {:.3}s, on {:.3}s ({:.2}x), skipped {} morsels / {:.1} MB",
+            best[0],
+            best[1],
+            best[0] / best[1],
+            on.1.pruned_morsels,
+            on.1.pruned_bytes as f64 / 1e6
+        );
+    }
+
+    let mut timing = TextFigure::new(
+        format!(
+            "Zone-map scan pruning, clustered lineitem (SF {}, {threads} threads, host s)",
+            args.sf
+        ),
+        "query",
+    );
+    timing.rows = rows.clone();
+    timing.push_series(Series::new("prune off", off_s));
+    timing.push_series(Series::new("prune on", on_s));
+    timing.push_series(Series::new("speedup", speedup));
+
+    let mut work =
+        TextFigure::new("Scan pruning — skipped work and modeled gain".to_string(), "query");
+    work.rows = rows;
+    work.push_series(Series::new("morsels skipped", skipped_morsels));
+    work.push_series(Series::new("MB skipped", skipped_mb));
+    work.push_series(Series::new("pi3b+ gain", pi_gain));
+    work.push_series(Series::new("op-e5 gain", e5_gain));
+
+    wimpi_bench::emit(&args, "prune", &[timing, work]);
+}

@@ -181,9 +181,11 @@ fn op_stack_effect(op: &Op) -> i32 {
 
 /// Specialized single-pass predicate forms recognized by a peephole pass,
 /// so the most common conjuncts (`col <cmp> const`, string membership,
-/// numeric IN / BETWEEN) skip interpreter dispatch entirely.
+/// numeric IN / BETWEEN) skip interpreter dispatch entirely. Zone-map
+/// pruning (`exec::prune`) interprets the same forms against per-morsel
+/// column summaries, which is why they are crate-visible.
 #[derive(Debug, Clone)]
-enum Quick {
+pub(crate) enum Quick {
     CmpConst { col: u16, op: BinOp, fa: i128, rhs: i128 },
     Dict { col: u16, mask: u16 },
     InFixed { col: u16, list: u16, negated: bool },
@@ -759,6 +761,28 @@ impl Program {
     /// Number of distinct columns read.
     pub fn num_cols(&self) -> usize {
         self.cols.len()
+    }
+
+    /// The peephole-specialized predicate form, when one was recognized.
+    pub(crate) fn quick(&self) -> Option<&Quick> {
+        self.quick.as_ref()
+    }
+
+    /// The column bound to slot `i` — shared `Arc`s straight from the source
+    /// relation, so pruning can resolve them back to table columns with
+    /// `Arc::ptr_eq`.
+    pub(crate) fn col(&self, i: usize) -> &Arc<Column> {
+        &self.cols[i]
+    }
+
+    /// The dictionary-code membership mask in pool slot `i`.
+    pub(crate) fn mask(&self, i: usize) -> &[bool] {
+        &self.masks[i]
+    }
+
+    /// The IN-list mantissas in pool slot `i` (unordered).
+    pub(crate) fn list(&self, i: usize) -> &[i64] {
+        &self.lists[i]
     }
 
     fn views(&self) -> Vec<ColView<'_>> {

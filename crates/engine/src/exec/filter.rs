@@ -14,7 +14,7 @@ use std::sync::Arc;
 use crate::error::Result;
 use crate::eval::Evaluator;
 use crate::exec::parallel::EngineConfig;
-use crate::exec::{ensure_u32_indexable, expr_sketch};
+use crate::exec::{ensure_u32_indexable, expr_sketch, prune};
 use crate::expr::Expr;
 use crate::governor::QueryContext;
 use crate::optimizer::split_conjuncts;
@@ -27,9 +27,15 @@ use wimpi_storage::{selection, Column};
 /// surviving rows of every column. Each non-constant conjunct becomes an
 /// `eval` child span when tracing (rows in = candidates it scanned, rows
 /// out = survivors).
+///
+/// When `table` is the sealed table this filter scans (passed only under
+/// `cfg.prune_scans`), a zone-map pre-pass may seed the candidate list
+/// with whole morsels proven dead and elide conjuncts proven always-true
+/// (DESIGN.md §14) — same survivors, fewer bytes.
 pub fn exec_filter(
     rel: &Relation,
     predicate: &Expr,
+    table: Option<&wimpi_storage::Table>,
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
@@ -39,8 +45,34 @@ pub fn exec_filter(
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate.clone(), &mut conjuncts);
     let mut sel: Option<Vec<u32>> = None;
-    for conjunct in conjuncts {
+    let mut always_true: Vec<bool> = Vec::new();
+    let mut widths: Vec<u64> = Vec::new();
+    if cfg.prune_scans {
+        if let Some(fp) =
+            table.and_then(|t| prune::prune_filter(&conjuncts, rel, t, cfg.morsel_rows))
+        {
+            prof.pruned_morsels += fp.pruned_morsels;
+            prof.pruned_bytes += fp.pruned_bytes;
+            if fp.pruned_morsels > 0 {
+                // Seed the candidate list with only the surviving morsels'
+                // rows; the first conjunct then scans candidates instead of
+                // full columns.
+                sel = Some(fp.keep);
+            }
+            always_true = fp.always_true;
+            widths = fp.widths;
+        }
+    }
+    for (ci, conjunct) in conjuncts.into_iter().enumerate() {
         ctx.checkpoint()?;
+        if always_true.get(ci).copied().unwrap_or(false) {
+            // Proven true over every candidate morsel: skip the evaluation,
+            // crediting the bytes it would have streamed over the current
+            // candidates.
+            let cand = sel.as_ref().map_or(rel.num_rows(), Vec::len) as u64;
+            prof.pruned_bytes += cand * widths[ci];
+            continue;
+        }
         let needed: BTreeSet<String> = conjunct.column_set();
         if needed.is_empty() {
             // Constant conjunct: evaluate it once on a 1-row dummy relation
@@ -144,7 +176,7 @@ mod tests {
 
     fn exec_filter(rel: &Relation, pred: &Expr, prof: &mut WorkProfile) -> Result<Relation> {
         let ctx = QueryContext::default();
-        super::exec_filter(rel, pred, prof, &EngineConfig::serial(), Tracer::off(), &ctx)
+        super::exec_filter(rel, pred, None, prof, &EngineConfig::serial(), Tracer::off(), &ctx)
     }
 
     fn rel() -> Relation {

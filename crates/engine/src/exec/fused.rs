@@ -37,7 +37,7 @@ use std::time::Instant;
 use super::aggregate::{self, MorselAgg, SlotAgg};
 use super::bytecode::{self, Program};
 use super::parallel::{morsel_ranges, run_morsels, run_morsels_spanned, EngineConfig};
-use super::{ensure_u32_indexable, expr_sketch, filter};
+use super::{ensure_u32_indexable, expr_sketch, filter, prune};
 use crate::error::Result;
 use crate::expr::{BinOp, Expr};
 use crate::governor::QueryContext;
@@ -62,7 +62,7 @@ struct KeyPlan {
 /// selective conjunct (often a single-pass `Quick` form) prunes candidates
 /// before the wider arms are touched, instead of every arm evaluating over
 /// every row the way one flat program would.
-enum Pred {
+pub(super) enum Pred {
     One(Program),
     /// Disjuncts, each an AND-chain of programs; a row survives when any
     /// chain passes it.
@@ -92,7 +92,7 @@ impl Pred {
     /// Bytes-per-row pricing: the flat program's width — the materializing
     /// evaluator reads every arm for every row, and the charge model stays
     /// invariant to how the cascade happened to prune.
-    fn width_bytes(&self) -> u64 {
+    pub(super) fn width_bytes(&self) -> u64 {
         match self {
             Pred::One(p) => p.width_bytes(),
             Pred::AnyOf(chains) => chains.iter().flatten().map(Program::width_bytes).sum(),
@@ -160,7 +160,7 @@ fn split_disjuncts(e: &Expr, out: &mut Vec<Expr>) {
 
 /// A conjunct after compilation: constant-folded away, or an executable
 /// predicate.
-enum Compiled {
+pub(super) enum Compiled {
     ConstTrue,
     ConstFalse,
     Pred(Pred),
@@ -168,7 +168,7 @@ enum Compiled {
 
 /// Compiles one already-split conjunct, recognizing top-level OR chains.
 /// `None` means some sub-expression needs the materializing fallback.
-fn compile_conjunct(c: &Expr, src: &Relation) -> Option<Compiled> {
+pub(super) fn compile_conjunct(c: &Expr, src: &Relation) -> Option<Compiled> {
     let mut disjuncts = Vec::new();
     split_disjuncts(c, &mut disjuncts);
     if disjuncts.len() > 1 {
@@ -318,6 +318,18 @@ pub(super) fn exec_fused(
         None => return materializing_tail(src, &filters, group_by, aggs, prof, cfg, tracer, ctx),
     };
 
+    // Zone-map pruning (opt-in, DESIGN.md §14): only when the pipeline's
+    // source is a bare table scan can morsel offsets be resolved against the
+    // table's sealed summaries. Verdicts are sound, so pruning changes no
+    // survivor, group, or row count — only which bytes get streamed.
+    let pruner = match (cfg.prune_scans, src_plan) {
+        (true, LogicalPlan::Scan { table, .. }) => catalog
+            .table(table)
+            .ok()
+            .and_then(|t| prune::ScanPruner::new(t, &pipe.conjuncts, src.num_rows())),
+        _ => None,
+    };
+
     let n = src.num_rows();
     let nconj = pipe.conjuncts.len();
     let naggs = aggs.len();
@@ -327,29 +339,50 @@ pub(super) fn exec_fused(
     let results = run_morsels_spanned(cfg, &ranges, &sink, |_, r| {
         let mut partial = MorselAgg::for_slots(&pipe.kinds);
         let mut examined = vec![0u64; nconj];
+        let mut pruned = (0u64, 0u64); // (morsels skipped, bytes skipped)
         if ctx.interrupted() {
-            return (partial, examined, 0u64);
+            return (partial, examined, 0u64, pruned);
+        }
+        let verdicts = pruner.as_ref().map(|p| p.verdicts(&r));
+        if verdicts.as_ref().is_some_and(|v| v.contains(&prune::Verdict::False)) {
+            // No row in this morsel can pass: skip it without touching the
+            // data. The credited bytes are the first conjunct's full-column
+            // scan — what the unpruned loop is guaranteed to have streamed.
+            pruned = (1, r.len() as u64 * pipe.conjuncts[0].width_bytes());
+            return (partial, examined, 0u64, pruned);
         }
         // Filter stage: candidate propagation through a recycled selection
-        // vector, no intermediate columns.
+        // vector, no intermediate columns. `dense` tracks whether `sel`
+        // still implicitly means "every row of the morsel" (no conjunct has
+        // run yet), so an always-true first conjunct can be skipped too.
         let mut sel = selection::take_scratch();
+        let mut dense = true;
         if !pipe.const_false {
-            match pipe.conjuncts.split_first() {
-                None => sel.extend(r.clone().map(|i| i as u32)),
-                Some((first, rest)) => {
-                    examined[0] = r.len() as u64;
-                    first.filter_range(r.clone(), &mut sel);
-                    for (k, conj) in rest.iter().enumerate() {
-                        examined[k + 1] = sel.len() as u64;
-                        if sel.is_empty() {
-                            break;
-                        }
-                        let mut next = selection::take_scratch();
-                        conj.filter_sel(&sel, &mut next);
-                        selection::put_scratch(std::mem::replace(&mut sel, next));
+            for (k, conj) in pipe.conjuncts.iter().enumerate() {
+                if verdicts.as_ref().is_some_and(|v| v[k] == prune::Verdict::True) {
+                    // Proven true for every row here: elide the evaluation
+                    // and credit the bytes it would have streamed.
+                    let rows = if dense { r.len() } else { sel.len() } as u64;
+                    pruned.1 += rows * conj.width_bytes();
+                    continue;
+                }
+                if dense {
+                    examined[k] = r.len() as u64;
+                    conj.filter_range(r.clone(), &mut sel);
+                    dense = false;
+                } else {
+                    examined[k] = sel.len() as u64;
+                    if sel.is_empty() {
+                        break;
                     }
+                    let mut next = selection::take_scratch();
+                    conj.filter_sel(&sel, &mut next);
+                    selection::put_scratch(std::mem::replace(&mut sel, next));
                 }
             }
+        }
+        if dense && !pipe.const_false {
+            sel.extend(r.clone().map(|i| i as u32));
         }
         let nsel = sel.len() as u64;
         // Eval + fold stage: run each program once over the survivors, then
@@ -378,20 +411,25 @@ pub(super) fn exec_fused(
             bytecode::put_slots(buf);
         }
         selection::put_scratch(sel);
-        (partial, examined, nsel)
+        (partial, examined, nsel, pruned)
     });
     ctx.checkpoint()?;
 
     let mut partials = Vec::with_capacity(results.len());
     let mut examined = vec![0u64; nconj];
     let mut nsel = 0u64;
-    for (p, ex, ns) in results {
+    let (mut pruned_morsels, mut pruned_bytes) = (0u64, 0u64);
+    for (p, ex, ns, pr) in results {
         partials.push(p);
         for (total, morsel) in examined.iter_mut().zip(ex) {
             *total += morsel;
         }
         nsel += ns;
+        pruned_morsels += pr.0;
+        pruned_bytes += pr.1;
     }
+    prof.pruned_morsels += pruned_morsels;
+    prof.pruned_bytes += pruned_bytes;
 
     let width = 32 * (group_by.len() + aggs.len()).max(1) as u64;
     let empty_states = || SlotAgg::empty_states(&pipe.kinds);
@@ -501,7 +539,7 @@ fn materializing_tail(
         }
         let before = *prof;
         let fin = rel.num_rows() as u64;
-        let out = match filter::exec_filter(&rel, f, prof, cfg, tracer, ctx) {
+        let out = match filter::exec_filter(&rel, f, None, prof, cfg, tracer, ctx) {
             Ok(out) => out,
             Err(e) => {
                 if traced {
@@ -551,6 +589,7 @@ fn materializing_tail(
 pub(super) fn exec_filter_fused(
     rel: &Relation,
     predicate: &Expr,
+    table: Option<&wimpi_storage::Table>,
     prof: &mut WorkProfile,
     cfg: &EngineConfig,
     tracer: &Tracer,
@@ -573,8 +612,14 @@ pub(super) fn exec_filter_fused(
         if tracer.is_enabled() {
             tracer.attach(Span::leaf("fallback", "materializing path"));
         }
-        return filter::exec_filter(rel, predicate, prof, cfg, tracer, ctx);
+        return filter::exec_filter(rel, predicate, table, prof, cfg, tracer, ctx);
     }
+
+    let pruner = if cfg.prune_scans && !conjuncts.is_empty() {
+        table.and_then(|t| prune::ScanPruner::new(t, &conjuncts, rel.num_rows()))
+    } else {
+        None
+    };
 
     let n = rel.num_rows();
     let nconj = conjuncts.len();
@@ -583,37 +628,53 @@ pub(super) fn exec_filter_fused(
     let ranges = morsel_ranges(n, cfg.morsel_rows);
     let results = run_morsels(cfg, &ranges, |_, r| {
         let mut examined = vec![0u64; nconj];
+        let mut pruned = (0u64, 0u64);
         let mut sel = selection::take_scratch();
         if ctx.interrupted() || const_false {
-            return (sel, examined);
+            return (sel, examined, pruned);
         }
-        match conjuncts.split_first() {
-            None => sel.extend(r.clone().map(|i| i as u32)),
-            Some((first, rest)) => {
-                examined[0] = r.len() as u64;
-                first.filter_range(r.clone(), &mut sel);
-                for (k, conj) in rest.iter().enumerate() {
-                    examined[k + 1] = sel.len() as u64;
-                    if sel.is_empty() {
-                        break;
-                    }
-                    let mut next = selection::take_scratch();
-                    conj.filter_sel(&sel, &mut next);
-                    selection::put_scratch(std::mem::replace(&mut sel, next));
+        let verdicts = pruner.as_ref().map(|p| p.verdicts(&r));
+        if verdicts.as_ref().is_some_and(|v| v.contains(&prune::Verdict::False)) {
+            pruned = (1, r.len() as u64 * conjuncts[0].width_bytes());
+            return (sel, examined, pruned);
+        }
+        let mut dense = true;
+        for (k, conj) in conjuncts.iter().enumerate() {
+            if verdicts.as_ref().is_some_and(|v| v[k] == prune::Verdict::True) {
+                let rows = if dense { r.len() } else { sel.len() } as u64;
+                pruned.1 += rows * conj.width_bytes();
+                continue;
+            }
+            if dense {
+                examined[k] = r.len() as u64;
+                conj.filter_range(r.clone(), &mut sel);
+                dense = false;
+            } else {
+                examined[k] = sel.len() as u64;
+                if sel.is_empty() {
+                    break;
                 }
+                let mut next = selection::take_scratch();
+                conj.filter_sel(&sel, &mut next);
+                selection::put_scratch(std::mem::replace(&mut sel, next));
             }
         }
-        (sel, examined)
+        if dense {
+            sel.extend(r.clone().map(|i| i as u32));
+        }
+        (sel, examined, pruned)
     });
     ctx.checkpoint()?;
     let mut sel: Vec<u32> = Vec::new();
     let mut examined = vec![0u64; nconj];
-    for (morsel_sel, ex) in results {
+    for (morsel_sel, ex, pr) in results {
         sel.extend_from_slice(&morsel_sel);
         selection::put_scratch(morsel_sel);
         for (total, morsel) in examined.iter_mut().zip(ex) {
             *total += morsel;
         }
+        prof.pruned_morsels += pr.0;
+        prof.pruned_bytes += pr.1;
     }
     for (k, conj) in conjuncts.iter().enumerate() {
         prof.cpu_ops += examined[k];

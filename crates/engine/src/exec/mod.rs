@@ -16,6 +16,7 @@ pub mod filter;
 mod fused;
 pub mod join;
 pub mod parallel;
+mod prune;
 pub mod sort;
 
 use crate::error::{EngineError, Result};
@@ -169,10 +170,19 @@ fn exec_node_inner(
         LogicalPlan::Filter { input, predicate } => {
             let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
             let rows_in = rel.num_rows() as u64;
+            // A filter directly over a scan can consult the table's sealed
+            // zone maps (when `cfg.prune_scans` is on); anything else has no
+            // stable morsel-to-table alignment and runs unpruned.
+            let table = match (cfg.prune_scans, input.as_ref()) {
+                (true, LogicalPlan::Scan { table, .. }) => {
+                    catalog.table(table).ok().map(|t| t.as_ref())
+                }
+                _ => None,
+            };
             let out = if cfg.executor == Executor::Fused {
-                fused::exec_filter_fused(&rel, predicate, prof, cfg, tracer, ctx)?
+                fused::exec_filter_fused(&rel, predicate, table, prof, cfg, tracer, ctx)?
             } else {
-                filter::exec_filter(&rel, predicate, prof, cfg, tracer, ctx)?
+                filter::exec_filter(&rel, predicate, table, prof, cfg, tracer, ctx)?
             };
             Ok((rows_in, out))
         }
@@ -218,10 +228,16 @@ fn exec_node_inner(
         }
         LogicalPlan::Limit { input, n } => {
             let rel = exec_node(input, catalog, prof, cfg, tracer, ctx)?;
+            let rows_in = rel.num_rows() as u64;
             let keep = rel.num_rows().min(*n);
+            if keep == rel.num_rows() {
+                // The limit keeps everything: pass the input through instead
+                // of gathering a full copy of every column.
+                return Ok((rows_in, rel));
+            }
             ensure_u32_indexable(keep, "limit")?;
             let sel: Vec<u32> = (0..keep as u32).collect();
-            Ok((rel.num_rows() as u64, rel.take(&sel)))
+            Ok((rows_in, rel.take(&sel)))
         }
     }
 }

@@ -72,6 +72,15 @@ pub struct EngineConfig {
     /// aggregate-over-filter pipelines into morsel-at-a-time fusion with
     /// compiled bytecode, falling back transparently everywhere else.
     pub executor: Executor,
+    /// Consult sealed [`ZoneMap`](wimpi_storage::ZoneMap)s before filtering:
+    /// morsels whose min/max range (or dictionary presence bitmap) proves a
+    /// conjunct can never hold are skipped without touching the data, and
+    /// conjuncts proven always-true over a morsel are elided (DESIGN.md
+    /// §14). Pruning is a pure no-op on results and row counts — only
+    /// `pruned_*` counters and streamed bytes change — but the byte charges
+    /// depend on the morsel grid, so it is off by default to preserve the
+    /// profile-invariance contracts of the unpruned executors.
+    pub prune_scans: bool,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +91,7 @@ impl Default for EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             verify_checksums: false,
             executor: Executor::Materialize,
+            prune_scans: false,
         }
     }
 }
@@ -94,6 +104,7 @@ impl EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             verify_checksums: false,
             executor: Executor::Materialize,
+            prune_scans: false,
         }
     }
 
@@ -104,6 +115,7 @@ impl EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             verify_checksums: false,
             executor: Executor::Materialize,
+            prune_scans: false,
         }
     }
 
@@ -123,6 +135,12 @@ impl EngineConfig {
     /// Selects the executor for supported pipelines.
     pub fn with_executor(mut self, executor: Executor) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Enables (or disables) zone-map scan pruning.
+    pub fn with_prune_scans(mut self, prune: bool) -> Self {
+        self.prune_scans = prune;
         self
     }
 }

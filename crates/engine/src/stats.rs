@@ -33,6 +33,15 @@ pub struct WorkProfile {
     /// Bytes shipped over the network (filled in by the cluster driver; zero
     /// for single-node runs).
     pub network_bytes: u64,
+    /// Morsels a zone-map consultation skipped entirely (no row could
+    /// satisfy the scan's predicate). Zero unless
+    /// [`EngineConfig::prune_scans`](crate::exec::parallel::EngineConfig)
+    /// is on; pruning never changes row counts, only bytes and time.
+    pub pruned_morsels: u64,
+    /// Bytes a scan proved it did not need to stream — skipped morsels'
+    /// predicate-column bytes plus conjuncts proven always-true. The
+    /// hardware model credits these against the bandwidth roofline.
+    pub pruned_bytes: u64,
     /// *Measured* peak bytes of governed memory (operator scratch plus
     /// materialized intermediates), taken from the query's
     /// [`MemoryReservation`](crate::governor::MemoryReservation) high-water
@@ -71,6 +80,8 @@ impl WorkProfile {
         self.rows_in = self.rows_in.saturating_add(o.rows_in);
         self.rows_out = self.rows_out.saturating_add(o.rows_out);
         self.network_bytes = self.network_bytes.saturating_add(o.network_bytes);
+        self.pruned_morsels = self.pruned_morsels.saturating_add(o.pruned_morsels);
+        self.pruned_bytes = self.pruned_bytes.saturating_add(o.pruned_bytes);
         self.peak_bytes = self.peak_bytes.saturating_add(o.peak_bytes);
     }
 
@@ -87,6 +98,8 @@ impl WorkProfile {
             rows_in: self.rows_in.saturating_sub(before.rows_in),
             rows_out: self.rows_out.saturating_sub(before.rows_out),
             network_bytes: self.network_bytes.saturating_sub(before.network_bytes),
+            pruned_morsels: self.pruned_morsels.saturating_sub(before.pruned_morsels),
+            pruned_bytes: self.pruned_bytes.saturating_sub(before.pruned_bytes),
             peak_bytes: self.peak_bytes.saturating_sub(before.peak_bytes),
         }
     }
@@ -104,6 +117,8 @@ impl WorkProfile {
             ("rows_in", self.rows_in),
             ("rows_out", self.rows_out),
             ("network_bytes", self.network_bytes),
+            ("pruned_morsels", self.pruned_morsels),
+            ("pruned_bytes", self.pruned_bytes),
             ("peak_bytes", self.peak_bytes),
         ]
         .into_iter()
@@ -126,6 +141,8 @@ impl WorkProfile {
             rows_in: s(self.rows_in),
             rows_out: s(self.rows_out),
             network_bytes: s(self.network_bytes),
+            pruned_morsels: s(self.pruned_morsels),
+            pruned_bytes: s(self.pruned_bytes),
             peak_bytes: s(self.peak_bytes),
         }
     }
@@ -144,6 +161,8 @@ impl Add for WorkProfile {
             rows_in: self.rows_in + o.rows_in,
             rows_out: self.rows_out + o.rows_out,
             network_bytes: self.network_bytes + o.network_bytes,
+            pruned_morsels: self.pruned_morsels + o.pruned_morsels,
+            pruned_bytes: self.pruned_bytes + o.pruned_bytes,
             peak_bytes: self.peak_bytes + o.peak_bytes,
         }
     }

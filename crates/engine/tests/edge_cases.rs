@@ -85,6 +85,25 @@ fn limit_beyond_input_and_zero() {
 }
 
 #[test]
+fn noop_limit_passes_input_through_without_copying() {
+    // A limit keeping every row used to gather a full copy of every
+    // column; it must share the input's column handles instead.
+    let cat = catalog();
+    let (r, _) = execute_query(&PlanBuilder::scan("t").limit(100).build(), &cat).expect("runs");
+    assert_eq!(r.num_rows(), 5);
+    let table = cat.table("t").expect("registered");
+    for (i, (_, c)) in r.fields().iter().enumerate() {
+        assert!(Arc::ptr_eq(c, table.column(i)), "no-op limit must share column {i}, not copy it");
+    }
+    // A genuinely cutting limit still materializes fresh columns.
+    let (r, _) = execute_query(&PlanBuilder::scan("t").limit(4).build(), &cat).expect("runs");
+    assert_eq!(r.num_rows(), 4);
+    for (i, (_, c)) in r.fields().iter().enumerate() {
+        assert!(!Arc::ptr_eq(c, table.column(i)), "cutting limit must copy column {i}");
+    }
+}
+
+#[test]
 fn sort_then_limit_is_top_n() {
     let cat = catalog();
     let plan = PlanBuilder::scan("t").sort(vec![SortKey::desc("v")]).limit(2).build();

@@ -228,6 +228,8 @@ fn profile_from(
         rows_in: ri,
         rows_out: ro,
         network_bytes: nb,
+        pruned_morsels: 0,
+        pruned_bytes: 0,
         peak_bytes: 0,
     }
 }

@@ -112,6 +112,21 @@ pub fn modeled_fused_gain(hw: &HwProfile, materialize: &WorkProfile, fused: &Wor
     predict_all_cores(hw, materialize).total_s() / predict_all_cores(hw, fused).total_s()
 }
 
+/// Modeled speedup zone-map pruning buys on `hw`, all cores: the pruned
+/// run's own [`WorkProfile`] records the bytes it *didn't* stream in
+/// `pruned_bytes` (DESIGN.md §14), so the unpruned baseline is
+/// reconstructed by crediting those bytes back onto the sequential-read
+/// roofline. Pruning, like fusion, removes pure bandwidth — the gain is
+/// largest on the machines the paper calls wimpy: a one-channel Pi sees a
+/// bigger ratio than a six-channel Xeon from the same skipped bytes.
+pub fn modeled_prune_gain(hw: &HwProfile, pruned: &WorkProfile) -> f64 {
+    let mut unpruned = *pruned;
+    unpruned.seq_read_bytes = unpruned.seq_read_bytes.saturating_add(unpruned.pruned_bytes);
+    unpruned.pruned_bytes = 0;
+    unpruned.pruned_morsels = 0;
+    predict_all_cores(hw, &unpruned).total_s() / predict_all_cores(hw, pruned).total_s()
+}
+
 /// Predicts with every hardware thread in use — the TPC-H configuration
 /// (the paper runs MonetDB with full parallelism).
 pub fn predict_all_cores(hw: &HwProfile, work: &WorkProfile) -> Prediction {
@@ -287,6 +302,28 @@ mod tests {
             pi_gain > e5_gain,
             "erased write traffic must matter more on one DDR2 channel: pi {pi_gain} vs e5 {e5_gain}"
         );
+    }
+
+    #[test]
+    fn prune_gain_is_larger_on_the_pi() {
+        // A pruned scan that skipped half its bytes: the reconstructed
+        // unpruned baseline streams twice the reads, which hurts most where
+        // bandwidth is the roofline.
+        let mut pruned = scan_heavy();
+        pruned.pruned_bytes = pruned.seq_read_bytes;
+        pruned.pruned_morsels = 8;
+        let pi = pi3b();
+        let e5 = profile("op-e5").unwrap();
+        let pi_gain = modeled_prune_gain(&pi, &pruned);
+        let e5_gain = modeled_prune_gain(&e5, &pruned);
+        assert!(pi_gain > 1.0, "pruning must help the Pi: {pi_gain}");
+        assert!(
+            pi_gain > e5_gain,
+            "skipped bytes must matter more on one DDR2 channel: pi {pi_gain} vs e5 {e5_gain}"
+        );
+        // No skipped bytes → the reconstruction is the identity.
+        let noop = scan_heavy();
+        assert!((modeled_prune_gain(&pi, &noop) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -110,10 +110,15 @@ impl Decimal64 {
                 c.to_digit(10).ok_or_else(|| StorageError::Parse(format!("bad decimal: {s:?}")))?;
             mantissa = mantissa * 10 + d as i128;
         }
+        // Validate the *entire* fraction before scaling: a stray byte past
+        // the `scale`-th digit ("1.23x" at scale 2) must be rejected, not
+        // silently dropped with the truncated tail.
+        if frac_part.bytes().any(|b| !b.is_ascii_digit()) {
+            return Err(StorageError::Parse(format!("bad decimal: {s:?}")));
+        }
         for i in 0..scale as usize {
             let d = match frac_part.as_bytes().get(i) {
-                Some(b) if b.is_ascii_digit() => (b - b'0') as i128,
-                Some(_) => return Err(StorageError::Parse(format!("bad decimal: {s:?}"))),
+                Some(b) => (b - b'0') as i128,
                 None => 0,
             };
             mantissa = mantissa * 10 + d;
@@ -126,18 +131,14 @@ impl Decimal64 {
             .map_err(|_| StorageError::DecimalOverflow)
     }
 
-    /// Rescales to a new scale, truncating toward zero when narrowing.
+    /// Rescales to a new scale, rounding half away from zero when narrowing
+    /// — the same convention as [`Decimal64::mul`], so scalar rescales and
+    /// the multiply path can never disagree on the last digit.
     pub fn rescale(self, scale: u8) -> Result<Self> {
         if scale == self.scale {
             return Ok(self);
         }
-        let m = self.mantissa as i128;
-        let m = if scale > self.scale {
-            m.checked_mul(POW10[(scale - self.scale) as usize])
-                .ok_or(StorageError::DecimalOverflow)?
-        } else {
-            m / POW10[(self.scale - scale) as usize]
-        };
+        let m = rescale_i128(self.mantissa as i128, self.scale as usize, scale as usize)?;
         i64::try_from(m)
             .map(|m| Self { mantissa: m, scale })
             .map_err(|_| StorageError::DecimalOverflow)
@@ -250,6 +251,42 @@ mod tests {
         assert!(Decimal64::from_str_scale("", 2).is_err());
         assert!(Decimal64::from_str_scale("1.2x", 3).is_err());
         assert!(Decimal64::from_str_scale("abc", 2).is_err());
+        // Garbage *past* the retained digits used to slip through: the old
+        // loop read only the first `scale` fraction bytes, so "1.23x" at
+        // scale 2 parsed as 1.23.
+        assert!(Decimal64::from_str_scale("1.23x", 2).is_err());
+        assert!(Decimal64::from_str_scale("1.2 3", 2).is_err());
+        assert!(Decimal64::from_str_scale("0.00#", 2).is_err());
+        assert!(Decimal64::from_str_scale("-5.1e3", 1).is_err());
+    }
+
+    #[test]
+    fn parse_truncates_long_valid_fractions() {
+        // Extra *valid* digits are still truncated per the documented
+        // contract ("scaling or truncating"): only garbage is rejected.
+        let d = Decimal64::from_str_scale("1.239", 2).unwrap();
+        assert_eq!(d.mantissa(), 123);
+    }
+
+    #[test]
+    fn rescale_narrowing_rounds_half_away_from_zero() {
+        // 1.25 → scale 1 must give 1.3 (not the old truncation to 1.2),
+        // matching what `mul` produces for the same narrowing.
+        assert_eq!(Decimal64::new(125, 2).rescale(1).unwrap(), Decimal64::new(13, 1));
+        assert_eq!(Decimal64::new(-125, 2).rescale(1).unwrap(), Decimal64::new(-13, 1));
+        assert_eq!(Decimal64::new(124, 2).rescale(1).unwrap(), Decimal64::new(12, 1));
+        assert_eq!(Decimal64::new(-124, 2).rescale(1).unwrap(), Decimal64::new(-12, 1));
+        // Agreement with the mul path: x.rescale(s) == x.mul(1, s).
+        for m in [-1999i64, -125, -5, 0, 5, 125, 1999] {
+            let x = Decimal64::new(m, 3);
+            for s in 0..=3u8 {
+                assert_eq!(
+                    x.rescale(s).unwrap(),
+                    x.mul(Decimal64::one(0), s).unwrap(),
+                    "rescale({m}e-3 -> {s}) diverged from mul"
+                );
+            }
+        }
     }
 
     #[test]

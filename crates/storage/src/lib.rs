@@ -19,6 +19,7 @@ pub mod schema;
 pub mod selection;
 pub mod table;
 pub mod value;
+pub mod zonemap;
 
 pub use checksum::crc32c;
 pub use column::Column;
@@ -31,3 +32,4 @@ pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use selection::SelVec;
 pub use table::{Catalog, Table};
 pub use value::Value;
+pub use zonemap::{ColumnZones, ZoneMap};

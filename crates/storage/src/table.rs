@@ -7,15 +7,18 @@ use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::integrity::IntegrityManifest;
 use crate::schema::{Schema, SchemaRef};
+use crate::zonemap::ZoneMap;
 
 /// An immutable in-memory table: a schema plus one column per field, plus an
-/// optional sealed [`IntegrityManifest`] vouching for the column bytes.
+/// optional sealed [`IntegrityManifest`] vouching for the column bytes and
+/// an optional sealed [`ZoneMap`] summarizing them for scan pruning.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: SchemaRef,
     columns: Vec<Arc<Column>>,
     nrows: usize,
     manifest: Option<Arc<IntegrityManifest>>,
+    zones: Option<Arc<ZoneMap>>,
 }
 
 impl Table {
@@ -42,6 +45,7 @@ impl Table {
             columns: columns.into_iter().map(Arc::new).collect(),
             nrows,
             manifest: None,
+            zones: None,
         })
     }
 
@@ -66,10 +70,33 @@ impl Table {
         self.manifest.as_ref()
     }
 
+    /// Seals a [`ZoneMap`] over the current column bytes at the default
+    /// morsel granularity and returns the table carrying it. Like the
+    /// integrity manifest, seal at generation/load time — the summaries
+    /// describe exactly the bytes present now (DESIGN.md §14).
+    pub fn with_zone_maps(mut self) -> Self {
+        self.zones = Some(Arc::new(ZoneMap::seal(&self)));
+        self
+    }
+
+    /// [`Table::with_zone_maps`] on an explicit chunk grid — tests and
+    /// benchmarks shrink it to exercise multi-chunk pruning on small data.
+    pub fn with_zone_maps_at(mut self, chunk_rows: usize) -> Self {
+        self.zones = Some(Arc::new(ZoneMap::seal_with(&self, chunk_rows)));
+        self
+    }
+
+    /// The sealed zone map, if any.
+    pub fn zones(&self) -> Option<&Arc<ZoneMap>> {
+        self.zones.as_ref()
+    }
+
     /// A copy of this table with the column at ordinal `index` replaced
     /// (type and length checked) and every other column Arc-shared. The
     /// manifest handle is carried over unchanged — when the replacement
-    /// holds different bytes, scan-time verification will say so.
+    /// holds different bytes, scan-time verification will say so. The zone
+    /// map is *dropped*: a stale summary over swapped bytes would silently
+    /// mis-prune, whereas the stale manifest detects the swap.
     pub fn with_replaced_column(&self, index: usize, column: Column) -> Result<Self> {
         let field = &self.schema.fields()[index];
         if column.data_type() != field.data_type {
@@ -88,6 +115,7 @@ impl Table {
             columns,
             nrows: self.nrows,
             manifest: self.manifest.clone(),
+            zones: None,
         })
     }
 
@@ -188,6 +216,22 @@ impl Catalog {
             self.tables.insert(name, Arc::new(sealed));
         }
     }
+
+    /// Seals a [`ZoneMap`] over every table that does not carry one yet,
+    /// mirroring [`Catalog::seal_integrity`] (including its caveat about
+    /// shared handles losing their sharing).
+    pub fn seal_zone_maps(&mut self) {
+        let unsealed: Vec<String> = self
+            .tables
+            .iter()
+            .filter(|(_, t)| t.zones().is_none())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in unsealed {
+            let sealed = self.tables[&name].as_ref().clone().with_zone_maps();
+            self.tables.insert(name, Arc::new(sealed));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +319,30 @@ mod tests {
         let before = Arc::as_ptr(c.table("t").unwrap().manifest().unwrap());
         c.seal_integrity();
         assert_eq!(before, Arc::as_ptr(c.table("t").unwrap().manifest().unwrap()));
+    }
+
+    #[test]
+    fn catalog_seal_zone_maps_covers_every_table() {
+        let mut c = Catalog::new();
+        c.register("t", small_table());
+        c.seal_zone_maps();
+        let z = c.table("t").unwrap().zones().expect("sealed");
+        assert_eq!(z.range_over("k", 0..3), Some((1, 3)));
+        // Idempotent: a second seal keeps the existing zone-map handle.
+        let before = Arc::as_ptr(c.table("t").unwrap().zones().unwrap());
+        c.seal_zone_maps();
+        assert_eq!(before, Arc::as_ptr(c.table("t").unwrap().zones().unwrap()));
+    }
+
+    #[test]
+    fn replaced_columns_drop_zone_maps() {
+        let t = small_table().with_zone_maps();
+        assert!(t.zones().is_some());
+        let swapped = t.with_replaced_column(0, Column::Int64(vec![9, 2, 3])).expect("valid swap");
+        assert!(
+            swapped.zones().is_none(),
+            "stale zone maps over swapped bytes would silently mis-prune"
+        );
     }
 
     #[test]

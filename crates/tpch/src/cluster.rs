@@ -1,0 +1,126 @@
+//! Physical clustering: re-ordering a generated table on a sort key.
+//!
+//! The raw TPC-H layout emits `l_shipdate` (and the other date columns) in
+//! key order, which spreads every date uniformly across the file — a
+//! per-morsel min/max summary then spans the whole domain and zone-map
+//! pruning can never skip anything. Real ingest pipelines land data in
+//! arrival (≈ date) order, so the prune benchmark clusters `lineitem` by
+//! `l_shipdate` to restore that locality before sealing zone maps
+//! (DESIGN.md §14). Clustering is a pure row permutation: every query
+//! result is bit-identical to the unclustered catalog's.
+
+use wimpi_storage::{Catalog, Column, Result, StorageError, Table};
+
+use crate::gen::Generator;
+
+/// A copy of `table` with its rows stably re-ordered so `column` ascends.
+///
+/// The stable argsort keeps equal-key rows in their original relative
+/// order, so the permutation — and thus every sealed summary over it — is
+/// deterministic. Seals (integrity manifest, zone maps) are *not* carried
+/// over: the caller re-seals the permuted bytes.
+pub fn cluster_by(table: &Table, column: &str) -> Result<Table> {
+    if table.num_rows() > u32::MAX as usize {
+        return Err(StorageError::LengthMismatch {
+            left: table.num_rows(),
+            right: u32::MAX as usize,
+        });
+    }
+    let key = table.column_by_name(column)?;
+    let mut order: Vec<u32> = (0..table.num_rows() as u32).collect();
+    match key.as_ref() {
+        Column::Int64(v) => order.sort_by_key(|&i| v[i as usize]),
+        Column::Int32(v) => order.sort_by_key(|&i| v[i as usize]),
+        Column::Date(v) => order.sort_by_key(|&i| v[i as usize]),
+        Column::Decimal(v, _) => order.sort_by_key(|&i| v[i as usize]),
+        Column::Bool(v) => order.sort_by_key(|&i| v[i as usize]),
+        Column::Float64(v) => order.sort_by(|&a, &b| v[a as usize].total_cmp(&v[b as usize])),
+        Column::Str(d) => order.sort_by_key(|&i| d.get(i as usize)),
+    }
+    let columns = (0..table.num_columns()).map(|j| table.column(j).take(&order)).collect();
+    Table::new(table.schema().as_ref().clone(), columns)
+}
+
+/// The single-node catalog with `lineitem` clustered by `l_shipdate` and
+/// `orders` by `o_orderdate`, then sealed (integrity + zone maps) — the
+/// layout the scan-pruning benchmark and CI smoke run against.
+pub fn clustered_catalog(sf: f64) -> Result<Catalog> {
+    let mut cat = Generator::new(sf).generate_catalog()?;
+    for (name, key) in [("lineitem", "l_shipdate"), ("orders", "o_orderdate")] {
+        let sorted = cluster_by(cat.table(name)?, key)?;
+        cat.register(name, sorted);
+    }
+    cat.seal_integrity();
+    cat.seal_zone_maps();
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_is_a_stable_permutation() {
+        let gen = Generator::new(0.001);
+        let (_, lineitem) = gen.orders_lineitem().unwrap();
+        let sorted = cluster_by(&lineitem, "l_shipdate").unwrap();
+        assert_eq!(sorted.num_rows(), lineitem.num_rows());
+
+        // Sorted key, and the multiset of every column is preserved — spot
+        // check via per-column sums that a permutation cannot change.
+        let dates = match sorted.column_by_name("l_shipdate").unwrap().as_ref() {
+            Column::Date(v) => v.clone(),
+            other => panic!("unexpected type {:?}", other.data_type()),
+        };
+        assert!(dates.windows(2).all(|w| w[0] <= w[1]), "l_shipdate must ascend");
+        for j in 0..lineitem.num_columns() {
+            let (a, b) = (lineitem.column(j), sorted.column(j));
+            let sum = |c: &Column| -> i128 {
+                match c {
+                    Column::Int64(v) => v.iter().map(|&x| x as i128).sum(),
+                    Column::Decimal(v, _) => v.iter().map(|&x| x as i128).sum(),
+                    Column::Date(v) => v.iter().map(|&x| x as i128).sum(),
+                    Column::Str(d) => (0..d.len()).map(|i| d.get(i).len() as i128).sum(),
+                    _ => 0,
+                }
+            };
+            assert_eq!(sum(a), sum(b), "column {j} multiset changed");
+        }
+
+        // Determinism: clustering twice yields identical bytes.
+        let again = cluster_by(&lineitem, "l_shipdate").unwrap();
+        for j in 0..sorted.num_columns() {
+            assert_eq!(sorted.column(j), again.column(j));
+        }
+    }
+
+    #[test]
+    fn clustered_catalog_is_sealed_and_sorted() {
+        let cat = clustered_catalog(0.001).unwrap();
+        let li = cat.table("lineitem").unwrap();
+        assert!(li.zones().is_some(), "clustered catalog seals zone maps");
+        assert!(li.manifest().is_some(), "and integrity manifests");
+        let dates = match li.column_by_name("l_shipdate").unwrap().as_ref() {
+            Column::Date(v) => v.clone(),
+            other => panic!("unexpected type {:?}", other.data_type()),
+        };
+        assert!(dates.windows(2).all(|w| w[0] <= w[1]), "l_shipdate must ascend");
+    }
+
+    #[test]
+    fn clustering_tightens_zone_ranges() {
+        // Re-seal on a fine grid so even tiny test data spans many chunks:
+        // after clustering, one chunk covers a sliver of the date domain.
+        let gen = Generator::new(0.001);
+        let (_, lineitem) = gen.orders_lineitem().unwrap();
+        let sorted = cluster_by(&lineitem, "l_shipdate").unwrap().with_zone_maps_at(512);
+        let zones = sorted.zones().unwrap();
+        let full =
+            zones.range_over("l_shipdate", 0..sorted.num_rows()).expect("date ranges sealed");
+        let chunk = zones.range_over("l_shipdate", 0..512).expect("first chunk range");
+        assert!(
+            chunk.1 - chunk.0 < (full.1 - full.0) / 2,
+            "a clustered chunk must span a fraction of the domain: {chunk:?} vs {full:?}"
+        );
+    }
+}

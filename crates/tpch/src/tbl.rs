@@ -164,6 +164,19 @@ mod tests {
     }
 
     #[test]
+    fn rejects_trailing_garbage_in_decimal_fields() {
+        // `Decimal64::from_str_scale` once accepted anything after the
+        // fractional digits ("711.56x" parsed as 711.56); a loader must not
+        // silently coerce such fields.
+        // (Surrounding whitespace is trimmed by design, so it is not here.)
+        for bad in ["711.56x", "711.56.7", "7-11.56", "71x.56"] {
+            let line = format!("1|a|addr|15|phone|{bad}|BUILDING|c|\n");
+            let err = read_tbl("customer", line.as_bytes()).unwrap_err().to_string();
+            assert!(err.contains("c_acctbal"), "{bad:?} must fail on the decimal: {err}");
+        }
+    }
+
+    #[test]
     fn malformed_fields_name_the_line_and_column() {
         // Row 2's account balance is not a decimal.
         let input = "1|a|addr|15|phone|711.56|BUILDING|c|\n\

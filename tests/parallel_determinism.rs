@@ -264,8 +264,10 @@ mod bytecode_vs_evaluator {
     //! bit-for-bit with the recursive evaluator wherever it compiles.
     //! Expressions are grown from a drawn opcode stream (the vendored
     //! proptest shim has no recursive strategies), covering arithmetic over
-    //! mixed int/decimal/float columns, comparisons, logical combinations,
-    //! LIKE / IN / BETWEEN / CASE / EXTRACT(YEAR), and scalar folding.
+    //! mixed int/decimal/float columns, mixed-scale decimal rescales
+    //! (literal scales 0–4 against scale-1/2 columns), comparisons, logical
+    //! combinations, LIKE / IN / BETWEEN / CASE / EXTRACT(YEAR), and scalar
+    //! folding.
 
     use proptest::prelude::*;
     use std::sync::Arc;
@@ -325,7 +327,7 @@ mod bytecode_vs_evaluator {
         }
 
         fn num_leaf(&self) -> Expr {
-            match self.next() % 9 {
+            match self.next() % 10 {
                 0 => col("i"),
                 1 => col("j"),
                 2 => col("d"),
@@ -335,6 +337,14 @@ mod bytecode_vs_evaluator {
                 6 => lit((self.next() % 100) as i64 - 50),
                 7 => lit(Value::Dec(Decimal64::new((self.next() % 2000) as i64 - 1000, 2))),
                 8 => lit((self.next() % 100) as f64 / 4.0 - 12.5),
+                // Decimal literals at scales 0–4: combined with the scale-1
+                // and scale-2 columns these force both widening and
+                // narrowing rescales, pinning the VM to the evaluator's
+                // rounding convention on every mixed-scale path.
+                9 => lit(Value::Dec(Decimal64::new(
+                    (self.next() % 4000) as i64 - 2000,
+                    (self.next() % 5) as u8,
+                ))),
                 _ => unreachable!(),
             }
         }

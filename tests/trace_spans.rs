@@ -97,6 +97,34 @@ fn emitted_json_passes_the_independent_checker() {
 }
 
 #[test]
+fn pruned_counters_reconcile_through_the_trace_checker() {
+    // Zone-map pruning surfaces `pruned_morsels`/`pruned_bytes` through the
+    // generic counter pairs; the root span must still equal the profile
+    // verbatim and the emitted JSON must satisfy the independent checker's
+    // Σ self == root-total invariant — with skips actually firing.
+    // Re-seal on a fine grid: SF 0.01 lineitem fits one default-grid chunk.
+    let mut cat = wimpi::tpch::clustered_catalog(SF).expect("clustered catalog generates");
+    let names: Vec<String> = cat.names().map(String::from).collect();
+    for name in names {
+        let fine = cat.table(&name).unwrap().as_ref().clone().with_zone_maps_at(1024);
+        cat.register(&name, fine);
+    }
+    for qn in [6, 14] {
+        let cfg = EngineConfig::with_threads(2).with_morsel_rows(4096).with_prune_scans(true);
+        let (rel, prof, span) = run_traced(&query(qn), &cat, &cfg)
+            .unwrap_or_else(|e| panic!("Q{qn} traces pruned: {e}"));
+        let (rel0, _) = run_with(&query(qn), &cat, &cfg.with_prune_scans(false)).expect("baseline");
+        assert_eq!(rel, rel0, "Q{qn}: pruning changed the traced result");
+        assert_eq!(span.counters, prof.counter_pairs(), "Q{qn}: root counters == profile");
+        validate_trace_json(&span.to_json()).unwrap_or_else(|e| panic!("Q{qn} rejected: {e}"));
+    }
+    // Non-vacuous: the clustered fine-morsel Q6 really skipped work.
+    let cfg = EngineConfig::with_threads(2).with_morsel_rows(4096).with_prune_scans(true);
+    let (_, prof, _) = run_traced(&query(6), &cat, &cfg).expect("traced run");
+    assert!(prof.pruned_morsels > 0, "Q6 must skip morsels on the clustered catalog");
+}
+
+#[test]
 fn explain_analyze_traces_sql() {
     let cat = catalog();
     let sql = "EXPLAIN ANALYZE SELECT l_returnflag, count(*) AS n \

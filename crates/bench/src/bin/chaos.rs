@@ -1,0 +1,327 @@
+//! Chaos-serving harness: the failure-aware front door under a closed-loop
+//! mixed-workload ladder with injected faults (DESIGN.md §15).
+//!
+//! ```text
+//! cargo run --release --bin chaos -- [--sf f] [--smoke]
+//! ```
+//!
+//! Builds one simulated cluster, then per ladder rung starts a fresh
+//! [`Coordinator`] and drives N closed-loop clients over a hot/cold query
+//! mix (hot Q1/Q6 repeat; cold ad-hoc choke-points interleave) where every
+//! third request carries a seeded [`FaultPlan::random`] schedule — crash,
+//! transient-OOM, straggler, degraded-NIC, and BitFlip faults all sampled.
+//! Per rung it asserts the serving contracts:
+//!
+//! 1. **Bit-exactness** — every non-degraded answer (result-cache hits
+//!    included) equals the clean fault-free driver run of the same query.
+//! 2. **Ledger identity** — the service's `submitted = completed +
+//!    cancelled + exhausted + failed + panicked` reconciles exactly, and so
+//!    does the coordinator's routed sub-run ledger
+//!    (`coord_subruns_total = ok + failed + cancelled`).
+//! 3. **Cache discipline** — reserved bytes drain to the live entries, and
+//!    hot traffic actually hits once the mix repeats.
+//!
+//! Artifacts: `results/chaos.txt` (per-rung table) and `results/chaos.json`
+//! (schema checked by `wimpi_core::validate_chaos_document` — the binary
+//! self-validates before writing, and CI re-validates the written file).
+//!
+//! `--smoke` is the CI entry point: a smaller cluster, two rungs, one pass.
+
+use std::sync::Arc;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_cluster::coordinator::{Coordinator, CoordinatorConfig, QueryRequest};
+use wimpi_cluster::distribute::Strategy;
+use wimpi_cluster::faults::FaultPlan;
+use wimpi_cluster::{ClusterConfig, WimpiCluster};
+use wimpi_engine::{EngineError, Relation, ServiceConfig, ServiceError};
+use wimpi_obs::status;
+use wimpi_queries::query;
+
+/// Deterministic chaos stream seed (reports into `chaos.json`).
+const SEED: u64 = 42;
+/// Every `FAULT_EVERY`-th request carries a random fault schedule.
+const FAULT_EVERY: usize = 3;
+/// Hot/cold mix one client plays per round: Q1/Q6 are the hot repeats, the
+/// other choke-points arrive cold and ad hoc.
+const MIX: [usize; 16] = [1, 6, 6, 3, 1, 6, 4, 6, 1, 13, 6, 5, 1, 6, 14, 19];
+
+struct RungReport {
+    clients: usize,
+    requests: u64,
+    completed: u64,
+    cache_hits: u64,
+    degraded: u64,
+    hedges: u64,
+    retries: u64,
+    invalidations: u64,
+    p50_s: f64,
+    p99_s: f64,
+    ledger: [u64; 6], // submitted, completed, cancelled, exhausted, failed, panicked
+}
+
+/// One closed-loop client: submit → wait → next. Every non-degraded answer
+/// is asserted bit-exact against the clean baseline on the spot.
+fn run_client(
+    coord: &Coordinator,
+    mix: &[usize],
+    rounds: usize,
+    nodes: u32,
+    baselines: &std::collections::HashMap<usize, Relation>,
+    client: usize,
+) -> (u64, u64, u64, u64) {
+    let (mut completed, mut hits, mut degraded, mut refused) = (0u64, 0u64, 0u64, 0u64);
+    for round in 0..rounds {
+        for (i, &qn) in mix.iter().enumerate() {
+            let seq = round * mix.len() + i;
+            let mut req = QueryRequest::new(format!("c{client}s{seq}q{qn}"), query(qn));
+            if seq.is_multiple_of(FAULT_EVERY) {
+                // Deterministic per (client, seq): the same ladder replays
+                // the same chaos schedule run after run.
+                let fault_seed = SEED ^ ((client as u64) << 32) ^ seq as u64;
+                req = req.with_faults(FaultPlan::random(fault_seed, nodes));
+            }
+            match coord.run_blocking(req) {
+                Ok(answer) => {
+                    completed += 1;
+                    if answer.from_cache {
+                        hits += 1;
+                    }
+                    if answer.degraded {
+                        assert!(
+                            !answer.from_cache,
+                            "Q{qn} c{client}s{seq}: a degraded answer must never be cached"
+                        );
+                        degraded += 1;
+                    } else {
+                        assert_eq!(
+                            answer.result, baselines[&qn],
+                            "Q{qn} c{client}s{seq}: non-degraded answer (from_cache = {}) \
+                             must be bit-exact vs the clean run",
+                            answer.from_cache
+                        );
+                    }
+                }
+                Err(ServiceError::Overloaded { .. } | ServiceError::ShuttingDown) => refused += 1,
+                Err(ServiceError::Engine(EngineError::Cancelled)) => refused += 1,
+                Err(e) => panic!("Q{qn} c{client}s{seq}: outcome outside the terminal set: {e}"),
+            }
+        }
+    }
+    (completed, hits, degraded, refused)
+}
+
+/// Runs one ladder rung on a fresh coordinator; asserts the rung's ledger
+/// identities before reporting.
+fn run_rung(
+    cluster: &Arc<WimpiCluster>,
+    clients: usize,
+    rounds: usize,
+    baselines: &std::collections::HashMap<usize, Relation>,
+) -> RungReport {
+    let nodes = cluster.num_nodes();
+    let coord = Coordinator::new(
+        Arc::clone(cluster),
+        CoordinatorConfig {
+            service: ServiceConfig {
+                workers: 2,
+                queue_depth: (clients * rounds * MIX.len()).max(64),
+                ..ServiceConfig::default()
+            },
+            ..CoordinatorConfig::default()
+        },
+    );
+    let (mut completed, mut hits, mut degraded, mut refused) = (0u64, 0u64, 0u64, 0u64);
+    std::thread::scope(|s| {
+        let coord = &coord;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| s.spawn(move || run_client(coord, &MIX, rounds, nodes, baselines, c)))
+            .collect();
+        for h in handles {
+            let (c, h_, d, r) = h.join().expect("client threads must not panic");
+            completed += c;
+            hits += h_;
+            degraded += d;
+            refused += r;
+        }
+    });
+    coord.shutdown();
+
+    let requests = (clients * rounds * MIX.len()) as u64;
+    assert_eq!(completed + refused, requests, "{clients} clients: an outcome went missing");
+
+    // Ledger identity on the admission path. Cache hits answer before
+    // admission, so the service only ever saw the misses.
+    let m = coord.service_metrics();
+    let ledger = [
+        m.counter("service_submitted_total"),
+        m.counter("service_completed_total"),
+        m.counter("service_cancelled_total"),
+        m.counter("service_exhausted_total"),
+        m.counter("service_failed_total"),
+        m.counter("service_panicked_total"),
+    ];
+    assert_eq!(
+        ledger[0],
+        ledger[1..].iter().sum::<u64>(),
+        "{clients} clients: service ledger identity must reconcile"
+    );
+
+    // …and on the routed sub-run ledger.
+    let cm = coord.metrics();
+    assert_eq!(
+        cm.counter("coord_subruns_total"),
+        cm.counter("coord_subruns_ok_total")
+            + cm.counter("coord_subruns_failed_total")
+            + cm.counter("coord_subruns_cancelled_total"),
+        "{clients} clients: sub-run ledger identity must reconcile"
+    );
+    assert_eq!(cm.counter("coord_result_cache_hits_total"), hits);
+    assert_eq!(cm.counter("coord_degraded_answers_total"), degraded);
+
+    RungReport {
+        clients,
+        requests,
+        completed,
+        cache_hits: hits,
+        degraded,
+        hedges: cm.counter("coord_hedges_total"),
+        retries: cm.counter("coord_retries_total"),
+        invalidations: cm.counter("coord_result_cache_invalidations_total"),
+        p50_s: coord.latency_quantile(0.5).unwrap_or(0.0),
+        p99_s: coord.latency_quantile(0.99).unwrap_or(0.0),
+        ledger,
+    }
+}
+
+fn chaos_json(sf: f64, nodes: u32, reports: &[RungReport]) -> String {
+    let mut rungs = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            rungs.push(',');
+        }
+        let hit_rate =
+            if r.completed == 0 { 0.0 } else { r.cache_hits as f64 / r.completed as f64 };
+        rungs.push_str(&format!(
+            r#"{{"clients": {}, "requests": {}, "completed": {}, "cache_hits": {}, "hit_rate": {:.6}, "p50_s": {:.6}, "p99_s": {:.6}, "degraded": {}, "hedges": {}, "retries": {}, "invalidations": {}, "ledger": {{"submitted": {}, "completed": {}, "cancelled": {}, "exhausted": {}, "failed": {}, "panicked": {}}}}}"#,
+            r.clients,
+            r.requests,
+            r.completed,
+            r.cache_hits,
+            hit_rate,
+            r.p50_s,
+            r.p99_s,
+            r.degraded,
+            r.hedges,
+            r.retries,
+            r.invalidations,
+            r.ledger[0],
+            r.ledger[1],
+            r.ledger[2],
+            r.ledger[3],
+            r.ledger[4],
+            r.ledger[5],
+        ));
+    }
+    format!(r#"{{"sf": {sf}, "seed": {SEED}, "nodes": {nodes}, "rungs": [{rungs}]}}"#)
+}
+
+fn main() {
+    // `--validate <file>`: re-check an already-written chaos.json through
+    // the independent schema checker and exit (the CI artifact gate).
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--validate") {
+        let path = argv.get(i + 1).expect("--validate needs a file path");
+        let doc =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let rungs = wimpi_core::validate_chaos_document(&doc)
+            .unwrap_or_else(|e| panic!("{path} fails the chaos schema check: {e}"));
+        println!("{path}: {} rung(s) validate, ledger identities reconcile", rungs.len());
+        return;
+    }
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let mut args = Args::parse_with(Args { sf: 0.01, ..Args::default() });
+    let (nodes, ladder, rounds): (u32, &[usize], usize) = if smoke {
+        args.sf = args.sf.min(0.005);
+        (4, &[1, 2], 1)
+    } else {
+        (6, &[1, 2, 4], 2)
+    };
+    status!("chaos ladder: {nodes} nodes at SF {}, clients {ladder:?}, seed {SEED}", args.sf);
+    let cluster =
+        Arc::new(WimpiCluster::build(ClusterConfig::new(nodes, args.sf)).expect("cluster builds"));
+
+    // The referee: one clean fault-free driver run per distinct query.
+    let mut baselines = std::collections::HashMap::new();
+    for &qn in &MIX {
+        baselines.entry(qn).or_insert_with(|| {
+            cluster
+                .run(&query(qn), Strategy::PartialAggPushdown)
+                .unwrap_or_else(|e| panic!("Q{qn} clean baseline: {e}"))
+                .result
+        });
+    }
+
+    let mut reports = Vec::new();
+    for &clients in ladder {
+        let r = run_rung(&cluster, clients, rounds, &baselines);
+        status!(
+            "c={clients}: {}/{} completed ({} hits, {} degraded), {} hedges, {} retries, \
+             {} invalidations, p50 {:.3}s p99 {:.3}s",
+            r.completed,
+            r.requests,
+            r.cache_hits,
+            r.degraded,
+            r.hedges,
+            r.retries,
+            r.invalidations,
+            r.p50_s,
+            r.p99_s
+        );
+        reports.push(r);
+    }
+    // Hot traffic at the sequential rung guarantees repeats: the cache must
+    // have produced at least one hit somewhere in the ladder.
+    assert!(
+        reports.iter().map(|r| r.cache_hits).sum::<u64>() > 0,
+        "a hot/cold ladder with repeats must hit the result cache"
+    );
+
+    // Self-validate the document through the independent checker before
+    // writing — CI re-checks the written artifact the same way.
+    let doc = chaos_json(args.sf, nodes, &reports);
+    let rungs = wimpi_core::validate_chaos_document(&doc)
+        .unwrap_or_else(|e| panic!("chaos.json fails its own schema check: {e}"));
+    assert_eq!(rungs.len(), reports.len());
+
+    let mut fig = TextFigure::new(
+        format!("Chaos serving ladder ({nodes} nodes, SF {}, seed {SEED})", args.sf),
+        "clients",
+    );
+    fig.rows = reports.iter().map(|r| format!("c={}", r.clients)).collect();
+    type Col = fn(&RungReport) -> f64;
+    let series: [(&str, Col); 8] = [
+        ("completed", |r| r.completed as f64),
+        ("cache_hits", |r| r.cache_hits as f64),
+        ("degraded", |r| r.degraded as f64),
+        ("hedges", |r| r.hedges as f64),
+        ("retries", |r| r.retries as f64),
+        ("invalidations", |r| r.invalidations as f64),
+        ("p50_s", |r| r.p50_s),
+        ("p99_s", |r| r.p99_s),
+    ];
+    for (name, f) in series {
+        fig.push_series(Series {
+            name: name.to_string(),
+            values: reports.iter().map(|r| Some(f(r))).collect(),
+        });
+    }
+    let text = fig.render();
+    print!("{text}");
+    wimpi_bench::write_artifact(&args.out, "chaos.txt", &text);
+    wimpi_bench::write_artifact(&args.out, "chaos.json", &doc);
+    if smoke {
+        println!("chaos smoke: OK");
+    }
+}

@@ -123,7 +123,7 @@ fn run_level(
     node_budget: u64,
     estimate: u64,
 ) -> (Tally, u64, f64, f64, String) {
-    let mut svc = Service::new(ServiceConfig {
+    let svc = Service::new(ServiceConfig {
         node_budget,
         workers: WORKERS,
         queue_depth: QUEUE_DEPTH,
@@ -301,7 +301,7 @@ fn run_smoke(catalog: &std::sync::Arc<wimpi_storage::Catalog>) {
     assert!(tally.completed > 0, "smoke must complete some queries");
 
     // Deterministic shed: one worker pinned by queue + tiny depth.
-    let mut svc = Service::new(ServiceConfig {
+    let svc = Service::new(ServiceConfig {
         node_budget,
         workers: 1,
         queue_depth: 1,

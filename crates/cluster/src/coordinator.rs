@@ -1,0 +1,1208 @@
+//! The failure-aware serving front door (DESIGN.md §15).
+//!
+//! [`Coordinator`] composes the two robustness layers the repo already has —
+//! the single-node admission/queue machinery of `engine::service` (PR 5) and
+//! the per-query fault recovery of [`crate::WimpiCluster`] (PR 1/6) — into
+//! one serving path that admits *concurrent* client traffic and routes each
+//! query's partitions across the simulated nodes using live health state:
+//!
+//! * **Circuit breakers** — `breaker_threshold` consecutive sub-run failures
+//!   open a node's breaker; routing stops attempting its home partition
+//!   until `breaker_cooldown_s` simulated seconds pass, after which exactly
+//!   one half-open probe (a real home attempt, priced like any other run)
+//!   decides between closing the breaker and re-opening it.
+//! * **Straggler EWMA + hedging** — every successful sub-run feeds a
+//!   per-node EWMA of simulated seconds; a home run slower than
+//!   `hedge_multiplier ×` the fleet median gets a duplicate dispatched on
+//!   the least-busy healthy node, and whichever copy finishes first wins
+//!   while the loser is cancelled cooperatively (its wasted work is
+//!   charged, mirroring the cluster's speculation accounting).
+//! * **Retry budget** — failed or breaker-blocked sub-runs are rerouted to
+//!   survivors with the capped-backoff idiom from [`crate::faults`], at most
+//!   `retry_budget` times per query; when the budget is exhausted the query
+//!   degrades to a partial answer with a coverage fraction (when
+//!   `degraded_ok`) instead of failing.
+//! * **Deterministic caching** — a normalized-plan cache (distribute once
+//!   per plan shape) and a bounded [`ResultCache`] whose entries are
+//!   governor-reserved through [`MemoryReservation`] and invalidated
+//!   whenever integrity repair or lost-partition regeneration touches an
+//!   underlying table. A cache hit is therefore provably bit-exact vs
+//!   recomputation: cached answers are non-degraded, every computed answer
+//!   is a deterministic function of (plan, sealed table bytes), and any
+//!   event that rewrote table bytes bumps the dependency versions first.
+//!
+//! The simulated clock that prices breaker cooldowns advances by each
+//! completed query's end-to-end seconds. Under concurrent workers the
+//! *order* of those advances is scheduling-dependent, so breaker timing may
+//! differ run to run — by construction that only moves *routing* decisions,
+//! never answers: every route executes the same deterministic partition
+//! work.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::distribute::{distribute, Distributed, Strategy, PARTIALS_TABLE};
+use crate::faults::{FaultKind, FaultPlan, Reassignment, RecoveryReport};
+use crate::{
+    concat_relations, least_busy, median_of, relation_to_table, ClusterError, NodeOutcome, Priced,
+    Result, WimpiCluster,
+};
+use wimpi_engine::{
+    EngineConfig, EngineError, MemoryReservation, QueryContext, QuerySpec, Relation, Service,
+    ServiceConfig, ServiceError, Ticket,
+};
+use wimpi_hwsim::predict;
+use wimpi_obs::Registry;
+use wimpi_queries::QueryPlan;
+use wimpi_storage::Catalog;
+
+/// Histogram bounds for end-to-end simulated latency (seconds).
+pub const LATENCY_BUCKETS: [f64; 9] = [0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0];
+
+/// Serving-path configuration. Defaults are deliberately conservative: two
+/// consecutive failures trip a breaker, hedges fire at 2× the fleet median,
+/// and the result cache holds 64 MiB of governor-reserved answers.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Partial-shipping strategy for routed queries.
+    pub strategy: Strategy,
+    /// Admission/queue/worker configuration of the embedded service.
+    pub service: ServiceConfig,
+    /// Consecutive sub-run failures that open a node's circuit breaker.
+    pub breaker_threshold: u32,
+    /// Simulated seconds an open breaker blocks routing before the
+    /// half-open probe.
+    pub breaker_cooldown_s: f64,
+    /// A home run slower than this multiple of the fleet-median EWMA gets a
+    /// hedged duplicate.
+    pub hedge_multiplier: f64,
+    /// EWMA smoothing factor for per-node sub-run seconds.
+    pub ewma_alpha: f64,
+    /// Rerouted sub-run attempts allowed per query.
+    pub retry_budget: u32,
+    /// Result-cache budget in bytes (0 disables result caching).
+    pub result_cache_bytes: u64,
+    /// Return partial answers with coverage when a partition is
+    /// unrecoverable, instead of failing the query.
+    pub degraded_ok: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::PartialAggPushdown,
+            service: ServiceConfig::default(),
+            breaker_threshold: 2,
+            breaker_cooldown_s: 5.0,
+            hedge_multiplier: 2.0,
+            ewma_alpha: 0.3,
+            retry_budget: 3,
+            result_cache_bytes: 64 << 20,
+            degraded_ok: true,
+        }
+    }
+}
+
+/// One client request: a named query, the fault schedule its run faces, and
+/// an optional admission estimate for the service's grant arbitration.
+pub struct QueryRequest {
+    /// Label used in errors, metrics, and the service queue.
+    pub label: String,
+    /// The query to serve.
+    pub query: QueryPlan,
+    /// Faults injected into this run (none by default).
+    pub faults: FaultPlan,
+    /// Declared scratch estimate for admission (service default if `None`).
+    pub estimate: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A fault-free request.
+    pub fn new(label: impl Into<String>, query: QueryPlan) -> Self {
+        Self { label: label.into(), query, faults: FaultPlan::none(), estimate: None }
+    }
+
+    /// Attaches a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Declares the admission estimate in bytes.
+    pub fn with_estimate(mut self, bytes: u64) -> Self {
+        self.estimate = Some(bytes);
+        self
+    }
+}
+
+/// A served answer.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The merged result (partial when `degraded`).
+    pub result: Relation,
+    /// Fraction of lineitem rows the answer covers (1.0 unless degraded).
+    pub coverage: f64,
+    /// True when recovery was exhausted and the answer is partial.
+    pub degraded: bool,
+    /// True when the answer came from the result cache without execution.
+    pub from_cache: bool,
+    /// End-to-end simulated seconds (0.0 for a cache hit).
+    pub sim_seconds: f64,
+    /// Hedged duplicates this query dispatched.
+    pub hedges: u32,
+    /// Rerouted sub-run attempts this query spent.
+    pub retries: u32,
+    /// Fault-recovery bookkeeping for the run.
+    pub recovery: RecoveryReport,
+}
+
+/// What [`Coordinator::submit`] returns: either an immediate cache hit or a
+/// queued ticket.
+pub enum Submitted {
+    /// Served from the result cache before admission.
+    Cached(Answer),
+    /// Admitted to the service; resolve with [`Submitted::wait`].
+    Queued(Ticket<Answer>),
+}
+
+impl Submitted {
+    /// Blocks until the answer is available.
+    pub fn wait(self) -> std::result::Result<Answer, ServiceError> {
+        match self {
+            Submitted::Cached(a) => Ok(a),
+            Submitted::Queued(t) => t.wait(),
+        }
+    }
+}
+
+/// Circuit-breaker state for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Breaker {
+    /// Healthy: home partitions route here.
+    Closed,
+    /// Tripped: blocked until the simulated clock reaches `until_s`.
+    Open { until_s: f64 },
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// Live health record for one node.
+#[derive(Debug, Clone, Copy)]
+struct NodeHealth {
+    consecutive_failures: u32,
+    breaker: Breaker,
+    /// EWMA of successful sub-run seconds (`None` until the first success).
+    ewma_s: Option<f64>,
+    trips: u64,
+}
+
+impl NodeHealth {
+    fn new() -> Self {
+        Self { consecutive_failures: 0, breaker: Breaker::Closed, ewma_s: None, trips: 0 }
+    }
+}
+
+/// Shared mutable health state: the simulated clock plus per-node records.
+struct HealthState {
+    now_s: f64,
+    nodes: Vec<NodeHealth>,
+}
+
+/// Routing decision for one home partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Route {
+    /// Breaker closed: attempt the home node.
+    Attempt,
+    /// Breaker cooled down: attempt as the half-open probe.
+    Probe,
+    /// Breaker open: skip the home node, reroute immediately.
+    Blocked,
+}
+
+/// Terminal state of one routed sub-run, tallied into the ledger counters
+/// (`coord_subruns_total = ok + failed + cancelled`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Subrun {
+    Ok,
+    Failed,
+    Cancelled,
+}
+
+/// The normalized-plan cache: one distributed rewrite per plan shape.
+struct PlanCache {
+    map: Mutex<HashMap<String, Arc<Distributed>>>,
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        Self { map: Mutex::new(HashMap::new()) }
+    }
+
+    fn get_or_build(
+        &self,
+        key: &str,
+        metrics: &Registry,
+        build: impl FnOnce() -> Result<Distributed>,
+    ) -> Result<Arc<Distributed>> {
+        let mut map = self.map.lock().unwrap();
+        if let Some(d) = map.get(key) {
+            metrics.inc("coord_plan_cache_hits_total", 1);
+            return Ok(Arc::clone(d));
+        }
+        metrics.inc("coord_plan_cache_misses_total", 1);
+        let d = Arc::new(build()?);
+        map.insert(key.to_string(), Arc::clone(&d));
+        Ok(d)
+    }
+}
+
+/// One cached answer with its memory cost and dependency versions.
+struct CacheEntry {
+    rel: Relation,
+    bytes: u64,
+    /// (table, version-at-insert) — a hit requires every version to still
+    /// match, so any repair/regeneration event since insert voids the entry.
+    deps: Vec<(String, u64)>,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<String, CacheEntry>,
+    /// Monotone per-table version, bumped by [`ResultCache::invalidate_tables`].
+    versions: HashMap<String, u64>,
+    tick: u64,
+}
+
+/// A bounded, governor-reserved, deterministically invalidated result cache.
+///
+/// Entries reserve their byte cost against an internal [`MemoryReservation`]
+/// sized by the configured budget; inserts evict least-recently-used entries
+/// until the reservation fits, and oversized answers are simply not cached.
+/// Invalidation bumps per-table versions and drops every dependent entry —
+/// the mechanism that keeps hits bit-exact under active corruption repair.
+pub struct ResultCache {
+    budget: MemoryReservation,
+    state: Mutex<CacheState>,
+}
+
+impl ResultCache {
+    /// A cache with the given byte budget (0 = caching disabled).
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget: MemoryReservation::with_budget(budget_bytes),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                versions: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// A version-checked lookup. Counts a hit or a miss on `metrics`.
+    pub fn get(&self, key: &str, metrics: &Registry) -> Option<Relation> {
+        let mut st = self.state.lock().unwrap();
+        st.tick += 1;
+        let tick = st.tick;
+        let CacheState { entries, versions, .. } = &mut *st;
+        let stale = match entries.get_mut(key) {
+            Some(e) => {
+                let fresh = e.deps.iter().all(|(t, v)| versions.get(t).copied().unwrap_or(0) == *v);
+                if fresh {
+                    e.last_used = tick;
+                    metrics.inc("coord_result_cache_hits_total", 1);
+                    return Some(e.rel.clone());
+                }
+                true
+            }
+            None => false,
+        };
+        if stale {
+            // Belt-and-braces: invalidate_tables already drops dependents,
+            // but a racing insert could have slipped a stale entry back in.
+            if let Some(e) = st.entries.remove(key) {
+                self.budget.release(e.bytes);
+            }
+        }
+        metrics.inc("coord_result_cache_misses_total", 1);
+        None
+    }
+
+    /// Inserts (or refreshes) an answer whose correctness depends on
+    /// `tables`, evicting LRU entries until the reservation fits. Answers
+    /// larger than the whole budget are not cached.
+    pub fn insert(&self, key: &str, rel: &Relation, tables: &[String], metrics: &Registry) {
+        let bytes = (rel.stream_bytes() as u64).max(1);
+        if bytes > self.budget.budget() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if let Some(old) = st.entries.remove(key) {
+            self.budget.release(old.bytes);
+        }
+        while !self.budget.try_reserve(bytes) {
+            let Some(lru) =
+                st.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            let e = st.entries.remove(&lru).expect("lru key exists");
+            self.budget.release(e.bytes);
+            metrics.inc("coord_result_cache_evictions_total", 1);
+        }
+        st.tick += 1;
+        let tick = st.tick;
+        let deps =
+            tables.iter().map(|t| (t.clone(), st.versions.get(t).copied().unwrap_or(0))).collect();
+        st.entries
+            .insert(key.to_string(), CacheEntry { rel: rel.clone(), bytes, deps, last_used: tick });
+        metrics.set_gauge("coord_result_cache_bytes", self.budget.used() as f64);
+    }
+
+    /// Bumps the version of every listed table and drops dependent entries.
+    /// Call whenever an event may have rewritten table bytes (integrity
+    /// repair, lost-partition regeneration).
+    pub fn invalidate_tables(&self, tables: &[String], metrics: &Registry) {
+        let mut st = self.state.lock().unwrap();
+        for t in tables {
+            *st.versions.entry(t.clone()).or_insert(0) += 1;
+        }
+        let CacheState { entries, versions, .. } = &mut *st;
+        let stale: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| {
+                e.deps.iter().any(|(t, v)| versions.get(t).copied().unwrap_or(0) != *v)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in stale {
+            let e = entries.remove(&k).expect("stale key exists");
+            self.budget.release(e.bytes);
+            metrics.inc("coord_result_cache_invalidations_total", 1);
+        }
+        metrics.set_gauge("coord_result_cache_bytes", self.budget.used() as f64);
+    }
+
+    /// Bytes currently reserved by cached answers.
+    pub fn used_bytes(&self) -> u64 {
+        self.budget.used()
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// State shared between the coordinator handle and the service workers.
+struct Inner {
+    cluster: Arc<WimpiCluster>,
+    cfg: CoordinatorConfig,
+    health: Mutex<HealthState>,
+    plans: PlanCache,
+    results: ResultCache,
+    metrics: Registry,
+}
+
+/// The serving front door. See the module docs for the full model.
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    service: Service,
+}
+
+/// The cache key of a request's plan: the strategy plus the plan's explain
+/// rendering (a normalized shape — parameter-identical submissions share
+/// one entry). Two-phase queries are not cacheable.
+fn cache_key(strategy: Strategy, query: &QueryPlan) -> Option<String> {
+    match query {
+        QueryPlan::Single(p) => Some(format!("{strategy:?}\n{}", p.explain())),
+        QueryPlan::TwoPhase { .. } => None,
+    }
+}
+
+/// Maps a cluster failure onto the engine's typed errors so the service's
+/// ledger classifies it correctly (OOM → exhausted, the rest → failed).
+fn to_engine(e: ClusterError) -> EngineError {
+    match e {
+        ClusterError::Engine(e) => e,
+        ClusterError::NodeOom { needed, .. } => EngineError::ResourceExhausted {
+            requested: needed,
+            budget: 0,
+            operator: "cluster node".to_string(),
+        },
+        other => EngineError::Unsupported(other.to_string()),
+    }
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `cluster`, starting `cfg.service.workers`
+    /// worker threads.
+    pub fn new(cluster: Arc<WimpiCluster>, cfg: CoordinatorConfig) -> Self {
+        let nodes = cluster.num_nodes() as usize;
+        let service = Service::new(cfg.service.clone());
+        let inner = Arc::new(Inner {
+            cluster,
+            health: Mutex::new(HealthState { now_s: 0.0, nodes: vec![NodeHealth::new(); nodes] }),
+            plans: PlanCache::new(),
+            results: ResultCache::new(cfg.result_cache_bytes),
+            metrics: Registry::new(),
+            cfg,
+        });
+        Coordinator { inner, service }
+    }
+
+    /// Submits a request: a result-cache hit answers immediately (no
+    /// admission, no execution); otherwise the request queues through the
+    /// service's admission machinery and executes routed.
+    pub fn submit(&self, req: QueryRequest) -> std::result::Result<Submitted, ServiceError> {
+        self.inner.metrics.inc("coord_requests_total", 1);
+        if let Some(key) = cache_key(self.inner.cfg.strategy, &req.query) {
+            if let Some(rel) = self.inner.results.get(&key, &self.inner.metrics) {
+                self.inner.metrics.inc("coord_cache_answers_total", 1);
+                return Ok(Submitted::Cached(Answer {
+                    result: rel,
+                    coverage: 1.0,
+                    degraded: false,
+                    from_cache: true,
+                    sim_seconds: 0.0,
+                    hedges: 0,
+                    retries: 0,
+                    recovery: RecoveryReport::default(),
+                }));
+            }
+        }
+        let mut spec = QuerySpec::new(req.label.clone());
+        if let Some(bytes) = req.estimate {
+            spec = spec.with_estimate(bytes);
+        }
+        let inner = Arc::clone(&self.inner);
+        let ticket =
+            self.service.submit(spec, move |ctx| inner.execute(&req, ctx).map_err(to_engine))?;
+        Ok(Submitted::Queued(ticket))
+    }
+
+    /// [`Coordinator::submit`] + [`Submitted::wait`].
+    pub fn run_blocking(&self, req: QueryRequest) -> std::result::Result<Answer, ServiceError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Coordinator counters: request/cache/hedge/retry/breaker totals, the
+    /// sub-run ledger, per-node health gauges, and the latency histogram.
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
+    /// The embedded service's registry (admission ledger, queue gauges).
+    pub fn service_metrics(&self) -> &Registry {
+        self.service.metrics()
+    }
+
+    /// p-quantile of end-to-end simulated latency, if any query completed.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.inner.metrics.histogram_quantile("coord_latency_seconds", q)
+    }
+
+    /// True while `node`'s circuit breaker blocks routing.
+    pub fn breaker_is_open(&self, node: usize) -> bool {
+        let st = self.inner.health.lock().unwrap();
+        matches!(st.nodes.get(node), Some(NodeHealth { breaker: Breaker::Open { .. }, .. }))
+    }
+
+    /// The node's straggler EWMA in simulated seconds (None before its
+    /// first successful sub-run).
+    pub fn node_ewma_seconds(&self, node: usize) -> Option<f64> {
+        self.inner.health.lock().unwrap().nodes.get(node).and_then(|h| h.ewma_s)
+    }
+
+    /// The result cache (tests and the shell peek at occupancy).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.inner.results
+    }
+
+    /// Drains the queue (every waiting ticket resolves `Cancelled`), joins
+    /// the workers, and leaves the ledger balanced. Idempotent and safe to
+    /// race with concurrent [`Coordinator::submit`].
+    pub fn shutdown(&self) {
+        self.service.shutdown();
+    }
+}
+
+impl Inner {
+    /// Executes one admitted request end to end (runs on a service worker).
+    fn execute(&self, req: &QueryRequest, ctx: &QueryContext) -> Result<Answer> {
+        let plan = match &req.query {
+            QueryPlan::Single(p) => p,
+            QueryPlan::TwoPhase { .. } => {
+                return Err(ClusterError::Unsupported(format!(
+                    "{}: two-phase scalar queries are not routed; run them single-node",
+                    req.label
+                )))
+            }
+        };
+        let tables = plan.tables();
+        let answer = if tables.iter().any(|t| t == "lineitem") {
+            let key = cache_key(self.cfg.strategy, &req.query).expect("single plan");
+            let dist = self.plans.get_or_build(&key, &self.metrics, || {
+                distribute(plan, self.cfg.strategy).map_err(ClusterError::from)
+            })?;
+            self.execute_routed(&req.label, &dist, &req.faults, ctx)?
+        } else {
+            self.execute_single_node(&req.label, plan, &req.faults)?
+        };
+        // Deterministic invalidation: any event that may have rewritten
+        // table bytes (integrity repair, partition regeneration on a
+        // survivor) voids every cached answer depending on those tables
+        // *before* the fresh answer is cached.
+        if answer.recovery.integrity_repaired > 0 || !answer.recovery.reassignments.is_empty() {
+            self.metrics.inc("coord_invalidation_events_total", 1);
+            self.results.invalidate_tables(&tables, &self.metrics);
+        }
+        if !answer.degraded {
+            if let Some(key) = cache_key(self.cfg.strategy, &req.query) {
+                self.results.insert(&key, &answer.result, &tables, &self.metrics);
+            }
+        }
+        self.finish(&answer);
+        Ok(answer)
+    }
+
+    /// Post-answer bookkeeping: ledger counters, the latency histogram, the
+    /// clock advance, and the per-node health gauges.
+    fn finish(&self, answer: &Answer) {
+        self.metrics.inc("coord_completed_total", 1);
+        if answer.degraded {
+            self.metrics.inc("coord_degraded_answers_total", 1);
+        }
+        self.metrics.observe("coord_latency_seconds", &LATENCY_BUCKETS, answer.sim_seconds);
+        let mut st = self.health.lock().unwrap();
+        st.now_s += answer.sim_seconds;
+        let now = st.now_s;
+        for (i, h) in st.nodes.iter().enumerate() {
+            self.metrics.set_gauge(
+                &format!("coord_node_consecutive_failures{{node=\"{i}\"}}"),
+                h.consecutive_failures as f64,
+            );
+            self.metrics.set_gauge(
+                &format!("coord_node_ewma_seconds{{node=\"{i}\"}}"),
+                h.ewma_s.unwrap_or(0.0),
+            );
+            let open = matches!(h.breaker, Breaker::Open { .. });
+            self.metrics
+                .set_gauge(&format!("coord_node_breaker_open{{node=\"{i}\"}}"), open as u64 as f64);
+        }
+        self.metrics.set_gauge("coord_sim_clock_seconds", now);
+    }
+
+    /// The routing decision for `node`'s home partition, transitioning an
+    /// expired breaker to half-open.
+    fn route(&self, node: usize) -> Route {
+        let mut st = self.health.lock().unwrap();
+        let now = st.now_s;
+        let h = &mut st.nodes[node];
+        match h.breaker {
+            Breaker::Closed => Route::Attempt,
+            Breaker::HalfOpen => Route::Blocked,
+            Breaker::Open { until_s } if now < until_s => Route::Blocked,
+            Breaker::Open { .. } => {
+                h.breaker = Breaker::HalfOpen;
+                self.metrics.inc("coord_probes_total", 1);
+                Route::Probe
+            }
+        }
+    }
+
+    /// Records a successful sub-run on `node`: closes its breaker, resets
+    /// the failure streak, and folds `secs` into the straggler EWMA.
+    fn record_success(&self, node: usize, secs: f64) {
+        let mut st = self.health.lock().unwrap();
+        let h = &mut st.nodes[node];
+        h.consecutive_failures = 0;
+        h.breaker = Breaker::Closed;
+        let alpha = self.cfg.ewma_alpha.clamp(0.0, 1.0);
+        h.ewma_s = Some(match h.ewma_s {
+            Some(prev) => alpha * secs + (1.0 - alpha) * prev,
+            None => secs,
+        });
+    }
+
+    /// Records a failed sub-run on `node`, tripping the breaker at the
+    /// configured threshold (a failed half-open probe re-opens immediately).
+    fn record_failure(&self, node: usize) {
+        let mut st = self.health.lock().unwrap();
+        let now = st.now_s;
+        let h = &mut st.nodes[node];
+        h.consecutive_failures += 1;
+        let probing = h.breaker == Breaker::HalfOpen;
+        if probing || h.consecutive_failures >= self.cfg.breaker_threshold {
+            h.breaker = Breaker::Open { until_s: now + self.cfg.breaker_cooldown_s };
+            h.trips += 1;
+            self.metrics.inc("coord_breaker_trips_total", 1);
+        }
+    }
+
+    /// The fleet-median straggler EWMA, if any node has one.
+    fn median_ewma(&self) -> Option<f64> {
+        let st = self.health.lock().unwrap();
+        median_of(st.nodes.iter().filter_map(|h| h.ewma_s).collect())
+    }
+
+    /// A non-lineitem query: the cluster's single-node path (replicated
+    /// tables give the identical answer on any node), with the executing
+    /// node's health updated from the outcome.
+    fn execute_single_node(
+        &self,
+        label: &str,
+        plan: &wimpi_engine::LogicalPlan,
+        faults: &FaultPlan,
+    ) -> Result<Answer> {
+        let run = self.cluster.run_on_single_node(label, plan, faults)?;
+        let node = run.recovery.reassignments.last().map(|r| r.to).unwrap_or(0);
+        let secs = run.node_seconds.first().copied().unwrap_or(0.0);
+        self.record_success(node, secs);
+        self.tally_subruns(&[Subrun::Ok], 0, 0, 0);
+        let sim_seconds = run.total_seconds();
+        Ok(Answer {
+            result: run.result,
+            coverage: run.recovery.coverage,
+            degraded: run.recovery.degraded,
+            from_cache: false,
+            sim_seconds,
+            hedges: 0,
+            retries: 0,
+            recovery: run.recovery,
+        })
+    }
+
+    /// Folds one query's sub-run terminals and routing counters into the
+    /// ledger: `coord_subruns_total = ok + failed + cancelled` must hold.
+    fn tally_subruns(&self, subruns: &[Subrun], retries: u32, hedges: u32, hedge_wins: u32) {
+        let ok = subruns.iter().filter(|s| **s == Subrun::Ok).count() as u64;
+        let failed = subruns.iter().filter(|s| **s == Subrun::Failed).count() as u64;
+        let cancelled = subruns.iter().filter(|s| **s == Subrun::Cancelled).count() as u64;
+        self.metrics.inc("coord_subruns_total", ok + failed + cancelled);
+        self.metrics.inc("coord_subruns_ok_total", ok);
+        self.metrics.inc("coord_subruns_failed_total", failed);
+        self.metrics.inc("coord_subruns_cancelled_total", cancelled);
+        self.metrics.inc("coord_retries_total", retries as u64);
+        self.metrics.inc("coord_hedges_total", hedges as u64);
+        self.metrics.inc("coord_hedge_wins_total", hedge_wins as u64);
+    }
+
+    /// The routed execution of a lineitem query: health-gated home
+    /// attempts, capped-backoff reroutes under the retry budget, EWMA-fed
+    /// hedging, then shipping and the driver merge — mirroring
+    /// [`WimpiCluster::run_named`]'s phases with routing decisions owned
+    /// here.
+    fn execute_routed(
+        &self,
+        label: &str,
+        dist: &Distributed,
+        faults: &FaultPlan,
+        ctx: &QueryContext,
+    ) -> Result<Answer> {
+        let cl = &*self.cluster;
+        let n = cl.node_catalogs.len();
+        let mut report = RecoveryReport::default();
+        let mut subruns: Vec<Subrun> = Vec::new();
+        let mut retries = 0u32;
+        let mut hedges = 0u32;
+        let mut hedge_wins = 0u32;
+
+        // Phase 1 — breaker-gated home attempts.
+        let mut busy = vec![0.0f64; n];
+        let mut partials: Vec<Option<Relation>> = (0..n).map(|_| None).collect();
+        let mut cancels: Vec<Option<wimpi_engine::CancelToken>> = (0..n).map(|_| None).collect();
+        let mut executor: Vec<usize> = (0..n).collect();
+        let mut pending: Vec<(usize, f64)> = Vec::new(); // (partition, available_at)
+        for (p, cat) in cl.node_catalogs.iter().enumerate() {
+            ctx.checkpoint().map_err(ClusterError::from)?;
+            match self.route(p) {
+                Route::Blocked => {
+                    self.metrics.inc("coord_breaker_blocked_total", 1);
+                    pending.push((p, 0.0));
+                }
+                Route::Attempt | Route::Probe => {
+                    match cl.attempt_home_partition(
+                        label,
+                        &dist.node_plan,
+                        cat,
+                        p,
+                        faults,
+                        &mut report,
+                    )? {
+                        NodeOutcome::Done(rel, _prof, secs, cancel) => {
+                            subruns.push(Subrun::Ok);
+                            self.record_success(p, secs);
+                            busy[p] = secs;
+                            partials[p] = Some(rel);
+                            cancels[p] = Some(cancel);
+                        }
+                        NodeOutcome::Lost { available_at } => {
+                            subruns.push(Subrun::Failed);
+                            self.record_failure(p);
+                            pending.push((p, available_at));
+                        }
+                        NodeOutcome::Oom { needed } => {
+                            // Capacity, not a fault: identical nodes would
+                            // OOM too, so the partition is unrecoverable.
+                            subruns.push(Subrun::Failed);
+                            if !self.cfg.degraded_ok {
+                                self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+                                return Err(ClusterError::NodeOom {
+                                    query: label.into(),
+                                    node: p,
+                                    needed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let survivors: Vec<usize> =
+            (0..n).filter(|&i| partials[i].is_some() && executor[i] == i).collect();
+        if survivors.is_empty() {
+            self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+            return Err(ClusterError::AllNodesFailed { query: label.into(), failed: n });
+        }
+
+        // Phase 2 — reroute pending partitions to healthy survivors with
+        // capped backoff, at most `retry_budget` attempts per query.
+        let mut attempts_left = self.cfg.retry_budget;
+        for &(p, available_at) in &pending {
+            ctx.checkpoint().map_err(ClusterError::from)?;
+            let mut covered = false;
+            while attempts_left > 0 {
+                let candidates: Vec<usize> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&j| j != p && !self.breaker_open_now(j))
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let j = least_busy(&candidates, &busy);
+                let attempt = self.cfg.retry_budget - attempts_left;
+                attempts_left -= 1;
+                retries += 1;
+                let backoff = cl.observed_backoff_s(attempt);
+                match cl.recover_partition(label, &dist.node_plan, p, j) {
+                    Ok((rel, _prof, regen_s, exec_s, budgeted)) => {
+                        if budgeted {
+                            report.budget_degraded += 1;
+                        }
+                        subruns.push(Subrun::Ok);
+                        self.record_success(j, exec_s);
+                        let start = busy[j].max(available_at);
+                        busy[j] = start + backoff + regen_s + exec_s;
+                        report.recovery_seconds += backoff + regen_s + exec_s;
+                        report.reassignments.push(Reassignment { partition: p, to: j });
+                        partials[p] = Some(rel);
+                        executor[p] = j;
+                        covered = true;
+                        break;
+                    }
+                    Err(ClusterError::NodeOom { .. }) => {
+                        subruns.push(Subrun::Failed);
+                        self.record_failure(j);
+                        report.recovery_seconds += backoff;
+                    }
+                    Err(e) => {
+                        self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+                        return Err(e);
+                    }
+                }
+            }
+            if !covered && !self.cfg.degraded_ok {
+                self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+                return Err(ClusterError::NodeDown { query: label.into(), node: p });
+            }
+        }
+
+        // Phase 3 — hedged duplicates for stragglers: a home run slower
+        // than `hedge_multiplier ×` the fleet-median EWMA races a copy on
+        // the least-busy healthy survivor; the loser is cancelled
+        // cooperatively and its wasted work charged.
+        if let Some(median) = self.median_ewma() {
+            let threshold = self.cfg.hedge_multiplier.max(1.0) * median;
+            for p in 0..n {
+                if partials[p].is_none() || executor[p] != p || busy[p] <= threshold {
+                    continue;
+                }
+                let others: Vec<usize> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&j| j != p && !self.breaker_open_now(j))
+                    .collect();
+                if others.is_empty() {
+                    continue;
+                }
+                ctx.checkpoint().map_err(ClusterError::from)?;
+                let j = least_busy(&others, &busy);
+                hedges += 1;
+                match cl.recover_partition(label, &dist.node_plan, p, j) {
+                    Ok((rel, _prof, regen_s, exec_s, budgeted)) => {
+                        if budgeted {
+                            report.budget_degraded += 1;
+                        }
+                        let done = busy[j].max(threshold) + regen_s + exec_s;
+                        if done < busy[p] {
+                            // The duplicate won: the straggling home run is
+                            // stopped through its cooperative token at
+                            // `done`; everything it did is waste.
+                            hedge_wins += 1;
+                            subruns.push(Subrun::Ok);
+                            // The home sub-run's terminal becomes Cancelled.
+                            if let Some(s) = subruns.iter_mut().find(|s| **s == Subrun::Ok) {
+                                *s = Subrun::Cancelled;
+                            }
+                            subruns.push(Subrun::Ok);
+                            self.record_success(j, exec_s);
+                            report.speculated += 1;
+                            report.recovery_seconds += regen_s + exec_s;
+                            report.cancelled_work_seconds += done;
+                            report.reassignments.push(Reassignment { partition: p, to: j });
+                            if let Some(tok) = &cancels[p] {
+                                tok.cancel();
+                            }
+                            partials[p] = Some(rel);
+                            busy[j] = done;
+                            busy[p] = done;
+                            executor[p] = j;
+                        } else {
+                            // The home finished first: the duplicate is
+                            // cancelled at that moment; the work it did
+                            // between launch and cancellation is waste.
+                            subruns.push(Subrun::Cancelled);
+                            let waste = (busy[p] - busy[j]).clamp(0.0, regen_s + exec_s);
+                            report.cancelled_work_seconds += waste;
+                            busy[j] += waste;
+                        }
+                    }
+                    Err(ClusterError::NodeOom { .. }) => {
+                        subruns.push(Subrun::Failed);
+                        self.record_failure(j);
+                    }
+                    Err(e) => {
+                        self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // Phase 4 — ship partials to the driver (degraded NICs priced).
+        let row_scale = match self.cfg.strategy {
+            Strategy::PartialAggPushdown => 1.0,
+            Strategy::ShipRows => cl.config.model_scale,
+        };
+        let mut bytes_shipped = 0u64;
+        let mut nic_extra_s = 0.0f64;
+        let mut shippers = 0usize;
+        for (p, rel) in partials.iter().enumerate() {
+            let Some(rel) = rel else { continue };
+            let b = (rel.stream_bytes() as f64 * row_scale) as u64;
+            bytes_shipped += b;
+            shippers += 1;
+            if let Some(FaultKind::DegradedNic { multiplier }) = faults.fault(executor[p]) {
+                let base_s = cl.config.net.transfer_s(b) - cl.config.net.latency_ms / 1e3;
+                nic_extra_s += base_s * (multiplier.max(1.0) - 1.0);
+            }
+        }
+        let network_seconds = cl.config.net.transfer_s(bytes_shipped)
+            + cl.config.net.latency_ms / 1e3 * shippers as f64
+            + nic_extra_s;
+        report.recovery_seconds += nic_extra_s;
+
+        // Phase 5 — merge on the driver; compute coverage.
+        let covered: Vec<Relation> = partials.iter().flatten().cloned().collect();
+        let (covered_rows, total_rows) = cl.coverage_rows(&partials);
+        report.coverage =
+            if total_rows == 0 { 1.0 } else { covered_rows as f64 / total_rows as f64 };
+        report.degraded = covered_rows < total_rows;
+        let merged_input = concat_relations(&covered)?;
+        let mut merge_cat = Catalog::new();
+        merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
+        let merge_base = (merged_input.stream_bytes() as f64 * row_scale) as u64;
+        let priced = cl.priced_execution(
+            &EngineConfig::serial(),
+            &dist.merge_plan,
+            &merge_cat,
+            merge_base,
+            row_scale,
+        );
+        let (result, mut merge_prof, merge_penalty) = match priced {
+            Ok(Priced::Fit { rel, prof, penalty_s, budgeted, .. }) => {
+                if budgeted {
+                    report.budget_degraded += 1;
+                }
+                (rel, prof, penalty_s)
+            }
+            Ok(Priced::Oom { needed }) => {
+                self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+                return Err(ClusterError::NodeOom { query: label.into(), node: 0, needed });
+            }
+            Err(e) => {
+                self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+                return Err(e);
+            }
+        };
+        merge_prof.network_bytes = bytes_shipped;
+        let merge_seconds =
+            predict(&cl.pi, &merge_prof, cl.config.node_threads).total_s() + merge_penalty;
+        let sim_seconds =
+            busy.iter().cloned().fold(0.0, f64::max) + network_seconds + merge_seconds;
+        cl.record_run_metrics(faults, &report);
+        self.tally_subruns(&subruns, retries, hedges, hedge_wins);
+        Ok(Answer {
+            result,
+            coverage: report.coverage,
+            degraded: report.degraded,
+            from_cache: false,
+            sim_seconds,
+            hedges,
+            retries,
+            recovery: report,
+        })
+    }
+
+    /// True while `node`'s breaker is open *right now* (no probe
+    /// transition — reroute targets must be strictly healthy).
+    fn breaker_open_now(&self, node: usize) -> bool {
+        let st = self.health.lock().unwrap();
+        matches!(st.nodes[node].breaker, Breaker::Open { .. } | Breaker::HalfOpen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+    use wimpi_queries::query;
+
+    const SF: f64 = 0.01;
+
+    fn cluster(nodes: u32) -> Arc<WimpiCluster> {
+        Arc::new(WimpiCluster::build(ClusterConfig::new(nodes, SF)).expect("cluster builds"))
+    }
+
+    fn coordinator(cl: &Arc<WimpiCluster>, cfg: CoordinatorConfig) -> Coordinator {
+        Coordinator::new(Arc::clone(cl), cfg)
+    }
+
+    #[test]
+    fn routed_answers_match_the_cluster_driver_bit_exactly() {
+        let cl = cluster(3);
+        let reference = cl.run(&query(6), Strategy::PartialAggPushdown).expect("runs");
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        let a = coord.run_blocking(QueryRequest::new("q6", query(6))).expect("serves");
+        assert_eq!(a.result, reference.result, "routed merge must equal the driver merge");
+        assert!(!a.from_cache && !a.degraded);
+        assert!(a.sim_seconds > 0.0);
+        let m = coord.metrics();
+        assert_eq!(m.counter("coord_subruns_total"), 3);
+        assert_eq!(m.counter("coord_subruns_ok_total"), 3);
+        coord.shutdown();
+        let s = coord.service_metrics();
+        assert_eq!(s.counter("service_submitted_total"), 1);
+        assert_eq!(s.counter("service_completed_total"), 1);
+    }
+
+    #[test]
+    fn hot_queries_hit_the_result_cache_bit_exactly() {
+        let cl = cluster(3);
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        let first = coord.run_blocking(QueryRequest::new("q6", query(6))).expect("serves");
+        let second = coord.run_blocking(QueryRequest::new("q6-again", query(6))).expect("serves");
+        assert!(!first.from_cache);
+        assert!(second.from_cache, "repeated plan must hit the result cache");
+        assert_eq!(second.result, first.result, "cache hit must be bit-exact");
+        assert_eq!(second.sim_seconds, 0.0);
+        let m = coord.metrics();
+        assert_eq!(m.counter("coord_result_cache_hits_total"), 1);
+        assert!(coord.result_cache().used_bytes() > 0, "entries are governor-reserved");
+        // Plan cache: distribute ran once even though two requests arrived.
+        assert_eq!(m.counter("coord_plan_cache_misses_total"), 1);
+        coord.shutdown();
+    }
+
+    #[test]
+    fn repair_events_invalidate_dependent_cache_entries() {
+        let cl = cluster(3);
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        let clean = coord.run_blocking(QueryRequest::new("q6", query(6))).expect("serves");
+        // A crash on node 1 regenerates its lineitem partition on a
+        // survivor — an event that must void every answer depending on
+        // lineitem before anything else is served from cache.
+        let crashed = coord
+            .run_blocking(QueryRequest::new("q1-crash", query(1)).with_faults(FaultPlan::crash(1)))
+            .expect("recovers");
+        assert!(!crashed.recovery.reassignments.is_empty());
+        let m = coord.metrics();
+        assert!(m.counter("coord_result_cache_invalidations_total") >= 1);
+        // The re-served hot query recomputes and still matches bit-exactly.
+        let reread = coord.run_blocking(QueryRequest::new("q6-reread", query(6))).expect("serves");
+        assert!(!reread.from_cache, "invalidation must force recomputation");
+        assert_eq!(reread.result, clean.result);
+        coord.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_blocks_routing_and_recovers_via_probe() {
+        let cl = cluster(3);
+        let cfg = CoordinatorConfig {
+            breaker_threshold: 1,
+            breaker_cooldown_s: 1e-6, // expires by the next query
+            result_cache_bytes: 0,    // force re-execution every time
+            ..CoordinatorConfig::default()
+        };
+        let coord = coordinator(&cl, cfg);
+        let reference = cl.run(&query(6), Strategy::PartialAggPushdown).expect("runs");
+        let a = coord
+            .run_blocking(QueryRequest::new("q6-crash", query(6)).with_faults(FaultPlan::crash(1)))
+            .expect("recovers");
+        assert_eq!(a.result, reference.result);
+        assert!(coord.breaker_is_open(1), "one failure must trip at threshold 1");
+        assert!(coord.metrics().counter("coord_breaker_trips_total") >= 1);
+        // The cooldown has expired (the clock advanced by the first run), so
+        // the fault-free rerun probes node 1 half-open and closes it.
+        let b = coord.run_blocking(QueryRequest::new("q6-probe", query(6))).expect("serves");
+        assert_eq!(b.result, reference.result);
+        assert!(coord.metrics().counter("coord_probes_total") >= 1);
+        assert!(!coord.breaker_is_open(1), "successful probe must close the breaker");
+        coord.shutdown();
+    }
+
+    #[test]
+    fn open_breaker_reroutes_without_attempting_the_home_node() {
+        let cl = cluster(3);
+        let cfg = CoordinatorConfig {
+            breaker_threshold: 1,
+            breaker_cooldown_s: 1e9, // never cools down in this test
+            result_cache_bytes: 0,
+            ..CoordinatorConfig::default()
+        };
+        let coord = coordinator(&cl, cfg);
+        let reference = cl.run(&query(6), Strategy::PartialAggPushdown).expect("runs");
+        coord
+            .run_blocking(QueryRequest::new("q6-crash", query(6)).with_faults(FaultPlan::crash(1)))
+            .expect("recovers");
+        assert!(coord.breaker_is_open(1));
+        // Fault-free rerun: node 1 is skipped outright; the answer is still
+        // complete because its partition reroutes under the retry budget.
+        let b = coord.run_blocking(QueryRequest::new("q6-blocked", query(6))).expect("serves");
+        assert_eq!(b.result, reference.result);
+        assert!(b.retries >= 1, "blocked partition must consume a reroute");
+        assert!(coord.metrics().counter("coord_breaker_blocked_total") >= 1);
+        assert!(coord.breaker_is_open(1), "no probe before the cooldown");
+        coord.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_with_partial_coverage() {
+        let cl = cluster(3);
+        let cfg = CoordinatorConfig {
+            retry_budget: 0,
+            degraded_ok: true,
+            ..CoordinatorConfig::default()
+        };
+        let coord = coordinator(&cl, cfg);
+        let a = coord
+            .run_blocking(QueryRequest::new("q6-crash", query(6)).with_faults(FaultPlan::crash(0)))
+            .expect("degrades instead of failing");
+        assert!(a.degraded);
+        assert!(a.coverage < 1.0 && a.coverage > 0.0, "coverage {}", a.coverage);
+        assert_eq!(coord.metrics().counter("coord_degraded_answers_total"), 1);
+        // Degraded answers must never be cached.
+        let b = coord.run_blocking(QueryRequest::new("q6-clean", query(6))).expect("serves");
+        assert!(!b.from_cache, "a degraded answer must not satisfy later requests");
+        assert!(!b.degraded);
+        coord.shutdown();
+    }
+
+    #[test]
+    fn stragglers_get_hedged_duplicates_and_answers_stay_exact() {
+        let cl = cluster(3);
+        let cfg = CoordinatorConfig {
+            hedge_multiplier: 1.5,
+            result_cache_bytes: 0,
+            ..CoordinatorConfig::default()
+        };
+        let coord = coordinator(&cl, cfg);
+        let reference = cl.run(&query(6), Strategy::PartialAggPushdown).expect("runs");
+        let a =
+            coord
+                .run_blocking(QueryRequest::new("q6-slow", query(6)).with_faults(
+                    FaultPlan::none().with(1, FaultKind::SlowNode { multiplier: 7.0 }),
+                ))
+                .expect("serves");
+        assert_eq!(a.result, reference.result, "hedging must not change the answer");
+        assert!(a.hedges >= 1, "a 7× straggler must trigger a hedge");
+        let m = coord.metrics();
+        assert!(m.counter("coord_hedges_total") >= 1);
+        // Ledger identity over sub-runs.
+        assert_eq!(
+            m.counter("coord_subruns_total"),
+            m.counter("coord_subruns_ok_total")
+                + m.counter("coord_subruns_failed_total")
+                + m.counter("coord_subruns_cancelled_total")
+        );
+        coord.shutdown();
+    }
+
+    #[test]
+    fn non_lineitem_queries_route_single_node_and_cache() {
+        let cl = cluster(3);
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        let reference = cl.run(&query(13), Strategy::PartialAggPushdown).expect("runs");
+        let a = coord.run_blocking(QueryRequest::new("q13", query(13))).expect("serves");
+        assert_eq!(a.result, reference.result);
+        let b = coord.run_blocking(QueryRequest::new("q13-hot", query(13))).expect("serves");
+        assert!(b.from_cache);
+        assert_eq!(b.result, reference.result);
+        coord.shutdown();
+    }
+
+    #[test]
+    fn two_phase_queries_are_rejected_with_a_typed_error() {
+        let cl = cluster(2);
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        // Q15 is two-phase in this repo's query set.
+        let err = coord.run_blocking(QueryRequest::new("q15", query(15))).expect_err("rejects");
+        match err {
+            ServiceError::Engine(EngineError::Unsupported(msg)) => {
+                assert!(msg.contains("two-phase"), "{msg}");
+            }
+            other => panic!("expected typed Unsupported, got {other:?}"),
+        }
+        coord.shutdown();
+    }
+
+    #[test]
+    fn result_cache_evicts_lru_within_its_reservation() {
+        let metrics = Registry::new();
+        let rel = Relation::new(vec![(
+            "x".to_string(),
+            Arc::new(wimpi_storage::Column::Int64(vec![1, 2, 3])),
+        )])
+        .expect("relation");
+        // Budget sized to hold exactly one copy of `rel`, not two.
+        let one = (rel.stream_bytes() as u64).max(1);
+        let cache = ResultCache::new(one + one / 2);
+        let deps = vec!["t".to_string()];
+        cache.insert("a", &rel, &deps, &metrics);
+        assert_eq!(cache.len(), 1);
+        cache.insert("b", &rel, &deps, &metrics);
+        assert_eq!(cache.len(), 1, "budget admits one entry; LRU must evict");
+        assert!(metrics.counter("coord_result_cache_evictions_total") >= 1);
+        assert!(cache.get("b", &metrics).is_some());
+        assert!(cache.get("a", &metrics).is_none());
+        cache.invalidate_tables(&deps, &metrics);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.used_bytes(), 0, "invalidation must release the reservation");
+    }
+}

@@ -376,4 +376,39 @@ mod tests {
         }
         assert!(seen, "200 seeds must surface at least one BitFlip");
     }
+
+    #[test]
+    fn random_plan_for_a_pinned_seed_is_golden() {
+        // Pins the exact sampling stream: any change to the RNG salt, the
+        // Fisher–Yates target draw, or the kind/parameter draws (including
+        // the `% NUM_FAULT_KINDS` uniform-sampling fix from the integrity
+        // PR) shows up here as a diff, not as silently shifted chaos runs.
+        let got = FaultPlan::random(9, 24);
+        let want = FaultPlan::none()
+            .with(22, FaultKind::TransientOom { failures: 2 })
+            .with(11, FaultKind::SlowNode { multiplier: 7.0 });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fixed_seed_window_samples_all_five_kinds_at_chaos_scale() {
+        // The chaos bench sweeps small consecutive seed windows against the
+        // paper's 24-node rack; every fault kind (BitFlip included) must
+        // show up inside one such window or whole chaos ladders would never
+        // exercise a recovery path.
+        let mut seen = [false; NUM_FAULT_KINDS as usize];
+        for seed in 0..64u64 {
+            for f in FaultPlan::random(seed, 24).faults() {
+                let k = match f.kind {
+                    FaultKind::Crash => 0,
+                    FaultKind::TransientOom { .. } => 1,
+                    FaultKind::SlowNode { .. } => 2,
+                    FaultKind::DegradedNic { .. } => 3,
+                    FaultKind::BitFlip { .. } => 4,
+                };
+                seen[k] = true;
+            }
+        }
+        assert_eq!(seen, [true; NUM_FAULT_KINDS as usize], "kinds seen: {seen:?}");
+    }
 }

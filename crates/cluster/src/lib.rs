@@ -21,6 +21,7 @@
 //! Pis; here every node's *work* is real (executed on the host over the real
 //! partition) and only the *clock* is modelled.
 
+pub mod coordinator;
 pub mod distribute;
 pub mod faults;
 pub mod memory;

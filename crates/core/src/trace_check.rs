@@ -264,6 +264,97 @@ pub fn validate_trace_document(doc: &str) -> Result<Vec<(u64, TraceStats)>, Stri
     Ok(out)
 }
 
+/// One validated rung of a chaos-serving document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosRung {
+    /// Closed-loop clients at this rung.
+    pub clients: u64,
+    /// Requests the clients offered.
+    pub requests: u64,
+    /// Requests that completed with an answer (cache hits included).
+    pub completed: u64,
+    /// Result-cache hits among the completions.
+    pub cache_hits: u64,
+    /// Completions that were degraded (partial coverage).
+    pub degraded: u64,
+}
+
+/// Validates a `results/chaos.json` document written by `bench --bin chaos`:
+///
+/// ```text
+/// {"sf": …, "seed": …, "nodes": …, "rungs": [
+///   {"clients": …, "requests": …, "completed": …, "cache_hits": …,
+///    "hit_rate": …, "p50_s": …, "p99_s": …, "degraded": …, "hedges": …,
+///    "retries": …, "invalidations": …,
+///    "ledger": {"submitted": …, "completed": …, "cancelled": …,
+///               "exhausted": …, "failed": …, "panicked": …}}, …]}
+/// ```
+///
+/// Beyond the schema, it re-checks the serving invariants the bench asserts
+/// live: per rung the admission-ledger identity `submitted = completed +
+/// cancelled + exhausted + failed + panicked` must reconcile exactly, the
+/// hit rate must be a probability, and completions cannot exceed offers.
+/// Returns the rungs in document order.
+pub fn validate_chaos_document(doc: &str) -> Result<Vec<ChaosRung>, String> {
+    let root = parse_json(doc)?;
+    let num = |v: &Json, path: &str, key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_num)
+            .filter(|n| *n >= 0.0)
+            .ok_or_else(|| format!("{path}: missing non-negative number \"{key}\""))
+    };
+    if num(&root, "document", "sf")? <= 0.0 {
+        return Err("document: \"sf\" must be positive".to_string());
+    }
+    num(&root, "document", "seed")?;
+    if num(&root, "document", "nodes")? < 2.0 {
+        return Err("document: a chaos ladder needs at least 2 nodes".to_string());
+    }
+    let rungs = root
+        .get("rungs")
+        .and_then(|r| match r {
+            Json::Arr(items) if !items.is_empty() => Some(items),
+            _ => None,
+        })
+        .ok_or("document has no non-empty \"rungs\" array")?;
+    let mut out = Vec::new();
+    for (i, rung) in rungs.iter().enumerate() {
+        let path = format!("rungs[{i}]");
+        for key in ["hedges", "retries", "invalidations", "p50_s", "p99_s"] {
+            num(rung, &path, key)?;
+        }
+        let clients = num(rung, &path, "clients")? as u64;
+        let requests = num(rung, &path, "requests")? as u64;
+        let completed = num(rung, &path, "completed")? as u64;
+        let cache_hits = num(rung, &path, "cache_hits")? as u64;
+        let degraded = num(rung, &path, "degraded")? as u64;
+        let hit_rate = num(rung, &path, "hit_rate")?;
+        if !(0.0..=1.0).contains(&hit_rate) {
+            return Err(format!("{path}: hit_rate {hit_rate} is not a probability"));
+        }
+        if completed > requests {
+            return Err(format!("{path}: completed {completed} exceeds requests {requests}"));
+        }
+        if cache_hits > completed || degraded > completed {
+            return Err(format!("{path}: cache_hits/degraded exceed completions"));
+        }
+        let ledger = rung.get("ledger").ok_or_else(|| format!("{path}: missing \"ledger\""))?;
+        let lpath = format!("{path}/ledger");
+        let submitted = num(ledger, &lpath, "submitted")? as u64;
+        let terminal: u64 = ["completed", "cancelled", "exhausted", "failed", "panicked"]
+            .iter()
+            .map(|k| num(ledger, &lpath, k).map(|n| n as u64))
+            .sum::<Result<u64, String>>()?;
+        if submitted != terminal {
+            return Err(format!(
+                "{lpath}: identity broken — submitted {submitted} != terminal outcomes {terminal}"
+            ));
+        }
+        out.push(ChaosRung { clients, requests, completed, cache_hits, degraded });
+    }
+    Ok(out)
+}
+
 fn validate_span_value(v: &Json) -> Result<TraceStats, String> {
     check_span_schema(v, "root")?;
     let mut self_sums = BTreeMap::new();
@@ -437,5 +528,34 @@ mod tests {
         assert_eq!(per_query[0].0, 1);
         assert_eq!(per_query[0].1.spans, 3);
         assert!(validate_trace_document(r#"{"sf": 1}"#).is_err());
+    }
+
+    fn chaos_doc(submitted: u64) -> String {
+        format!(
+            r#"{{"sf": 0.01, "seed": 42, "nodes": 6, "rungs": [
+                {{"clients": 2, "requests": 24, "completed": 22, "cache_hits": 8,
+                  "hit_rate": 0.364, "p50_s": 0.5, "p99_s": 2.5, "degraded": 1,
+                  "hedges": 3, "retries": 5, "invalidations": 2,
+                  "ledger": {{"submitted": {submitted}, "completed": 14, "cancelled": 0,
+                             "exhausted": 0, "failed": 0, "panicked": 0}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn validates_chaos_documents() {
+        let rungs = validate_chaos_document(&chaos_doc(14)).expect("valid document");
+        assert_eq!(rungs.len(), 1);
+        assert_eq!((rungs[0].clients, rungs[0].requests), (2, 24));
+        assert_eq!((rungs[0].completed, rungs[0].cache_hits, rungs[0].degraded), (22, 8, 1));
+    }
+
+    #[test]
+    fn chaos_validation_rejects_a_broken_ledger_identity() {
+        let err = validate_chaos_document(&chaos_doc(15)).expect_err("identity broken");
+        assert!(err.contains("identity broken"), "{err}");
+        assert!(validate_chaos_document(r#"{"sf": 0.01, "seed": 1, "nodes": 6}"#).is_err());
+        assert!(
+            validate_chaos_document(r#"{"sf": 0.01, "seed": 1, "nodes": 1, "rungs": []}"#).is_err()
+        );
     }
 }

@@ -419,9 +419,19 @@ fn remove_by_id(st: &mut Inner, id: u64) -> Option<Pending> {
 
 /// The concurrent query service. Owns the node-wide reservation, the
 /// admission queue, and the worker pool; see the module docs for semantics.
+///
+/// The service is `Sync`: clients on many threads may [`Service::submit`]
+/// through a shared reference (or an `Arc<Service>`) while another thread
+/// calls [`Service::shutdown`] — the shutdown flag, the queue drain, and
+/// every admission decision happen under one state lock, so a submission
+/// racing shutdown either loses the race (typed [`ServiceError::ShuttingDown`],
+/// no ticket exists) or wins it (its ticket resolves exactly once as
+/// `Cancelled` by the drain). A ticket can never be left unresolved.
 pub struct Service {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Joined (and emptied) by [`Service::shutdown`]; behind a mutex so
+    /// shutdown works through `&self` and is idempotent under concurrency.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Service {
@@ -454,7 +464,7 @@ impl Service {
                     .expect("worker thread spawns")
             })
             .collect();
-        Service { shared, workers: handles }
+        Service { shared, workers: Mutex::new(handles) }
     }
 
     /// Submits a query. `f` runs on a worker under a [`QueryContext`] whose
@@ -672,9 +682,20 @@ impl Service {
 
     /// Stops admissions, resolves every queued submission as `Cancelled`,
     /// cancels in-flight queries cooperatively, and joins the workers.
-    /// Idempotent; also runs on drop. After it returns, the metrics snapshot
-    /// and the node accounting are quiescent (every grant returned).
-    pub fn shutdown(&mut self) {
+    /// Idempotent, safe to race against concurrent [`Service::submit`]s
+    /// (see the type docs), and also runs on drop. After it returns, the
+    /// metrics snapshot and the node accounting are quiescent (every grant
+    /// returned) and the ledger identity `submitted = completed + cancelled
+    /// + exhausted + failed + panicked` holds.
+    pub fn shutdown(&self) {
+        // Flag, token cancellation, and drain are one critical section on
+        // the state lock — the same lock `submit` holds while it checks the
+        // flag and enqueues. A racing submit therefore either observes
+        // `shutdown` (typed refusal, no ticket) or enqueued before the
+        // drain (its pending is drained here and resolved `Cancelled`).
+        // Nothing can slip in between: after this section every future
+        // submit is refused, so the queues stay empty and the workers'
+        // exit condition (`shutdown && queues empty`) is stable.
         let drained = {
             let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
@@ -691,7 +712,11 @@ impl Service {
             (p.resolve_err)(ServiceError::Engine(EngineError::Cancelled));
         }
         self.shared.work.notify_all();
-        for h in self.workers.drain(..) {
+        // Take the handles out under their own lock so concurrent shutdown
+        // calls are idempotent (each handle is joined exactly once), then
+        // join outside it — joining can block on in-flight queries.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -974,7 +999,7 @@ mod tests {
 
     #[test]
     fn completes_a_simple_query_and_counts_it() {
-        let mut svc = tiny(2, 1000, 8);
+        let svc = tiny(2, 1000, 8);
         let out = svc
             .run_blocking(QuerySpec::new("q").with_estimate(100), |ctx| {
                 let _g = ctx.reserve(80, "stub")?;
@@ -991,7 +1016,7 @@ mod tests {
 
     #[test]
     fn exhausted_attempt_gets_one_full_budget_retry() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let attempts = Arc::new(AtomicU32::new(0));
         let a = Arc::clone(&attempts);
         let out = svc
@@ -1011,7 +1036,7 @@ mod tests {
 
     #[test]
     fn exhaustion_at_full_budget_is_final_and_typed() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let attempts = Arc::new(AtomicU32::new(0));
         let a = Arc::clone(&attempts);
         let err = svc
@@ -1035,7 +1060,7 @@ mod tests {
 
     #[test]
     fn full_queue_sheds_with_typed_overload() {
-        let mut svc = tiny(1, 1000, 1);
+        let svc = tiny(1, 1000, 1);
         let ran = Arc::new(AtomicU32::new(0));
         let (gate, job) = gate_job(Arc::clone(&ran));
         let busy = svc.submit(QuerySpec::new("busy").with_estimate(100), job).expect("admits");
@@ -1059,7 +1084,7 @@ mod tests {
 
     #[test]
     fn ticket_cancel_removes_queued_query_immediately() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let ran = Arc::new(AtomicU32::new(0));
         let (gate, job) = gate_job(Arc::clone(&ran));
         let busy = svc.submit(QuerySpec::new("busy").with_estimate(900), job).expect("admits");
@@ -1090,7 +1115,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queue_as_cancelled_and_joins() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let started = Arc::new(AtomicU32::new(0));
         let s = Arc::clone(&started);
         // A cooperative in-flight query: spins until its token fires.
@@ -1124,7 +1149,7 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_is_rejected() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         svc.shutdown();
         let err = svc.submit(QuerySpec::new("late"), |_| Ok(0u32)).map(|_| ()).unwrap_err();
         match err {
@@ -1135,7 +1160,7 @@ mod tests {
 
     #[test]
     fn panicking_query_restores_grant_and_surfaces_typed_error() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let err = svc
             .run_blocking(
                 QuerySpec::new("boom").with_estimate(600),
@@ -1158,7 +1183,7 @@ mod tests {
 
     #[test]
     fn small_class_bypasses_large_but_not_forever() {
-        let mut svc = Service::new(ServiceConfig {
+        let svc = Service::new(ServiceConfig {
             workers: 1,
             node_budget: 1000,
             queue_depth: 64,
@@ -1206,7 +1231,7 @@ mod tests {
     #[test]
     fn concurrent_grants_never_oversubscribe_the_node() {
         let budget = 1 << 20;
-        let mut svc = tiny(4, budget, 64);
+        let svc = tiny(4, budget, 64);
         let mut tickets = Vec::new();
         for i in 0..32u64 {
             let bytes = (i % 7 + 1) * 100_000;
@@ -1239,7 +1264,7 @@ mod tests {
 
     #[test]
     fn corrupted_query_gets_one_repair_and_retry() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let repaired = Arc::new(AtomicU32::new(0));
         let hook_flag = Arc::clone(&repaired);
         svc.set_repairer(move |e| {
@@ -1270,7 +1295,7 @@ mod tests {
 
     #[test]
     fn corruption_without_a_repairer_fails_typed() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let err = svc
             .run_blocking(QuerySpec::new("q").with_estimate(100), |_ctx| {
                 Err::<u32, _>(integrity_err())
@@ -1285,7 +1310,7 @@ mod tests {
 
     #[test]
     fn persistent_corruption_is_repaired_at_most_once() {
-        let mut svc = tiny(1, 1000, 8);
+        let svc = tiny(1, 1000, 8);
         let repairs = Arc::new(AtomicU32::new(0));
         let hook_flag = Arc::clone(&repairs);
         svc.set_repairer(move |_| {

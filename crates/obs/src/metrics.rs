@@ -62,6 +62,35 @@ impl Histogram {
     pub fn overflow(&self) -> u64 {
         self.counts.last().copied().unwrap_or(0)
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket holding the target rank — the standard
+    /// fixed-bucket estimator. `None` for an empty histogram. A rank that
+    /// lands in the overflow bucket reports the last bound (the estimate is
+    /// then a *lower* bound; `overflow()` says how much mass sits there).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = seen + c;
+            if (next as f64) >= rank && c > 0 {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: unbounded above, so report the last
+                    // finite bound as a conservative estimate.
+                    return Some(self.bounds.last().copied().unwrap_or(f64::INFINITY));
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (rank - seen as f64) / c as f64;
+                return Some(lower + (upper - lower) * into.clamp(0.0, 1.0));
+            }
+            seen = next;
+        }
+        Some(self.bounds.last().copied().unwrap_or(f64::INFINITY))
+    }
 }
 
 /// A registry of named metrics. Interior-mutable so subsystems that only
@@ -146,6 +175,16 @@ impl Registry {
         match self.metrics.lock().unwrap().get(name) {
             Some(Metric::Counter(c)) => *c,
             _ => 0,
+        }
+    }
+
+    /// Estimated `q`-quantile of the named histogram (`None` when absent,
+    /// empty, or not a histogram) — see [`Histogram::quantile`]. Benches use
+    /// this for p50/p99 tail-latency reporting.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Histogram(h)) => h.quantile(q),
+            _ => None,
         }
     }
 
@@ -344,6 +383,33 @@ mod tests {
         small.counters = vec![("peak_bytes".into(), 10)];
         r.record_span_peaks(&small);
         assert_eq!(r.gauge("query_peak_bytes"), Some(1000.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let bounds = [1.0, 2.0, 4.0];
+        // 4 observations in (1, 2], 4 in (2, 4]: p50 sits at the 2.0
+        // boundary, p100 at the top of the last occupied bucket.
+        for v in [1.5, 1.6, 1.7, 1.8, 2.5, 2.6, 3.0, 3.5] {
+            r.observe("lat", &bounds, v);
+        }
+        let p50 = r.histogram_quantile("lat", 0.5).unwrap();
+        assert!((p50 - 2.0).abs() < 1e-9, "p50 = {p50}");
+        let p100 = r.histogram_quantile("lat", 1.0).unwrap();
+        assert!((p100 - 4.0).abs() < 1e-9, "p100 = {p100}");
+        let p25 = r.histogram_quantile("lat", 0.25).unwrap();
+        assert!(p25 > 1.0 && p25 <= 2.0, "p25 = {p25}");
+        assert_eq!(r.histogram_quantile("missing", 0.5), None);
+    }
+
+    #[test]
+    fn quantile_overflow_reports_last_bound() {
+        let r = Registry::new();
+        r.observe("lat", &[1.0], 50.0);
+        // All mass in the overflow bucket: the estimate is the last finite
+        // bound — a documented lower bound, not an invented value.
+        assert_eq!(r.histogram_quantile("lat", 0.99), Some(1.0));
     }
 
     #[test]

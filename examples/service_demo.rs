@@ -32,7 +32,7 @@ fn main() {
         node_budget,
         if node_budget == UNLIMITED { " (unlimited)" } else { "" }
     );
-    let mut svc = Service::new(ServiceConfig {
+    let svc = Service::new(ServiceConfig {
         node_budget,
         workers,
         queue_depth: 32,

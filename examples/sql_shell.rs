@@ -34,10 +34,21 @@
 //! morsel-at-a-time bytecode executor (DESIGN.md §13); results are
 //! bit-identical, the work profile is not. `EXPLAIN ANALYZE` names the
 //! active executor and shows the fused pipeline as a single `fused` span.
+//!
+//! Pruning: `SET prune_scans = on` seals zone maps over every table (first
+//! time only, mirroring `verify_checksums`) and lets selective scans skip
+//! morsels the summaries prove irrelevant — answers stay bit-identical,
+//! only bytes and time change (DESIGN.md §14).
+//!
+//! Caching: direct (serviceless) statements go through the coordinator's
+//! governor-reserved [`ResultCache`] (DESIGN.md §15); repeated statements
+//! answer from cache, `SET` knobs that reseal the catalog invalidate it,
+//! and `\metrics` shows the `coord_result_cache_*` counters.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
+use wimpi::cluster::coordinator::ResultCache;
 use wimpi::engine::governor::UNLIMITED;
 use wimpi::engine::{
     governor, EngineConfig, Executor, QueryContext, QuerySpec, Service, ServiceConfig,
@@ -100,10 +111,18 @@ fn main() {
     let mut concurrency: usize = 0;
     let mut service: Option<Service> = None;
     let mut verify = false;
+    let mut prune = false;
     let mut executor = Executor::default();
-    // Integrity counters for direct (serviceless) execution; with a
-    // service, its own registry carries them.
+    // Integrity + cache counters for direct (serviceless) execution; with a
+    // service, its own registry carries the service-side counters.
     let shell_metrics = wimpi::obs::Registry::new();
+    // Governor-reserved result cache for direct statements, keyed by the
+    // statement text. Knobs never change answers (executor and pruning are
+    // bit-exact by contract), but resealing the catalog swaps table handles
+    // — those knobs invalidate below.
+    let result_cache = ResultCache::new(16 << 20);
+    let all_tables =
+        |catalog: &Catalog| -> Vec<String> { catalog.names().map(String::from).collect() };
     print!("wimpi> ");
     std::io::stdout().flush().ok();
     for line in stdin.lock().lines() {
@@ -119,20 +138,21 @@ fn main() {
                 show_hw = !show_hw;
                 println!("hardware predictions {}", if show_hw { "on" } else { "off" });
             }
-            "\\metrics" => match &service {
-                Some(svc) => print!("{}", svc.metrics().render()),
-                None => {
-                    let rendered = shell_metrics.render();
-                    if rendered.is_empty() {
-                        println!(
-                            "no counters yet (SET concurrency = N starts a service; \
-                             SET verify_checksums = on counts integrity checks)"
-                        );
-                    } else {
-                        print!("{rendered}");
-                    }
+            "\\metrics" => {
+                if let Some(svc) = &service {
+                    print!("{}", svc.metrics().render());
                 }
-            },
+                let rendered = shell_metrics.render();
+                if rendered.is_empty() && service.is_none() {
+                    println!(
+                        "no counters yet (SET concurrency = N starts a service; \
+                         SET verify_checksums = on counts integrity checks; \
+                         repeated statements fill the coord_result_cache_* counters)"
+                    );
+                } else {
+                    print!("{rendered}");
+                }
+            }
             "\\tables" => {
                 for name in catalog.names() {
                     let t = catalog.table(name).expect("registered");
@@ -211,8 +231,11 @@ fn main() {
                     "verify_checksums" => match value.to_ascii_lowercase().as_str() {
                         "on" | "true" | "1" => {
                             // Seal manifests lazily on first use; sealing is
-                            // idempotent, so re-enabling is free.
+                            // idempotent, so re-enabling is free. Sealing
+                            // swaps table handles, so cached results built
+                            // on the old handles are invalidated.
                             Arc::make_mut(&mut catalog).seal_integrity();
+                            result_cache.invalidate_tables(&all_tables(&catalog), &shell_metrics);
                             verify = true;
                             println!("scan-time checksum verification on");
                         }
@@ -222,10 +245,28 @@ fn main() {
                         }
                         _ => println!("error: verify_checksums wants on|off, got {value:?}"),
                     },
+                    "prune_scans" => match value.to_ascii_lowercase().as_str() {
+                        "on" | "true" | "1" => {
+                            // Mirror verify_checksums: seal zone maps lazily
+                            // on first use (idempotent — tables that already
+                            // carry zones keep them), invalidate cached
+                            // results built on the pre-seal handles.
+                            Arc::make_mut(&mut catalog).seal_zone_maps();
+                            result_cache.invalidate_tables(&all_tables(&catalog), &shell_metrics);
+                            prune = true;
+                            println!("zone-map scan pruning on");
+                        }
+                        "off" | "false" | "0" => {
+                            prune = false;
+                            println!("zone-map scan pruning off");
+                        }
+                        _ => println!("error: prune_scans wants on|off, got {value:?}"),
+                    },
                     other => {
                         println!(
                             "error: unknown knob {other:?} \
-                             (memory_budget, timeout_ms, concurrency, verify_checksums, executor)"
+                             (memory_budget, timeout_ms, concurrency, verify_checksums, \
+                             executor, prune_scans)"
                         )
                     }
                 }
@@ -234,8 +275,10 @@ fn main() {
                 let inner = strip_explain_analyze(sql).expect("guard matched");
                 let inner = inner.trim_end_matches(';').trim_end();
                 let ctx = make_ctx(mem_budget, timeout_ms);
-                let cfg =
-                    EngineConfig::serial().with_verify_checksums(verify).with_executor(executor);
+                let cfg = EngineConfig::serial()
+                    .with_verify_checksums(verify)
+                    .with_executor(executor)
+                    .with_prune_scans(prune);
                 match wimpi::sql::explain_analyze_with(inner, &catalog, &cfg, &ctx) {
                     Ok((rel, work, span)) => {
                         print!("{}", span.render());
@@ -270,7 +313,8 @@ fn main() {
                         let cat = Arc::clone(&catalog);
                         let cfg = EngineConfig::serial()
                             .with_verify_checksums(verify)
-                            .with_executor(executor);
+                            .with_executor(executor)
+                            .with_prune_scans(prune);
                         svc.run_blocking(make_spec(sql, timeout_ms), move |ctx| {
                             execute_sql_with(&owned, &cat, &cfg, ctx)
                                 .map(|(rel, work)| (rel, work, ctx.fallbacks()))
@@ -279,21 +323,36 @@ fn main() {
                         .map_err(|e| e.to_string())
                     }
                     None => {
-                        let ctx = make_ctx(mem_budget, timeout_ms);
-                        let cfg = EngineConfig::serial()
-                            .with_verify_checksums(verify)
-                            .with_executor(executor);
-                        let out = execute_sql_with(sql, &catalog, &cfg, &ctx)
-                            .map(|(rel, work)| (rel, work, ctx.fallbacks()))
-                            .map_err(|e| e.to_string());
-                        let checks = ctx.integrity_checks();
-                        if checks > 0 {
-                            shell_metrics.inc("integrity_checks_total", checks);
+                        let key = sql.trim_end_matches(';').trim_end().to_string();
+                        match result_cache.get(&key, &shell_metrics) {
+                            Some(rel) => Ok((rel, wimpi::engine::WorkProfile::default(), 0)),
+                            None => {
+                                let ctx = make_ctx(mem_budget, timeout_ms);
+                                let cfg = EngineConfig::serial()
+                                    .with_verify_checksums(verify)
+                                    .with_executor(executor)
+                                    .with_prune_scans(prune);
+                                let out = execute_sql_with(sql, &catalog, &cfg, &ctx)
+                                    .map(|(rel, work)| (rel, work, ctx.fallbacks()))
+                                    .map_err(|e| e.to_string());
+                                let checks = ctx.integrity_checks();
+                                if checks > 0 {
+                                    shell_metrics.inc("integrity_checks_total", checks);
+                                }
+                                if matches!(&out, Err(e) if e.contains("integrity violation")) {
+                                    shell_metrics.inc("integrity_failures_total", 1);
+                                }
+                                if let Ok((rel, _, _)) = &out {
+                                    result_cache.insert(
+                                        &key,
+                                        rel,
+                                        &all_tables(&catalog),
+                                        &shell_metrics,
+                                    );
+                                }
+                                out
+                            }
                         }
-                        if matches!(&out, Err(e) if e.contains("integrity violation")) {
-                            shell_metrics.inc("integrity_failures_total", 1);
-                        }
-                        out
                     }
                 };
                 match outcome {

@@ -55,7 +55,7 @@ fn queued_cancellation_is_immediate_and_budget_free() {
     for workers in [1usize, 2, 4] {
         let node_budget = 1_000_000u64;
         let pin_bytes = 1_000u64;
-        let mut svc = Service::new(ServiceConfig {
+        let svc = Service::new(ServiceConfig {
             node_budget,
             workers,
             queue_depth: 16,
@@ -106,7 +106,7 @@ fn queued_cancellation_is_immediate_and_budget_free() {
 #[test]
 fn cancellation_suppresses_the_budget_retry() {
     for workers in [1usize, 2, 4] {
-        let mut svc = Service::new(ServiceConfig {
+        let svc = Service::new(ServiceConfig {
             node_budget: 1_000_000,
             workers,
             ..ServiceConfig::default()
@@ -158,7 +158,7 @@ fn service_answers_are_bit_exact_with_serial_unconstrained_runs() {
     for workers in [1usize, 2, 4] {
         // Tight node budget: declared estimates are deliberately small so
         // some attempts exhaust and take the full-budget retry path.
-        let mut svc = Service::new(ServiceConfig {
+        let svc = Service::new(ServiceConfig {
             node_budget: 4 << 20,
             workers,
             queue_depth: 64,
@@ -195,13 +195,105 @@ fn service_answers_are_bit_exact_with_serial_unconstrained_runs() {
     }
 }
 
+/// The shutdown-vs-submit race satellite: threads hammer `submit` through a
+/// shared `Arc<Service>` while another thread calls `shutdown` concurrently.
+/// Every submission must reach exactly one terminal state — a ticket that
+/// resolves (completed or `Cancelled` by the drain) or a typed
+/// `ShuttingDown`/`Overloaded` refusal with no ticket — and `wait()` must
+/// never hang. The ledger identity and the drained node accounting are
+/// asserted afterwards, at 1, 2, and 4 workers.
+#[test]
+fn shutdown_racing_submit_resolves_every_ticket_exactly_once() {
+    for workers in [1usize, 2, 4] {
+        let svc = Arc::new(Service::new(ServiceConfig {
+            node_budget: UNLIMITED,
+            workers,
+            queue_depth: 256,
+            ..ServiceConfig::default()
+        }));
+        let submitters = 4usize;
+        let per_thread = 50usize;
+        let completed = Arc::new(AtomicU32::new(0));
+        let cancelled = Arc::new(AtomicU32::new(0));
+        let refused = Arc::new(AtomicU32::new(0));
+
+        let mut joins = Vec::new();
+        for t in 0..submitters {
+            let svc = Arc::clone(&svc);
+            let completed = Arc::clone(&completed);
+            let cancelled = Arc::clone(&cancelled);
+            let refused = Arc::clone(&refused);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let spec = QuerySpec::new(format!("race-t{t}-{i}"));
+                    match svc.submit(spec, move |_| Ok(1u64)) {
+                        Ok(ticket) => match ticket.wait() {
+                            Ok(_) => {
+                                completed.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(ServiceError::Engine(EngineError::Cancelled)) => {
+                                cancelled.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(other) => panic!(
+                                "{workers} workers: race submission got untyped \
+                                 terminal outcome {other:?}"
+                            ),
+                        },
+                        Err(ServiceError::ShuttingDown | ServiceError::Overloaded { .. }) => {
+                            refused.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(other) => {
+                            panic!("{workers} workers: untyped refusal {other:?}")
+                        }
+                    }
+                }
+            }));
+        }
+        // Let some traffic land, then slam the door mid-stream. A second
+        // concurrent shutdown exercises idempotence through `&self`.
+        while svc.metrics().counter("service_submitted_total") < submitters as u64 {
+            std::thread::yield_now();
+        }
+        let svc2 = Arc::clone(&svc);
+        let shut2 = std::thread::spawn(move || svc2.shutdown());
+        svc.shutdown();
+        shut2.join().expect("concurrent shutdown must not panic");
+        for j in joins {
+            j.join().expect("submitter must not hang or panic");
+        }
+
+        let total = (submitters * per_thread) as u32;
+        assert_eq!(
+            completed.load(Ordering::SeqCst)
+                + cancelled.load(Ordering::SeqCst)
+                + refused.load(Ordering::SeqCst),
+            total,
+            "{workers} workers: every submission resolves exactly once"
+        );
+        let m = svc.metrics();
+        let terminals = m.counter("service_completed_total")
+            + m.counter("service_cancelled_total")
+            + m.counter("service_exhausted_total")
+            + m.counter("service_failed_total")
+            + m.counter("service_panicked_total");
+        assert_eq!(
+            m.counter("service_submitted_total"),
+            terminals,
+            "{workers} workers: ledger identity must reconcile after the race"
+        );
+        assert_eq!(m.counter("service_completed_total"), completed.load(Ordering::SeqCst) as u64);
+        assert_eq!(m.counter("service_cancelled_total"), cancelled.load(Ordering::SeqCst) as u64);
+        assert_eq!(svc.node_used(), 0, "{workers} workers: accounting must drain");
+    }
+}
+
 /// Every choke-point query completes through the service under an
 /// unconstrained node budget, and the submission/terminal accounting
 /// identity holds exactly.
 #[test]
 fn chokepoint_queries_all_complete_and_accounting_balances() {
     let cat = catalog();
-    let mut svc = Service::new(ServiceConfig {
+    let svc = Service::new(ServiceConfig {
         node_budget: UNLIMITED,
         workers: 4,
         ..ServiceConfig::default()

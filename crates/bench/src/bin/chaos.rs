@@ -44,8 +44,9 @@ const SEED: u64 = 42;
 /// Every `FAULT_EVERY`-th request carries a random fault schedule.
 const FAULT_EVERY: usize = 3;
 /// Hot/cold mix one client plays per round: Q1/Q6 are the hot repeats, the
-/// other choke-points arrive cold and ad hoc.
-const MIX: [usize; 16] = [1, 6, 6, 3, 1, 6, 4, 6, 1, 13, 6, 5, 1, 6, 14, 19];
+/// other choke-points arrive cold and ad hoc. Q15 rides along as the
+/// two-phase representative — both of its phases route across the cluster.
+const MIX: [usize; 17] = [1, 6, 6, 3, 1, 6, 4, 6, 1, 13, 6, 5, 1, 6, 14, 19, 15];
 
 struct RungReport {
     clients: usize,
@@ -253,14 +254,53 @@ fn main() {
         Arc::new(WimpiCluster::build(ClusterConfig::new(nodes, args.sf)).expect("cluster builds"));
 
     // The referee: one clean fault-free driver run per distinct query.
+    // Two-phase Q15 cannot use the driver path (`WimpiCluster::run` serves
+    // single plans only), so its referee is the strongest one available: a
+    // single-node run over the full unpartitioned catalog.
+    let full = wimpi_tpch::Generator::new(args.sf).generate_catalog().expect("full catalog");
     let mut baselines = std::collections::HashMap::new();
     for &qn in &MIX {
         baselines.entry(qn).or_insert_with(|| {
-            cluster
-                .run(&query(qn), Strategy::PartialAggPushdown)
-                .unwrap_or_else(|e| panic!("Q{qn} clean baseline: {e}"))
-                .result
+            if qn == 15 {
+                let (rel, _) = wimpi_queries::run(&query(qn), &full)
+                    .unwrap_or_else(|e| panic!("Q{qn} clean baseline: {e}"));
+                rel
+            } else {
+                cluster
+                    .run(&query(qn), Strategy::PartialAggPushdown)
+                    .unwrap_or_else(|e| panic!("Q{qn} clean baseline: {e}"))
+                    .result
+            }
         });
+    }
+
+    // Two-phase routing contract: Q15 routes through the coordinator and
+    // survives the loss of *any* single node bit-exactly — the scalar
+    // pre-pass and the outer join both recover their lost partition.
+    {
+        for node in 0..nodes as usize {
+            // Fresh coordinator per crash: the same fault hits both phases,
+            // which legitimately trips the node's breaker — state that must
+            // not leak into the next iteration's routing.
+            let coord = Coordinator::new(Arc::clone(&cluster), CoordinatorConfig::default());
+            let a = coord
+                .run_blocking(
+                    QueryRequest::new(format!("q15-crash-n{node}"), query(15))
+                        .with_faults(FaultPlan::crash(node)),
+                )
+                .unwrap_or_else(|e| panic!("Q15 must survive losing node {node}: {e}"));
+            assert!(!a.degraded, "Q15 must recover from one node loss, not degrade");
+            assert!(
+                !a.recovery.reassignments.is_empty(),
+                "losing node {node} must show up as a recovered reassignment"
+            );
+            assert_eq!(
+                a.result, baselines[&15],
+                "Q15 after losing node {node} must stay bit-exact vs the single-node referee"
+            );
+            coord.shutdown();
+        }
+        status!("two-phase Q15 survives single-node loss on each of {nodes} nodes");
     }
 
     let mut reports = Vec::new();

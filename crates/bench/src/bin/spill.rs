@@ -1,0 +1,438 @@
+//! Out-of-core spill ladder: graceful degradation past the memory cliff
+//! (paper §III-C2, DESIGN.md §16).
+//!
+//! ```text
+//! cargo run --release --bin spill -- [--sf f] [--smoke] [--sf10]
+//! cargo run --release --bin spill -- --validate results/spill.json
+//! ```
+//!
+//! Walks the 8 choke-point queries down a ladder of per-query memory
+//! budgets with a fresh fault-injecting [`SpillDisk`] attached to every
+//! run, and records the degradation mode each cell lands in:
+//!
+//! * `inmem` — everything fit, the disk was never touched;
+//! * `grace` — Grace partitioning alone shrank the working set enough;
+//! * `spill` — at least one operator staged partitions on the spill disk
+//!   and streamed them back, answer still bit-exact;
+//! * `disk_full` — the spill disk itself filled: typed `ResourceExhausted`
+//!   naming the disk, engine reusable;
+//! * `exhausted` — even maximal spill fan-out cannot fit: the original
+//!   typed error, as if no disk were attached.
+//!
+//! Every disk carries the seeded fault plan (torn views, bit flips, slow
+//! stragglers — one roll in eight each), so every completed `spill` run
+//! also proves the read path detects and retries corruption without
+//! changing a byte of the answer. Three ledgers must reconcile exactly per
+//! run: the disk's own counters, the query's [`WorkProfile`]
+//! (`spilled_bytes`, `spill_read_retries`, `spill_corruptions_detected`),
+//! and — for the traced representative — the root span totals.
+//!
+//! A second section checks the bounded-memory streaming TPC-H generator:
+//! the streamed chunks must concatenate byte-identically to full
+//! generation at the bench scale factor, and `--sf10` opts into walking
+//! all of SF 10 `orders`/`lineitem` chunk-by-chunk in bounded memory.
+//!
+//! Artifacts: `results/spill.txt` (mode matrix + seconds) and
+//! `results/spill.json` (schema checked by
+//! `wimpi_core::validate_spill_document` — the binary self-validates
+//! before writing, and CI re-validates the written file with
+//! `--validate`). `--smoke` is the CI entry point: a shorter ladder at a
+//! smaller scale, asserting the full cliff still appears.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wimpi_analysis::{Series, TextFigure};
+use wimpi_bench::Args;
+use wimpi_engine::{EngineConfig, EngineError, QueryContext};
+use wimpi_obs::status;
+use wimpi_queries::{query, run_governed, run_traced_governed, CHOKEPOINT_QUERIES};
+use wimpi_storage::spill::{SpillConfig, SpillDisk, SpillFaults};
+use wimpi_storage::Column;
+use wimpi_tpch::Generator;
+
+/// Deterministic fault-stream seed (reports into `spill.json`).
+const SEED: u64 = 42;
+/// One fault roll in `FAULT_EVERY` per kind: torn view, bit flip, straggler.
+const FAULT_EVERY: u64 = 8;
+/// Retry headroom above the default — at a 1-in-8 fault rate per kind the
+/// per-attempt failure probability is ≈ 0.23, so 17 attempts make a
+/// permanent-failure misclassification astronomically unlikely while still
+/// exercising the retry/backoff path on a large fraction of chunks.
+const MAX_READ_RETRIES: u32 = 16;
+
+/// One rung of the ladder: a per-query budget and a spill-disk capacity.
+/// The tiny-disk rung is what demonstrates `disk_full` as its own mode —
+/// the budget forces spilling, the capacity refuses to hold it.
+struct Rung {
+    label: &'static str,
+    budget: u64,
+    disk_capacity: u64,
+}
+
+const LADDER: [Rung; 6] = [
+    Rung { label: "16M", budget: 16 << 20, disk_capacity: 256 << 20 },
+    Rung { label: "256K", budget: 256 << 10, disk_capacity: 256 << 20 },
+    Rung { label: "16K", budget: 16 << 10, disk_capacity: 256 << 20 },
+    Rung { label: "2K", budget: 2 << 10, disk_capacity: 256 << 20 },
+    Rung { label: "1K/4K-disk", budget: 1 << 10, disk_capacity: 4 << 10 },
+    Rung { label: "64", budget: 64, disk_capacity: 256 << 20 },
+];
+
+struct RunReport {
+    query: usize,
+    mode: &'static str,
+    secs: Option<f64>,
+    spilled_bytes: u64,
+    read_retries: u64,
+    corruptions: u64,
+}
+
+struct RungReport {
+    budget: u64,
+    disk_capacity: u64,
+    runs: Vec<RunReport>,
+}
+
+fn faulted_disk(capacity: u64, qn: usize, budget: u64) -> Arc<SpillDisk> {
+    // Every (query, rung) cell gets its own deterministic fault stream so a
+    // single cell can be replayed in isolation.
+    let seed = SEED ^ (qn as u64) << 32 ^ budget;
+    Arc::new(SpillDisk::new(
+        SpillConfig::with_capacity(capacity)
+            .with_faults(SpillFaults::every(seed, FAULT_EVERY))
+            .with_max_read_retries(MAX_READ_RETRIES),
+    ))
+}
+
+/// Runs one (query, rung) cell and classifies its degradation mode,
+/// asserting bit-exactness, ledger reconciliation, and full capacity
+/// release on the way.
+fn run_cell(
+    qn: usize,
+    rung: &Rung,
+    catalog: &wimpi_storage::Catalog,
+    cfg: &EngineConfig,
+    baseline: &wimpi_engine::Relation,
+) -> RunReport {
+    let q = query(qn);
+    let disk = faulted_disk(rung.disk_capacity, qn, rung.budget);
+    let ctx = QueryContext::with_budget(rung.budget).with_spill(Arc::clone(&disk));
+    let started = Instant::now();
+    let (mode, secs) = match run_governed(&q, catalog, cfg, &ctx) {
+        Ok((rel, prof)) => {
+            assert_eq!(
+                rel, *baseline,
+                "Q{qn} at budget {}: degraded answer must be bit-exact",
+                rung.label
+            );
+            let d = disk.counters();
+            assert_eq!(
+                (prof.spilled_bytes, prof.spill_read_retries, prof.spill_corruptions_detected),
+                (d.spilled_bytes, d.read_retries, d.corruptions_detected),
+                "Q{qn} at budget {}: work profile and disk ledger must reconcile",
+                rung.label
+            );
+            let mode = if d.spilled_bytes > 0 {
+                "spill"
+            } else if ctx.fallbacks() > 0 {
+                "grace"
+            } else {
+                "inmem"
+            };
+            (mode, Some(started.elapsed().as_secs_f64()))
+        }
+        Err(EngineError::ResourceExhausted { operator, .. }) => {
+            assert_eq!(ctx.used(), 0, "Q{qn}: failed run must release its memory budget");
+            if operator.contains("spill disk full") {
+                ("disk_full", None)
+            } else {
+                ("exhausted", None)
+            }
+        }
+        Err(e) => panic!("Q{qn} at budget {}: unexpected error {e}", rung.label),
+    };
+    assert_eq!(disk.used(), 0, "Q{qn} at budget {}: all spill capacity must be freed", rung.label);
+    let d = disk.counters();
+    RunReport {
+        query: qn,
+        mode,
+        secs,
+        spilled_bytes: d.spilled_bytes,
+        read_retries: d.read_retries,
+        corruptions: d.corruptions_detected,
+    }
+}
+
+fn spill_json(sf: f64, reports: &[RungReport]) -> String {
+    let mut rungs = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            rungs.push(',');
+        }
+        let mut runs = String::new();
+        let mut sums = [0u64; 3];
+        for (j, run) in r.runs.iter().enumerate() {
+            if j > 0 {
+                runs.push(',');
+            }
+            let completed = matches!(run.mode, "inmem" | "grace" | "spill");
+            runs.push_str(&format!(
+                r#"{{"query": {}, "mode": "{}", "bit_exact": {}, "spilled_bytes": {}, "spill_read_retries": {}, "spill_corruptions_detected": {}}}"#,
+                run.query, run.mode, completed, run.spilled_bytes, run.read_retries,
+                run.corruptions,
+            ));
+            sums[0] += run.spilled_bytes;
+            sums[1] += run.read_retries;
+            sums[2] += run.corruptions;
+        }
+        rungs.push_str(&format!(
+            r#"{{"budget": {}, "disk_capacity": {}, "runs": [{}], "ledger": {{"spilled_bytes": {}, "spill_read_retries": {}, "spill_corruptions_detected": {}}}}}"#,
+            r.budget, r.disk_capacity, runs, sums[0], sums[1], sums[2],
+        ));
+    }
+    format!(r#"{{"sf": {sf}, "seed": {SEED}, "rungs": [{rungs}]}}"#)
+}
+
+/// One traced representative: the span tree's root totals, the work
+/// profile, and the disk ledger must agree counter for counter, and the
+/// rendered JSON must pass the trace checker's additive invariant.
+fn check_traced_representative(
+    qn: usize,
+    rung: &Rung,
+    catalog: &wimpi_storage::Catalog,
+    cfg: &EngineConfig,
+) {
+    let disk = faulted_disk(rung.disk_capacity, qn, rung.budget);
+    let ctx = QueryContext::with_budget(rung.budget).with_spill(Arc::clone(&disk));
+    let (_, prof, span) = run_traced_governed(&query(qn), catalog, cfg, &ctx)
+        .unwrap_or_else(|e| panic!("traced Q{qn} at budget {}: {e}", rung.label));
+    let d = disk.counters();
+    assert!(d.spilled_bytes > 0, "the traced representative must actually spill");
+    for (name, profv, diskv) in [
+        ("spilled_bytes", prof.spilled_bytes, d.spilled_bytes),
+        ("spill_read_retries", prof.spill_read_retries, d.read_retries),
+        ("spill_corruptions_detected", prof.spill_corruptions_detected, d.corruptions_detected),
+    ] {
+        assert_eq!(profv, diskv, "Q{qn}: profile {name} must equal the disk ledger");
+        assert_eq!(span.counter(name), profv, "Q{qn}: span root {name} must equal the profile");
+    }
+    wimpi_core::validate_trace_json(&span.to_json())
+        .unwrap_or_else(|e| panic!("traced Q{qn} spill run fails the trace checker: {e}"));
+    let pi = wimpi_hwsim::pi3b();
+    status!(
+        "traced Q{qn} at budget {}: {} spilled bytes, {} retries, {} corruptions detected, \
+         modeled Pi spill penalty {:.2}x",
+        rung.label,
+        d.spilled_bytes,
+        d.read_retries,
+        d.corruptions_detected,
+        wimpi_hwsim::modeled_spill_penalty(&pi, &prof)
+    );
+}
+
+/// The bounded-memory streaming generator section: streamed chunks must
+/// concatenate byte-identically to full generation, and the per-chunk
+/// footprint must stay a small fraction of the whole.
+fn check_streaming_gen(sf: f64) {
+    let g = Generator::new(sf);
+    let (full_o, full_l) = g.orders_lineitem().expect("full generation");
+    let orders_per_chunk = (g.num_orders() / 7).max(1);
+    let stream = g.stream_orders_lineitem(orders_per_chunk);
+    let nchunks = stream.num_chunks();
+    let mut chunks_o = Vec::new();
+    let mut chunks_l = Vec::new();
+    let mut max_chunk_bytes = 0usize;
+    for part in stream {
+        let (o, l) = part.expect("chunk generates");
+        max_chunk_bytes = max_chunk_bytes.max(o.heap_bytes() + l.heap_bytes());
+        chunks_o.push(o);
+        chunks_l.push(l);
+    }
+    for (full, parts) in [(&full_o, &chunks_o), (&full_l, &chunks_l)] {
+        for ci in 0..full.num_columns() {
+            let cols: Vec<&Column> = parts.iter().map(|t| t.column(ci).as_ref()).collect();
+            let glued = Column::concat(&cols).expect("chunks concatenate");
+            assert_eq!(
+                &glued,
+                full.column(ci).as_ref(),
+                "streamed generation must be byte-identical to full generation"
+            );
+        }
+    }
+    status!(
+        "streaming gen at SF {sf}: {nchunks} chunks, peak chunk {} B vs full {} B, bytes identical",
+        max_chunk_bytes,
+        full_o.heap_bytes() + full_l.heap_bytes()
+    );
+}
+
+/// `--sf10`: walk all of SF 10 `orders`/`lineitem` through the streaming
+/// generator, holding only one chunk at a time. The full tables would need
+/// tens of GB of column data; the stream's peak is one chunk.
+fn run_sf10_stream() {
+    let g = Generator::new(10.0);
+    let stream = g.stream_orders_lineitem(1 << 18);
+    let nchunks = stream.num_chunks();
+    status!("SF 10 stream: {} orders in {nchunks} chunks", g.num_orders());
+    let mut max_chunk_bytes = 0usize;
+    let mut orders_seen = 0u64;
+    let mut lineitems_seen = 0u64;
+    for (c, part) in stream.enumerate() {
+        let (o, l) = part.expect("chunk generates");
+        max_chunk_bytes = max_chunk_bytes.max(o.heap_bytes() + l.heap_bytes());
+        orders_seen += o.num_rows() as u64;
+        lineitems_seen += l.num_rows() as u64;
+        if c % 8 == 0 {
+            status!("  chunk {c}/{nchunks}: {} orders so far", orders_seen);
+        }
+    }
+    assert_eq!(orders_seen, g.num_orders(), "the stream must cover every order exactly once");
+    // Determinism under random access: regenerate a middle chunk and
+    // compare a column against a fresh stream's version of the same chunk.
+    let s1 = g.stream_orders_lineitem(1 << 18);
+    let s2 = g.stream_orders_lineitem(1 << 18);
+    let (o1, _) = s1.chunk(nchunks / 2).expect("chunk regenerates");
+    let (o2, _) = s2.chunk(nchunks / 2).expect("chunk regenerates");
+    assert_eq!(o1.column(0).as_ref(), o2.column(0).as_ref(), "chunks must be deterministic");
+    status!(
+        "SF 10 stream: {} lineitems generated, peak chunk {} MB",
+        lineitems_seen,
+        max_chunk_bytes >> 20
+    );
+    println!(
+        "sf10 stream: OK ({lineitems_seen} lineitems, peak chunk {} MB)",
+        max_chunk_bytes >> 20
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    // `--validate <file>`: re-check an already-written spill.json through
+    // the independent schema checker and exit (the CI artifact gate).
+    if let Some(i) = argv.iter().position(|a| a == "--validate") {
+        let path = argv.get(i + 1).expect("--validate needs a file path");
+        let doc =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let rungs = wimpi_core::validate_spill_document(&doc)
+            .unwrap_or_else(|e| panic!("{path} fails the spill schema check: {e}"));
+        println!("{path}: {} rung(s) validate, spill ledgers reconcile", rungs.len());
+        return;
+    }
+    if argv.iter().any(|a| a == "--sf10") {
+        run_sf10_stream();
+        return;
+    }
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let mut args = Args::parse_with(Args { sf: 0.01, ..Args::default() });
+    if smoke {
+        args.sf = args.sf.min(0.005);
+    }
+    let qns: Vec<usize> = if args.queries.is_empty() {
+        if smoke {
+            // Chosen so the short ladder still exhibits the full cliff at
+            // the smoke scale factor: Q6 stays inmem throughout, Q1 ends
+            // exhausted, Q14 spills at the bottom, Q13 fills the tiny disk.
+            vec![1, 6, 13, 14]
+        } else {
+            CHOKEPOINT_QUERIES.to_vec()
+        }
+    } else {
+        args.queries.clone()
+    };
+    let ladder: &[Rung] = if smoke { &LADDER[1..] } else { &LADDER };
+    status!("spill ladder at SF {} over {qns:?}, seed {SEED}", args.sf);
+    let catalog = Generator::new(args.sf).generate_catalog().expect("catalog generates");
+    let cfg = EngineConfig::serial();
+
+    let baselines: Vec<wimpi_engine::Relation> = qns
+        .iter()
+        .map(|&qn| {
+            run_governed(&query(qn), &catalog, &cfg, &QueryContext::new())
+                .unwrap_or_else(|e| panic!("Q{qn} baseline: {e}"))
+                .0
+        })
+        .collect();
+
+    let mut reports = Vec::new();
+    for rung in ladder {
+        let mut runs = Vec::new();
+        for (qi, &qn) in qns.iter().enumerate() {
+            let run = run_cell(qn, rung, &catalog, &cfg, &baselines[qi]);
+            status!(
+                "Q{qn:<2} budget {:>10}: {:<9} ({} B spilled, {} retries, {} corruptions)",
+                rung.label,
+                run.mode,
+                run.spilled_bytes,
+                run.read_retries,
+                run.corruptions
+            );
+            runs.push(run);
+        }
+        reports.push(RungReport { budget: rung.budget, disk_capacity: rung.disk_capacity, runs });
+    }
+
+    // The §III-C2 cliff must actually appear: every degradation mode shows
+    // up somewhere on the ladder, and the top rung never degrades.
+    assert!(reports[0].runs.iter().all(|r| r.mode == "inmem"), "the top rung must fit in memory");
+    for mode in ["grace", "spill", "disk_full", "exhausted"] {
+        assert!(
+            reports.iter().any(|r| r.runs.iter().any(|run| run.mode == mode)),
+            "the ladder must exhibit mode {mode}"
+        );
+    }
+    // Corruption injection must have been exercised on the spill path, and
+    // every detected corruption must have been retried.
+    let (retries, corruptions) = reports
+        .iter()
+        .flat_map(|r| &r.runs)
+        .fold((0u64, 0u64), |(a, b), r| (a + r.read_retries, b + r.corruptions));
+    assert!(corruptions > 0, "the fault plan must have corrupted at least one spill read");
+    assert_eq!(retries, corruptions, "every detected corruption is retried exactly once");
+
+    // Traced representative: first spilling cell of the ladder.
+    let (ri, qi) = reports
+        .iter()
+        .enumerate()
+        .find_map(|(ri, r)| r.runs.iter().position(|run| run.mode == "spill").map(|qi| (ri, qi)))
+        .expect("asserted above: some run spills");
+    check_traced_representative(reports[ri].runs[qi].query, &ladder[ri], &catalog, &cfg);
+
+    check_streaming_gen(args.sf);
+
+    // Self-validate the document through the independent checker before
+    // writing — CI re-checks the written artifact the same way.
+    let doc = spill_json(args.sf, &reports);
+    let rungs = wimpi_core::validate_spill_document(&doc)
+        .unwrap_or_else(|e| panic!("spill.json fails its own schema check: {e}"));
+    assert_eq!(rungs.len(), reports.len());
+
+    let mut fig = TextFigure::new(
+        format!("Spill ladder: host seconds (SF {}, seed {SEED})", args.sf),
+        "query",
+    );
+    fig.rows = qns.iter().map(|q| format!("Q{q}")).collect();
+    for (li, rung) in ladder.iter().enumerate() {
+        fig.push_series(Series {
+            name: rung.label.to_string(),
+            values: reports[li].runs.iter().map(|r| r.secs).collect(),
+        });
+    }
+    let mut text = fig.render();
+    text.push('\n');
+    text.push_str(&format!(
+        "{:>5} {}\n",
+        "query",
+        ladder.iter().map(|r| format!("{:>12}", r.label)).collect::<Vec<_>>().join(" ")
+    ));
+    for (qi, qn) in qns.iter().enumerate() {
+        let row: Vec<String> = reports.iter().map(|r| format!("{:>12}", r.runs[qi].mode)).collect();
+        text.push_str(&format!("{:>5} {}\n", format!("Q{qn}"), row.join(" ")));
+    }
+    print!("{text}");
+    wimpi_bench::write_artifact(&args.out, "spill.txt", &text);
+    wimpi_bench::write_artifact(&args.out, "spill.json", &doc);
+    if smoke {
+        println!("spill smoke: OK");
+    }
+}

@@ -48,13 +48,13 @@ use crate::{
     Result, WimpiCluster,
 };
 use wimpi_engine::{
-    EngineConfig, EngineError, MemoryReservation, QueryContext, QuerySpec, Relation, Service,
-    ServiceConfig, ServiceError, Ticket,
+    bind_params_spanning, strip_params, EngineConfig, EngineError, MemoryReservation, QueryContext,
+    QuerySpec, Relation, Service, ServiceConfig, ServiceError, Ticket,
 };
 use wimpi_hwsim::predict;
 use wimpi_obs::Registry;
 use wimpi_queries::QueryPlan;
-use wimpi_storage::Catalog;
+use wimpi_storage::{Catalog, Value};
 
 /// Histogram bounds for end-to-end simulated latency (seconds).
 pub const LATENCY_BUCKETS: [f64; 9] = [0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0];
@@ -414,13 +414,36 @@ pub struct Coordinator {
     service: Service,
 }
 
-/// The cache key of a request's plan: the strategy plus the plan's explain
-/// rendering (a normalized shape — parameter-identical submissions share
-/// one entry). Two-phase queries are not cacheable.
+/// The *result*-cache key of a request: the strategy plus the literal plan
+/// rendering. Unlike the plan cache (keyed on the parameter-stripped shape),
+/// answers depend on the actual parameter values, so the key keeps them.
+/// Two-phase answers are not result-cached: the outer plan depends on a
+/// phase-1 scalar computed from live table bytes, so a key built from the
+/// request alone cannot prove a hit bit-exact.
 fn cache_key(strategy: Strategy, query: &QueryPlan) -> Option<String> {
     match query {
         QueryPlan::Single(p) => Some(format!("{strategy:?}\n{}", p.explain())),
         QueryPlan::TwoPhase { .. } => None,
+    }
+}
+
+/// Folds phase-2 recovery into phase 1's for a two-phase answer: counters
+/// add, reassignment lists concatenate, coverage takes the minimum, and the
+/// degraded flag ORs.
+fn merge_recovery(a: RecoveryReport, b: RecoveryReport) -> RecoveryReport {
+    let mut reassignments = a.reassignments;
+    reassignments.extend(b.reassignments);
+    RecoveryReport {
+        retries: a.retries + b.retries,
+        speculated: a.speculated + b.speculated,
+        reassignments,
+        recovery_seconds: a.recovery_seconds + b.recovery_seconds,
+        cancelled_work_seconds: a.cancelled_work_seconds + b.cancelled_work_seconds,
+        budget_degraded: a.budget_degraded + b.budget_degraded,
+        coverage: a.coverage.min(b.coverage),
+        degraded: a.degraded || b.degraded,
+        integrity_detected: a.integrity_detected + b.integrity_detected,
+        integrity_repaired: a.integrity_repaired + b.integrity_repaired,
     }
 }
 
@@ -533,30 +556,47 @@ impl Coordinator {
 
 impl Inner {
     /// Executes one admitted request end to end (runs on a service worker).
+    ///
+    /// Two-phase scalar queries (Q15-style) route through the same machinery
+    /// phase by phase: the scalar-producing inner plan runs first — routed
+    /// across the cluster when it touches lineitem, so node loss during the
+    /// pre-pass is recovered like any other run — then the outer plan is
+    /// instantiated with the extracted scalar and served the same way. The
+    /// phases share the admission context, and their costs and recovery
+    /// reports merge into one answer.
     fn execute(&self, req: &QueryRequest, ctx: &QueryContext) -> Result<Answer> {
-        let plan = match &req.query {
-            QueryPlan::Single(p) => p,
-            QueryPlan::TwoPhase { .. } => {
-                return Err(ClusterError::Unsupported(format!(
-                    "{}: two-phase scalar queries are not routed; run them single-node",
-                    req.label
-                )))
+        let answer = match &req.query {
+            QueryPlan::Single(p) => self.execute_plan(&req.label, p, &req.faults, ctx)?,
+            QueryPlan::TwoPhase { first, scalar_col, second } => {
+                self.metrics.inc("coord_two_phase_total", 1);
+                let label1 = format!("{} (scalar)", req.label);
+                let a1 = self.execute_plan(&label1, first, &req.faults, ctx)?;
+                // The queries layer's convention: an empty phase-1 result
+                // means the scalar is a neutral 0.0 (keeps both paths
+                // bit-identical).
+                let scalar = if a1.result.num_rows() == 0 {
+                    Value::F64(0.0)
+                } else {
+                    a1.result.value(0, scalar_col).map_err(ClusterError::from)?
+                };
+                let a2 = self.execute_plan(&req.label, &second(scalar), &req.faults, ctx)?;
+                Answer {
+                    result: a2.result,
+                    coverage: a1.coverage.min(a2.coverage),
+                    degraded: a1.degraded || a2.degraded,
+                    from_cache: false,
+                    sim_seconds: a1.sim_seconds + a2.sim_seconds,
+                    hedges: a1.hedges + a2.hedges,
+                    retries: a1.retries + a2.retries,
+                    recovery: merge_recovery(a1.recovery, a2.recovery),
+                }
             }
-        };
-        let tables = plan.tables();
-        let answer = if tables.iter().any(|t| t == "lineitem") {
-            let key = cache_key(self.cfg.strategy, &req.query).expect("single plan");
-            let dist = self.plans.get_or_build(&key, &self.metrics, || {
-                distribute(plan, self.cfg.strategy).map_err(ClusterError::from)
-            })?;
-            self.execute_routed(&req.label, &dist, &req.faults, ctx)?
-        } else {
-            self.execute_single_node(&req.label, plan, &req.faults)?
         };
         // Deterministic invalidation: any event that may have rewritten
         // table bytes (integrity repair, partition regeneration on a
         // survivor) voids every cached answer depending on those tables
         // *before* the fresh answer is cached.
+        let tables = req.query.tables();
         if answer.recovery.integrity_repaired > 0 || !answer.recovery.reassignments.is_empty() {
             self.metrics.inc("coord_invalidation_events_total", 1);
             self.results.invalidate_tables(&tables, &self.metrics);
@@ -568,6 +608,38 @@ impl Inner {
         }
         self.finish(&answer);
         Ok(answer)
+    }
+
+    /// Serves one logical plan: routed across the cluster when it touches
+    /// the partitioned lineitem table, single-node otherwise.
+    ///
+    /// The routed path keys the plan cache on the *parameter-stripped* shape
+    /// ([`strip_params`]): submissions differing only in literal values (a
+    /// shipped-before date, a discount band) share one distributed rewrite,
+    /// and the stripped parameters are bound back into the cached node and
+    /// merge plans before execution — the rewrite is shape-based, so
+    /// normalize-then-bind executes exactly the plan the request asked for.
+    fn execute_plan(
+        &self,
+        label: &str,
+        plan: &wimpi_engine::LogicalPlan,
+        faults: &FaultPlan,
+        ctx: &QueryContext,
+    ) -> Result<Answer> {
+        if plan.tables().iter().any(|t| t == "lineitem") {
+            let (norm, params) = strip_params(plan).map_err(ClusterError::from)?;
+            let key = format!("{:?}\n{}", self.cfg.strategy, norm.explain());
+            let dist = self.plans.get_or_build(&key, &self.metrics, || {
+                distribute(&norm, self.cfg.strategy).map_err(ClusterError::from)
+            })?;
+            let mut bound = bind_params_spanning(&[&dist.node_plan, &dist.merge_plan], &params)
+                .map_err(ClusterError::from)?;
+            let merge_plan = bound.pop().expect("two plans bound");
+            let node_plan = bound.pop().expect("two plans bound");
+            self.execute_routed(label, &Distributed { node_plan, merge_plan }, faults, ctx)
+        } else {
+            self.execute_single_node(label, plan, faults)
+        }
     }
 
     /// Post-answer bookkeeping: ledger counters, the latency histogram, the
@@ -927,6 +999,14 @@ impl Inner {
         let merged_input = concat_relations(&covered)?;
         let mut merge_cat = Catalog::new();
         merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
+        // Driver-side plans may reference replicated tables above the
+        // decomposition point (e.g. Q15's supplier join); share node 0's
+        // replica — replicated tables are identical on every node.
+        for t in dist.merge_plan.tables() {
+            if t != PARTIALS_TABLE {
+                merge_cat.register_shared(&t, Arc::clone(cl.node_catalogs[0].table(&t)?));
+            }
+        }
         let merge_base = (merged_input.stream_bytes() as f64 * row_scale) as u64;
         let priced = cl.priced_execution(
             &EngineConfig::serial(),
@@ -1168,17 +1248,97 @@ mod tests {
     }
 
     #[test]
-    fn two_phase_queries_are_rejected_with_a_typed_error() {
-        let cl = cluster(2);
+    fn two_phase_queries_route_and_match_the_single_node_reference() {
+        let cl = cluster(3);
+        let full = wimpi_tpch::Generator::new(SF).generate_catalog().expect("catalog");
+        let (reference, _) = wimpi_queries::run(&query(15), &full).expect("reference");
         let coord = coordinator(&cl, CoordinatorConfig::default());
-        // Q15 is two-phase in this repo's query set.
-        let err = coord.run_blocking(QueryRequest::new("q15", query(15))).expect_err("rejects");
-        match err {
-            ServiceError::Engine(EngineError::Unsupported(msg)) => {
-                assert!(msg.contains("two-phase"), "{msg}");
-            }
-            other => panic!("expected typed Unsupported, got {other:?}"),
-        }
+        // Q15 is two-phase in this repo's query set: both phases touch
+        // lineitem, so both route across the cluster.
+        let a = coord.run_blocking(QueryRequest::new("q15", query(15))).expect("routes");
+        assert_eq!(a.result, reference, "routed two-phase must be bit-exact");
+        assert!(!a.degraded && !a.from_cache);
+        let m = coord.metrics();
+        assert_eq!(m.counter("coord_two_phase_total"), 1);
+        // One sub-run fan-out per phase.
+        assert_eq!(m.counter("coord_subruns_total"), 6);
+        // Two-phase answers are never result-cached (the outer plan depends
+        // on a live scalar), so a resubmission recomputes — bit-exactly.
+        let b = coord.run_blocking(QueryRequest::new("q15-again", query(15))).expect("routes");
+        assert!(!b.from_cache);
+        assert_eq!(b.result, reference);
+        // …but both phases' distributed rewrites come from the plan cache.
+        assert!(m.counter("coord_plan_cache_hits_total") >= 2, "phases share cached rewrites");
+        coord.shutdown();
+    }
+
+    #[test]
+    fn two_phase_queries_survive_node_loss_bit_exactly() {
+        let cl = cluster(3);
+        let full = wimpi_tpch::Generator::new(SF).generate_catalog().expect("catalog");
+        let (reference, _) = wimpi_queries::run(&query(15), &full).expect("reference");
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        let a = coord
+            .run_blocking(
+                QueryRequest::new("q15-crash", query(15)).with_faults(FaultPlan::crash(1)),
+            )
+            .expect("recovers");
+        assert_eq!(a.result, reference, "recovery must not change the answer");
+        assert!(!a.degraded);
+        assert!(
+            !a.recovery.reassignments.is_empty(),
+            "the crashed partition must have been regenerated on a survivor"
+        );
+        coord.shutdown();
+    }
+
+    #[test]
+    fn plan_cache_normalizes_parameterized_variants() {
+        use wimpi_engine::expr::{col, date, dec2};
+        use wimpi_engine::plan::{AggExpr, PlanBuilder};
+        // Two Q6-shaped plans differing only in literal parameters.
+        let q6_variant = |from: &str, to: &str| {
+            QueryPlan::Single(
+                PlanBuilder::scan("lineitem")
+                    .filter(
+                        col("l_shipdate")
+                            .gte(date(from))
+                            .and(col("l_shipdate").lt(date(to)))
+                            .and(col("l_quantity").lt(dec2("24"))),
+                    )
+                    .aggregate(
+                        vec![],
+                        vec![AggExpr::sum(col("l_extendedprice").mul(col("l_discount")), "rev")],
+                    )
+                    .build(),
+            )
+        };
+        let cl = cluster(3);
+        let coord = coordinator(&cl, CoordinatorConfig::default());
+        let a = coord
+            .run_blocking(QueryRequest::new("v94", q6_variant("1994-01-01", "1995-01-01")))
+            .expect("serves");
+        let b = coord
+            .run_blocking(QueryRequest::new("v95", q6_variant("1995-01-01", "1996-01-01")))
+            .expect("serves");
+        let m = coord.metrics();
+        // One distribute() for both: the second request hit the
+        // parameter-stripped shape in the plan cache…
+        assert_eq!(m.counter("coord_plan_cache_misses_total"), 1);
+        assert!(m.counter("coord_plan_cache_hits_total") >= 1);
+        // …while the result cache correctly kept them apart (different
+        // literals are different answers).
+        assert!(!b.from_cache);
+        assert_ne!(a.result, b.result, "different parameters, different answers");
+        // Each variant still computes its own correct answer.
+        let r94 = cl
+            .run(&q6_variant("1994-01-01", "1995-01-01"), Strategy::PartialAggPushdown)
+            .expect("runs");
+        let r95 = cl
+            .run(&q6_variant("1995-01-01", "1996-01-01"), Strategy::PartialAggPushdown)
+            .expect("runs");
+        assert_eq!(a.result, r94.result);
+        assert_eq!(b.result, r95.result);
         coord.shutdown();
     }
 

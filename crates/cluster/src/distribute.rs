@@ -40,53 +40,129 @@ pub struct Distributed {
     pub merge_plan: LogicalPlan,
 }
 
-/// Trailing operators above the top aggregate, outermost first.
-enum Trailing {
-    Sort(Vec<wimpi_engine::plan::SortKey>),
-    Limit(usize),
-    Project(Vec<(Expr, String)>),
-    Filter(Expr),
+/// The one partitioned table; everything else is replicated on every node.
+const PARTITIONED: &str = "lineitem";
+
+fn touches_partitioned(p: &LogicalPlan) -> bool {
+    p.tables().iter().any(|t| t == PARTITIONED)
+}
+
+/// True when some aggregate in `p`'s subtree covers the partitioned scan —
+/// i.e. a decomposition point exists strictly below here.
+fn has_aggregate_over_partitioned(p: &LogicalPlan) -> bool {
+    if let LogicalPlan::Aggregate { input, .. } = p {
+        if touches_partitioned(input) {
+            return true;
+        }
+    }
+    p.inputs().iter().any(|i| has_aggregate_over_partitioned(i))
 }
 
 /// Rewrites `plan` for distributed execution, or explains why it can't be.
+///
+/// The decomposition point is the *lowest* aggregate covering the
+/// partitioned scan: every node runs the plan up to and including that
+/// aggregate (partial form) over its partition, and the driver merges the
+/// partials by group key and then runs everything above the decomposition
+/// point — outer aggregates (Q15's `max` over per-supplier revenue), joins
+/// against replicated tables (Q15's supplier lookup), filters, projections,
+/// sorts, limits — over the *complete* merged groups. Merging at the lowest
+/// aggregate is what makes nesting sound: a group's partial sums add up to
+/// its global sum, after which any driver-side operator sees exactly the
+/// rows a single-node run would.
 pub fn distribute(plan: &LogicalPlan, strategy: Strategy) -> Result<Distributed> {
-    // Peel trailing operators down to the top aggregate.
-    let mut trailing: Vec<Trailing> = Vec::new();
-    let mut cur = plan;
-    let (input, group_by, aggs) = loop {
-        match cur {
-            LogicalPlan::Sort { input, keys } => {
-                trailing.push(Trailing::Sort(keys.clone()));
-                cur = input;
-            }
-            LogicalPlan::Limit { input, n } => {
-                trailing.push(Trailing::Limit(*n));
-                cur = input;
-            }
-            LogicalPlan::Project { input, exprs } => {
-                trailing.push(Trailing::Project(exprs.clone()));
-                cur = input;
-            }
-            LogicalPlan::Filter { input, predicate } => {
-                trailing.push(Trailing::Filter(predicate.clone()));
-                cur = input;
-            }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
-                break (input, group_by, aggs);
-            }
-            other => {
-                // Name just the offending operator — a full plan Debug dump
-                // buries the actual problem under pages of nested exprs.
-                let top = other.explain();
-                let top = top.lines().next().unwrap_or("?").trim();
-                return Err(EngineError::Unsupported(format!(
-                    "distributed rewrite needs a top-level aggregate, found `{top}` \
-                     over tables [{}]",
-                    other.tables().join(", ")
-                )));
+    let mut node_plan = None;
+    let merge_plan = rewrite(plan, strategy, &mut node_plan)?;
+    let Some(node_plan) = node_plan else {
+        return Err(EngineError::Unsupported(format!(
+            "distributed rewrite found no `{PARTITIONED}` scan to partition \
+             over tables [{}]",
+            plan.tables().join(", ")
+        )));
+    };
+    Ok(Distributed { node_plan, merge_plan })
+}
+
+/// Builds the driver-side plan for `plan`, setting `node_plan` when the
+/// recursion reaches the decomposition point.
+fn rewrite(
+    plan: &LogicalPlan,
+    strategy: Strategy,
+    node_plan: &mut Option<LogicalPlan>,
+) -> Result<LogicalPlan> {
+    // Subtrees over replicated tables run on the driver verbatim.
+    if !touches_partitioned(plan) {
+        return Ok(plan.clone());
+    }
+    Ok(match plan {
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            if has_aggregate_over_partitioned(input) {
+                // A lower aggregate decomposes; this one runs on the driver
+                // over complete merged groups.
+                LogicalPlan::Aggregate {
+                    input: Box::new(rewrite(input, strategy, node_plan)?),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                }
+            } else {
+                let (node, merge_core) = decompose(input, group_by, aggs, strategy)?;
+                *node_plan = Some(node);
+                merge_core
             }
         }
-    };
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite(input, strategy, node_plan)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(rewrite(input, strategy, node_plan)?),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(input, strategy, node_plan)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(rewrite(input, strategy, node_plan)?), n: *n }
+        }
+        LogicalPlan::Join { left, right, on, join_type } => {
+            if touches_partitioned(left) && touches_partitioned(right) {
+                return Err(EngineError::Unsupported(format!(
+                    "both sides of a join touch the partitioned `{PARTITIONED}` table; \
+                     the partial-merge rewrite cannot recover cross-partition pairs"
+                )));
+            }
+            let (l, r) = if touches_partitioned(left) {
+                (rewrite(left, strategy, node_plan)?, (**right).clone())
+            } else {
+                ((**left).clone(), rewrite(right, strategy, node_plan)?)
+            };
+            LogicalPlan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                on: on.clone(),
+                join_type: *join_type,
+            }
+        }
+        LogicalPlan::Scan { .. } => {
+            return Err(EngineError::Unsupported(format!(
+                "distributed rewrite needs an aggregate over the partitioned \
+                 `{PARTITIONED}` scan; found a bare partitioned scan \
+                 over tables [{}]",
+                plan.tables().join(", ")
+            )))
+        }
+    })
+}
+
+/// Decomposes the aggregate at the decomposition point into per-node
+/// partials and the driver merge over [`PARTIALS_TABLE`].
+fn decompose(
+    input: &LogicalPlan,
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+    strategy: Strategy,
+) -> Result<(LogicalPlan, LogicalPlan)> {
     for a in aggs {
         if a.func == AggFunc::CountDistinct {
             return Err(EngineError::Unsupported(
@@ -138,8 +214,8 @@ pub fn distribute(plan: &LogicalPlan, strategy: Strategy) -> Result<Distributed>
                 }
             }
             let node_plan = LogicalPlan::Aggregate {
-                input: input.clone(),
-                group_by: group_by.clone(),
+                input: Box::new(input.clone()),
+                group_by: group_by.to_vec(),
                 aggs: partial_aggs,
             };
             let merge = PlanBuilder::scan(PARTIALS_TABLE)
@@ -153,32 +229,19 @@ pub fn distribute(plan: &LogicalPlan, strategy: Strategy) -> Result<Distributed>
         }
         Strategy::ShipRows => {
             // Nodes ship raw pre-aggregation rows; driver aggregates.
-            let node_plan = (**input).clone();
+            let node_plan = input.clone();
             let merge = LogicalPlan::Aggregate {
                 input: Box::new(LogicalPlan::Scan {
                     table: PARTIALS_TABLE.to_string(),
                     projection: None,
                 }),
-                group_by: group_by.clone(),
-                aggs: aggs.clone(),
+                group_by: group_by.to_vec(),
+                aggs: aggs.to_vec(),
             };
             (node_plan, merge)
         }
     };
-
-    // Re-apply trailing operators (innermost were pushed last).
-    let mut merge_plan = merge_core;
-    for t in trailing.into_iter().rev() {
-        merge_plan = match t {
-            Trailing::Sort(keys) => LogicalPlan::Sort { input: Box::new(merge_plan), keys },
-            Trailing::Limit(n) => LogicalPlan::Limit { input: Box::new(merge_plan), n },
-            Trailing::Project(exprs) => LogicalPlan::Project { input: Box::new(merge_plan), exprs },
-            Trailing::Filter(predicate) => {
-                LogicalPlan::Filter { input: Box::new(merge_plan), predicate }
-            }
-        };
-    }
-    Ok(Distributed { node_plan, merge_plan })
+    Ok((node_plan, merge_core))
 }
 
 #[cfg(test)]

@@ -603,6 +603,14 @@ impl WimpiCluster {
         let merged_input = concat_relations(&covered)?;
         let mut merge_cat = Catalog::new();
         merge_cat.register(PARTIALS_TABLE, relation_to_table(&merged_input)?);
+        // Driver-side plans may reference replicated tables above the
+        // decomposition point (e.g. Q15's supplier join); share node 0's
+        // replica — replicated tables are identical on every node.
+        for t in merge_plan.tables() {
+            if t != PARTIALS_TABLE {
+                merge_cat.register_shared(&t, Arc::clone(self.node_catalogs[0].table(&t)?));
+            }
+        }
         let merge_base = (merged_input.stream_bytes() as f64 * row_scale) as u64;
         let (result, mut merge_prof, merge_penalty) = match self.priced_execution(
             &EngineConfig::serial(),

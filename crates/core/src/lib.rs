@@ -14,8 +14,8 @@ pub mod report;
 pub mod trace_check;
 
 pub use trace_check::{
-    parse_json, validate_chaos_document, validate_trace_document, validate_trace_json, ChaosRung,
-    Json, TraceStats,
+    parse_json, validate_chaos_document, validate_spill_document, validate_trace_document,
+    validate_trace_json, ChaosRung, Json, SpillRun, SpillRung, TraceStats,
 };
 
 pub use experiments::{

@@ -355,6 +355,149 @@ pub fn validate_chaos_document(doc: &str) -> Result<Vec<ChaosRung>, String> {
     Ok(out)
 }
 
+/// One validated run (one query at one budget) of a spill-ladder document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillRun {
+    /// TPC-H query number.
+    pub query: u64,
+    /// How the run degraded: `inmem`, `grace`, `spill`, `exhausted`, or
+    /// `disk_full`.
+    pub mode: String,
+    /// Bytes staged on the spill disk.
+    pub spilled_bytes: u64,
+    /// Checksum-failed chunk reads that were retried.
+    pub spill_read_retries: u64,
+    /// Corruptions the read path detected (torn or bit-flipped views).
+    pub spill_corruptions_detected: u64,
+}
+
+/// One validated rung (one memory budget) of a spill-ladder document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillRung {
+    /// Per-operator memory budget in bytes at this rung.
+    pub budget: u64,
+    /// Spill-disk capacity in bytes at this rung.
+    pub disk_capacity: u64,
+    /// The per-query runs at this rung, in document order.
+    pub runs: Vec<SpillRun>,
+}
+
+/// Validates a `results/spill.json` document written by `bench --bin spill`:
+///
+/// ```text
+/// {"sf": …, "seed": …, "rungs": [
+///   {"budget": …, "disk_capacity": …,
+///    "runs": [{"query": …, "mode": "inmem|grace|spill|exhausted|disk_full",
+///              "bit_exact": true|false, "spilled_bytes": …,
+///              "spill_read_retries": …, "spill_corruptions_detected": …}, …],
+///    "ledger": {"spilled_bytes": …, "spill_read_retries": …,
+///               "spill_corruptions_detected": …}}, …]}
+/// ```
+///
+/// Beyond the schema, it re-checks the degradation invariants the bench
+/// asserts live: budgets must walk strictly down the ladder, every run's
+/// mode must be one of the five degradation modes, every *completed* run
+/// (`inmem`/`grace`/`spill`) must be bit-exact, `inmem`/`grace` runs must
+/// not have spilled, `spill` runs must have, and each rung's ledger must
+/// equal the sum of its runs' counters exactly. Returns the rungs in
+/// document order.
+pub fn validate_spill_document(doc: &str) -> Result<Vec<SpillRung>, String> {
+    let root = parse_json(doc)?;
+    let num = |v: &Json, path: &str, key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_num)
+            .filter(|n| *n >= 0.0)
+            .ok_or_else(|| format!("{path}: missing non-negative number \"{key}\""))
+    };
+    if num(&root, "document", "sf")? <= 0.0 {
+        return Err("document: \"sf\" must be positive".to_string());
+    }
+    num(&root, "document", "seed")?;
+    let rungs = root
+        .get("rungs")
+        .and_then(|r| match r {
+            Json::Arr(items) if !items.is_empty() => Some(items),
+            _ => None,
+        })
+        .ok_or("document has no non-empty \"rungs\" array")?;
+    let mut out: Vec<SpillRung> = Vec::new();
+    for (i, rung) in rungs.iter().enumerate() {
+        let path = format!("rungs[{i}]");
+        let budget = num(rung, &path, "budget")? as u64;
+        let disk_capacity = num(rung, &path, "disk_capacity")? as u64;
+        if budget == 0 {
+            return Err(format!("{path}: budget must be positive"));
+        }
+        if let Some(prev) = out.last() {
+            if budget >= prev.budget {
+                return Err(format!(
+                    "{path}: budget {budget} does not descend the ladder (previous {})",
+                    prev.budget
+                ));
+            }
+        }
+        let runs = rung
+            .get("runs")
+            .and_then(|r| match r {
+                Json::Arr(items) if !items.is_empty() => Some(items),
+                _ => None,
+            })
+            .ok_or_else(|| format!("{path} has no non-empty \"runs\" array"))?;
+        let mut parsed = Vec::new();
+        let mut sums = [0u64; 3];
+        for (j, run) in runs.iter().enumerate() {
+            let rpath = format!("{path}/runs[{j}]");
+            let query = num(run, &rpath, "query")? as u64;
+            let mode = match run.get("mode") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return Err(format!("{rpath}: missing string \"mode\"")),
+            };
+            if !["inmem", "grace", "spill", "exhausted", "disk_full"].contains(&mode.as_str()) {
+                return Err(format!("{rpath}: unknown mode {mode:?}"));
+            }
+            let bit_exact = match run.get("bit_exact") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err(format!("{rpath}: missing bool \"bit_exact\"")),
+            };
+            let completed = matches!(mode.as_str(), "inmem" | "grace" | "spill");
+            if completed && !bit_exact {
+                return Err(format!("{rpath}: completed {mode} run is not bit-exact"));
+            }
+            let spilled_bytes = num(run, &rpath, "spilled_bytes")? as u64;
+            let retries = num(run, &rpath, "spill_read_retries")? as u64;
+            let corruptions = num(run, &rpath, "spill_corruptions_detected")? as u64;
+            if matches!(mode.as_str(), "inmem" | "grace") && spilled_bytes > 0 {
+                return Err(format!("{rpath}: {mode} run spilled {spilled_bytes} bytes"));
+            }
+            if mode == "spill" && spilled_bytes == 0 {
+                return Err(format!("{rpath}: spill run spilled nothing"));
+            }
+            sums[0] += spilled_bytes;
+            sums[1] += retries;
+            sums[2] += corruptions;
+            parsed.push(SpillRun {
+                query,
+                mode,
+                spilled_bytes,
+                spill_read_retries: retries,
+                spill_corruptions_detected: corruptions,
+            });
+        }
+        let ledger = rung.get("ledger").ok_or_else(|| format!("{path}: missing \"ledger\""))?;
+        let lpath = format!("{path}/ledger");
+        for (k, key) in
+            ["spilled_bytes", "spill_read_retries", "spill_corruptions_detected"].iter().enumerate()
+        {
+            let total = num(ledger, &lpath, key)? as u64;
+            if total != sums[k] {
+                return Err(format!("{lpath}: {key} {total} != sum of runs {}", sums[k]));
+            }
+        }
+        out.push(SpillRung { budget, disk_capacity, runs: parsed });
+    }
+    Ok(out)
+}
+
 fn validate_span_value(v: &Json) -> Result<TraceStats, String> {
     check_span_schema(v, "root")?;
     let mut self_sums = BTreeMap::new();
@@ -557,5 +700,48 @@ mod tests {
         assert!(
             validate_chaos_document(r#"{"sf": 0.01, "seed": 1, "nodes": 1, "rungs": []}"#).is_err()
         );
+    }
+
+    fn spill_doc(ledger_bytes: u64, mode2: &str, exact2: bool) -> String {
+        format!(
+            r#"{{"sf": 0.01, "seed": 42, "rungs": [
+                {{"budget": 65536, "disk_capacity": 1048576,
+                  "runs": [{{"query": 1, "mode": "inmem", "bit_exact": true,
+                             "spilled_bytes": 0, "spill_read_retries": 0,
+                             "spill_corruptions_detected": 0}}],
+                  "ledger": {{"spilled_bytes": 0, "spill_read_retries": 0,
+                             "spill_corruptions_detected": 0}}}},
+                {{"budget": 4096, "disk_capacity": 1048576,
+                  "runs": [{{"query": 1, "mode": "{mode2}", "bit_exact": {exact2},
+                             "spilled_bytes": 9000, "spill_read_retries": 3,
+                             "spill_corruptions_detected": 3}}],
+                  "ledger": {{"spilled_bytes": {ledger_bytes}, "spill_read_retries": 3,
+                             "spill_corruptions_detected": 3}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn validates_spill_documents() {
+        let rungs = validate_spill_document(&spill_doc(9000, "spill", true)).expect("valid");
+        assert_eq!(rungs.len(), 2);
+        assert_eq!((rungs[0].budget, rungs[1].budget), (65536, 4096));
+        assert_eq!(rungs[1].runs[0].mode, "spill");
+        assert_eq!(rungs[1].runs[0].spilled_bytes, 9000);
+        // disk_full runs may carry partial spill bytes and need not be exact.
+        validate_spill_document(&spill_doc(9000, "disk_full", false)).expect("valid");
+    }
+
+    #[test]
+    fn spill_validation_rejects_broken_invariants() {
+        let err = validate_spill_document(&spill_doc(9001, "spill", true)).unwrap_err();
+        assert!(err.contains("sum of runs"), "{err}");
+        let err = validate_spill_document(&spill_doc(9000, "spill", false)).unwrap_err();
+        assert!(err.contains("not bit-exact"), "{err}");
+        let err = validate_spill_document(&spill_doc(9000, "thrash", true)).unwrap_err();
+        assert!(err.contains("unknown mode"), "{err}");
+        // grace runs must not spill; ladder budgets must descend.
+        let err = validate_spill_document(&spill_doc(9000, "grace", true)).unwrap_err();
+        assert!(err.contains("grace run spilled"), "{err}");
+        assert!(validate_spill_document(r#"{"sf": 0.01, "seed": 1, "rungs": []}"#).is_err());
     }
 }

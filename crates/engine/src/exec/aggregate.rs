@@ -97,7 +97,17 @@ pub fn exec_aggregate(
     let empty_states = || inputs.iter().map(AggState::empty_like).collect();
     let (first_rows, mut gstates) = match merge_partials(partials, &empty_states, width, ctx) {
         Some(table) => table,
-        None => grace_aggregate(&ranges, &encoded, &inputs, width, ctx)?,
+        // Out-of-core rung (DESIGN.md §16): when even Grace's doubling cap
+        // cannot fit a partition's table, stage partition routing on the
+        // spill disk and keep doubling. Only the budget failure escalates
+        // there; other errors pass through untouched.
+        None => match grace_aggregate(&ranges, &encoded, &inputs, width, ctx) {
+            Ok(table) => table,
+            Err(EngineError::ResourceExhausted { .. }) if ctx.spill().is_some() => {
+                spill_aggregate(&ranges, &encoded, &inputs, width, ctx, prof)?
+            }
+            Err(e) => return Err(e),
+        },
     };
     let ngroups = if group_by.is_empty() { 1 } else { first_rows.len() };
     for st in &mut gstates {
@@ -277,6 +287,158 @@ fn grace_aggregate(
     }
 }
 
+/// The spill rung past the Grace aggregate (DESIGN.md §16): resume the
+/// fan-out doubling beyond `MAX_GRACE_PARTS`, staging each partition's
+/// `(row id, key slots)` records on the spill disk instead of re-scanning
+/// every morsel once per partition. Read-back (checksum-verified, fault-
+/// retried) rebuilds the per-morsel partials — rows were staged in
+/// ascending row order and morsel boundaries are recovered from the fixed
+/// morsel stride — and merges them in morsel order, which is exactly the
+/// fold the unpartitioned merge performs; the Grace bit-exactness argument
+/// then applies verbatim. Aggregate *input* values are still read from the
+/// resident columns by row id; the partition routing (row ids + keys) is
+/// what round-trips through the disk.
+fn spill_aggregate(
+    ranges: &[std::ops::Range<usize>],
+    encoded: &[Vec<i64>],
+    inputs: &[AggInput],
+    width: u64,
+    ctx: &QueryContext,
+    prof: &mut WorkProfile,
+) -> Result<(Vec<u32>, Vec<AggState>)> {
+    let disk = Arc::clone(ctx.spill().expect("spill_aggregate requires a disk"));
+    let before = disk.counters();
+    let result = spill_aggregate_inner(ranges, encoded, inputs, width, ctx);
+    // Ledger even when the rung escalates: DiskFull bytes were still priced.
+    super::spill::note_spill_delta(prof, disk.counters().delta_since(&before));
+    result
+}
+
+fn spill_aggregate_inner(
+    ranges: &[std::ops::Range<usize>],
+    encoded: &[Vec<i64>],
+    inputs: &[AggInput],
+    width: u64,
+    ctx: &QueryContext,
+) -> Result<(Vec<u32>, Vec<AggState>)> {
+    use super::spill::{
+        encode_spill_row, spill_row_bytes, SpillRowReader, SpillSet, MAX_SPILL_PARTS,
+    };
+
+    let n = ranges.last().map(|r| r.end).unwrap_or(0);
+    let nkeys = encoded.len();
+    let morsel_len = ranges.first().map(|r| r.len()).unwrap_or(1).max(1);
+    let mut nparts = MAX_GRACE_PARTS * 2;
+    // As in `grace_aggregate`, the doubling restarts the whole attempt.
+    #[allow(clippy::mut_range_bound)]
+    'attempt: loop {
+        // Stage every row's (row id, key slots), partitioned by key hash, in
+        // ascending row order. `SpillSet` frees the chunks on every exit —
+        // including the `continue 'attempt` restart below.
+        let mut set = SpillSet::new(ctx, "aggregate").expect("disk attached");
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); nparts];
+        for i in 0..n {
+            let p = partition_of(&key_at(encoded, i), nparts);
+            encode_spill_row(&mut bufs[p], i as u32, encoded, i);
+        }
+        ctx.track((n * spill_row_bytes(nkeys)) as u64);
+        let mut chunks: Vec<Option<usize>> = vec![None; nparts];
+        for (p, buf) in bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                chunks[p] = Some(set.write(buf)?);
+                *buf = Vec::new();
+            }
+        }
+        drop(bufs);
+
+        let mut order: Vec<(u32, u32, u32)> = Vec::new();
+        let mut part_states: Vec<Vec<AggState>> = Vec::with_capacity(nparts);
+        let mut part_counts: Vec<usize> = Vec::with_capacity(nparts);
+        for (p, chunk) in chunks.iter().enumerate() {
+            ctx.checkpoint()?;
+            let mut guard = ctx.try_reserve(0).expect("an empty reservation always fits");
+            let mut gmap: KeyMap = KeyMap::default();
+            let mut first_rows: Vec<u32> = Vec::new();
+            let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+            if let Some(ci) = *chunk {
+                let bytes = set.read(ci)?;
+                let mut rd = SpillRowReader::new(&bytes, nkeys);
+                let mut pending = rd.next().map(|(r, s)| (r, s.to_vec()));
+                while let Some((row0, _)) = &pending {
+                    // One morsel's worth of this partition's rows → one
+                    // partial, merged immediately (morsel order).
+                    let mi = *row0 as usize / morsel_len;
+                    let mut partial = MorselAgg::new(inputs);
+                    while let Some((row, slots)) = pending.take() {
+                        if row as usize / morsel_len != mi {
+                            pending = Some((row, slots));
+                            break;
+                        }
+                        let g = partial.group_of(Key::from_row(&slots), row);
+                        for (st, input) in partial.states.iter_mut().zip(inputs) {
+                            st.push(g as usize, row as usize, input);
+                        }
+                        pending = rd.next().map(|(r, s)| (r, s.to_vec()));
+                    }
+                    let mut gid_map: Vec<u32> = Vec::with_capacity(partial.keys.len());
+                    for (k, fr) in partial.keys.into_iter().zip(partial.first_rows) {
+                        match gmap.get(&k) {
+                            Some(&g) => gid_map.push(g),
+                            None => {
+                                if !guard.grow(width) {
+                                    if first_rows.is_empty() || nparts >= MAX_SPILL_PARTS {
+                                        // One group per partition cannot
+                                        // shrink further; past the cap the
+                                        // budget is declared impossible.
+                                        return Err(EngineError::ResourceExhausted {
+                                            requested: guard.bytes() + width,
+                                            budget: ctx.budget(),
+                                            operator: "aggregate".to_string(),
+                                        });
+                                    }
+                                    nparts *= 2;
+                                    continue 'attempt;
+                                }
+                                let g = first_rows.len() as u32;
+                                gmap.insert(k, g);
+                                first_rows.push(fr);
+                                gid_map.push(g);
+                            }
+                        }
+                    }
+                    for (gst, lst) in gstates.iter_mut().zip(partial.states) {
+                        gst.grow_to(first_rows.len());
+                        gst.merge_from(lst, &gid_map);
+                    }
+                }
+            }
+            for (lg, &fr) in first_rows.iter().enumerate() {
+                order.push((fr, p as u32, lg as u32));
+            }
+            part_counts.push(first_rows.len());
+            part_states.push(gstates);
+        }
+        // Stitch in first-appearance order — identical to `grace_aggregate`.
+        order.sort_unstable_by_key(|&(fr, _, _)| fr);
+        let first_rows: Vec<u32> = order.iter().map(|&(fr, _, _)| fr).collect();
+        let mut gid_maps: Vec<Vec<u32>> = part_counts.iter().map(|&c| vec![0u32; c]).collect();
+        for (g, &(_, p, lg)) in order.iter().enumerate() {
+            gid_maps[p as usize][lg as usize] = g as u32;
+        }
+        let mut gstates: Vec<AggState> = inputs.iter().map(AggState::empty_like).collect();
+        for st in &mut gstates {
+            st.grow_to(first_rows.len());
+        }
+        for (p, pstates) in part_states.into_iter().enumerate() {
+            for (gst, lst) in gstates.iter_mut().zip(pstates) {
+                gst.merge_from(lst, &gid_maps[p]);
+            }
+        }
+        ctx.note_fallback(nparts as u32);
+        return Ok((first_rows, gstates));
+    }
+}
+
 /// Deterministic multiply-xor hasher (the FxHash construction) for the
 /// group maps: the default SipHash spends more per-row time hashing a
 /// two-slot key than the aggregation spends accumulating it. Iteration
@@ -359,6 +521,19 @@ impl Key {
     #[inline]
     pub(super) fn from_slots(slots: &[Vec<i64>], i: usize) -> Key {
         key_at(slots, i)
+    }
+
+    /// Builds a key from one row-major slot slice (a decoded spill row).
+    /// Must agree with [`Key::from_slots`] for the partition assignment and
+    /// chain layout of the spilled rungs to match.
+    #[inline]
+    pub(super) fn from_row(slots: &[i64]) -> Key {
+        match slots.len() {
+            0 => Key::Unit,
+            1 => Key::One(slots[0]),
+            2 => Key::Two(slots[0], slots[1]),
+            _ => Key::Many(slots.to_vec()),
+        }
     }
 }
 
@@ -1050,5 +1225,119 @@ mod tests {
             other => panic!("expected ResourceExhausted, got {other:?}"),
         }
         assert_eq!(ctx.used(), 0, "failed queries leave no reservation behind");
+    }
+
+    /// 5 000 distinct groups at width 64 (one key, one agg): a 320 B budget
+    /// holds 5 table entries, which Grace's 1024-partition cap cannot reach
+    /// (≈ 5 groups/partition expected, with hot bins well past it) but the
+    /// spill rung's deeper fan-out can.
+    fn spill_agg_inputs() -> (Relation, Vec<(crate::expr::Expr, String)>, Vec<AggExpr>) {
+        let n = 5_000i64;
+        let rel = Relation::new(vec![
+            ("g".into(), Arc::new(Column::Int64((0..n).map(|i| (i * 13) % 5_000).collect()))),
+            ("d".into(), Arc::new(Column::Decimal((0..n).map(|i| i * 3).collect(), 2))),
+        ])
+        .unwrap();
+        let group = vec![(col("g"), "g".to_string())];
+        let aggs = vec![AggExpr::sum(col("d"), "sd")];
+        (rel, group, aggs)
+    }
+
+    #[test]
+    fn spill_rung_is_bit_exact_past_grace() {
+        let (rel, group, aggs) = spill_agg_inputs();
+        let mut base_prof = WorkProfile::new();
+        let base = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut base_prof,
+            &EngineConfig::serial().with_morsel_rows(257),
+            Tracer::off(),
+            &QueryContext::default(),
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let cfg = EngineConfig::with_threads(threads).with_morsel_rows(257);
+            let disk = Arc::new(wimpi_storage::SpillDisk::new(
+                wimpi_storage::SpillConfig::with_capacity(16 << 20),
+            ));
+            let ctx = QueryContext::with_budget(320).with_spill(Arc::clone(&disk));
+            let mut prof = WorkProfile::new();
+            let out =
+                super::exec_aggregate(&rel, &group, &aggs, &mut prof, &cfg, Tracer::off(), &ctx)
+                    .unwrap();
+            assert_eq!(out, base, "spill aggregate diverged at {threads} threads");
+            assert!(prof.spilled_bytes > 0, "the spill rung must engage");
+            assert!(
+                ctx.max_fallback_parts() > MAX_GRACE_PARTS as u32,
+                "fan-out must pass the Grace cap"
+            );
+            assert_eq!(disk.used(), 0, "all spill chunks freed");
+            assert_eq!(ctx.used(), 0, "all reservations released");
+        }
+    }
+
+    #[test]
+    fn spill_rung_survives_injected_faults_bit_exactly() {
+        let (rel, group, aggs) = spill_agg_inputs();
+        let mut base_prof = WorkProfile::new();
+        let base = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut base_prof,
+            &EngineConfig::serial().with_morsel_rows(257),
+            Tracer::off(),
+            &QueryContext::default(),
+        )
+        .unwrap();
+        let disk_cfg = wimpi_storage::SpillConfig::with_capacity(16 << 20)
+            .with_faults(wimpi_storage::SpillFaults::every(42, 8))
+            .with_max_read_retries(16);
+        let disk = Arc::new(wimpi_storage::SpillDisk::new(disk_cfg));
+        let ctx = QueryContext::with_budget(320).with_spill(Arc::clone(&disk));
+        let mut prof = WorkProfile::new();
+        let out = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut prof,
+            &EngineConfig::serial().with_morsel_rows(257),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out, base, "faulted spill aggregate must stay bit-exact");
+        assert!(prof.spill_corruptions_detected > 0, "fault injection must fire");
+        assert_eq!(disk.used(), 0);
+    }
+
+    #[test]
+    fn impossible_budget_still_errors_with_a_spill_disk() {
+        // A budget below one table entry cannot be partitioned around at any
+        // fan-out, disk or no disk.
+        let (rel, group, aggs) = spill_agg_inputs();
+        let disk = Arc::new(wimpi_storage::SpillDisk::new(
+            wimpi_storage::SpillConfig::with_capacity(16 << 20),
+        ));
+        let ctx = QueryContext::with_budget(32).with_spill(Arc::clone(&disk));
+        let mut prof = WorkProfile::new();
+        let err = super::exec_aggregate(
+            &rel,
+            &group,
+            &aggs,
+            &mut prof,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { ref operator, .. } if operator == "aggregate"),
+            "got {err:?}"
+        );
+        assert_eq!(disk.used(), 0, "the failed attempt freed its chunks");
+        assert_eq!(ctx.used(), 0);
     }
 }

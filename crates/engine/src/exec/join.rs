@@ -75,7 +75,7 @@ pub fn exec_join(
     let rkeys: Vec<Vec<i64>> =
         on.iter().map(|(_, r)| key_values(right.column(r)?.as_ref())).collect::<Result<_>>()?;
 
-    let (lsel, rsel) = match on.len() {
+    let probed = match on.len() {
         1 => probe(
             cfg,
             left.num_rows(),
@@ -86,7 +86,7 @@ pub fn exec_join(
             tracer,
             ctx,
             1,
-        )?,
+        ),
         2 => probe(
             cfg,
             left.num_rows(),
@@ -97,7 +97,7 @@ pub fn exec_join(
             tracer,
             ctx,
             2,
-        )?,
+        ),
         _ => probe(
             cfg,
             left.num_rows(),
@@ -108,7 +108,25 @@ pub fn exec_join(
             tracer,
             ctx,
             on.len(),
+        ),
+    };
+    // Out-of-core rung (DESIGN.md §16): when even Grace could not fit the
+    // largest partition, stage partition inputs on the spill disk and resume
+    // the fan-out doubling. Only a budget failure escalates here — other
+    // errors (cancellation, integrity) pass through untouched.
+    let (lsel, rsel) = match probed {
+        Err(EngineError::ResourceExhausted { .. }) if ctx.spill().is_some() => spill_probe(
+            cfg,
+            left.num_rows(),
+            right.num_rows(),
+            &lkeys,
+            &rkeys,
+            join_type,
+            tracer,
+            ctx,
+            prof,
         )?,
+        other => other?,
     };
 
     // Work: build inserts + probe lookups are random accesses; the build
@@ -494,6 +512,177 @@ fn grace_probe<K: Hash + Eq + Send + Sync>(
     Ok((lsel, rsel))
 }
 
+/// The spill rung past Grace: resume the fan-out doubling beyond
+/// `MAX_GRACE_PARTS`, but stage both sides' partition inputs — `(row id,
+/// key slots)` records — on the spill disk instead of holding partition
+/// lists for a resident re-scan. Partitions are then read back (checksum-
+/// verified, fault-retried) and processed one at a time exactly like
+/// [`grace_probe`]: build in ascending row order, probe in ascending row
+/// order, splice per-partition outputs back via the left partition map.
+/// The determinism argument is Grace's verbatim — partition choice depends
+/// only on row counts and the budget, chains are laid out in serial order,
+/// and the splice restores global left-row order — so the output is
+/// bit-exact vs. the in-memory join at any thread count.
+///
+/// Keys are hashed as [`Key`] values (the aggregate's spill rung shares the
+/// codec); a hot key that still does not fit at `MAX_SPILL_PARTS` re-raises
+/// the typed `ResourceExhausted`, and a full disk raises the same error
+/// with the spill-disk marker in its operator.
+#[allow(clippy::too_many_arguments)]
+fn spill_probe(
+    cfg: &EngineConfig,
+    nleft: usize,
+    nright: usize,
+    lkeys: &[Vec<i64>],
+    rkeys: &[Vec<i64>],
+    join_type: JoinType,
+    tracer: &Tracer,
+    ctx: &QueryContext,
+    prof: &mut WorkProfile,
+) -> Result<(Vec<u32>, Vec<u32>)> {
+    use super::aggregate::Key;
+    use super::spill::{
+        encode_spill_row, note_spill_delta, spill_row_bytes, SpillRowReader, SpillSet,
+        MAX_SPILL_PARTS,
+    };
+
+    let nkeys = lkeys.len();
+    let disk = Arc::clone(ctx.spill().expect("spill_probe requires a disk"));
+    let before = disk.counters();
+    let result = (|| {
+        let traced = tracer.is_enabled();
+        let sink = tracer.morsel_sink();
+        let build_started = traced.then(std::time::Instant::now);
+        ctx.track((nleft + nright) as u64 * 8);
+
+        // Resume the doubling where Grace stopped, still requiring only the
+        // largest partition's hash table to fit.
+        let mut nparts = MAX_GRACE_PARTS * 2;
+        let counts = loop {
+            let mut counts = vec![0u32; nparts];
+            for i in 0..nright {
+                counts[partition_of(&Key::from_slots(rkeys, i), nparts)] += 1;
+            }
+            let maxcount = counts.iter().copied().max().unwrap_or(0) as u64;
+            let need = maxcount * BUILD_BYTES_PER_ROW_KEY * nkeys as u64;
+            if let Some(fit) = ctx.try_reserve(need) {
+                drop(fit);
+                break counts;
+            }
+            if nparts >= MAX_SPILL_PARTS {
+                return Err(EngineError::ResourceExhausted {
+                    requested: need,
+                    budget: ctx.budget(),
+                    operator: "join build".to_string(),
+                });
+            }
+            nparts *= 2;
+        };
+        ctx.note_fallback(nparts as u32);
+
+        // Stage both sides partition-by-partition, rows in ascending global
+        // row order. The staging buffers are transient sequential writes
+        // (tracked, not capped); `SpillSet` frees every chunk on any exit.
+        let mut set = SpillSet::new(ctx, "join build").expect("disk attached");
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); nparts];
+        for i in 0..nright {
+            let p = partition_of(&Key::from_slots(rkeys, i), nparts);
+            encode_spill_row(&mut bufs[p], i as u32, rkeys, i);
+        }
+        ctx.track((nright * spill_row_bytes(nkeys)) as u64);
+        let mut rchunks: Vec<Option<usize>> = vec![None; nparts];
+        for (p, buf) in bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                rchunks[p] = Some(set.write(buf)?);
+                *buf = Vec::new();
+            }
+        }
+        let mut lpart: Vec<u32> = Vec::with_capacity(nleft);
+        for i in 0..nleft {
+            let p = partition_of(&Key::from_slots(lkeys, i), nparts);
+            lpart.push(p as u32);
+            encode_spill_row(&mut bufs[p], i as u32, lkeys, i);
+        }
+        ctx.track((nleft * spill_row_bytes(nkeys)) as u64);
+        let mut lchunks: Vec<Option<usize>> = vec![None; nparts];
+        for (p, buf) in bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                lchunks[p] = Some(set.write(buf)?);
+                *buf = Vec::new();
+            }
+        }
+        drop(bufs);
+        let build_ns = elapsed_ns(&build_started);
+        let probe_started = traced.then(std::time::Instant::now);
+
+        // One partition at a time: read back, build, probe, drop.
+        let mut next: Vec<u32> = vec![NONE_ROW; nright];
+        let mut part_sels: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(nparts);
+        for p in 0..nparts {
+            ctx.checkpoint()?;
+            let _table = ctx
+                .reserve(counts[p] as u64 * BUILD_BYTES_PER_ROW_KEY * nkeys as u64, "join build")?;
+            let mut head: HashMap<Key, u32> = HashMap::with_capacity(counts[p] as usize * 2);
+            if let Some(ci) = rchunks[p] {
+                let bytes = set.read(ci)?;
+                let mut rd = SpillRowReader::new(&bytes, nkeys);
+                while let Some((row, slots)) = rd.next() {
+                    match head.entry(Key::from_row(slots)) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            next[row as usize] = *e.get();
+                            *e.get_mut() = row;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(row);
+                        }
+                    }
+                }
+            }
+            let mut lsel = Vec::new();
+            let mut rsel = Vec::new();
+            if let Some(ci) = lchunks[p] {
+                let bytes = set.read(ci)?;
+                let mut rd = SpillRowReader::new(&bytes, nkeys);
+                while let Some((row, slots)) = rd.next() {
+                    let hit = head.get(&Key::from_row(slots)).copied();
+                    emit_row(row as usize, hit, &next, join_type, &mut lsel, &mut rsel);
+                }
+            }
+            part_sels.push((lsel, rsel));
+        }
+
+        // Splice back to global left-row order (as in the Grace rung).
+        let mut cursors = vec![0usize; nparts];
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        for (i, &p) in lpart.iter().enumerate() {
+            let p = p as usize;
+            let (pl, pr) = &part_sels[p];
+            let c = &mut cursors[p];
+            while *c < pl.len() && pl[*c] == i as u32 {
+                lsel.push(i as u32);
+                if !pr.is_empty() {
+                    rsel.push(pr[*c]);
+                }
+                *c += 1;
+            }
+        }
+
+        // Budget-invariant trace structure, as in the other paths.
+        if sink.is_enabled() {
+            for (mi, r) in morsel_ranges(nleft, cfg.morsel_rows).into_iter().enumerate() {
+                sink.record(MorselSpan { index: mi, rows: r.len() as u64, worker: 0, wall_ns: 0 });
+            }
+        }
+        attach_phases(tracer, nright, build_ns, nleft, &lsel, &probe_started, sink);
+        Ok((lsel, rsel))
+    })();
+    // The ledger reflects spill traffic even when the rung ultimately
+    // escalates (DiskFull bytes were still written and priced).
+    note_spill_delta(prof, disk.counters().delta_since(&before));
+    result
+}
+
 #[inline]
 fn elapsed_ns(started: &Option<std::time::Instant>) -> u64 {
     started.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
@@ -730,5 +919,186 @@ mod tests {
             "got {err:?}"
         );
         assert_eq!(ctx.mem.used(), 0, "failed join released everything");
+    }
+
+    fn spill_disk(cfg: wimpi_storage::SpillConfig) -> Arc<wimpi_storage::SpillDisk> {
+        Arc::new(wimpi_storage::SpillDisk::new(cfg))
+    }
+
+    /// A join whose build is too large for Grace's 1024-partition cap under
+    /// the budget, but fits once the spill rung keeps doubling: 20 000
+    /// distinct build keys at a budget of ~8 table rows needs several
+    /// thousand partitions.
+    fn spill_join_inputs() -> (Relation, Relation) {
+        let l = rel(vec![("lk", (0..2_000i64).map(|i| (i * 7) % 20_000).collect())]);
+        let r = rel(vec![
+            ("rk", (0..20_000i64).collect()),
+            ("rv", (0..20_000i64).map(|i| i * 3).collect()),
+        ]);
+        (l, r)
+    }
+
+    #[test]
+    fn spill_rung_is_bit_exact_past_grace() {
+        let (l, r) = spill_join_inputs();
+        let on = [("lk".to_string(), "rk".to_string())];
+        for jt in [JoinType::Inner, JoinType::Semi, JoinType::Anti, JoinType::LeftOuter] {
+            let mut sp = WorkProfile::new();
+            let want = exec_join(
+                &l,
+                &r,
+                &on,
+                jt,
+                &mut sp,
+                &EngineConfig::serial(),
+                Tracer::off(),
+                &QueryContext::default(),
+            )
+            .unwrap();
+            for threads in [1, 2, 4] {
+                let cfg = EngineConfig::with_threads(threads).with_morsel_rows(257);
+                let disk = spill_disk(wimpi_storage::SpillConfig::with_capacity(4 << 20));
+                let ctx = QueryContext::with_budget(128).with_spill(Arc::clone(&disk));
+                let mut p = WorkProfile::new();
+                let got = exec_join(&l, &r, &on, jt, &mut p, &cfg, Tracer::off(), &ctx).unwrap();
+                assert_eq!(got, want, "{jt:?} spill diverged at {threads} threads");
+                assert!(p.spilled_bytes > 0, "{jt:?}: the spill rung must engage");
+                assert!(
+                    ctx.max_fallback_parts() > MAX_GRACE_PARTS as u32,
+                    "{jt:?}: fan-out must pass the Grace cap"
+                );
+                assert_eq!(disk.used(), 0, "{jt:?}: all spill chunks freed");
+                assert_eq!(ctx.mem.used(), 0, "{jt:?}: all reservations released");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_rung_survives_injected_faults_bit_exactly() {
+        use wimpi_storage::SpillFaults;
+        let (l, r) = spill_join_inputs();
+        let on = [("lk".to_string(), "rk".to_string())];
+        let mut sp = WorkProfile::new();
+        let want = exec_join(
+            &l,
+            &r,
+            &on,
+            JoinType::Inner,
+            &mut sp,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &QueryContext::default(),
+        )
+        .unwrap();
+        // 1-in-8 per fault kind: thousands of partition chunks guarantee
+        // many injected corruptions, while 16 retries make an exhausted
+        // chunk (p ≈ 0.23¹⁷ per chunk) impossible in practice.
+        let cfg = wimpi_storage::SpillConfig::with_capacity(4 << 20)
+            .with_faults(SpillFaults::every(42, 8))
+            .with_max_read_retries(16);
+        let disk = spill_disk(cfg);
+        let ctx = QueryContext::with_budget(128).with_spill(Arc::clone(&disk));
+        let mut p = WorkProfile::new();
+        let got = exec_join(
+            &l,
+            &r,
+            &on,
+            JoinType::Inner,
+            &mut p,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(got, want, "faulted spill run must stay bit-exact");
+        assert!(p.spill_corruptions_detected > 0, "fault injection must fire");
+        assert_eq!(
+            p.spill_read_retries, p.spill_corruptions_detected,
+            "every detection forced one verified retry"
+        );
+        assert_eq!(disk.used(), 0);
+    }
+
+    #[test]
+    fn spill_rung_escalates_on_disk_full_and_frees_chunks() {
+        let (l, r) = spill_join_inputs();
+        let disk = spill_disk(wimpi_storage::SpillConfig::with_capacity(1024));
+        let ctx = QueryContext::with_budget(128).with_spill(Arc::clone(&disk));
+        let mut p = WorkProfile::new();
+        let err = exec_join(
+            &l,
+            &r,
+            &[("lk".to_string(), "rk".to_string())],
+            JoinType::Inner,
+            &mut p,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { ref operator, .. }
+                if operator.contains("spill disk full")),
+            "got {err:?}"
+        );
+        assert!(p.spilled_bytes > 0, "partial spill traffic stays on the ledger");
+        assert_eq!(disk.used(), 0, "failed spill freed its chunks");
+        assert_eq!(ctx.mem.used(), 0);
+    }
+
+    #[test]
+    fn spill_rung_escalates_persistent_corruption_to_integrity() {
+        use wimpi_storage::SpillFaults;
+        let (l, r) = spill_join_inputs();
+        let cfg = wimpi_storage::SpillConfig::with_capacity(4 << 20)
+            .with_faults(SpillFaults { seed: 9, torn_every: 0, corrupt_every: 1, slow_every: 0 })
+            .with_max_read_retries(2);
+        let disk = spill_disk(cfg);
+        let ctx = QueryContext::with_budget(128).with_spill(Arc::clone(&disk));
+        let mut p = WorkProfile::new();
+        let err = exec_join(
+            &l,
+            &r,
+            &[("lk".to_string(), "rk".to_string())],
+            JoinType::Inner,
+            &mut p,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Integrity { ref table, .. } if table == "__spill"),
+            "got {err:?}"
+        );
+        assert_eq!(disk.used(), 0, "escalation still freed the chunks");
+    }
+
+    #[test]
+    fn impossible_budget_still_errors_with_a_spill_disk() {
+        // Keys repeat 3×, so even MAX_SPILL_PARTS cannot shrink a partition
+        // below one 48 B chain — the typed error must survive the disk.
+        let n = 200i64;
+        let l = rel(vec![("lk", (0..n).map(|i| i % 17).collect())]);
+        let r = rel(vec![("rk", (0..60).map(|i| i % 23).collect())]);
+        let disk = spill_disk(wimpi_storage::SpillConfig::with_capacity(4 << 20));
+        let ctx = QueryContext::with_budget(40).with_spill(Arc::clone(&disk));
+        let mut p = WorkProfile::new();
+        let err = exec_join(
+            &l,
+            &r,
+            &[("lk".to_string(), "rk".to_string())],
+            JoinType::Inner,
+            &mut p,
+            &EngineConfig::serial(),
+            Tracer::off(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { ref operator, .. } if operator == "join build"),
+            "got {err:?}"
+        );
+        assert_eq!(disk.used(), 0);
     }
 }

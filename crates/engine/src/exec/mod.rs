@@ -18,6 +18,7 @@ pub mod join;
 pub mod parallel;
 mod prune;
 pub mod sort;
+mod spill;
 
 use crate::error::{EngineError, Result};
 use crate::eval::Evaluator;

@@ -46,7 +46,9 @@ impl KeyRep {
 ///
 /// Sorting has no Grace-style fallback — the key representations and the
 /// index vector are the algorithm — so the whole buffer is reserved up
-/// front and an impossible budget fails fast with `ResourceExhausted`.
+/// front. When it does not fit and a spill disk is attached, [`spill_sort`]
+/// degrades to an external merge sort (DESIGN.md §16); otherwise an
+/// impossible budget fails fast with `ResourceExhausted`.
 pub fn exec_sort(
     rel: &Relation,
     keys: &[SortKey],
@@ -64,7 +66,17 @@ pub fn exec_sort(
     for k in keys {
         key_width += rel.column(&k.column)?.data_type().sort_key_bytes();
     }
-    let _guard = ctx.reserve(n as u64 * key_width, "sort")?;
+    let _guard = match ctx.try_reserve(n as u64 * key_width) {
+        Some(g) => g,
+        None if ctx.spill().is_some() => return spill_sort(rel, keys, n, key_width, prof, ctx),
+        None => {
+            return Err(EngineError::ResourceExhausted {
+                requested: n as u64 * key_width,
+                budget: ctx.budget(),
+                operator: "sort".to_string(),
+            })
+        }
+    };
     let mut reps = Vec::with_capacity(keys.len());
     for k in keys {
         let col = rel.column(&k.column)?;
@@ -92,6 +104,248 @@ pub fn exec_sort(
     let out = rel.take(&idx);
     super::filter::charge_gather(rel, &out, n, prof);
     Ok(out)
+}
+
+/// The spill rung for sorts (DESIGN.md §16): an external merge sort over
+/// the spill disk.
+///
+/// Each key is mapped to an order-preserving `u64` (sign-flipped integers,
+/// the IEEE total-order trick for floats, lexicographic dictionary ranks;
+/// descending keys are bitwise-complemented), so row order under the
+/// in-memory comparator equals lexicographic order of `(encoded keys,
+/// row id)` — the unique row id tie-break *is* the stable sort's
+/// preserve-input-order rule. Sorted runs of budget-bounded size are staged
+/// on the disk in fixed-size pages; the merge holds one page per run and
+/// emits the globally least row each step. Everything is decided by row
+/// counts and the budget on the coordinator thread, so the permutation is
+/// bit-identical to the in-memory stable sort at any thread count.
+fn spill_sort(
+    rel: &Relation,
+    keys: &[SortKey],
+    n: usize,
+    key_width: u64,
+    prof: &mut WorkProfile,
+    ctx: &QueryContext,
+) -> Result<Relation> {
+    let disk = std::sync::Arc::clone(ctx.spill().expect("spill_sort requires a disk"));
+    let before = disk.counters();
+    let result = spill_sort_inner(rel, keys, n, key_width, prof, ctx);
+    super::spill::note_spill_delta(prof, disk.counters().delta_since(&before));
+    result
+}
+
+fn spill_sort_inner(
+    rel: &Relation,
+    keys: &[SortKey],
+    n: usize,
+    key_width: u64,
+    prof: &mut WorkProfile,
+    ctx: &QueryContext,
+) -> Result<Relation> {
+    use super::spill::{SpillRowReader, SpillSet};
+
+    let nkeys = keys.len();
+    let rb = 4 + 8 * nkeys as u64; // serialized row: u32 id + u64 per key
+    let mut encs = Vec::with_capacity(nkeys);
+    for k in keys {
+        let enc = RowEnc::new(rel.column(&k.column)?, k.descending);
+        if let Some(rank) = &enc.rank {
+            ctx.track(rank.len() as u64 * 4);
+        }
+        encs.push(enc);
+    }
+
+    // Split the remaining budget between run scratch and merge pages.
+    let available = ctx.budget().saturating_sub(ctx.used()).max(1);
+    let run_rows = ((available / 2 / rb) as usize).clamp(1, n.max(1));
+    let nruns = n.div_ceil(run_rows).max(1);
+    let page_rows = ((available / 2 / (nruns as u64 * rb)) as usize).max(1);
+
+    let mut set = SpillSet::new(ctx, "sort").expect("disk attached");
+    let mut run_chunks: Vec<Vec<usize>> = Vec::with_capacity(nruns);
+    {
+        // Sorted runs: encode a budget-sized slice, sort its row ids, stage
+        // the (row id, keys) records in sorted order as merge-sized pages.
+        let _scratch = ctx.reserve(run_rows as u64 * rb, "sort")?;
+        let mut keybuf: Vec<u64> = Vec::with_capacity(run_rows * nkeys);
+        for r in 0..nruns {
+            ctx.checkpoint()?;
+            let (lo, hi) = (r * run_rows, ((r + 1) * run_rows).min(n));
+            keybuf.clear();
+            for i in lo..hi {
+                for e in &encs {
+                    keybuf.push(e.at(i));
+                }
+            }
+            let mut order: Vec<u32> = (lo as u32..hi as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let (ka, kb) = ((a as usize - lo) * nkeys, (b as usize - lo) * nkeys);
+                keybuf[ka..ka + nkeys].cmp(&keybuf[kb..kb + nkeys]).then(a.cmp(&b))
+            });
+            let mut chunks = Vec::new();
+            for page in order.chunks(page_rows) {
+                let mut buf = Vec::with_capacity(page.len() * rb as usize);
+                for &i in page {
+                    buf.extend_from_slice(&i.to_le_bytes());
+                    let k = (i as usize - lo) * nkeys;
+                    for &e in &keybuf[k..k + nkeys] {
+                        buf.extend_from_slice(&e.to_le_bytes());
+                    }
+                }
+                chunks.push(set.write(&buf)?);
+            }
+            run_chunks.push(chunks);
+        }
+    }
+
+    // Merge: one resident page per run, emit the least (keys, row id) row.
+    let _pages = ctx.reserve(nruns as u64 * page_rows as u64 * rb, "sort")?;
+    struct Cursor {
+        chunks: Vec<usize>,
+        next_chunk: usize,
+        buf: Vec<u8>,
+        pos: usize,
+        cur_row: u32,
+        cur_keys: Vec<u64>,
+        exhausted: bool,
+    }
+    impl Cursor {
+        fn advance(&mut self, set: &SpillSet, nkeys: usize, ctx: &QueryContext) -> Result<()> {
+            if self.pos >= self.buf.len() {
+                if self.next_chunk >= self.chunks.len() {
+                    self.exhausted = true;
+                    return Ok(());
+                }
+                ctx.checkpoint()?;
+                self.buf = set.read(self.chunks[self.next_chunk])?;
+                self.next_chunk += 1;
+                self.pos = 0;
+            }
+            let mut rd = SpillRowReader::new(&self.buf[self.pos..], nkeys);
+            let (row, slots) = rd.next().expect("page holds whole rows");
+            self.cur_row = row;
+            self.cur_keys.clear();
+            self.cur_keys.extend(slots.iter().map(|&s| s as u64));
+            self.pos += 4 + 8 * nkeys;
+            Ok(())
+        }
+    }
+    let mut cursors: Vec<Cursor> = run_chunks
+        .into_iter()
+        .map(|chunks| Cursor {
+            chunks,
+            next_chunk: 0,
+            buf: Vec::new(),
+            pos: 0,
+            cur_row: 0,
+            cur_keys: Vec::with_capacity(nkeys),
+            exhausted: false,
+        })
+        .collect();
+    for c in cursors.iter_mut() {
+        c.advance(&set, nkeys, ctx)?;
+    }
+    // The output permutation is a sequential append, tracked like any
+    // materialized intermediate.
+    ctx.track(n as u64 * 4);
+    let mut idx: Vec<u32> = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (c, cur) in cursors.iter().enumerate() {
+            if cur.exhausted {
+                continue;
+            }
+            best = match best {
+                None => Some(c),
+                Some(b) => {
+                    let cb = &cursors[b];
+                    if (&cur.cur_keys, cur.cur_row) < (&cb.cur_keys, cb.cur_row) {
+                        Some(c)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        idx.push(cursors[b].cur_row);
+        cursors[b].advance(&set, nkeys, ctx)?;
+    }
+    debug_assert_eq!(idx.len(), n);
+    ctx.note_fallback(nruns as u32);
+
+    // Identical work charges to the in-memory sort (the spill traffic is
+    // ledgered separately), so profiles stay budget-invariant.
+    let logn = (n.max(2) as f64).log2().round() as u64;
+    prof.cpu_ops += n as u64 * logn * nkeys as u64;
+    prof.seq_read_bytes += n as u64 * (key_width - 4);
+    let out = rel.take(&idx);
+    super::filter::charge_gather(rel, &out, n, prof);
+    Ok(out)
+}
+
+/// Per-row order-preserving `u64` key encoder for the external sort.
+struct RowEnc<'a> {
+    col: &'a Column,
+    /// Lexicographic rank per dictionary code (string keys only).
+    rank: Option<Vec<u32>>,
+    desc: bool,
+}
+
+impl<'a> RowEnc<'a> {
+    fn new(col: &'a Column, desc: bool) -> Self {
+        let rank = match col {
+            Column::Str(d) => {
+                let mut order: Vec<u32> = (0..d.cardinality() as u32).collect();
+                order.sort_by(|&a, &b| d.decode(a).cmp(d.decode(b)));
+                let mut rank = vec![0u32; d.cardinality()];
+                for (r, &code) in order.iter().enumerate() {
+                    rank[code as usize] = r as u32;
+                }
+                Some(rank)
+            }
+            _ => None,
+        };
+        RowEnc { col, rank, desc }
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> u64 {
+        let v = match self.col {
+            Column::Int64(v) => enc_i64(v[i]),
+            Column::Int32(v) => enc_i64(v[i] as i64),
+            Column::Date(v) => enc_i64(v[i] as i64),
+            Column::Decimal(v, _) => enc_i64(v[i]),
+            Column::Bool(v) => v[i] as u64,
+            Column::Float64(v) => enc_f64(v[i]),
+            Column::Str(d) => {
+                self.rank.as_ref().expect("built for Str")[d.codes()[i] as usize] as u64
+            }
+        };
+        if self.desc {
+            !v
+        } else {
+            v
+        }
+    }
+}
+
+/// Sign-flip: `u64` order equals `i64` order.
+#[inline]
+fn enc_i64(x: i64) -> u64 {
+    (x as u64) ^ (1 << 63)
+}
+
+/// IEEE-754 total-order trick: `u64` order equals `f64::total_cmp` order
+/// (negatives complemented, positives offset above them).
+#[inline]
+fn enc_f64(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
 }
 
 fn prepare_key(col: &Column) -> KeyRep {
@@ -189,5 +443,101 @@ mod tests {
             exec_sort(&rel(), &[SortKey::asc("zzz")], &mut p, &QueryContext::default()).is_err()
         );
         assert!(exec_sort(&rel(), &[], &mut p, &QueryContext::default()).is_err());
+    }
+
+    #[test]
+    fn budget_without_disk_still_errors_typed() {
+        let mut p = WorkProfile::new();
+        let err = exec_sort(&rel(), &[SortKey::asc("v")], &mut p, &QueryContext::with_budget(8))
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { ref operator, .. } if operator == "sort"),
+            "got {err:?}"
+        );
+    }
+
+    /// Many duplicate keys (ties exercise the stability argument), negative
+    /// and fractional floats (the total-order encoding), strings (rank
+    /// encoding), and mixed ascending/descending directions.
+    fn big_rel(n: i64) -> Relation {
+        let words = ["delta", "alpha", "echo", "bravo", "charlie"];
+        Relation::new(vec![
+            ("g".into(), Arc::new(Column::Int64((0..n).map(|i| (i * 37) % 11 - 5).collect()))),
+            (
+                "f".into(),
+                Arc::new(Column::Float64(
+                    (0..n).map(|i| ((i * 73) % 19 - 9) as f64 * 0.37).collect(),
+                )),
+            ),
+            ("s".into(), Arc::new(Column::Str((0..n).map(|i| words[(i % 5) as usize]).collect()))),
+            ("v".into(), Arc::new(Column::Int64((0..n).collect()))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn spill_sort_is_bit_exact_across_budgets() {
+        let rel = big_rel(2_000);
+        let keys = [
+            vec![SortKey::asc("g"), SortKey::desc("f")],
+            vec![SortKey::desc("s"), SortKey::asc("g")],
+            vec![SortKey::asc("f")],
+        ];
+        for ks in &keys {
+            let mut bp = WorkProfile::new();
+            let want = exec_sort(&rel, ks, &mut bp, &QueryContext::default()).unwrap();
+            // Budgets chosen to force a few, ~8, and ~20 runs respectively
+            // (all below every key set's n·key_width in-memory footprint).
+            for budget in [20_000u64, 6_000, 2_000] {
+                let disk = std::sync::Arc::new(wimpi_storage::SpillDisk::new(
+                    wimpi_storage::SpillConfig::with_capacity(4 << 20),
+                ));
+                let ctx =
+                    QueryContext::with_budget(budget).with_spill(std::sync::Arc::clone(&disk));
+                let mut p = WorkProfile::new();
+                let got = exec_sort(&rel, ks, &mut p, &ctx).unwrap();
+                assert_eq!(got, want, "spill sort diverged at budget {budget} for {ks:?}");
+                assert!(p.spilled_bytes > 0, "budget {budget} must engage the spill rung");
+                assert_eq!(
+                    WorkProfile { spilled_bytes: 0, ..p },
+                    bp,
+                    "work charges stay budget-invariant"
+                );
+                assert!(ctx.fallbacks() > 0);
+                assert_eq!(disk.used(), 0, "all spill chunks freed");
+                assert_eq!(ctx.used(), 0, "all reservations released");
+            }
+            // A budget below ~2·row_bytes·√n cannot hold one page per run in
+            // the single-pass merge: the typed error survives the disk.
+            let disk = std::sync::Arc::new(wimpi_storage::SpillDisk::new(
+                wimpi_storage::SpillConfig::with_capacity(4 << 20),
+            ));
+            let ctx = QueryContext::with_budget(300).with_spill(std::sync::Arc::clone(&disk));
+            let mut p = WorkProfile::new();
+            let err = exec_sort(&rel, ks, &mut p, &ctx).unwrap_err();
+            assert!(
+                matches!(err, EngineError::ResourceExhausted { ref operator, .. } if operator == "sort"),
+                "got {err:?}"
+            );
+            assert_eq!(disk.used(), 0, "the failed sort freed its chunks");
+        }
+    }
+
+    #[test]
+    fn spill_sort_survives_injected_faults_bit_exactly() {
+        let rel = big_rel(2_000);
+        let ks = vec![SortKey::asc("g"), SortKey::desc("f"), SortKey::asc("s")];
+        let mut bp = WorkProfile::new();
+        let want = exec_sort(&rel, &ks, &mut bp, &QueryContext::default()).unwrap();
+        let cfg = wimpi_storage::SpillConfig::with_capacity(4 << 20)
+            .with_faults(wimpi_storage::SpillFaults::every(42, 8))
+            .with_max_read_retries(16);
+        let disk = std::sync::Arc::new(wimpi_storage::SpillDisk::new(cfg));
+        let ctx = QueryContext::with_budget(2_000).with_spill(std::sync::Arc::clone(&disk));
+        let mut p = WorkProfile::new();
+        let got = exec_sort(&rel, &ks, &mut p, &ctx).unwrap();
+        assert_eq!(got, want, "faulted spill sort must stay bit-exact");
+        assert!(p.spill_corruptions_detected > 0, "fault injection must fire");
+        assert_eq!(disk.used(), 0);
     }
 }

@@ -33,6 +33,8 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use wimpi_storage::spill::SpillDisk;
+
 use crate::error::{EngineError, Result};
 
 /// Sentinel budget meaning "no limit" (the default).
@@ -256,6 +258,11 @@ pub struct QueryContext {
     /// (DESIGN.md §12) — telemetry the service/cluster ledgers fold into
     /// their `integrity_checks_total` counters.
     integrity_checks: Arc<AtomicU64>,
+    /// Optional spill disk (DESIGN.md §16). When present, join builds, hash
+    /// aggregates, and sorts that fail even the Grace rung stage partitions
+    /// here instead of erroring; when absent the pre-spill cliff behaviour
+    /// is unchanged.
+    spill: Option<Arc<SpillDisk>>,
 }
 
 impl QueryContext {
@@ -285,6 +292,17 @@ impl QueryContext {
     pub fn with_timeout(self, timeout: Duration) -> Self {
         let deadline = Instant::now() + timeout;
         self.with_deadline(deadline)
+    }
+
+    /// Attaches a spill disk, enabling the out-of-core rung past Grace.
+    pub fn with_spill(mut self, disk: Arc<SpillDisk>) -> Self {
+        self.spill = Some(disk);
+        self
+    }
+
+    /// The attached spill disk, if any.
+    pub fn spill(&self) -> Option<&Arc<SpillDisk>> {
+        self.spill.as_ref()
     }
 
     /// The configured budget ([`UNLIMITED`] when unbounded).

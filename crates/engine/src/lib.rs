@@ -14,6 +14,7 @@ pub mod expr;
 pub mod governor;
 pub mod like;
 pub mod optimizer;
+pub mod params;
 pub mod plan;
 pub mod relation;
 pub mod service;
@@ -24,6 +25,7 @@ pub use exec::parallel::{EngineConfig, Executor};
 pub use exec::{execute, execute_governed, execute_traced, execute_traced_governed, execute_with};
 pub use expr::{col, date, dec2, lit, Expr};
 pub use governor::{BudgetParseError, CancelToken, MemoryReservation, QueryContext, Reservation};
+pub use params::{bind_params, bind_params_spanning, strip_params};
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, PlanBuilder, SortKey};
 pub use relation::Relation;
 pub use service::{QuerySpec, ScrubReport, Service, ServiceConfig, ServiceError, Ticket};

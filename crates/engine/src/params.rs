@@ -1,0 +1,246 @@
+//! Parameter normalization for plan caching (DESIGN.md §16).
+//!
+//! Two submissions of the same TPC-H query with different spec parameters
+//! (a shipped-before date, a discount band, a quantity threshold) share one
+//! plan *shape*. [`strip_params`] rewrites every literal in a plan into a
+//! positional `$param:i` sentinel and returns the extracted values;
+//! [`bind_params`] substitutes values back into a normalized plan. A plan
+//! cache keyed on the normalized shape therefore hits across parameter
+//! variants, while the binding step guarantees the executed plan is
+//! byte-identical to the original — normalization can change cache economics
+//! only, never answers.
+//!
+//! Sentinels are ordinary string literals, so a normalized plan stays a
+//! valid [`LogicalPlan`] (it renders, explains, and hashes like any other).
+//! Literal strings that *look* like sentinels cannot occur in TPC-H text
+//! and are rejected by [`strip_params`] defensively.
+
+use wimpi_storage::Value;
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
+
+/// The sentinel literal standing for parameter `i`.
+fn sentinel(i: usize) -> Value {
+    Value::Str(format!("$param:{i}"))
+}
+
+/// Parses a sentinel back into its parameter index.
+fn sentinel_index(v: &Value) -> Option<usize> {
+    match v {
+        Value::Str(s) => s.strip_prefix("$param:").and_then(|i| i.parse().ok()),
+        _ => None,
+    }
+}
+
+/// Rewrites every literal value in `plan` (filter predicates, projection
+/// expressions, aggregate inputs, `IN` lists, `BETWEEN` bounds) into a
+/// positional sentinel, returning the normalized plan and the extracted
+/// values in sentinel order. `strip_params(p)` then `bind_params` with the
+/// same values is the identity on plans.
+pub fn strip_params(plan: &LogicalPlan) -> Result<(LogicalPlan, Vec<Value>)> {
+    let mut params = Vec::new();
+    let stripped = map_plan_values(plan, &mut |v| {
+        if sentinel_index(v).is_some() {
+            return Err(EngineError::Plan(format!(
+                "literal {v} collides with the parameter-sentinel namespace"
+            )));
+        }
+        params.push(v.clone());
+        Ok(sentinel(params.len() - 1))
+    })?;
+    Ok((stripped, params))
+}
+
+/// Substitutes `params` back into a plan normalized by [`strip_params`].
+/// Every sentinel must resolve to an in-range parameter; every parameter
+/// must be consumed at least once (an unused parameter means the plan and
+/// the values came from different shapes).
+pub fn bind_params(plan: &LogicalPlan, params: &[Value]) -> Result<LogicalPlan> {
+    let mut bound = bind_params_spanning(&[plan], params)?;
+    Ok(bound.pop().expect("one plan in, one plan out"))
+}
+
+/// [`bind_params`] over a *set* of plans that jointly carry one normalized
+/// shape's sentinels — e.g. a distributed rewrite that split one stripped
+/// plan into a node plan and a driver merge plan, with the original
+/// parameters scattered across both. Each sentinel resolves independently;
+/// collectively every parameter must be consumed at least once.
+pub fn bind_params_spanning(plans: &[&LogicalPlan], params: &[Value]) -> Result<Vec<LogicalPlan>> {
+    let mut used = vec![false; params.len()];
+    let bound = plans
+        .iter()
+        .map(|plan| {
+            map_plan_values(plan, &mut |v| match sentinel_index(v) {
+                Some(i) => match params.get(i) {
+                    Some(p) => {
+                        used[i] = true;
+                        Ok(p.clone())
+                    }
+                    None => Err(EngineError::Plan(format!(
+                        "sentinel $param:{i} is out of range for {} bound values",
+                        params.len()
+                    ))),
+                },
+                None => Ok(v.clone()),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    if let Some(i) = used.iter().position(|u| !u) {
+        return Err(EngineError::Plan(format!(
+            "bound value {i} is unused — plan and parameters disagree on shape"
+        )));
+    }
+    Ok(bound)
+}
+
+/// Clones `plan`, passing every literal [`Value`] through `f` in a fixed
+/// depth-first, field-order traversal (the order both [`strip_params`] and
+/// [`bind_params`] rely on).
+fn map_plan_values(
+    plan: &LogicalPlan,
+    f: &mut impl FnMut(&Value) -> Result<Value>,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, projection } => {
+            LogicalPlan::Scan { table: table.clone(), projection: projection.clone() }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_plan_values(input, f)?),
+            predicate: map_expr_values(predicate, f)?,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(map_plan_values(input, f)?),
+            exprs: exprs
+                .iter()
+                .map(|(e, n)| Ok((map_expr_values(e, f)?, n.clone())))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Join { left, right, on, join_type } => LogicalPlan::Join {
+            left: Box::new(map_plan_values(left, f)?),
+            right: Box::new(map_plan_values(right, f)?),
+            on: on.clone(),
+            join_type: *join_type,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(map_plan_values(input, f)?),
+            group_by: group_by
+                .iter()
+                .map(|(e, n)| Ok((map_expr_values(e, f)?, n.clone())))
+                .collect::<Result<_>>()?,
+            aggs: aggs
+                .iter()
+                .map(|a| {
+                    Ok(crate::plan::AggExpr {
+                        func: a.func,
+                        expr: a.expr.as_ref().map(|e| map_expr_values(e, f)).transpose()?,
+                        name: a.name.clone(),
+                    })
+                })
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(map_plan_values(input, f)?), keys: keys.clone() }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(map_plan_values(input, f)?), n: *n }
+        }
+    })
+}
+
+fn map_expr_values(expr: &Expr, f: &mut impl FnMut(&Value) -> Result<Value>) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Col(n) => Expr::Col(n.clone()),
+        Expr::Lit(v) => Expr::Lit(f(v)?),
+        Expr::Bin { op, left, right } => Expr::Bin {
+            op: *op,
+            left: Box::new(map_expr_values(left, f)?),
+            right: Box::new(map_expr_values(right, f)?),
+        },
+        Expr::Not(e) => Expr::Not(Box::new(map_expr_values(e, f)?)),
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(map_expr_values(expr, f)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(map_expr_values(expr, f)?),
+            list: list.iter().map(&mut *f).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high } => Expr::Between {
+            expr: Box::new(map_expr_values(expr, f)?),
+            low: f(low)?,
+            high: f(high)?,
+        },
+        Expr::Case { when, then, otherwise } => Expr::Case {
+            when: Box::new(map_expr_values(when, f)?),
+            then: Box::new(map_expr_values(then, f)?),
+            otherwise: Box::new(map_expr_values(otherwise, f)?),
+        },
+        Expr::ExtractYear(e) => Expr::ExtractYear(Box::new(map_expr_values(e, f)?)),
+        Expr::Substr { expr, start, len } => {
+            Expr::Substr { expr: Box::new(map_expr_values(expr, f)?), start: *start, len: *len }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, date, dec2, lit};
+    use crate::plan::PlanBuilder;
+
+    fn q6ish(ship: &str, disc: &str, qty: &str) -> LogicalPlan {
+        let band =
+            |s: &str| Value::Dec(wimpi_storage::Decimal64::from_str_scale(s, 2).expect("const"));
+        PlanBuilder::scan("lineitem")
+            .filter(
+                col("l_shipdate")
+                    .gte(date(ship))
+                    .and(col("l_discount").between(band(disc), band("0.07")))
+                    .and(col("l_quantity").lt(dec2(qty))),
+            )
+            .aggregate(vec![], vec![crate::plan::AggExpr::sum(col("l_discount"), "rev")])
+            .build()
+    }
+
+    #[test]
+    fn strip_then_bind_is_the_identity() {
+        let plan = q6ish("1994-01-01", "0.05", "24");
+        let (norm, params) = strip_params(&plan).unwrap();
+        assert_eq!(params.len(), 4, "two dec bounds, one date, one int: {params:?}");
+        assert_ne!(norm, plan, "normalization must replace literals");
+        assert_eq!(bind_params(&norm, &params).unwrap(), plan);
+    }
+
+    #[test]
+    fn parameter_variants_share_one_normalized_shape() {
+        let (n1, p1) = strip_params(&q6ish("1994-01-01", "0.05", "24")).unwrap();
+        let (n2, p2) = strip_params(&q6ish("1995-01-01", "0.03", "25")).unwrap();
+        assert_eq!(n1.explain(), n2.explain(), "shapes must collide in the cache");
+        assert_ne!(p1, p2);
+        // …and each binds back to its own original.
+        assert_eq!(bind_params(&n2, &p2).unwrap(), q6ish("1995-01-01", "0.03", "25"));
+    }
+
+    #[test]
+    fn binding_rejects_shape_mismatches() {
+        let (norm, mut params) = strip_params(&q6ish("1994-01-01", "0.05", "24")).unwrap();
+        assert!(bind_params(&norm, &params[..2]).is_err(), "missing values");
+        params.push(lit_value(7));
+        assert!(bind_params(&norm, &params).is_err(), "unused value");
+    }
+
+    fn lit_value(i: i64) -> Value {
+        Value::I64(i)
+    }
+
+    #[test]
+    fn sentinel_collisions_are_rejected() {
+        let plan =
+            PlanBuilder::scan("t").filter(col("c").eq(lit(Value::Str("$param:0".into())))).build();
+        assert!(strip_params(&plan).is_err());
+    }
+}

@@ -50,6 +50,15 @@ pub struct WorkProfile {
     /// deltas still telescope (each span's delta is the peak *growth* it
     /// observed, and the deltas sum to the root's final peak).
     pub peak_bytes: u64,
+    /// Bytes an operator staged on the spill disk when even Grace
+    /// partitioning could not fit the budget (DESIGN.md §16). Priced by
+    /// `wimpi-hwsim` at microSD bandwidth, out and back.
+    pub spilled_bytes: u64,
+    /// Spill-chunk reads re-issued after a checksum mismatch.
+    pub spill_read_retries: u64,
+    /// Corrupted spill-chunk views detected at read time (each forced one
+    /// retry unless the retry budget was already exhausted).
+    pub spill_corruptions_detected: u64,
 }
 
 impl WorkProfile {
@@ -83,6 +92,10 @@ impl WorkProfile {
         self.pruned_morsels = self.pruned_morsels.saturating_add(o.pruned_morsels);
         self.pruned_bytes = self.pruned_bytes.saturating_add(o.pruned_bytes);
         self.peak_bytes = self.peak_bytes.saturating_add(o.peak_bytes);
+        self.spilled_bytes = self.spilled_bytes.saturating_add(o.spilled_bytes);
+        self.spill_read_retries = self.spill_read_retries.saturating_add(o.spill_read_retries);
+        self.spill_corruptions_detected =
+            self.spill_corruptions_detected.saturating_add(o.spill_corruptions_detected);
     }
 
     /// Per-counter saturating difference `self - before`: the inclusive work
@@ -101,6 +114,11 @@ impl WorkProfile {
             pruned_morsels: self.pruned_morsels.saturating_sub(before.pruned_morsels),
             pruned_bytes: self.pruned_bytes.saturating_sub(before.pruned_bytes),
             peak_bytes: self.peak_bytes.saturating_sub(before.peak_bytes),
+            spilled_bytes: self.spilled_bytes.saturating_sub(before.spilled_bytes),
+            spill_read_retries: self.spill_read_retries.saturating_sub(before.spill_read_retries),
+            spill_corruptions_detected: self
+                .spill_corruptions_detected
+                .saturating_sub(before.spill_corruptions_detected),
         }
     }
 
@@ -120,6 +138,9 @@ impl WorkProfile {
             ("pruned_morsels", self.pruned_morsels),
             ("pruned_bytes", self.pruned_bytes),
             ("peak_bytes", self.peak_bytes),
+            ("spilled_bytes", self.spilled_bytes),
+            ("spill_read_retries", self.spill_read_retries),
+            ("spill_corruptions_detected", self.spill_corruptions_detected),
         ]
         .into_iter()
         .filter(|&(_, v)| v != 0)
@@ -144,6 +165,9 @@ impl WorkProfile {
             pruned_morsels: s(self.pruned_morsels),
             pruned_bytes: s(self.pruned_bytes),
             peak_bytes: s(self.peak_bytes),
+            spilled_bytes: s(self.spilled_bytes),
+            spill_read_retries: s(self.spill_read_retries),
+            spill_corruptions_detected: s(self.spill_corruptions_detected),
         }
     }
 }
@@ -164,6 +188,10 @@ impl Add for WorkProfile {
             pruned_morsels: self.pruned_morsels + o.pruned_morsels,
             pruned_bytes: self.pruned_bytes + o.pruned_bytes,
             peak_bytes: self.peak_bytes + o.peak_bytes,
+            spilled_bytes: self.spilled_bytes + o.spilled_bytes,
+            spill_read_retries: self.spill_read_retries + o.spill_read_retries,
+            spill_corruptions_detected: self.spill_corruptions_detected
+                + o.spill_corruptions_detected,
         }
     }
 }

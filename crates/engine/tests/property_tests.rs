@@ -231,6 +231,9 @@ fn profile_from(
         pruned_morsels: 0,
         pruned_bytes: 0,
         peak_bytes: 0,
+        spilled_bytes: 0,
+        spill_read_retries: 0,
+        spill_corruptions_detected: 0,
     }
 }
 

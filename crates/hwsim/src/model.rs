@@ -127,6 +127,20 @@ pub fn modeled_prune_gain(hw: &HwProfile, pruned: &WorkProfile) -> f64 {
     predict_all_cores(hw, &unpruned).total_s() / predict_all_cores(hw, pruned).total_s()
 }
 
+/// Modeled slowdown the out-of-core spill rung costs on `hw`, all cores:
+/// the ratio of the spilling run's predicted time (in-memory roofline plus
+/// the spill traffic priced at microSD bandwidth, written once and read
+/// back once) to the pure in-memory time. Always ≥ 1, exactly 1 when the
+/// run spilled nothing — this is the §III-C2 cliff the `spill` bench walks
+/// down: the operator keeps producing the same bytes, it just pays
+/// [`crate::profiles::wimpi::SDCARD_MBPS`] for every spilled byte, twice.
+pub fn modeled_spill_penalty(hw: &HwProfile, work: &WorkProfile) -> f64 {
+    let base = predict_all_cores(hw, work).total_s();
+    let sd_bw = crate::profiles::wimpi::SDCARD_MBPS * 1e6;
+    let spill_s = 2.0 * work.spilled_bytes as f64 / sd_bw;
+    (base + spill_s) / base
+}
+
 /// Predicts with every hardware thread in use — the TPC-H configuration
 /// (the paper runs MonetDB with full parallelism).
 pub fn predict_all_cores(hw: &HwProfile, work: &WorkProfile) -> Prediction {
@@ -324,6 +338,24 @@ mod tests {
         // No skipped bytes → the reconstruction is the identity.
         let noop = scan_heavy();
         assert!((modeled_prune_gain(&pi, &noop) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_penalty_is_identity_without_spill_and_grows_with_it() {
+        let pi = pi3b();
+        let dry = scan_heavy();
+        assert!((modeled_spill_penalty(&pi, &dry) - 1.0).abs() < 1e-12);
+        let mut wet = dry;
+        wet.spilled_bytes = 400_000_000;
+        let small = modeled_spill_penalty(&pi, &wet);
+        assert!(small > 1.0, "spilled bytes must cost time: {small}");
+        wet.spilled_bytes *= 4;
+        let big = modeled_spill_penalty(&pi, &wet);
+        assert!(big > small, "more spill must cost more: {big} vs {small}");
+        // The same spilled bytes hurt a fast machine *relatively* more: its
+        // in-memory baseline is smaller while the microSD is just as slow.
+        let e5 = profile("op-e5").unwrap();
+        assert!(modeled_spill_penalty(&e5, &wet) > big);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod integrity;
 pub mod morsel;
 pub mod schema;
 pub mod selection;
+pub mod spill;
 pub mod table;
 pub mod value;
 pub mod zonemap;
@@ -30,6 +31,7 @@ pub use error::{Result, StorageError};
 pub use integrity::{IntegrityManifest, IntegrityViolation};
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use selection::SelVec;
+pub use spill::{SpillChunkId, SpillConfig, SpillCounters, SpillDisk, SpillError, SpillFaults};
 pub use table::{Catalog, Table};
 pub use value::Value;
 pub use zonemap::{ColumnZones, ZoneMap};

@@ -35,6 +35,13 @@
 //! bit-identical, the work profile is not. `EXPLAIN ANALYZE` names the
 //! active executor and shows the fused pipeline as a single `fused` span.
 //!
+//! Out-of-core: `SET spill = on` attaches a simulated bounded microSD
+//! spill disk (DESIGN.md §16) to every direct statement's governor context:
+//! joins, aggregates, and sorts that cannot fit the memory budget even
+//! after Grace partitioning stage partitions on the disk instead of
+//! failing, bit-exactly. `\metrics` surfaces the session's cumulative
+//! `spill_*` ledger. Spill applies to direct execution (`concurrency = 0`).
+//!
 //! Pruning: `SET prune_scans = on` seals zone maps over every table (first
 //! time only, mirroring `verify_checksums`) and lets selective scans skip
 //! morsels the summaries prove irrelevant — answers stay bit-identical,
@@ -55,6 +62,7 @@ use wimpi::engine::{
 };
 use wimpi::hwsim::{all_profiles, predict_all_cores};
 use wimpi::sql::{execute_sql_with, strip_explain_analyze};
+use wimpi::storage::spill::{SpillConfig, SpillDisk};
 use wimpi::storage::Catalog;
 use wimpi::tpch::Generator;
 
@@ -71,13 +79,20 @@ fn parse_set(line: &str) -> Option<(String, String)> {
 
 /// Builds the per-query governor context from the session knobs (direct
 /// execution path — with a service, the service builds the context).
-fn make_ctx(mem_budget: Option<u64>, timeout_ms: Option<u64>) -> QueryContext {
+fn make_ctx(
+    mem_budget: Option<u64>,
+    timeout_ms: Option<u64>,
+    spill: Option<&Arc<SpillDisk>>,
+) -> QueryContext {
     let mut ctx = match mem_budget {
         Some(b) => QueryContext::with_budget(b),
         None => QueryContext::new(),
     };
     if let Some(ms) = timeout_ms {
         ctx = ctx.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(disk) = spill {
+        ctx = ctx.with_spill(Arc::clone(disk));
     }
     ctx
 }
@@ -112,6 +127,7 @@ fn main() {
     let mut service: Option<Service> = None;
     let mut verify = false;
     let mut prune = false;
+    let mut spill: Option<Arc<SpillDisk>> = None;
     let mut executor = Executor::default();
     // Integrity + cache counters for direct (serviceless) execution; with a
     // service, its own registry carries the service-side counters.
@@ -147,6 +163,7 @@ fn main() {
                     println!(
                         "no counters yet (SET concurrency = N starts a service; \
                          SET verify_checksums = on counts integrity checks; \
+                         SET spill = on fills the spill_* ledger; \
                          repeated statements fill the coord_result_cache_* counters)"
                     );
                 } else {
@@ -262,11 +279,33 @@ fn main() {
                         }
                         _ => println!("error: prune_scans wants on|off, got {value:?}"),
                     },
+                    "spill" => match value.to_ascii_lowercase().as_str() {
+                        "on" | "true" | "1" => {
+                            // One disk per session: its counters accumulate
+                            // across statements, which is what \metrics
+                            // reports. Capacity mirrors a 256 MiB card slice.
+                            spill = Some(Arc::new(SpillDisk::new(SpillConfig::with_capacity(
+                                256 << 20,
+                            ))));
+                            if service.is_some() {
+                                println!(
+                                    "note: spill applies to direct execution; \
+                                     SET concurrency = 0 to engage it"
+                                );
+                            }
+                            println!("out-of-core spill on (256 MiB simulated spill disk)");
+                        }
+                        "off" | "false" | "0" => {
+                            spill = None;
+                            println!("out-of-core spill off");
+                        }
+                        _ => println!("error: spill wants on|off, got {value:?}"),
+                    },
                     other => {
                         println!(
                             "error: unknown knob {other:?} \
                              (memory_budget, timeout_ms, concurrency, verify_checksums, \
-                             executor, prune_scans)"
+                             executor, prune_scans, spill)"
                         )
                     }
                 }
@@ -274,7 +313,7 @@ fn main() {
             sql if strip_explain_analyze(sql).is_some() => {
                 let inner = strip_explain_analyze(sql).expect("guard matched");
                 let inner = inner.trim_end_matches(';').trim_end();
-                let ctx = make_ctx(mem_budget, timeout_ms);
+                let ctx = make_ctx(mem_budget, timeout_ms, spill.as_ref());
                 let cfg = EngineConfig::serial()
                     .with_verify_checksums(verify)
                     .with_executor(executor)
@@ -327,7 +366,7 @@ fn main() {
                         match result_cache.get(&key, &shell_metrics) {
                             Some(rel) => Ok((rel, wimpi::engine::WorkProfile::default(), 0)),
                             None => {
-                                let ctx = make_ctx(mem_budget, timeout_ms);
+                                let ctx = make_ctx(mem_budget, timeout_ms, spill.as_ref());
                                 let cfg = EngineConfig::serial()
                                     .with_verify_checksums(verify)
                                     .with_executor(executor)
@@ -369,6 +408,21 @@ fn main() {
                             println!(
                                 "(degraded: {fallbacks} operator(s) fell back to \
                                  Grace partitioning)"
+                            );
+                        }
+                        if work.spilled_bytes > 0 {
+                            shell_metrics.inc("spill_spilled_bytes_total", work.spilled_bytes);
+                            shell_metrics.inc("spill_read_retries_total", work.spill_read_retries);
+                            shell_metrics.inc(
+                                "spill_corruptions_detected_total",
+                                work.spill_corruptions_detected,
+                            );
+                            println!(
+                                "(spilled {:.1} MB to the spill disk; {} read retries, \
+                                 {} corruptions detected)",
+                                work.spilled_bytes as f64 / 1e6,
+                                work.spill_read_retries,
+                                work.spill_corruptions_detected
                             );
                         }
                         if show_hw {

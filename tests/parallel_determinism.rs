@@ -428,6 +428,82 @@ mod bytecode_vs_evaluator {
     }
 }
 
+/// The determinism guarantee survives the out-of-core rung (DESIGN.md §16):
+/// a budget ladder descending past the Grace cliff with a spill disk
+/// attached must yield bit-identical relations *and* work profiles — spill
+/// ledger included — at threads 1/2/4 × two morsel sizes. Spill partition
+/// layout depends only on (plan, budget, fan-out), never on scheduling, so
+/// `spilled_bytes` is part of the deterministic contract, not a statistic.
+#[test]
+fn spill_budget_ladder_stays_parallel_bit_exact() {
+    use std::sync::Arc;
+    use wimpi::storage::spill::{SpillConfig, SpillDisk};
+
+    let cat = catalog();
+    // Budgets bracketing the cliff at SF 0.01: 16 MB runs in memory, 2 KB
+    // pushes Q3's join build past Grace onto the disk, 64 B spills the
+    // aggregate/sort rungs of Q5/Q14 too.
+    for qn in [3usize, 5, 14] {
+        let q = query(qn);
+        for budget in [16u64 << 20, 2 << 10, 64] {
+            let fresh_disk = || Arc::new(SpillDisk::new(SpillConfig::with_capacity(256 << 20)));
+            let serial_disk = fresh_disk();
+            let serial_ctx = QueryContext::with_budget(budget).with_spill(Arc::clone(&serial_disk));
+            let serial = run_governed(&q, &cat, &EngineConfig::serial(), &serial_ctx);
+            match serial {
+                Ok((rel0, prof0)) => {
+                    for morsel_rows in [wimpi::engine::exec::parallel::DEFAULT_MORSEL_ROWS, 4096] {
+                        for threads in [1, 2, 4] {
+                            let disk = fresh_disk();
+                            let ctx =
+                                QueryContext::with_budget(budget).with_spill(Arc::clone(&disk));
+                            let cfg =
+                                EngineConfig::with_threads(threads).with_morsel_rows(morsel_rows);
+                            let (rel, prof) =
+                                run_governed(&q, &cat, &cfg, &ctx).expect("spill run");
+                            assert_eq!(
+                                rel, rel0,
+                                "Q{qn} budget {budget}: result diverged at {threads} \
+                                 threads, morsel {morsel_rows}"
+                            );
+                            assert_eq!(
+                                prof, prof0,
+                                "Q{qn} budget {budget}: profile (incl. spill ledger) \
+                                 diverged at {threads} threads, morsel {morsel_rows}"
+                            );
+                            assert_eq!(
+                                disk.used(),
+                                0,
+                                "Q{qn} budget {budget}: spill capacity leaked"
+                            );
+                        }
+                    }
+                    if budget == 64 {
+                        assert!(
+                            prof0.spilled_bytes > 0,
+                            "Q{qn}: a 64-byte budget must actually exercise the spill rung"
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Exhaustion must be just as deterministic as success.
+                    for threads in [2, 4] {
+                        let ctx = QueryContext::with_budget(budget).with_spill(fresh_disk());
+                        let err =
+                            run_governed(&q, &cat, &EngineConfig::with_threads(threads), &ctx)
+                                .expect_err("serial exhausted; parallel must too");
+                        assert_eq!(
+                            err.to_string(),
+                            e.to_string(),
+                            "Q{qn} budget {budget}: error diverged at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The determinism guarantee survives memory governance: a budget tight
 /// enough to force Grace-partitioned builds (64 KB at SF 0.01) must yield
 /// the same relation and work profile at every thread count, because
